@@ -1,0 +1,219 @@
+//! k-anonymous causes of death.
+//!
+//! "We first identify all frequent causes of death strings that occur at
+//! least k > 1 times. For each cause of death string that is rare … we then
+//! find the most similar string using the Jaccard coefficient … and replace
+//! the rare cause of death string with its most similar frequent string"
+//! (§9), stratified by gender and age band so replacements stay plausible.
+
+use std::collections::HashMap;
+
+use snaps_model::Gender;
+use snaps_strsim::qgram::{bigram_jaccard, token_jaccard};
+
+/// Age bands used for stratification (paper: young ≤ 20, middle 20–40,
+/// old ≥ 40).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgeBand {
+    /// Up to 20 years.
+    Young,
+    /// 20 to 40 years.
+    Middle,
+    /// 40 years and over.
+    Old,
+}
+
+impl AgeBand {
+    /// The band an age falls in; unknown ages default to `Old` (most
+    /// deaths with unstated ages in these records are adults).
+    #[must_use]
+    pub fn of(age: Option<u16>) -> AgeBand {
+        match age {
+            Some(a) if a < 20 => AgeBand::Young,
+            Some(a) if a < 40 => AgeBand::Middle,
+            _ => AgeBand::Old,
+        }
+    }
+}
+
+/// The fallback when no frequent similar cause exists in the stratum.
+pub const UNKNOWN_CAUSE: &str = "not known";
+
+/// A gender × age stratum.
+pub type Stratum = (Gender, AgeBand);
+
+/// k-anonymiser for cause-of-death strings.
+#[derive(Debug)]
+pub struct CauseAnonymiser {
+    k: usize,
+    /// Frequent causes per stratum.
+    frequent: HashMap<Stratum, Vec<String>>,
+    /// Global frequency of every cause string.
+    counts: HashMap<String, usize>,
+}
+
+/// Cause similarity: the better of token- and bigram-Jaccard, so both
+/// "heart disease"/"heart failure" and "bronchitis"/"bronchittis" are close.
+fn cause_similarity(a: &str, b: &str) -> f64 {
+    token_jaccard(a, b).max(bigram_jaccard(a, b))
+}
+
+impl CauseAnonymiser {
+    /// Learn the frequent causes from `(cause, gender, age)` observations.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` — the paper requires `k > 1`.
+    #[must_use]
+    pub fn fit(observations: &[(String, Gender, Option<u16>)], k: usize) -> Self {
+        assert!(k >= 2, "k must be at least 2");
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for (cause, _, _) in observations {
+            *counts.entry(cause.clone()).or_insert(0) += 1;
+        }
+        let mut frequent: HashMap<Stratum, Vec<String>> = HashMap::new();
+        for (cause, gender, age) in observations {
+            if counts[cause] >= k {
+                let entry = frequent.entry((*gender, AgeBand::of(*age))).or_default();
+                if !entry.contains(cause) {
+                    entry.push(cause.clone());
+                }
+            }
+        }
+        for list in frequent.values_mut() {
+            list.sort();
+        }
+        Self { k, frequent, counts }
+    }
+
+    /// Number of distinct frequent causes overall.
+    #[must_use]
+    pub fn frequent_count(&self) -> usize {
+        let mut all: Vec<&String> = self.frequent.values().flatten().collect();
+        all.sort();
+        all.dedup();
+        all.len()
+    }
+
+    /// Number of distinct rare causes overall.
+    #[must_use]
+    pub fn rare_count(&self) -> usize {
+        self.counts.values().filter(|&&c| c < self.k).count()
+    }
+
+    /// Anonymise one cause for a person of the given gender and age.
+    ///
+    /// Frequent causes pass through; rare causes are replaced by the most
+    /// similar frequent cause *of the same stratum*, or [`UNKNOWN_CAUSE`]
+    /// when the stratum offers nothing similar enough.
+    #[must_use]
+    pub fn anonymise(&self, cause: &str, gender: Gender, age: Option<u16>) -> String {
+        if self.counts.get(cause).copied().unwrap_or(0) >= self.k {
+            return cause.to_string();
+        }
+        let stratum = (gender, AgeBand::of(age));
+        let Some(candidates) = self.frequent.get(&stratum) else {
+            return UNKNOWN_CAUSE.to_string();
+        };
+        candidates
+            .iter()
+            .map(|c| (cause_similarity(cause, c), c))
+            .filter(|(s, _)| *s > 0.0)
+            .max_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.1.cmp(a.1)))
+            .map_or_else(|| UNKNOWN_CAUSE.to_string(), |(_, c)| c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(cause: &str, n: usize, g: Gender, age: u16) -> Vec<(String, Gender, Option<u16>)> {
+        (0..n).map(|_| (cause.to_string(), g, Some(age))).collect()
+    }
+
+    fn fixture() -> CauseAnonymiser {
+        let mut data = Vec::new();
+        data.extend(obs("old age", 20, Gender::Female, 80));
+        data.extend(obs("old age", 20, Gender::Male, 82));
+        data.extend(obs("heart disease", 15, Gender::Male, 65));
+        data.extend(obs("whooping cough", 12, Gender::Female, 2));
+        data.extend(obs("drowned at portree", 1, Gender::Male, 70));
+        data.extend(obs("ovarian cancer", 10, Gender::Female, 55));
+        data.extend(obs("struck by lightning at sleat", 1, Gender::Female, 3));
+        CauseAnonymiser::fit(&data, 10)
+    }
+
+    #[test]
+    fn frequent_causes_pass_through() {
+        let a = fixture();
+        assert_eq!(a.anonymise("old age", Gender::Male, Some(80)), "old age");
+        assert_eq!(
+            a.anonymise("whooping cough", Gender::Female, Some(2)),
+            "whooping cough"
+        );
+    }
+
+    #[test]
+    fn rare_cause_replaced_by_similar_frequent_in_stratum() {
+        let a = fixture();
+        // "drowned at portree" (1 occurrence, male, old): the male-old
+        // frequent causes are "old age" and "heart disease"; whichever is
+        // returned must be frequent, not the original.
+        let r = a.anonymise("drowned at portree", Gender::Male, Some(70));
+        assert!(r == "old age" || r == "heart disease" || r == UNKNOWN_CAUSE);
+        assert_ne!(r, "drowned at portree");
+    }
+
+    #[test]
+    fn stratification_prevents_implausible_replacements() {
+        let a = fixture();
+        // A rare cause of a young female may not be replaced by "ovarian
+        // cancer" (female-middle) or "old age": the young-female stratum
+        // only has "whooping cough".
+        let r = a.anonymise("struck by lightning at sleat", Gender::Female, Some(3));
+        assert!(r == "whooping cough" || r == UNKNOWN_CAUSE, "{r}");
+    }
+
+    #[test]
+    fn no_frequent_stratum_yields_unknown() {
+        let a = fixture();
+        // No male-young frequent causes exist in the fixture.
+        let r = a.anonymise("croup variant", Gender::Male, Some(1));
+        assert_eq!(r, UNKNOWN_CAUSE);
+    }
+
+    #[test]
+    fn counts() {
+        let a = fixture();
+        assert_eq!(a.rare_count(), 2);
+        assert!(a.frequent_count() >= 4);
+    }
+
+    #[test]
+    fn age_bands() {
+        assert_eq!(AgeBand::of(Some(5)), AgeBand::Young);
+        assert_eq!(AgeBand::of(Some(20)), AgeBand::Middle);
+        assert_eq!(AgeBand::of(Some(39)), AgeBand::Middle);
+        assert_eq!(AgeBand::of(Some(40)), AgeBand::Old);
+        assert_eq!(AgeBand::of(None), AgeBand::Old);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn k_one_panics() {
+        let _ = CauseAnonymiser::fit(&[], 1);
+    }
+
+    #[test]
+    fn similar_spelling_replacement_preferred() {
+        let mut data = Vec::new();
+        data.extend(obs("bronchitis", 12, Gender::Male, 70));
+        data.extend(obs("old age", 12, Gender::Male, 70));
+        data.extend(obs("bronchittis of the lung", 1, Gender::Male, 71));
+        let a = CauseAnonymiser::fit(&data, 10);
+        assert_eq!(
+            a.anonymise("bronchittis of the lung", Gender::Male, Some(71)),
+            "bronchitis"
+        );
+    }
+}

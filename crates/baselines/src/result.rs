@@ -1,0 +1,80 @@
+//! The common output type of baseline linkers.
+
+use std::collections::BTreeSet;
+
+use snaps_graph::connected_components;
+use snaps_model::{Dataset, RecordId, RoleCategory};
+
+/// Output of a baseline linker: accepted links and the record clusters they
+/// induce (connected components, singletons included).
+#[derive(Debug, Clone)]
+pub struct LinkResult {
+    /// Accepted links.
+    pub links: Vec<(RecordId, RecordId)>,
+    /// Induced clusters, deterministic order.
+    pub clusters: Vec<Vec<RecordId>>,
+}
+
+impl LinkResult {
+    /// Build from links over a dataset of `n_records`.
+    #[must_use]
+    pub fn from_links(links: Vec<(RecordId, RecordId)>, n_records: usize) -> Self {
+        let clusters = connected_components(
+            n_records,
+            links.iter().map(|&(a, b)| (a.index(), b.index())),
+        )
+        .into_iter()
+        .map(|c| c.into_iter().map(RecordId::from_index).collect())
+        .collect();
+        Self { links, clusters }
+    }
+
+    /// Predicted matching pairs between two role categories (transitive
+    /// closure within clusters, different certificates only) — identical
+    /// counting to `snaps_core::Resolution::matched_pairs` so baseline and
+    /// SNAPS results are comparable.
+    #[must_use]
+    pub fn matched_pairs(
+        &self,
+        ds: &Dataset,
+        cat_a: RoleCategory,
+        cat_b: RoleCategory,
+    ) -> BTreeSet<(RecordId, RecordId)> {
+        let mut pairs = BTreeSet::new();
+        for cluster in &self.clusters {
+            for (i, &ra) in cluster.iter().enumerate() {
+                for &rb in &cluster[i + 1..] {
+                    let (a, b) = (ds.record(ra), ds.record(rb));
+                    if a.certificate == b.certificate {
+                        continue;
+                    }
+                    let (ca, cb) = (a.role.category(), b.role.category());
+                    if (ca == cat_a && cb == cat_b) || (ca == cat_b && cb == cat_a) {
+                        pairs.insert((ra.min(rb), ra.max(rb)));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_from_links() {
+        let links = vec![(RecordId(0), RecordId(1)), (RecordId(1), RecordId(2))];
+        let r = LinkResult::from_links(links, 5);
+        assert_eq!(r.clusters.len(), 3);
+        assert_eq!(r.clusters[0], vec![RecordId(0), RecordId(1), RecordId(2)]);
+        assert_eq!(r.clusters[1], vec![RecordId(3)]);
+    }
+
+    #[test]
+    fn empty() {
+        let r = LinkResult::from_links(Vec::new(), 0);
+        assert!(r.clusters.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Benchmarks the offline component (the subject of Table 5): full SNAPS
+//! resolution and each baseline on a small IOS-profile dataset.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snaps_baselines::{attr_sim_link, dep_graph_link, rel_cluster_link};
+use snaps_core::{resolve, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+
+fn bench_offline(c: &mut Criterion) {
+    let data = generate(&DatasetProfile::ios().scaled(0.05), 42);
+    let ds = &data.dataset;
+    let cfg = SnapsConfig::default();
+
+    let mut g = c.benchmark_group("offline");
+    g.sample_size(10);
+    g.bench_function("snaps_resolve", |b| {
+        b.iter(|| black_box(resolve(ds, &cfg)));
+    });
+    g.bench_function("attr_sim", |b| {
+        b.iter(|| black_box(attr_sim_link(ds, &cfg)));
+    });
+    g.bench_function("dep_graph", |b| {
+        b.iter(|| black_box(dep_graph_link(ds, &cfg)));
+    });
+    g.bench_function("rel_cluster", |b| {
+        b.iter(|| black_box(rel_cluster_link(ds, &cfg)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

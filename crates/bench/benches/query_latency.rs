@@ -1,0 +1,48 @@
+//! Benchmarks the online component (the subject of Table 7): query
+//! processing and pedigree extraction over a resolved dataset.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snaps_core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_eval::timing::generate_query_batch;
+use snaps_pedigree::{extract, DEFAULT_GENERATIONS};
+use snaps_query::SearchEngine;
+
+fn bench_queries(c: &mut Criterion) {
+    let data = generate(&DatasetProfile::ios().scaled(0.1), 42);
+    let res = resolve(&data.dataset, &SnapsConfig::default());
+    let graph = PedigreeGraph::build(&data.dataset, &res);
+    let mut engine = SearchEngine::build(graph);
+    let queries = generate_query_batch(engine.graph(), 50, 7);
+
+    let mut g = c.benchmark_group("online");
+    g.bench_function("query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(engine.query(q, 10))
+        });
+    });
+
+    // Pedigree extraction for entities that have family.
+    let entities: Vec<_> = engine
+        .graph()
+        .entities
+        .iter()
+        .filter(|e| !engine.graph().neighbours(e.id).is_empty())
+        .map(|e| e.id)
+        .collect();
+    g.bench_function("pedigree_extraction", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let e = entities[i % entities.len()];
+            i += 1;
+            black_box(extract(engine.graph(), e, DEFAULT_GENERATIONS))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

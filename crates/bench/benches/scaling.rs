@@ -1,0 +1,24 @@
+//! Benchmarks resolution over growing BHIC-like windows (the subject of
+//! Table 6): wall-clock should grow near-linearly in graph size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use snaps_core::{resolve, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = SnapsConfig::default();
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10);
+    for period in [15u32, 25, 35] {
+        let data = generate(&DatasetProfile::bhic(period).scaled(0.04), 42);
+        g.bench_with_input(
+            BenchmarkId::new("bhic_window_years", period),
+            &data.dataset,
+            |b, ds| b.iter(|| black_box(resolve(ds, &cfg))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

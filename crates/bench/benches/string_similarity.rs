@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the similarity substrate: the comparators dominate
+//! the dependency-graph generation phase, so their per-call cost matters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snaps_strsim::qgram::bigram_jaccard;
+use snaps_strsim::variants::first_name_similarity;
+use snaps_strsim::{jaro_winkler, levenshtein_similarity};
+
+fn bench_similarities(c: &mut Criterion) {
+    let pairs = [
+        ("macdonald", "mcdonald"),
+        ("mary", "mairi"),
+        ("euphemia", "effie"),
+        ("agricultural labourer", "agricultural laborer"),
+    ];
+    let mut g = c.benchmark_group("strsim");
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(jaro_winkler(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(levenshtein_similarity(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.bench_function("bigram_jaccard", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(bigram_jaccard(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.bench_function("variant_aware_first_name", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(first_name_similarity(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_similarities);
+criterion_main!(benches);

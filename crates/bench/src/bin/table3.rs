@@ -1,0 +1,48 @@
+//! Regenerates **Table 3**: the ablation analysis — how each key technique
+//! (PROP-A/PROP-C, AMB, REL, REF) affects linkage quality on the IOS data
+//! set.
+//!
+//! ```text
+//! cargo run -p snaps-bench --release --bin table3 [-- --scale 1.0 --seed 42]
+//! ```
+
+use snaps_bench::{format_table, prf, ExperimentArgs};
+use snaps_core::SnapsConfig;
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_eval::ablation::run_ablation;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let cfg = SnapsConfig::default();
+    println!(
+        "Table 3: Ablation analysis on IOS — one key technique removed at a time\n\
+         (scale={}, seed={})\n",
+        args.scale, args.seed
+    );
+
+    let data = generate(&DatasetProfile::ios().scaled(args.scale), args.seed);
+    let rows = run_ablation(&data, &cfg);
+
+    // Paper layout: role pairs as row blocks, variants as columns.
+    let header: Vec<&str> = std::iter::once("Role pair / metric")
+        .chain(rows.iter().map(|r| r.variant.as_str()))
+        .collect();
+    let mut table = Vec::new();
+    let n_role_pairs = rows[0].per_role_pair.len();
+    for rp in 0..n_role_pairs {
+        let label = rows[0].per_role_pair[rp].0.clone();
+        for (mi, metric) in ["P", "R", "F*"].iter().enumerate() {
+            let mut line = vec![format!("{label} {metric}")];
+            for variant in &rows {
+                let (p, r, f) = prf(&variant.per_role_pair[rp].1);
+                line.push(match mi {
+                    0 => p,
+                    1 => r,
+                    _ => f,
+                });
+            }
+            table.push(line);
+        }
+    }
+    println!("{}", format_table(&header, &table));
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Table 4**: precision, recall, and F*-measure of SNAPS
+//! compared to Attr-Sim, Dep-Graph, Rel-Cluster, and the supervised
+//! (Magellan-substitute) baseline — on IOS and KIL, for `Bp-Bp` and `Bp-Dp`.
+//! The supervised column reports mean ± standard deviation over four
+//! classifiers and two training regimes, as in the paper.
+//!
+//! ```text
+//! cargo run -p snaps-bench --release --bin table4 [-- --scale 1.0 --seed 42]
+//! ```
+
+use snaps_bench::{format_table, prf, ExperimentArgs};
+use snaps_core::SnapsConfig;
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_eval::metrics::mean_std;
+use snaps_eval::quality::run_quality_experiment;
+use snaps_eval::Quality;
+
+fn supervised_cell(samples: &[Quality], metric: fn(&Quality) -> f64) -> String {
+    let values: Vec<f64> = samples.iter().map(|q| 100.0 * metric(q)).collect();
+    let (mean, std) = mean_std(&values);
+    format!("{mean:.1} ± {std:.1}")
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let cfg = SnapsConfig::default();
+    println!(
+        "Table 4: P/R/F* of SNAPS compared to the baselines\n(scale={}, seed={})\n",
+        args.scale, args.seed
+    );
+
+    // Results print per dataset as soon as they are ready, so a partial run
+    // still yields usable rows.
+    for profile in [
+        DatasetProfile::ios().scaled(args.scale),
+        DatasetProfile::kil().scaled(args.scale),
+    ] {
+        let data = generate(&profile, args.seed);
+        eprintln!(
+            "[table4] running all systems on {} ({} records)…",
+            data.dataset.name,
+            data.dataset.len()
+        );
+        let report = run_quality_experiment(&data, &cfg);
+
+        let mut table = Vec::new();
+        for (rp, (label, _)) in report.unsupervised[0].per_role_pair.iter().enumerate() {
+            for (mi, metric_name) in ["P", "R", "F*"].iter().enumerate() {
+                let metric: fn(&Quality) -> f64 = match mi {
+                    0 => Quality::precision,
+                    1 => Quality::recall,
+                    _ => Quality::f_star,
+                };
+                let mut line =
+                    vec![format!("{} ({label})", report.dataset), (*metric_name).to_string()];
+                for sys in &report.unsupervised {
+                    let (p, r, f) = prf(&sys.per_role_pair[rp].1);
+                    line.push(match mi {
+                        0 => p,
+                        1 => r,
+                        _ => f,
+                    });
+                }
+                line.push(supervised_cell(&report.supervised.per_role_pair[rp].1, metric));
+                table.push(line);
+            }
+        }
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "Data set (role pair)",
+                    "Metric",
+                    "SNAPS",
+                    "Attr-Sim",
+                    "Dep-Graph",
+                    "Rel-Cluster",
+                    "Supervised (±sd)"
+                ],
+                &table
+            )
+        );
+    }
+}

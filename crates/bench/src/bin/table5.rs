@@ -1,0 +1,59 @@
+//! Regenerates **Table 5**: runtime of the offline component of SNAPS and
+//! every baseline on IOS and KIL, with the dependency-graph sizes
+//! `|N_A|` and `|N_R|`.
+//!
+//! ```text
+//! cargo run -p snaps-bench --release --bin table5 [-- --scale 1.0 --seed 42]
+//! ```
+
+use snaps_bench::{format_table, ExperimentArgs};
+use snaps_core::SnapsConfig;
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_eval::timing::time_offline;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let cfg = SnapsConfig::default();
+    println!(
+        "Table 5: Runtime (seconds) of the offline component of SNAPS and baselines\n\
+         (scale={}, seed={})\n",
+        args.scale, args.seed
+    );
+
+    let mut rows = Vec::new();
+    for profile in [
+        DatasetProfile::ios().scaled(args.scale),
+        DatasetProfile::kil().scaled(args.scale),
+    ] {
+        let data = generate(&profile, args.seed);
+        eprintln!("[table5] timing all systems on {} ({} records)…", data.dataset.name, data.dataset.len());
+        let timings = time_offline(&data, &cfg);
+        let (na, nr) = (
+            timings[0].n_atomic.unwrap_or(0),
+            timings[0].n_relational.unwrap_or(0),
+        );
+        let mut row = vec![
+            data.dataset.name.clone(),
+            na.to_string(),
+            nr.to_string(),
+        ];
+        row.extend(timings.iter().map(|t| format!("{:.1}", t.seconds)));
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Data set",
+                "|N_A|",
+                "|N_R|",
+                "SNAPS",
+                "Attr-Sim",
+                "Dep-Graph",
+                "Rel-Cluster",
+                "Supervised"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table 6**: scalability of the offline component over
+//! growing registration windows of the BHIC-like profile — graph sizes,
+//! per-phase runtimes, and linkage time per node / per edge.
+//!
+//! The paper's windows end in 1935 and start 35/45/55/65 years earlier;
+//! near-linear ms-per-node and ms-per-edge is the claimed result.
+//!
+//! ```text
+//! cargo run -p snaps-bench --release --bin table6 [-- --scale 1.0 --seed 42]
+//! ```
+
+use snaps_bench::{format_table, ExperimentArgs};
+use snaps_core::SnapsConfig;
+use snaps_eval::scaling::{run_scaling, PAPER_PERIODS};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let cfg = SnapsConfig::default();
+    println!(
+        "Table 6: Runtimes of the offline component for different graph sizes (BHIC)\n\
+         (scale={}, seed={})\n",
+        args.scale, args.seed
+    );
+
+    let rows = run_scaling(&PAPER_PERIODS, args.scale, args.seed, &cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} - {}", r.period.0, r.period.1),
+                r.records.to_string(),
+                r.nodes.to_string(),
+                r.edges.to_string(),
+                format!("{:.1}", r.t_atomic_s),
+                format!("{:.1}", r.t_relational_s),
+                format!("{:.1}", r.t_bootstrap_s),
+                format!("{:.1}", r.t_merge_s),
+                format!("{:.3}", r.linkage_ms_per_node),
+                format!("{:.3}", r.linkage_ms_per_edge),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Time period",
+                "Records",
+                "Nodes",
+                "Edges",
+                "Gen N_A (s)",
+                "Gen N_R (s)",
+                "Bootstrap (s)",
+                "Merging (s)",
+                "Linkage ms/node",
+                "Linkage ms/edge"
+            ],
+            &table
+        )
+    );
+}

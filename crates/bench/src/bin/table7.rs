@@ -1,0 +1,58 @@
+//! Regenerates **Table 7**: minimum, average, median, and maximum time for
+//! querying and for extracting family pedigrees.
+//!
+//! A batch of realistic queries (entity names, a third of them typo'd, half
+//! with optional refinements) runs against the online search engine built
+//! from a resolved IOS-profile dataset; each query's top hit then has its
+//! two-generation pedigree extracted.
+//!
+//! ```text
+//! cargo run -p snaps-bench --release --bin table7 [-- --scale 1.0 --seed 42]
+//! ```
+
+use snaps_bench::{format_table, ExperimentArgs};
+use snaps_core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_eval::timing::{generate_query_batch, time_queries};
+use snaps_query::SearchEngine;
+
+/// Queries timed per run.
+const BATCH: usize = 200;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let cfg = SnapsConfig::default();
+    println!(
+        "Table 7: Min/avg/median/max seconds for querying and pedigree extraction\n\
+         (scale={}, seed={}, batch={BATCH})\n",
+        args.scale, args.seed
+    );
+
+    let data = generate(&DatasetProfile::ios().scaled(args.scale), args.seed);
+    eprintln!("[table7] resolving {} records…", data.dataset.len());
+    let res = resolve(&data.dataset, &cfg);
+    let graph = PedigreeGraph::build(&data.dataset, &res);
+    eprintln!("[table7] building indices over {} entities…", graph.len());
+    let mut engine = SearchEngine::build(graph);
+
+    let queries = generate_query_batch(engine.graph(), BATCH, args.seed);
+    let (q, p) = time_queries(&mut engine, &queries, 10);
+
+    let fmt = |v: f64| format!("{v:.4}");
+    println!(
+        "{}",
+        format_table(
+            &["Task", "Minimum", "Average", "Median", "Maximum"],
+            &[
+                vec!["Querying".into(), fmt(q.min), fmt(q.avg), fmt(q.median), fmt(q.max)],
+                vec![
+                    "Pedigree extraction".into(),
+                    fmt(p.min),
+                    fmt(p.avg),
+                    fmt(p.median),
+                    fmt(p.max)
+                ],
+            ]
+        )
+    );
+}

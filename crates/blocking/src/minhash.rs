@@ -1,0 +1,239 @@
+//! MinHash signatures and banded locality-sensitive hashing.
+//!
+//! Each record's name string is shingled into character bigrams; a MinHash
+//! signature approximates the Jaccard similarity between shingle sets, and
+//! banding maps records into buckets such that similar records collide in at
+//! least one band with high probability.
+
+use std::collections::HashMap;
+
+use snaps_model::{Dataset, PersonRecord, RecordId};
+use snaps_strsim::qgram::qgrams;
+
+/// Configuration of the LSH blocker.
+#[derive(Debug, Clone, Copy)]
+pub struct LshConfig {
+    /// Total hash functions in each MinHash signature.
+    pub num_hashes: usize,
+    /// Number of bands (`num_hashes` must be divisible by this).
+    pub bands: usize,
+    /// Shingle length (2 = bigrams, the paper's choice).
+    pub shingle_q: usize,
+    /// Buckets larger than this are skipped when emitting pairs — the
+    /// standard guard against frequency skew blowing up the pair count.
+    pub max_block_size: usize,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        // 64 hashes in 16 bands of 4 rows: collision probability ≈
+        // 1-(1-s^4)^16, i.e. >0.95 for Jaccard s ≥ 0.55 — tuned for noisy
+        // name pairs.
+        Self { num_hashes: 64, bands: 16, shingle_q: 2, max_block_size: 4000 }
+    }
+}
+
+/// SplitMix64 — a tiny, high-quality 64-bit mixer used to derive independent
+/// hash functions from seed indices. Implemented here so blocking needs no
+/// external hashing crate.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash a string with one of the derived hash functions.
+#[inline]
+fn hash_shingle(s: &str, seed: u64) -> u64 {
+    let mut h = splitmix64(seed);
+    for b in s.as_bytes() {
+        h = splitmix64(h ^ u64::from(*b));
+    }
+    h
+}
+
+/// The blocking key text of a record: first name and surname, separated so
+/// `("ann", "x")` and `("an", "nx")` cannot alias.
+#[must_use]
+pub fn blocking_text(r: &PersonRecord) -> String {
+    match (&r.first_name, &r.surname) {
+        (Some(f), Some(s)) => format!("{f}|{s}"),
+        (Some(f), None) => f.clone(),
+        (None, Some(s)) => s.clone(),
+        (None, None) => String::new(),
+    }
+}
+
+/// A banded-LSH blocker over a dataset.
+#[derive(Debug)]
+pub struct LshBlocker {
+    cfg: LshConfig,
+}
+
+impl LshBlocker {
+    /// Create a blocker.
+    ///
+    /// # Panics
+    /// Panics if `num_hashes` is not divisible by `bands` or either is zero.
+    #[must_use]
+    pub fn new(cfg: LshConfig) -> Self {
+        assert!(cfg.num_hashes > 0 && cfg.bands > 0, "hashes and bands must be positive");
+        assert_eq!(cfg.num_hashes % cfg.bands, 0, "bands must divide num_hashes");
+        Self { cfg }
+    }
+
+    /// MinHash signature of one record (empty-name records get `None`).
+    #[must_use]
+    pub fn signature(&self, r: &PersonRecord) -> Option<Vec<u64>> {
+        let text = blocking_text(r);
+        if text.is_empty() {
+            return None;
+        }
+        let shingles = qgrams(&text, self.cfg.shingle_q);
+        if shingles.is_empty() {
+            return None;
+        }
+        let mut sig = vec![u64::MAX; self.cfg.num_hashes];
+        for sh in &shingles {
+            for (i, slot) in sig.iter_mut().enumerate() {
+                let h = hash_shingle(sh, i as u64);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        Some(sig)
+    }
+
+    /// Group records into LSH buckets: for each band, records whose band
+    /// slice hashes equally land in one bucket. Returns the buckets (each a
+    /// sorted list of record ids), deduplicated, larger than 1, and capped at
+    /// `max_block_size`.
+    #[must_use]
+    pub fn blocks(&self, ds: &Dataset) -> Vec<Vec<RecordId>> {
+        let rows = self.cfg.num_hashes / self.cfg.bands;
+        let mut buckets: HashMap<(usize, u64), Vec<RecordId>> = HashMap::new();
+
+        for r in &ds.records {
+            let Some(sig) = self.signature(r) else { continue };
+            for band in 0..self.cfg.bands {
+                let slice = &sig[band * rows..(band + 1) * rows];
+                let mut h = splitmix64(band as u64 ^ 0xabcd_ef01);
+                for &v in slice {
+                    h = splitmix64(h ^ v);
+                }
+                buckets.entry((band, h)).or_default().push(r.id);
+            }
+        }
+
+        let mut blocks: Vec<Vec<RecordId>> = buckets
+            .into_values()
+            .filter(|b| b.len() > 1 && b.len() <= self.cfg.max_block_size)
+            .collect();
+        for b in &mut blocks {
+            b.sort_unstable();
+        }
+        blocks.sort_unstable();
+        blocks.dedup();
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateKind, Gender, Role};
+
+    fn ds_with_names(names: &[(&str, &str)]) -> Dataset {
+        let mut ds = Dataset::new("t");
+        for (f, s) in names {
+            let c = ds.push_certificate(CertificateKind::Death, 1890);
+            let r = ds.push_record(c, Role::DeathDeceased, Gender::Female);
+            ds.record_mut(r).first_name = Some((*f).to_string());
+            ds.record_mut(r).surname = Some((*s).to_string());
+        }
+        ds
+    }
+
+    #[test]
+    fn identical_names_share_every_band() {
+        let blocker = LshBlocker::new(LshConfig::default());
+        let ds = ds_with_names(&[("mary", "macleod"), ("mary", "macleod")]);
+        let sig0 = blocker.signature(&ds.records[0]).unwrap();
+        let sig1 = blocker.signature(&ds.records[1]).unwrap();
+        assert_eq!(sig0, sig1);
+        let blocks = blocker.blocks(&ds);
+        assert!(blocks.iter().any(|b| b.len() == 2));
+    }
+
+    #[test]
+    fn similar_names_collide_somewhere() {
+        let blocker = LshBlocker::new(LshConfig::default());
+        let ds = ds_with_names(&[("mary", "macdonald"), ("mary", "mcdonald")]);
+        let blocks = blocker.blocks(&ds);
+        assert!(
+            blocks.iter().any(|b| b.len() == 2),
+            "near-duplicate names should share a bucket"
+        );
+    }
+
+    #[test]
+    fn dissimilar_names_do_not_collide() {
+        let blocker = LshBlocker::new(LshConfig::default());
+        let ds = ds_with_names(&[("angus", "nicolson"), ("euphemia", "tweedie")]);
+        let blocks = blocker.blocks(&ds);
+        assert!(blocks.is_empty(), "{blocks:?}");
+    }
+
+    #[test]
+    fn missing_names_are_skipped() {
+        let mut ds = Dataset::new("t");
+        let c = ds.push_certificate(CertificateKind::Death, 1890);
+        ds.push_record(c, Role::DeathDeceased, Gender::Female);
+        let blocker = LshBlocker::new(LshConfig::default());
+        assert!(blocker.signature(&ds.records[0]).is_none());
+        assert!(blocker.blocks(&ds).is_empty());
+    }
+
+    #[test]
+    fn surname_only_still_blocks() {
+        let blocker = LshBlocker::new(LshConfig::default());
+        let mut ds = ds_with_names(&[("x", "macleod"), ("x", "macleod")]);
+        ds.record_mut(RecordId(0)).first_name = None;
+        ds.record_mut(RecordId(1)).first_name = None;
+        assert!(blocker.signature(&ds.records[0]).is_some());
+    }
+
+    #[test]
+    fn oversized_buckets_dropped() {
+        let cfg = LshConfig { max_block_size: 3, ..LshConfig::default() };
+        let blocker = LshBlocker::new(cfg);
+        let names: Vec<(&str, &str)> = (0..10).map(|_| ("mary", "macleod")).collect();
+        let ds = ds_with_names(&names);
+        assert!(blocker.blocks(&ds).is_empty(), "10 identical records exceed cap 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn invalid_banding_panics() {
+        let _ = LshBlocker::new(LshConfig { num_hashes: 10, bands: 3, ..LshConfig::default() });
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Avalanche spot-check: one flipped input bit changes many output bits.
+        let d = (splitmix64(0) ^ splitmix64(1)).count_ones();
+        assert!(d > 16, "poor mixing: {d} bits");
+    }
+
+    #[test]
+    fn blocking_text_separator_prevents_aliasing() {
+        let ds = ds_with_names(&[("ann", "x"), ("an", "nx")]);
+        assert_ne!(blocking_text(&ds.records[0]), blocking_text(&ds.records[1]));
+    }
+}

@@ -1,0 +1,178 @@
+//! Candidate-pair generation with role/gender compatibility filtering.
+//!
+//! After LSH bucketing, record pairs inside each block are emitted only when
+//! they could possibly co-refer: the paper "first filters record pairs of
+//! impossible role types, such as pairs with different genders" (§4.1).
+
+use std::collections::BTreeSet;
+
+use snaps_model::{Dataset, PersonRecord, RecordId, Role};
+
+use crate::minhash::{LshBlocker, LshConfig};
+
+/// An unordered candidate pair `(min, max)`.
+pub type RecordPair = (RecordId, RecordId);
+
+/// Whether two roles could ever belong to one individual.
+///
+/// A person has exactly one birth and one death, so two `Bb` records (or two
+/// `Dd` records) can never co-refer. Roles whose implied genders conflict
+/// (e.g. `Bm` and `Bf`) are impossible too. Everything else is allowed —
+/// including `Mb`-`Mb` (remarriage) and `Bm`-`Bm` (several children).
+#[must_use]
+pub fn plausible_role_pair(a: Role, b: Role) -> bool {
+    if (a == Role::BirthBaby && b == Role::BirthBaby)
+        || (a == Role::DeathDeceased && b == Role::DeathDeceased)
+    {
+        return false;
+    }
+    match (a.implied_gender(), b.implied_gender()) {
+        (Some(ga), Some(gb)) => ga == gb,
+        _ => true,
+    }
+}
+
+/// Whether two *records* pass the cheap compatibility pre-filter:
+/// different certificates, plausible roles, compatible recorded genders,
+/// and (when both known) birth-year estimates within `year_tolerance`.
+#[must_use]
+pub fn compatible_records(a: &PersonRecord, b: &PersonRecord, year_tolerance: i32) -> bool {
+    if a.certificate == b.certificate {
+        return false;
+    }
+    if !plausible_role_pair(a.role, b.role) {
+        return false;
+    }
+    if !a.gender.compatible(b.gender) {
+        return false;
+    }
+    if let (Some(ya), Some(yb)) = (a.estimated_birth_year(), b.estimated_birth_year()) {
+        if (ya - yb).abs() > year_tolerance {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generate the deduplicated candidate pair set of a dataset using LSH
+/// blocking followed by the compatibility pre-filter.
+///
+/// `year_tolerance` bounds how far apart two birth-year estimates may be
+/// (ages on historical certificates are unreliable; ±10 years is generous
+/// without admitting whole-population cross products).
+#[must_use]
+pub fn candidate_pairs(ds: &Dataset, cfg: LshConfig, year_tolerance: i32) -> Vec<RecordPair> {
+    let blocker = LshBlocker::new(cfg);
+    let mut pairs: BTreeSet<RecordPair> = BTreeSet::new();
+    for block in blocker.blocks(ds) {
+        for (i, &ra) in block.iter().enumerate() {
+            for &rb in &block[i + 1..] {
+                let (a, b) = (ds.record(ra), ds.record(rb));
+                if compatible_records(a, b, year_tolerance) {
+                    pairs.insert((ra.min(rb), ra.max(rb)));
+                }
+            }
+        }
+    }
+    pairs.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateKind, Gender};
+
+    #[test]
+    fn impossible_principal_pairs() {
+        assert!(!plausible_role_pair(Role::BirthBaby, Role::BirthBaby));
+        assert!(!plausible_role_pair(Role::DeathDeceased, Role::DeathDeceased));
+        assert!(plausible_role_pair(Role::BirthBaby, Role::DeathDeceased));
+        assert!(plausible_role_pair(Role::MarriageBride, Role::MarriageBride));
+    }
+
+    #[test]
+    fn gender_conflicts() {
+        assert!(!plausible_role_pair(Role::BirthMother, Role::BirthFather));
+        assert!(!plausible_role_pair(Role::MarriageBride, Role::MarriageGroom));
+        assert!(plausible_role_pair(Role::BirthMother, Role::DeathMother));
+        assert!(plausible_role_pair(Role::BirthBaby, Role::BirthMother));
+    }
+
+    fn two_record_ds(
+        role_a: Role,
+        gender_a: Gender,
+        role_b: Role,
+        gender_b: Gender,
+    ) -> Dataset {
+        let mut ds = Dataset::new("t");
+        let kind = |r: Role| r.certificate_kind();
+        let c1 = ds.push_certificate(kind(role_a), 1880);
+        ds.push_record(c1, role_a, gender_a);
+        let c2 = ds.push_certificate(kind(role_b), 1890);
+        ds.push_record(c2, role_b, gender_b);
+        ds
+    }
+
+    #[test]
+    fn same_certificate_never_compatible() {
+        let mut ds = Dataset::new("t");
+        let c = ds.push_certificate(CertificateKind::Birth, 1880);
+        ds.push_record(c, Role::BirthBaby, Gender::Female);
+        ds.push_record(c, Role::BirthMother, Gender::Female);
+        assert!(!compatible_records(&ds.records[0], &ds.records[1], 10));
+    }
+
+    #[test]
+    fn recorded_gender_conflict_filtered() {
+        let ds = two_record_ds(
+            Role::BirthBaby,
+            Gender::Male,
+            Role::DeathDeceased,
+            Gender::Female,
+        );
+        assert!(!compatible_records(&ds.records[0], &ds.records[1], 10));
+    }
+
+    #[test]
+    fn year_tolerance() {
+        let mut ds = two_record_ds(
+            Role::BirthBaby,
+            Gender::Male,
+            Role::DeathDeceased,
+            Gender::Male,
+        );
+        // Baby born 1880; deceased aged 60 in 1890 → born 1830: 50 years apart.
+        ds.record_mut(RecordId(1)).age = Some(60);
+        assert!(!compatible_records(&ds.records[0], &ds.records[1], 10));
+        // Deceased aged 8 in 1890 → born 1882: 2 years apart.
+        ds.record_mut(RecordId(1)).age = Some(8);
+        assert!(compatible_records(&ds.records[0], &ds.records[1], 10));
+    }
+
+    #[test]
+    fn candidate_pairs_end_to_end() {
+        let mut ds = Dataset::new("t");
+        let c1 = ds.push_certificate(CertificateKind::Birth, 1880);
+        let bb = ds.push_record(c1, Role::BirthBaby, Gender::Female);
+        ds.record_mut(bb).first_name = Some("mary".into());
+        ds.record_mut(bb).surname = Some("macleod".into());
+        let c2 = ds.push_certificate(CertificateKind::Death, 1895);
+        let dd = ds.push_record(c2, Role::DeathDeceased, Gender::Female);
+        ds.record_mut(dd).first_name = Some("mary".into());
+        ds.record_mut(dd).surname = Some("macleod".into());
+        ds.record_mut(dd).age = Some(15);
+        let c3 = ds.push_certificate(CertificateKind::Death, 1899);
+        let other = ds.push_record(c3, Role::DeathDeceased, Gender::Male);
+        ds.record_mut(other).first_name = Some("farquhar".into());
+        ds.record_mut(other).surname = Some("tweedie".into());
+
+        let pairs = candidate_pairs(&ds, LshConfig::default(), 10);
+        assert_eq!(pairs, vec![(bb, dd)]);
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_pairs() {
+        let ds = Dataset::new("t");
+        assert!(candidate_pairs(&ds, LshConfig::default(), 10).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! American Soundex phonetic encoding.
+//!
+//! A deterministic, cheap alternative blocking key: names that sound alike
+//! (`taylor`/`tayler`, `macleod`/`mcleod` after prefix folding) map to the
+//! same 4-character code. Used as a fallback blocker and as a recall oracle
+//! in LSH tests.
+
+/// Soundex digit for a letter, or `None` for vowels/h/w/y.
+fn digit(c: char) -> Option<u8> {
+    match c {
+        'b' | 'f' | 'p' | 'v' => Some(1),
+        'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => Some(2),
+        'd' | 't' => Some(3),
+        'l' => Some(4),
+        'm' | 'n' => Some(5),
+        'r' => Some(6),
+        _ => None,
+    }
+}
+
+/// The classic 4-character Soundex code (`letter + 3 digits`) of a name.
+///
+/// Non-alphabetic characters are ignored; an empty or non-alphabetic input
+/// returns `None`.
+///
+/// # Examples
+///
+/// ```
+/// use snaps_blocking::soundex::soundex;
+/// assert_eq!(soundex("robert"), Some("r163".to_string()));
+/// assert_eq!(soundex("rupert"), Some("r163".to_string()));
+/// assert_eq!(soundex("tayler"), soundex("taylor"));
+/// assert_eq!(soundex(""), None);
+/// ```
+#[must_use]
+pub fn soundex(name: &str) -> Option<String> {
+    let letters: Vec<char> = name
+        .chars()
+        .flat_map(char::to_lowercase)
+        .filter(|c| c.is_ascii_alphabetic())
+        .collect();
+    let &first = letters.first()?;
+
+    let mut code = String::with_capacity(4);
+    code.push(first);
+
+    // `h` and `w` are transparent: consonants separated only by them still
+    // merge. Vowels (and y) break runs.
+    let mut last_digit = digit(first);
+    for &c in &letters[1..] {
+        match c {
+            'h' | 'w' => continue,
+            _ => {
+                let d = digit(c);
+                if let Some(d) = d {
+                    if last_digit != Some(d) {
+                        code.push(char::from(b'0' + d));
+                        if code.len() == 4 {
+                            break;
+                        }
+                    }
+                }
+                last_digit = d;
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// Soundex with the `mac`/`mc` prefix folded away — Scottish surname pools
+/// are dominated by the prefix, which otherwise collapses every `mac*` name
+/// into a handful of codes.
+#[must_use]
+pub fn scottish_soundex(name: &str) -> Option<String> {
+    let stripped = name
+        .strip_prefix("mac")
+        .or_else(|| name.strip_prefix("mc"))
+        .filter(|rest| rest.len() >= 3)
+        .unwrap_or(name);
+    soundex(stripped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex("robert").as_deref(), Some("r163"));
+        assert_eq!(soundex("rupert").as_deref(), Some("r163"));
+        assert_eq!(soundex("ashcraft").as_deref(), Some("a261"));
+        assert_eq!(soundex("ashcroft").as_deref(), Some("a261"));
+        assert_eq!(soundex("tymczak").as_deref(), Some("t522"));
+        assert_eq!(soundex("pfister").as_deref(), Some("p236"));
+    }
+
+    #[test]
+    fn padding_short_names() {
+        assert_eq!(soundex("lee").as_deref(), Some("l000"));
+        assert_eq!(soundex("ann").as_deref(), Some("a500"));
+    }
+
+    #[test]
+    fn empty_and_nonalpha() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex("o'neil"), soundex("oneil"));
+    }
+
+    #[test]
+    fn variants_collide() {
+        assert_eq!(soundex("tayler"), soundex("taylor"));
+        assert_eq!(soundex("smith"), soundex("smyth"));
+        // Thompson (t512) and Thomson (t525) genuinely differ in Soundex:
+        // the 'p' contributes a digit.
+        assert_ne!(soundex("thomson"), soundex("thompson"));
+    }
+
+    #[test]
+    fn scottish_prefix_folding() {
+        assert_eq!(scottish_soundex("macdonald"), scottish_soundex("mcdonald"));
+        assert_ne!(
+            scottish_soundex("macdonald"),
+            scottish_soundex("macleod"),
+            "folding must keep distinct stems distinct"
+        );
+        // Short remainders are left alone ("mack" stays intact).
+        assert_eq!(scottish_soundex("mack"), soundex("mack"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("Robert"), soundex("robert"));
+    }
+}

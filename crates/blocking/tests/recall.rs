@@ -1,0 +1,55 @@
+//! Blocking recall against ground truth: LSH must retain the overwhelming
+//! majority of true matching pairs while shrinking the comparison space.
+
+use snaps_blocking::{candidate_pairs, LshConfig};
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_model::RoleCategory;
+
+#[test]
+fn lsh_keeps_most_true_bp_bp_links_and_prunes_space() {
+    let data = generate(&DatasetProfile::ios().scaled(0.08), 42);
+    let ds = &data.dataset;
+    let truth = &data.truth;
+
+    let pairs = candidate_pairs(ds, LshConfig::default(), 12);
+    let pair_set: std::collections::BTreeSet<_> = pairs.iter().copied().collect();
+
+    let true_links = truth.true_links(ds, RoleCategory::BirthParent, RoleCategory::BirthParent);
+    assert!(!true_links.is_empty(), "fixture must contain true links");
+
+    let found = true_links.iter().filter(|p| pair_set.contains(p)).count();
+    let recall = found as f64 / true_links.len() as f64;
+    assert!(
+        recall > 0.80,
+        "blocking recall too low: {found}/{} = {recall:.3}",
+        true_links.len()
+    );
+
+    // The candidate space must be far below the full cross product.
+    let n = ds.len() as f64;
+    let full = n * (n - 1.0) / 2.0;
+    // On this deliberately tiny, highly ambiguous fixture (a few hundred
+    // records drawn from a small name pool) collisions are dense; on
+    // full-profile data the ratio is far smaller.
+    assert!(
+        (pairs.len() as f64) < full * 0.10,
+        "blocking barely prunes: {} of {full}",
+        pairs.len()
+    );
+}
+
+#[test]
+fn candidate_pairs_are_sorted_unique_and_compatible() {
+    let data = generate(&DatasetProfile::ios().scaled(0.04), 7);
+    let ds = &data.dataset;
+    let pairs = candidate_pairs(ds, LshConfig::default(), 12);
+    for w in pairs.windows(2) {
+        assert!(w[0] < w[1], "sorted and unique");
+    }
+    for &(a, b) in &pairs {
+        assert!(a < b);
+        let (ra, rb) = (ds.record(a), ds.record(b));
+        assert_ne!(ra.certificate, rb.certificate);
+        assert!(ra.gender.compatible(rb.gender));
+    }
+}

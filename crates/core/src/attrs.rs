@@ -1,0 +1,297 @@
+//! QID attribute comparison for relational nodes.
+//!
+//! Attributes are categorised as **Must** (first name), **Core** (surname),
+//! and **Extra** (address, occupation, birth-year estimate) following the
+//! paper's §4.2.3: Must attributes are complete and stable, Core slightly
+//! less so, Extra attributes are sparse and volatile but corroborative.
+//!
+//! Comparison operates on *value sets* rather than single values: under
+//! PROP-A a record is compared against every value its entity has
+//! accumulated, so a maiden and a married surname both participate and the
+//! best-matching pair wins (paper §4.2.1, Fig. 4b).
+
+use snaps_model::PersonRecord;
+use snaps_strsim::geo::{distance_similarity, GeoPoint};
+use snaps_strsim::numeric::max_abs_diff_similarity;
+use snaps_strsim::qgram::bigram_jaccard;
+use snaps_strsim::variants::{first_name_similarity, surname_similarity};
+use snaps_strsim::Similarity;
+
+/// The QID attributes compared between records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Attr {
+    /// First name — Must.
+    FirstName,
+    /// Surname — Core.
+    Surname,
+    /// Address (geocoded or textual) — Extra.
+    Address,
+    /// Occupation — Extra.
+    Occupation,
+    /// Estimated birth year — Extra.
+    BirthYear,
+}
+
+/// The paper's attribute categories (§4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Highly complete, stable attributes; a merge requires strong agreement.
+    Must,
+    /// Important but mutable attributes (surnames change at marriage).
+    Core,
+    /// Sparse, corroborative attributes.
+    Extra,
+}
+
+impl Attr {
+    /// The category an attribute belongs to.
+    #[must_use]
+    pub fn category(self) -> Category {
+        match self {
+            Attr::FirstName => Category::Must,
+            Attr::Surname => Category::Core,
+            Attr::Address | Attr::Occupation | Attr::BirthYear => Category::Extra,
+        }
+    }
+}
+
+/// The comparable values of one side of a relational node: either a single
+/// record's values, or (under PROP-A) every value of the record's entity.
+#[derive(Debug, Clone, Default)]
+pub struct AttrValues {
+    /// First names.
+    pub first_names: Vec<String>,
+    /// Surnames (maiden and married forms accumulate here).
+    pub surnames: Vec<String>,
+    /// Address strings.
+    pub addresses: Vec<String>,
+    /// Geocoded coordinates, parallel in spirit to `addresses`.
+    pub geos: Vec<GeoPoint>,
+    /// Occupations.
+    pub occupations: Vec<String>,
+    /// Birth-year estimates.
+    pub birth_years: Vec<i32>,
+}
+
+impl AttrValues {
+    /// The values of a single record.
+    #[must_use]
+    pub fn from_record(r: &PersonRecord) -> Self {
+        let mut v = Self::default();
+        v.push_record(r);
+        v
+    }
+
+    /// Accumulate a record's values (entity views call this per member).
+    pub fn push_record(&mut self, r: &PersonRecord) {
+        let add = |vec: &mut Vec<String>, val: &Option<String>| {
+            if let Some(s) = val {
+                if !s.is_empty() && !vec.iter().any(|x| x == s) {
+                    vec.push(s.clone());
+                }
+            }
+        };
+        add(&mut self.first_names, &r.first_name);
+        add(&mut self.surnames, &r.surname);
+        add(&mut self.addresses, &r.address);
+        add(&mut self.occupations, &r.occupation);
+        if let Some(g) = r.geo {
+            let p: GeoPoint = g.into();
+            if !self.geos.iter().any(|q| *q == p) {
+                self.geos.push(p);
+            }
+        }
+        if let Some(y) = r.estimated_birth_year() {
+            if !self.birth_years.contains(&y) {
+                self.birth_years.push(y);
+            }
+        }
+    }
+}
+
+/// Pairwise attribute similarities between two value sets.
+///
+/// `None` means the attribute is not comparable (missing on at least one
+/// side); `Some(s)` is the best-pair similarity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AttrSims {
+    /// Best first-name similarity (variant-aware Jaro-Winkler).
+    pub first_name: Option<Similarity>,
+    /// Best surname similarity (variant-aware Jaro-Winkler).
+    pub surname: Option<Similarity>,
+    /// Best address similarity (geographic when both sides are geocoded,
+    /// bigram Jaccard otherwise).
+    pub address: Option<Similarity>,
+    /// Best occupation similarity (bigram Jaccard).
+    pub occupation: Option<Similarity>,
+    /// Best birth-year similarity (max-absolute-difference, 5-year window).
+    pub birth_year: Option<Similarity>,
+}
+
+/// Best similarity across the cross product of two string sets.
+fn best_string_sim(
+    a: &[String],
+    b: &[String],
+    sim: impl Fn(&str, &str) -> Similarity,
+) -> Option<Similarity> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut best: f64 = 0.0;
+    for x in a {
+        for y in b {
+            best = best.max(sim(x, y));
+            if best >= 1.0 {
+                return Some(1.0);
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Compare two value sets attribute by attribute.
+///
+/// `geo_max_km` is the distance at which geocoded address similarity decays
+/// to zero; it is only consulted when both sides carry coordinates.
+#[must_use]
+pub fn compare(a: &AttrValues, b: &AttrValues, geo_max_km: f64) -> AttrSims {
+    let address = if !a.geos.is_empty() && !b.geos.is_empty() {
+        let mut best: f64 = 0.0;
+        for &p in &a.geos {
+            for &q in &b.geos {
+                best = best.max(distance_similarity(p, q, geo_max_km));
+            }
+        }
+        Some(best)
+    } else {
+        best_string_sim(&a.addresses, &b.addresses, bigram_jaccard)
+    };
+
+    let birth_year = if a.birth_years.is_empty() || b.birth_years.is_empty() {
+        None
+    } else {
+        let mut best: f64 = 0.0;
+        for &x in &a.birth_years {
+            for &y in &b.birth_years {
+                best = best.max(max_abs_diff_similarity(f64::from(x), f64::from(y), 5.0));
+            }
+        }
+        Some(best)
+    };
+
+    AttrSims {
+        first_name: best_string_sim(&a.first_names, &b.first_names, first_name_similarity),
+        surname: best_string_sim(&a.surnames, &b.surnames, surname_similarity),
+        address,
+        occupation: best_string_sim(&a.occupations, &b.occupations, bigram_jaccard),
+        birth_year,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateId, Gender, RecordId, Role};
+
+    fn record(first: Option<&str>, sur: Option<&str>) -> PersonRecord {
+        let mut r = PersonRecord::new(
+            RecordId(0),
+            CertificateId(0),
+            Role::DeathDeceased,
+            Gender::Female,
+            1890,
+        );
+        r.first_name = first.map(str::to_string);
+        r.surname = sur.map(str::to_string);
+        r
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(Attr::FirstName.category(), Category::Must);
+        assert_eq!(Attr::Surname.category(), Category::Core);
+        assert_eq!(Attr::Address.category(), Category::Extra);
+        assert_eq!(Attr::BirthYear.category(), Category::Extra);
+    }
+
+    #[test]
+    fn from_record_collects_values() {
+        let mut r = record(Some("mary"), Some("smith"));
+        r.address = Some("portree".into());
+        r.age = Some(30);
+        let v = AttrValues::from_record(&r);
+        assert_eq!(v.first_names, vec!["mary"]);
+        assert_eq!(v.birth_years, vec![1860]);
+        assert_eq!(v.addresses, vec!["portree"]);
+    }
+
+    #[test]
+    fn push_record_dedupes() {
+        let r = record(Some("mary"), Some("smith"));
+        let mut v = AttrValues::from_record(&r);
+        v.push_record(&r);
+        assert_eq!(v.first_names.len(), 1);
+        assert_eq!(v.surnames.len(), 1);
+    }
+
+    #[test]
+    fn missing_attribute_is_incomparable() {
+        let a = AttrValues::from_record(&record(Some("mary"), None));
+        let b = AttrValues::from_record(&record(Some("mary"), Some("smith")));
+        let s = compare(&a, &b, 25.0);
+        assert_eq!(s.first_name, Some(1.0));
+        assert_eq!(s.surname, None);
+        assert_eq!(s.occupation, None);
+    }
+
+    #[test]
+    fn best_pair_wins_prop_a_semantics() {
+        // Entity has both the maiden name (smith) and married name (taylor);
+        // comparing to a record written "tayler" must use the married form.
+        let mut a = AttrValues::from_record(&record(Some("mary"), Some("smith")));
+        a.surnames.push("taylor".into());
+        let b = AttrValues::from_record(&record(Some("mary"), Some("tayler")));
+        let s = compare(&a, &b, 25.0);
+        assert!(s.surname.unwrap() > 0.93, "uses (tayler,taylor), not (tayler,smith)");
+    }
+
+    #[test]
+    fn geocoded_addresses_use_distance() {
+        let mut a = AttrValues::from_record(&record(Some("x"), Some("y")));
+        let mut b = a.clone();
+        a.geos.push(GeoPoint::new(57.4, -6.2));
+        b.geos.push(GeoPoint::new(57.4, -6.2));
+        // Conflicting address *strings* are irrelevant once geo is present.
+        a.addresses.push("completely different".into());
+        b.addresses.push("something else".into());
+        let s = compare(&a, &b, 25.0);
+        assert_eq!(s.address, Some(1.0));
+    }
+
+    #[test]
+    fn textual_addresses_use_jaccard() {
+        let mut a = AttrValues::default();
+        let mut b = AttrValues::default();
+        a.addresses.push("portree".into());
+        b.addresses.push("portree".into());
+        assert_eq!(compare(&a, &b, 25.0).address, Some(1.0));
+    }
+
+    #[test]
+    fn birth_year_window() {
+        let mut a = AttrValues::default();
+        let mut b = AttrValues::default();
+        a.birth_years.push(1860);
+        b.birth_years.push(1862);
+        let s = compare(&a, &b, 25.0).birth_year.unwrap();
+        assert!((s - 0.6).abs() < 1e-12);
+        b.birth_years.push(1860); // best pair wins
+        assert_eq!(compare(&a, &b, 25.0).birth_year, Some(1.0));
+    }
+
+    #[test]
+    fn empty_sets_compare_to_nothing() {
+        let s = compare(&AttrValues::default(), &AttrValues::default(), 25.0);
+        assert_eq!(s, AttrSims::default());
+    }
+}

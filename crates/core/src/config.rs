@@ -1,0 +1,252 @@
+//! Pipeline configuration: the paper's parameters and ablation switches.
+
+use snaps_blocking::LshConfig;
+
+/// When may a *single* relational node (a lone record pair with no
+/// relationship support) merge?
+///
+/// The paper's merging loop runs "until either we find a node group that
+/// satisfies the constraints … and merge it, or until the node group becomes
+/// a pair"; whether a lone node may merge is underspecified. With the
+/// spouse-context veto carrying the precision burden, `Always` measures
+/// best and is the default; `OriginalOnly`/`Never` trade recall for
+/// precision on data without spouse information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingletonMergePolicy {
+    /// Any single node clearing `t_m` merges (most recall, least precision).
+    Always,
+    /// Only groups that never had relationship support may merge as a single
+    /// node; a group whittled down by REL stops (the paper's literal rule).
+    OriginalOnly,
+    /// Merges always require at least two agreeing nodes (most precision).
+    Never,
+}
+
+/// Which of the four key techniques are enabled.
+///
+/// All enabled is full SNAPS; each switch corresponds to one column of the
+/// paper's Table 3 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ablation {
+    /// PROP-A + PROP-C: global propagation of QID values and constraints.
+    /// The paper ablates them together "since both propagate link decisions".
+    pub prop: bool,
+    /// AMB: disambiguation similarity (off ⇒ `γ = 1`, pure QID similarity).
+    pub amb: bool,
+    /// REL: adaptive group merging with weakest-node removal.
+    pub rel: bool,
+    /// REF: dynamic cluster refinement (density / bridge splitting).
+    pub refine: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Self { prop: true, amb: true, rel: true, refine: true }
+    }
+}
+
+impl Ablation {
+    /// Full SNAPS (everything on).
+    #[must_use]
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Table 3 column "without PROP-A and PROP-C".
+    #[must_use]
+    pub fn without_prop() -> Self {
+        Self { prop: false, ..Self::default() }
+    }
+
+    /// Table 3 column "without AMB".
+    #[must_use]
+    pub fn without_amb() -> Self {
+        Self { amb: false, ..Self::default() }
+    }
+
+    /// Table 3 column "without REL".
+    #[must_use]
+    pub fn without_rel() -> Self {
+        Self { rel: false, ..Self::default() }
+    }
+
+    /// Table 3 column "without REF".
+    #[must_use]
+    pub fn without_ref() -> Self {
+        Self { refine: false, ..Self::default() }
+    }
+}
+
+/// All tunables of the offline pipeline, defaulting to the paper's settings
+/// (§10 "Implementation and Parameter Settings").
+#[derive(Debug, Clone)]
+pub struct SnapsConfig {
+    /// Bootstrap threshold `t_b`: groups whose average atomic similarity
+    /// reaches this are merged in the bootstrap phase.
+    pub t_bootstrap: f64,
+    /// Merge threshold `t_m` on the combined similarity (Eq. 3).
+    pub t_merge: f64,
+    /// Atomic-node threshold `t_a`: name value pairs below this similarity
+    /// contribute no atomic node.
+    pub t_atomic: f64,
+    /// Weight `γ` between attribute similarity and disambiguation (Eq. 3).
+    pub gamma: f64,
+    /// Cluster-size threshold `t_n`: larger clusters are split at bridges.
+    pub t_cluster_size: usize,
+    /// Density threshold `t_d`: sparser clusters shed their weakest record.
+    pub t_density: f64,
+    /// Must-category weight `w_M` (first name).
+    pub w_must: f64,
+    /// Core-category weight `w_C` (surname).
+    pub w_core: f64,
+    /// Extra-category weight `w_E` (address, occupation, birth-year).
+    pub w_extra: f64,
+    /// Maximum merge passes (each pass drains the whole priority queue;
+    /// passes stop early once a pass merges nothing).
+    pub max_passes: usize,
+    /// Birth-year estimate tolerance used in blocking and constraints.
+    pub year_tolerance: i32,
+    /// Distance horizon (km) at which geocoded address similarity reaches 0.
+    pub geo_max_km: f64,
+    /// LSH blocking configuration.
+    pub lsh: LshConfig,
+    /// Whether single relational nodes may merge without group support.
+    pub singleton_policy: SingletonMergePolicy,
+    /// Extra similarity demanded of a merge carried by a *single* node
+    /// (no agreeing group member): the effective threshold becomes
+    /// `t_merge + singleton_margin`. Unsupported merges are the main source
+    /// of namesake false positives; a small margin prices in the missing
+    /// relationship evidence.
+    pub singleton_margin: f64,
+    /// Spouse-context veto: grossly dissimilar spouses on the two
+    /// certificates block a merge (negative relationship evidence, part of
+    /// SNAPS's constraint propagation; Dong-style baselines disable it).
+    pub spouse_veto: bool,
+    /// Group-average merging: decisions are taken per certificate-pair
+    /// group (SNAPS) rather than per individual node (Dong et al.).
+    pub group_merging: bool,
+    /// Technique switches.
+    pub ablation: Ablation,
+}
+
+impl Default for SnapsConfig {
+    fn default() -> Self {
+        Self {
+            t_bootstrap: 0.95,
+            t_merge: 0.85,
+            t_atomic: 0.9,
+            gamma: 0.6,
+            t_cluster_size: 15,
+            t_density: 0.3,
+            w_must: 0.5,
+            w_core: 0.3,
+            w_extra: 0.2,
+            max_passes: 4,
+            year_tolerance: 12,
+            geo_max_km: 5.0,
+            lsh: LshConfig::default(),
+            singleton_policy: SingletonMergePolicy::Always,
+            singleton_margin: 0.05,
+            spouse_veto: true,
+            group_merging: true,
+            ablation: Ablation::default(),
+        }
+    }
+}
+
+impl SnapsConfig {
+    /// Effective `γ`: ablating AMB sets `γ = 1` exactly as the paper does
+    /// ("we removed the disambiguation similarity … by setting γ = 1").
+    #[must_use]
+    pub fn effective_gamma(&self) -> f64 {
+        if self.ablation.amb {
+            self.gamma
+        } else {
+            1.0
+        }
+    }
+
+    /// Validate parameter ranges.
+    ///
+    /// # Errors
+    /// Returns a description of the first out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let unit = [
+            ("t_bootstrap", self.t_bootstrap),
+            ("t_merge", self.t_merge),
+            ("t_atomic", self.t_atomic),
+            ("gamma", self.gamma),
+            ("t_density", self.t_density),
+        ];
+        for (name, v) in unit {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if self.w_must <= 0.0 || self.w_core < 0.0 || self.w_extra < 0.0 {
+            return Err("category weights must be non-negative with w_must > 0".into());
+        }
+        if self.max_passes == 0 {
+            return Err("max_passes must be at least 1".into());
+        }
+        if self.geo_max_km <= 0.0 {
+            return Err("geo_max_km must be positive".into());
+        }
+        if !(0.0..=0.5).contains(&self.singleton_margin) {
+            return Err(format!(
+                "singleton_margin must be in [0, 0.5], got {}",
+                self.singleton_margin
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SnapsConfig::default();
+        assert_eq!(c.t_bootstrap, 0.95);
+        assert_eq!(c.t_merge, 0.85);
+        assert_eq!(c.t_atomic, 0.9);
+        assert_eq!(c.gamma, 0.6);
+        assert_eq!(c.t_cluster_size, 15);
+        assert_eq!(c.t_density, 0.3);
+        assert_eq!((c.w_must, c.w_core, c.w_extra), (0.5, 0.3, 0.2));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn ablation_switches() {
+        assert!(!Ablation::without_prop().prop);
+        assert!(Ablation::without_prop().amb);
+        assert!(!Ablation::without_amb().amb);
+        assert!(!Ablation::without_rel().rel);
+        assert!(!Ablation::without_ref().refine);
+        assert_eq!(Ablation::full(), Ablation::default());
+    }
+
+    #[test]
+    fn amb_off_forces_gamma_one() {
+        let mut c = SnapsConfig::default();
+        assert_eq!(c.effective_gamma(), 0.6);
+        c.ablation.amb = false;
+        assert_eq!(c.effective_gamma(), 1.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = SnapsConfig::default();
+        c.t_merge = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = SnapsConfig::default();
+        c.w_must = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = SnapsConfig::default();
+        c.max_passes = 0;
+        assert!(c.validate().is_err());
+    }
+}

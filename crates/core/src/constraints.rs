@@ -1,0 +1,219 @@
+//! Temporal and link constraints (PROP-C).
+//!
+//! Constraints encode domain knowledge about vital records (paper §4.2.2):
+//!
+//! * **Temporal constraints** — e.g. "the time difference between a birth
+//!   baby (`Bb`) becoming a birth mother (`Bm`) should be at least 15 and at
+//!   most around 55 years". We implement these uniformly as a
+//!   *birth-year interval* each record implies for its person; co-referring
+//!   records must have intersecting intervals. Death additionally bounds all
+//!   presence-requiring events.
+//! * **Link constraints** — one-to-one role cardinalities: a person has
+//!   exactly one birth (`Bb`) and one death (`Dd`) record, and two records on
+//!   the same certificate always denote different people.
+//!
+//! Because constraints are checked between *entity summaries* (see
+//! [`crate::entity::EntityInfo`]), a constraint established by one link
+//! automatically propagates to all future link decisions — the paper's
+//! "global propagation of constraints".
+
+use snaps_model::{PersonRecord, Role};
+
+/// An inclusive year interval; `lo > hi` encodes the empty interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YearInterval {
+    /// Earliest admissible year.
+    pub lo: i32,
+    /// Latest admissible year.
+    pub hi: i32,
+}
+
+impl YearInterval {
+    /// The unbounded interval.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self { lo: i32::MIN / 2, hi: i32::MAX / 2 }
+    }
+
+    /// Whether the interval contains no years.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Intersection of two intervals.
+    #[must_use]
+    pub fn intersect(self, other: Self) -> Self {
+        Self { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+}
+
+/// Maximum plausible lifespan used in constraint windows.
+pub const MAX_LIFESPAN: i32 = 105;
+/// Minimum / maximum age at which a woman appears as a mother (paper §4.2.2).
+pub const MOTHER_AGE: (i32, i32) = (15, 55);
+/// Minimum / maximum age at which a man appears as a father.
+pub const FATHER_AGE: (i32, i32) = (15, 70);
+/// Minimum / maximum age at marriage.
+pub const MARRIAGE_AGE: (i32, i32) = (15, 75);
+/// Slack (years) allowed on stated ages when deriving intervals.
+pub const AGE_SLACK: i32 = 3;
+
+/// The birth-year interval a record implies for the person it describes.
+///
+/// This is the uniform encoding of the paper's role-pair temporal
+/// constraints: two records can only co-refer if their intervals intersect.
+#[must_use]
+pub fn birth_interval(r: &PersonRecord) -> YearInterval {
+    let y = r.event_year;
+    // A stated age pins the birth year tightly (with slack for the era's
+    // unreliable ages).
+    if let Some(age) = r.age {
+        let est = y - i32::from(age);
+        return YearInterval { lo: est - AGE_SLACK, hi: est + AGE_SLACK };
+    }
+    match r.role {
+        Role::BirthBaby => YearInterval { lo: y - 1, hi: y },
+        Role::BirthMother | Role::DeathMother => {
+            // Mothers of a child born/died around year y. For death
+            // certificates the child's own birth year is unknown here, so the
+            // window widens by a possible lifetime of the child.
+            let slack = if r.role == Role::DeathMother { MAX_LIFESPAN } else { 0 };
+            YearInterval { lo: y - slack - MOTHER_AGE.1, hi: y - MOTHER_AGE.0 }
+        }
+        Role::BirthFather | Role::DeathFather => {
+            let slack = if r.role == Role::DeathFather { MAX_LIFESPAN } else { 0 };
+            YearInterval { lo: y - slack - FATHER_AGE.1, hi: y - FATHER_AGE.0 }
+        }
+        Role::DeathDeceased => YearInterval { lo: y - MAX_LIFESPAN, hi: y },
+        Role::DeathSpouse => YearInterval { lo: y - MAX_LIFESPAN, hi: y - MARRIAGE_AGE.0 },
+        Role::MarriageBride | Role::MarriageGroom => {
+            YearInterval { lo: y - MARRIAGE_AGE.1, hi: y - MARRIAGE_AGE.0 }
+        }
+        Role::MarriageBrideMother
+        | Role::MarriageBrideFather
+        | Role::MarriageGroomMother
+        | Role::MarriageGroomFather => {
+            // Parent of someone marrying in year y: the child is 15–75, the
+            // parent 15–70 older again.
+            YearInterval { lo: y - MARRIAGE_AGE.1 - FATHER_AGE.1, hi: y - MARRIAGE_AGE.0 - 15 }
+        }
+    }
+}
+
+/// Whether a record requires its person to be alive in the event year.
+///
+/// Principals, birth parents, and the informant spouse must be alive;
+/// *mentioned* relatives (parents on death/marriage certificates) may already
+/// be dead. A father may die shortly before the birth, hence one year of
+/// slack handled by the caller.
+#[must_use]
+pub fn requires_alive(role: Role) -> bool {
+    matches!(
+        role,
+        Role::BirthBaby
+            | Role::BirthMother
+            | Role::BirthFather
+            | Role::DeathDeceased
+            | Role::MarriageBride
+            | Role::MarriageGroom
+    )
+}
+
+/// The latest year a record asserts its person was alive, if any.
+#[must_use]
+pub fn alive_year(r: &PersonRecord) -> Option<i32> {
+    requires_alive(r.role).then_some(r.event_year)
+}
+
+/// Posthumous slack: a `Bf` can have died up to this many years before the
+/// event (a child born after the father's death).
+#[must_use]
+pub fn posthumous_slack(role: Role) -> i32 {
+    match role {
+        Role::BirthFather => 1,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateId, Gender, RecordId};
+
+    fn rec(role: Role, year: i32, age: Option<u16>) -> PersonRecord {
+        let mut r =
+            PersonRecord::new(RecordId(0), CertificateId(0), role, Gender::Unknown, year);
+        r.age = age;
+        r
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let a = YearInterval { lo: 1850, hi: 1870 };
+        let b = YearInterval { lo: 1860, hi: 1890 };
+        assert_eq!(a.intersect(b), YearInterval { lo: 1860, hi: 1870 });
+        let c = YearInterval { lo: 1880, hi: 1890 };
+        assert!(a.intersect(c).is_empty());
+        assert!(!YearInterval::unbounded().is_empty());
+    }
+
+    #[test]
+    fn baby_interval_is_tight() {
+        let i = birth_interval(&rec(Role::BirthBaby, 1880, None));
+        assert_eq!(i, YearInterval { lo: 1879, hi: 1880 });
+    }
+
+    #[test]
+    fn mother_age_window_matches_paper() {
+        // "at least 15 and at most around 55 years" between Bb and Bm.
+        let baby = birth_interval(&rec(Role::BirthBaby, 1880, None));
+        let mum_of_1895 = birth_interval(&rec(Role::BirthMother, 1895, None));
+        // Born 1880, mother in 1895 → age 15: allowed (boundary).
+        assert!(!baby.intersect(mum_of_1895).is_empty());
+        // (1894 would be age 14-15 but still intersects via the one-year
+        // registration slack on Bb; 1893 is unambiguously too early.)
+        let mum_of_1893 = birth_interval(&rec(Role::BirthMother, 1893, None));
+        assert!(baby.intersect(mum_of_1893).is_empty());
+        let mum_of_1936 = birth_interval(&rec(Role::BirthMother, 1936, None));
+        // Age 56: impossible.
+        assert!(baby.intersect(mum_of_1936).is_empty());
+    }
+
+    #[test]
+    fn stated_age_pins_interval() {
+        let i = birth_interval(&rec(Role::DeathDeceased, 1890, Some(40)));
+        assert_eq!(i, YearInterval { lo: 1847, hi: 1853 });
+    }
+
+    #[test]
+    fn deceased_without_age_spans_lifetime() {
+        let i = birth_interval(&rec(Role::DeathDeceased, 1890, None));
+        assert_eq!(i, YearInterval { lo: 1890 - MAX_LIFESPAN, hi: 1890 });
+    }
+
+    #[test]
+    fn death_mother_window_is_loose() {
+        // A Dm's child may have died at any age, so the window is wide but
+        // still excludes people born after the event.
+        let i = birth_interval(&rec(Role::DeathMother, 1890, None));
+        assert!(i.lo < 1750);
+        assert_eq!(i.hi, 1890 - MOTHER_AGE.0);
+    }
+
+    #[test]
+    fn alive_requirements() {
+        assert!(requires_alive(Role::BirthBaby));
+        assert!(requires_alive(Role::MarriageGroom));
+        assert!(!requires_alive(Role::DeathMother));
+        assert!(!requires_alive(Role::DeathSpouse));
+        assert_eq!(alive_year(&rec(Role::BirthMother, 1880, None)), Some(1880));
+        assert_eq!(alive_year(&rec(Role::DeathFather, 1880, None)), None);
+    }
+
+    #[test]
+    fn father_posthumous_slack() {
+        assert_eq!(posthumous_slack(Role::BirthFather), 1);
+        assert_eq!(posthumous_slack(Role::BirthMother), 0);
+    }
+}

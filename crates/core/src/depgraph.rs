@@ -1,0 +1,283 @@
+//! Dependency-graph generation (paper §4.1, Fig. 3).
+//!
+//! Candidate record pairs from blocking become *relational nodes*. The
+//! sufficiently similar QID value pairs behind each node are its *atomic
+//! nodes* (shared between relational nodes, counted for the paper's
+//! `|N_A|`). Relational nodes between the same two certificates form a
+//! *group*: the group's members are exactly the nodes connected by the
+//! certificates' relationship structure — if the baby of birth certificate
+//! `B` is the deceased of death certificate `D`, then `(Bm, Dm)`, `(Bf, Df)`
+//! … all live in group `(B, D)`.
+
+use std::collections::{HashMap, HashSet};
+
+use snaps_model::{CertificateId, Dataset, RecordId};
+
+use crate::attrs::{compare, AttrSims, AttrValues};
+use crate::config::SnapsConfig;
+
+/// Index of a relational node in [`DependencyGraph::nodes`].
+pub type NodeId = usize;
+/// Index of a group in [`DependencyGraph::groups`].
+pub type GroupId = usize;
+
+/// A relational node: a candidate pair of records that may co-refer.
+#[derive(Debug, Clone)]
+pub struct RelationalNode {
+    /// First record (lower id).
+    pub a: RecordId,
+    /// Second record (higher id).
+    pub b: RecordId,
+    /// Cached record-vs-record attribute similarities (the node's atomic
+    /// nodes before any value propagation).
+    pub base_sims: AttrSims,
+    /// The certificate-pair group this node belongs to.
+    pub group: GroupId,
+}
+
+/// A group of relational nodes between one pair of certificates.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The two certificates (unordered, stored `(min, max)`).
+    pub certs: (CertificateId, CertificateId),
+    /// Member node ids.
+    pub nodes: Vec<NodeId>,
+}
+
+/// The dependency graph: relational nodes, their groups, and atomic-node
+/// statistics.
+#[derive(Debug)]
+pub struct DependencyGraph {
+    /// All relational nodes.
+    pub nodes: Vec<RelationalNode>,
+    /// All certificate-pair groups.
+    pub groups: Vec<Group>,
+    /// Distinct atomic nodes (`|N_A|`): unique (attribute, value-pair)
+    /// combinations that cleared their inclusion threshold.
+    pub atomic_count: usize,
+}
+
+impl DependencyGraph {
+    /// Build the graph from blocking's candidate pairs.
+    ///
+    /// Pairs are expected pre-filtered for role/gender compatibility (see
+    /// [`snaps_blocking::candidate_pairs`]); each is compared once and the
+    /// per-attribute similarities cached on its node.
+    #[must_use]
+    pub fn build(ds: &Dataset, pairs: &[(RecordId, RecordId)], cfg: &SnapsConfig) -> Self {
+        let mut nodes = Vec::with_capacity(pairs.len());
+        let mut groups: Vec<Group> = Vec::new();
+        let mut group_index: HashMap<(CertificateId, CertificateId), GroupId> = HashMap::new();
+        let mut atomics: HashSet<(u8, u64)> = HashSet::new();
+
+        // Pre-extract every record's value view once.
+        let views: Vec<AttrValues> =
+            ds.records.iter().map(AttrValues::from_record).collect();
+
+        for &(a, b) in pairs {
+            let (a, b) = (a.min(b), a.max(b));
+            let base_sims = compare(&views[a.index()], &views[b.index()], cfg.geo_max_km);
+
+            let ra = ds.record(a);
+            let rb = ds.record(b);
+            let key = (
+                ra.certificate.min(rb.certificate),
+                ra.certificate.max(rb.certificate),
+            );
+            let group = *group_index.entry(key).or_insert_with(|| {
+                groups.push(Group { certs: key, nodes: Vec::new() });
+                groups.len() - 1
+            });
+            let node_id = nodes.len();
+            groups[group].nodes.push(node_id);
+
+            count_atomics(&mut atomics, ds, a, b, &base_sims, cfg);
+            nodes.push(RelationalNode { a, b, base_sims, group });
+        }
+
+        Self { nodes, groups, atomic_count: atomics.len() }
+    }
+
+    /// Number of relational nodes (`|N_R|`).
+    #[must_use]
+    pub fn relational_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges in the dependency graph: one edge per atomic node
+    /// attached to a relational node (comparable attribute) plus the
+    /// relationship edges connecting the nodes of each group (Fig. 3).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        let atomic_edges: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let s = &n.base_sims;
+                [s.first_name, s.surname, s.address, s.occupation, s.birth_year]
+                    .iter()
+                    .filter(|v| v.is_some())
+                    .count()
+            })
+            .sum();
+        let relationship_edges: usize =
+            self.groups.iter().map(|g| g.nodes.len() * (g.nodes.len() - 1) / 2).sum();
+        atomic_edges + relationship_edges
+    }
+}
+
+/// Record the distinct atomic nodes a relational node introduces.
+///
+/// Atomic nodes are value *pairs*; we key them by a hash of
+/// `(attribute, min(value), max(value))` to keep the set compact.
+fn count_atomics(
+    atomics: &mut HashSet<(u8, u64)>,
+    ds: &Dataset,
+    a: RecordId,
+    b: RecordId,
+    sims: &AttrSims,
+    cfg: &SnapsConfig,
+) {
+    use snaps_blocking::minhash::splitmix64;
+    let (ra, rb) = (ds.record(a), ds.record(b));
+    let mut hash_pair = |tag: u8, va: &str, vb: &str| {
+        let (x, y) = if va <= vb { (va, vb) } else { (vb, va) };
+        let mut h = splitmix64(u64::from(tag) ^ 0x5eed);
+        for byte in x.as_bytes() {
+            h = splitmix64(h ^ u64::from(*byte));
+        }
+        h = splitmix64(h ^ 0xff);
+        for byte in y.as_bytes() {
+            h = splitmix64(h ^ u64::from(*byte));
+        }
+        atomics.insert((tag, h));
+    };
+
+    if let (Some(s), Some(va), Some(vb)) = (sims.first_name, &ra.first_name, &rb.first_name) {
+        if s >= cfg.t_atomic {
+            hash_pair(0, va, vb);
+        }
+    }
+    if let (Some(s), Some(va), Some(vb)) = (sims.surname, &ra.surname, &rb.surname) {
+        if s >= cfg.t_atomic {
+            hash_pair(1, va, vb);
+        }
+    }
+    if let (Some(s), Some(va), Some(vb)) = (sims.address, &ra.address, &rb.address) {
+        // Extra attributes use a looser inclusion threshold: they only
+        // corroborate, so weak evidence still forms a (low-similarity) node.
+        if s >= 0.5 {
+            hash_pair(2, va, vb);
+        }
+    }
+    if let (Some(s), Some(va), Some(vb)) = (sims.occupation, &ra.occupation, &rb.occupation) {
+        if s >= 0.5 {
+            hash_pair(3, va, vb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateKind, Gender, Role};
+
+    /// Birth certificate B and death certificate D of the same family, plus
+    /// an unrelated death certificate D2.
+    fn fixture() -> Dataset {
+        let mut ds = Dataset::new("t");
+        let b = ds.push_certificate(CertificateKind::Birth, 1880);
+        for (role, f, s) in [
+            (Role::BirthBaby, "flora", "macrae"),
+            (Role::BirthMother, "mary", "macrae"),
+            (Role::BirthFather, "john", "macrae"),
+        ] {
+            let g = role.implied_gender().unwrap_or(Gender::Female);
+            let r = ds.push_record(b, role, g);
+            ds.record_mut(r).first_name = Some(f.into());
+            ds.record_mut(r).surname = Some(s.into());
+        }
+        let d = ds.push_certificate(CertificateKind::Death, 1885);
+        for (role, f, s) in [
+            (Role::DeathDeceased, "flora", "macrae"),
+            (Role::DeathMother, "mary", "macrae"),
+            (Role::DeathFather, "john", "macrae"),
+        ] {
+            let g = role.implied_gender().unwrap_or(Gender::Female);
+            let r = ds.push_record(d, role, g);
+            ds.record_mut(r).first_name = Some(f.into());
+            ds.record_mut(r).surname = Some(s.into());
+        }
+        let d2 = ds.push_certificate(CertificateKind::Death, 1899);
+        let r = ds.push_record(d2, Role::DeathDeceased, Gender::Male);
+        ds.record_mut(r).first_name = Some("john".into());
+        ds.record_mut(r).surname = Some("macrae".into());
+        ds
+    }
+
+    #[test]
+    fn groups_are_per_certificate_pair() {
+        let ds = fixture();
+        // Candidate pairs: the B↔D family nodes and Bf↔Dd2.
+        let pairs = vec![
+            (RecordId(0), RecordId(3)), // Bb-Dd
+            (RecordId(1), RecordId(4)), // Bm-Dm
+            (RecordId(2), RecordId(5)), // Bf-Df
+            (RecordId(2), RecordId(6)), // Bf-Dd2
+        ];
+        let dg = DependencyGraph::build(&ds, &pairs, &SnapsConfig::default());
+        assert_eq!(dg.relational_count(), 4);
+        assert_eq!(dg.groups.len(), 2);
+        let g0 = &dg.groups[dg.nodes[0].group];
+        assert_eq!(g0.nodes.len(), 3, "family nodes share the (B,D) group");
+        let g1 = &dg.groups[dg.nodes[3].group];
+        assert_eq!(g1.nodes.len(), 1);
+    }
+
+    #[test]
+    fn base_sims_cached() {
+        let ds = fixture();
+        let pairs = vec![(RecordId(1), RecordId(4))];
+        let dg = DependencyGraph::build(&ds, &pairs, &SnapsConfig::default());
+        let sims = dg.nodes[0].base_sims;
+        assert_eq!(sims.first_name, Some(1.0));
+        assert_eq!(sims.surname, Some(1.0));
+    }
+
+    #[test]
+    fn atomic_nodes_deduplicated() {
+        let ds = fixture();
+        // Two nodes sharing the same surname value pair (macrae, macrae) and
+        // the same first-name pair (john, john).
+        let pairs = vec![(RecordId(2), RecordId(5)), (RecordId(2), RecordId(6))];
+        let dg = DependencyGraph::build(&ds, &pairs, &SnapsConfig::default());
+        // Distinct atomic nodes: (john,john) and (macrae,macrae) — shared by
+        // both relational nodes.
+        assert_eq!(dg.atomic_count, 2);
+    }
+
+    #[test]
+    fn dissimilar_values_create_no_atomic_nodes() {
+        let ds = fixture();
+        let pairs = vec![(RecordId(0), RecordId(6))]; // flora vs john
+        let dg = DependencyGraph::build(&ds, &pairs, &SnapsConfig::default());
+        assert_eq!(dg.atomic_count, 1, "only the surname pair survives t_a");
+    }
+
+    #[test]
+    fn node_records_normalised_order() {
+        let ds = fixture();
+        let pairs = vec![(RecordId(4), RecordId(1))];
+        let dg = DependencyGraph::build(&ds, &pairs, &SnapsConfig::default());
+        assert!(dg.nodes[0].a < dg.nodes[0].b);
+    }
+
+    #[test]
+    fn empty_pairs_empty_graph() {
+        let ds = fixture();
+        let dg = DependencyGraph::build(&ds, &[], &SnapsConfig::default());
+        assert_eq!(dg.relational_count(), 0);
+        assert_eq!(dg.groups.len(), 0);
+        assert_eq!(dg.atomic_count, 0);
+    }
+}

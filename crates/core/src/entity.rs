@@ -1,0 +1,409 @@
+//! Entity store: record clusters with propagated values and constraints.
+//!
+//! Every record starts as a singleton entity. Merging a relational node
+//! unions the two records' entities and fuses their summaries: accumulated
+//! QID values (the substrate of **PROP-A**) and constraint state — birth-year
+//! interval, death year, role cardinalities, source certificates (the
+//! substrate of **PROP-C**).
+//!
+//! The accepted links are kept explicitly so that the refinement step
+//! (**REF**) can drop individual links and the store can be rebuilt from
+//! what survives.
+
+use std::collections::BTreeSet;
+
+use snaps_graph::UnionFind;
+use snaps_model::{CertificateId, Dataset, Gender, PersonRecord, RecordId};
+
+use crate::attrs::AttrValues;
+use crate::constraints::{alive_year, birth_interval, posthumous_slack, YearInterval};
+
+/// An unordered accepted link between two records.
+pub type Link = (RecordId, RecordId);
+
+/// Summary of one entity: everything needed for PROP-A value propagation and
+/// PROP-C constraint validation, mergeable in `O(size of smaller)`.
+#[derive(Debug, Clone)]
+pub struct EntityInfo {
+    /// Member records.
+    pub records: Vec<RecordId>,
+    /// Certificates the members come from (two records of one certificate
+    /// can never co-refer).
+    pub certs: BTreeSet<CertificateId>,
+    /// Accumulated QID values of all members.
+    pub values: AttrValues,
+    /// Entity gender (first recorded non-unknown gender).
+    pub gender: Gender,
+    /// Intersection of all members' implied birth-year intervals.
+    pub birth: YearInterval,
+    /// Number of `Bb` records (must stay ≤ 1).
+    pub births: u8,
+    /// Number of `Dd` records (must stay ≤ 1).
+    pub deaths: u8,
+    /// Death year, once a `Dd` record is a member.
+    pub death_year: Option<i32>,
+    /// Latest year any member requires the person alive.
+    pub max_alive_year: Option<i32>,
+    /// Maximum posthumous slack among members requiring aliveness
+    /// (a `Bf` may predecease the birth by a year).
+    pub alive_slack: i32,
+}
+
+impl EntityInfo {
+    /// Summary of a single record.
+    #[must_use]
+    pub fn from_record(r: &PersonRecord) -> Self {
+        Self {
+            records: vec![r.id],
+            certs: BTreeSet::from([r.certificate]),
+            values: AttrValues::from_record(r),
+            gender: r.gender,
+            birth: birth_interval(r),
+            births: u8::from(r.role == snaps_model::Role::BirthBaby),
+            deaths: u8::from(r.role == snaps_model::Role::DeathDeceased),
+            death_year: (r.role == snaps_model::Role::DeathDeceased).then_some(r.event_year),
+            max_alive_year: alive_year(r),
+            alive_slack: posthumous_slack(r.role),
+        }
+    }
+
+    /// Whether merging `self` and `other` would violate any link or temporal
+    /// constraint (PROP-C).
+    #[must_use]
+    pub fn compatible(&self, other: &EntityInfo) -> bool {
+        // Link constraints: one birth, one death, disjoint certificates.
+        if self.births + other.births > 1 || self.deaths + other.deaths > 1 {
+            return false;
+        }
+        if !self.certs.is_disjoint(&other.certs) {
+            return false;
+        }
+        // Gender.
+        if !self.gender.compatible(other.gender) {
+            return false;
+        }
+        // Temporal: birth intervals must intersect.
+        if self.birth.intersect(other.birth).is_empty() {
+            return false;
+        }
+        // Temporal: nothing requiring aliveness may postdate the death year
+        // (beyond the posthumous slack).
+        let death = self.death_year.or(other.death_year);
+        if let Some(d) = death {
+            for (alive, slack) in [
+                (self.max_alive_year, self.alive_slack),
+                (other.max_alive_year, other.alive_slack),
+            ] {
+                if let Some(a) = alive {
+                    if a > d + slack {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Fuse another entity's summary into this one.
+    pub fn merge_from(&mut self, other: &EntityInfo, ds: &Dataset) {
+        self.records.extend_from_slice(&other.records);
+        self.certs.extend(other.certs.iter().copied());
+        for &r in &other.records {
+            self.values.push_record(ds.record(r));
+        }
+        if self.gender == Gender::Unknown {
+            self.gender = other.gender;
+        }
+        self.birth = self.birth.intersect(other.birth);
+        self.births += other.births;
+        self.deaths += other.deaths;
+        self.death_year = self.death_year.or(other.death_year);
+        self.max_alive_year = match (self.max_alive_year, other.max_alive_year) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.alive_slack = self.alive_slack.max(other.alive_slack);
+    }
+}
+
+/// The mutable entity state of a resolution run.
+#[derive(Debug)]
+pub struct EntityStore {
+    uf: UnionFind,
+    /// `info[root]` holds the summary for the set rooted at `root`.
+    info: Vec<Option<EntityInfo>>,
+    /// Accepted links, in acceptance order.
+    links: Vec<Link>,
+    /// Set view of `links` for O(log n) dedup.
+    link_set: BTreeSet<Link>,
+}
+
+impl EntityStore {
+    /// One singleton entity per record.
+    #[must_use]
+    pub fn new(ds: &Dataset) -> Self {
+        let n = ds.len();
+        let mut info = Vec::with_capacity(n);
+        for r in &ds.records {
+            info.push(Some(EntityInfo::from_record(r)));
+        }
+        Self { uf: UnionFind::new(n), info, links: Vec::new(), link_set: BTreeSet::new() }
+    }
+
+    /// The entity summary containing record `r`.
+    pub fn info(&mut self, r: RecordId) -> &EntityInfo {
+        let root = self.uf.find(r.index());
+        self.info[root].as_ref().expect("root always has info")
+    }
+
+    /// Whether two records are already in the same entity.
+    pub fn same_entity(&mut self, a: RecordId, b: RecordId) -> bool {
+        self.uf.same_set(a.index(), b.index())
+    }
+
+    /// Number of records in the entity containing `r`.
+    pub fn entity_size(&mut self, r: RecordId) -> usize {
+        let root = self.uf.find(r.index());
+        self.info[root].as_ref().expect("root info").records.len()
+    }
+
+    /// Compare the accumulated value sets of two records' entities —
+    /// the PROP-A comparison (paper §4.2.1): every value either entity has
+    /// collected participates, and the best-matching pair per attribute wins.
+    pub fn compare_entities(
+        &mut self,
+        a: RecordId,
+        b: RecordId,
+        geo_max_km: f64,
+    ) -> crate::attrs::AttrSims {
+        let ra = self.uf.find(a.index());
+        let rb = self.uf.find(b.index());
+        let ia = self.info[ra].as_ref().expect("root info");
+        let ib = self.info[rb].as_ref().expect("root info");
+        crate::attrs::compare(&ia.values, &ib.values, geo_max_km)
+    }
+
+    /// Constraint check *without* propagation: only the two records' own
+    /// summaries are consulted (the "without PROP-A and PROP-C" ablation).
+    pub fn can_merge_records_only(&self, a: RecordId, b: RecordId, ds: &Dataset) -> bool {
+        let ia = EntityInfo::from_record(ds.record(a));
+        let ib = EntityInfo::from_record(ds.record(b));
+        ia.compatible(&ib)
+    }
+
+    /// Whether merging the entities of `a` and `b` satisfies all constraints.
+    pub fn can_merge(&mut self, a: RecordId, b: RecordId) -> bool {
+        let (ra, rb) = (self.uf.find(a.index()), self.uf.find(b.index()));
+        if ra == rb {
+            // Already one entity — trivially consistent.
+            return true;
+        }
+        let ia = self.info[ra].as_ref().expect("root info");
+        let ib = self.info[rb].as_ref().expect("root info");
+        ia.compatible(ib)
+    }
+
+    /// Merge the entities of `a` and `b`, recording the link.
+    ///
+    /// When the records already co-refer the link is *confirmed* — recorded
+    /// (once) without changing the clusters — and `false` is returned.
+    /// Confirmed links matter: the refinement step measures cluster density
+    /// over all classified-match links, including those between records an
+    /// earlier merge already united (a triangle-closing link is evidence the
+    /// cluster is sound).
+    ///
+    /// Note: `merge` deliberately does **not** enforce
+    /// [`EntityStore::can_merge`]. Constraint checking is the caller's
+    /// policy — the "without PROP-C" ablation intentionally merges what the
+    /// propagated constraints would reject, and the resulting degenerate
+    /// entity summaries (empty birth interval, two death records) are an
+    /// accurate model of what wrong links do.
+    pub fn merge(&mut self, a: RecordId, b: RecordId, ds: &Dataset) -> bool {
+        let (ra, rb) = (self.uf.find(a.index()), self.uf.find(b.index()));
+        if ra == rb {
+            let link = (a.min(b), a.max(b));
+            if self.link_set.insert(link) {
+                self.links.push(link);
+            }
+            return false;
+        }
+        self.uf.union(ra, rb);
+        let new_root = self.uf.find(ra);
+        let old_root = if new_root == ra { rb } else { ra };
+        let old = self.info[old_root].take().expect("losing root had info");
+        let target = self.info[new_root].as_mut().expect("winning root has info");
+        target.merge_from(&old, ds);
+        let link = (a.min(b), a.max(b));
+        if self.link_set.insert(link) {
+            self.links.push(link);
+        }
+        true
+    }
+
+    /// Accepted links so far.
+    #[must_use]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of merged links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All entities as record clusters (singletons included), deterministic.
+    pub fn clusters(&mut self) -> Vec<Vec<RecordId>> {
+        self.uf
+            .groups()
+            .into_iter()
+            .map(|g| g.into_iter().map(RecordId::from_index).collect())
+            .collect()
+    }
+
+    /// Rebuild the store keeping only `surviving` links (REF support).
+    ///
+    /// Links are re-applied in their original acceptance order without
+    /// re-checking constraints: every surviving link was accepted under the
+    /// caller's policy when it was made, and refinement only decides which
+    /// links *survive*, not whether they were admissible.
+    #[must_use]
+    pub fn rebuilt_from(&self, surviving: &BTreeSet<Link>, ds: &Dataset) -> EntityStore {
+        let mut fresh = EntityStore::new(ds);
+        for &(a, b) in &self.links {
+            if surviving.contains(&(a, b)) {
+                fresh.merge(a, b, ds);
+            }
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateKind, Role};
+
+    /// Dataset: two birth certificates (same parents), one death certificate
+    /// of the mother.
+    fn fixture() -> Dataset {
+        let mut ds = Dataset::new("t");
+        let b1 = ds.push_certificate(CertificateKind::Birth, 1880);
+        let bb1 = ds.push_record(b1, Role::BirthBaby, Gender::Female);
+        let bm1 = ds.push_record(b1, Role::BirthMother, Gender::Female);
+        let _bf1 = ds.push_record(b1, Role::BirthFather, Gender::Male);
+        let b2 = ds.push_certificate(CertificateKind::Birth, 1883);
+        let _bb2 = ds.push_record(b2, Role::BirthBaby, Gender::Male);
+        let bm2 = ds.push_record(b2, Role::BirthMother, Gender::Female);
+        let _bf2 = ds.push_record(b2, Role::BirthFather, Gender::Male);
+        let d = ds.push_certificate(CertificateKind::Death, 1890);
+        let dd = ds.push_record(d, Role::DeathDeceased, Gender::Female);
+        ds.record_mut(dd).age = Some(35);
+        ds.record_mut(bm1).first_name = Some("mary".into());
+        ds.record_mut(bm2).first_name = Some("mary".into());
+        ds.record_mut(bm1).surname = Some("smith".into());
+        ds.record_mut(bm2).surname = Some("taylor".into());
+        let _ = (bb1, bm1);
+        ds
+    }
+
+    #[test]
+    fn singletons_initially() {
+        let ds = fixture();
+        let mut store = EntityStore::new(&ds);
+        assert_eq!(store.clusters().len(), ds.len());
+        assert_eq!(store.link_count(), 0);
+    }
+
+    #[test]
+    fn merge_unions_and_propagates_values() {
+        let ds = fixture();
+        let mut store = EntityStore::new(&ds);
+        let (bm1, bm2) = (RecordId(1), RecordId(4));
+        assert!(store.can_merge(bm1, bm2));
+        assert!(store.merge(bm1, bm2, &ds));
+        assert!(store.same_entity(bm1, bm2));
+        // PROP-A substrate: both surnames are now entity values.
+        let info = store.info(bm1);
+        assert!(info.values.surnames.contains(&"smith".to_string()));
+        assert!(info.values.surnames.contains(&"taylor".to_string()));
+        assert_eq!(info.records.len(), 2);
+    }
+
+    #[test]
+    fn same_certificate_blocks_merge() {
+        let ds = fixture();
+        let mut store = EntityStore::new(&ds);
+        // Baby and mother of the same certificate.
+        assert!(!store.can_merge(RecordId(0), RecordId(1)));
+    }
+
+    #[test]
+    fn second_death_record_blocked() {
+        let mut ds = fixture();
+        let d2 = ds.push_certificate(CertificateKind::Death, 1895);
+        let dd2 = ds.push_record(d2, Role::DeathDeceased, Gender::Female);
+        ds.record_mut(dd2).age = Some(40);
+        let mut store = EntityStore::new(&ds);
+        let (bm1, dd1) = (RecordId(1), RecordId(6));
+        assert!(store.can_merge(bm1, dd1));
+        store.merge(bm1, dd1, &ds);
+        // The entity already died in 1890 — a second Dd is impossible.
+        assert!(!store.can_merge(bm1, dd2));
+    }
+
+    #[test]
+    fn death_blocks_later_activity() {
+        let mut ds = fixture();
+        // A third birth certificate after the mother's 1890 death.
+        let b3 = ds.push_certificate(CertificateKind::Birth, 1895);
+        let bm3 = ds.push_record(b3, Role::BirthMother, Gender::Female);
+        let mut store = EntityStore::new(&ds);
+        let dd = RecordId(6);
+        store.merge(RecordId(1), dd, &ds);
+        assert!(
+            !store.can_merge(RecordId(1), bm3),
+            "cannot bear a child five years after death"
+        );
+    }
+
+    #[test]
+    fn temporal_interval_propagates() {
+        let ds = fixture();
+        let mut store = EntityStore::new(&ds);
+        // Dd aged 35 in 1890 → born ~1855±3. A Bb of 1880 cannot be her.
+        assert!(!store.can_merge(RecordId(0), RecordId(6)));
+    }
+
+    #[test]
+    fn gender_conflict_blocks() {
+        let ds = fixture();
+        let mut store = EntityStore::new(&ds);
+        // Bm (female) vs Bf (male) of different certificates.
+        assert!(!store.can_merge(RecordId(1), RecordId(5)));
+    }
+
+    #[test]
+    fn rebuild_drops_links_and_cascades() {
+        let ds = fixture();
+        let mut store = EntityStore::new(&ds);
+        store.merge(RecordId(1), RecordId(4), &ds);
+        store.merge(RecordId(4), RecordId(6), &ds);
+        assert_eq!(store.info(RecordId(1)).records.len(), 3);
+        // Drop the first link; only the second survives.
+        let surviving: BTreeSet<Link> = [(RecordId(4), RecordId(6))].into();
+        let mut rebuilt = store.rebuilt_from(&surviving, &ds);
+        assert!(!rebuilt.same_entity(RecordId(1), RecordId(4)));
+        assert!(rebuilt.same_entity(RecordId(4), RecordId(6)));
+        assert_eq!(rebuilt.link_count(), 1);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let ds = fixture();
+        let mut store = EntityStore::new(&ds);
+        assert!(store.merge(RecordId(1), RecordId(4), &ds));
+        assert!(!store.merge(RecordId(1), RecordId(4), &ds), "second merge is a no-op");
+        assert_eq!(store.link_count(), 1, "confirming an existing link does not duplicate it");
+    }
+}

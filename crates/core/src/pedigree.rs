@@ -1,0 +1,342 @@
+//! Pedigree-graph generation (paper §5, Algorithm 1).
+//!
+//! The pedigree graph `G_P` has one node per resolved entity, carrying the
+//! QID values accumulated from the entity's records, and one edge per
+//! family relationship (*motherOf*, *fatherOf*, *spouseOf*, *childOf*)
+//! lifted from the certificates: when a certificate relates two records and
+//! both records have resolved entities, their entities are related.
+//!
+//! Algorithm 1 only adds entities of *merged* nodes; for a usable search
+//! service we default to including singleton entities as well (a person with
+//! one surviving record is still findable), controllable via
+//! [`PedigreeGraph::build_with`].
+
+use std::collections::BTreeSet;
+
+use snaps_model::{Dataset, EntityId, Gender, RecordId, Relationship, Role};
+
+use crate::pipeline::Resolution;
+
+/// One resolved entity as a pedigree-graph node.
+#[derive(Debug, Clone)]
+pub struct PedigreeEntity {
+    /// Dense entity id (index in [`PedigreeGraph::entities`]).
+    pub id: EntityId,
+    /// The records this entity was resolved from.
+    pub records: Vec<RecordId>,
+    /// All first names appearing across the records.
+    pub first_names: Vec<String>,
+    /// All surnames (maiden and married forms).
+    pub surnames: Vec<String>,
+    /// All addresses.
+    pub addresses: Vec<String>,
+    /// All occupations.
+    pub occupations: Vec<String>,
+    /// Geocoded coordinates of the entity's addresses (geocoded datasets).
+    pub geos: Vec<snaps_model::person::GeoCoord>,
+    /// Entity gender.
+    pub gender: Gender,
+    /// Birth year (from a `Bb` record, else the best estimate).
+    pub birth_year: Option<i32>,
+    /// Death year (from a `Dd` record).
+    pub death_year: Option<i32>,
+    /// Whether the entity has an actual birth (`Bb`) record.
+    pub has_birth_record: bool,
+    /// Whether the entity has an actual death (`Dd`) record.
+    pub has_death_record: bool,
+    /// Event years of the entity's records (for search by year range).
+    pub event_years: Vec<i32>,
+}
+
+impl PedigreeEntity {
+    /// Preferred display name: most recent first name + surname.
+    #[must_use]
+    pub fn display_name(&self) -> String {
+        format!(
+            "{} {}",
+            self.first_names.first().map_or("?", String::as_str),
+            self.surnames.first().map_or("?", String::as_str),
+        )
+    }
+}
+
+/// The pedigree graph: entities and their family relationships.
+#[derive(Debug, Clone, Default)]
+pub struct PedigreeGraph {
+    /// Entity nodes.
+    pub entities: Vec<PedigreeEntity>,
+    /// Directed relationship edges `(from, to, relationship)`.
+    pub edges: Vec<(EntityId, EntityId, Relationship)>,
+    /// Adjacency: `adjacency[e]` lists `(neighbour, relationship-from-e)`.
+    pub adjacency: Vec<Vec<(EntityId, Relationship)>>,
+    /// Entity of each record (`EntityId(u32::MAX)` = record excluded).
+    pub record_entity: Vec<EntityId>,
+}
+
+/// Sentinel for records without a pedigree entity (only occurs when
+/// singletons are excluded).
+pub const NO_ENTITY: EntityId = EntityId(u32::MAX);
+
+impl PedigreeGraph {
+    /// Build from a resolution, including singleton entities (the default
+    /// for the search service).
+    #[must_use]
+    pub fn build(ds: &Dataset, res: &Resolution) -> Self {
+        Self::build_with(ds, res, true)
+    }
+
+    /// Build from a resolution; `include_singletons = false` reproduces
+    /// Algorithm 1 literally (only entities of merged nodes appear).
+    #[must_use]
+    pub fn build_with(ds: &Dataset, res: &Resolution, include_singletons: bool) -> Self {
+        let mut graph = PedigreeGraph {
+            record_entity: vec![NO_ENTITY; ds.len()],
+            ..PedigreeGraph::default()
+        };
+
+        // Lines 1–6: one node per (merged) entity.
+        for cluster in &res.clusters {
+            if !include_singletons && cluster.len() < 2 {
+                continue;
+            }
+            let id = EntityId::from_index(graph.entities.len());
+            graph.entities.push(build_entity(ds, id, cluster));
+            for &r in cluster {
+                graph.record_entity[r.index()] = id;
+            }
+        }
+
+        // Lines 7–15: lift certificate relationships to entity edges.
+        let mut seen: BTreeSet<(EntityId, EntityId, Relationship)> = BTreeSet::new();
+        for (a, b, rel) in ds.all_relationships() {
+            let (ea, eb) = (graph.record_entity[a.index()], graph.record_entity[b.index()]);
+            if ea == NO_ENTITY || eb == NO_ENTITY || ea == eb {
+                continue;
+            }
+            if seen.insert((ea, eb, rel)) {
+                graph.edges.push((ea, eb, rel));
+            }
+        }
+
+        graph.adjacency = vec![Vec::new(); graph.entities.len()];
+        for &(a, b, rel) in &graph.edges {
+            graph.adjacency[a.index()].push((b, rel));
+        }
+        for adj in &mut graph.adjacency {
+            adj.sort_unstable();
+        }
+        graph
+    }
+
+    /// Number of entities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the graph has no entities.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Entity lookup.
+    #[must_use]
+    pub fn entity(&self, id: EntityId) -> &PedigreeEntity {
+        &self.entities[id.index()]
+    }
+
+    /// Neighbours of an entity with the relationship *from* the entity.
+    #[must_use]
+    pub fn neighbours(&self, id: EntityId) -> &[(EntityId, Relationship)] {
+        &self.adjacency[id.index()]
+    }
+
+    /// The entities with a given relationship from `id` (e.g. its mother:
+    /// edges point *from* the mother, so use [`Relationship::ChildOf`] from
+    /// the child or query the inverse direction).
+    #[must_use]
+    pub fn related(&self, id: EntityId, rel: Relationship) -> Vec<EntityId> {
+        self.neighbours(id)
+            .iter()
+            .filter(|&&(_, r)| r == rel)
+            .map(|&(e, _)| e)
+            .collect()
+    }
+}
+
+fn push_unique(vec: &mut Vec<String>, v: &Option<String>) {
+    if let Some(s) = v {
+        if !s.is_empty() && !vec.iter().any(|x| x == s) {
+            vec.push(s.clone());
+        }
+    }
+}
+
+fn build_entity(ds: &Dataset, id: EntityId, cluster: &[RecordId]) -> PedigreeEntity {
+    let mut e = PedigreeEntity {
+        id,
+        records: cluster.to_vec(),
+        first_names: Vec::new(),
+        surnames: Vec::new(),
+        addresses: Vec::new(),
+        occupations: Vec::new(),
+        geos: Vec::new(),
+        gender: Gender::Unknown,
+        birth_year: None,
+        death_year: None,
+        has_birth_record: false,
+        has_death_record: false,
+        event_years: Vec::new(),
+    };
+    let mut est_birth: Option<i32> = None;
+    for &rid in cluster {
+        let r = ds.record(rid);
+        push_unique(&mut e.first_names, &r.first_name);
+        push_unique(&mut e.surnames, &r.surname);
+        push_unique(&mut e.addresses, &r.address);
+        push_unique(&mut e.addresses, &ds.certificate(r.certificate).parish);
+        push_unique(&mut e.occupations, &r.occupation);
+        if let Some(g) = r.geo {
+            if !e.geos.iter().any(|x| x.lat == g.lat && x.lon == g.lon) {
+                e.geos.push(g);
+            }
+        }
+        if e.gender == Gender::Unknown {
+            e.gender = r.gender;
+        }
+        e.event_years.push(r.event_year);
+        match r.role {
+            Role::BirthBaby => {
+                e.birth_year = Some(r.event_year);
+                e.has_birth_record = true;
+            }
+            Role::DeathDeceased => {
+                e.death_year = Some(r.event_year);
+                e.has_death_record = true;
+            }
+            _ => {}
+        }
+        if est_birth.is_none() {
+            est_birth = r.estimated_birth_year();
+        }
+    }
+    if e.birth_year.is_none() {
+        e.birth_year = est_birth;
+    }
+    e.event_years.sort_unstable();
+    e.event_years.dedup();
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SnapsConfig;
+    use crate::pipeline::resolve;
+    use snaps_model::CertificateKind;
+
+    /// Family: birth of flora (1880) linked to her death (1885).
+    fn family() -> Dataset {
+        let mut ds = Dataset::new("t");
+        let b = ds.push_certificate(CertificateKind::Birth, 1880);
+        for (role, f) in [
+            (Role::BirthBaby, "flora"),
+            (Role::BirthMother, "effie"),
+            (Role::BirthFather, "torquil"),
+        ] {
+            let g = role.implied_gender().unwrap_or(Gender::Female);
+            let r = ds.push_record(b, role, g);
+            ds.record_mut(r).first_name = Some(f.into());
+            ds.record_mut(r).surname = Some("macrae".into());
+            ds.record_mut(r).address = Some("portree".into());
+        }
+        let d = ds.push_certificate(CertificateKind::Death, 1885);
+        for (role, f, age) in [
+            (Role::DeathDeceased, "flora", Some(5u16)),
+            (Role::DeathMother, "effie", None),
+            (Role::DeathFather, "torquil", None),
+        ] {
+            let g = role.implied_gender().unwrap_or(Gender::Female);
+            let r = ds.push_record(d, role, g);
+            ds.record_mut(r).first_name = Some(f.into());
+            ds.record_mut(r).surname = Some("macrae".into());
+            ds.record_mut(r).age = age;
+            ds.record_mut(r).address = Some("portree".into());
+        }
+        ds
+    }
+
+    #[test]
+    fn entities_carry_aggregate_values() {
+        let ds = family();
+        let res = resolve(&ds, &SnapsConfig::default());
+        let g = PedigreeGraph::build(&ds, &res);
+        let flora = g.record_entity[0];
+        let e = g.entity(flora);
+        assert_eq!(e.records.len(), 2, "birth and death records linked");
+        assert_eq!(e.birth_year, Some(1880));
+        assert_eq!(e.death_year, Some(1885));
+        assert_eq!(e.display_name(), "flora macrae");
+    }
+
+    #[test]
+    fn relationships_lifted_to_entities() {
+        let ds = family();
+        let res = resolve(&ds, &SnapsConfig::default());
+        let g = PedigreeGraph::build(&ds, &res);
+        let flora = g.record_entity[0];
+        let effie = g.record_entity[1];
+        // effie --MotherOf--> flora (asserted by both certificates,
+        // deduplicated to one edge).
+        let mothers_children = g.related(effie, Relationship::MotherOf);
+        assert_eq!(mothers_children, vec![flora]);
+        let count = g
+            .edges
+            .iter()
+            .filter(|&&(a, b, r)| a == effie && b == flora && r == Relationship::MotherOf)
+            .count();
+        assert_eq!(count, 1, "edge deduplicated across certificates");
+    }
+
+    #[test]
+    fn record_entity_mapping_total_with_singletons() {
+        let ds = family();
+        let res = resolve(&ds, &SnapsConfig::default());
+        let g = PedigreeGraph::build(&ds, &res);
+        assert!(g.record_entity.iter().all(|&e| e != NO_ENTITY));
+    }
+
+    #[test]
+    fn algorithm1_mode_excludes_singletons() {
+        let mut ds = family();
+        // An unlinked stranger.
+        let c = ds.push_certificate(CertificateKind::Death, 1899);
+        let r = ds.push_record(c, Role::DeathDeceased, Gender::Male);
+        ds.record_mut(r).first_name = Some("zachary".into());
+        ds.record_mut(r).surname = Some("ztranger".into());
+        let res = resolve(&ds, &SnapsConfig::default());
+        let strict = PedigreeGraph::build_with(&ds, &res, false);
+        assert_eq!(strict.record_entity[r.index()], NO_ENTITY);
+        let lax = PedigreeGraph::build(&ds, &res);
+        assert_ne!(lax.record_entity[r.index()], NO_ENTITY);
+        assert!(lax.len() > strict.len());
+    }
+
+    #[test]
+    fn no_self_edges() {
+        let ds = family();
+        let res = resolve(&ds, &SnapsConfig::default());
+        let g = PedigreeGraph::build(&ds, &res);
+        assert!(g.edges.iter().all(|&(a, b, _)| a != b));
+    }
+
+    #[test]
+    fn empty_resolution_empty_graph() {
+        let ds = Dataset::new("e");
+        let res = resolve(&ds, &SnapsConfig::default());
+        let g = PedigreeGraph::build(&ds, &res);
+        assert!(g.is_empty());
+        assert!(g.edges.is_empty());
+    }
+}

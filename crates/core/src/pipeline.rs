@@ -1,0 +1,310 @@
+//! The end-to-end offline resolution pipeline.
+//!
+//! [`resolve`] wires the stages of Fig. 1's offline component together:
+//! blocking → dependency graph → bootstrap → (merge pass → refine)* →
+//! final clusters, timing every phase for the scalability experiments
+//! (paper Tables 5 and 6).
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use snaps_blocking::candidate_pairs;
+use snaps_model::{Dataset, RecordId, RoleCategory};
+
+use crate::config::SnapsConfig;
+use crate::depgraph::DependencyGraph;
+use crate::entity::{EntityStore, Link};
+use crate::merge::{bootstrap, confirm_intra_entity_links, merge_pass, MergeContext};
+use crate::refine::refine;
+use crate::similarity::NameFreqs;
+
+/// Phase timings and graph sizes of one resolution run.
+#[derive(Debug, Clone, Default)]
+pub struct ResolutionStats {
+    /// Distinct atomic nodes `|N_A|`.
+    pub n_atomic: usize,
+    /// Relational nodes `|N_R|` (candidate pairs).
+    pub n_relational: usize,
+    /// Certificate-pair groups.
+    pub n_groups: usize,
+    /// Dependency-graph edges (atomic attachments + relationship edges).
+    pub n_edges: usize,
+    /// Time spent in blocking + atomic-node generation.
+    pub t_atomic: Duration,
+    /// Time spent building relational nodes and groups.
+    pub t_relational: Duration,
+    /// Time spent bootstrapping.
+    pub t_bootstrap: Duration,
+    /// Time spent in the iterative merging passes.
+    pub t_merge: Duration,
+    /// Time spent refining (REF).
+    pub t_refine: Duration,
+    /// Merge passes executed.
+    pub passes: usize,
+    /// Links created by bootstrapping.
+    pub bootstrap_links: usize,
+    /// Links surviving at the end.
+    pub final_links: usize,
+}
+
+impl ResolutionStats {
+    /// Total linkage time (bootstrap + merging), the quantity Table 6 scales.
+    #[must_use]
+    pub fn linkage_time(&self) -> Duration {
+        self.t_bootstrap + self.t_merge
+    }
+
+    /// Total offline time.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.t_atomic + self.t_relational + self.t_bootstrap + self.t_merge + self.t_refine
+    }
+}
+
+/// The outcome of offline resolution: record clusters (entities) and the
+/// links that built them.
+#[derive(Debug)]
+pub struct Resolution {
+    /// Record clusters, singletons included, deterministic order.
+    pub clusters: Vec<Vec<RecordId>>,
+    /// Accepted links.
+    pub links: Vec<Link>,
+    /// Phase statistics.
+    pub stats: ResolutionStats,
+}
+
+impl Resolution {
+    /// Entity index of every record (parallel to the dataset's record arena).
+    #[must_use]
+    pub fn record_cluster_index(&self, n_records: usize) -> Vec<usize> {
+        let mut idx = vec![usize::MAX; n_records];
+        for (c, cluster) in self.clusters.iter().enumerate() {
+            for &r in cluster {
+                idx[r.index()] = c;
+            }
+        }
+        idx
+    }
+
+    /// All predicted matching record pairs between two role categories —
+    /// the transitive closure within each cluster, restricted to pairs of
+    /// the requested categories on different certificates. This mirrors how
+    /// ground-truth links are counted (see `snaps_datagen::GroundTruth`).
+    #[must_use]
+    pub fn matched_pairs(
+        &self,
+        ds: &Dataset,
+        cat_a: RoleCategory,
+        cat_b: RoleCategory,
+    ) -> BTreeSet<(RecordId, RecordId)> {
+        let mut pairs = BTreeSet::new();
+        for cluster in &self.clusters {
+            for (i, &ra) in cluster.iter().enumerate() {
+                for &rb in &cluster[i + 1..] {
+                    let (a, b) = (ds.record(ra), ds.record(rb));
+                    if a.certificate == b.certificate {
+                        continue;
+                    }
+                    let (ca, cb) = (a.role.category(), b.role.category());
+                    if (ca == cat_a && cb == cat_b) || (ca == cat_b && cb == cat_a) {
+                        pairs.insert((ra.min(rb), ra.max(rb)));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Run the full offline SNAPS pipeline over a dataset.
+///
+/// # Panics
+/// Panics if the configuration is invalid (see [`SnapsConfig::validate`]).
+#[must_use]
+pub fn resolve(ds: &Dataset, cfg: &SnapsConfig) -> Resolution {
+    cfg.validate().expect("invalid SnapsConfig");
+    let mut stats = ResolutionStats::default();
+
+    // Blocking + atomic-node phase.
+    let t0 = Instant::now();
+    let pairs = candidate_pairs(ds, cfg.lsh, cfg.year_tolerance);
+    stats.t_atomic = t0.elapsed();
+
+    // Relational nodes and groups.
+    let t0 = Instant::now();
+    let dg = DependencyGraph::build(ds, &pairs, cfg);
+    stats.t_relational = t0.elapsed();
+    stats.n_atomic = dg.atomic_count;
+    stats.n_relational = dg.relational_count();
+    stats.n_groups = dg.groups.len();
+    stats.n_edges = dg.edge_count();
+
+    let freqs = NameFreqs::build(ds);
+    let ctx = MergeContext::new(ds, &freqs, cfg);
+    let mut store = EntityStore::new(ds);
+
+    // Bootstrap.
+    let t0 = Instant::now();
+    stats.bootstrap_links = bootstrap(&ctx, &dg, &mut store);
+    stats.t_bootstrap = t0.elapsed();
+
+    if cfg.ablation.refine {
+        let t0 = Instant::now();
+        confirm_intra_entity_links(&ctx, &dg, &mut store);
+        let (refined, _) = refine(&store, ds, cfg);
+        store = refined;
+        stats.t_refine += t0.elapsed();
+    }
+
+    // Iterative merging.
+    for _pass in 0..cfg.max_passes {
+        let t0 = Instant::now();
+        let merged = merge_pass(&ctx, &dg, &mut store);
+        stats.t_merge += t0.elapsed();
+        stats.passes += 1;
+
+        if cfg.ablation.refine {
+            let t0 = Instant::now();
+            confirm_intra_entity_links(&ctx, &dg, &mut store);
+            let (refined, _) = refine(&store, ds, cfg);
+            store = refined;
+            stats.t_refine += t0.elapsed();
+        }
+        if merged == 0 {
+            break;
+        }
+    }
+
+    stats.final_links = store.link_count();
+    Resolution { clusters: store.clusters(), links: store.links().to_vec(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateKind, Gender, Role};
+
+    /// A small but structured dataset: one family with two children, each
+    /// child with a birth and a death certificate; plus an unrelated family
+    /// with identical parent names in a different parish and generation.
+    fn village() -> Dataset {
+        let mut ds = Dataset::new("t");
+        let cert = |ds: &mut Dataset,
+                        kind: CertificateKind,
+                        year: i32,
+                        people: &[(Role, &str, &str, Option<u16>, &str)]| {
+            let c = ds.push_certificate(kind, year);
+            for &(role, f, s, age, addr) in people {
+                let g = role.implied_gender().unwrap_or(Gender::Female);
+                let r = ds.push_record(c, role, g);
+                let rec = ds.record_mut(r);
+                rec.first_name = Some(f.into());
+                rec.surname = Some(s.into());
+                rec.age = age;
+                rec.address = Some(addr.into());
+            }
+            c
+        };
+        // Family A in portree.
+        cert(&mut ds, CertificateKind::Birth, 1880, &[
+            (Role::BirthBaby, "flora", "macrae", None, "portree"),
+            (Role::BirthMother, "effie", "macrae", None, "portree"),
+            (Role::BirthFather, "torquil", "macrae", None, "portree"),
+        ]);
+        cert(&mut ds, CertificateKind::Birth, 1882, &[
+            (Role::BirthBaby, "hector", "macrae", None, "portree"),
+            (Role::BirthMother, "effie", "macrae", None, "portree"),
+            (Role::BirthFather, "torquil", "macrae", None, "portree"),
+        ]);
+        cert(&mut ds, CertificateKind::Death, 1885, &[
+            (Role::DeathDeceased, "flora", "macrae", Some(5), "portree"),
+            (Role::DeathMother, "effie", "macrae", None, "portree"),
+            (Role::DeathFather, "torquil", "macrae", None, "portree"),
+        ]);
+        // Family B in snizort, one generation later, same parent names.
+        cert(&mut ds, CertificateKind::Birth, 1899, &[
+            (Role::BirthBaby, "kate", "macrae", None, "snizort"),
+            (Role::BirthMother, "effie", "macrae", None, "snizort"),
+            (Role::BirthFather, "torquil", "macrae", None, "snizort"),
+        ]);
+        ds
+    }
+
+    #[test]
+    fn pipeline_links_family_and_respects_truth() {
+        let ds = village();
+        let res = resolve(&ds, &SnapsConfig::default());
+        let idx = res.record_cluster_index(ds.len());
+        // Parents of the two A births and the death certificate co-refer.
+        assert_eq!(idx[1], idx[4], "mother across births");
+        assert_eq!(idx[2], idx[5], "father across births");
+        assert_eq!(idx[1], idx[7], "mother on death certificate");
+        assert_eq!(idx[2], idx[8], "father on death certificate");
+        // Flora's birth and death co-refer; her sibling does not.
+        assert_eq!(idx[0], idx[6], "flora Bb-Dd");
+        assert_ne!(idx[3], idx[6], "hector is not flora");
+        assert_ne!(idx[0], idx[3], "siblings distinct");
+    }
+
+    #[test]
+    fn matched_pairs_by_category() {
+        let ds = village();
+        let res = resolve(&ds, &SnapsConfig::default());
+        let bp_bp = res.matched_pairs(&ds, RoleCategory::BirthParent, RoleCategory::BirthParent);
+        assert!(bp_bp.contains(&(RecordId(1), RecordId(4))));
+        assert!(bp_bp.contains(&(RecordId(2), RecordId(5))));
+        let bp_dp = res.matched_pairs(&ds, RoleCategory::BirthParent, RoleCategory::DeathParent);
+        assert!(bp_dp.contains(&(RecordId(1), RecordId(7))));
+        assert!(bp_dp.contains(&(RecordId(4), RecordId(7))));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let ds = village();
+        let res = resolve(&ds, &SnapsConfig::default());
+        assert!(res.stats.n_relational > 0);
+        assert!(res.stats.n_atomic > 0);
+        assert!(res.stats.passes >= 1);
+        assert_eq!(res.stats.final_links, res.links.len());
+        assert!(res.stats.total_time() >= res.stats.linkage_time());
+    }
+
+    #[test]
+    fn clusters_partition_records() {
+        let ds = village();
+        let res = resolve(&ds, &SnapsConfig::default());
+        let mut seen = vec![false; ds.len()];
+        for cluster in &res.clusters {
+            for &r in cluster {
+                assert!(!seen[r.index()], "record in two clusters");
+                seen[r.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every record clustered");
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = village();
+        let a = resolve(&ds, &SnapsConfig::default());
+        let b = resolve(&ds, &SnapsConfig::default());
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.links, b.links);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new("empty");
+        let res = resolve(&ds, &SnapsConfig::default());
+        assert!(res.clusters.is_empty());
+        assert!(res.links.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SnapsConfig")]
+    fn invalid_config_panics() {
+        let mut cfg = SnapsConfig::default();
+        cfg.gamma = 2.0;
+        let _ = resolve(&Dataset::new("x"), &cfg);
+    }
+}

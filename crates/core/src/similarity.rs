@@ -1,0 +1,311 @@
+//! The SNAPS similarity model — Equations (1)–(3) of the paper.
+//!
+//! A relational node's score combines:
+//!
+//! * **atomic similarity** `s_a` (Eq. 1) — the weighted average of the Must /
+//!   Core / Extra category similarities derived from the node's atomic nodes;
+//! * **disambiguation similarity** `s_d` (Eq. 2) — a normalised IDF of the
+//!   records' name-combination frequencies, so records with rare names carry
+//!   more evidence than records with ubiquitous ones (**AMB**, §4.2.3);
+//! * the blend `s = γ·s_a + (1-γ)·s_d` (Eq. 3).
+//!
+//! One deliberate refinement over a literal reading of Eq. 1: a category
+//! whose attributes are *missing* on either side is excluded from both the
+//! numerator and denominator (standard missing-data handling in record
+//! linkage — Ong et al., cited by the paper), whereas a category whose values
+//! are *present but dissimilar* (no atomic node survives `t_a`) contributes
+//! zero. Treating missing as zero would make every sparse historical record
+//! unmergeable; treating dissimilar as missing would merge namesakes with
+//! contradictory surnames.
+
+use std::collections::HashMap;
+
+use snaps_model::{Dataset, PersonRecord};
+
+use crate::attrs::AttrSims;
+use crate::config::SnapsConfig;
+
+/// Frequency table of QID value combinations, used by the disambiguation
+/// similarity (Eq. 2).
+///
+/// The paper counts "a combination of several QID values of two records in a
+/// node"; we use (first name, surname, address). Counting the full
+/// combination (rather than single attributes) is what makes Eq. 2 usable
+/// with `t_m = 0.85` and `γ = 0.6`: most combinations are rare, so `s_d` is
+/// high for ordinary records and only genuinely ambiguous ones — common
+/// names with no distinguishing address — are pushed below the merge
+/// threshold until relationship evidence lifts them.
+#[derive(Debug, Clone)]
+pub struct NameFreqs {
+    counts: HashMap<(String, String, String), u32>,
+    /// Per-record frequency, indexed by record id — precomputed so the hot
+    /// merge loop never rebuilds string keys.
+    per_record: Vec<u32>,
+    total: usize,
+}
+
+/// The key under which a record's QID combination is counted; missing parts
+/// count under the empty string so sparse records still get a (high)
+/// frequency.
+fn name_key(r: &PersonRecord) -> (String, String, String) {
+    (
+        r.first_name.clone().unwrap_or_default(),
+        r.surname.clone().unwrap_or_default(),
+        r.address.clone().unwrap_or_default(),
+    )
+}
+
+impl NameFreqs {
+    /// Count every record's name combination.
+    #[must_use]
+    pub fn build(ds: &Dataset) -> Self {
+        let mut counts: HashMap<(String, String, String), u32> = HashMap::new();
+        for r in &ds.records {
+            *counts.entry(name_key(r)).or_insert(0) += 1;
+        }
+        let per_record = ds.records.iter().map(|r| counts[&name_key(r)]).collect();
+        Self { counts, per_record, total: ds.len() }
+    }
+
+    /// Frequency of a record's name combination (at least 1). Works for
+    /// records of any dataset (query records included); for records of the
+    /// indexed dataset prefer the allocation-free [`NameFreqs::freq_of`].
+    #[must_use]
+    pub fn freq(&self, r: &PersonRecord) -> u32 {
+        self.counts.get(&name_key(r)).copied().unwrap_or(1).max(1)
+    }
+
+    /// Frequency of record `id` of the indexed dataset (O(1), no hashing).
+    #[must_use]
+    pub fn freq_of(&self, id: snaps_model::RecordId) -> u32 {
+        self.per_record[id.index()].max(1)
+    }
+
+    /// Disambiguation similarity from two raw frequencies (Eq. 2).
+    #[must_use]
+    pub fn disambiguation_freqs(&self, fa: u32, fb: u32) -> f64 {
+        let n = self.total.max(2) as f64;
+        let f = f64::from(fa + fb);
+        ((n / f).log2() / n.log2()).clamp(0.0, 1.0)
+    }
+
+    /// Total number of records `|O|` used as the normalisation base.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Disambiguation similarity `s_d` (Eq. 2):
+    /// `log2(|O| / (f_i + f_j)) / log2(|O|)`, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn disambiguation(&self, a: &PersonRecord, b: &PersonRecord) -> f64 {
+        self.disambiguation_freqs(self.freq(a), self.freq(b))
+    }
+}
+
+/// The category-aggregated similarity of one relational node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSimilarity {
+    /// Atomic similarity `s_a` (Eq. 1).
+    pub atomic: f64,
+    /// Disambiguation similarity `s_d` (Eq. 2).
+    pub disambiguation: f64,
+    /// Combined similarity `s` (Eq. 3) with the effective `γ`.
+    pub combined: f64,
+}
+
+/// Compute `s_a` from per-attribute similarities.
+///
+/// Name similarities below `t_a` are *present-but-dissimilar*: their atomic
+/// node does not exist and the category scores zero. A missing Must
+/// attribute makes the node unmergeable (`s_a = 0`) — first names are the
+/// paper's Must category precisely because they are near-complete.
+#[must_use]
+pub fn atomic_similarity(sims: &AttrSims, cfg: &SnapsConfig) -> f64 {
+    // Must: first name.
+    let Some(fn_sim) = sims.first_name else {
+        return 0.0;
+    };
+    let s_must = if fn_sim >= cfg.t_atomic { fn_sim } else { 0.0 };
+
+    // Core: surname (present-but-dissimilar scores 0; missing drops the
+    // category).
+    let s_core = sims.surname.map(|s| if s >= cfg.t_atomic { s } else { 0.0 });
+
+    // Extra: average of the comparable extra attributes.
+    let extras: Vec<f64> =
+        [sims.address, sims.occupation, sims.birth_year].into_iter().flatten().collect();
+    let s_extra = (!extras.is_empty()).then(|| extras.iter().sum::<f64>() / extras.len() as f64);
+
+    let mut num = cfg.w_must * s_must;
+    let mut den = cfg.w_must;
+    if let Some(s) = s_core {
+        num += cfg.w_core * s;
+        den += cfg.w_core;
+    }
+    if let Some(s) = s_extra {
+        num += cfg.w_extra * s;
+        den += cfg.w_extra;
+    }
+    num / den
+}
+
+/// Combine Eq. (1)–(3) for one node.
+#[must_use]
+pub fn node_similarity(
+    sims: &AttrSims,
+    a: &PersonRecord,
+    b: &PersonRecord,
+    freqs: &NameFreqs,
+    cfg: &SnapsConfig,
+) -> NodeSimilarity {
+    let atomic = atomic_similarity(sims, cfg);
+    let disambiguation = freqs.disambiguation(a, b);
+    let gamma = cfg.effective_gamma();
+    NodeSimilarity {
+        atomic,
+        disambiguation,
+        combined: gamma * atomic + (1.0 - gamma) * disambiguation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateKind, Gender, RecordId, Role};
+
+    fn ds_with(names: &[(&str, &str)]) -> Dataset {
+        let mut ds = Dataset::new("t");
+        for (f, s) in names {
+            let c = ds.push_certificate(CertificateKind::Death, 1890);
+            let r = ds.push_record(c, Role::DeathDeceased, Gender::Female);
+            ds.record_mut(r).first_name = Some((*f).to_string());
+            ds.record_mut(r).surname = Some((*s).to_string());
+        }
+        ds
+    }
+
+    fn key(f: &str, s: &str) -> (String, String, String) {
+        (f.into(), s.into(), String::new())
+    }
+
+    #[test]
+    fn paper_worked_example_eq1() {
+        // §4.2.3: first name (Mary, Mary)=1.0 Must, surname
+        // (Tayler, Taylor)=0.9 Core, city (Klmor, Kilmore)=0.9 Extra,
+        // weights 0.5/0.3/0.2 → s_a = 0.95.
+        let sims = AttrSims {
+            first_name: Some(1.0),
+            surname: Some(0.9),
+            address: Some(0.9),
+            occupation: None,
+            birth_year: None,
+        };
+        let cfg = SnapsConfig::default();
+        let s_a = atomic_similarity(&sims, &cfg);
+        assert!((s_a - 0.95).abs() < 1e-12, "got {s_a}");
+    }
+
+    #[test]
+    fn paper_worked_example_eq2() {
+        // §4.2.3: f_i = 45, f_j = 12, |O| = 100 → s_d = log2(100/57)/log2(100)
+        // ≈ 0.12.
+        let mut ds = ds_with(&[("a", "b")]);
+        ds.records.clear();
+        ds.certificates.clear();
+        let mut freqs = NameFreqs { counts: HashMap::new(), per_record: Vec::new(), total: 100 };
+        freqs.counts.insert(key("mary", "x"), 45);
+        freqs.counts.insert(key("mary", "y"), 12);
+        let mut ra = PersonRecord::new(
+            RecordId(0),
+            snaps_model::CertificateId(0),
+            Role::DeathDeceased,
+            Gender::Female,
+            1890,
+        );
+        ra.first_name = Some("mary".into());
+        ra.surname = Some("x".into());
+        let mut rb = ra.clone();
+        rb.surname = Some("y".into());
+        let s_d = freqs.disambiguation(&ra, &rb);
+        let expected = (100.0_f64 / 57.0).log2() / 100.0_f64.log2();
+        assert!((s_d - expected).abs() < 1e-12);
+        assert!((s_d - 0.12).abs() < 0.005, "paper quotes ≈0.12, got {s_d}");
+    }
+
+    #[test]
+    fn missing_first_name_blocks_node() {
+        let sims = AttrSims { first_name: None, surname: Some(1.0), ..AttrSims::default() };
+        assert_eq!(atomic_similarity(&sims, &SnapsConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn dissimilar_surname_penalises() {
+        let cfg = SnapsConfig::default();
+        let same = AttrSims {
+            first_name: Some(1.0),
+            surname: Some(1.0),
+            ..AttrSims::default()
+        };
+        let diff = AttrSims {
+            first_name: Some(1.0),
+            surname: Some(0.4), // below t_a → counts as 0
+            ..AttrSims::default()
+        };
+        let missing = AttrSims { first_name: Some(1.0), surname: None, ..AttrSims::default() };
+        let s_same = atomic_similarity(&same, &cfg);
+        let s_diff = atomic_similarity(&diff, &cfg);
+        let s_missing = atomic_similarity(&missing, &cfg);
+        assert_eq!(s_same, 1.0);
+        assert!((s_diff - 0.5 / 0.8).abs() < 1e-12);
+        assert_eq!(s_missing, 1.0, "missing core drops the category");
+        assert!(s_diff < s_missing, "contradiction is worse than absence");
+    }
+
+    #[test]
+    fn rare_names_more_evidential() {
+        let ds = ds_with(&[
+            ("mary", "macdonald"),
+            ("mary", "macdonald"),
+            ("mary", "macdonald"),
+            ("mary", "macdonald"),
+            ("effie", "tweedie"),
+            ("effie", "tweedie"),
+        ]);
+        let freqs = NameFreqs::build(&ds);
+        let common = freqs.disambiguation(&ds.records[0], &ds.records[1]);
+        let rare = freqs.disambiguation(&ds.records[4], &ds.records[5]);
+        assert!(rare > common, "rare {rare} vs common {common}");
+    }
+
+    #[test]
+    fn disambiguation_in_unit_range() {
+        let ds = ds_with(&[("a", "b"), ("a", "b")]);
+        let freqs = NameFreqs::build(&ds);
+        let s = freqs.disambiguation(&ds.records[0], &ds.records[1]);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn combined_blend() {
+        let ds = ds_with(&[("mary", "smith"), ("mary", "smith")]);
+        let freqs = NameFreqs::build(&ds);
+        let sims = AttrSims { first_name: Some(1.0), surname: Some(1.0), ..AttrSims::default() };
+        let mut cfg = SnapsConfig::default();
+        let s = node_similarity(&sims, &ds.records[0], &ds.records[1], &freqs, &cfg);
+        assert!((s.combined - (0.6 * s.atomic + 0.4 * s.disambiguation)).abs() < 1e-12);
+        // AMB off → combined == atomic.
+        cfg.ablation.amb = false;
+        let s2 = node_similarity(&sims, &ds.records[0], &ds.records[1], &freqs, &cfg);
+        assert_eq!(s2.combined, s2.atomic);
+    }
+
+    #[test]
+    fn freq_floor_is_one() {
+        let ds = ds_with(&[("mary", "smith")]);
+        let freqs = NameFreqs::build(&ds);
+        let mut ghost = ds.records[0].clone();
+        ghost.first_name = Some("never-seen".into());
+        assert_eq!(freqs.freq(&ghost), 1);
+    }
+}

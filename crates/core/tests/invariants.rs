@@ -1,0 +1,163 @@
+//! Property-based invariants of the resolution pipeline: whatever the
+//! population looks like, the resolver must never violate its own
+//! constraints.
+
+use proptest::prelude::*;
+use snaps_core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_model::{Relationship, Role};
+
+/// Small random populations: seed and modest scale vary.
+fn small_inputs() -> impl Strategy<Value = (u64, f64)> {
+    (0u64..500, prop_oneof![Just(0.02), Just(0.03), Just(0.05)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Clusters partition the record set.
+    #[test]
+    fn clusters_partition_records((seed, scale) in small_inputs()) {
+        let data = generate(&DatasetProfile::ios().scaled(scale), seed);
+        let res = resolve(&data.dataset, &SnapsConfig::default());
+        let mut seen = vec![false; data.dataset.len()];
+        for cluster in &res.clusters {
+            for &r in cluster {
+                prop_assert!(!seen[r.index()], "record in two clusters");
+                seen[r.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Under the default configuration, no entity may contain two records of
+    /// the same certificate, two birth records, or two death records; all
+    /// recorded genders must be compatible.
+    #[test]
+    fn link_constraints_hold_in_every_cluster((seed, scale) in small_inputs()) {
+        let data = generate(&DatasetProfile::ios().scaled(scale), seed);
+        let ds = &data.dataset;
+        let res = resolve(ds, &SnapsConfig::default());
+        for cluster in &res.clusters {
+            let mut births = 0;
+            let mut deaths = 0;
+            let mut certs = std::collections::BTreeSet::new();
+            let mut genders = std::collections::BTreeSet::new();
+            for &r in cluster {
+                let rec = ds.record(r);
+                births += usize::from(rec.role == Role::BirthBaby);
+                deaths += usize::from(rec.role == Role::DeathDeceased);
+                prop_assert!(certs.insert(rec.certificate), "two records of one certificate");
+                if rec.gender != snaps_model::Gender::Unknown {
+                    genders.insert(rec.gender);
+                }
+            }
+            prop_assert!(births <= 1, "{births} birth records in one entity");
+            prop_assert!(deaths <= 1, "{deaths} death records in one entity");
+            prop_assert!(genders.len() <= 1, "conflicting genders in one entity");
+        }
+    }
+
+    /// Temporal sanity: an entity with a death record has no
+    /// presence-requiring record after the death year (+1 for the
+    /// posthumous-father slack).
+    #[test]
+    fn no_activity_after_death((seed, scale) in small_inputs()) {
+        let data = generate(&DatasetProfile::ios().scaled(scale), seed);
+        let ds = &data.dataset;
+        let res = resolve(ds, &SnapsConfig::default());
+        for cluster in &res.clusters {
+            let death = cluster
+                .iter()
+                .map(|&r| ds.record(r))
+                .find(|r| r.role == Role::DeathDeceased)
+                .map(|r| r.event_year);
+            let Some(dy) = death else { continue };
+            for &r in cluster {
+                let rec = ds.record(r);
+                if snaps_core::constraints::requires_alive(rec.role) {
+                    prop_assert!(
+                        rec.event_year <= dy + 1,
+                        "{:?} in {} after death {dy}",
+                        rec.role,
+                        rec.event_year
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pedigree graph is structurally sound: the record→entity map is
+    /// total and consistent with the clusters; edges reference live
+    /// entities and never loop. (Global pedigree *acyclicity* is not
+    /// asserted: a namesake grandson wrongly merged with his grandfather
+    /// produces a parental cycle, and neither this system nor the paper's
+    /// enforces cross-generation consistency — such errors are measured as
+    /// precision loss, not prevented structurally.)
+    #[test]
+    fn pedigree_graph_is_sound((seed, scale) in small_inputs()) {
+        let data = generate(&DatasetProfile::ios().scaled(scale), seed);
+        let ds = &data.dataset;
+        let res = resolve(ds, &SnapsConfig::default());
+        let graph = PedigreeGraph::build(ds, &res);
+        // Total mapping, consistent with entities' record lists.
+        for (i, &e) in graph.record_entity.iter().enumerate() {
+            prop_assert!(e.index() < graph.len());
+            prop_assert!(graph
+                .entity(e)
+                .records
+                .contains(&snaps_model::RecordId::from_index(i)));
+        }
+        for &(a, b, rel) in &graph.edges {
+            prop_assert!(a.index() < graph.len() && b.index() < graph.len());
+            prop_assert!(a != b, "self edge");
+            // Parental edges respect implied gender: a MotherOf source is
+            // never recorded male, a FatherOf source never female.
+            let g = graph.entity(a).gender;
+            match rel {
+                Relationship::MotherOf => {
+                    prop_assert!(g != snaps_model::Gender::Male, "male mother")
+                }
+                Relationship::FatherOf => {
+                    prop_assert!(g != snaps_model::Gender::Female, "female father")
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Determinism across repeated runs of the identical input.
+    #[test]
+    fn resolution_is_deterministic(seed in 0u64..200) {
+        let data = generate(&DatasetProfile::ios().scaled(0.02), seed);
+        let a = resolve(&data.dataset, &SnapsConfig::default());
+        let b = resolve(&data.dataset, &SnapsConfig::default());
+        prop_assert_eq!(a.clusters, b.clusters);
+        prop_assert_eq!(a.links, b.links);
+    }
+
+    /// Links only ever connect records of one cluster, and every
+    /// multi-record cluster is connected by its links.
+    #[test]
+    fn links_are_consistent_with_clusters((seed, scale) in small_inputs()) {
+        let data = generate(&DatasetProfile::ios().scaled(scale), seed);
+        let res = resolve(&data.dataset, &SnapsConfig::default());
+        let idx = res.record_cluster_index(data.dataset.len());
+        for &(a, b) in &res.links {
+            prop_assert_eq!(idx[a.index()], idx[b.index()], "link across clusters");
+        }
+        // Connectivity: within each cluster, union-find over its links
+        // reaches every member.
+        for cluster in res.clusters.iter().filter(|c| c.len() > 1) {
+            let pos: std::collections::BTreeMap<_, _> =
+                cluster.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+            let mut uf = snaps_graph::UnionFind::new(cluster.len());
+            for &(a, b) in &res.links {
+                if let (Some(&x), Some(&y)) = (pos.get(&a), pos.get(&b)) {
+                    uf.union(x, y);
+                }
+            }
+            prop_assert_eq!(uf.set_count(), 1, "cluster not connected by its links");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Transcription-noise corruptor.
+//!
+//! Real 19th-century certificates reach the linker through handwriting,
+//! clerical copying, and modern transcription — each step adding spelling
+//! variants, typos, and omissions (paper §2, Table 1). The corruptor applies
+//! those defects to clean simulated values at per-field, per-profile rates.
+
+use rand::Rng;
+
+use snaps_model::Role;
+
+use crate::names::{spelling_variant, FIRST_NAME_VARIANTS, SURNAME_VARIANTS};
+use crate::profile::DatasetProfile;
+
+/// The corrupted textual fields of one record.
+#[derive(Debug, Clone, Default)]
+pub struct CorruptedFields {
+    /// First name after corruption (`None` = missing).
+    pub first_name: Option<String>,
+    /// Surname after corruption.
+    pub surname: Option<String>,
+    /// Address after corruption.
+    pub address: Option<String>,
+    /// Occupation after corruption.
+    pub occupation: Option<String>,
+}
+
+/// Applies a profile's noise and missing-value rates to record fields.
+#[derive(Debug, Clone)]
+pub struct Corruptor {
+    profile: DatasetProfile,
+}
+
+/// Introduce one random character-level typo: substitute, delete, insert,
+/// or transpose. Single-character strings only get substitutions/inserts.
+pub fn typo<R: Rng>(s: &str, rng: &mut R) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let alphabet = "abcdefghijklmnopqrstuvwxyz";
+    let rand_char = |rng: &mut R| {
+        alphabet
+            .chars()
+            .nth(rng.gen_range(0..alphabet.len()))
+            .expect("alphabet is non-empty")
+    };
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // substitute
+            let i = rng.gen_range(0..out.len());
+            out[i] = rand_char(rng);
+        }
+        1 if out.len() > 1 => {
+            // delete
+            let i = rng.gen_range(0..out.len());
+            out.remove(i);
+        }
+        2 => {
+            // insert
+            let i = rng.gen_range(0..=out.len());
+            out.insert(i, rand_char(rng));
+        }
+        _ if out.len() > 1 => {
+            // transpose adjacent
+            let i = rng.gen_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        _ => {
+            let i = rng.gen_range(0..out.len());
+            out[i] = rand_char(rng);
+        }
+    }
+    out.into_iter().collect()
+}
+
+impl Corruptor {
+    /// Build a corruptor for `profile`.
+    #[must_use]
+    pub fn new(profile: &DatasetProfile) -> Self {
+        Self { profile: profile.clone() }
+    }
+
+    /// Corrupt one name-like value: spelling variant, then possibly a typo,
+    /// then possibly dropped entirely.
+    fn corrupt_name<R: Rng>(
+        &self,
+        value: &str,
+        variants: &[&[&str]],
+        missing_rate: f64,
+        rng: &mut R,
+    ) -> Option<String> {
+        if rng.gen_bool(missing_rate.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let mut v = value.to_string();
+        if rng.gen_bool(self.profile.noise.variant) {
+            if let Some(alt) = spelling_variant(&v, variants, rng) {
+                v = alt.to_string();
+            }
+        }
+        if rng.gen_bool(self.profile.noise.typo) {
+            v = typo(&v, rng);
+        }
+        Some(v)
+    }
+
+    /// Corrupt all textual fields of one person record.
+    ///
+    /// Occupation is only recorded where a registrar would have recorded it
+    /// (principals and fathers, not mothers of the era).
+    pub fn corrupt_person<R: Rng>(
+        &self,
+        role: Role,
+        first_name: &str,
+        surname: &str,
+        address: Option<&str>,
+        occupation: Option<&str>,
+        rng: &mut R,
+    ) -> CorruptedFields {
+        let m = &self.profile.missing;
+        CorruptedFields {
+            first_name: self.corrupt_name(first_name, FIRST_NAME_VARIANTS, m.first_name, rng),
+            surname: self.corrupt_name(surname, SURNAME_VARIANTS, m.surname, rng),
+            address: address.and_then(|a| {
+                if rng.gen_bool(m.address.clamp(0.0, 1.0)) {
+                    None
+                } else if rng.gen_bool(self.profile.noise.typo) {
+                    Some(typo(a, rng))
+                } else {
+                    Some(a.to_string())
+                }
+            }),
+            occupation: occupation.and_then(|o| {
+                let _ = role;
+                if rng.gen_bool(m.occupation.clamp(0.0, 1.0)) {
+                    None
+                } else {
+                    Some(o.to_string())
+                }
+            }),
+        }
+    }
+
+    /// Corrupt a stated age: possibly missing, possibly off by a couple of
+    /// years. Only roles that state ages (deceased, brides/grooms) return one.
+    pub fn corrupt_age<R: Rng>(&self, true_age: i32, role: Role, rng: &mut R) -> Option<u16> {
+        let states_age = matches!(
+            role,
+            Role::DeathDeceased | Role::MarriageBride | Role::MarriageGroom
+        );
+        if !states_age || true_age < 0 {
+            return None;
+        }
+        if rng.gen_bool(self.profile.missing.age.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let mut age = true_age;
+        if rng.gen_bool(self.profile.noise.age_error) {
+            let delta = rng.gen_range(1..=i32::from(self.profile.noise.age_error_max));
+            age = (age + if rng.gen_bool(0.5) { delta } else { -delta }).max(0);
+        }
+        Some(u16::try_from(age).unwrap_or(u16::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn typo_changes_string() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut changed = 0;
+        for _ in 0..100 {
+            if typo("macdonald", &mut rng) != "macdonald" {
+                changed += 1;
+            }
+        }
+        // Transposing identical letters can be a no-op, but nearly all
+        // operations change the string.
+        assert!(changed > 90);
+    }
+
+    #[test]
+    fn typo_length_within_one() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let t = typo("portree", &mut rng);
+            let d = t.chars().count() as i64 - 7;
+            assert!(d.abs() <= 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn typo_single_char_never_empties() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!typo("a", &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn missing_rates_respected() {
+        let mut profile = DatasetProfile::ios();
+        profile.missing.occupation = 1.0;
+        profile.missing.first_name = 0.0;
+        profile.missing.surname = 0.0;
+        let c = Corruptor::new(&profile);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let f = c.corrupt_person(
+            Role::DeathDeceased,
+            "mary",
+            "macleod",
+            Some("portree"),
+            Some("crofter"),
+            &mut rng,
+        );
+        assert!(f.occupation.is_none(), "rate 1.0 always drops");
+        assert!(f.first_name.is_some(), "rate 0.0 never drops");
+        assert!(f.surname.is_some());
+    }
+
+    #[test]
+    fn zero_noise_passes_through() {
+        let mut profile = DatasetProfile::ios();
+        profile.noise.variant = 0.0;
+        profile.noise.typo = 0.0;
+        profile.missing.first_name = 0.0;
+        profile.missing.surname = 0.0;
+        profile.missing.address = 0.0;
+        let c = Corruptor::new(&profile);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let f = c.corrupt_person(
+            Role::BirthBaby,
+            "mary",
+            "macleod",
+            Some("portree"),
+            None,
+            &mut rng,
+        );
+        assert_eq!(f.first_name.as_deref(), Some("mary"));
+        assert_eq!(f.surname.as_deref(), Some("macleod"));
+        assert_eq!(f.address.as_deref(), Some("portree"));
+    }
+
+    #[test]
+    fn variants_applied_sometimes() {
+        let mut profile = DatasetProfile::ios();
+        profile.noise.variant = 1.0;
+        profile.noise.typo = 0.0;
+        profile.missing.surname = 0.0;
+        let c = Corruptor::new(&profile);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let f = c.corrupt_person(Role::BirthBaby, "x", "macdonald", None, None, &mut rng);
+        assert_ne!(f.surname.as_deref(), Some("macdonald"));
+    }
+
+    #[test]
+    fn ages_only_for_stating_roles() {
+        let c = Corruptor::new(&DatasetProfile::ios());
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(c.corrupt_age(30, Role::BirthMother, &mut rng).is_none());
+        assert!(c.corrupt_age(-1, Role::DeathDeceased, &mut rng).is_none());
+        let mut some = 0;
+        for _ in 0..50 {
+            if c.corrupt_age(30, Role::DeathDeceased, &mut rng).is_some() {
+                some += 1;
+            }
+        }
+        assert!(some > 30);
+    }
+
+    #[test]
+    fn age_error_bounded() {
+        let mut profile = DatasetProfile::ios();
+        profile.noise.age_error = 1.0;
+        profile.noise.age_error_max = 2;
+        profile.missing.age = 0.0;
+        let c = Corruptor::new(&profile);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let a = c.corrupt_age(40, Role::DeathDeceased, &mut rng).unwrap();
+            assert!((38..=42).contains(&a), "{a}");
+            assert_ne!(a, 40, "error rate 1.0 always perturbs");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Name pools, Zipf-skewed sampling, and spelling-variant tables.
+//!
+//! Historical Scottish communities drew on a small pool of names — the paper
+//! observes the single most common first name covering over 8% of Isle-of-Skye
+//! records (Fig. 2). We embed period-appropriate base pools and extend them
+//! combinatorially when a profile asks for more distinct values, sampling all
+//! of them under a Zipf distribution so the frequency skew of the real data
+//! is preserved.
+
+use rand::Rng;
+
+/// Period-appropriate female first names (most common first).
+pub const FEMALE_FIRST: &[&str] = &[
+    "mary", "margaret", "catherine", "ann", "janet", "christina", "isabella", "elizabeth",
+    "jane", "agnes", "helen", "jessie", "marion", "flora", "euphemia", "grace", "effie",
+    "barbara", "rachel", "sarah", "johanna", "cirsty", "marjory", "henrietta", "williamina",
+    "annabella", "jemima", "dolina", "peggy", "kate", "lexy", "morag", "una", "beathag",
+    "oighrig", "seonaid", "mairi", "catriona", "floraidh", "ealasaid",
+];
+
+/// Period-appropriate male first names (most common first).
+pub const MALE_FIRST: &[&str] = &[
+    "john", "donald", "alexander", "angus", "william", "james", "malcolm", "duncan",
+    "neil", "murdo", "norman", "kenneth", "roderick", "archibald", "hugh", "lachlan",
+    "ewen", "allan", "charles", "george", "peter", "robert", "thomas", "david", "samuel",
+    "farquhar", "hector", "torquil", "finlay", "dugald", "ronald", "colin", "andrew",
+    "gilbert", "martin", "somerled", "iain", "calum", "tormod", "ruairidh",
+];
+
+/// Period-appropriate surnames (most common first).
+pub const SURNAMES: &[&str] = &[
+    "macdonald", "macleod", "mackinnon", "maclean", "nicolson", "mackenzie", "campbell",
+    "macpherson", "robertson", "stewart", "fraser", "grant", "ross", "munro", "matheson",
+    "macrae", "gillies", "beaton", "macaskill", "macqueen", "ferguson", "cameron",
+    "morrison", "murray", "macgregor", "lamont", "macmillan", "buchanan", "macintyre",
+    "macarthur", "smith", "brown", "wilson", "thomson", "paterson", "walker", "young",
+    "mitchell", "watson", "miller", "clark", "taylor", "anderson", "scott", "reid",
+    "johnston", "boyd", "craig", "aird", "gemmell", "dunlop", "howie", "tannock",
+];
+
+/// Occupations (male-dominated trades of the period).
+pub const OCCUPATIONS: &[&str] = &[
+    "crofter", "fisherman", "agricultural labourer", "weaver", "shoemaker", "carpenter",
+    "blacksmith", "mason", "tailor", "merchant", "shepherd", "miner", "carter",
+    "domestic servant", "teacher", "minister", "joiner", "cooper", "boatman", "gardener",
+    "spinner", "engine fitter", "railway surfaceman", "iron moulder", "tobacco spinner",
+];
+
+/// Suffixes used to mint additional synthetic names when a profile asks for a
+/// pool larger than the embedded base list.
+const NAME_SUFFIXES: &[&str] = &["ina", "etta", "ag", "an", "aidh", "as", "o"];
+const SURNAME_PREFIXES: &[&str] = &["mac", "mc", "gil", "kil", "dun", "bal", "inver"];
+const SURNAME_STEMS: &[&str] = &[
+    "alister", "curdy", "neish", "quarrie", "fadyen", "innes", "corran", "ewan", "lure",
+    "gown", "nab", "phee", "sween", "tavish", "vicar", "whirter", "culloch", "dermid",
+];
+
+/// A pool of distinct name strings with Zipf-distributed sampling weights.
+///
+/// Rank `i` (0-based) has weight `1 / (i+1)^s`. Sampling uses binary search
+/// over the cumulative weights — `O(log n)` per draw.
+#[derive(Debug, Clone)]
+pub struct NamePool {
+    values: Vec<String>,
+    cumulative: Vec<f64>,
+}
+
+impl NamePool {
+    /// Build a pool of exactly `size` distinct values with Zipf exponent
+    /// `skew`, starting from `base` and minting synthetic extensions if
+    /// `size > base.len()`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or `skew` is not finite and positive.
+    #[must_use]
+    pub fn new(base: &[&str], size: usize, skew: f64) -> Self {
+        assert!(size > 0, "pool size must be positive");
+        assert!(skew.is_finite() && skew > 0.0, "skew must be positive");
+        let mut values: Vec<String> = base.iter().take(size).map(|s| (*s).to_string()).collect();
+        let mut mint_round = 0usize;
+        while values.len() < size {
+            // Mint deterministic synthetic names: base × suffix, then
+            // prefix × stem combinations for surname-like pools.
+            let round = mint_round;
+            mint_round += 1;
+            let candidate = if round < base.len() * NAME_SUFFIXES.len() {
+                let b = base[round % base.len()];
+                let s = NAME_SUFFIXES[round / base.len() % NAME_SUFFIXES.len()];
+                format!("{b}{s}")
+            } else {
+                let r = round - base.len() * NAME_SUFFIXES.len();
+                let p = SURNAME_PREFIXES[r % SURNAME_PREFIXES.len()];
+                let st = SURNAME_STEMS[(r / SURNAME_PREFIXES.len()) % SURNAME_STEMS.len()];
+                let n = r / (SURNAME_PREFIXES.len() * SURNAME_STEMS.len());
+                if n == 0 { format!("{p}{st}") } else { format!("{p}{st}{n}") }
+            };
+            if !values.contains(&candidate) {
+                values.push(candidate);
+            }
+        }
+
+        let mut cumulative = Vec::with_capacity(values.len());
+        let mut acc = 0.0;
+        for i in 0..values.len() {
+            acc += 1.0 / ((i + 1) as f64).powf(skew);
+            cumulative.push(acc);
+        }
+        Self { values, cumulative }
+    }
+
+    /// Number of distinct values in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the pool is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values, most probable first.
+    #[must_use]
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Draw one value under the Zipf distribution.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> &str {
+        let total = *self.cumulative.last().expect("pool is non-empty");
+        let x = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        &self.values[idx.min(self.values.len() - 1)]
+    }
+
+    /// Probability mass of the most common value.
+    #[must_use]
+    pub fn top_share(&self) -> f64 {
+        let total = *self.cumulative.last().expect("pool is non-empty");
+        self.cumulative[0] / total
+    }
+}
+
+/// Spelling variants of first names used by the corruptor — the shared
+/// dictionary lives in `snaps-strsim` so the linker's name standardisation
+/// and the corruptor draw on the same domain knowledge.
+pub use snaps_strsim::variants::{FIRST_NAME_VARIANTS, SURNAME_VARIANTS};
+
+/// A random written variant of `name` from the variant tables, if any group
+/// contains it; `None` otherwise.
+pub fn spelling_variant<'a, R: Rng>(
+    name: &str,
+    tables: &'a [&[&str]],
+    rng: &mut R,
+) -> Option<&'a str> {
+    for group in tables {
+        if group.contains(&name) {
+            let alternatives: Vec<&str> =
+                group.iter().copied().filter(|v| *v != name).collect();
+            if alternatives.is_empty() {
+                return None;
+            }
+            return Some(alternatives[rng.gen_range(0..alternatives.len())]);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pool_exact_size() {
+        for size in [5, 40, 100, 500] {
+            let p = NamePool::new(FEMALE_FIRST, size, 1.0);
+            assert_eq!(p.len(), size);
+            // All distinct.
+            let mut v = p.values().to_vec();
+            v.sort();
+            v.dedup();
+            assert_eq!(v.len(), size);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_shows_in_samples() {
+        let p = NamePool::new(FEMALE_FIRST, 40, 1.2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 40];
+        for _ in 0..20_000 {
+            let s = p.sample(&mut rng);
+            let idx = p.values().iter().position(|v| v == s).unwrap();
+            counts[idx] += 1;
+        }
+        // Most common value strictly dominates the 10th.
+        assert!(counts[0] > counts[9] * 2, "{counts:?}");
+        // Head share roughly matches the analytic top_share.
+        let share = counts[0] as f64 / 20_000.0;
+        assert!((share - p.top_share()).abs() < 0.03);
+    }
+
+    #[test]
+    fn top_share_decreases_with_pool_size() {
+        let small = NamePool::new(FEMALE_FIRST, 30, 1.0);
+        let large = NamePool::new(FEMALE_FIRST, 300, 1.0);
+        assert!(small.top_share() > large.top_share());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let p = NamePool::new(MALE_FIRST, 50, 1.0);
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(p.sample(&mut a), p.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = NamePool::new(FEMALE_FIRST, 0, 1.0);
+    }
+
+    #[test]
+    fn variants_found() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let v = spelling_variant("macdonald", SURNAME_VARIANTS, &mut rng);
+        assert!(matches!(v, Some("mcdonald") | Some("macdonell")));
+        assert_eq!(spelling_variant("zzz", SURNAME_VARIANTS, &mut rng), None);
+    }
+
+    #[test]
+    fn variant_never_returns_input() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            if let Some(v) = spelling_variant("mary", FIRST_NAME_VARIANTS, &mut rng) {
+                assert_ne!(v, "mary");
+            }
+        }
+    }
+
+    #[test]
+    fn base_lists_are_normalised() {
+        for list in [FEMALE_FIRST, MALE_FIRST, SURNAMES, OCCUPATIONS] {
+            for name in list {
+                assert_eq!(
+                    *name,
+                    snaps_strsim::normalize::normalize_name(name),
+                    "unnormalised base name {name}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Dataset profiles: the knobs that shape a simulated population.
+//!
+//! One profile per paper dataset — [`DatasetProfile::ios`],
+//! [`DatasetProfile::kil`], [`DatasetProfile::bhic`], and a DS-like sample —
+//! each calibrated to that dataset's published characteristics (paper
+//! Tables 1, 2, 6).
+
+/// Per-field missing-value rates applied during record extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct MissingRates {
+    /// Probability a first name is missing.
+    pub first_name: f64,
+    /// Probability a surname is missing.
+    pub surname: f64,
+    /// Probability an address is missing.
+    pub address: f64,
+    /// Probability an occupation is missing.
+    pub occupation: f64,
+    /// Probability a stated age is missing.
+    pub age: f64,
+}
+
+/// Transcription-noise rates applied during record extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseRates {
+    /// Probability a name is replaced by a written variant (diminutive,
+    /// `mac`/`mc`, …) when one exists.
+    pub variant: f64,
+    /// Probability a random character-level typo is introduced.
+    pub typo: f64,
+    /// Probability a stated age is off, and by how many years at most.
+    pub age_error: f64,
+    /// Maximum magnitude of an age error.
+    pub age_error_max: u16,
+}
+
+/// Configuration of one simulated dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Dataset name ("IOS", "KIL", …).
+    pub name: String,
+    /// Number of founding individuals at simulation start.
+    pub founders: usize,
+    /// First simulated year (well before registration so adults have history).
+    pub sim_start: i32,
+    /// Last simulated year.
+    pub sim_end: i32,
+    /// First year certificates are registered (events before this leave no
+    /// record — mirroring statutory registration starting in 1855/1861).
+    pub reg_start: i32,
+    /// Last year certificates are registered.
+    pub reg_end: i32,
+    /// Distinct female first names in the pool.
+    pub female_first_pool: usize,
+    /// Distinct male first names in the pool.
+    pub male_first_pool: usize,
+    /// Distinct surnames in the pool.
+    pub surname_pool: usize,
+    /// Zipf exponent of the name pools (higher = more skew/ambiguity).
+    pub name_skew: f64,
+    /// Parishes (registration districts) available.
+    pub parishes: usize,
+    /// Settlements (certificate-level addresses) per parish.
+    pub settlements_per_parish: usize,
+    /// Whether addresses carry synthetic coordinates (IOS geocoding).
+    pub geocoded: bool,
+    /// Annual probability an eligible single adult marries.
+    pub marriage_rate: f64,
+    /// Annual probability a married fertile couple has a child.
+    pub fertility: f64,
+    /// Probability a newborn is named after the same-gender parent
+    /// (a real genealogical convention that manufactures ambiguity).
+    pub namesake_rate: f64,
+    /// Annual probability a family moves to another address.
+    pub move_rate: f64,
+    /// Annual in-migration as a fraction of current population (open towns).
+    pub immigration_rate: f64,
+    /// Missing-value rates.
+    pub missing: MissingRates,
+    /// Transcription-noise rates.
+    pub noise: NoiseRates,
+}
+
+impl DatasetProfile {
+    /// Isle of Skye-like profile: small closed island population, very small
+    /// name pools (maximum ambiguity), complete-ish addresses, geocoded.
+    #[must_use]
+    pub fn ios() -> Self {
+        Self {
+            name: "IOS".into(),
+            founders: 1400,
+            sim_start: 1781,
+            sim_end: 1901,
+            reg_start: 1861,
+            reg_end: 1901,
+            female_first_pool: 300,
+            male_first_pool: 300,
+            surname_pool: 280,
+            name_skew: 0.85,
+            parishes: 8,
+            settlements_per_parish: 20,
+            geocoded: true,
+            marriage_rate: 0.09,
+            fertility: 0.27,
+            namesake_rate: 0.30,
+            move_rate: 0.02,
+            immigration_rate: 0.0,
+            missing: MissingRates {
+                first_name: 0.035,
+                surname: 0.0003,
+                address: 0.012,
+                occupation: 0.57,
+                age: 0.05,
+            },
+            noise: NoiseRates { variant: 0.08, typo: 0.03, age_error: 0.15, age_error_max: 2 },
+        }
+    }
+
+    /// Kilmarnock-like profile: larger open town, bigger name pools, poor
+    /// address coverage, not geocoded, in-migration.
+    #[must_use]
+    pub fn kil() -> Self {
+        Self {
+            name: "KIL".into(),
+            founders: 2000,
+            sim_start: 1781,
+            sim_end: 1901,
+            reg_start: 1861,
+            reg_end: 1901,
+            female_first_pool: 1200,
+            male_first_pool: 1200,
+            surname_pool: 900,
+            name_skew: 0.75,
+            parishes: 20,
+            settlements_per_parish: 25,
+            geocoded: false,
+            marriage_rate: 0.10,
+            fertility: 0.26,
+            namesake_rate: 0.25,
+            move_rate: 0.05,
+            immigration_rate: 0.003,
+            missing: MissingRates {
+                first_name: 0.010,
+                surname: 0.0002,
+                address: 0.248,
+                occupation: 0.71,
+                age: 0.05,
+            },
+            noise: NoiseRates { variant: 0.08, typo: 0.035, age_error: 0.15, age_error_max: 2 },
+        }
+    }
+
+    /// Digitising-Scotland-like sample used only for Table 1
+    /// characterisation: country-scale value skew and heavy occupation
+    /// missingness.
+    #[must_use]
+    pub fn ds_sample() -> Self {
+        Self {
+            name: "DS".into(),
+            founders: 9000,
+            sim_start: 1775,
+            sim_end: 1973,
+            reg_start: 1855,
+            reg_end: 1973,
+            female_first_pool: 3000,
+            male_first_pool: 3000,
+            surname_pool: 2500,
+            name_skew: 0.85,
+            parishes: 60,
+            settlements_per_parish: 30,
+            geocoded: false,
+            marriage_rate: 0.10,
+            fertility: 0.24,
+            namesake_rate: 0.2,
+            move_rate: 0.06,
+            immigration_rate: 0.008,
+            missing: MissingRates {
+                first_name: 0.007,
+                surname: 0.001,
+                address: 0.0013,
+                occupation: 0.578,
+                age: 0.05,
+            },
+            noise: NoiseRates { variant: 0.07, typo: 0.03, age_error: 0.15, age_error_max: 2 },
+        }
+    }
+
+    /// BHIC-like profile used for scalability runs (Table 6): long civil
+    /// registration period whose considered window grows.
+    ///
+    /// `period_years` controls how many years before the fixed end year are
+    /// registered — the exact axis Table 6 varies (35, 45, 55, 65 years).
+    #[must_use]
+    pub fn bhic(period_years: u32) -> Self {
+        let end = 1935;
+        Self {
+            name: format!("BHIC-{period_years}y"),
+            founders: 2000,
+            sim_start: 1759,
+            sim_end: end,
+            reg_start: end - period_years as i32,
+            reg_end: end,
+            female_first_pool: 800,
+            male_first_pool: 800,
+            surname_pool: 600,
+            name_skew: 0.8,
+            parishes: 30,
+            settlements_per_parish: 25,
+            geocoded: false,
+            marriage_rate: 0.10,
+            fertility: 0.25,
+            namesake_rate: 0.2,
+            move_rate: 0.04,
+            immigration_rate: 0.006,
+            missing: MissingRates {
+                first_name: 0.01,
+                surname: 0.001,
+                address: 0.15,
+                occupation: 0.6,
+                age: 0.05,
+            },
+            noise: NoiseRates { variant: 0.06, typo: 0.03, age_error: 0.12, age_error_max: 2 },
+        }
+    }
+
+    /// Scale the population size by `factor` (pools and rates unchanged), for
+    /// fast tests (`factor < 1`) or scalability sweeps (`factor > 1`).
+    ///
+    /// # Panics
+    /// Panics on non-positive factors.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.founders = ((self.founders as f64 * factor).round() as usize).max(12);
+        self
+    }
+
+    /// Years of the registration window, inclusive.
+    #[must_use]
+    pub fn registration_years(&self) -> i32 {
+        self.reg_end - self.reg_start + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_internally_consistent() {
+        for p in [
+            DatasetProfile::ios(),
+            DatasetProfile::kil(),
+            DatasetProfile::ds_sample(),
+            DatasetProfile::bhic(35),
+        ] {
+            assert!(p.sim_start < p.reg_start, "{}", p.name);
+            assert!(p.reg_start <= p.reg_end, "{}", p.name);
+            assert!(p.reg_end <= p.sim_end, "{}", p.name);
+            assert!(p.founders > 0);
+            assert!((0.0..=1.0).contains(&p.missing.occupation));
+        }
+    }
+
+    #[test]
+    fn ios_more_ambiguous_than_kil() {
+        let ios = DatasetProfile::ios();
+        let kil = DatasetProfile::kil();
+        assert!(ios.female_first_pool < kil.female_first_pool);
+        assert!(ios.surname_pool < kil.surname_pool);
+        assert!(ios.name_skew > kil.name_skew);
+    }
+
+    #[test]
+    fn bhic_window_grows() {
+        let short = DatasetProfile::bhic(35);
+        let long = DatasetProfile::bhic(65);
+        assert_eq!(short.reg_end, long.reg_end);
+        assert!(long.registration_years() > short.registration_years());
+    }
+
+    #[test]
+    fn scaling() {
+        let p = DatasetProfile::ios().scaled(0.1);
+        assert_eq!(p.founders, 140);
+        let tiny = DatasetProfile::ios().scaled(0.0001);
+        assert_eq!(tiny.founders, 12, "floor keeps simulation viable");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_scale_panics() {
+        let _ = DatasetProfile::ios().scaled(-1.0);
+    }
+}

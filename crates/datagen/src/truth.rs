@@ -1,0 +1,193 @@
+//! Ground-truth links between generated records.
+//!
+//! The simulator knows which entity every record came from, so — unlike the
+//! paper's partially curated ground truth — our truth is complete. The
+//! evaluation still slices it per role pair (`Bp-Bp`, `Bp-Dp`, …) exactly as
+//! the paper's Tables 2–4 do.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use snaps_model::{Dataset, EntityId, RecordId, RoleCategory};
+
+/// An unordered record pair, stored `(min, max)` so set membership is
+/// orientation-free.
+pub type RecordPair = (RecordId, RecordId);
+
+/// Normalise a record pair to `(min, max)`.
+#[must_use]
+pub fn ordered(a: RecordId, b: RecordId) -> RecordPair {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Record-level ground truth: which entity generated each record.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// `record_entity[r]` is the entity that record `r` refers to; indexed by
+    /// [`RecordId`].
+    pub record_entity: Vec<EntityId>,
+}
+
+impl GroundTruth {
+    /// The entity a record refers to.
+    #[must_use]
+    pub fn entity_of(&self, r: RecordId) -> EntityId {
+        self.record_entity[r.index()]
+    }
+
+    /// Whether two records refer to the same entity.
+    #[must_use]
+    pub fn is_match(&self, a: RecordId, b: RecordId) -> bool {
+        self.entity_of(a) == self.entity_of(b)
+    }
+
+    /// Records grouped by entity (only entities with ≥1 record appear).
+    #[must_use]
+    pub fn clusters(&self) -> BTreeMap<EntityId, Vec<RecordId>> {
+        let mut map: BTreeMap<EntityId, Vec<RecordId>> = BTreeMap::new();
+        for (i, &e) in self.record_entity.iter().enumerate() {
+            map.entry(e).or_default().push(RecordId::from_index(i));
+        }
+        map
+    }
+
+    /// All true matching record pairs between two role categories.
+    ///
+    /// A pair qualifies when both records refer to the same entity, the two
+    /// records lie on *different* certificates, and one record's role falls
+    /// in `cat_a` while the other's falls in `cat_b` (order-free). This is
+    /// the "true matches" column of the paper's Table 2.
+    #[must_use]
+    pub fn true_links(
+        &self,
+        ds: &Dataset,
+        cat_a: RoleCategory,
+        cat_b: RoleCategory,
+    ) -> BTreeSet<RecordPair> {
+        let mut links = BTreeSet::new();
+        for records in self.clusters().values() {
+            for (i, &ra) in records.iter().enumerate() {
+                for &rb in &records[i + 1..] {
+                    let (a, b) = (ds.record(ra), ds.record(rb));
+                    if a.certificate == b.certificate {
+                        continue;
+                    }
+                    let (ca, cb) = (a.role.category(), b.role.category());
+                    if (ca == cat_a && cb == cat_b) || (ca == cat_b && cb == cat_a) {
+                        links.insert(ordered(ra, rb));
+                    }
+                }
+            }
+        }
+        links
+    }
+
+    /// Count of records whose role falls in `cat`.
+    #[must_use]
+    pub fn records_in_category(&self, ds: &Dataset, cat: RoleCategory) -> usize {
+        ds.records.iter().filter(|r| r.role.category() == cat).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_model::{CertificateKind, Gender, Role};
+
+    /// Two birth certificates of siblings + the mother's death certificate.
+    fn fixture() -> (Dataset, GroundTruth) {
+        let mut ds = Dataset::new("t");
+        let mut truth = GroundTruth::default();
+        // Entities: 0 = mother, 1 = father, 2..3 = children.
+        let push = |ds: &mut Dataset, truth: &mut GroundTruth, cert, role, entity: u32| {
+            let id = ds.push_record(cert, role, Gender::Unknown);
+            truth.record_entity.push(EntityId(entity));
+            id
+        };
+        let b1 = ds.push_certificate(CertificateKind::Birth, 1880);
+        push(&mut ds, &mut truth, b1, Role::BirthBaby, 2);
+        push(&mut ds, &mut truth, b1, Role::BirthMother, 0);
+        push(&mut ds, &mut truth, b1, Role::BirthFather, 1);
+        let b2 = ds.push_certificate(CertificateKind::Birth, 1883);
+        push(&mut ds, &mut truth, b2, Role::BirthBaby, 3);
+        push(&mut ds, &mut truth, b2, Role::BirthMother, 0);
+        push(&mut ds, &mut truth, b2, Role::BirthFather, 1);
+        let d = ds.push_certificate(CertificateKind::Death, 1890);
+        push(&mut ds, &mut truth, d, Role::DeathDeceased, 0);
+        (ds, truth)
+    }
+
+    #[test]
+    fn is_match_and_entity_of() {
+        let (_, truth) = fixture();
+        assert!(truth.is_match(RecordId(1), RecordId(4)), "mother on both births");
+        assert!(!truth.is_match(RecordId(0), RecordId(3)), "siblings differ");
+        assert_eq!(truth.entity_of(RecordId(6)), EntityId(0));
+    }
+
+    #[test]
+    fn clusters_group_by_entity() {
+        let (_, truth) = fixture();
+        let c = truth.clusters();
+        assert_eq!(c[&EntityId(0)], vec![RecordId(1), RecordId(4), RecordId(6)]);
+        assert_eq!(c[&EntityId(2)].len(), 1);
+    }
+
+    #[test]
+    fn bp_bp_links() {
+        let (ds, truth) = fixture();
+        let links = truth.true_links(&ds, RoleCategory::BirthParent, RoleCategory::BirthParent);
+        // Mother (1,4) and father (2,5) across the two birth certificates.
+        assert_eq!(links.len(), 2);
+        assert!(links.contains(&(RecordId(1), RecordId(4))));
+        assert!(links.contains(&(RecordId(2), RecordId(5))));
+    }
+
+    #[test]
+    fn bp_dd_links_cross_category() {
+        let (ds, truth) = fixture();
+        let links = truth.true_links(&ds, RoleCategory::BirthParent, RoleCategory::Deceased);
+        // The mother's Bm records (1 and 4) each link to her Dd record (6).
+        assert_eq!(links.len(), 2);
+        assert!(links.contains(&(RecordId(1), RecordId(6))));
+        assert!(links.contains(&(RecordId(4), RecordId(6))));
+    }
+
+    #[test]
+    fn same_certificate_pairs_excluded() {
+        let (ds, truth) = fixture();
+        // No category pairing ever links two records of one certificate:
+        let all: Vec<_> = [
+            RoleCategory::BirthParent,
+            RoleCategory::BirthChild,
+            RoleCategory::Deceased,
+        ]
+        .into_iter()
+        .flat_map(|a| {
+            [RoleCategory::BirthParent, RoleCategory::BirthChild, RoleCategory::Deceased]
+                .into_iter()
+                .map(move |b| (a, b))
+        })
+        .flat_map(|(a, b)| truth.true_links(&ds, a, b))
+        .collect();
+        for (a, b) in all {
+            assert_ne!(ds.record(a).certificate, ds.record(b).certificate);
+        }
+    }
+
+    #[test]
+    fn category_counts() {
+        let (ds, truth) = fixture();
+        assert_eq!(truth.records_in_category(&ds, RoleCategory::BirthParent), 4);
+        assert_eq!(truth.records_in_category(&ds, RoleCategory::Deceased), 1);
+    }
+
+    #[test]
+    fn ordered_normalises() {
+        assert_eq!(ordered(RecordId(5), RecordId(2)), (RecordId(2), RecordId(5)));
+        assert_eq!(ordered(RecordId(2), RecordId(5)), (RecordId(2), RecordId(5)));
+    }
+}

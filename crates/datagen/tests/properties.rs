@@ -1,0 +1,93 @@
+//! Property tests: every generated dataset, whatever the seed and scale,
+//! must be structurally valid and internally consistent with its ground
+//! truth and population.
+
+use proptest::prelude::*;
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_model::{Role};
+
+fn profiles() -> impl Strategy<Value = DatasetProfile> {
+    prop_oneof![
+        Just(DatasetProfile::ios().scaled(0.03)),
+        Just(DatasetProfile::kil().scaled(0.02)),
+        Just(DatasetProfile::bhic(20).scaled(0.02)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_datasets_are_valid((profile, seed) in (profiles(), 0u64..1000)) {
+        let data = generate(&profile, seed);
+        data.dataset.validate().unwrap();
+        prop_assert_eq!(data.truth.record_entity.len(), data.dataset.len());
+    }
+
+    /// Ground truth is consistent with the population: a record's entity id
+    /// indexes a real simulated person whose gender matches the record's
+    /// role constraints.
+    #[test]
+    fn truth_references_population((profile, seed) in (profiles(), 0u64..1000)) {
+        let data = generate(&profile, seed);
+        for r in &data.dataset.records {
+            let e = data.truth.entity_of(r.id);
+            prop_assert!(e.index() < data.population.len());
+            let person = &data.population.people[e.index()];
+            prop_assert!(person.gender.compatible(r.gender));
+            // Event years lie within the person's lifetime (with the
+            // posthumous-mention exception for non-principal roles).
+            if snaps_core_requires_alive(r.role) {
+                prop_assert!(r.event_year >= person.birth_year);
+                if let Some(d) = person.death_year {
+                    prop_assert!(r.event_year <= d + 1, "{:?}", r.role);
+                }
+            }
+        }
+    }
+
+    /// One birth and at most one death certificate per person.
+    #[test]
+    fn role_cardinality_in_truth((profile, seed) in (profiles(), 0u64..1000)) {
+        let data = generate(&profile, seed);
+        for records in data.truth.clusters().values() {
+            let births = records
+                .iter()
+                .filter(|&&r| data.dataset.record(r).role == Role::BirthBaby)
+                .count();
+            let deaths = records
+                .iter()
+                .filter(|&&r| data.dataset.record(r).role == Role::DeathDeceased)
+                .count();
+            prop_assert!(births <= 1);
+            prop_assert!(deaths <= 1);
+        }
+    }
+
+    /// Certificates are chronologically within the registration window and
+    /// every certificate's records share its year.
+    #[test]
+    fn registration_window_respected((profile, seed) in (profiles(), 0u64..1000)) {
+        let data = generate(&profile, seed);
+        for c in &data.dataset.certificates {
+            prop_assert!(c.year >= profile.reg_start && c.year <= profile.reg_end);
+            for &(_, r) in &c.people {
+                prop_assert_eq!(data.dataset.record(r).event_year, c.year);
+            }
+        }
+    }
+}
+
+/// Mirror of `snaps_core::constraints::requires_alive` to avoid a dev
+/// dependency cycle (datagen must not depend on core).
+fn snaps_core_requires_alive(role: Role) -> bool {
+    matches!(
+        role,
+        Role::BirthBaby
+            | Role::BirthMother
+            | Role::BirthFather
+            | Role::DeathDeceased
+            | Role::MarriageBride
+            | Role::MarriageGroom
+    )
+}

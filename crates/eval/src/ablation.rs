@@ -1,0 +1,104 @@
+//! The Table 3 experiment: ablation of the four key techniques.
+
+use snaps_core::{resolve, Ablation, SnapsConfig};
+use snaps_datagen::GeneratedData;
+
+use crate::metrics::Quality;
+use crate::quality::ROLE_PAIRS;
+
+/// One ablation variant's quality per role pair.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant name ("SNAPS", "without PROP-A and PROP-C", …).
+    pub variant: String,
+    /// `(role-pair label, quality)` pairs.
+    pub per_role_pair: Vec<(String, Quality)>,
+}
+
+/// The five Table 3 variants in paper order.
+#[must_use]
+pub fn variants() -> Vec<(&'static str, Ablation)> {
+    vec![
+        ("SNAPS", Ablation::full()),
+        ("without PROP-A and PROP-C", Ablation::without_prop()),
+        ("without AMB", Ablation::without_amb()),
+        ("without REL", Ablation::without_rel()),
+        ("without REF", Ablation::without_ref()),
+    ]
+}
+
+/// Run the ablation: one full resolution per variant, scored on every role
+/// pair.
+#[must_use]
+pub fn run_ablation(data: &GeneratedData, base: &SnapsConfig) -> Vec<AblationRow> {
+    let ds = &data.dataset;
+    variants()
+        .into_iter()
+        .map(|(name, ablation)| {
+            let mut cfg = base.clone();
+            cfg.ablation = ablation;
+            let res = resolve(ds, &cfg);
+            let per_role_pair = ROLE_PAIRS
+                .iter()
+                .map(|&(ca, cb, label)| {
+                    let truth = data.truth.true_links(ds, ca, cb);
+                    let pred = res.matched_pairs(ds, ca, cb);
+                    (label.to_string(), Quality::from_sets(&pred, &truth))
+                })
+                .collect();
+            AblationRow { variant: name.to_string(), per_role_pair }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_datagen::{generate, DatasetProfile};
+
+    #[test]
+    fn five_variants_in_order() {
+        let v = variants();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0].0, "SNAPS");
+        assert!(!v[1].1.prop);
+        assert!(!v[2].1.amb);
+        assert!(!v[3].1.rel);
+        assert!(!v[4].1.refine);
+    }
+
+    #[test]
+    fn ablation_shapes_match_paper() {
+        let data = generate(&DatasetProfile::ios().scaled(0.1), 42);
+        let rows = run_ablation(&data, &SnapsConfig::default());
+        assert_eq!(rows.len(), 5);
+
+        let f = |row: &AblationRow, i: usize| row.per_role_pair[i].1.f_star();
+        let p = |row: &AblationRow, i: usize| row.per_role_pair[i].1.precision();
+        let full = &rows[0];
+        let no_prop = &rows[1];
+        let no_rel = &rows[3];
+
+        // Removing PROP costs F* on both role pairs (precision collapse).
+        for i in 0..2 {
+            assert!(
+                f(full, i) > f(no_prop, i),
+                "full {} vs no-prop {}",
+                f(full, i),
+                f(no_prop, i)
+            );
+            assert!(p(full, i) > p(no_prop, i));
+        }
+        // REL's benefit is scale-dependent (group gating only pays once
+        // namesake ambiguity bites — at full profile scale the gap is
+        // 4-12 F* points, see results/table3.txt; at 0.1 scale it can even
+        // invert). The fixture only checks that the variant runs and
+        // produces sane numbers.
+        for i in 0..2 {
+            let v = f(no_rel, i);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v > 0.3, "without-REL still links: {v}");
+        }
+        let _ = no_rel;
+    }
+}

@@ -1,0 +1,161 @@
+//! Linkage-quality metrics.
+//!
+//! The paper reports precision, recall, and the **F\*-measure**
+//! `F* = TP / (TP + FP + FN)` — "an interpretable transformation of the
+//! F-measure" (Hand, Christen & Kirielle 2021) — because plain F1 weights
+//! precision and recall by the number of classified matches (§10).
+
+use std::collections::BTreeSet;
+
+use snaps_model::RecordId;
+
+/// Confusion counts and derived measures of one linkage evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Quality {
+    /// True positives: true matches classified as matches.
+    pub tp: usize,
+    /// False positives: true non-matches classified as matches.
+    pub fp: usize,
+    /// False negatives: true matches classified as non-matches.
+    pub fn_: usize,
+}
+
+impl Quality {
+    /// Compare a predicted link set against ground truth.
+    #[must_use]
+    pub fn from_sets(
+        predicted: &BTreeSet<(RecordId, RecordId)>,
+        truth: &BTreeSet<(RecordId, RecordId)>,
+    ) -> Self {
+        let tp = predicted.intersection(truth).count();
+        Self { tp, fp: predicted.len() - tp, fn_: truth.len() - tp }
+    }
+
+    /// Precision `TP / (TP + FP)` (1.0 when nothing was classified).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            return if self.fn_ == 0 { 1.0 } else { 0.0 };
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Recall `TP / (TP + FN)` (1.0 when there was nothing to find).
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// The F\*-measure `TP / (TP + FP + FN)`.
+    #[must_use]
+    pub fn f_star(&self) -> f64 {
+        let denom = self.tp + self.fp + self.fn_;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Classic F1, kept for the monotonicity relationship with F\*.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// `(P, R, F*)` as percentages, the paper's reporting format.
+    #[must_use]
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        (100.0 * self.precision(), 100.0 * self.recall(), 100.0 * self.f_star())
+    }
+}
+
+/// Mean and (population) standard deviation of a series — the format of the
+/// paper's Magellan column ("averages ± standard deviations").
+#[must_use]
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(u32, u32)]) -> BTreeSet<(RecordId, RecordId)> {
+        pairs.iter().map(|&(a, b)| (RecordId(a), RecordId(b))).collect()
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let pred = set(&[(0, 1), (2, 3), (4, 5)]);
+        let truth = set(&[(0, 1), (2, 3), (6, 7)]);
+        let q = Quality::from_sets(&pred, &truth);
+        assert_eq!(q, Quality { tp: 2, fp: 1, fn_: 1 });
+        assert!((q.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.f_star() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_empty() {
+        let q = Quality::from_sets(&set(&[(0, 1)]), &set(&[(0, 1)]));
+        assert_eq!(q.percentages(), (100.0, 100.0, 100.0));
+        let empty = Quality::from_sets(&set(&[]), &set(&[]));
+        assert_eq!(empty.f_star(), 1.0);
+        assert_eq!(empty.precision(), 1.0);
+    }
+
+    #[test]
+    fn nothing_predicted_but_links_exist() {
+        let q = Quality::from_sets(&set(&[]), &set(&[(0, 1)]));
+        assert_eq!(q.precision(), 0.0);
+        assert_eq!(q.recall(), 0.0);
+        assert_eq!(q.f_star(), 0.0);
+    }
+
+    #[test]
+    fn f_star_is_monotone_transformation_of_f1() {
+        // F* = F1 / (2 - F1); check the identity on several points.
+        for q in [
+            Quality { tp: 10, fp: 3, fn_: 2 },
+            Quality { tp: 1, fp: 9, fn_: 9 },
+            Quality { tp: 50, fp: 1, fn_: 0 },
+        ] {
+            let f1 = q.f1();
+            let expected = f1 / (2.0 - f1);
+            assert!((q.f_star() - expected).abs() < 1e-12, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn f_star_below_min_of_p_and_r() {
+        let q = Quality { tp: 10, fp: 5, fn_: 3 };
+        assert!(q.f_star() <= q.precision());
+        assert!(q.f_star() <= q.recall());
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (m1, s1) = mean_std(&[3.3]);
+        assert!((m1 - 3.3).abs() < 1e-12);
+        assert_eq!(s1, 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The Table 4 experiment: linkage quality of SNAPS vs all baselines.
+
+use std::collections::BTreeSet;
+
+use snaps_baselines::supervised::{paper_classifiers, supervised_link, TrainingRegime};
+use snaps_baselines::{attr_sim_link, dep_graph_link, rel_cluster_link};
+use snaps_core::{resolve, SnapsConfig};
+use snaps_datagen::GeneratedData;
+use snaps_model::{RecordId, RoleCategory};
+
+use crate::metrics::Quality;
+
+/// The role pairs the paper evaluates (Tables 2–4).
+pub const ROLE_PAIRS: [(RoleCategory, RoleCategory, &str); 2] = [
+    (RoleCategory::BirthParent, RoleCategory::BirthParent, "Bp-Bp"),
+    (RoleCategory::BirthParent, RoleCategory::DeathParent, "Bp-Dp"),
+];
+
+/// Quality of one system per role pair.
+#[derive(Debug, Clone)]
+pub struct SystemQuality {
+    /// System name ("SNAPS", "Attr-Sim", …).
+    pub system: String,
+    /// `(role-pair label, quality)` rows.
+    pub per_role_pair: Vec<(String, Quality)>,
+}
+
+/// Supervised baseline: the paper reports mean ± std over four classifiers
+/// and two training regimes, so every role pair carries the raw samples.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisedQuality {
+    /// `(role-pair label, one Quality per classifier × regime)` rows.
+    pub per_role_pair: Vec<(String, Vec<Quality>)>,
+}
+
+/// All of Table 4 for one dataset.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// SNAPS and the three unsupervised baselines.
+    pub unsupervised: Vec<SystemQuality>,
+    /// The supervised (Magellan-substitute) baseline.
+    pub supervised: SupervisedQuality,
+}
+
+/// Evaluate SNAPS and the unsupervised baselines on a generated dataset.
+#[must_use]
+pub fn evaluate_unsupervised(data: &GeneratedData, cfg: &SnapsConfig) -> Vec<SystemQuality> {
+    let ds = &data.dataset;
+    let snaps = resolve(ds, cfg);
+    let attr = attr_sim_link(ds, cfg);
+    let dep = dep_graph_link(ds, cfg);
+    let rel = rel_cluster_link(ds, cfg);
+
+    let mut out = Vec::new();
+    let systems: Vec<(&str, Box<dyn Fn(RoleCategory, RoleCategory) -> BTreeSet<(RecordId, RecordId)>>)> = vec![
+        ("SNAPS", Box::new(|a, b| snaps.matched_pairs(ds, a, b))),
+        ("Attr-Sim", Box::new(|a, b| attr.matched_pairs(ds, a, b))),
+        ("Dep-Graph", Box::new(|a, b| dep.matched_pairs(ds, a, b))),
+        ("Rel-Cluster", Box::new(|a, b| rel.matched_pairs(ds, a, b))),
+    ];
+    for (name, matched) in systems {
+        let mut rows = Vec::new();
+        for &(ca, cb, label) in &ROLE_PAIRS {
+            let truth = data.truth.true_links(ds, ca, cb);
+            let pred = matched(ca, cb);
+            rows.push((label.to_string(), Quality::from_sets(&pred, &truth)));
+        }
+        out.push(SystemQuality { system: name.to_string(), per_role_pair: rows });
+    }
+    out
+}
+
+/// Restrict a pair set to pairs of the given role categories.
+fn restrict_to_role_pair(
+    ds: &snaps_model::Dataset,
+    pairs: &BTreeSet<(RecordId, RecordId)>,
+    ca: RoleCategory,
+    cb: RoleCategory,
+) -> BTreeSet<(RecordId, RecordId)> {
+    pairs
+        .iter()
+        .copied()
+        .filter(|&(a, b)| {
+            let (ra, rb) = (ds.record(a).role.category(), ds.record(b).role.category());
+            (ra == ca && rb == cb) || (ra == cb && rb == ca)
+        })
+        .collect()
+}
+
+/// Evaluate the supervised baseline: four classifiers × two regimes per role
+/// pair (paper §10). Each run trains on half the candidate pairs and is
+/// scored on the held-out half, pairwise — the protocol of a pairwise
+/// matcher like Magellan.
+#[must_use]
+pub fn evaluate_supervised(data: &GeneratedData, cfg: &SnapsConfig) -> SupervisedQuality {
+    let ds = &data.dataset;
+    let truth = &data.truth;
+    let is_match = |a: RecordId, b: RecordId| truth.is_match(a, b);
+
+    let mut report = SupervisedQuality::default();
+    for &(ca, cb, label) in &ROLE_PAIRS {
+        let mut samples = Vec::new();
+        for regime in [TrainingRegime::PerRolePair(ca, cb), TrainingRegime::AllPairs] {
+            for classifier in paper_classifiers() {
+                let (result, eval_pairs) =
+                    supervised_link(ds, cfg, classifier, regime, &is_match);
+                // Pairwise scoring over the evaluation half, restricted to
+                // the tested role pair.
+                let eval_set: BTreeSet<(RecordId, RecordId)> =
+                    eval_pairs.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+                let truth_pairs: BTreeSet<(RecordId, RecordId)> = eval_set
+                    .iter()
+                    .copied()
+                    .filter(|&(a, b)| truth.is_match(a, b))
+                    .collect();
+                let truth_pairs = restrict_to_role_pair(ds, &truth_pairs, ca, cb);
+                let predicted: BTreeSet<(RecordId, RecordId)> =
+                    result.links.iter().copied().collect();
+                let predicted = restrict_to_role_pair(ds, &predicted, ca, cb);
+                samples.push(Quality::from_sets(&predicted, &truth_pairs));
+            }
+        }
+        report.per_role_pair.push((label.to_string(), samples));
+    }
+    report
+}
+
+/// Run the full Table 4 experiment on one dataset.
+#[must_use]
+pub fn run_quality_experiment(data: &GeneratedData, cfg: &SnapsConfig) -> QualityReport {
+    QualityReport {
+        dataset: data.dataset.name.clone(),
+        unsupervised: evaluate_unsupervised(data, cfg),
+        supervised: evaluate_supervised(data, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_datagen::{generate, DatasetProfile};
+
+    fn small() -> GeneratedData {
+        generate(&DatasetProfile::ios().scaled(0.08), 42)
+    }
+
+    #[test]
+    fn unsupervised_covers_all_systems_and_role_pairs() {
+        let data = small();
+        let rows = evaluate_unsupervised(&data, &SnapsConfig::default());
+        assert_eq!(rows.len(), 4);
+        let names: Vec<&str> = rows.iter().map(|r| r.system.as_str()).collect();
+        assert_eq!(names, vec!["SNAPS", "Attr-Sim", "Dep-Graph", "Rel-Cluster"]);
+        for r in &rows {
+            assert_eq!(r.per_role_pair.len(), 2);
+        }
+    }
+
+    #[test]
+    fn snaps_is_most_precise_and_competitive() {
+        // The Table-4 F* ordering (SNAPS best everywhere) is
+        // scale-dependent — namesake ambiguity only bites at profile
+        // scale, where the table4 binary measures it (see EXPERIMENTS.md).
+        // Scale-free invariants: SNAPS is the most precise system, and its
+        // F* is within a small margin of the best baseline even on a
+        // fixture too small for its precision machinery to pay off.
+        let data = small();
+        let rows = evaluate_unsupervised(&data, &SnapsConfig::default());
+        let snaps = &rows[0];
+        for other in &rows[1..] {
+            for (i, (label, q)) in snaps.per_role_pair.iter().enumerate() {
+                let (_, oq) = &other.per_role_pair[i];
+                assert!(
+                    q.precision() >= oq.precision(),
+                    "SNAPS {label} P={:.3} vs {} {:.3}",
+                    q.precision(),
+                    other.system,
+                    oq.precision()
+                );
+                assert!(
+                    q.f_star() + 0.06 >= oq.f_star(),
+                    "SNAPS {label} F*={:.3} vs {} {:.3}",
+                    q.f_star(),
+                    other.system,
+                    oq.f_star()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_produces_eight_samples_per_role_pair() {
+        let data = small();
+        let rep = evaluate_supervised(&data, &SnapsConfig::default());
+        assert_eq!(rep.per_role_pair.len(), 2);
+        for (_, samples) in &rep.per_role_pair {
+            assert_eq!(samples.len(), 8, "4 classifiers × 2 regimes");
+        }
+    }
+
+    #[test]
+    fn supervised_has_variance_across_regimes() {
+        // The paper's headline about Magellan: high standard deviation
+        // between the favourable and realistic training regimes.
+        let data = small();
+        let rep = evaluate_supervised(&data, &SnapsConfig::default());
+        let (_, samples) = &rep.per_role_pair[0];
+        let f: Vec<f64> = samples.iter().map(Quality::f_star).collect();
+        let (_, std) = crate::metrics::mean_std(&f);
+        assert!(std > 0.0, "identical results across all 8 runs is implausible");
+    }
+}

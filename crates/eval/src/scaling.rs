@@ -1,0 +1,97 @@
+//! The Table 6 experiment: scalability over growing registration windows.
+//!
+//! The paper grows the BHIC window (1900–1935, 1890–1935, …) and reports
+//! graph sizes, per-phase runtimes, and linkage time per node and per edge,
+//! observing near-linear scaling. We reproduce the identical protocol on
+//! the BHIC-like profile.
+
+use snaps_core::{resolve, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+
+/// One Table 6 row.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Registration window length in years.
+    pub period_years: u32,
+    /// First and last registered year.
+    pub period: (i32, i32),
+    /// Records in the generated dataset.
+    pub records: usize,
+    /// Dependency-graph nodes (`|N_A| + |N_R|`).
+    pub nodes: usize,
+    /// Dependency-graph edges.
+    pub edges: usize,
+    /// Seconds generating atomic nodes (blocking + similarity).
+    pub t_atomic_s: f64,
+    /// Seconds generating relational nodes.
+    pub t_relational_s: f64,
+    /// Seconds bootstrapping.
+    pub t_bootstrap_s: f64,
+    /// Seconds in iterative merging.
+    pub t_merge_s: f64,
+    /// Linkage (bootstrap + merge) milliseconds per graph node.
+    pub linkage_ms_per_node: f64,
+    /// Linkage milliseconds per graph edge.
+    pub linkage_ms_per_edge: f64,
+}
+
+/// Run the scaling experiment for each window length.
+///
+/// `scale` shrinks the BHIC population for quick runs (1.0 = full profile);
+/// `seed` keeps the sweep deterministic.
+#[must_use]
+pub fn run_scaling(periods: &[u32], scale: f64, seed: u64, cfg: &SnapsConfig) -> Vec<ScalingRow> {
+    periods
+        .iter()
+        .map(|&period_years| {
+            let profile = DatasetProfile::bhic(period_years).scaled(scale);
+            let data = generate(&profile, seed);
+            let res = resolve(&data.dataset, cfg);
+            let s = &res.stats;
+            let nodes = s.n_atomic + s.n_relational;
+            let edges = s.n_edges;
+            let linkage_ms = s.linkage_time().as_secs_f64() * 1000.0;
+            ScalingRow {
+                period_years,
+                period: (profile.reg_start, profile.reg_end),
+                records: data.dataset.len(),
+                nodes,
+                edges,
+                t_atomic_s: s.t_atomic.as_secs_f64(),
+                t_relational_s: s.t_relational.as_secs_f64(),
+                t_bootstrap_s: s.t_bootstrap.as_secs_f64(),
+                t_merge_s: s.t_merge.as_secs_f64(),
+                linkage_ms_per_node: linkage_ms / nodes.max(1) as f64,
+                linkage_ms_per_edge: linkage_ms / edges.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// The paper's four window lengths (35, 45, 55, 65 years before 1935).
+pub const PAPER_PERIODS: [u32; 4] = [35, 45, 55, 65];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_grow_monotonically() {
+        let rows = run_scaling(&[20, 35], 0.05, 42, &SnapsConfig::default());
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].records > rows[0].records, "longer window, more records");
+        assert!(rows[1].nodes >= rows[0].nodes);
+        assert_eq!(rows[0].period.1, 1935);
+        assert_eq!(rows[1].period.1, 1935);
+        assert_eq!(rows[1].period.1 - rows[1].period.0, 35);
+    }
+
+    #[test]
+    fn rows_have_positive_times() {
+        let rows = run_scaling(&[20], 0.05, 42, &SnapsConfig::default());
+        let r = &rows[0];
+        assert!(r.t_atomic_s >= 0.0);
+        assert!(r.linkage_ms_per_node >= 0.0);
+        assert!(r.edges > 0);
+    }
+}

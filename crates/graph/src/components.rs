@@ -1,0 +1,39 @@
+//! Connected components over arbitrary edge lists.
+
+use crate::union_find::UnionFind;
+
+/// Connected components of the graph over `0..n` defined by `edges`.
+///
+/// Each component is sorted ascending; components are ordered by their
+/// smallest member. Isolated vertices form singleton components.
+#[must_use]
+pub fn connected_components(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(n);
+    for (a, b) in edges {
+        uf.union(a, b);
+    }
+    uf.groups()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_singletons() {
+        let comps = connected_components(6, [(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(connected_components(0, []).is_empty());
+        assert_eq!(connected_components(2, []), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn duplicate_edges_harmless() {
+        let comps = connected_components(3, [(0, 1), (0, 1), (1, 0)]);
+        assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+    }
+}

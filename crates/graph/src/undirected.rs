@@ -1,0 +1,281 @@
+//! A small undirected graph with the measures used for cluster refinement.
+//!
+//! The dynamic-refining step (paper §4.2.5) views each entity's records and
+//! links as an undirected graph and applies Randall et al.'s graph-measure
+//! error identification: low *density* or the presence of *bridges* marks a
+//! loosely connected cluster likely to contain wrong links.
+
+/// An undirected graph over vertices `0..n` stored as adjacency lists.
+///
+/// Parallel edges and self-loops are rejected at insertion; both would
+/// distort the density measure.
+#[derive(Debug, Clone)]
+pub struct UndirectedGraph {
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl UndirectedGraph {
+    /// Create a graph with `n` vertices and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n], edges: 0 }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Add the undirected edge `{a, b}`; returns `false` (and does nothing)
+    /// if it already exists. Self-loops panic — cluster graphs never contain
+    /// them.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert_ne!(a, b, "self-loops are not allowed");
+        if self.adj[a].contains(&(b as u32)) {
+            return false;
+        }
+        self.adj[a].push(b as u32);
+        self.adj[b].push(a as u32);
+        self.edges += 1;
+        true
+    }
+
+    /// Neighbours of `v`.
+    #[must_use]
+    pub fn neighbours(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The vertex with minimum degree (ties broken by smallest index).
+    ///
+    /// Refinement drops this vertex from under-dense clusters.
+    #[must_use]
+    pub fn min_degree_vertex(&self) -> Option<usize> {
+        (0..self.vertex_count()).min_by_key(|&v| (self.degree(v), v))
+    }
+
+    /// Graph density `d = 2|E| / (|N| (|N| - 1))` (paper §4.2.5).
+    ///
+    /// Graphs with fewer than two vertices have density `1.0` (trivially
+    /// complete).
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let n = self.vertex_count();
+        if n < 2 {
+            return 1.0;
+        }
+        2.0 * self.edges as f64 / (n as f64 * (n - 1) as f64)
+    }
+
+    /// All bridges — edges whose removal disconnects their component —
+    /// via Tarjan's low-link algorithm, iteratively (no recursion, so deep
+    /// chains cannot overflow the stack).
+    ///
+    /// Returned as `(a, b)` with `a < b`, sorted, for determinism.
+    #[must_use]
+    pub fn bridges(&self) -> Vec<(usize, usize)> {
+        let n = self.vertex_count();
+        let mut disc = vec![usize::MAX; n]; // discovery time
+        let mut low = vec![usize::MAX; n];
+        let mut timer = 0usize;
+        let mut bridges = Vec::new();
+
+        // Iterative DFS frame: (vertex, parent-edge neighbour index skip, next child index).
+        for start in 0..n {
+            if disc[start] != usize::MAX {
+                continue;
+            }
+            // Stack of (v, parent, next neighbour index to visit).
+            let mut stack: Vec<(usize, usize, usize)> = vec![(start, usize::MAX, 0)];
+            disc[start] = timer;
+            low[start] = timer;
+            timer += 1;
+
+            while let Some(&mut (v, parent, ref mut idx)) = stack.last_mut() {
+                if *idx < self.adj[v].len() {
+                    let to = self.adj[v][*idx] as usize;
+                    *idx += 1;
+                    if to == parent {
+                        // Skip the tree edge back to the parent once; a second
+                        // parallel edge would not be a bridge, but parallel
+                        // edges are rejected at insertion.
+                        continue;
+                    }
+                    if disc[to] == usize::MAX {
+                        disc[to] = timer;
+                        low[to] = timer;
+                        timer += 1;
+                        stack.push((to, v, 0));
+                    } else {
+                        low[v] = low[v].min(disc[to]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&mut (p, _, _)) = stack.last_mut() {
+                        low[p] = low[p].min(low[v]);
+                        if low[v] > disc[p] {
+                            bridges.push((p.min(v), p.max(v)));
+                        }
+                    }
+                }
+            }
+        }
+        bridges.sort_unstable();
+        bridges
+    }
+
+    /// Connected components as sorted vertex lists, ordered by smallest
+    /// member.
+    #[must_use]
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.vertex_count();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![start];
+            seen[start] = true;
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                for &u in &self.adj[v] {
+                    let u = u as usize;
+                    if !seen[u] {
+                        seen[u] = true;
+                        comp.push(u);
+                        stack.push(u);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    fn clique(n: usize) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn density_of_clique_is_one() {
+        assert!((clique(5).density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_path() {
+        // Path of 4: 3 edges, max 6 → 0.5.
+        assert!((path(4).density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_trivial_graphs() {
+        assert_eq!(UndirectedGraph::new(0).density(), 1.0);
+        assert_eq!(UndirectedGraph::new(1).density(), 1.0);
+    }
+
+    #[test]
+    fn every_path_edge_is_a_bridge() {
+        let b = path(5).bridges();
+        assert_eq!(b, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn cliques_have_no_bridges() {
+        assert!(clique(4).bridges().is_empty());
+    }
+
+    #[test]
+    fn bridge_between_two_triangles() {
+        // Triangles {0,1,2} and {3,4,5} joined by edge (2,3).
+        let mut g = UndirectedGraph::new(6);
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b);
+        }
+        g.add_edge(2, 3);
+        assert_eq!(g.bridges(), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = UndirectedGraph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        UndirectedGraph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    fn min_degree_vertex() {
+        // Star: centre 0 has degree 3, leaves degree 1 → leaf 1 wins.
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        assert_eq!(g.min_degree_vertex(), Some(1));
+        assert_eq!(UndirectedGraph::new(0).min_degree_vertex(), None);
+    }
+
+    #[test]
+    fn components_split() {
+        let mut g = UndirectedGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        assert_eq!(g.components(), vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-vertex path: recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let g = path(n);
+        assert_eq!(g.bridges().len(), n - 1);
+    }
+
+    #[test]
+    fn disconnected_bridges_found_in_all_components() {
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert_eq!(g.bridges(), vec![(0, 1), (2, 3)]);
+    }
+}

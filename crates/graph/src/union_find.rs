@@ -1,0 +1,166 @@
+//! Disjoint-set (union-find) with path compression and union by size.
+
+/// A disjoint-set forest over `0..n`.
+///
+/// Used to maintain entity clusters: every record starts in its own set and
+/// merging a relational node unions the two records' sets. Amortised cost is
+/// effectively constant per operation (inverse Ackermann).
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Create `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind supports at most 2^32 elements");
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    #[must_use]
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Find the representative of `x`'s set, compressing the path.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Union the sets containing `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // Union by size: attach the smaller tree under the larger.
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Group all elements by representative; each group is sorted ascending
+    /// and groups are ordered by their smallest element, so the output is
+    /// deterministic.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for x in 0..n {
+            let r = self.find(x);
+            by_root[r].push(x);
+        }
+        by_root.retain(|g| !g.is_empty());
+        by_root.sort_by_key(|g| g[0]);
+        by_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        assert!(!uf.same_set(0, 1));
+        assert_eq!(uf.set_size(2), 1);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.same_set(0, 1));
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.set_size(0), 2);
+        assert!(!uf.union(1, 0), "already merged");
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(2, 3));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn groups_deterministic() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 2);
+        uf.union(5, 0);
+        let g = uf.groups();
+        assert_eq!(g, vec![vec![0, 5], vec![1], vec![2, 4], vec![3]]);
+    }
+
+    #[test]
+    fn empty() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.groups().len(), 0);
+    }
+
+    #[test]
+    fn find_idempotent_after_compression() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(0);
+        for i in 0..10 {
+            assert_eq!(uf.find(i), r);
+        }
+        assert_eq!(uf.set_size(7), 10);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: union-find invariants and bridge-finder correctness
+//! against a brute-force oracle.
+
+use proptest::prelude::*;
+use snaps_graph::{connected_components, UndirectedGraph, UnionFind};
+
+/// Brute-force bridge oracle: remove each edge and check connectivity drops.
+fn brute_force_bridges(n: usize, edges: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let base = connected_components(n, edges.iter().copied()).len();
+    let mut bridges = Vec::new();
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        let without: Vec<_> =
+            edges.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &e)| e).collect();
+        if connected_components(n, without).len() > base {
+            bridges.push((a.min(b), a.max(b)));
+        }
+    }
+    bridges.sort_unstable();
+    bridges.dedup();
+    bridges
+}
+
+fn edge_list(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |pairs| {
+        let mut seen = std::collections::BTreeSet::new();
+        pairs
+            .into_iter()
+            .filter(|&(a, b)| a != b)
+            .filter(|&(a, b)| seen.insert((a.min(b), a.max(b))))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn bridges_match_brute_force(edges in edge_list(10)) {
+        let n = 10;
+        let mut g = UndirectedGraph::new(n);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        prop_assert_eq!(g.bridges(), brute_force_bridges(n, &edges));
+    }
+
+    #[test]
+    fn union_find_partitions(unions in proptest::collection::vec((0usize..20, 0usize..20), 0..40)) {
+        let mut uf = UnionFind::new(20);
+        for &(a, b) in &unions {
+            uf.union(a, b);
+        }
+        let groups = uf.groups();
+        // Groups partition 0..20.
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..20).collect::<Vec<_>>());
+        prop_assert_eq!(groups.len(), uf.set_count());
+        // Every requested union is honoured.
+        for &(a, b) in &unions {
+            prop_assert!(uf.same_set(a, b));
+        }
+        // set_size agrees with groups.
+        for g in &groups {
+            for &m in g {
+                prop_assert_eq!(uf.set_size(m), g.len());
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_between_implementations(edges in edge_list(12)) {
+        let n = 12;
+        let mut g = UndirectedGraph::new(n);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        prop_assert_eq!(g.components(), connected_components(n, edges));
+    }
+
+    #[test]
+    fn density_in_unit_range(edges in edge_list(8)) {
+        let mut g = UndirectedGraph::new(8);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        let d = g.density();
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+}

@@ -1,0 +1,151 @@
+//! The keyword index K: QID value → entity identifiers.
+
+use std::collections::HashMap;
+
+use snaps_core::PedigreeGraph;
+use snaps_model::{EntityId, Gender};
+
+/// Maps first names, surnames, and locations to the entities carrying them,
+/// with parallel year/gender accessors for result refinement (paper §6).
+#[derive(Debug, Clone, Default)]
+pub struct KeywordIndex {
+    first_names: HashMap<String, Vec<EntityId>>,
+    surnames: HashMap<String, Vec<EntityId>>,
+    locations: HashMap<String, Vec<EntityId>>,
+}
+
+impl KeywordIndex {
+    /// Index every entity of a pedigree graph under all of its values
+    /// (an entity with both a maiden and a married surname is findable under
+    /// either).
+    #[must_use]
+    pub fn build(graph: &PedigreeGraph) -> Self {
+        let mut idx = Self::default();
+        for e in &graph.entities {
+            for v in &e.first_names {
+                idx.first_names.entry(v.clone()).or_default().push(e.id);
+            }
+            for v in &e.surnames {
+                idx.surnames.entry(v.clone()).or_default().push(e.id);
+            }
+            for v in &e.addresses {
+                idx.locations.entry(v.clone()).or_default().push(e.id);
+            }
+        }
+        idx
+    }
+
+    /// Entities whose first name matches `value` exactly.
+    #[must_use]
+    pub fn by_first_name(&self, value: &str) -> &[EntityId] {
+        self.first_names.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    /// Entities whose surname matches `value` exactly.
+    #[must_use]
+    pub fn by_surname(&self, value: &str) -> &[EntityId] {
+        self.surnames.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    /// Entities with `value` among their addresses.
+    #[must_use]
+    pub fn by_location(&self, value: &str) -> &[EntityId] {
+        self.locations.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    /// All distinct indexed first names.
+    pub fn first_name_values(&self) -> impl Iterator<Item = &str> {
+        self.first_names.keys().map(String::as_str)
+    }
+
+    /// All distinct indexed surnames.
+    pub fn surname_values(&self) -> impl Iterator<Item = &str> {
+        self.surnames.keys().map(String::as_str)
+    }
+
+    /// All distinct indexed locations.
+    pub fn location_values(&self) -> impl Iterator<Item = &str> {
+        self.locations.keys().map(String::as_str)
+    }
+
+    /// Whether an entity's recorded gender is compatible with `g`.
+    #[must_use]
+    pub fn gender_matches(graph: &PedigreeGraph, e: EntityId, g: Gender) -> bool {
+        graph.entity(e).gender.compatible(g)
+    }
+
+    /// Number of distinct indexed first-name values.
+    #[must_use]
+    pub fn distinct_first_names(&self) -> usize {
+        self.first_names.len()
+    }
+
+    /// Number of distinct indexed surname values.
+    #[must_use]
+    pub fn distinct_surnames(&self) -> usize {
+        self.surnames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaps_core::{resolve, PedigreeGraph, SnapsConfig};
+    use snaps_model::{CertificateKind, Dataset, Role};
+
+    fn graph() -> PedigreeGraph {
+        let mut ds = Dataset::new("t");
+        let b = ds.push_certificate(CertificateKind::Birth, 1880);
+        for (role, f, s) in [
+            (Role::BirthBaby, "flora", "macrae"),
+            (Role::BirthMother, "effie", "macrae"),
+            (Role::BirthFather, "torquil", "macrae"),
+        ] {
+            let g = role.implied_gender().unwrap_or(Gender::Female);
+            let r = ds.push_record(b, role, g);
+            ds.record_mut(r).first_name = Some(f.into());
+            ds.record_mut(r).surname = Some(s.into());
+            ds.record_mut(r).address = Some("portree".into());
+        }
+        let res = resolve(&ds, &SnapsConfig::default());
+        PedigreeGraph::build(&ds, &res)
+    }
+
+    #[test]
+    fn indexes_all_name_values() {
+        let g = graph();
+        let idx = KeywordIndex::build(&g);
+        assert_eq!(idx.by_first_name("flora").len(), 1);
+        assert_eq!(idx.by_surname("macrae").len(), 3);
+        assert_eq!(idx.by_location("portree").len(), 3);
+        assert!(idx.by_first_name("zeb").is_empty());
+    }
+
+    #[test]
+    fn value_iterators() {
+        let g = graph();
+        let idx = KeywordIndex::build(&g);
+        let mut names: Vec<&str> = idx.first_name_values().collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["effie", "flora", "torquil"]);
+        assert_eq!(idx.distinct_surnames(), 1);
+        assert_eq!(idx.distinct_first_names(), 3);
+    }
+
+    #[test]
+    fn gender_compatibility_via_graph() {
+        let g = graph();
+        let idx = KeywordIndex::build(&g);
+        let flora = idx.by_first_name("flora")[0];
+        assert!(KeywordIndex::gender_matches(&g, flora, Gender::Female));
+        assert!(!KeywordIndex::gender_matches(&g, flora, Gender::Male));
+        assert!(KeywordIndex::gender_matches(&g, flora, Gender::Unknown));
+    }
+
+    #[test]
+    fn empty_graph_empty_index() {
+        let idx = KeywordIndex::build(&PedigreeGraph::default());
+        assert_eq!(idx.distinct_first_names(), 0);
+        assert!(idx.by_surname("x").is_empty());
+    }
+}

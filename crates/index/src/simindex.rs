@@ -1,0 +1,220 @@
+//! The similarity-aware index S (paper §6, after Christen et al.).
+//!
+//! For every indexed string value, all other values that share at least one
+//! bigram and reach a Jaro-Winkler similarity of `s_t` are pre-computed, so
+//! approximate matching at query time is a hash lookup. Query values never
+//! seen before are compared once against the bigram-sharing candidates and
+//! the result is cached "to speed-up future queries of the same value" (§7).
+
+use std::collections::HashMap;
+
+use snaps_strsim::jaro_winkler;
+use snaps_strsim::qgram::bigrams;
+
+/// A value's pre-computed approximate matches: `(value, similarity)`,
+/// sorted descending by similarity.
+pub type Matches = Vec<(String, f64)>;
+
+/// The similarity-aware index.
+#[derive(Debug, Clone)]
+pub struct SimilarityIndex {
+    /// Minimum similarity retained (`s_t`).
+    s_t: f64,
+    /// Indexed values in insertion order.
+    values: Vec<String>,
+    /// Bigram → indices into `values` (postings lists).
+    postings: HashMap<String, Vec<u32>>,
+    /// value → its matches among `values`.
+    matches: HashMap<String, Matches>,
+}
+
+impl SimilarityIndex {
+    /// Pre-compute the index over `values` with threshold `s_t`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < s_t < 1` (the paper's setting is `0.5`).
+    #[must_use]
+    pub fn build<'v>(values: impl IntoIterator<Item = &'v str>, s_t: f64) -> Self {
+        assert!(s_t > 0.0 && s_t < 1.0, "s_t must be in (0,1)");
+        let mut idx = Self {
+            s_t,
+            values: Vec::new(),
+            postings: HashMap::new(),
+            matches: HashMap::new(),
+        };
+        for v in values {
+            idx.insert_value(v);
+        }
+        // Pre-compute every indexed value's matches.
+        let all: Vec<String> = idx.values.clone();
+        for v in &all {
+            let m = idx.compute_matches(v);
+            idx.matches.insert(v.clone(), m);
+        }
+        idx
+    }
+
+    /// Number of indexed values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the index holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total stored match pairs (the index's size driver — the reason `s_t`
+    /// is not set lower, §6).
+    #[must_use]
+    pub fn stored_pairs(&self) -> usize {
+        self.matches.values().map(Vec::len).sum()
+    }
+
+    fn insert_value(&mut self, v: &str) {
+        if v.is_empty() || self.matches.contains_key(v) || self.values.iter().any(|x| x == v) {
+            return;
+        }
+        let id = u32::try_from(self.values.len()).expect("at most 2^32 values");
+        self.values.push(v.to_string());
+        for bg in bigrams(v) {
+            self.postings.entry(bg).or_default().push(id);
+        }
+    }
+
+    /// Candidates sharing at least one bigram with `v`.
+    fn candidates(&self, v: &str) -> Vec<u32> {
+        let mut ids: Vec<u32> = bigrams(v)
+            .iter()
+            .filter_map(|bg| self.postings.get(bg))
+            .flatten()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    fn compute_matches(&self, v: &str) -> Matches {
+        let mut out: Matches = self
+            .candidates(v)
+            .into_iter()
+            .map(|id| &self.values[id as usize])
+            .filter(|cand| cand.as_str() != v)
+            .filter_map(|cand| {
+                let s = jaro_winkler(v, cand);
+                (s >= self.s_t).then(|| (cand.clone(), s))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The pre-computed matches of an indexed value, if present.
+    #[must_use]
+    pub fn lookup(&self, v: &str) -> Option<&Matches> {
+        self.matches.get(v)
+    }
+
+    /// Matches for any value: cached when known, computed against the
+    /// bigram-sharing candidates and cached otherwise (the §7 online
+    /// extension — the unseen value itself is *not* added to the postings,
+    /// it is a query string, not data).
+    pub fn lookup_or_compute(&mut self, v: &str) -> &Matches {
+        if !self.matches.contains_key(v) {
+            let m = self.compute_matches(v);
+            self.matches.insert(v.to_string(), m);
+        }
+        &self.matches[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> SimilarityIndex {
+        SimilarityIndex::build(
+            ["macdonald", "mcdonald", "macdougall", "martin", "tweedie"],
+            0.5,
+        )
+    }
+
+    #[test]
+    fn exact_values_indexed() {
+        let i = idx();
+        assert_eq!(i.len(), 5);
+        assert!(i.lookup("macdonald").is_some());
+        assert!(i.lookup("nosuch").is_none());
+    }
+
+    #[test]
+    fn similar_values_found_sorted() {
+        let i = idx();
+        let m = i.lookup("macdonald").unwrap();
+        assert!(!m.is_empty());
+        assert_eq!(m[0].0, "mcdonald", "most similar first: {m:?}");
+        for w in m.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Self is never among the matches.
+        assert!(m.iter().all(|(v, _)| v != "macdonald"));
+    }
+
+    #[test]
+    fn threshold_respected() {
+        let i = idx();
+        for v in ["macdonald", "martin", "tweedie"] {
+            for (_, s) in i.lookup(v).unwrap() {
+                assert!(*s >= 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn dissimilar_not_matched() {
+        let i = idx();
+        let m = i.lookup("tweedie").unwrap();
+        assert!(m.iter().all(|(v, _)| v != "martin"), "{m:?}");
+    }
+
+    #[test]
+    fn unseen_query_value_cached() {
+        let mut i = idx();
+        assert!(i.lookup("macdonalds").is_none());
+        let m = i.lookup_or_compute("macdonalds").clone();
+        assert!(m.iter().any(|(v, _)| v == "macdonald"));
+        // Second lookup hits the cache.
+        assert!(i.lookup("macdonalds").is_some());
+        assert_eq!(i.lookup("macdonalds").unwrap(), &m);
+        // The query string was not added as an indexed value.
+        assert_eq!(i.len(), 5);
+        let others = i.lookup("macdonald").unwrap();
+        assert!(others.iter().all(|(v, _)| v != "macdonalds"));
+    }
+
+    #[test]
+    fn duplicates_and_empties_ignored() {
+        let i = SimilarityIndex::build(["ann", "ann", ""], 0.5);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "s_t must be in (0,1)")]
+    fn invalid_threshold_panics() {
+        let _ = SimilarityIndex::build(["a"], 1.0);
+    }
+
+    #[test]
+    fn stored_pairs_counts() {
+        let i = idx();
+        assert!(i.stored_pairs() >= 2, "mac* family yields pairs");
+        let higher = SimilarityIndex::build(
+            ["macdonald", "mcdonald", "macdougall", "martin", "tweedie"],
+            0.9,
+        );
+        assert!(higher.stored_pairs() < i.stored_pairs(), "higher s_t stores less");
+    }
+}

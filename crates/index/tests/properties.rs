@@ -1,0 +1,66 @@
+//! Property tests: the similarity-aware index against a brute-force oracle.
+
+use proptest::prelude::*;
+use snaps_index::SimilarityIndex;
+use snaps_strsim::jaro_winkler;
+use snaps_strsim::qgram::share_bigram;
+
+fn words() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(proptest::string::string_regex("[a-e]{2,8}").unwrap(), 1..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every stored match agrees with a direct Jaro-Winkler computation and
+    /// clears the threshold; every bigram-sharing value clearing the
+    /// threshold is stored (completeness against the oracle).
+    #[test]
+    fn index_matches_brute_force(values in words(), s_t in 0.4f64..0.9) {
+        let index = SimilarityIndex::build(values.iter().map(String::as_str), s_t);
+        let mut distinct: Vec<&String> = values.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+
+        for v in &distinct {
+            let stored = index.lookup(v).expect("indexed value has matches entry");
+            // Soundness.
+            for (other, sim) in stored {
+                prop_assert!((jaro_winkler(v, other) - sim).abs() < 1e-12);
+                prop_assert!(*sim >= s_t);
+                prop_assert!(share_bigram(v, other));
+            }
+            // Completeness.
+            for other in &distinct {
+                if *other == *v {
+                    continue;
+                }
+                let sim = jaro_winkler(v, other);
+                if sim >= s_t && share_bigram(v, other) {
+                    prop_assert!(
+                        stored.iter().any(|(o, _)| o == *other),
+                        "missing match {other} for {v} (sim {sim})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Unseen query values get exactly the matches a rebuild-with-the-value
+    /// would give them (minus the value itself).
+    #[test]
+    fn online_extension_is_consistent(values in words(), query in "[a-e]{2,8}") {
+        let s_t = 0.5;
+        let mut index = SimilarityIndex::build(values.iter().map(String::as_str), s_t);
+        let online = index.lookup_or_compute(&query).clone();
+        for (other, sim) in &online {
+            prop_assert!((jaro_winkler(&query, other) - sim).abs() < 1e-12);
+            prop_assert!(*sim >= s_t);
+            prop_assert!(values.contains(other), "matches only indexed values");
+        }
+        // Descending order.
+        for w in online.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Training-data utilities: labelled datasets and deterministic splits.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A labelled dataset of dense feature vectors.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Feature rows.
+    pub x: Vec<Vec<f64>>,
+    /// Labels.
+    pub y: Vec<bool>,
+}
+
+impl Dataset {
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Add one example.
+    pub fn push(&mut self, features: Vec<f64>, label: bool) {
+        self.x.push(features);
+        self.y.push(label);
+    }
+
+    /// Count of positive examples.
+    #[must_use]
+    pub fn positives(&self) -> usize {
+        self.y.iter().filter(|&&l| l).count()
+    }
+}
+
+/// Split into `(train, test)` with `train_fraction` of examples in train,
+/// shuffled deterministically by `seed`.
+///
+/// # Panics
+/// Panics if `train_fraction` is outside `(0, 1)`.
+#[must_use]
+pub fn train_test_split(data: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must be in (0,1)"
+    );
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+
+    let cut = ((data.len() as f64) * train_fraction).round() as usize;
+    let cut = cut.clamp(1, data.len().saturating_sub(1).max(1));
+    let mut train = Dataset::default();
+    let mut test = Dataset::default();
+    for (k, &i) in order.iter().enumerate() {
+        if k < cut {
+            train.push(data.x[i].clone(), data.y[i]);
+        } else {
+            test.push(data.x[i].clone(), data.y[i]);
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Dataset {
+        let mut d = Dataset::default();
+        for i in 0..n {
+            d.push(vec![i as f64], i % 3 == 0);
+        }
+        d
+    }
+
+    #[test]
+    fn split_sizes() {
+        let d = sample(100);
+        let (tr, te) = train_test_split(&d, 0.7, 1);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(te.len(), 30);
+        assert_eq!(tr.len() + te.len(), d.len());
+    }
+
+    #[test]
+    fn split_partitions_without_duplication() {
+        let d = sample(50);
+        let (tr, te) = train_test_split(&d, 0.5, 2);
+        let mut all: Vec<f64> = tr.x.iter().chain(te.x.iter()).map(|r| r[0]).collect();
+        all.sort_by(f64::total_cmp);
+        let expected: Vec<f64> = (0..50).map(|i| f64::from(i)).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = sample(30);
+        let (a, _) = train_test_split(&d, 0.6, 9);
+        let (b, _) = train_test_split(&d, 0.6, 9);
+        assert_eq!(a.x, b.x);
+        let (c, _) = train_test_split(&d, 0.6, 10);
+        assert_ne!(a.x, c.x, "different seed shuffles differently");
+    }
+
+    #[test]
+    fn positives_counted() {
+        let d = sample(9);
+        assert_eq!(d.positives(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn bad_fraction_panics() {
+        let _ = train_test_split(&sample(10), 1.0, 0);
+    }
+}

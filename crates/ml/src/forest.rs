@@ -1,0 +1,114 @@
+//! Random forest: bagged CART trees over random feature subsets.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::DecisionTree;
+use crate::{check_shape, Classifier};
+
+/// Random forest classifier (majority vote over bootstrapped trees).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Seed for bootstrap and feature sampling (deterministic fits).
+    pub seed: u64,
+    trees: Vec<DecisionTree>,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self { n_trees: 25, max_depth: 8, seed: 42, trees: Vec::new() }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let dim = check_shape(x, y);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        self.trees.clear();
+        // √dim feature subsampling, the conventional default.
+        let n_features = ((dim as f64).sqrt().ceil() as usize).clamp(1, dim);
+        for _ in 0..self.n_trees {
+            // Bootstrap rows.
+            let rows: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+            // Random feature subset (without replacement).
+            let mut features: Vec<usize> = (0..dim).collect();
+            for i in (1..features.len()).rev() {
+                features.swap(i, rng.gen_range(0..=i));
+            }
+            features.truncate(n_features);
+            features.sort_unstable();
+
+            let mut tree = DecisionTree::default();
+            tree.max_depth = self.max_depth;
+            tree.fit_subset(x, y, rows, &features);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let votes = self.trees.iter().filter(|t| t.predict(x)).count();
+        2 * votes >= self.trees.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        // Ring problem: positive inside the ring.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in -10..=10 {
+            for j in -10..=10 {
+                let (a, b) = (f64::from(i) / 10.0, f64::from(j) / 10.0);
+                x.push(vec![a, b]);
+                y.push(a * a + b * b < 0.5);
+            }
+        }
+        let mut f = RandomForest::default();
+        f.fit(&x, &y);
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| f.predict(xi) == yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = vec![vec![0.1, 0.2], vec![0.9, 0.8], vec![0.2, 0.1], vec![0.8, 0.9]];
+        let y = vec![false, true, false, true];
+        let mut a = RandomForest::default();
+        let mut b = RandomForest::default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        for xi in &x {
+            assert_eq!(a.predict(xi), b.predict(xi));
+        }
+    }
+
+    #[test]
+    fn different_seed_may_differ_but_still_learns() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<bool> = (0..50).map(|i| i >= 25).collect();
+        let mut f = RandomForest { seed: 7, ..RandomForest::default() };
+        f.fit(&x, &y);
+        assert!(!f.predict(&[2.0]));
+        assert!(f.predict(&[48.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_unfitted_panics() {
+        let f = RandomForest::default();
+        let _ = f.predict(&[0.0]);
+    }
+}

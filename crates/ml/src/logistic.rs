@@ -1,0 +1,111 @@
+//! Logistic regression via mini-batch-free SGD with L2 regularisation.
+
+use crate::{check_shape, Classifier};
+
+/// Logistic regression classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self { learning_rate: 0.5, epochs: 200, l2: 1e-4, weights: Vec::new(), bias: 0.0 }
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Predicted probability of the positive class.
+    #[must_use]
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let z: f64 =
+            self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        sigmoid(z)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let dim = check_shape(x, y);
+        self.weights = vec![0.0; dim];
+        self.bias = 0.0;
+        let n = x.len() as f64;
+        for epoch in 0..self.epochs {
+            // Simple decay keeps late epochs from oscillating.
+            let lr = self.learning_rate / (1.0 + epoch as f64 / 50.0);
+            for (xi, &yi) in x.iter().zip(y) {
+                let p = self.predict_proba(xi);
+                let err = p - f64::from(u8::from(yi));
+                for (w, &v) in self.weights.iter_mut().zip(xi) {
+                    *w -= lr * (err * v + self.l2 * *w / n);
+                }
+                self.bias -= lr * err;
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic-regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_threshold() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i) / 100.0]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let mut c = LogisticRegression::default();
+        c.fit(&x, &y);
+        assert!(!c.predict(&[0.1]));
+        assert!(c.predict(&[0.9]));
+        assert!(c.predict_proba(&[0.9]) > c.predict_proba(&[0.6]));
+    }
+
+    #[test]
+    fn probabilities_in_unit_range() {
+        let mut c = LogisticRegression::default();
+        c.fit(&[vec![0.0], vec![1.0]], &[false, true]);
+        for v in [-10.0, 0.0, 0.5, 10.0] {
+            let p = c.predict_proba(&[v]);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let x = vec![vec![0.2, 0.1], vec![0.9, 0.8], vec![0.1, 0.3], vec![0.7, 0.9]];
+        let y = vec![false, true, false, true];
+        let mut a = LogisticRegression::default();
+        let mut b = LogisticRegression::default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_proba(&[0.5, 0.5]), b.predict_proba(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn all_one_class_predicts_that_class() {
+        let mut c = LogisticRegression::default();
+        c.fit(&[vec![0.3], vec![0.7]], &[true, true]);
+        assert!(c.predict(&[0.1]));
+        assert!(c.predict(&[0.9]));
+    }
+}

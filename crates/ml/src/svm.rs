@@ -1,0 +1,104 @@
+//! Linear SVM trained with Pegasos-style hinge-loss SGD.
+
+use crate::{check_shape, Classifier};
+
+/// Linear support-vector machine.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Regularisation parameter λ (smaller = wider margin tolerance).
+    pub lambda: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self { lambda: 1e-3, epochs: 200, weights: Vec::new(), bias: 0.0 }
+    }
+}
+
+impl LinearSvm {
+    /// Signed decision value (`> 0` → positive class).
+    #[must_use]
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let dim = check_shape(x, y);
+        self.weights = vec![0.0; dim];
+        self.bias = 0.0;
+        let mut t = 1u64;
+        for _ in 0..self.epochs {
+            for (xi, &yi) in x.iter().zip(y) {
+                let label = if yi { 1.0 } else { -1.0 };
+                let eta = 1.0 / (self.lambda * t as f64);
+                let margin = label * self.decision(xi);
+                // Pegasos update: always shrink, add the example when it
+                // violates the margin.
+                for w in &mut self.weights {
+                    *w *= 1.0 - eta * self.lambda;
+                }
+                if margin < 1.0 {
+                    for (w, &v) in self.weights.iter_mut().zip(xi) {
+                        *w += eta * label * v;
+                    }
+                    self.bias += eta * label;
+                }
+                t += 1;
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-svm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_linear_classes() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let v = f64::from(i) / 50.0;
+            x.push(vec![v, 1.0 - v]);
+            y.push(v > 0.5);
+        }
+        let mut svm = LinearSvm::default();
+        svm.fit(&x, &y);
+        assert!(!svm.predict(&[0.1, 0.9]));
+        assert!(svm.predict(&[0.9, 0.1]));
+    }
+
+    #[test]
+    fn decision_monotone_along_weight_direction() {
+        let mut svm = LinearSvm::default();
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i) / 40.0]).collect();
+        let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        svm.fit(&x, &y);
+        assert!(svm.decision(&[0.9]) > svm.decision(&[0.2]));
+    }
+
+    #[test]
+    fn deterministic() {
+        let x = vec![vec![0.0], vec![1.0], vec![0.2], vec![0.8]];
+        let y = vec![false, true, false, true];
+        let mut a = LinearSvm::default();
+        let mut b = LinearSvm::default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.decision(&[0.5]), b.decision(&[0.5]));
+    }
+}

@@ -1,0 +1,219 @@
+//! CART decision tree with Gini impurity.
+
+use crate::{check_shape, Classifier};
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Leaf predicting a class.
+    Leaf(bool),
+    /// `x[feature] <= threshold` goes left, else right.
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// CART decision tree classifier (binary splits, Gini impurity).
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node further.
+    pub min_samples_split: usize,
+    nodes: Vec<Node>,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self { max_depth: 8, min_samples_split: 4, nodes: Vec::new() }
+    }
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+fn majority(indices: &[usize], y: &[bool]) -> bool {
+    let pos = indices.iter().filter(|&&i| y[i]).count();
+    2 * pos >= indices.len()
+}
+
+/// The best `(feature, threshold, gini_after)` split of `indices`, if any
+/// split improves on the parent impurity.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[bool],
+    indices: &[usize],
+    features: &[usize],
+) -> Option<(usize, f64, f64)> {
+    let total = indices.len();
+    let parent_pos = indices.iter().filter(|&&i| y[i]).count();
+    let parent_gini = gini(parent_pos, total);
+    let mut best: Option<(usize, f64, f64)> = None;
+
+    for &f in features {
+        // Sort candidate values; thresholds are midpoints between distinct
+        // consecutive values.
+        let mut vals: Vec<(f64, bool)> = indices.iter().map(|&i| (x[i][f], y[i])).collect();
+        vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut left_pos = 0usize;
+        for k in 1..vals.len() {
+            if vals[k - 1].1 {
+                left_pos += 1;
+            }
+            if vals[k].0 == vals[k - 1].0 {
+                continue;
+            }
+            let left_n = k;
+            let right_n = total - k;
+            let right_pos = parent_pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / total as f64;
+            if weighted < parent_gini - 1e-12
+                && best.map_or(true, |(_, _, g)| weighted < g)
+            {
+                let threshold = (vals[k - 1].0 + vals[k].0) / 2.0;
+                best = Some((f, threshold, weighted));
+            }
+        }
+    }
+    best
+}
+
+impl DecisionTree {
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[bool],
+        indices: Vec<usize>,
+        depth: usize,
+        features: &[usize],
+    ) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf(majority(&indices, y)));
+
+        if depth >= self.max_depth || indices.len() < self.min_samples_split {
+            return id;
+        }
+        let Some((feature, threshold, _)) = best_split(x, y, &indices, features) else {
+            return id;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return id;
+        }
+        let left = self.build(x, y, left_idx, depth + 1, features);
+        let right = self.build(x, y, right_idx, depth + 1, features);
+        self.nodes[id] = Node::Split { feature, threshold, left, right };
+        id
+    }
+
+    /// Fit on a subset of rows and features — used by the random forest.
+    pub(crate) fn fit_subset(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[bool],
+        rows: Vec<usize>,
+        features: &[usize],
+    ) {
+        self.nodes.clear();
+        self.build(x, y, rows, 0, features);
+    }
+
+    /// Number of fitted nodes (diagnostics).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        let dim = check_shape(x, y);
+        let features: Vec<usize> = (0..dim).collect();
+        self.fit_subset(x, y, (0..x.len()).collect(), &features);
+    }
+
+    fn predict(&self, x: &[f64]) -> bool {
+        let mut node = 0usize;
+        loop {
+            match self.nodes[node] {
+                Node::Leaf(c) => return c,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_axis_aligned_split() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let mut t = DecisionTree::default();
+        t.fit(&x, &y);
+        assert!(!t.predict(&[5.0]));
+        assert!(t.predict(&[35.0]));
+        assert!(t.node_count() >= 3);
+    }
+
+    #[test]
+    fn learns_conjunction_with_two_levels() {
+        // y = (x0 > 0.5) AND (x1 > 0.5): needs a split on each feature.
+        // (XOR is deliberately not tested: greedy CART cannot split it at
+        // the root — no single split improves Gini.)
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                let (a, b) = (f64::from(i) / 8.0, f64::from(j) / 8.0);
+                x.push(vec![a, b]);
+                y.push(a > 0.5 && b > 0.5);
+            }
+        }
+        let mut t = DecisionTree::default();
+        t.fit(&x, &y);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(t.predict(xi), yi, "at {xi:?}");
+        }
+    }
+
+    #[test]
+    fn pure_node_stays_leaf() {
+        let mut t = DecisionTree::default();
+        t.fit(&[vec![1.0], vec![2.0]], &[true, true]);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.predict(&[99.0]));
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![f64::from(i)]).collect();
+        // Alternating labels: unlearnable without depth 6.
+        let y: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let mut t = DecisionTree { max_depth: 1, ..DecisionTree::default() };
+        t.fit(&x, &y);
+        assert!(t.node_count() <= 3, "depth-1 tree has at most 3 nodes");
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(0, 10), 0.0);
+        assert_eq!(gini(10, 10), 0.0);
+        assert!((gini(5, 10) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(0, 0), 0.0);
+    }
+}

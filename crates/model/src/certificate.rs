@@ -1,0 +1,121 @@
+//! Certificates: the source documents person records are extracted from.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{CertificateId, RecordId};
+use crate::role::Role;
+
+/// Kind of statutory certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CertificateKind {
+    /// Birth certificate: baby + mother + father.
+    Birth,
+    /// Death certificate: deceased + parents (+ spouse if married).
+    Death,
+    /// Marriage certificate: bride + groom (+ their parents).
+    Marriage,
+}
+
+impl CertificateKind {
+    /// One-letter code used in displays (`b`/`d`/`m`).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            CertificateKind::Birth => "b",
+            CertificateKind::Death => "d",
+            CertificateKind::Marriage => "m",
+        }
+    }
+}
+
+impl std::fmt::Display for CertificateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A single statutory certificate with the person records appearing on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// This certificate's identifier.
+    pub id: CertificateId,
+    /// Birth, death, or marriage.
+    pub kind: CertificateKind,
+    /// Registration year of the event.
+    pub year: i32,
+    /// Registration parish or district.
+    pub parish: Option<String>,
+    /// The person records on this certificate, as `(role, record)` pairs.
+    pub people: Vec<(Role, RecordId)>,
+}
+
+impl Certificate {
+    /// Create an empty certificate.
+    #[must_use]
+    pub fn new(id: CertificateId, kind: CertificateKind, year: i32) -> Self {
+        Self { id, kind, year, parish: None, people: Vec::new() }
+    }
+
+    /// The record playing `role` on this certificate, if present.
+    #[must_use]
+    pub fn record_with_role(&self, role: Role) -> Option<RecordId> {
+        self.people.iter().find(|(r, _)| *r == role).map(|&(_, id)| id)
+    }
+
+    /// Attach a person record with its role.
+    ///
+    /// # Panics
+    /// Panics if the role belongs to a different certificate kind or is
+    /// already occupied — both indicate a bug in whatever built the
+    /// certificate.
+    pub fn add_person(&mut self, role: Role, record: RecordId) {
+        assert_eq!(
+            role.certificate_kind(),
+            self.kind,
+            "role {role} cannot appear on a {:?} certificate",
+            self.kind
+        );
+        assert!(
+            self.record_with_role(role).is_none(),
+            "role {role} already present on certificate {}",
+            self.id
+        );
+        self.people.push((role, record));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Certificate::new(CertificateId(0), CertificateKind::Birth, 1880);
+        c.add_person(Role::BirthBaby, RecordId(1));
+        c.add_person(Role::BirthMother, RecordId(2));
+        assert_eq!(c.record_with_role(Role::BirthBaby), Some(RecordId(1)));
+        assert_eq!(c.record_with_role(Role::BirthFather), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot appear")]
+    fn wrong_kind_panics() {
+        let mut c = Certificate::new(CertificateId(0), CertificateKind::Birth, 1880);
+        c.add_person(Role::DeathDeceased, RecordId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_role_panics() {
+        let mut c = Certificate::new(CertificateId(0), CertificateKind::Death, 1880);
+        c.add_person(Role::DeathDeceased, RecordId(1));
+        c.add_person(Role::DeathDeceased, RecordId(2));
+    }
+
+    #[test]
+    fn kind_codes() {
+        assert_eq!(CertificateKind::Birth.to_string(), "b");
+        assert_eq!(CertificateKind::Death.to_string(), "d");
+        assert_eq!(CertificateKind::Marriage.to_string(), "m");
+    }
+}

@@ -1,0 +1,250 @@
+//! Dataset container: certificates + extracted person records.
+
+use serde::{Deserialize, Serialize};
+
+use crate::certificate::{Certificate, CertificateKind};
+use crate::ids::{CertificateId, RecordId};
+use crate::person::{Gender, PersonRecord};
+use crate::relationship::{certificate_relationships, Relationship};
+use crate::role::Role;
+
+/// A set of certificates and the person records extracted from them — the
+/// paper's record set **R**.
+///
+/// Records and certificates are stored in dense arenas; identifiers are arena
+/// indices, so lookups are `O(1)` and iteration order is deterministic.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"IOS"`, `"KIL"`).
+    pub name: String,
+    /// Certificate arena, indexed by [`CertificateId`].
+    pub certificates: Vec<Certificate>,
+    /// Record arena, indexed by [`RecordId`].
+    pub records: Vec<PersonRecord>,
+}
+
+impl Dataset {
+    /// Create an empty dataset.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), certificates: Vec::new(), records: Vec::new() }
+    }
+
+    /// Number of person records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Look up a record.
+    ///
+    /// # Panics
+    /// Panics when the id is out of range (ids are only minted by this
+    /// dataset, so an out-of-range id is a logic error).
+    #[inline]
+    #[must_use]
+    pub fn record(&self, id: RecordId) -> &PersonRecord {
+        &self.records[id.index()]
+    }
+
+    /// Look up a certificate.
+    #[inline]
+    #[must_use]
+    pub fn certificate(&self, id: CertificateId) -> &Certificate {
+        &self.certificates[id.index()]
+    }
+
+    /// Start a new certificate, returning its id.
+    pub fn push_certificate(&mut self, kind: CertificateKind, year: i32) -> CertificateId {
+        let id = CertificateId::from_index(self.certificates.len());
+        self.certificates.push(Certificate::new(id, kind, year));
+        id
+    }
+
+    /// Add a person record to an existing certificate, returning its id.
+    pub fn push_record(
+        &mut self,
+        certificate: CertificateId,
+        role: Role,
+        gender: Gender,
+    ) -> RecordId {
+        let year = self.certificate(certificate).year;
+        let id = RecordId::from_index(self.records.len());
+        self.records.push(PersonRecord::new(id, certificate, role, gender, year));
+        self.certificates[certificate.index()].add_person(role, id);
+        id
+    }
+
+    /// Mutable access to a record (builder-style population).
+    #[inline]
+    pub fn record_mut(&mut self, id: RecordId) -> &mut PersonRecord {
+        &mut self.records[id.index()]
+    }
+
+    /// Iterate over records with a given role.
+    pub fn records_with_role(&self, role: Role) -> impl Iterator<Item = &PersonRecord> {
+        self.records.iter().filter(move |r| r.role == role)
+    }
+
+    /// All directed relationship edges asserted by all certificates.
+    #[must_use]
+    pub fn all_relationships(&self) -> Vec<(RecordId, RecordId, Relationship)> {
+        let mut edges = Vec::new();
+        for cert in &self.certificates {
+            edges.extend(certificate_relationships(cert));
+        }
+        edges
+    }
+
+    /// The records appearing on the same certificate as `id`, with the
+    /// relationship of each towards `id`.
+    #[must_use]
+    pub fn certificate_neighbours(&self, id: RecordId) -> Vec<(RecordId, Relationship)> {
+        let rec = self.record(id);
+        let cert = self.certificate(rec.certificate);
+        let mut out = Vec::new();
+        for &(role, other) in &cert.people {
+            if other == id {
+                continue;
+            }
+            if let Some(rel) =
+                crate::relationship::role_relationship(role, rec.role)
+            {
+                out.push((other, rel));
+            }
+        }
+        out
+    }
+
+    /// Serialise to pretty JSON.
+    ///
+    /// # Errors
+    /// Propagates serialisation failures (effectively unreachable for this
+    /// data model).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserialise from JSON produced by [`Dataset::to_json`].
+    ///
+    /// # Errors
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Validate internal invariants; used by tests and after deserialising
+    /// externally-produced files.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, r) in self.records.iter().enumerate() {
+            if r.id.index() != i {
+                return Err(format!("record at index {i} has id {}", r.id));
+            }
+            if r.certificate.index() >= self.certificates.len() {
+                return Err(format!("record {} references missing certificate", r.id));
+            }
+            let cert = self.certificate(r.certificate);
+            if r.role.certificate_kind() != cert.kind {
+                return Err(format!("record {} role {} on wrong certificate kind", r.id, r.role));
+            }
+            if cert.record_with_role(r.role) != Some(r.id) {
+                return Err(format!("certificate {} does not list record {}", cert.id, r.id));
+            }
+            if let Some(g) = r.role.implied_gender() {
+                if !r.gender.compatible(g) {
+                    return Err(format!("record {} gender conflicts with role {}", r.id, r.role));
+                }
+            }
+        }
+        for (i, c) in self.certificates.iter().enumerate() {
+            if c.id.index() != i {
+                return Err(format!("certificate at index {i} has id {}", c.id));
+            }
+            for &(role, rec) in &c.people {
+                if rec.index() >= self.records.len() {
+                    return Err(format!("certificate {} lists missing record", c.id));
+                }
+                if self.record(rec).role != role {
+                    return Err(format!("certificate {} role mismatch for {}", c.id, rec));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut ds = Dataset::new("tiny");
+        let b = ds.push_certificate(CertificateKind::Birth, 1880);
+        let bb = ds.push_record(b, Role::BirthBaby, Gender::Female);
+        let bm = ds.push_record(b, Role::BirthMother, Gender::Female);
+        ds.record_mut(bb).first_name = Some("mary".into());
+        ds.record_mut(bm).first_name = Some("ann".into());
+        ds
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.record(RecordId(0)).first_name.as_deref(), Some("mary"));
+        assert_eq!(ds.certificate(CertificateId(0)).people.len(), 2);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn records_with_role() {
+        let ds = tiny();
+        assert_eq!(ds.records_with_role(Role::BirthBaby).count(), 1);
+        assert_eq!(ds.records_with_role(Role::DeathDeceased).count(), 0);
+    }
+
+    #[test]
+    fn record_inherits_certificate_year() {
+        let ds = tiny();
+        assert_eq!(ds.record(RecordId(0)).event_year, 1880);
+    }
+
+    #[test]
+    fn neighbours_carry_relationships() {
+        let ds = tiny();
+        let n = ds.certificate_neighbours(RecordId(0));
+        assert_eq!(n, vec![(RecordId(1), Relationship::MotherOf)]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = tiny();
+        let json = ds.to_json().unwrap();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.len(), ds.len());
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_gender_conflict() {
+        let mut ds = tiny();
+        ds.record_mut(RecordId(1)).gender = Gender::Male; // mother marked male
+        assert!(ds.validate().is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_valid() {
+        let ds = Dataset::new("empty");
+        assert!(ds.is_empty());
+        ds.validate().unwrap();
+    }
+}

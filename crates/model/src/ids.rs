@@ -1,0 +1,95 @@
+//! Strongly-typed identifiers.
+//!
+//! Records, certificates, and resolved entities all live in dense arenas and
+//! are addressed by index. Newtypes keep the three index spaces from being
+//! mixed up at compile time while still being `Copy` and free to pass around.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The identifier as a `usize` index into the owning arena.
+            #[inline]
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from an arena index.
+            ///
+            /// # Panics
+            /// Panics if `i` exceeds `u32::MAX` (arenas are bounded at 2^32).
+            #[inline]
+            #[must_use]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect("arena index exceeds u32::MAX"))
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a [`crate::PersonRecord`] — one occurrence of an
+    /// individual on one certificate.
+    RecordId
+);
+define_id!(
+    /// Identifier of a [`crate::Certificate`].
+    CertificateId
+);
+define_id!(
+    /// Identifier of a resolved entity (a real-world individual, i.e. a
+    /// cluster of records).
+    EntityId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let id = RecordId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, RecordId(42));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(RecordId(1) < RecordId(2));
+        assert!(EntityId(0) < EntityId(10));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(CertificateId(7).to_string(), "CertificateId(7)");
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let json = serde_json::to_string(&RecordId(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: RecordId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, RecordId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = RecordId::from_index(usize::try_from(u32::MAX).unwrap() + 1);
+    }
+}

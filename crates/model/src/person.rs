@@ -1,0 +1,206 @@
+//! Person records: one occurrence of an individual on one certificate.
+
+use serde::{Deserialize, Serialize};
+use snaps_strsim::geo::GeoPoint;
+
+use crate::ids::{CertificateId, RecordId};
+use crate::role::Role;
+
+/// Gender as recorded on a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    /// Female.
+    Female,
+    /// Male.
+    Male,
+    /// Not recorded / illegible.
+    Unknown,
+}
+
+impl Gender {
+    /// Single-letter code (`f`/`m`/`u`) as shown in the paper's result lists.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Gender::Female => "f",
+            Gender::Male => "m",
+            Gender::Unknown => "u",
+        }
+    }
+
+    /// Whether two recorded genders are compatible (unknown matches anything).
+    #[must_use]
+    pub fn compatible(self, other: Gender) -> bool {
+        self == Gender::Unknown || other == Gender::Unknown || self == other
+    }
+}
+
+impl std::fmt::Display for Gender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A serialisable latitude/longitude pair.
+///
+/// [`GeoPoint`] itself lives in `snaps-strsim` (which has no serde
+/// dependency); this mirror type carries coordinates through dataset
+/// (de)serialisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoCoord {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+impl From<GeoCoord> for GeoPoint {
+    fn from(c: GeoCoord) -> Self {
+        GeoPoint::new(c.lat, c.lon)
+    }
+}
+
+impl From<GeoPoint> for GeoCoord {
+    fn from(p: GeoPoint) -> Self {
+        GeoCoord { lat: p.lat, lon: p.lon }
+    }
+}
+
+/// One occurrence of an individual on one certificate, with the
+/// quasi-identifier (QID) attributes available for ER.
+///
+/// Optional fields are `None` when the certificate did not record a value —
+/// missing values are pervasive in historical data (paper Table 1) and every
+/// comparison function must tolerate them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersonRecord {
+    /// This record's identifier (its index in the dataset's record arena).
+    pub id: RecordId,
+    /// The certificate the record was extracted from.
+    pub certificate: CertificateId,
+    /// Role the individual plays on that certificate.
+    pub role: Role,
+    /// First (given) name, normalised; `None` if missing.
+    pub first_name: Option<String>,
+    /// Surname, normalised; `None` if missing.
+    pub surname: Option<String>,
+    /// Gender as recorded (or implied by the role).
+    pub gender: Gender,
+    /// Year of the certificate's event (birth/death/marriage year).
+    pub event_year: i32,
+    /// Address / parish string; `None` if missing.
+    pub address: Option<String>,
+    /// Occupation; `None` if missing.
+    pub occupation: Option<String>,
+    /// Age at the event, when stated (deaths, marriages).
+    pub age: Option<u16>,
+    /// Geocoded address coordinate, when the dataset was geocoded (IOS only).
+    pub geo: Option<GeoCoord>,
+    /// Cause of death (deceased records only).
+    pub cause_of_death: Option<String>,
+}
+
+impl PersonRecord {
+    /// A minimal record with all optional attributes absent.
+    #[must_use]
+    pub fn new(
+        id: RecordId,
+        certificate: CertificateId,
+        role: Role,
+        gender: Gender,
+        event_year: i32,
+    ) -> Self {
+        Self {
+            id,
+            certificate,
+            role,
+            first_name: None,
+            surname: None,
+            gender,
+            event_year,
+            address: None,
+            occupation: None,
+            age: None,
+            geo: None,
+            cause_of_death: None,
+        }
+    }
+
+    /// Estimated birth year: the event year for birth babies, otherwise
+    /// `event_year - age` when an age was recorded.
+    #[must_use]
+    pub fn estimated_birth_year(&self) -> Option<i32> {
+        match self.role {
+            Role::BirthBaby => Some(self.event_year),
+            _ => self.age.map(|a| self.event_year - i32::from(a)),
+        }
+    }
+
+    /// Full name (`first surname`) for display; missing parts are `?`.
+    #[must_use]
+    pub fn display_name(&self) -> String {
+        format!(
+            "{} {}",
+            self.first_name.as_deref().unwrap_or("?"),
+            self.surname.as_deref().unwrap_or("?")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(role: Role) -> PersonRecord {
+        PersonRecord::new(RecordId(0), CertificateId(0), role, Gender::Female, 1880)
+    }
+
+    #[test]
+    fn gender_compatibility() {
+        assert!(Gender::Female.compatible(Gender::Female));
+        assert!(!Gender::Female.compatible(Gender::Male));
+        assert!(Gender::Unknown.compatible(Gender::Male));
+        assert!(Gender::Female.compatible(Gender::Unknown));
+    }
+
+    #[test]
+    fn birth_year_for_baby_is_event_year() {
+        let r = rec(Role::BirthBaby);
+        assert_eq!(r.estimated_birth_year(), Some(1880));
+    }
+
+    #[test]
+    fn birth_year_from_age() {
+        let mut r = rec(Role::DeathDeceased);
+        assert_eq!(r.estimated_birth_year(), None);
+        r.age = Some(30);
+        assert_eq!(r.estimated_birth_year(), Some(1850));
+    }
+
+    #[test]
+    fn display_name_handles_missing() {
+        let mut r = rec(Role::BirthMother);
+        assert_eq!(r.display_name(), "? ?");
+        r.first_name = Some("mary".into());
+        r.surname = Some("macdonald".into());
+        assert_eq!(r.display_name(), "mary macdonald");
+    }
+
+    #[test]
+    fn geo_coord_round_trip() {
+        let p = GeoPoint::new(57.4, -6.2);
+        let c: GeoCoord = p.into();
+        let back: GeoPoint = c.into();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut r = rec(Role::DeathDeceased);
+        r.first_name = Some("mary".into());
+        r.cause_of_death = Some("old age".into());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PersonRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,176 @@
+//! Intra-certificate relationships.
+//!
+//! A certificate asserts relationships between the people on it — a birth
+//! certificate says its `Bm` is *motherOf* its `Bb`, and so on. These edges
+//! seed both the dependency graph's relational structure (paper §4.1,
+//! Fig. 3) and, after resolution, the pedigree graph (paper §5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::certificate::Certificate;
+use crate::ids::RecordId;
+use crate::role::Role;
+
+/// A family relationship between two person records or entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// `a` is the mother of `b` (paper: *Mof*).
+    MotherOf,
+    /// `a` is the father of `b` (paper: *Fof*).
+    FatherOf,
+    /// `a` is the spouse of `b` (paper: *Sof*).
+    SpouseOf,
+    /// `a` is a child of `b` (paper: *Cof*).
+    ChildOf,
+}
+
+impl Relationship {
+    /// Paper abbreviation (*Mof*, *Fof*, *Sof*, *Cof*).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Relationship::MotherOf => "Mof",
+            Relationship::FatherOf => "Fof",
+            Relationship::SpouseOf => "Sof",
+            Relationship::ChildOf => "Cof",
+        }
+    }
+
+    /// The relationship seen from the other endpoint.
+    ///
+    /// Parental relationships invert to [`Relationship::ChildOf`]; *spouseOf*
+    /// is its own inverse. `ChildOf` has no unique inverse (mother or father)
+    /// and inverts to `None`.
+    #[must_use]
+    pub fn inverse(self) -> Option<Relationship> {
+        match self {
+            Relationship::MotherOf | Relationship::FatherOf => Some(Relationship::ChildOf),
+            Relationship::SpouseOf => Some(Relationship::SpouseOf),
+            Relationship::ChildOf => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Relationship {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// The directed relationships a pair of roles on the *same* certificate
+/// implies, if any: returns the relationship of the first role towards the
+/// second.
+#[must_use]
+pub fn role_relationship(from: Role, to: Role) -> Option<Relationship> {
+    use Relationship::*;
+    use Role::*;
+    match (from, to) {
+        // Birth certificate.
+        (BirthMother, BirthBaby) => Some(MotherOf),
+        (BirthFather, BirthBaby) => Some(FatherOf),
+        (BirthBaby, BirthMother) | (BirthBaby, BirthFather) => Some(ChildOf),
+        (BirthMother, BirthFather) | (BirthFather, BirthMother) => Some(SpouseOf),
+        // Death certificate.
+        (DeathMother, DeathDeceased) => Some(MotherOf),
+        (DeathFather, DeathDeceased) => Some(FatherOf),
+        (DeathDeceased, DeathMother) | (DeathDeceased, DeathFather) => Some(ChildOf),
+        (DeathMother, DeathFather) | (DeathFather, DeathMother) => Some(SpouseOf),
+        (DeathSpouse, DeathDeceased) | (DeathDeceased, DeathSpouse) => Some(SpouseOf),
+        // Marriage certificate.
+        (MarriageBride, MarriageGroom) | (MarriageGroom, MarriageBride) => Some(SpouseOf),
+        (MarriageBrideMother, MarriageBride) | (MarriageGroomMother, MarriageGroom) => {
+            Some(MotherOf)
+        }
+        (MarriageBrideFather, MarriageBride) | (MarriageGroomFather, MarriageGroom) => {
+            Some(FatherOf)
+        }
+        (MarriageBride, MarriageBrideMother)
+        | (MarriageBride, MarriageBrideFather)
+        | (MarriageGroom, MarriageGroomMother)
+        | (MarriageGroom, MarriageGroomFather) => Some(ChildOf),
+        (MarriageBrideMother, MarriageBrideFather)
+        | (MarriageBrideFather, MarriageBrideMother)
+        | (MarriageGroomMother, MarriageGroomFather)
+        | (MarriageGroomFather, MarriageGroomMother) => Some(SpouseOf),
+        _ => None,
+    }
+}
+
+/// Enumerate all directed relationship edges a certificate asserts between
+/// its person records.
+#[must_use]
+pub fn certificate_relationships(
+    cert: &Certificate,
+) -> Vec<(RecordId, RecordId, Relationship)> {
+    let mut edges = Vec::new();
+    for &(role_a, rec_a) in &cert.people {
+        for &(role_b, rec_b) in &cert.people {
+            if rec_a == rec_b {
+                continue;
+            }
+            if let Some(rel) = role_relationship(role_a, role_b) {
+                edges.push((rec_a, rec_b, rel));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::CertificateKind;
+    use crate::ids::CertificateId;
+
+    #[test]
+    fn birth_certificate_relationships() {
+        let mut c = Certificate::new(CertificateId(0), CertificateKind::Birth, 1880);
+        c.add_person(Role::BirthBaby, RecordId(0));
+        c.add_person(Role::BirthMother, RecordId(1));
+        c.add_person(Role::BirthFather, RecordId(2));
+        let edges = certificate_relationships(&c);
+        assert!(edges.contains(&(RecordId(1), RecordId(0), Relationship::MotherOf)));
+        assert!(edges.contains(&(RecordId(2), RecordId(0), Relationship::FatherOf)));
+        assert!(edges.contains(&(RecordId(0), RecordId(1), Relationship::ChildOf)));
+        assert!(edges.contains(&(RecordId(1), RecordId(2), Relationship::SpouseOf)));
+        // 3 people, every ordered pair related: 6 edges.
+        assert_eq!(edges.len(), 6);
+    }
+
+    #[test]
+    fn death_certificate_spouse() {
+        let mut c = Certificate::new(CertificateId(0), CertificateKind::Death, 1890);
+        c.add_person(Role::DeathDeceased, RecordId(0));
+        c.add_person(Role::DeathSpouse, RecordId(1));
+        let edges = certificate_relationships(&c);
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().all(|&(_, _, r)| r == Relationship::SpouseOf));
+    }
+
+    #[test]
+    fn marriage_unrelated_in_laws() {
+        // Bride's mother and groom's father are on the same certificate but
+        // unrelated to each other.
+        assert_eq!(
+            role_relationship(Role::MarriageBrideMother, Role::MarriageGroomFather),
+            None
+        );
+        assert_eq!(
+            role_relationship(Role::MarriageBrideMother, Role::MarriageGroom),
+            None
+        );
+    }
+
+    #[test]
+    fn inverses() {
+        assert_eq!(Relationship::MotherOf.inverse(), Some(Relationship::ChildOf));
+        assert_eq!(Relationship::SpouseOf.inverse(), Some(Relationship::SpouseOf));
+        assert_eq!(Relationship::ChildOf.inverse(), None);
+    }
+
+    #[test]
+    fn cross_certificate_roles_unrelated() {
+        assert_eq!(role_relationship(Role::BirthBaby, Role::DeathDeceased), None);
+        assert_eq!(role_relationship(Role::BirthMother, Role::DeathMother), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! Certificate roles and role metadata.
+//!
+//! Each person record carries the *role* it plays on its certificate
+//! (paper §3). Roles constrain ER in two ways: some role pairs are
+//! impossible to link at all (`Bm` is always female, `Bf` always male), and
+//! role pairs carry temporal and cardinality constraints (paper §4.2.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::certificate::CertificateKind;
+use crate::person::Gender;
+
+/// The role an individual plays on a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Baby on a birth certificate.
+    BirthBaby,
+    /// Mother on a birth certificate.
+    BirthMother,
+    /// Father on a birth certificate.
+    BirthFather,
+    /// Deceased person on a death certificate.
+    DeathDeceased,
+    /// Mother of the deceased on a death certificate.
+    DeathMother,
+    /// Father of the deceased on a death certificate.
+    DeathFather,
+    /// Spouse of the deceased on a death certificate.
+    DeathSpouse,
+    /// Bride on a marriage certificate.
+    MarriageBride,
+    /// Groom on a marriage certificate.
+    MarriageGroom,
+    /// Mother of the bride on a marriage certificate.
+    MarriageBrideMother,
+    /// Father of the bride on a marriage certificate.
+    MarriageBrideFather,
+    /// Mother of the groom on a marriage certificate.
+    MarriageGroomMother,
+    /// Father of the groom on a marriage certificate.
+    MarriageGroomFather,
+}
+
+impl Role {
+    /// All roles, in a stable order.
+    pub const ALL: [Role; 13] = [
+        Role::BirthBaby,
+        Role::BirthMother,
+        Role::BirthFather,
+        Role::DeathDeceased,
+        Role::DeathMother,
+        Role::DeathFather,
+        Role::DeathSpouse,
+        Role::MarriageBride,
+        Role::MarriageGroom,
+        Role::MarriageBrideMother,
+        Role::MarriageBrideFather,
+        Role::MarriageGroomMother,
+        Role::MarriageGroomFather,
+    ];
+
+    /// The paper's two-letter abbreviation (`Bb`, `Bm`, `Bf`, `Dd`, …).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Role::BirthBaby => "Bb",
+            Role::BirthMother => "Bm",
+            Role::BirthFather => "Bf",
+            Role::DeathDeceased => "Dd",
+            Role::DeathMother => "Dm",
+            Role::DeathFather => "Df",
+            Role::DeathSpouse => "Ds",
+            Role::MarriageBride => "Mb",
+            Role::MarriageGroom => "Mg",
+            Role::MarriageBrideMother => "Mbm",
+            Role::MarriageBrideFather => "Mbf",
+            Role::MarriageGroomMother => "Mgm",
+            Role::MarriageGroomFather => "Mgf",
+        }
+    }
+
+    /// Which kind of certificate this role appears on.
+    #[must_use]
+    pub fn certificate_kind(self) -> CertificateKind {
+        match self {
+            Role::BirthBaby | Role::BirthMother | Role::BirthFather => CertificateKind::Birth,
+            Role::DeathDeceased | Role::DeathMother | Role::DeathFather | Role::DeathSpouse => {
+                CertificateKind::Death
+            }
+            _ => CertificateKind::Marriage,
+        }
+    }
+
+    /// The gender the role implies, if any.
+    ///
+    /// `BirthBaby`, `DeathDeceased`, and `DeathSpouse` can be either gender;
+    /// every parental and marital role fixes it.
+    #[must_use]
+    pub fn implied_gender(self) -> Option<Gender> {
+        match self {
+            Role::BirthMother
+            | Role::DeathMother
+            | Role::MarriageBride
+            | Role::MarriageBrideMother
+            | Role::MarriageGroomMother => Some(Gender::Female),
+            Role::BirthFather
+            | Role::DeathFather
+            | Role::MarriageGroom
+            | Role::MarriageBrideFather
+            | Role::MarriageGroomFather => Some(Gender::Male),
+            Role::BirthBaby | Role::DeathDeceased | Role::DeathSpouse => None,
+        }
+    }
+
+    /// Whether this role describes the certificate's *principal* (the person
+    /// the event happened to) as opposed to a relative mentioned on it.
+    #[must_use]
+    pub fn is_principal(self) -> bool {
+        matches!(
+            self,
+            Role::BirthBaby | Role::DeathDeceased | Role::MarriageBride | Role::MarriageGroom
+        )
+    }
+
+    /// The coarse category used when reporting linkage quality per role pair.
+    #[must_use]
+    pub fn category(self) -> RoleCategory {
+        match self {
+            Role::BirthBaby => RoleCategory::BirthChild,
+            Role::BirthMother | Role::BirthFather => RoleCategory::BirthParent,
+            Role::DeathDeceased => RoleCategory::Deceased,
+            Role::DeathMother | Role::DeathFather => RoleCategory::DeathParent,
+            Role::DeathSpouse => RoleCategory::Spouse,
+            Role::MarriageBride | Role::MarriageGroom => RoleCategory::MarriagePrincipal,
+            Role::MarriageBrideMother
+            | Role::MarriageBrideFather
+            | Role::MarriageGroomMother
+            | Role::MarriageGroomFather => RoleCategory::MarriageParent,
+        }
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Coarse role grouping used for evaluation (the paper's `Bp`, `Dp`, … in
+/// Tables 2–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RoleCategory {
+    /// Baby on a birth certificate (`Bb`).
+    BirthChild,
+    /// Parent on a birth certificate (`Bp` = `Bm` ∪ `Bf`).
+    BirthParent,
+    /// Deceased person (`Dd`).
+    Deceased,
+    /// Parent on a death certificate (`Dp` = `Dm` ∪ `Df`).
+    DeathParent,
+    /// Spouse on a death certificate (`Ds`).
+    Spouse,
+    /// Bride or groom (`Mp` = `Mb` ∪ `Mg`).
+    MarriagePrincipal,
+    /// Parent on a marriage certificate.
+    MarriageParent,
+}
+
+impl RoleCategory {
+    /// The paper's abbreviation for the category.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            RoleCategory::BirthChild => "Bb",
+            RoleCategory::BirthParent => "Bp",
+            RoleCategory::Deceased => "Dd",
+            RoleCategory::DeathParent => "Dp",
+            RoleCategory::Spouse => "Ds",
+            RoleCategory::MarriagePrincipal => "Mp",
+            RoleCategory::MarriageParent => "Mpp",
+        }
+    }
+}
+
+impl std::fmt::Display for RoleCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<_> = Role::ALL.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), Role::ALL.len());
+    }
+
+    #[test]
+    fn certificate_kinds() {
+        assert_eq!(Role::BirthBaby.certificate_kind(), CertificateKind::Birth);
+        assert_eq!(Role::DeathSpouse.certificate_kind(), CertificateKind::Death);
+        assert_eq!(
+            Role::MarriageGroomFather.certificate_kind(),
+            CertificateKind::Marriage
+        );
+    }
+
+    #[test]
+    fn implied_genders() {
+        assert_eq!(Role::BirthMother.implied_gender(), Some(Gender::Female));
+        assert_eq!(Role::MarriageGroom.implied_gender(), Some(Gender::Male));
+        assert_eq!(Role::BirthBaby.implied_gender(), None);
+        assert_eq!(Role::DeathSpouse.implied_gender(), None);
+    }
+
+    #[test]
+    fn principals() {
+        assert!(Role::BirthBaby.is_principal());
+        assert!(Role::MarriageBride.is_principal());
+        assert!(!Role::BirthMother.is_principal());
+        assert!(!Role::DeathSpouse.is_principal());
+    }
+
+    #[test]
+    fn categories_group_parents() {
+        assert_eq!(Role::BirthMother.category(), RoleCategory::BirthParent);
+        assert_eq!(Role::BirthFather.category(), RoleCategory::BirthParent);
+        assert_eq!(Role::DeathMother.category(), RoleCategory::DeathParent);
+        assert_eq!(RoleCategory::BirthParent.code(), "Bp");
+        assert_eq!(RoleCategory::DeathParent.code(), "Dp");
+    }
+
+    #[test]
+    fn display_uses_code() {
+        assert_eq!(Role::DeathDeceased.to_string(), "Dd");
+        assert_eq!(RoleCategory::Spouse.to_string(), "Ds");
+    }
+}

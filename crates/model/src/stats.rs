@@ -1,0 +1,225 @@
+//! Dataset characterisation statistics.
+//!
+//! Reproduces the paper's descriptive artefacts: Table 1 (missing-value
+//! counts and QID value frequencies of deceased people) and Figure 2
+//! (frequency distribution of the 100 most common first names, surnames, and
+//! addresses).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::person::PersonRecord;
+use crate::role::Role;
+
+/// The QID attributes Table 1 characterises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QidField {
+    /// First (given) name.
+    FirstName,
+    /// Surname.
+    Surname,
+    /// Address / parish.
+    Address,
+    /// Occupation.
+    Occupation,
+}
+
+impl QidField {
+    /// All characterised fields, in Table 1 order.
+    pub const ALL: [QidField; 4] =
+        [QidField::FirstName, QidField::Surname, QidField::Address, QidField::Occupation];
+
+    /// Human-readable label matching the paper's table.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            QidField::FirstName => "First name",
+            QidField::Surname => "Surname",
+            QidField::Address => "Address",
+            QidField::Occupation => "Occupation",
+        }
+    }
+
+    /// Extract this field's value from a record.
+    #[must_use]
+    pub fn value<'r>(self, r: &'r PersonRecord) -> Option<&'r str> {
+        match self {
+            QidField::FirstName => r.first_name.as_deref(),
+            QidField::Surname => r.surname.as_deref(),
+            QidField::Address => r.address.as_deref(),
+            QidField::Occupation => r.occupation.as_deref(),
+        }
+    }
+}
+
+impl std::fmt::Display for QidField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One Table 1 row: missing count and value-frequency summary for one QID.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QidStats {
+    /// The characterised field.
+    pub field: QidField,
+    /// Number of records with the value missing.
+    pub missing: usize,
+    /// Minimum frequency among distinct present values (0 if none present).
+    pub min_freq: usize,
+    /// Mean frequency among distinct present values.
+    pub avg_freq: f64,
+    /// Maximum frequency among distinct present values.
+    pub max_freq: usize,
+    /// Number of distinct present values.
+    pub distinct: usize,
+}
+
+/// Frequency table of one field over an iterator of records.
+fn frequencies<'r>(
+    records: impl Iterator<Item = &'r PersonRecord>,
+    field: QidField,
+) -> (HashMap<String, usize>, usize) {
+    let mut freq: HashMap<String, usize> = HashMap::new();
+    let mut missing = 0usize;
+    for r in records {
+        match field.value(r) {
+            Some(v) if !v.is_empty() => *freq.entry(v.to_string()).or_insert(0) += 1,
+            _ => missing += 1,
+        }
+    }
+    (freq, missing)
+}
+
+/// Compute one Table 1 row for records with the given role.
+#[must_use]
+pub fn qid_stats(ds: &Dataset, role: Role, field: QidField) -> QidStats {
+    let (freq, missing) = frequencies(ds.records_with_role(role), field);
+    let distinct = freq.len();
+    let (min_freq, max_freq, total) = freq.values().fold(
+        (usize::MAX, 0usize, 0usize),
+        |(mn, mx, sum), &f| (mn.min(f), mx.max(f), sum + f),
+    );
+    QidStats {
+        field,
+        missing,
+        min_freq: if distinct == 0 { 0 } else { min_freq },
+        avg_freq: if distinct == 0 { 0.0 } else { total as f64 / distinct as f64 },
+        max_freq,
+        distinct,
+    }
+}
+
+/// Compute the full Table 1 block (all four QIDs) for one role.
+#[must_use]
+pub fn table1_block(ds: &Dataset, role: Role) -> Vec<QidStats> {
+    QidField::ALL.iter().map(|&f| qid_stats(ds, role, f)).collect()
+}
+
+/// The `k` most frequent values of a field among records with `role`,
+/// descending by frequency (ties broken alphabetically for determinism).
+///
+/// This is the series plotted in the paper's Figure 2 with `k = 100`.
+#[must_use]
+pub fn top_k_frequencies(
+    ds: &Dataset,
+    role: Role,
+    field: QidField,
+    k: usize,
+) -> Vec<(String, usize)> {
+    let (freq, _) = frequencies(ds.records_with_role(role), field);
+    let mut items: Vec<(String, usize)> = freq.into_iter().collect();
+    items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    items.truncate(k);
+    items
+}
+
+/// Share (0–1) of records whose field equals the single most common value —
+/// the paper observes >8% for the most common IOS name (Fig. 2 discussion).
+#[must_use]
+pub fn top_value_share(ds: &Dataset, role: Role, field: QidField) -> f64 {
+    let (freq, _) = frequencies(ds.records_with_role(role), field);
+    let total: usize = freq.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = freq.values().copied().max().unwrap_or(0);
+    max as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::CertificateKind;
+    use crate::person::Gender;
+
+    fn dataset_with_deaths(names: &[Option<&str>]) -> Dataset {
+        let mut ds = Dataset::new("t");
+        for name in names {
+            let c = ds.push_certificate(CertificateKind::Death, 1890);
+            let d = ds.push_record(c, Role::DeathDeceased, Gender::Female);
+            ds.record_mut(d).first_name = name.map(str::to_string);
+        }
+        ds
+    }
+
+    #[test]
+    fn counts_missing() {
+        let ds = dataset_with_deaths(&[Some("mary"), None, Some("mary"), None, Some("ann")]);
+        let s = qid_stats(&ds, Role::DeathDeceased, QidField::FirstName);
+        assert_eq!(s.missing, 2);
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.min_freq, 1);
+        assert_eq!(s.max_freq, 2);
+        assert!((s.avg_freq - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_role_gives_zeroes() {
+        let ds = dataset_with_deaths(&[Some("mary")]);
+        let s = qid_stats(&ds, Role::BirthBaby, QidField::FirstName);
+        assert_eq!(s.missing, 0);
+        assert_eq!(s.distinct, 0);
+        assert_eq!(s.min_freq, 0);
+        assert_eq!(s.max_freq, 0);
+        assert_eq!(s.avg_freq, 0.0);
+    }
+
+    #[test]
+    fn top_k_sorted_desc() {
+        let ds = dataset_with_deaths(&[
+            Some("mary"),
+            Some("mary"),
+            Some("mary"),
+            Some("ann"),
+            Some("ann"),
+            Some("kate"),
+        ]);
+        let top = top_k_frequencies(&ds, Role::DeathDeceased, QidField::FirstName, 2);
+        assert_eq!(top, vec![("mary".to_string(), 3), ("ann".to_string(), 2)]);
+    }
+
+    #[test]
+    fn top_k_tie_break_alphabetical() {
+        let ds = dataset_with_deaths(&[Some("zoe"), Some("ann")]);
+        let top = top_k_frequencies(&ds, Role::DeathDeceased, QidField::FirstName, 10);
+        assert_eq!(top[0].0, "ann");
+    }
+
+    #[test]
+    fn top_value_share_fraction() {
+        let ds = dataset_with_deaths(&[Some("mary"), Some("mary"), Some("ann"), Some("kate")]);
+        assert!((top_value_share(&ds, Role::DeathDeceased, QidField::FirstName) - 0.5) < 1e-12);
+    }
+
+    #[test]
+    fn table1_block_covers_all_fields() {
+        let ds = dataset_with_deaths(&[Some("mary")]);
+        let block = table1_block(&ds, Role::DeathDeceased);
+        assert_eq!(block.len(), 4);
+        assert_eq!(block[0].field, QidField::FirstName);
+        assert_eq!(block[3].field, QidField::Occupation);
+    }
+}

@@ -1,0 +1,279 @@
+//! Pedigree rendering: textual listing, ASCII family tree, Graphviz DOT.
+//!
+//! The paper presents pedigrees "both in textual form, as well as a
+//! graphical family tree" where "higher levels indicate older generations,
+//! and where gender is shown by different colours" (§8, Figs. 7/8).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use snaps_core::{PedigreeEntity, PedigreeGraph};
+use snaps_model::{EntityId, Gender};
+
+use crate::extract::Pedigree;
+
+/// `name (birth-death)` label for an entity.
+fn label(e: &PedigreeEntity) -> String {
+    let years = match (e.birth_year, e.death_year) {
+        (Some(b), Some(d)) => format!(" ({b}-{d})"),
+        (Some(b), None) => format!(" (b. {b})"),
+        (None, Some(d)) => format!(" (d. {d})"),
+        (None, None) => String::new(),
+    };
+    format!("{}{years}", e.display_name())
+}
+
+fn generation_name(g: i32) -> String {
+    match g {
+        2 => "grandparents".into(),
+        1 => "parents".into(),
+        0 => "self / siblings / spouse".into(),
+        -1 => "children".into(),
+        -2 => "grandchildren".into(),
+        g if g > 0 => format!("ancestors (+{g})"),
+        g => format!("descendants ({g})"),
+    }
+}
+
+/// Textual pedigree listing grouped by generation, oldest first.
+#[must_use]
+pub fn render_text(pedigree: &Pedigree, graph: &PedigreeGraph) -> String {
+    let mut out = String::new();
+    let root = graph.entity(pedigree.root);
+    let _ = writeln!(out, "Family pedigree of {}", label(root));
+    let mut current: Option<i32> = None;
+    for m in &pedigree.members {
+        if current != Some(m.generation) {
+            current = Some(m.generation);
+            let _ = writeln!(out, "— {} —", generation_name(m.generation));
+        }
+        let e = graph.entity(m.entity);
+        let marker = if m.entity == pedigree.root { "» " } else { "  " };
+        let occ = e
+            .occupations
+            .first()
+            .map(|o| format!(", {o}"))
+            .unwrap_or_default();
+        let addr = e
+            .addresses
+            .first()
+            .map(|a| format!(" of {a}"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "{marker}{} [{}]{addr}{occ}", label(e), e.gender);
+    }
+    out
+}
+
+/// ASCII family tree: top-generation couples first, children indented
+/// beneath their parents (the hierarchical layout of Figs. 7/8).
+#[must_use]
+pub fn render_tree(pedigree: &Pedigree, graph: &PedigreeGraph) -> String {
+    let mut out = String::new();
+    // Roots of the tree: members with no parents inside the pedigree.
+    let tree_roots: Vec<EntityId> = pedigree
+        .members
+        .iter()
+        .map(|m| m.entity)
+        .filter(|&e| pedigree.parents_of(e).is_empty())
+        .collect();
+
+    // Couples render once: skip a root whose spouse (also a root) already
+    // rendered.
+    let mut rendered: BTreeSet<EntityId> = BTreeSet::new();
+    for &r in &tree_roots {
+        if rendered.contains(&r) {
+            continue;
+        }
+        render_family(pedigree, graph, r, 0, &mut rendered, &mut out);
+    }
+    out
+}
+
+fn render_family(
+    pedigree: &Pedigree,
+    graph: &PedigreeGraph,
+    e: EntityId,
+    depth: usize,
+    rendered: &mut BTreeSet<EntityId>,
+    out: &mut String,
+) {
+    if !rendered.insert(e) {
+        return;
+    }
+    let indent = "    ".repeat(depth);
+    let star = if e == pedigree.root { " *" } else { "" };
+    let mut line = format!("{indent}{}{star}", label(graph.entity(e)));
+    // Append spouse(s) on the same line: a couple heads a family.
+    let mut child_sets: Vec<EntityId> = pedigree.children_of(e);
+    for s in pedigree.spouses_of(e) {
+        if rendered.insert(s) {
+            let sstar = if s == pedigree.root { " *" } else { "" };
+            let _ = write!(line, " ⚭ {}{sstar}", label(graph.entity(s)));
+            child_sets.extend(pedigree.children_of(s));
+        }
+    }
+    out.push_str(&line);
+    out.push('\n');
+    child_sets.sort_unstable();
+    child_sets.dedup();
+    // Children ordered by birth year for a natural layout.
+    child_sets.sort_by_key(|&c| graph.entity(c).birth_year.unwrap_or(i32::MAX));
+    for c in child_sets {
+        render_family(pedigree, graph, c, depth + 1, rendered, out);
+    }
+}
+
+/// Graphviz DOT rendering: one node per entity, coloured by gender, ranked
+/// by generation; solid arrows parent→child, dashed edges between spouses.
+#[must_use]
+pub fn render_dot(pedigree: &Pedigree, graph: &PedigreeGraph) -> String {
+    let mut out = String::from("digraph pedigree {\n  rankdir=TB;\n  node [style=filled];\n");
+    // Nodes grouped per generation rank.
+    let mut generations: Vec<i32> =
+        pedigree.members.iter().map(|m| m.generation).collect();
+    generations.sort_unstable();
+    generations.dedup();
+    generations.reverse();
+    for g in generations {
+        let _ = writeln!(out, "  {{ rank=same;");
+        for m in pedigree.members.iter().filter(|m| m.generation == g) {
+            let e = graph.entity(m.entity);
+            let colour = match e.gender {
+                Gender::Female => "lightpink",
+                Gender::Male => "lightblue",
+                Gender::Unknown => "lightgrey",
+            };
+            let shape = if m.entity == pedigree.root { "doubleoctagon" } else { "box" };
+            let _ = writeln!(
+                out,
+                "    e{} [label=\"{}\", fillcolor={colour}, shape={shape}];",
+                m.entity.0,
+                label(e).replace('"', "'"),
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // Parent → child arrows (deduplicated couples' edges kept individually),
+    // spouse edges dashed and undirected.
+    let mut spouse_drawn: BTreeSet<(EntityId, EntityId)> = BTreeSet::new();
+    for &(a, b, rel) in &pedigree.edges {
+        match rel {
+            snaps_model::Relationship::MotherOf | snaps_model::Relationship::FatherOf => {
+                let _ = writeln!(out, "  e{} -> e{};", a.0, b.0);
+            }
+            snaps_model::Relationship::SpouseOf => {
+                let key = (a.min(b), a.max(b));
+                if spouse_drawn.insert(key) {
+                    let _ = writeln!(
+                        out,
+                        "  e{} -> e{} [dir=none, style=dashed];",
+                        key.0 .0, key.1 .0
+                    );
+                }
+            }
+            snaps_model::Relationship::ChildOf => {} // inverse of Mof/Fof
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use snaps_core::{resolve, SnapsConfig};
+    use snaps_model::{CertificateKind, Dataset, Role};
+
+    fn family_graph() -> (PedigreeGraph, EntityId) {
+        let mut ds = Dataset::new("t");
+        let b1 = ds.push_certificate(CertificateKind::Birth, 1880);
+        for (role, f) in [
+            (Role::BirthBaby, "flora"),
+            (Role::BirthMother, "effie"),
+            (Role::BirthFather, "torquil"),
+        ] {
+            let g = role.implied_gender().unwrap_or(Gender::Female);
+            let r = ds.push_record(b1, role, g);
+            ds.record_mut(r).first_name = Some(f.into());
+            ds.record_mut(r).surname = Some("macrae".into());
+            ds.record_mut(r).address = Some("borvemore".into());
+        }
+        let b2 = ds.push_certificate(CertificateKind::Birth, 1882);
+        for (role, f) in [
+            (Role::BirthBaby, "hector"),
+            (Role::BirthMother, "effie"),
+            (Role::BirthFather, "torquil"),
+        ] {
+            let g = role.implied_gender().unwrap_or(Gender::Male);
+            let r = ds.push_record(b2, role, g);
+            ds.record_mut(r).first_name = Some(f.into());
+            ds.record_mut(r).surname = Some("macrae".into());
+            ds.record_mut(r).address = Some("borvemore".into());
+        }
+        let res = resolve(&ds, &SnapsConfig::default());
+        let graph = PedigreeGraph::build(&ds, &res);
+        let flora = graph.record_entity[0];
+        (graph, flora)
+    }
+
+    #[test]
+    fn text_contains_all_members_and_generations() {
+        let (graph, flora) = family_graph();
+        let p = extract(&graph, flora, 2);
+        let text = render_text(&p, &graph);
+        assert!(text.contains("flora macrae"));
+        assert!(text.contains("effie macrae"));
+        assert!(text.contains("torquil macrae"));
+        assert!(text.contains("parents"));
+        assert!(text.contains("» flora"), "root marked: {text}");
+    }
+
+    #[test]
+    fn tree_places_parents_above_children() {
+        let (graph, flora) = family_graph();
+        let p = extract(&graph, flora, 2);
+        let tree = render_tree(&p, &graph);
+        let parent_pos = tree.find("effie").or_else(|| tree.find("torquil")).unwrap();
+        let child_pos = tree.find("flora").unwrap();
+        assert!(parent_pos < child_pos, "{tree}");
+        // Children are indented.
+        let child_line = tree.lines().find(|l| l.contains("flora")).unwrap();
+        assert!(child_line.starts_with("    "), "{tree}");
+        // Couple on one line.
+        let couple_line = tree.lines().find(|l| l.contains("effie")).unwrap();
+        assert!(couple_line.contains('⚭'), "{tree}");
+    }
+
+    #[test]
+    fn tree_lists_siblings_by_birth_year() {
+        let (graph, flora) = family_graph();
+        let p = extract(&graph, flora, 2);
+        let tree = render_tree(&p, &graph);
+        let flora_pos = tree.find("flora").unwrap();
+        let hector_pos = tree.find("hector").unwrap();
+        assert!(flora_pos < hector_pos, "older sibling first: {tree}");
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let (graph, flora) = family_graph();
+        let p = extract(&graph, flora, 2);
+        let dot = render_dot(&p, &graph);
+        assert!(dot.starts_with("digraph pedigree {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("lightpink"), "females coloured");
+        assert!(dot.contains("lightblue"), "males coloured");
+        assert!(dot.contains("doubleoctagon"), "root highlighted");
+        assert!(dot.contains("->"));
+        // Spouse edge dashed exactly once per couple.
+        assert_eq!(dot.matches("style=dashed").count(), 1, "{dot}");
+    }
+
+    #[test]
+    fn labels_show_life_years() {
+        let (graph, flora) = family_graph();
+        let e = graph.entity(flora);
+        assert_eq!(label(e), "flora macrae (b. 1880)");
+    }
+}

@@ -1,0 +1,125 @@
+//! Geographic similarity for geocoded addresses.
+//!
+//! For the Isle-of-Skye data the paper geocodes address strings and compares
+//! addresses "based on the distances between two locations" (§10). We
+//! implement the great-circle (haversine) distance and a linear decay of
+//! similarity with distance.
+
+use crate::Similarity;
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A WGS-84 style latitude/longitude coordinate in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Create a point, panicking on out-of-range coordinates.
+    #[must_use]
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
+        Self { lat, lon }
+    }
+}
+
+/// Great-circle distance between two points in kilometres (haversine formula).
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::geo::{haversine_km, GeoPoint};
+/// let portree = GeoPoint::new(57.4125, -6.1946);
+/// let kilmore = GeoPoint::new(57.2306, -5.9811);
+/// let d = haversine_km(portree, kilmore);
+/// assert!(d > 20.0 && d < 30.0);
+/// ```
+#[must_use]
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Distance-based address similarity.
+///
+/// Similarity decays linearly from `1.0` at zero distance to `0.0` at
+/// `max_km` or further. `max_km` must be positive; for an island parish
+/// registry a horizon of 20–30 km is appropriate (anything further is a
+/// different community).
+#[must_use]
+pub fn distance_similarity(a: GeoPoint, b: GeoPoint, max_km: f64) -> Similarity {
+    assert!(max_km > 0.0, "max_km must be positive");
+    (1.0 - haversine_km(a, b) / max_km).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_full_similarity() {
+        let p = GeoPoint::new(57.0, -6.0);
+        assert_eq!(haversine_km(p, p), 0.0);
+        assert_eq!(distance_similarity(p, p, 25.0), 1.0);
+    }
+
+    #[test]
+    fn symmetric_distance() {
+        let a = GeoPoint::new(57.41, -6.19);
+        let b = GeoPoint::new(55.61, -4.50);
+        assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skye_to_kilmarnock_far() {
+        // Portree to Kilmarnock is roughly 230 km as the crow flies.
+        let portree = GeoPoint::new(57.4125, -6.1946);
+        let kilmarnock = GeoPoint::new(55.6117, -4.4957);
+        let d = haversine_km(portree, kilmarnock);
+        assert!(d > 200.0 && d < 260.0, "got {d}");
+        assert_eq!(distance_similarity(portree, kilmarnock, 25.0), 0.0);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let a = GeoPoint::new(57.0, -6.0);
+        let b = GeoPoint::new(58.0, -6.0);
+        let d = haversine_km(a, b);
+        assert!((d - 111.19).abs() < 1.0, "got {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn bad_latitude_panics() {
+        let _ = GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude out of range")]
+    fn bad_longitude_panics() {
+        let _ = GeoPoint::new(0.0, 181.0);
+    }
+
+    #[test]
+    fn similarity_monotone_in_distance() {
+        let base = GeoPoint::new(57.0, -6.0);
+        let near = GeoPoint::new(57.05, -6.0);
+        let far = GeoPoint::new(57.2, -6.0);
+        assert!(
+            distance_similarity(base, near, 25.0) > distance_similarity(base, far, 25.0)
+        );
+    }
+}

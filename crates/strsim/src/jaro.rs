@@ -1,0 +1,222 @@
+//! Jaro and Jaro-Winkler approximate string comparison.
+//!
+//! These are the comparators recommended for personal names in the record
+//! linkage literature and the ones SNAPS uses for first names and surnames,
+//! both during dependency-graph construction (atomic node similarities,
+//! paper §4.1) and inside the similarity-aware index (paper §6).
+
+use crate::Similarity;
+
+/// Jaro similarity between two strings.
+///
+/// The Jaro similarity counts characters that match within a sliding window of
+/// half the longer string's length and discounts transpositions:
+///
+/// ```text
+/// jaro = (m/|a| + m/|b| + (m - t)/m) / 3
+/// ```
+///
+/// where `m` is the number of matching characters and `t` the number of
+/// transpositions (half the number of matched characters appearing in a
+/// different order).
+///
+/// Returns `1.0` for two empty strings (identical), `0.0` when exactly one is
+/// empty or no characters match.
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::jaro;
+/// assert_eq!(jaro("martha", "martha"), 1.0);
+/// assert!(jaro("martha", "marhta") > 0.94);
+/// assert_eq!(jaro("abc", "xyz"), 0.0);
+/// ```
+#[must_use]
+pub fn jaro(a: &str, b: &str) -> Similarity {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_chars(&a, &b)
+}
+
+/// Jaro similarity over pre-collected character slices.
+///
+/// Exposed so that batch comparison loops (e.g. the similarity-aware index
+/// build) can decode each string once and reuse the buffers.
+#[must_use]
+pub fn jaro_chars(a: &[char], b: &[char]) -> Similarity {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let max_len = a.len().max(b.len());
+    // Matching window: characters count as matching if they are equal and no
+    // further than floor(max_len / 2) - 1 positions apart.
+    let window = (max_len / 2).saturating_sub(1);
+
+    let mut a_matched = vec![false; a.len()];
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+
+    if matches == 0 {
+        return 0.0;
+    }
+
+    // Count transpositions among the matched characters, in order.
+    let mut transpositions = 0usize;
+    let mut j = 0usize;
+    for (i, &ma) in a_matched.iter().enumerate() {
+        if !ma {
+            continue;
+        }
+        while !b_matched[j] {
+            j += 1;
+        }
+        if a[i] != b[j] {
+            transpositions += 1;
+        }
+        j += 1;
+    }
+    let t = transpositions as f64 / 2.0;
+    let m = matches as f64;
+
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Standard Winkler prefix scaling factor.
+pub const WINKLER_PREFIX_SCALE: f64 = 0.1;
+
+/// Maximum shared-prefix length the Winkler adjustment rewards.
+pub const WINKLER_MAX_PREFIX: usize = 4;
+
+/// Jaro-Winkler similarity between two strings.
+///
+/// Boosts the plain [`jaro`] score for strings sharing a common prefix of up
+/// to four characters — personal names that differ only towards the end (as
+/// with transcription errors such as `Tayler`/`Taylor`) score higher:
+///
+/// ```text
+/// jw = jaro + ℓ · p · (1 - jaro),   ℓ = shared prefix length ≤ 4, p = 0.1
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::{jaro, jaro_winkler};
+/// assert!(jaro_winkler("tayler", "taylor") > jaro("tayler", "taylor"));
+/// assert_eq!(jaro_winkler("smith", "smith"), 1.0);
+/// ```
+#[must_use]
+pub fn jaro_winkler(a: &str, b: &str) -> Similarity {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_winkler_chars(&a, &b)
+}
+
+/// Jaro-Winkler over pre-collected character slices; see [`jaro_winkler`].
+#[must_use]
+pub fn jaro_winkler_chars(a: &[char], b: &[char]) -> Similarity {
+    let j = jaro_chars(a, b);
+    let prefix = a
+        .iter()
+        .zip(b.iter())
+        .take(WINKLER_MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * WINKLER_PREFIX_SCALE * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(jaro("kilmarnock", "kilmarnock"), 1.0);
+        assert_eq!(jaro_winkler("kilmarnock", "kilmarnock"), 1.0);
+    }
+
+    #[test]
+    fn both_empty_is_identical() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+    }
+
+    #[test]
+    fn one_empty_is_zero() {
+        assert_eq!(jaro("", "mary"), 0.0);
+        assert_eq!(jaro("mary", ""), 0.0);
+    }
+
+    #[test]
+    fn textbook_martha_marhta() {
+        // Classic worked example: m = 6, t = 1 → (1 + 1 + 5/6) / 3.
+        approx(jaro("martha", "marhta"), (1.0 + 1.0 + 5.0 / 6.0) / 3.0);
+    }
+
+    #[test]
+    fn textbook_dixon_dicksonx() {
+        // m = 4, t = 0: (4/5 + 4/8 + 1) / 3.
+        approx(jaro("dixon", "dicksonx"), (4.0 / 5.0 + 4.0 / 8.0 + 1.0) / 3.0);
+    }
+
+    #[test]
+    fn textbook_jaro_winkler_dwayne_duane() {
+        // jaro(dwayne, duane) = (4/6 + 4/5 + 1)/3 = 0.82222…; prefix ℓ = 1.
+        let j = (4.0 / 6.0 + 4.0 / 5.0 + 1.0) / 3.0;
+        approx(jaro_winkler("dwayne", "duane"), j + 0.1 * (1.0 - j));
+    }
+
+    #[test]
+    fn completely_different_is_zero() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("tayler", "taylor"), ("mcdonald", "macdonald"), ("a", "ab")] {
+            approx(jaro(a, b), jaro(b, a));
+            approx(jaro_winkler(a, b), jaro_winkler(b, a));
+        }
+    }
+
+    #[test]
+    fn winkler_prefix_capped_at_four() {
+        // Shared prefix of 6, but only 4 should count.
+        let j = jaro("abcdefgh", "abcdefxy");
+        let jw = jaro_winkler("abcdefgh", "abcdefxy");
+        approx(jw, j + 4.0 * 0.1 * (1.0 - j));
+    }
+
+    #[test]
+    fn unicode_names() {
+        assert_eq!(jaro("mòrag", "mòrag"), 1.0);
+        assert!(jaro_winkler("mòrag", "morag") > 0.8);
+    }
+
+    #[test]
+    fn winkler_never_below_jaro() {
+        for (a, b) in [("smith", "smyth"), ("jon", "john"), ("x", "y")] {
+            assert!(jaro_winkler(a, b) >= jaro(a, b));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Levenshtein edit distance and its normalised similarity.
+//!
+//! SNAPS uses edit distance as one of the approximate string comparators for
+//! atomic-node similarities (paper §4.1). The normalised form maps the raw
+//! distance into `[0, 1]` by dividing by the longer string's length.
+
+use crate::Similarity;
+
+/// Levenshtein (edit) distance: the minimum number of single-character
+/// insertions, deletions, and substitutions turning `a` into `b`.
+///
+/// Runs in `O(|a| · |b|)` time and `O(min(|a|, |b|))` space using the
+/// classic two-row dynamic programme.
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// assert_eq!(levenshtein("same", "same"), 0);
+/// ```
+#[must_use]
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a, &b)
+}
+
+/// Edit distance over pre-collected character slices; see [`levenshtein`].
+#[must_use]
+pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    // Keep the shorter string as the row to minimise memory.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur: Vec<usize> = vec![0; short.len() + 1];
+
+    for (i, &cl) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cs) in short.iter().enumerate() {
+            let cost = usize::from(cl != cs);
+            cur[j + 1] = (prev[j] + cost) // substitution
+                .min(prev[j + 1] + 1) // deletion
+                .min(cur[j] + 1); // insertion
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalised edit similarity: `1 - d / max(|a|, |b|)`.
+///
+/// Two empty strings are identical (`1.0`).
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::levenshtein_similarity;
+/// assert_eq!(levenshtein_similarity("smith", "smith"), 1.0);
+/// assert_eq!(levenshtein_similarity("ab", "cd"), 0.0);
+/// ```
+#[must_use]
+pub fn levenshtein_similarity(a: &str, b: &str) -> Similarity {
+    let ca: Vec<char> = a.chars().collect();
+    let cb: Vec<char> = b.chars().collect();
+    let max_len = ca.len().max(cb.len());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_chars(&ca, &cb) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_kitten_sitting() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("", "abcd"), 4);
+        assert_eq!(levenshtein("abcd", ""), 4);
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("", "ab"), 0.0);
+    }
+
+    #[test]
+    fn single_substitution() {
+        assert_eq!(levenshtein("tayler", "taylor"), 1);
+        assert!((levenshtein_similarity("tayler", "taylor") - (1.0 - 1.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("flaw", "lawn"), ("gumbo", "gambol"), ("a", "")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("smith", "smyth", "smythe");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        // 'ò' is two bytes in UTF-8 but one scalar.
+        assert_eq!(levenshtein("mòrag", "morag"), 1);
+    }
+
+    #[test]
+    fn similarity_in_unit_range() {
+        for (a, b) in [("abcdef", "xyz"), ("", "x"), ("aaa", "aaa")] {
+            let s = levenshtein_similarity(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

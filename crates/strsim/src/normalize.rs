@@ -1,0 +1,98 @@
+//! Input normalisation for historical vital-records strings.
+//!
+//! Transcribed 19th-century certificates mix cases, stray punctuation, and
+//! uneven whitespace. All SNAPS comparisons and indices operate on the
+//! normalised form produced here, matching the conventional pre-processing
+//! step of record-linkage pipelines.
+
+/// Normalise a name or other short textual value:
+/// lowercase, strip everything but letters/digits/space/hyphen/apostrophe,
+/// collapse runs of whitespace, trim.
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::normalize::normalize_name;
+/// assert_eq!(normalize_name("  MacDonald,  "), "macdonald");
+/// assert_eq!(normalize_name("Mary-Ann  O'Neil"), "mary-ann o'neil");
+/// assert_eq!(normalize_name("J.  Smith"), "j smith");
+/// ```
+#[must_use]
+pub fn normalize_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true; // suppress leading whitespace
+    for c in s.chars() {
+        let c = c.to_lowercase().next().unwrap_or(c);
+        if c.is_alphanumeric() || c == '-' || c == '\'' {
+            out.push(c);
+            last_space = false;
+        } else if c.is_whitespace() || c == '.' || c == ',' {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        }
+        // any other punctuation is dropped entirely
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Whether a raw attribute value should be treated as missing.
+///
+/// Historical transcriptions mark unknown values in several ways; all of the
+/// conventional markers map to "missing".
+#[must_use]
+pub fn is_missing(s: &str) -> bool {
+    let n = normalize_name(s);
+    n.is_empty() || matches!(n.as_str(), "unknown" | "not known" | "n k" | "nk" | "-" | "illegible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_trims() {
+        assert_eq!(normalize_name("  SMITH  "), "smith");
+    }
+
+    #[test]
+    fn collapses_internal_whitespace() {
+        assert_eq!(normalize_name("mary   ann"), "mary ann");
+    }
+
+    #[test]
+    fn keeps_hyphen_and_apostrophe() {
+        assert_eq!(normalize_name("O'Brien-Stuart"), "o'brien-stuart");
+    }
+
+    #[test]
+    fn strips_punctuation() {
+        assert_eq!(normalize_name("smith; (farmer)!"), "smith farmer");
+    }
+
+    #[test]
+    fn dots_and_commas_become_spaces() {
+        assert_eq!(normalize_name("J.Smith"), "j smith");
+        assert_eq!(normalize_name("Portree,Skye"), "portree skye");
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert_eq!(normalize_name(""), "");
+        assert_eq!(normalize_name("!!!"), "");
+    }
+
+    #[test]
+    fn missing_markers() {
+        assert!(is_missing(""));
+        assert!(is_missing("  "));
+        assert!(is_missing("Unknown"));
+        assert!(is_missing("NOT KNOWN"));
+        assert!(is_missing("N.K."));
+        assert!(!is_missing("Mary"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Numeric comparison functions.
+//!
+//! SNAPS compares numeric attributes (years of events) with the
+//! maximum-absolute-difference method (paper §10): two values are fully
+//! similar when equal and their similarity decays linearly to zero at a
+//! caller-chosen maximum tolerated difference.
+
+use crate::Similarity;
+
+/// Maximum-absolute-difference similarity.
+///
+/// ```text
+/// sim(a, b) = max(0, 1 - |a - b| / max_diff)
+/// ```
+///
+/// `max_diff` must be positive. A difference of zero gives `1.0`; differences
+/// of `max_diff` or more give `0.0`.
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::numeric::max_abs_diff_similarity;
+/// assert_eq!(max_abs_diff_similarity(1861.0, 1861.0, 3.0), 1.0);
+/// assert_eq!(max_abs_diff_similarity(1861.0, 1864.0, 3.0), 0.0);
+/// assert!((max_abs_diff_similarity(1861.0, 1862.0, 4.0) - 0.75).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn max_abs_diff_similarity(a: f64, b: f64, max_diff: f64) -> Similarity {
+    assert!(max_diff > 0.0, "max_diff must be positive");
+    let d = (a - b).abs();
+    (1.0 - d / max_diff).max(0.0)
+}
+
+/// Year similarity with the tolerance SNAPS uses for event years.
+///
+/// Historical certificates frequently mis-state ages/years by a year or two;
+/// a ±3-year linear window is the conventional setting for vital records.
+#[must_use]
+pub fn year_similarity(a: i32, b: i32) -> Similarity {
+    max_abs_diff_similarity(f64::from(a), f64::from(b), 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert_eq!(max_abs_diff_similarity(5.0, 5.0, 2.0), 1.0);
+        assert_eq!(year_similarity(1880, 1880), 1.0);
+    }
+
+    #[test]
+    fn linear_decay() {
+        assert!((max_abs_diff_similarity(0.0, 1.0, 4.0) - 0.75).abs() < 1e-12);
+        assert!((max_abs_diff_similarity(0.0, 2.0, 4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_to_zero() {
+        assert_eq!(max_abs_diff_similarity(0.0, 100.0, 4.0), 0.0);
+        assert_eq!(year_similarity(1850, 1900), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(year_similarity(1861, 1863), year_similarity(1863, 1861));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_max_diff_panics() {
+        let _ = max_abs_diff_similarity(1.0, 2.0, 0.0);
+    }
+
+    #[test]
+    fn year_similarity_one_year_off() {
+        assert!((year_similarity(1880, 1881) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! q-gram (character n-gram) utilities and set-based similarities.
+//!
+//! SNAPS relies on bigrams (2-grams) in two places: the similarity-aware index
+//! only pre-compares value pairs that *share at least one bigram* (paper §6),
+//! and the Jaccard coefficient over token/bigram sets is the comparator used
+//! for longer textual attributes such as occupations and causes of death
+//! (paper §9, §10).
+
+use std::collections::BTreeSet;
+
+use crate::Similarity;
+
+/// Extract the distinct q-grams of a string as a sorted set.
+///
+/// Strings shorter than `q` yield a single gram containing the whole string
+/// (so `"a"` still participates in bigram-sharing checks). The empty string
+/// yields the empty set.
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::qgram::qgrams;
+/// let grams = qgrams("mary", 2);
+/// assert!(grams.contains("ma") && grams.contains("ar") && grams.contains("ry"));
+/// assert_eq!(grams.len(), 3);
+/// ```
+#[must_use]
+pub fn qgrams(s: &str, q: usize) -> BTreeSet<String> {
+    assert!(q > 0, "q-gram length must be positive");
+    let chars: Vec<char> = s.chars().collect();
+    let mut set = BTreeSet::new();
+    if chars.is_empty() {
+        return set;
+    }
+    if chars.len() < q {
+        set.insert(chars.iter().collect());
+        return set;
+    }
+    for w in chars.windows(q) {
+        set.insert(w.iter().collect());
+    }
+    set
+}
+
+/// Distinct bigrams of a string; shorthand for [`qgrams`]`(s, 2)`.
+#[must_use]
+pub fn bigrams(s: &str) -> BTreeSet<String> {
+    qgrams(s, 2)
+}
+
+/// Whether two strings share at least one bigram.
+///
+/// This is the candidate filter of the similarity-aware index: values that
+/// share no bigram are guaranteed to be dissimilar enough that the index
+/// never needs their pairwise similarity.
+#[must_use]
+pub fn share_bigram(a: &str, b: &str) -> bool {
+    let ga = bigrams(a);
+    if ga.is_empty() {
+        return false;
+    }
+    let gb = bigrams(b);
+    ga.intersection(&gb).next().is_some()
+}
+
+/// Jaccard coefficient between two sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// Two empty sets are considered identical (`1.0`).
+#[must_use]
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> Similarity {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard coefficient over the bigram sets of two strings.
+///
+/// The comparator SNAPS uses for "other textual strings" (occupations,
+/// un-geocoded addresses, causes of death).
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::qgram::bigram_jaccard;
+/// assert_eq!(bigram_jaccard("crofter", "crofter"), 1.0);
+/// assert!(bigram_jaccard("crofter", "crofters") > 0.7);
+/// assert_eq!(bigram_jaccard("ab", "cd"), 0.0);
+/// ```
+#[must_use]
+pub fn bigram_jaccard(a: &str, b: &str) -> Similarity {
+    jaccard(&bigrams(a), &bigrams(b))
+}
+
+/// Jaccard coefficient over whitespace-separated token sets.
+///
+/// Used for multi-word values (e.g. cause-of-death strings) where word
+/// overlap matters more than character overlap.
+#[must_use]
+pub fn token_jaccard(a: &str, b: &str) -> Similarity {
+    let ta: BTreeSet<&str> = a.split_whitespace().collect();
+    let tb: BTreeSet<&str> = b.split_whitespace().collect();
+    jaccard(&ta, &tb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qgrams_basic() {
+        let g = qgrams("abcd", 2);
+        assert_eq!(
+            g.into_iter().collect::<Vec<_>>(),
+            vec!["ab".to_string(), "bc".to_string(), "cd".to_string()]
+        );
+    }
+
+    #[test]
+    fn qgrams_short_string_whole() {
+        let g = qgrams("a", 2);
+        assert_eq!(g.len(), 1);
+        assert!(g.contains("a"));
+    }
+
+    #[test]
+    fn qgrams_empty() {
+        assert!(qgrams("", 2).is_empty());
+        assert!(qgrams("", 3).is_empty());
+    }
+
+    #[test]
+    fn qgrams_dedup_repeats() {
+        // "aaaa" has a single distinct bigram "aa".
+        assert_eq!(qgrams("aaaa", 2).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn qgrams_zero_panics() {
+        let _ = qgrams("abc", 0);
+    }
+
+    #[test]
+    fn trigram_extraction() {
+        let g = qgrams("abcd", 3);
+        assert_eq!(g.len(), 2);
+        assert!(g.contains("abc") && g.contains("bcd"));
+    }
+
+    #[test]
+    fn share_bigram_cases() {
+        assert!(share_bigram("mary", "maria"));
+        assert!(!share_bigram("ann", "xy"));
+        assert!(!share_bigram("", "mary"));
+        assert!(!share_bigram("", ""));
+    }
+
+    #[test]
+    fn jaccard_identical_and_disjoint() {
+        assert_eq!(bigram_jaccard("smith", "smith"), 1.0);
+        assert_eq!(bigram_jaccard("ab", "cd"), 0.0);
+        assert_eq!(bigram_jaccard("", ""), 1.0);
+    }
+
+    #[test]
+    fn jaccard_partial() {
+        // bigrams(night)={ni,ig,gh,ht}, bigrams(nacht)={na,ac,ch,ht}; inter={ht}.
+        assert!((bigram_jaccard("night", "nacht") - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_jaccard_multiword() {
+        assert_eq!(token_jaccard("old age", "old age"), 1.0);
+        assert!((token_jaccard("heart failure", "heart disease") - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_symmetric() {
+        for (a, b) in [("crofter", "weaver"), ("mary ann", "ann mary")] {
+            assert_eq!(bigram_jaccard(a, b), bigram_jaccard(b, a));
+            assert_eq!(token_jaccard(a, b), token_jaccard(b, a));
+        }
+    }
+}

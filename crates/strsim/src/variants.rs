@@ -1,0 +1,178 @@
+//! Known name-variant dictionaries and the variant-aware name comparator.
+//!
+//! Historical record linkage conventionally *standardises* personal names
+//! before comparison: `peggy` is a written form of `margaret`, `jock` of
+//! `john`, `mcleod` of `macleod`. A pure string comparator scores such pairs
+//! very low even though any domain expert links them instantly. The tables
+//! here hold the period's common diminutives, Gaelic/English doublets, and
+//! surname spelling alternates; [`first_name_similarity`] blends dictionary
+//! knowledge with Jaro-Winkler.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::jaro_winkler;
+use crate::Similarity;
+
+/// Written variants of the same spoken first name (diminutives and
+/// Gaelic/English forms). Each group lists interchangeable forms.
+pub const FIRST_NAME_VARIANTS: &[&[&str]] = &[
+    &["margaret", "maggie", "peggy"],
+    &["catherine", "kate", "katie", "catharine"],
+    &["christina", "cirsty", "kirsty", "christy"],
+    &["isabella", "bella", "isobel"],
+    &["elizabeth", "betsy", "eliza"],
+    &["mary", "mairi", "may"],
+    &["janet", "jessie", "jenny"],
+    &["ann", "anne", "annie"],
+    &["john", "iain", "jock"],
+    &["donald", "daniel", "domhnall"],
+    &["alexander", "alex", "sandy", "alastair"],
+    &["norman", "tormod"],
+    &["roderick", "ruairidh", "rory"],
+    &["malcolm", "calum"],
+    &["william", "willie", "uilleam"],
+];
+
+/// Surname spelling alternates of the transcription era.
+pub const SURNAME_VARIANTS: &[&[&str]] = &[
+    &["macdonald", "mcdonald", "macdonell"],
+    &["macleod", "mcleod", "m'leod"],
+    &["mackinnon", "mckinnon"],
+    &["maclean", "mclean", "maclaine"],
+    &["mackenzie", "mckenzie", "m'kenzie"],
+    &["macpherson", "mcpherson"],
+    &["macrae", "mcrae", "macrath"],
+    &["nicolson", "nicholson"],
+    &["matheson", "mathieson"],
+    &["thomson", "thompson"],
+    &["paterson", "patterson"],
+    &["johnston", "johnstone"],
+    &["reid", "reed"],
+    &["taylor", "tayler"],
+    &["smith", "smyth"],
+];
+
+/// Similarity assigned to two distinct written forms of the same name.
+pub const VARIANT_SIMILARITY: Similarity = 0.95;
+
+fn group_index(tables: &'static [&'static [&'static str]]) -> HashMap<&'static str, usize> {
+    let mut map = HashMap::new();
+    for (g, group) in tables.iter().enumerate() {
+        for &name in *group {
+            map.insert(name, g);
+        }
+    }
+    map
+}
+
+fn first_name_groups() -> &'static HashMap<&'static str, usize> {
+    static CELL: OnceLock<HashMap<&'static str, usize>> = OnceLock::new();
+    CELL.get_or_init(|| group_index(FIRST_NAME_VARIANTS))
+}
+
+fn surname_groups() -> &'static HashMap<&'static str, usize> {
+    static CELL: OnceLock<HashMap<&'static str, usize>> = OnceLock::new();
+    CELL.get_or_init(|| group_index(SURNAME_VARIANTS))
+}
+
+/// Whether two first names are known written forms of the same name.
+#[must_use]
+pub fn same_first_name_group(a: &str, b: &str) -> bool {
+    let groups = first_name_groups();
+    matches!((groups.get(a), groups.get(b)), (Some(x), Some(y)) if x == y)
+}
+
+/// Whether two surnames are known spelling alternates.
+#[must_use]
+pub fn same_surname_group(a: &str, b: &str) -> bool {
+    let groups = surname_groups();
+    matches!((groups.get(a), groups.get(b)), (Some(x), Some(y)) if x == y)
+}
+
+/// Variant-aware first-name similarity: Jaro-Winkler, floored at
+/// [`VARIANT_SIMILARITY`] for known variants of the same name.
+///
+/// # Examples
+///
+/// ```
+/// use snaps_strsim::variants::first_name_similarity;
+/// assert!(first_name_similarity("jock", "john") >= 0.95);
+/// assert_eq!(first_name_similarity("mary", "mary"), 1.0);
+/// assert!(first_name_similarity("mary", "flora") < 0.6);
+/// ```
+#[must_use]
+pub fn first_name_similarity(a: &str, b: &str) -> Similarity {
+    let jw = jaro_winkler(a, b);
+    if jw < 1.0 && same_first_name_group(a, b) {
+        jw.max(VARIANT_SIMILARITY)
+    } else {
+        jw
+    }
+}
+
+/// Variant-aware surname similarity; see [`first_name_similarity`].
+#[must_use]
+pub fn surname_similarity(a: &str, b: &str) -> Similarity {
+    let jw = jaro_winkler(a, b);
+    if jw < 1.0 && same_surname_group(a, b) {
+        jw.max(VARIANT_SIMILARITY)
+    } else {
+        jw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diminutives_score_high() {
+        assert!(first_name_similarity("peggy", "margaret") >= 0.95);
+        assert!(first_name_similarity("jessie", "janet") >= 0.95);
+        assert!(first_name_similarity("jock", "iain") >= 0.95, "both forms of john");
+    }
+
+    #[test]
+    fn identical_names_score_one() {
+        assert_eq!(first_name_similarity("mary", "mary"), 1.0);
+        assert_eq!(surname_similarity("macleod", "macleod"), 1.0);
+    }
+
+    #[test]
+    fn unknown_names_fall_back_to_jw() {
+        use crate::jaro_winkler;
+        assert_eq!(
+            first_name_similarity("zebedee", "zachary"),
+            jaro_winkler("zebedee", "zachary")
+        );
+    }
+
+    #[test]
+    fn different_groups_not_boosted() {
+        assert!(first_name_similarity("mary", "margaret") < 0.95);
+        assert!(surname_similarity("macdonald", "macleod") < 0.9);
+    }
+
+    #[test]
+    fn surname_alternates() {
+        assert!(surname_similarity("m'leod", "macleod") >= 0.95);
+        assert!(surname_similarity("reid", "reed") >= 0.95);
+    }
+
+    #[test]
+    fn group_membership() {
+        assert!(same_first_name_group("kate", "catharine"));
+        assert!(!same_first_name_group("kate", "mary"));
+        assert!(!same_first_name_group("kate", "unknownname"));
+        assert!(same_surname_group("smyth", "smith"));
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(
+            first_name_similarity("jock", "john"),
+            first_name_similarity("john", "jock")
+        );
+    }
+}

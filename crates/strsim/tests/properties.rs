@@ -1,0 +1,116 @@
+//! Property-based tests for the similarity metric axioms.
+
+use proptest::prelude::*;
+use snaps_strsim::{
+    geo::{distance_similarity, haversine_km, GeoPoint},
+    jaro, jaro_winkler, levenshtein, levenshtein_similarity,
+    normalize::normalize_name,
+    numeric::max_abs_diff_similarity,
+    qgram::{bigram_jaccard, bigrams, share_bigram},
+};
+
+fn word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{0,12}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn jaro_in_unit_range(a in word(), b in word()) {
+        let s = jaro(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn jaro_winkler_in_unit_range(a in word(), b in word()) {
+        let s = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+    }
+
+    #[test]
+    fn jaro_symmetric(a in word(), b in word()) {
+        prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_winkler_symmetric(a in word(), b in word()) {
+        prop_assert!((jaro_winkler(&a, &b) - jaro_winkler(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_identity(a in word()) {
+        prop_assert_eq!(jaro(&a, &a), 1.0);
+        prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn winkler_dominates_jaro(a in word(), b in word()) {
+        prop_assert!(jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b));
+    }
+
+    #[test]
+    fn levenshtein_identity_and_symmetry(a in word(), b in word()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in word(), b in word(), c in word()) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_length(a in word(), b in word()) {
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+        let s = levenshtein_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn jaccard_unit_range_and_symmetry(a in word(), b in word()) {
+        let s = bigram_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, bigram_jaccard(&b, &a));
+    }
+
+    #[test]
+    fn positive_jaccard_implies_shared_bigram(a in word(), b in word()) {
+        if !a.is_empty() && !b.is_empty() && bigram_jaccard(&a, &b) > 0.0 {
+            prop_assert!(share_bigram(&a, &b));
+        }
+    }
+
+    #[test]
+    fn bigram_count_bound(a in word()) {
+        let n = a.chars().count();
+        let expected_max = if n == 0 { 0 } else if n == 1 { 1 } else { n - 1 };
+        prop_assert!(bigrams(&a).len() <= expected_max.max(1));
+    }
+
+    #[test]
+    fn numeric_similarity_unit_range(a in -5000.0..5000.0f64, b in -5000.0..5000.0f64, m in 0.1..100.0f64) {
+        let s = max_abs_diff_similarity(a, b, m);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, max_abs_diff_similarity(b, a, m));
+    }
+
+    #[test]
+    fn normalize_idempotent(a in "[ -~]{0,30}") {
+        let once = normalize_name(&a);
+        prop_assert_eq!(normalize_name(&once), once.clone());
+        prop_assert!(!once.starts_with(' ') && !once.ends_with(' '));
+    }
+
+    #[test]
+    fn haversine_symmetric_nonnegative(
+        lat1 in -89.0..89.0f64, lon1 in -179.0..179.0f64,
+        lat2 in -89.0..89.0f64, lon2 in -179.0..179.0f64,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let d = haversine_km(a, b);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - haversine_km(b, a)).abs() < 1e-6);
+        let s = distance_similarity(a, b, 25.0);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,42 @@
+//! Run the ablation study programmatically — showing how the library's
+//! [`snaps::core::Ablation`] switches expose each technique of the paper
+//! (PROP-A/PROP-C, AMB, REL, REF) to downstream experimentation.
+//!
+//! ```text
+//! cargo run --release --example ablation_study
+//! ```
+
+use snaps::core::SnapsConfig;
+use snaps::datagen::{generate, DatasetProfile};
+use snaps::eval::ablation::run_ablation;
+
+fn main() {
+    let data = generate(&DatasetProfile::ios().scaled(0.15), 42);
+    println!(
+        "Ablation study on {} ({} records)\n",
+        data.dataset.name,
+        data.dataset.len()
+    );
+
+    let rows = run_ablation(&data, &SnapsConfig::default());
+    println!(
+        "{:<28} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
+        "Variant", "Bp-Bp P", "R", "F*", "Bp-Dp P", "R", "F*"
+    );
+    for row in &rows {
+        let (_, q1) = &row.per_role_pair[0];
+        let (_, q2) = &row.per_role_pair[1];
+        let (p1, r1, f1) = q1.percentages();
+        let (p2, r2, f2) = q2.percentages();
+        println!(
+            "{:<28} {p1:>8.2} {r1:>8.2} {f1:>8.2}   {p2:>8.2} {r2:>8.2} {f2:>8.2}",
+            row.variant
+        );
+    }
+    println!(
+        "\nReading: the full system should lead on F*; removing PROP costs \
+         precision,\nremoving AMB costs recall among ambiguous names, removing REL \
+         breaks partial\nmatch groups (Bp-Dp), and removing REF admits loosely \
+         connected wrong links."
+    );
+}

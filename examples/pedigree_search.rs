@@ -1,0 +1,108 @@
+//! The SNAPS demo: search an anonymised dataset and explore a family
+//! pedigree — the CLI equivalent of the paper's web interface (Figs. 5–8).
+//!
+//! The dataset is generated, resolved, **anonymised** (as the public SNAPS
+//! site is), indexed, and then queried. The default query mirrors the
+//! paper's running example (a search for "Douglas Macdonald" surfacing
+//! "doyd macdougall"-style approximate matches, Fig. 6); pass your own:
+//!
+//! ```text
+//! cargo run --release --example pedigree_search
+//! cargo run --release --example pedigree_search -- jennifer johnson death
+//! ```
+
+use snaps::anonymise::{anonymise, AnonymiserConfig};
+use snaps::core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps::datagen::{generate, DatasetProfile};
+use snaps::pedigree::{extract, render_dot, render_text, render_tree, DEFAULT_GENERATIONS};
+use snaps::query::{QueryRecord, SearchEngine, SearchKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (first, surname, kind) = match args.as_slice() {
+        [] => ("douglas".to_string(), "macdonald".to_string(), SearchKind::Birth),
+        [f, s] => (f.clone(), s.clone(), SearchKind::Birth),
+        [f, s, k] => (
+            f.clone(),
+            s.clone(),
+            if k == "death" { SearchKind::Death } else { SearchKind::Birth },
+        ),
+        _ => {
+            eprintln!("usage: pedigree_search [first surname [birth|death]]");
+            std::process::exit(2);
+        }
+    };
+
+    // Offline phase (done once, server-side in the real deployment).
+    eprintln!("[offline] generating and resolving the dataset…");
+    let data = generate(&DatasetProfile::ios().scaled(0.15), 42);
+    let (anon, report) = anonymise(&data.dataset, &AnonymiserConfig::default());
+    eprintln!(
+        "[offline] anonymised: {} female / {} male first names, {} surnames mapped; \
+         {} frequent causes kept, {} rare causes replaced",
+        report.female_first_names,
+        report.male_first_names,
+        report.surnames,
+        report.frequent_causes,
+        report.rare_causes,
+    );
+    let res = resolve(&anon, &SnapsConfig::default());
+    let graph = PedigreeGraph::build(&anon, &res);
+    let mut engine = SearchEngine::build(graph);
+
+    // Online phase: query → ranked results (Fig. 6).
+    let query = QueryRecord::new(&first, &surname, kind);
+    println!(
+        "\nQuery: forename='{}' surname='{}' search={} records",
+        query.first_name,
+        query.surname,
+        match kind {
+            SearchKind::Birth => "birth",
+            SearchKind::Death => "death",
+        }
+    );
+    let results = engine.query(&query, 10);
+    if results.is_empty() {
+        println!("No matching entities. (Names are anonymised — try e.g. 'jennifer johnson'.)");
+        // Offer some real values to try.
+        let sample: Vec<String> = engine
+            .graph()
+            .entities
+            .iter()
+            .filter(|e| e.has_birth_record)
+            .take(5)
+            .map(snaps::core::PedigreeEntity::display_name)
+            .collect();
+        println!("Entities that do exist: {}", sample.join(", "));
+        return;
+    }
+
+    println!("\n{:<4} {:<16} {:<16} {:<3} {:<6} {:<14} {:>6}", "#", "Forename", "Surname", "G", "Year", "Parish", "Score");
+    for (i, m) in results.iter().enumerate() {
+        let e = engine.graph().entity(m.entity);
+        let year = match kind {
+            SearchKind::Birth => e.birth_year,
+            SearchKind::Death => e.death_year,
+        };
+        println!(
+            "{:<4} {:<16} {:<16} {:<3} {:<6} {:<14} {:>5.2}%",
+            i + 1,
+            e.first_names.first().map_or("?", String::as_str),
+            e.surnames.first().map_or("?", String::as_str),
+            e.gender,
+            year.map_or_else(|| "?".into(), |y| y.to_string()),
+            e.addresses.first().map_or("?", String::as_str),
+            m.score_percent,
+        );
+    }
+
+    // "Explore" the top hit: extract and render its pedigree (Figs. 7/8).
+    let top = results[0].entity;
+    let pedigree = extract(engine.graph(), top, DEFAULT_GENERATIONS);
+    println!("\n=== Family pedigree (textual) ===");
+    print!("{}", render_text(&pedigree, engine.graph()));
+    println!("\n=== Family tree ===");
+    print!("{}", render_tree(&pedigree, engine.graph()));
+    println!("\n=== Graphviz DOT (pipe into `dot -Tpng`) ===");
+    print!("{}", render_dot(&pedigree, engine.graph()));
+}

@@ -1,0 +1,67 @@
+//! Quickstart: generate a small synthetic vital-records dataset, resolve it
+//! with SNAPS, and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use snaps::core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps::datagen::{generate, DatasetProfile};
+use snaps::model::RoleCategory;
+
+fn main() {
+    // 1. Generate a small Isle-of-Skye-like dataset with ground truth.
+    let profile = DatasetProfile::ios().scaled(0.1);
+    let data = generate(&profile, 42);
+    println!(
+        "Generated {}: {} certificates, {} person records, {} simulated individuals",
+        data.dataset.name,
+        data.dataset.certificates.len(),
+        data.dataset.len(),
+        data.population.len(),
+    );
+
+    // 2. Run the offline SNAPS pipeline: blocking → dependency graph →
+    //    bootstrap → iterative merging (PROP/AMB/REL) → refinement (REF).
+    let cfg = SnapsConfig::default();
+    let res = resolve(&data.dataset, &cfg);
+    println!(
+        "Resolved: |N_A|={} |N_R|={} links={} clusters={} (bootstrap={}, passes={})",
+        res.stats.n_atomic,
+        res.stats.n_relational,
+        res.stats.final_links,
+        res.clusters.len(),
+        res.stats.bootstrap_links,
+        res.stats.passes,
+    );
+
+    // 3. Score against the generator's ground truth.
+    for (ca, cb, label) in [
+        (RoleCategory::BirthParent, RoleCategory::BirthParent, "Bp-Bp"),
+        (RoleCategory::BirthParent, RoleCategory::DeathParent, "Bp-Dp"),
+    ] {
+        let pred = res.matched_pairs(&data.dataset, ca, cb);
+        let truth = data.truth.true_links(&data.dataset, ca, cb);
+        let tp = pred.intersection(&truth).count() as f64;
+        let p = 100.0 * tp / (pred.len() as f64).max(1.0);
+        let r = 100.0 * tp / (truth.len() as f64).max(1.0);
+        let f = 100.0 * tp / (pred.len() as f64 + truth.len() as f64 - tp).max(1.0);
+        println!("{label}: P={p:.1}% R={r:.1}% F*={f:.1}%");
+    }
+
+    // 4. Build the pedigree graph and show the best-connected entity.
+    let graph = PedigreeGraph::build(&data.dataset, &res);
+    let busiest = graph
+        .entities
+        .iter()
+        .max_by_key(|e| graph.neighbours(e.id).len())
+        .expect("graph is non-empty");
+    println!(
+        "\nBest-connected entity: {} ({} records, {} relationships)",
+        busiest.display_name(),
+        busiest.records.len(),
+        graph.neighbours(busiest.id).len(),
+    );
+    let pedigree = snaps::pedigree::extract(&graph, busiest.id, 2);
+    print!("{}", snaps::pedigree::render_text(&pedigree, &graph));
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration: generate → resolve → pedigree graph → index →
+//! query → extract, through the public facade API only.
+
+use snaps::core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps::datagen::{generate, DatasetProfile};
+use snaps::model::{RoleCategory};
+use snaps::pedigree::{extract, render_dot, render_text, render_tree, DEFAULT_GENERATIONS};
+use snaps::query::{QueryRecord, SearchEngine, SearchKind};
+
+fn f_star(
+    pred: &std::collections::BTreeSet<(snaps::model::RecordId, snaps::model::RecordId)>,
+    truth: &std::collections::BTreeSet<(snaps::model::RecordId, snaps::model::RecordId)>,
+) -> f64 {
+    let tp = pred.intersection(truth).count() as f64;
+    tp / (pred.len() as f64 + truth.len() as f64 - tp).max(1.0)
+}
+
+#[test]
+fn full_pipeline_quality_and_search() {
+    let data = generate(&DatasetProfile::ios().scaled(0.15), 42);
+    let ds = &data.dataset;
+    let cfg = SnapsConfig::default();
+
+    // --- Offline resolution reaches paper-shaped quality. -----------------
+    let res = resolve(ds, &cfg);
+    for (ca, cb, label) in [
+        (RoleCategory::BirthParent, RoleCategory::BirthParent, "Bp-Bp"),
+        (RoleCategory::BirthParent, RoleCategory::DeathParent, "Bp-Dp"),
+    ] {
+        let pred = res.matched_pairs(ds, ca, cb);
+        let truth = data.truth.true_links(ds, ca, cb);
+        let tp = pred.intersection(&truth).count() as f64;
+        let precision = tp / (pred.len() as f64).max(1.0);
+        let recall = tp / (truth.len() as f64).max(1.0);
+        assert!(precision > 0.85, "{label} precision {precision:.3}");
+        assert!(recall > 0.70, "{label} recall {recall:.3}");
+    }
+
+    // --- Pedigree graph covers every record. -------------------------------
+    let graph = PedigreeGraph::build(ds, &res);
+    assert_eq!(graph.record_entity.len(), ds.len());
+    assert!(graph.edges.len() > ds.certificates.len(), "relationships lifted");
+
+    // --- Query an existing person by their recorded name. ------------------
+    let target = graph
+        .entities
+        .iter()
+        .find(|e| e.has_birth_record && !graph.neighbours(e.id).is_empty())
+        .expect("someone has a birth record and family");
+    let first = target.first_names[0].clone();
+    let surname = target.surnames[0].clone();
+    let target_id = target.id;
+
+    let mut engine = SearchEngine::build(graph);
+    let q = QueryRecord::new(&first, &surname, SearchKind::Birth);
+    let results = engine.query(&q, 10);
+    assert!(!results.is_empty(), "query for an existing entity returns results");
+    assert!(
+        results.iter().any(|m| m.entity == target_id),
+        "the queried entity is among the top-10"
+    );
+
+    // --- Extract and render the pedigree of the top hit. -------------------
+    let top = results[0].entity;
+    let pedigree = extract(engine.graph(), top, DEFAULT_GENERATIONS);
+    assert!(pedigree.contains(top));
+    let text = render_text(&pedigree, engine.graph());
+    assert!(text.contains("Family pedigree of"));
+    let tree = render_tree(&pedigree, engine.graph());
+    assert!(!tree.is_empty());
+    let dot = render_dot(&pedigree, engine.graph());
+    assert!(dot.starts_with("digraph"));
+}
+
+#[test]
+fn snaps_is_most_precise_and_competitive_on_f_star() {
+    // The paper's full Table-4 ordering (SNAPS best F* everywhere) is
+    // scale-dependent — namesake ambiguity only bites at profile scale,
+    // where `cargo run -p snaps-bench --bin table4` measures it (recorded
+    // in EXPERIMENTS.md: SNAPS F* 87/92 vs Dep-Graph 82/87 on IOS/KIL).
+    // The scale-free invariants asserted here: SNAPS is the most *precise*
+    // system at any scale, and its F* is within a whisker of the best.
+    let data = generate(&DatasetProfile::ios().scaled(0.15), 42);
+    let ds = &data.dataset;
+    let cfg = SnapsConfig::default();
+    let (ca, cb) = (RoleCategory::BirthParent, RoleCategory::BirthParent);
+    let truth = data.truth.true_links(ds, ca, cb);
+
+    let precision = |pred: &std::collections::BTreeSet<_>| {
+        let tp = pred.intersection(&truth).count() as f64;
+        tp / (pred.len() as f64).max(1.0)
+    };
+
+    let snaps_pairs = resolve(ds, &cfg).matched_pairs(ds, ca, cb);
+    let attr_pairs = snaps::baselines::attr_sim_link(ds, &cfg).matched_pairs(ds, ca, cb);
+    let dep_pairs = snaps::baselines::dep_graph_link(ds, &cfg).matched_pairs(ds, ca, cb);
+    let rel_pairs = snaps::baselines::rel_cluster_link(ds, &cfg).matched_pairs(ds, ca, cb);
+
+    let (sp, ap, dp, rp) = (
+        precision(&snaps_pairs),
+        precision(&attr_pairs),
+        precision(&dep_pairs),
+        precision(&rel_pairs),
+    );
+    assert!(
+        sp >= ap && sp >= dp && sp >= rp,
+        "SNAPS precision {sp:.3} vs Attr {ap:.3} Dep {dp:.3} Rel {rp:.3}"
+    );
+
+    let (sf, af, df, rf) = (
+        f_star(&snaps_pairs, &truth),
+        f_star(&attr_pairs, &truth),
+        f_star(&dep_pairs, &truth),
+        f_star(&rel_pairs, &truth),
+    );
+    let best = af.max(df).max(rf);
+    assert!(
+        sf + 0.05 >= best,
+        "SNAPS F* {sf:.3} not competitive with best baseline {best:.3}"
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let profile = DatasetProfile::kil().scaled(0.05);
+    let run = || {
+        let data = generate(&profile, 7);
+        let res = resolve(&data.dataset, &SnapsConfig::default());
+        let graph = PedigreeGraph::build(&data.dataset, &res);
+        (
+            data.dataset.len(),
+            res.links.clone(),
+            graph.len(),
+            graph.edges.len(),
+        )
+    };
+    assert_eq!(run(), run());
+}

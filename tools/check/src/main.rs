@@ -1,0 +1,22 @@
+use snaps_model::RoleCategory;
+fn fstar(pred: &std::collections::BTreeSet<(snaps_model::RecordId, snaps_model::RecordId)>, truth: &std::collections::BTreeSet<(snaps_model::RecordId, snaps_model::RecordId)>) -> (f64,f64,f64) {
+    let tp = pred.intersection(truth).count() as f64;
+    (100.0*tp/(pred.len() as f64).max(1.0), 100.0*tp/(truth.len() as f64).max(1.0),
+     100.0*tp/(pred.len() as f64 + truth.len() as f64 - tp).max(1.0))
+}
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let cfg = snaps_core::SnapsConfig::default();
+    for profile in [snaps_datagen::DatasetProfile::ios().scaled(scale), snaps_datagen::DatasetProfile::kil().scaled(scale)] {
+        let data = snaps_datagen::generate(&profile, 42);
+        let ds = &data.dataset;
+        let ca = RoleCategory::BirthParent;
+        let truth1 = data.truth.true_links(ds, ca, ca);
+        let truth2 = data.truth.true_links(ds, ca, RoleCategory::DeathParent);
+        println!("== {} ({} recs)", profile.name, ds.len());
+        let snaps = snaps_core::resolve(ds, &cfg);
+        println!("SNAPS     BpBp={:.2?} BpDp={:.2?}", fstar(&snaps.matched_pairs(ds,ca,ca), &truth1), fstar(&snaps.matched_pairs(ds,ca,RoleCategory::DeathParent), &truth2));
+        let dep = snaps_baselines::dep_graph_link(ds, &cfg);
+        println!("Dep-Graph BpBp={:.2?} BpDp={:.2?}", fstar(&dep.matched_pairs(ds,ca,ca), &truth1), fstar(&dep.matched_pairs(ds,ca,RoleCategory::DeathParent), &truth2));
+    }
+}
