@@ -1,0 +1,37 @@
+//! Measures the cost of the instrumentation layer on the offline pipeline:
+//! `resolve` with observability disabled (the default) must be
+//! indistinguishable from the pre-instrumentation pipeline, and the fully
+//! enabled configuration shows what a `--report` run pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snaps_core::{resolve, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_obs::{ObsConfig, Verbosity};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let data = generate(&DatasetProfile::ios().scaled(0.05), 42);
+    let ds = &data.dataset;
+
+    let disabled = SnapsConfig::default();
+    debug_assert!(!disabled.obs.enabled, "instrumentation is opt-in");
+    let mut spans_only = SnapsConfig::default();
+    spans_only.obs = ObsConfig { enabled: true, verbosity: Verbosity::Spans };
+    let mut full = SnapsConfig::default();
+    full.obs = ObsConfig::full();
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+    g.bench_function("resolve_obs_disabled", |b| {
+        b.iter(|| black_box(resolve(ds, &disabled)));
+    });
+    g.bench_function("resolve_obs_spans", |b| {
+        b.iter(|| black_box(resolve(ds, &spans_only)));
+    });
+    g.bench_function("resolve_obs_full", |b| {
+        b.iter(|| black_box(resolve(ds, &full)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -6,10 +6,11 @@
 //! cargo run -p snaps-bench --release --bin table5 [-- --scale 1.0 --seed 42]
 //! ```
 
-use snaps_bench::{format_table, ExperimentArgs};
-use snaps_core::SnapsConfig;
+use snaps_bench::{format_table, write_report, ExperimentArgs};
+use snaps_core::{resolve_with_obs, SnapsConfig};
 use snaps_datagen::{generate, DatasetProfile};
 use snaps_eval::timing::time_offline;
+use snaps_obs::{Obs, ObsConfig};
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -20,6 +21,12 @@ fn main() {
         args.scale, args.seed
     );
 
+    // With --report, an extra fully-instrumented SNAPS resolution runs per
+    // dataset on this shared handle; the timed runs stay uninstrumented so
+    // the table numbers are untouched.
+    let obs =
+        if args.report.is_some() { Obs::new(&ObsConfig::full()) } else { Obs::disabled() };
+
     let mut rows = Vec::new();
     for profile in [
         DatasetProfile::ios().scaled(args.scale),
@@ -28,6 +35,10 @@ fn main() {
         let data = generate(&profile, args.seed);
         eprintln!("[table5] timing all systems on {} ({} records)…", data.dataset.name, data.dataset.len());
         let timings = time_offline(&data, &cfg);
+        if obs.is_enabled() {
+            eprintln!("[table5] instrumented resolve on {}…", data.dataset.name);
+            let _ = resolve_with_obs(&data.dataset, &cfg, &obs);
+        }
         let (na, nr) = (
             timings[0].n_atomic.unwrap_or(0),
             timings[0].n_relational.unwrap_or(0),
@@ -56,4 +67,8 @@ fn main() {
             &rows
         )
     );
+
+    if let Some(report) = obs.report() {
+        write_report(report.with_meta("datasets", "ios,kil"), &args, "table5");
+    }
 }

@@ -9,9 +9,11 @@
 //! cargo run -p snaps-bench --release --bin table6 [-- --scale 1.0 --seed 42]
 //! ```
 
-use snaps_bench::{format_table, ExperimentArgs};
-use snaps_core::SnapsConfig;
+use snaps_bench::{format_table, write_report, ExperimentArgs};
+use snaps_core::{resolve_with_obs, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
 use snaps_eval::scaling::{run_scaling, PAPER_PERIODS};
+use snaps_obs::{Obs, ObsConfig};
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -58,4 +60,29 @@ fn main() {
             &table
         )
     );
+
+    // With --report, re-resolve the largest window with full instrumentation
+    // (the timed sweep above stays uninstrumented) and dump the span tree,
+    // per-pass counters, and graph gauges.
+    if args.report.is_some() {
+        let years = *PAPER_PERIODS.last().expect("paper periods are non-empty");
+        let profile = DatasetProfile::bhic(years).scaled(args.scale);
+        let data = generate(&profile, args.seed);
+        eprintln!(
+            "[table6] instrumented resolve on the {}-year window ({} records)…",
+            years,
+            data.dataset.len()
+        );
+        let obs = Obs::new(&ObsConfig::full());
+        let _ = resolve_with_obs(&data.dataset, &cfg, &obs);
+        if let Some(report) = obs.report() {
+            write_report(
+                report
+                    .with_meta("dataset", data.dataset.name.as_str())
+                    .with_meta("period_years", years),
+                &args,
+                "table6",
+            );
+        }
+    }
 }

@@ -10,10 +10,12 @@
 //! cargo run -p snaps-bench --release --bin table7 [-- --scale 1.0 --seed 42]
 //! ```
 
-use snaps_bench::{format_table, ExperimentArgs};
-use snaps_core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps_bench::{format_table, write_report, ExperimentArgs};
+use snaps_core::{resolve_with_obs, PedigreeGraph, SnapsConfig};
 use snaps_datagen::{generate, DatasetProfile};
 use snaps_eval::timing::{generate_query_batch, time_queries};
+use snaps_obs::{Obs, ObsConfig};
+use snaps_pedigree::{extract_with, DEFAULT_GENERATIONS};
 use snaps_query::SearchEngine;
 
 /// Queries timed per run.
@@ -28,31 +30,63 @@ fn main() {
         args.scale, args.seed
     );
 
+    // With --report the whole end-to-end path (resolve, index build, query
+    // batch) runs instrumented; the query latency histogram then lands in
+    // the report alongside the table's exact sample statistics.
+    let obs =
+        if args.report.is_some() { Obs::new(&ObsConfig::full()) } else { Obs::disabled() };
+
     let data = generate(&DatasetProfile::ios().scaled(args.scale), args.seed);
     eprintln!("[table7] resolving {} records…", data.dataset.len());
-    let res = resolve(&data.dataset, &cfg);
+    let res = resolve_with_obs(&data.dataset, &cfg, &obs);
     let graph = PedigreeGraph::build(&data.dataset, &res);
     eprintln!("[table7] building indices over {} entities…", graph.len());
-    let mut engine = SearchEngine::build(graph);
+    let mut engine = SearchEngine::build_obs(graph, &obs);
 
     let queries = generate_query_batch(engine.graph(), BATCH, args.seed);
     let (q, p) = time_queries(&mut engine, &queries, 10);
 
+    if obs.is_enabled() {
+        // One instrumented extraction so pedigree span/counters appear too.
+        if let Some(top) = engine.query(&queries[0], 1).first() {
+            let _ = extract_with(engine.graph(), top.entity, DEFAULT_GENERATIONS, &obs);
+        }
+    }
+
     let fmt = |v: f64| format!("{v:.4}");
+    let pedigree_row = match p {
+        Some(p) => vec![
+            "Pedigree extraction".into(),
+            fmt(p.min),
+            fmt(p.avg),
+            fmt(p.median),
+            fmt(p.max),
+        ],
+        // No query returned a hit, so there is nothing to extract.
+        None => vec![
+            "Pedigree extraction".into(),
+            "n/a".into(),
+            "n/a".into(),
+            "n/a".into(),
+            "n/a".into(),
+        ],
+    };
     println!(
         "{}",
         format_table(
             &["Task", "Minimum", "Average", "Median", "Maximum"],
             &[
                 vec!["Querying".into(), fmt(q.min), fmt(q.avg), fmt(q.median), fmt(q.max)],
-                vec![
-                    "Pedigree extraction".into(),
-                    fmt(p.min),
-                    fmt(p.avg),
-                    fmt(p.median),
-                    fmt(p.max)
-                ],
+                pedigree_row,
             ]
         )
     );
+
+    if let Some(report) = obs.report() {
+        write_report(
+            report.with_meta("dataset", "ios").with_meta("batch", BATCH),
+            &args,
+            "table7",
+        );
+    }
 }

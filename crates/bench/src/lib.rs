@@ -8,29 +8,33 @@
 #![warn(missing_docs)]
 
 /// Command-line options shared by the experiment binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExperimentArgs {
     /// Population scale factor applied to the dataset profiles
     /// (`--scale 0.5`); 1.0 reproduces the full profile.
     pub scale: f64,
     /// RNG seed (`--seed 42`).
     pub seed: u64,
+    /// Where to write a machine-readable instrumentation report
+    /// (`--report results/table5.report.json`); `None` disables
+    /// instrumentation entirely.
+    pub report: Option<String>,
 }
 
 impl Default for ExperimentArgs {
     fn default() -> Self {
-        Self { scale: 1.0, seed: 42 }
+        Self { scale: 1.0, seed: 42, report: None }
     }
 }
 
 impl ExperimentArgs {
-    /// Parse `--scale` and `--seed` from `std::env::args`, exiting with a
-    /// usage message (status 2) on malformed input.
+    /// Parse `--scale`, `--seed`, and `--report` from `std::env::args`,
+    /// exiting with a usage message (status 2) on malformed input.
     #[must_use]
     pub fn parse() -> Self {
         Self::parse_from(std::env::args().skip(1)).unwrap_or_else(|msg| {
             eprintln!("error: {msg}
-usage: <binary> [--scale F] [--seed N]");
+usage: <binary> [--scale F] [--seed N] [--report PATH.json]");
             std::process::exit(2);
         })
     }
@@ -60,6 +64,14 @@ usage: <binary> [--scale F] [--seed N]");
                         .and_then(|v| v.parse().ok())
                         .ok_or("--seed requires an integer")?;
                 }
+                "--report" => {
+                    i += 1;
+                    let path = args.get(i).ok_or("--report requires a file path")?;
+                    if path.starts_with("--") || path.is_empty() {
+                        return Err("--report requires a file path".into());
+                    }
+                    out.report = Some(path.clone());
+                }
                 other => return Err(format!("unknown argument {other}")),
             }
             i += 1;
@@ -69,6 +81,22 @@ usage: <binary> [--scale F] [--seed N]");
         }
         Ok(out)
     }
+}
+
+/// Write an instrumentation report to the path from `--report`, stamping
+/// the shared experiment metadata first. Exits with status 1 on I/O errors
+/// so a scripted run fails loudly instead of silently dropping the report.
+pub fn write_report(report: snaps_obs::RunReport, args: &ExperimentArgs, table: &str) {
+    let Some(path) = &args.report else { return };
+    let report = report
+        .with_meta("table", table)
+        .with_meta("scale", args.scale)
+        .with_meta("seed", args.seed);
+    if let Err(e) = report.write_to(path) {
+        eprintln!("error: cannot write run report to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[{table}] wrote run report to {path}");
 }
 
 /// Render an aligned text table: `header` then `rows`, columns padded to the
@@ -124,8 +152,14 @@ mod tests {
         .unwrap();
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.seed, 7);
+        assert_eq!(a.report, None);
         let d = ExperimentArgs::parse_from([]).unwrap();
         assert_eq!(d.scale, 1.0);
+        let r = ExperimentArgs::parse_from(
+            ["--report", "results/t5.json"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(r.report.as_deref(), Some("results/t5.json"));
     }
 
     #[test]
@@ -145,6 +179,11 @@ mod tests {
         );
         assert!(
             ExperimentArgs::parse_from(["--seed", "x"].map(String::from)).is_err()
+        );
+        assert!(ExperimentArgs::parse_from(["--report".into()]).is_err());
+        assert!(
+            ExperimentArgs::parse_from(["--report", "--seed"].map(String::from))
+                .is_err()
         );
     }
 

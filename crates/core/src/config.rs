@@ -1,6 +1,7 @@
 //! Pipeline configuration: the paper's parameters and ablation switches.
 
 use snaps_blocking::LshConfig;
+use snaps_obs::ObsConfig;
 
 /// When may a *single* relational node (a lone record pair with no
 /// relationship support) merge?
@@ -127,6 +128,9 @@ pub struct SnapsConfig {
     pub group_merging: bool,
     /// Technique switches.
     pub ablation: Ablation,
+    /// Instrumentation switch: disabled by default, so the pipeline pays no
+    /// observability cost unless a caller opts in (see [`snaps_obs`]).
+    pub obs: ObsConfig,
 }
 
 impl Default for SnapsConfig {
@@ -150,6 +154,7 @@ impl Default for SnapsConfig {
             spouse_veto: true,
             group_merging: true,
             ablation: Ablation::default(),
+            obs: ObsConfig::default(),
         }
     }
 }

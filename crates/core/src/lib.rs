@@ -50,4 +50,4 @@ pub mod similarity;
 
 pub use config::{Ablation, SnapsConfig};
 pub use pedigree::{PedigreeEntity, PedigreeGraph};
-pub use pipeline::{resolve, Resolution, ResolutionStats};
+pub use pipeline::{resolve, resolve_with_obs, PassDetail, Resolution, ResolutionStats};

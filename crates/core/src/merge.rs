@@ -16,6 +16,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use snaps_model::{Dataset, RecordId, Relationship};
+use snaps_obs::{Counter, Obs};
 use snaps_strsim::variants::first_name_similarity;
 
 use crate::config::{SingletonMergePolicy, SnapsConfig};
@@ -28,6 +29,38 @@ use crate::similarity::{atomic_similarity, NameFreqs, NodeSimilarity};
 /// [`MergeContext::spouse_conflict`]).
 pub const SPOUSE_VETO_SIMILARITY: f64 = 0.55;
 
+/// Counter handles for merge internals, pre-resolved once per run so hot
+/// loops pay one branch per event (see [`snaps_obs::Counter`]). All handles
+/// are inert when instrumentation is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct MergeCounters {
+    /// Candidate comparisons attempted ([`MergeContext::evaluate`] calls).
+    pub comparisons: Counter,
+    /// Links created by accepted merges.
+    pub links_created: Counter,
+    /// Links confirmed between already co-referent records.
+    pub links_confirmed: Counter,
+    /// Nodes rejected by the spouse-context veto.
+    pub reject_spouse_veto: Counter,
+    /// Nodes rejected by entity-level cardinality/temporal constraints.
+    pub reject_constraint: Counter,
+    /// Nodes rejected by record-level pairwise checks (PROP ablated).
+    pub reject_record_constraint: Counter,
+}
+
+impl MergeCounters {
+    fn new(obs: &Obs) -> Self {
+        Self {
+            comparisons: obs.counter("merge.comparisons"),
+            links_created: obs.counter("merge.links_created"),
+            links_confirmed: obs.counter("merge.links_confirmed"),
+            reject_spouse_veto: obs.counter("merge.reject.spouse_veto"),
+            reject_constraint: obs.counter("merge.reject.constraint"),
+            reject_record_constraint: obs.counter("merge.reject.record_constraint"),
+        }
+    }
+}
+
 /// Shared, read-only state of one resolution run.
 pub struct MergeContext<'a> {
     /// The dataset being resolved.
@@ -36,6 +69,9 @@ pub struct MergeContext<'a> {
     pub freqs: &'a NameFreqs,
     /// Configuration.
     pub cfg: &'a SnapsConfig,
+    /// Instrumentation counters (inert unless built via
+    /// [`MergeContext::with_obs`] on an enabled handle).
+    pub counters: MergeCounters,
     /// `spouse[r]` is the record married to `r` on `r`'s own certificate
     /// (the `Bf` of a `Bm`, the `Ds` of a `Dd`, …), precomputed once.
     spouse: Vec<Option<RecordId>>,
@@ -43,15 +79,27 @@ pub struct MergeContext<'a> {
 
 impl<'a> MergeContext<'a> {
     /// Build the context, precomputing each record's on-certificate spouse.
+    /// Instrumentation is off; use [`MergeContext::with_obs`] to record.
     #[must_use]
     pub fn new(ds: &'a Dataset, freqs: &'a NameFreqs, cfg: &'a SnapsConfig) -> Self {
+        Self::with_obs(ds, freqs, cfg, &Obs::disabled())
+    }
+
+    /// Build the context with counters registered on `obs`.
+    #[must_use]
+    pub fn with_obs(
+        ds: &'a Dataset,
+        freqs: &'a NameFreqs,
+        cfg: &'a SnapsConfig,
+        obs: &Obs,
+    ) -> Self {
         let mut spouse = vec![None; ds.len()];
         for (rec, other, rel) in ds.all_relationships() {
             if rel == Relationship::SpouseOf {
                 spouse[other.index()] = Some(rec);
             }
         }
-        Self { ds, freqs, cfg, spouse }
+        Self { ds, freqs, cfg, counters: MergeCounters::new(obs), spouse }
     }
 
     /// Negative relationship evidence (part of PROP-C): when both records of
@@ -95,6 +143,7 @@ impl<'a> MergeContext<'a> {
     /// the comparison runs over the entities' accumulated value sets;
     /// otherwise the cached record-level similarities are reused.
     pub fn evaluate(&self, node: &RelationalNode, store: &mut EntityStore) -> NodeSimilarity {
+        self.counters.comparisons.incr();
         if self.cfg.ablation.prop
             && (store.entity_size(node.a) > 1 || store.entity_size(node.b) > 1)
         {
@@ -110,10 +159,21 @@ impl<'a> MergeContext<'a> {
     /// veto with PROP-C; record-level pairwise checks only without.
     pub fn valid(&self, node: &RelationalNode, store: &mut EntityStore) -> bool {
         if self.cfg.ablation.prop {
-            (!self.cfg.spouse_veto || !self.spouse_conflict(node))
-                && store.can_merge(node.a, node.b)
+            if self.cfg.spouse_veto && self.spouse_conflict(node) {
+                self.counters.reject_spouse_veto.incr();
+                return false;
+            }
+            let ok = store.can_merge(node.a, node.b);
+            if !ok {
+                self.counters.reject_constraint.incr();
+            }
+            ok
         } else {
-            store.can_merge_records_only(node.a, node.b, self.ds)
+            let ok = store.can_merge_records_only(node.a, node.b, self.ds);
+            if !ok {
+                self.counters.reject_record_constraint.incr();
+            }
+            ok
         }
     }
 }
@@ -138,10 +198,12 @@ fn merge_nodes(
             // united these records transitively; the direct link still
             // counts as density evidence for refinement.
             store.merge(node.a, node.b, ctx.ds);
+            ctx.counters.links_confirmed.incr();
             continue;
         }
         if ctx.valid(node, store) {
             store.merge(node.a, node.b, ctx.ds);
+            ctx.counters.links_created.incr();
             merged += 1;
         }
     }
@@ -161,6 +223,7 @@ pub fn confirm_intra_entity_links(
     for node in &dg.nodes {
         if store.same_entity(node.a, node.b) {
             store.merge(node.a, node.b, ctx.ds);
+            ctx.counters.links_confirmed.incr();
         }
     }
 }
@@ -556,6 +619,43 @@ mod tests {
             with_prop > record_only + 0.1,
             "propagation lifts the similarity: {with_prop} vs {record_only}"
         );
+    }
+
+    #[test]
+    fn counters_track_comparisons_links_and_rejections() {
+        let (ds, pairs) = sibling_dataset();
+        let mut cfg = SnapsConfig::default();
+        cfg.t_merge = 0.65;
+        let dg = DependencyGraph::build(&ds, &pairs, &cfg);
+        let freqs = NameFreqs::build(&ds);
+        let mut store = EntityStore::new(&ds);
+        let obs = Obs::new(&snaps_obs::ObsConfig::full());
+        let c = MergeContext::with_obs(&ds, &freqs, &cfg, &obs);
+
+        let merged = bootstrap(&c, &dg, &mut store) + merge_pass(&c, &dg, &mut store);
+        assert_eq!(c.counters.links_created.get(), merged as u64);
+        assert!(c.counters.comparisons.get() > 0, "evaluations are counted");
+
+        // An impossible node (temporal violation) is counted as a
+        // constraint rejection when the pass considers it.
+        let mut ds2 = family();
+        ds2.record_mut(RecordId(3)).age = Some(40);
+        let pairs2 = vec![(RecordId(0), RecordId(3)), (RecordId(1), RecordId(4))];
+        let dg2 = DependencyGraph::build(&ds2, &pairs2, &cfg);
+        let freqs2 = NameFreqs::build(&ds2);
+        let mut store2 = EntityStore::new(&ds2);
+        let obs2 = Obs::new(&snaps_obs::ObsConfig::full());
+        let c2 = MergeContext::with_obs(&ds2, &freqs2, &cfg, &obs2);
+        bootstrap(&c2, &dg2, &mut store2);
+        merge_pass(&c2, &dg2, &mut store2);
+        assert!(c2.counters.reject_constraint.get() > 0, "temporal violation counted");
+
+        // The plain constructor stays inert.
+        let inert = MergeContext::new(&ds, &freqs, &cfg);
+        let mut store3 = EntityStore::new(&ds);
+        bootstrap(&inert, &dg, &mut store3);
+        assert_eq!(inert.counters.links_created.get(), 0);
+        assert_eq!(inert.counters.comparisons.get(), 0);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! (paper Tables 5 and 6).
 
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use snaps_blocking::candidate_pairs;
 use snaps_model::{Dataset, RecordId, RoleCategory};
+use snaps_obs::{Obs, RunReport};
 
 use crate::config::SnapsConfig;
 use crate::depgraph::DependencyGraph;
@@ -17,6 +18,17 @@ use crate::entity::{EntityStore, Link};
 use crate::merge::{bootstrap, confirm_intra_entity_links, merge_pass, MergeContext};
 use crate::refine::refine;
 use crate::similarity::NameFreqs;
+
+/// Outcome of one iteration of the merging loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassDetail {
+    /// Links created by this pass's merge sweep.
+    pub merged_links: usize,
+    /// Links dropped by the refinement following the pass (0 with REF off).
+    pub refined_links: usize,
+    /// Links in the store once the pass (and its refinement) completed.
+    pub links_after: usize,
+}
 
 /// Phase timings and graph sizes of one resolution run.
 #[derive(Debug, Clone, Default)]
@@ -41,6 +53,8 @@ pub struct ResolutionStats {
     pub t_refine: Duration,
     /// Merge passes executed.
     pub passes: usize,
+    /// Per-pass merge/refine outcomes (one entry per executed pass).
+    pub pass_details: Vec<PassDetail>,
     /// Links created by bootstrapping.
     pub bootstrap_links: usize,
     /// Links surviving at the end.
@@ -71,6 +85,10 @@ pub struct Resolution {
     pub links: Vec<Link>,
     /// Phase statistics.
     pub stats: ResolutionStats,
+    /// Instrumentation snapshot when [`resolve`] ran with
+    /// [`SnapsConfig::obs`] enabled; `None` otherwise, and always `None`
+    /// from [`resolve_with_obs`] (the caller owns the handle there).
+    pub report: Option<RunReport>,
 }
 
 impl Resolution {
@@ -118,65 +136,107 @@ impl Resolution {
 
 /// Run the full offline SNAPS pipeline over a dataset.
 ///
+/// Instrumentation follows [`SnapsConfig::obs`]: when enabled, the returned
+/// [`Resolution::report`] holds the run's span tree, counters, and gauges.
+///
 /// # Panics
 /// Panics if the configuration is invalid (see [`SnapsConfig::validate`]).
 #[must_use]
 pub fn resolve(ds: &Dataset, cfg: &SnapsConfig) -> Resolution {
+    let obs = Obs::new(&cfg.obs);
+    let mut res = resolve_with_obs(ds, cfg, &obs);
+    res.report = obs.report();
+    res
+}
+
+/// [`resolve`] recording into a caller-supplied [`Obs`] handle, so one
+/// report can span offline resolution and the online query path. The caller
+/// collects the report ([`Resolution::report`] stays `None` here).
+///
+/// # Panics
+/// Panics if the configuration is invalid (see [`SnapsConfig::validate`]).
+#[must_use]
+pub fn resolve_with_obs(ds: &Dataset, cfg: &SnapsConfig, obs: &Obs) -> Resolution {
     cfg.validate().expect("invalid SnapsConfig");
     let mut stats = ResolutionStats::default();
+    let root = obs.span("resolve");
 
     // Blocking + atomic-node phase.
-    let t0 = Instant::now();
+    let span = root.child("blocking");
     let pairs = candidate_pairs(ds, cfg.lsh, cfg.year_tolerance);
-    stats.t_atomic = t0.elapsed();
+    stats.t_atomic = span.finish();
 
     // Relational nodes and groups.
-    let t0 = Instant::now();
+    let span = root.child("depgraph");
     let dg = DependencyGraph::build(ds, &pairs, cfg);
-    stats.t_relational = t0.elapsed();
+    stats.t_relational = span.finish();
     stats.n_atomic = dg.atomic_count;
     stats.n_relational = dg.relational_count();
     stats.n_groups = dg.groups.len();
     stats.n_edges = dg.edge_count();
+    obs.gauge("graph.atomic_nodes").set(stats.n_atomic as i64);
+    obs.gauge("graph.relational_nodes").set(stats.n_relational as i64);
+    obs.gauge("graph.groups").set(stats.n_groups as i64);
+    obs.gauge("graph.edges").set(stats.n_edges as i64);
 
+    let span = root.child("name_freqs");
     let freqs = NameFreqs::build(ds);
-    let ctx = MergeContext::new(ds, &freqs, cfg);
+    span.finish();
+    let ctx = MergeContext::with_obs(ds, &freqs, cfg, obs);
     let mut store = EntityStore::new(ds);
 
     // Bootstrap.
-    let t0 = Instant::now();
+    let span = root.child("bootstrap");
     stats.bootstrap_links = bootstrap(&ctx, &dg, &mut store);
-    stats.t_bootstrap = t0.elapsed();
+    stats.t_bootstrap = span.finish();
+    obs.counter("pipeline.bootstrap_links").add(stats.bootstrap_links as u64);
+
+    let refine_sweep = |store: &mut EntityStore, stats: &mut ResolutionStats| -> usize {
+        let span = root.child("refine");
+        confirm_intra_entity_links(&ctx, &dg, store);
+        let (refined, rs) = refine(store, ds, cfg);
+        *store = refined;
+        stats.t_refine += span.finish();
+        let dropped = rs.dropped_density + rs.dropped_bridges;
+        obs.counter("refine.links_dropped").add(dropped as u64);
+        dropped
+    };
 
     if cfg.ablation.refine {
-        let t0 = Instant::now();
-        confirm_intra_entity_links(&ctx, &dg, &mut store);
-        let (refined, _) = refine(&store, ds, cfg);
-        store = refined;
-        stats.t_refine += t0.elapsed();
+        refine_sweep(&mut store, &mut stats);
     }
 
     // Iterative merging.
-    for _pass in 0..cfg.max_passes {
-        let t0 = Instant::now();
+    for pass in 0..cfg.max_passes {
+        let span = root.child(&format!("merge_pass_{}", pass + 1));
         let merged = merge_pass(&ctx, &dg, &mut store);
-        stats.t_merge += t0.elapsed();
+        stats.t_merge += span.finish();
         stats.passes += 1;
 
-        if cfg.ablation.refine {
-            let t0 = Instant::now();
-            confirm_intra_entity_links(&ctx, &dg, &mut store);
-            let (refined, _) = refine(&store, ds, cfg);
-            store = refined;
-            stats.t_refine += t0.elapsed();
-        }
+        let refined_links =
+            if cfg.ablation.refine { refine_sweep(&mut store, &mut stats) } else { 0 };
+        stats.pass_details.push(PassDetail {
+            merged_links: merged,
+            refined_links,
+            links_after: store.link_count(),
+        });
+        obs.counter(&format!("pipeline.pass_{}.merged_links", pass + 1)).add(merged as u64);
+        obs.counter(&format!("pipeline.pass_{}.refined_links", pass + 1))
+            .add(refined_links as u64);
         if merged == 0 {
             break;
         }
     }
 
     stats.final_links = store.link_count();
-    Resolution { clusters: store.clusters(), links: store.links().to_vec(), stats }
+    obs.counter("pipeline.final_links").add(stats.final_links as u64);
+    root.finish();
+    Resolution {
+        clusters: store.clusters(),
+        links: store.links().to_vec(),
+        stats,
+        report: None,
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +341,71 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "every record clustered");
+    }
+
+    #[test]
+    fn pass_details_are_consistent_with_final_links() {
+        let ds = village();
+        let res = resolve(&ds, &SnapsConfig::default());
+        let details = &res.stats.pass_details;
+        assert_eq!(details.len(), res.stats.passes, "one entry per executed pass");
+        // The loop only continues while passes keep merging: every pass but
+        // the last must have merged something, and the link count after the
+        // final pass is exactly what the resolution reports.
+        for d in &details[..details.len() - 1] {
+            assert!(d.merged_links > 0, "non-final pass merged nothing: {details:?}");
+        }
+        let last = details.last().expect("at least one pass");
+        assert!(
+            last.merged_links == 0 || res.stats.passes == SnapsConfig::default().max_passes,
+            "loop stops only on a dry pass or the pass cap"
+        );
+        assert_eq!(last.links_after, res.stats.final_links);
+        // Merged links accumulate monotonically across passes.
+        let cumulative: Vec<usize> = details
+            .iter()
+            .scan(0, |acc, d| {
+                *acc += d.merged_links;
+                Some(*acc)
+            })
+            .collect();
+        assert!(cumulative.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn report_covers_phases_passes_and_counters() {
+        let ds = village();
+        let mut cfg = SnapsConfig::default();
+        cfg.obs = snaps_obs::ObsConfig::full();
+        let res = resolve(&ds, &cfg);
+        let report = res.report.as_ref().expect("obs enabled");
+
+        let resolve_span = report.span("resolve").expect("root span");
+        for phase in ["blocking", "depgraph", "bootstrap"] {
+            let s = resolve_span.find(phase).unwrap_or_else(|| panic!("{phase} span missing"));
+            assert_eq!(s.count, 1, "{phase} runs once");
+        }
+        for pass in 1..=res.stats.passes {
+            assert!(
+                resolve_span.find(&format!("merge_pass_{pass}")).is_some(),
+                "span for pass {pass} missing"
+            );
+        }
+        // Counters mirror the stats projection.
+        assert_eq!(
+            report.counter("pipeline.bootstrap_links"),
+            Some(res.stats.bootstrap_links as u64)
+        );
+        assert_eq!(report.counter("pipeline.final_links"), Some(res.stats.final_links as u64));
+        for (i, d) in res.stats.pass_details.iter().enumerate() {
+            assert_eq!(
+                report.counter(&format!("pipeline.pass_{}.merged_links", i + 1)),
+                Some(d.merged_links as u64)
+            );
+        }
+        assert!(report.counter("merge.comparisons").unwrap_or(0) > 0, "merge internals counted");
+        // Disabled instrumentation produces no report.
+        assert!(resolve(&ds, &SnapsConfig::default()).report.is_none());
     }
 
     #[test]

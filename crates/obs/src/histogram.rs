@@ -1,0 +1,307 @@
+//! Fixed-bucket latency histogram with percentile readout.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Values below this are bucketed exactly (one bucket per nanosecond).
+const LINEAR_LIMIT: u64 = 8;
+/// Sub-buckets per octave above the linear region.
+const SUBDIVISIONS: u64 = 8;
+/// Total bucket count: the linear region plus `SUBDIVISIONS` buckets for
+/// each octave from `log2(LINEAR_LIMIT)` through 63.
+const BUCKETS: usize = (LINEAR_LIMIT + (64 - LINEAR_LIMIT.ilog2() as u64) * SUBDIVISIONS) as usize;
+
+/// Index of the bucket covering `ns`.
+///
+/// Below [`LINEAR_LIMIT`] buckets are exact; above it each power-of-two
+/// octave is split into [`SUBDIVISIONS`] equal sub-buckets, bounding the
+/// relative quantisation error by `1 / SUBDIVISIONS` (12.5%).
+fn bucket_index(ns: u64) -> usize {
+    if ns < LINEAR_LIMIT {
+        return ns as usize;
+    }
+    let octave = 63 - u64::from(ns.leading_zeros()); // >= log2(LINEAR_LIMIT)
+    let base_octave = u64::from(LINEAR_LIMIT.ilog2());
+    let sub = (ns >> (octave - base_octave)) & (SUBDIVISIONS - 1);
+    (LINEAR_LIMIT + (octave - base_octave) * SUBDIVISIONS + sub) as usize
+}
+
+/// Inclusive lower bound (in ns) of bucket `i` — the inverse of
+/// [`bucket_index`].
+fn bucket_lower(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR_LIMIT {
+        return i;
+    }
+    let base_octave = u64::from(LINEAR_LIMIT.ilog2());
+    let octave = base_octave + (i - LINEAR_LIMIT) / SUBDIVISIONS;
+    let sub = (i - LINEAR_LIMIT) % SUBDIVISIONS;
+    (SUBDIVISIONS + sub) << (octave - base_octave)
+}
+
+/// Exclusive upper bound (in ns) of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 < BUCKETS {
+        bucket_lower(i + 1)
+    } else {
+        u64::MAX
+    }
+}
+
+/// Thread-safe latency histogram with a fixed sub-octave bucket layout.
+///
+/// Recording is lock-free (one relaxed atomic add per sample plus min/max
+/// updates); readout walks the bucket array. Durations are quantised with
+/// at most 12.5% relative error; `count`, `sum`, `min` and `max` are exact.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples; zero when empty.
+    #[must_use]
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// Exact smallest sample, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<Duration> {
+        (self.count() > 0).then(|| Duration::from_nanos(self.min_ns.load(Ordering::Relaxed)))
+    }
+
+    /// Exact largest sample, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<Duration> {
+        (self.count() > 0).then(|| Duration::from_nanos(self.max_ns.load(Ordering::Relaxed)))
+    }
+
+    /// Mean sample, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<Duration> {
+        let n = self.count();
+        (n > 0).then(|| Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n))
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`), `None` when empty.
+    ///
+    /// Finds the bucket holding the target rank and interpolates linearly
+    /// within it; the result is clamped to the exact observed `[min, max]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in 1..=n of the sample we want.
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Interpolate the rank's position within this bucket.
+                let lo = bucket_lower(i) as f64;
+                let hi = bucket_upper(i).min(self.max_ns.load(Ordering::Relaxed)) as f64;
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo + (hi - lo) * frac;
+                let min = self.min_ns.load(Ordering::Relaxed) as f64;
+                let max = self.max_ns.load(Ordering::Relaxed) as f64;
+                return Some(Duration::from_nanos(est.clamp(min, max) as u64));
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
+    /// Snapshot for inclusion in a run report.
+    #[must_use]
+    pub fn report(&self) -> HistogramReport {
+        let nonzero = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((bucket_lower(i), c))
+            })
+            .collect();
+        HistogramReport {
+            count: self.count(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            min_ns: self.min().map_or(0, |d| d.as_nanos() as u64),
+            max_ns: self.max().map_or(0, |d| d.as_nanos() as u64),
+            mean_ns: self.mean().map_or(0, |d| d.as_nanos() as u64),
+            p50_ns: self.percentile(0.50).map_or(0, |d| d.as_nanos() as u64),
+            p95_ns: self.percentile(0.95).map_or(0, |d| d.as_nanos() as u64),
+            p99_ns: self.percentile(0.99).map_or(0, |d| d.as_nanos() as u64),
+            buckets: nonzero,
+        }
+    }
+}
+
+/// Point-in-time histogram snapshot, all durations in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramReport {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum_ns: u64,
+    /// Exact minimum (0 when empty).
+    pub min_ns: u64,
+    /// Exact maximum (0 when empty).
+    pub max_ns: u64,
+    /// Mean (0 when empty).
+    pub mean_ns: u64,
+    /// Estimated median.
+    pub p50_ns: u64,
+    /// Estimated 95th percentile.
+    pub p95_ns: u64,
+    /// Estimated 99th percentile.
+    pub p99_ns: u64,
+    /// `(bucket_lower_bound_ns, sample_count)` for every non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Possibly-inert handle to a shared [`Histogram`]; the inert form (from a
+/// disabled or low-verbosity [`Obs`](crate::Obs)) ignores all records.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    pub(crate) fn new(inner: Option<Arc<Histogram>>) -> Self {
+        Self(inner)
+    }
+
+    /// Record one sample (no-op when inert).
+    pub fn record(&self, d: Duration) {
+        if let Some(h) = &self.0 {
+            h.record(d);
+        }
+    }
+
+    /// Access the underlying histogram, `None` when inert.
+    #[must_use]
+    pub fn histogram(&self) -> Option<&Histogram> {
+        self.0.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for i in 0..BUCKETS {
+            let lo = bucket_lower(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i} maps back");
+            if i + 1 < BUCKETS {
+                assert!(bucket_lower(i + 1) > lo, "bounds strictly increase at {i}");
+                assert_eq!(bucket_index(bucket_lower(i + 1) - 1), i, "upper edge of {i}");
+            }
+        }
+        // Largest representable value lands in the last bucket.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_reads_none() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.min().is_none());
+        assert!(h.max().is_none());
+        assert!(h.mean().is_none());
+        assert!(h.percentile(0.5).is_none());
+    }
+
+    #[test]
+    fn exact_stats_and_percentile_ordering() {
+        let h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min().unwrap(), Duration::from_millis(1));
+        assert_eq!(h.max().unwrap(), Duration::from_millis(100));
+
+        let p50 = h.percentile(0.50).unwrap();
+        let p95 = h.percentile(0.95).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        // Quantisation error is bounded by one sub-octave (12.5%).
+        let approx = |d: Duration, target_ms: u64| {
+            let t = Duration::from_millis(target_ms);
+            d >= t.mul_f64(0.8) && d <= t.mul_f64(1.2)
+        };
+        assert!(approx(p50, 50), "p50 {p50:?}");
+        assert!(approx(p95, 95), "p95 {p95:?}");
+        assert!(approx(p99, 99), "p99 {p99:?}");
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(123));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q).unwrap(), Duration::from_micros(123));
+        }
+        assert_eq!(h.mean().unwrap(), Duration::from_micros(123));
+    }
+
+    #[test]
+    fn report_buckets_cover_all_samples() {
+        let h = Histogram::new();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let r = h.report();
+        assert_eq!(r.count, 5);
+        assert_eq!(r.buckets.iter().map(|(_, c)| c).sum::<u64>(), 5);
+        assert!(r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns);
+        assert!(r.min_ns <= r.p50_ns && r.p99_ns <= r.max_ns);
+    }
+}

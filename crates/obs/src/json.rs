@@ -1,0 +1,51 @@
+//! Minimal JSON emission helpers.
+//!
+//! The obs crate is dependency-free by design, so run reports are written
+//! with this small hand-rolled emitter instead of serde. Only the pieces a
+//! [`RunReport`](crate::RunReport) needs exist: escaped strings, integers,
+//! and nested objects/arrays with pretty indentation.
+
+use std::fmt::Write;
+
+/// Append `s` as a JSON string literal (with escaping) to `out`.
+pub(crate) fn string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `indent` levels of two-space indentation.
+pub(crate) fn indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Append a `"key": ` prefix at the given indentation.
+pub(crate) fn key(out: &mut String, level: usize, name: &str) {
+    indent(out, level);
+    string(out, name);
+    out.push_str(": ");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        super::string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

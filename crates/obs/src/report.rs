@@ -1,0 +1,278 @@
+//! Machine-readable run reports.
+
+use crate::histogram::HistogramReport;
+use crate::json;
+use crate::SpanNode;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One node of the serialised span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanReport {
+    /// Span name (one path segment).
+    pub name: String,
+    /// How many times a span with this path finished.
+    pub count: u64,
+    /// Total time across all finishes, in nanoseconds.
+    pub total_ns: u64,
+    /// Nested spans in first-recorded order.
+    pub children: Vec<SpanReport>,
+}
+
+pub(crate) fn span_report(name: &str, node: &SpanNode) -> SpanReport {
+    SpanReport {
+        name: name.to_owned(),
+        count: node.count,
+        total_ns: u64::try_from(node.total.as_nanos()).unwrap_or(u64::MAX),
+        children: node.children.iter().map(|(n, c)| span_report(n, c)).collect(),
+    }
+}
+
+impl SpanReport {
+    /// Find a direct or transitive descendant (or self) by name; the first
+    /// match in depth-first order wins.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&SpanReport> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// Snapshot of everything an [`Obs`](crate::Obs) handle recorded.
+///
+/// Serialises to a stable JSON shape:
+///
+/// ```json
+/// {
+///   "meta": { "dataset": "ios", "scale": "0.1" },
+///   "spans": [
+///     { "name": "resolve", "count": 1, "total_ns": 123,
+///       "children": [ ... ] }
+///   ],
+///   "counters": { "merge.comparisons": 42 },
+///   "gauges": { "merge.frontier": 7 },
+///   "histograms": {
+///     "query.latency": { "count": 10, "sum_ns": 1, "min_ns": 1,
+///                        "max_ns": 9, "mean_ns": 4, "p50_ns": 4,
+///                        "p95_ns": 9, "p99_ns": 9,
+///                        "buckets": [[1, 3], [8, 7]] }
+///   }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Free-form labels callers attach before writing (dataset, scale,
+    /// seed, …).
+    pub meta: Vec<(String, String)>,
+    /// Root spans in first-recorded order.
+    pub spans: Vec<SpanReport>,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramReport)>,
+}
+
+impl RunReport {
+    /// Attach a metadata label (builder-style).
+    #[must_use]
+    pub fn with_meta(mut self, key: &str, value: impl ToString) -> Self {
+        self.meta.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Counter value by name, `None` if never recorded.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramReport> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Root span (or any descendant) by name, depth-first.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&SpanReport> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Serialise to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+
+        json::key(&mut out, 1, "meta");
+        out.push_str("{\n");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            json::key(&mut out, 2, k);
+            json::string(&mut out, v);
+            out.push_str(if i + 1 < self.meta.len() { ",\n" } else { "\n" });
+        }
+        json::indent(&mut out, 1);
+        out.push_str("},\n");
+
+        json::key(&mut out, 1, "spans");
+        write_span_array(&mut out, &self.spans, 1);
+        out.push_str(",\n");
+
+        json::key(&mut out, 1, "counters");
+        out.push_str("{\n");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            json::key(&mut out, 2, k);
+            let _ = write!(out, "{v}");
+            out.push_str(if i + 1 < self.counters.len() { ",\n" } else { "\n" });
+        }
+        json::indent(&mut out, 1);
+        out.push_str("},\n");
+
+        json::key(&mut out, 1, "gauges");
+        out.push_str("{\n");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            json::key(&mut out, 2, k);
+            let _ = write!(out, "{v}");
+            out.push_str(if i + 1 < self.gauges.len() { ",\n" } else { "\n" });
+        }
+        json::indent(&mut out, 1);
+        out.push_str("},\n");
+
+        json::key(&mut out, 1, "histograms");
+        out.push_str("{\n");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            json::key(&mut out, 2, k);
+            write_histogram(&mut out, h, 2);
+            out.push_str(if i + 1 < self.histograms.len() { ",\n" } else { "\n" });
+        }
+        json::indent(&mut out, 1);
+        out.push_str("}\n");
+
+        out.push('}');
+        out
+    }
+
+    /// Write the JSON report to `path` (trailing newline included).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from creating or writing the file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut json = self.to_json();
+        json.push('\n');
+        std::fs::write(path, json)
+    }
+}
+
+fn write_span_array(out: &mut String, spans: &[SpanReport], level: usize) {
+    if spans.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push_str("[\n");
+    for (i, s) in spans.iter().enumerate() {
+        json::indent(out, level + 1);
+        out.push_str("{ ");
+        json::string(out, "name");
+        out.push_str(": ");
+        json::string(out, &s.name);
+        let _ = write!(out, ", \"count\": {}, \"total_ns\": {}, \"children\": ", s.count, s.total_ns);
+        write_span_array(out, &s.children, level + 1);
+        out.push_str(" }");
+        out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
+    }
+    json::indent(out, level);
+    out.push(']');
+}
+
+fn write_histogram(out: &mut String, h: &HistogramReport, level: usize) {
+    out.push_str("{\n");
+    let fields = [
+        ("count", h.count),
+        ("sum_ns", h.sum_ns),
+        ("min_ns", h.min_ns),
+        ("max_ns", h.max_ns),
+        ("mean_ns", h.mean_ns),
+        ("p50_ns", h.p50_ns),
+        ("p95_ns", h.p95_ns),
+        ("p99_ns", h.p99_ns),
+    ];
+    for (k, v) in fields {
+        json::key(out, level + 1, k);
+        let _ = write!(out, "{v}");
+        out.push_str(",\n");
+    }
+    json::key(out, level + 1, "buckets");
+    out.push('[');
+    for (i, (lo, c)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "[{lo}, {c}]");
+    }
+    out.push_str("]\n");
+    json::indent(out, level);
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Obs, ObsConfig};
+    use std::time::Duration;
+
+    fn sample_report() -> crate::RunReport {
+        let obs = Obs::new(&ObsConfig::full());
+        let root = obs.span("resolve");
+        root.child("blocking").finish();
+        root.child("merge").finish();
+        root.finish();
+        obs.counter("merge.accepted").add(3);
+        obs.gauge("frontier").set(-2);
+        let h = obs.histogram("query.latency");
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(200));
+        obs.report().unwrap().with_meta("dataset", "ios").with_meta("quote\"key", "v")
+    }
+
+    #[test]
+    fn json_contains_all_sections_in_order() {
+        let json = sample_report().to_json();
+        let order = ["\"meta\"", "\"spans\"", "\"counters\"", "\"gauges\"", "\"histograms\""];
+        let mut pos = 0;
+        for key in order {
+            let at = json[pos..].find(key).unwrap_or_else(|| panic!("{key} missing or out of order"));
+            pos += at;
+        }
+        assert!(json.contains("\"resolve\""));
+        assert!(json.contains("\"blocking\""));
+        assert!(json.contains("\"merge.accepted\": 3"));
+        assert!(json.contains("\"frontier\": -2"));
+        assert!(json.contains("\"p95_ns\""));
+        assert!(json.contains("\\\"key"), "meta keys are escaped");
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn lookup_helpers_find_recorded_data() {
+        let report = sample_report();
+        assert_eq!(report.counter("merge.accepted"), Some(3));
+        assert_eq!(report.counter("missing"), None);
+        assert_eq!(report.histogram("query.latency").unwrap().count, 2);
+        assert_eq!(report.span("resolve").unwrap().children.len(), 2);
+        assert_eq!(report.span("blocking").unwrap().count, 1, "finds nested spans");
+    }
+
+    #[test]
+    fn write_to_creates_file() {
+        let report = sample_report();
+        let path = std::env::temp_dir().join("snaps_obs_report_test.json");
+        report.write_to(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.trim_end(), report.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

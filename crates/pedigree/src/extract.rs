@@ -4,6 +4,7 @@ use std::collections::{HashMap, VecDeque};
 
 use snaps_core::PedigreeGraph;
 use snaps_model::{EntityId, Relationship};
+use snaps_obs::Obs;
 
 /// One entity of an extracted pedigree with its generation relative to the
 /// root (positive = older generations, negative = younger).
@@ -106,6 +107,20 @@ fn generation_shift(rel: Relationship) -> i32 {
 /// to `generations` hops (paper §8, `g = 2` default).
 #[must_use]
 pub fn extract(graph: &PedigreeGraph, root: EntityId, generations: usize) -> Pedigree {
+    extract_with(graph, root, generations, &Obs::disabled())
+}
+
+/// [`extract`] with instrumentation: the traversal is timed under a
+/// `pedigree_extract` span and the extracted sizes go to the
+/// `pedigree.members` / `pedigree.edges` counters.
+#[must_use]
+pub fn extract_with(
+    graph: &PedigreeGraph,
+    root: EntityId,
+    generations: usize,
+    obs: &Obs,
+) -> Pedigree {
+    let span = obs.span("pedigree_extract");
     let mut seen: HashMap<EntityId, (i32, usize)> = HashMap::new();
     seen.insert(root, (0, 0));
     let mut queue = VecDeque::from([root]);
@@ -140,6 +155,9 @@ pub fn extract(graph: &PedigreeGraph, root: EntityId, generations: usize) -> Ped
         .filter(|&(a, b, _)| seen.contains_key(&a) && seen.contains_key(&b))
         .collect();
 
+    obs.counter("pedigree.members").add(members.len() as u64);
+    obs.counter("pedigree.edges").add(edges.len() as u64);
+    span.finish();
     Pedigree { root, members, edges }
 }
 
@@ -258,6 +276,22 @@ mod tests {
         for &parent in &p.parents_of(flora) {
             assert!(p.children_of(parent).contains(&flora));
         }
+    }
+
+    #[test]
+    fn extract_with_records_span_and_sizes() {
+        let (graph, flora) = three_generation_graph();
+        let obs = Obs::new(&snaps_obs::ObsConfig::full());
+        let p = extract_with(&graph, flora, 2, &obs);
+        let report = obs.report().unwrap();
+        let span = report.span("pedigree_extract").expect("span recorded");
+        assert_eq!(span.count, 1);
+        assert_eq!(report.counter("pedigree.members"), Some(p.members.len() as u64));
+        assert_eq!(report.counter("pedigree.edges"), Some(p.edges.len() as u64));
+        // The uninstrumented wrapper returns identical results.
+        let plain = extract(&graph, flora, 2);
+        assert_eq!(plain.members, p.members);
+        assert_eq!(plain.edges, p.edges);
     }
 
     #[test]

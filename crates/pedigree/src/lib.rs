@@ -12,7 +12,7 @@
 pub mod extract;
 pub mod render;
 
-pub use extract::{extract, Pedigree, PedigreeMember};
+pub use extract::{extract, extract_with, Pedigree, PedigreeMember};
 pub use render::{render_dot, render_text, render_tree};
 
 /// The paper's default number of generations (`g = 2`).

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use snaps_core::{PedigreeEntity, PedigreeGraph};
 use snaps_index::{KeywordIndex, SimilarityIndex, DEFAULT_S_T};
 use snaps_model::EntityId;
+use snaps_obs::{Counter, HistogramHandle, Obs};
 
 use crate::query::{QueryRecord, QueryWeights, SearchKind};
 
@@ -40,6 +41,10 @@ pub struct SearchEngine {
     surname_sims: SimilarityIndex,
     location_sims: SimilarityIndex,
     weights: QueryWeights,
+    obs: Obs,
+    n_queries: Counter,
+    results_returned: Counter,
+    latency: HistogramHandle,
 }
 
 impl SearchEngine {
@@ -49,14 +54,51 @@ impl SearchEngine {
         Self::build_with(graph, QueryWeights::default(), DEFAULT_S_T)
     }
 
+    /// [`SearchEngine::build`] with default weights and threshold but an
+    /// explicit instrumentation handle.
+    #[must_use]
+    pub fn build_obs(graph: PedigreeGraph, obs: &Obs) -> Self {
+        Self::build_with_obs(graph, QueryWeights::default(), DEFAULT_S_T, obs)
+    }
+
     /// Build with explicit weights and similarity threshold.
     #[must_use]
     pub fn build_with(graph: PedigreeGraph, weights: QueryWeights, s_t: f64) -> Self {
+        Self::build_with_obs(graph, weights, s_t, &Obs::disabled())
+    }
+
+    /// Build with instrumentation: index construction is timed under an
+    /// `engine_build` span, and queries record `query.*` counters plus a
+    /// `query.latency` histogram on `obs`.
+    #[must_use]
+    pub fn build_with_obs(
+        graph: PedigreeGraph,
+        weights: QueryWeights,
+        s_t: f64,
+        obs: &Obs,
+    ) -> Self {
+        let build_span = obs.span("engine_build");
+        let span = build_span.child("keyword_index");
         let keyword = KeywordIndex::build(&graph);
+        span.finish();
+        let span = build_span.child("similarity_indices");
         let first_name_sims = SimilarityIndex::build(keyword.first_name_values(), s_t);
         let surname_sims = SimilarityIndex::build(keyword.surname_values(), s_t);
         let location_sims = SimilarityIndex::build(keyword.location_values(), s_t);
-        Self { graph, keyword, first_name_sims, surname_sims, location_sims, weights }
+        span.finish();
+        build_span.finish();
+        Self {
+            graph,
+            keyword,
+            first_name_sims,
+            surname_sims,
+            location_sims,
+            weights,
+            obs: obs.clone(),
+            n_queries: obs.counter("query.count"),
+            results_returned: obs.counter("query.results_returned"),
+            latency: obs.histogram("query.latency"),
+        }
     }
 
     /// The underlying pedigree graph.
@@ -72,8 +114,13 @@ impl SearchEngine {
     }
 
     /// Process a query and return the `top_m` ranked entities.
+    ///
+    /// Each call records one `query` span, one `query.latency` histogram
+    /// sample, and bumps the `query.count` / `query.results_returned`
+    /// counters (all no-ops without instrumentation).
     pub fn query(&mut self, q: &QueryRecord, top_m: usize) -> Vec<RankedMatch> {
-        process_query(
+        let span = self.obs.span("query");
+        let results = process_query(
             q,
             &self.graph,
             &self.keyword,
@@ -82,7 +129,12 @@ impl SearchEngine {
             &mut self.location_sims,
             self.weights,
             top_m,
-        )
+            &self.obs,
+        );
+        self.latency.record(span.finish());
+        self.n_queries.incr();
+        self.results_returned.add(results.len() as u64);
+        results
     }
 }
 
@@ -136,6 +188,10 @@ fn year_score(e: &PedigreeEntity, kind: SearchKind, range: (i32, i32)) -> f64 {
 
 /// Run the full §7 pipeline: accumulate name matches, refine with optional
 /// attributes, rank, and normalise.
+///
+/// Records `query.index_probes` (similarity-index lookups plus keyword
+/// bucket probes) and `query.candidates_scored` on `obs`; pass
+/// [`Obs::disabled`] when calling outside an instrumented engine.
 #[allow(clippy::too_many_arguments)]
 pub fn process_query(
     q: &QueryRecord,
@@ -146,10 +202,14 @@ pub fn process_query(
     location_sims: &mut SimilarityIndex,
     weights: QueryWeights,
     top_m: usize,
+    obs: &Obs,
 ) -> Vec<RankedMatch> {
+    let probes = obs.counter("query.index_probes");
+
     // --- Accumulator M: entities with an exact or approximate name match.
     let fn_map = value_similarities(&q.first_name, first_name_sims);
     let sn_map = value_similarities(&q.surname, surname_sims);
+    probes.add(2); // the two similarity-index lookups
 
     let mut acc: HashMap<EntityId, (f64, f64)> = HashMap::new();
     for (value, &sim) in &fn_map {
@@ -164,9 +224,15 @@ pub fn process_query(
             entry.1 = entry.1.max(sim);
         }
     }
+    // One keyword bucket probe per matched name value.
+    probes.add((fn_map.len() + sn_map.len()) as u64);
+    obs.counter("query.candidates_scored").add(acc.len() as u64);
 
     // --- Refinement: certificate kind, gender, year, location.
     let loc_map = q.location.as_ref().map(|l| value_similarities(l, location_sims));
+    if loc_map.is_some() {
+        probes.incr(); // location similarity-index lookup
+    }
     let provided = q.provided();
     let max_score = weights.max_score(provided);
 
@@ -354,6 +420,32 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_engine_records_queries() {
+        let obs = snaps_obs::Obs::new(&snaps_obs::ObsConfig::full());
+        let base = engine();
+        let mut e = SearchEngine::build_with_obs(
+            base.graph().clone(),
+            QueryWeights::default(),
+            snaps_index::DEFAULT_S_T,
+            &obs,
+        );
+        let q = QueryRecord::new("flora", "macrae", SearchKind::Birth);
+        let n = e.query(&q, 10).len();
+        let _ = e.query(&q, 1);
+
+        let report = obs.report().expect("enabled obs");
+        assert!(report.span("engine_build").is_some(), "index build timed");
+        assert_eq!(report.span("query").map(|s| s.count), Some(2));
+        assert_eq!(report.counter("query.count"), Some(2));
+        assert_eq!(report.counter("query.results_returned"), Some(n as u64 + 1));
+        assert!(report.counter("query.index_probes").unwrap_or(0) >= 4, "2 sim + keyword probes per query");
+        assert!(report.counter("query.candidates_scored").unwrap_or(0) >= 2);
+        let h = report.histogram("query.latency").expect("latency histogram");
+        assert_eq!(h.count, 2);
+        assert!(h.min_ns > 0 && h.p95_ns >= h.p50_ns);
+    }
+
+    #[test]
     fn misspelled_query_still_finds() {
         let mut e = engine();
         // "flra macre" — typo'd both names.
@@ -379,7 +471,7 @@ mod geo_filter_tests {
     /// (~30 km apart), plus one without any geocode.
     fn engine() -> SearchEngine {
         let mut ds = Dataset::new("t");
-        let mut add = |ds: &mut Dataset, addr: &str, geo: Option<GeoCoord>| {
+        let add = |ds: &mut Dataset, addr: &str, geo: Option<GeoCoord>| {
             let c = ds.push_certificate(CertificateKind::Birth, 1880);
             let r = ds.push_record(c, Role::BirthBaby, Gender::Female);
             let rec = ds.record_mut(r);

@@ -11,8 +11,8 @@ run table1 $BIN/table1 --scale 1.0 > results/table1.txt 2>results/table1.log
 run fig2   $BIN/fig2   --scale 1.0 > results/fig2.txt   2>results/fig2.log
 run table2 $BIN/table2 --scale 1.0 > results/table2.txt 2>results/table2.log
 run table3 $BIN/table3 --scale 1.0 > results/table3.txt 2>results/table3.log
-run table7 $BIN/table7 --scale 1.0 > results/table7.txt 2>results/table7.log
-run table6 $BIN/table6 --scale 0.35 > results/table6.txt 2>results/table6.log
-run table5 $BIN/table5 --scale 0.5 > results/table5.txt 2>results/table5.log
+run table7 $BIN/table7 --scale 1.0 --report results/table7.report.json > results/table7.txt 2>results/table7.log
+run table6 $BIN/table6 --scale 0.35 --report results/table6.report.json > results/table6.txt 2>results/table6.log
+run table5 $BIN/table5 --scale 0.5 --report results/table5.report.json > results/table5.txt 2>results/table5.log
 run table4 $BIN/table4 --scale 1.0 > results/table4.txt 2>results/table4.log
 echo "ALL EXPERIMENTS DONE $(date +%H:%M:%S)"

@@ -10,6 +10,7 @@ pub use snaps_graph as graph;
 pub use snaps_index as index;
 pub use snaps_ml as ml;
 pub use snaps_model as model;
+pub use snaps_obs as obs;
 pub use snaps_pedigree as pedigree;
 pub use snaps_query as query;
 pub use snaps_strsim as strsim;

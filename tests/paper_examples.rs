@@ -50,7 +50,7 @@ fn figure_3_and_4_scenario() {
     use snaps::model::{CertificateKind, Dataset, Gender, Role};
 
     let mut ds = Dataset::new("fig34");
-    let mut cert = |ds: &mut Dataset, kind, year, people: &[(Role, &str, Option<u16>)]| {
+    let cert = |ds: &mut Dataset, kind, year, people: &[(Role, &str, Option<u16>)]| {
         let c = ds.push_certificate(kind, year);
         for &(role, f, age) in people {
             let g = role.implied_gender().unwrap_or(Gender::Female);

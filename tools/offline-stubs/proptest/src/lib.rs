@@ -1,0 +1,402 @@
+//! Offline minimal stand-in for the `proptest` surface this workspace uses.
+//!
+//! `proptest! { #[test] fn f(x in STRATEGY) { ... } }` expands to a plain
+//! `#[test]` that samples each strategy from a deterministic generator and
+//! runs the body (256 cases by default, or the `proptest_config` count).
+//! No shrinking, no persistence — just enough to execute property tests
+//! under the offline shadow build. The syntax accepted is the real proptest
+//! syntax, so tests written against this stub run unchanged against
+//! upstream proptest.
+//!
+//! Supported surface: int/float range strategies, tuple strategies, `Just`,
+//! `prop_oneof!`, `Strategy::prop_map`, `collection::vec`,
+//! `string::string_regex` (character-class-with-repetition patterns only),
+//! bare `&str` regex strategies, and `ProptestConfig::with_cases`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving the stub's sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed-seed constructor.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        Self { state: 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next 64 pseudo-random bits (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform index in `0..n` (`n > 0`).
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value source, standing in for `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values, as `Strategy::prop_map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy, as `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies, built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from boxed arms (non-empty).
+    #[must_use]
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.arms[rng.index(self.arms.len())].generate(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::StringRegex::parse(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e:?}"))
+            .generate(rng)
+    }
+}
+
+pub mod strategy {
+    //! Strategy types, as `proptest::strategy`.
+    pub use crate::{Just, Map, Strategy, Union};
+}
+
+pub mod string {
+    //! String strategies, as `proptest::string`.
+
+    use crate::{Strategy, TestRng};
+
+    /// Regex parse failure.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    /// Strategy generating strings from a `[class]{m,n}` pattern.
+    #[derive(Debug, Clone)]
+    pub struct StringRegex {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    impl StringRegex {
+        /// Parse the pattern subset `[chars]{m,n}` (ranges allowed inside
+        /// the class; `{m,n}` optional, defaulting to exactly one).
+        pub fn parse(pattern: &str) -> Result<Self, Error> {
+            let err = |msg: &str| Err(Error(format!("{msg}: {pattern}")));
+            let rest = match pattern.strip_prefix('[') {
+                Some(r) => r,
+                None => return err("expected leading character class"),
+            };
+            let (class, rest) = match rest.split_once(']') {
+                Some(parts) => parts,
+                None => return err("unterminated character class"),
+            };
+            let mut chars = Vec::new();
+            let mut it = class.chars().peekable();
+            while let Some(c) = it.next() {
+                if it.peek() == Some(&'-') {
+                    it.next();
+                    match it.next() {
+                        Some(hi) if c <= hi => chars.extend(c..=hi),
+                        _ => return err("bad range in character class"),
+                    }
+                } else {
+                    chars.push(c);
+                }
+            }
+            if chars.is_empty() {
+                return err("empty character class");
+            }
+            let (min, max) = if rest.is_empty() {
+                (1, 1)
+            } else {
+                let inner = match rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+                    Some(i) => i,
+                    None => return err("expected {m,n} repetition"),
+                };
+                let (m, n) = match inner.split_once(',') {
+                    Some((m, n)) => (m, n),
+                    None => (inner, inner),
+                };
+                match (m.parse(), n.parse()) {
+                    (Ok(m), Ok(n)) if m <= n => (m, n),
+                    _ => return err("bad {m,n} repetition"),
+                }
+            };
+            Ok(Self { chars, min, max })
+        }
+    }
+
+    impl Strategy for StringRegex {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = self.min + rng.index(self.max - self.min + 1);
+            (0..len).map(|_| self.chars[rng.index(self.chars.len())]).collect()
+        }
+    }
+
+    /// Strategy for strings matching `pattern`, as
+    /// `proptest::string::string_regex`.
+    pub fn string_regex(pattern: &str) -> Result<StringRegex, Error> {
+        StringRegex::parse(pattern)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, as `proptest::collection`.
+
+    use crate::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element_strategy, min..max)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.len.end - self.len.start;
+            let n = self.len.start + rng.index(span);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, as `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+    };
+}
+
+/// Property-test macro accepting real-proptest syntax.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)+ ) => {
+        $crate::__proptest_impl! { cases = $cfg.cases; $($rest)+ }
+    };
+    ( $($rest:tt)+ ) => {
+        $crate::__proptest_impl! { cases = 256u32; $($rest)+ }
+    };
+}
+
+/// Expansion helper for [`proptest!`]; not part of the public surface.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        cases = $cases:expr;
+        $( $(#[$attr:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )+
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __stub_cases: u32 = $cases;
+                let mut __stub_rng = $crate::TestRng::deterministic();
+                for __stub_case in 0..__stub_cases {
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __stub_rng); )+
+                    let _ = __stub_case;
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Uniform choice among strategies, as `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Property assertion, as `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion, as `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion, as `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct P(f64);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn patterns_tuples_and_oneof((x, p) in (0u64..10, prop_oneof![Just(P(0.5)), Just(P(1.5))])) {
+            prop_assert!(x < 10);
+            prop_assert!(p == P(0.5) || p == P(1.5));
+        }
+
+        #[test]
+        fn string_regex_and_map(v in crate::collection::vec("[a-c]{2,4}", 1..5).prop_map(|v| v.len()),
+                                s in "[x-z]{0,3}") {
+            prop_assert!((1..5).contains(&v));
+            prop_assert!(s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('x'..='z').contains(&c)));
+        }
+    }
+}

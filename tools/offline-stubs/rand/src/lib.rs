@@ -1,0 +1,295 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build container has no crates.io access, so `tools/shadow-verify.sh`
+//! rewrites the workspace's external dependencies to these stubs to get a
+//! full offline `cargo build` / `cargo test` signal. The stub is
+//! *functional* (a deterministic xorshift64* generator behind the real
+//! `rand` trait names) so the vast majority of tests behave sensibly, but
+//! its streams differ from upstream `rand`: seed-pinned golden values may
+//! differ under the shadow build.
+//!
+//! Never shipped: the real manifests keep `rand = "0.8"`.
+
+/// Low-level generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample from the "standard" distribution (unit interval for floats).
+    fn gen<T: distributions::StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map 64 random bits to a uniform f64 in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Deterministic xorshift64* generator standing in for `SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* (Vigna); period 2^64 - 1, state never zero.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // splitmix64 step decouples close seeds and avoids a zero state.
+            let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            Self { state: z | 1 }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling support types.
+
+    /// Types samplable from 64 raw bits (stand-in for the `Standard`
+    /// distribution).
+    pub trait StandardSample {
+        /// Build a sample from raw bits.
+        fn from_bits(bits: u64) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        fn from_bits(bits: u64) -> Self {
+            super::unit_f64(bits)
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn from_bits(bits: u64) -> Self {
+            super::unit_f64(bits) as f32
+        }
+    }
+
+    impl StandardSample for u64 {
+        fn from_bits(bits: u64) -> Self {
+            bits
+        }
+    }
+
+    impl StandardSample for u32 {
+        fn from_bits(bits: u64) -> Self {
+            (bits >> 32) as u32
+        }
+    }
+
+    impl StandardSample for bool {
+        fn from_bits(bits: u64) -> Self {
+            bits & 1 == 1
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform range sampling (subset of `rand::distributions::uniform`).
+
+        use core::ops::{Range, RangeInclusive};
+
+        /// Types with uniform range sampling (mirrors
+        /// `rand::distributions::uniform::SampleUniform`). The *blanket*
+        /// `SampleRange` impls over this trait are what let type inference
+        /// resolve float literals the way real rand does.
+        pub trait SampleUniform: Sized {
+            /// Sample uniformly from `[lo, hi)` (`inclusive = false`) or
+            /// `[lo, hi]` (`inclusive = true`).
+            fn sample_in<R: crate::RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self;
+        }
+
+        macro_rules! int_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_in<R: crate::RngCore + ?Sized>(
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        let span = (hi as i128 - lo as i128) as u128
+                            + u128::from(inclusive);
+                        assert!(span > 0, "empty range");
+                        let v = (rng.next_u64() as u128) % span;
+                        (lo as i128 + v as i128) as $t
+                    }
+                }
+            )*};
+        }
+        int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! float_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_in<R: crate::RngCore + ?Sized>(
+                        lo: Self,
+                        hi: Self,
+                        _inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(lo <= hi, "empty range");
+                        let unit = (rng.next_u64() >> 11) as f64
+                            * (1.0 / (1u64 << 53) as f64);
+                        lo + (hi - lo) * unit as $t
+                    }
+                }
+            )*};
+        }
+        float_uniform!(f32, f64);
+
+        /// Ranges a value can be uniformly sampled from.
+        pub trait SampleRange<T> {
+            /// Draw one sample from `rng`.
+            fn sample_single<R: crate::RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: crate::RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "empty range");
+                T::sample_in(self.start, self.end, false, rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: crate::RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                T::sample_in(lo, hi, true, rng)
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence utilities (subset of `rand::seq`).
+
+
+
+    /// Slice shuffling and choosing.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: crate::RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly choose one element, `None` on an empty slice.
+        fn choose<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: crate::RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: i32 = a.gen_range(-5..=35);
+            assert!((-5..=35).contains(&x));
+            assert_eq!(x, b.gen_range(-5..=35));
+        }
+        let f: f64 = a.gen_range(0.0..0.45);
+        assert!((0.0..0.45).contains(&f));
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+}

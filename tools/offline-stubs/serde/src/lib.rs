@@ -1,0 +1,32 @@
+//! Offline stand-in for the `serde` trait surface this workspace uses.
+//!
+//! The traits are blanket-implemented for all types and the re-exported
+//! derives are no-ops: everything *compiles* exactly as against real serde,
+//! but actual serialisation goes through the stub `serde_json`, which
+//! returns errors at runtime. Tests that round-trip JSON are expected to
+//! fail under the shadow build and are listed as known stub failures in
+//! `tools/shadow-verify.sh`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Sized {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    //! Deserialisation traits.
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialisation traits.
+    pub use crate::Serialize;
+}

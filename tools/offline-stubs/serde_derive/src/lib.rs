@@ -1,0 +1,19 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The stub `serde` crate blanket-implements its `Serialize`/`Deserialize`
+//! traits for every type, so these derives only need to *accept* the derive
+//! position (including `#[serde(...)]` helper attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
