@@ -147,10 +147,7 @@ mod tests {
     fn frequent_causes_pass_through() {
         let a = fixture();
         assert_eq!(a.anonymise("old age", Gender::Male, Some(80)), "old age");
-        assert_eq!(
-            a.anonymise("whooping cough", Gender::Female, Some(2)),
-            "whooping cough"
-        );
+        assert_eq!(a.anonymise("whooping cough", Gender::Female, Some(2)), "whooping cough");
     }
 
     #[test]
@@ -211,9 +208,6 @@ mod tests {
         data.extend(obs("old age", 12, Gender::Male, 70));
         data.extend(obs("bronchittis of the lung", 1, Gender::Male, 71));
         let a = CauseAnonymiser::fit(&data, 10);
-        assert_eq!(
-            a.anonymise("bronchittis of the lung", Gender::Male, Some(71)),
-            "bronchitis"
-        );
+        assert_eq!(a.anonymise("bronchittis of the lung", Gender::Male, Some(71)), "bronchitis");
     }
 }

@@ -83,10 +83,7 @@ fn intra_sim(members: &[String]) -> f64 {
 /// most frequent public name of the matched cluster — preserving both the
 /// frequency skew and the within-cluster similarity structure.
 #[must_use]
-pub fn build_mapping(
-    sensitive: &[NameCluster],
-    public: &[NameCluster],
-) -> HashMap<String, String> {
+pub fn build_mapping(sensitive: &[NameCluster], public: &[NameCluster]) -> HashMap<String, String> {
     assert!(!public.is_empty(), "public corpus must not be empty");
     let mut used = vec![false; public.len()];
     let mut mapping = HashMap::new();
@@ -112,8 +109,7 @@ pub fn build_mapping(
             .filter(|&pi| !used[pi])
             .min_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)))
             .or_else(|| {
-                (0..public.len())
-                    .min_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)))
+                (0..public.len()).min_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)))
             })
             .expect("public corpus non-empty");
         used[best] = true;
@@ -169,10 +165,8 @@ mod tests {
             &strings(&["macdonald", "mcdonald", "tweedie", "gillies", "beaton"]),
             0.84,
         );
-        let public = cluster_names(
-            &strings(&["johnson", "johnston", "ramirez", "flores", "medina"]),
-            0.84,
-        );
+        let public =
+            cluster_names(&strings(&["johnson", "johnston", "ramirez", "flores", "medina"]), 0.84);
         let m = build_mapping(&sensitive, &public);
         assert_eq!(m.len(), 5);
         let mut values: Vec<&String> = m.values().collect();
@@ -183,10 +177,8 @@ mod tests {
 
     #[test]
     fn similar_inputs_stay_similar_after_mapping() {
-        let sensitive =
-            cluster_names(&strings(&["macdonald", "mcdonald", "tweedie"]), 0.84);
-        let public =
-            cluster_names(&strings(&["johnson", "johnston", "ramirez"]), 0.84);
+        let sensitive = cluster_names(&strings(&["macdonald", "mcdonald", "tweedie"]), 0.84);
+        let public = cluster_names(&strings(&["johnson", "johnston", "ramirez"]), 0.84);
         let m = build_mapping(&sensitive, &public);
         let before = jaro_winkler("macdonald", "mcdonald");
         let after = jaro_winkler(&m["macdonald"], &m["mcdonald"]);
@@ -203,10 +195,8 @@ mod tests {
 
     #[test]
     fn overflow_mints_distinct_names() {
-        let sensitive = cluster_names(
-            &strings(&["smith", "smyth", "smithe", "smitt", "smit"]),
-            0.8,
-        );
+        let sensitive =
+            cluster_names(&strings(&["smith", "smyth", "smithe", "smitt", "smit"]), 0.8);
         let public = cluster_names(&strings(&["jones", "jonas"]), 0.8);
         let m = build_mapping(&sensitive, &public);
         let mut values: Vec<&String> = m.values().collect();

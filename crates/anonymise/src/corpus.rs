@@ -7,36 +7,129 @@
 
 /// US-style female first names (most common first).
 pub const PUBLIC_FEMALE_FIRST: &[&str] = &[
-    "jennifer", "linda", "patricia", "susan", "deborah", "barbara", "karen", "nancy",
-    "donna", "cynthia", "sandra", "pamela", "sharon", "kathleen", "carol", "diane",
-    "brenda", "laura", "amy", "melissa", "rebecca", "stephanie", "kimberly", "angela",
-    "michelle", "lisa", "tammy", "dawn", "tracy", "tina", "wendy", "gail", "paula",
-    "denise", "cheryl", "katherine", "christine", "rachael", "meredith", "bonnie",
-    "gloria", "heather", "jacqueline", "janice", "judith", "marilyn", "maureen",
-    "phyllis", "roberta", "shirley",
+    "jennifer",
+    "linda",
+    "patricia",
+    "susan",
+    "deborah",
+    "barbara",
+    "karen",
+    "nancy",
+    "donna",
+    "cynthia",
+    "sandra",
+    "pamela",
+    "sharon",
+    "kathleen",
+    "carol",
+    "diane",
+    "brenda",
+    "laura",
+    "amy",
+    "melissa",
+    "rebecca",
+    "stephanie",
+    "kimberly",
+    "angela",
+    "michelle",
+    "lisa",
+    "tammy",
+    "dawn",
+    "tracy",
+    "tina",
+    "wendy",
+    "gail",
+    "paula",
+    "denise",
+    "cheryl",
+    "katherine",
+    "christine",
+    "rachael",
+    "meredith",
+    "bonnie",
+    "gloria",
+    "heather",
+    "jacqueline",
+    "janice",
+    "judith",
+    "marilyn",
+    "maureen",
+    "phyllis",
+    "roberta",
+    "shirley",
 ];
 
 /// US-style male first names (most common first).
 pub const PUBLIC_MALE_FIRST: &[&str] = &[
-    "michael", "david", "james", "robert", "john", "william", "richard", "thomas",
-    "jeffrey", "steven", "gary", "joseph", "donald", "ronald", "kenneth", "charles",
-    "anthony", "mark", "paul", "larry", "daniel", "dennis", "timothy", "gregory",
-    "douglas", "edward", "jerry", "raymond", "samuel", "walter", "patrick", "peter",
-    "harold", "carl", "arthur", "ralph", "albert", "eugene", "howard", "lawrence",
-    "russell", "terry", "stanley", "leonard", "nathan", "vernon", "wayne", "dale",
-    "dwight", "marvin",
+    "michael", "david", "james", "robert", "john", "william", "richard", "thomas", "jeffrey",
+    "steven", "gary", "joseph", "donald", "ronald", "kenneth", "charles", "anthony", "mark",
+    "paul", "larry", "daniel", "dennis", "timothy", "gregory", "douglas", "edward", "jerry",
+    "raymond", "samuel", "walter", "patrick", "peter", "harold", "carl", "arthur", "ralph",
+    "albert", "eugene", "howard", "lawrence", "russell", "terry", "stanley", "leonard", "nathan",
+    "vernon", "wayne", "dale", "dwight", "marvin",
 ];
 
 /// US-style surnames (most common first).
 pub const PUBLIC_SURNAMES: &[&str] = &[
-    "johnson", "williams", "jones", "davis", "rodriguez", "martinez", "hernandez",
-    "lopez", "gonzalez", "perez", "sanchez", "ramirez", "torres", "flores", "rivera",
-    "gomez", "diaz", "cruz", "morales", "ortiz", "gutierrez", "chavez", "ramos",
-    "vasquez", "castillo", "jimenez", "moreno", "romero", "herrera", "medina",
-    "aguilar", "garza", "castro", "vargas", "fernandez", "guzman", "munoz", "mendez",
-    "salazar", "soto", "delgado", "pena", "rios", "alvarado", "sandoval", "contreras",
-    "valdez", "guerra", "martindale", "macdougall", "madgar", "martone", "mcdufford",
-    "martinat", "macnelly", "dunwiddie", "petrakis", "oyelaran", "kowalczyk",
+    "johnson",
+    "williams",
+    "jones",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "perez",
+    "sanchez",
+    "ramirez",
+    "torres",
+    "flores",
+    "rivera",
+    "gomez",
+    "diaz",
+    "cruz",
+    "morales",
+    "ortiz",
+    "gutierrez",
+    "chavez",
+    "ramos",
+    "vasquez",
+    "castillo",
+    "jimenez",
+    "moreno",
+    "romero",
+    "herrera",
+    "medina",
+    "aguilar",
+    "garza",
+    "castro",
+    "vargas",
+    "fernandez",
+    "guzman",
+    "munoz",
+    "mendez",
+    "salazar",
+    "soto",
+    "delgado",
+    "pena",
+    "rios",
+    "alvarado",
+    "sandoval",
+    "contreras",
+    "valdez",
+    "guerra",
+    "martindale",
+    "macdougall",
+    "madgar",
+    "martone",
+    "mcdufford",
+    "martinat",
+    "macnelly",
+    "dunwiddie",
+    "petrakis",
+    "oyelaran",
+    "kowalczyk",
 ];
 
 /// Suffixes minted onto base names when the sensitive pool is larger than
@@ -53,8 +146,7 @@ pub fn public_pool(base: &[&str], n: usize) -> Vec<String> {
         let b = base[round % base.len()];
         let s = PUBLIC_SUFFIXES[(round / base.len()) % PUBLIC_SUFFIXES.len()];
         let k = round / (base.len() * PUBLIC_SUFFIXES.len());
-        let candidate =
-            if k == 0 { format!("{b}{s}") } else { format!("{b}{s}{k}") };
+        let candidate = if k == 0 { format!("{b}{s}") } else { format!("{b}{s}{k}") };
         if !out.contains(&candidate) {
             out.push(candidate);
         }

@@ -61,19 +61,14 @@ mod tests {
         let spred = snaps.matched_pairs(ds, cat, cat);
         let stp = spred.intersection(&truth).count() as f64;
         let sprecision = stp / (spred.len() as f64).max(1.0);
-        assert!(
-            precision <= sprecision,
-            "Attr-Sim {precision} vs SNAPS {sprecision}"
-        );
+        assert!(precision <= sprecision, "Attr-Sim {precision} vs SNAPS {sprecision}");
     }
 
     #[test]
     fn higher_threshold_fewer_links() {
         let data = generate(&DatasetProfile::ios().scaled(0.05), 7);
-        let mut lo = SnapsConfig::default();
-        lo.t_merge = 0.7;
-        let mut hi = SnapsConfig::default();
-        hi.t_merge = 0.95;
+        let lo = SnapsConfig { t_merge: 0.7, ..SnapsConfig::default() };
+        let hi = SnapsConfig { t_merge: 0.95, ..SnapsConfig::default() };
         let n_lo = attr_sim_link(&data.dataset, &lo).links.len();
         let n_hi = attr_sim_link(&data.dataset, &hi).links.len();
         assert!(n_hi <= n_lo);

@@ -56,8 +56,19 @@ pub fn pair_features(
     let gap_feature = 1.0 / (1.0 + gap / 10.0);
     let disambiguation = freqs.disambiguation(a, b);
     vec![
-        fn_sim, fn_p, sn_sim, sn_p, ad_sim, ad_p, oc_sim, oc_p, by_sim, by_p, gender,
-        gap_feature, disambiguation,
+        fn_sim,
+        fn_p,
+        sn_sim,
+        sn_p,
+        ad_sim,
+        ad_p,
+        oc_sim,
+        oc_p,
+        by_sim,
+        by_p,
+        gender,
+        gap_feature,
+        disambiguation,
     ]
 }
 

@@ -53,10 +53,7 @@ pub fn rel_cluster_link(ds: &Dataset, cfg: &SnapsConfig) -> LinkResult {
     // Certificate neighbourhoods of each record.
     let neighbours: Vec<Vec<RecordId>> = (0..ds.len())
         .map(|i| {
-            ds.certificate_neighbours(RecordId::from_index(i))
-                .into_iter()
-                .map(|(r, _)| r)
-                .collect()
+            ds.certificate_neighbours(RecordId::from_index(i)).into_iter().map(|(r, _)| r).collect()
         })
         .collect();
 
@@ -67,10 +64,10 @@ pub fn rel_cluster_link(ds: &Dataset, cfg: &SnapsConfig) -> LinkResult {
         // Neighbour cluster sets per cluster root.
         let mut nbr_sets: std::collections::HashMap<usize, BTreeSet<usize>> =
             std::collections::HashMap::new();
-        for i in 0..ds.len() {
+        for (i, nbrs) in neighbours.iter().enumerate() {
             let root = uf.find(i);
             let entry = nbr_sets.entry(root).or_default();
-            for &n in &neighbours[i] {
+            for &n in nbrs {
                 entry.insert(uf.find(n.index()));
             }
         }
@@ -86,7 +83,11 @@ pub fn rel_cluster_link(ds: &Dataset, cfg: &SnapsConfig) -> LinkResult {
                 (Some(x), Some(y)) if !x.is_empty() || !y.is_empty() => {
                     let inter = x.intersection(y).count();
                     let union = x.len() + y.len() - inter;
-                    if union == 0 { 0.0 } else { inter as f64 / union as f64 }
+                    if union == 0 {
+                        0.0
+                    } else {
+                        inter as f64 / union as f64
+                    }
                 }
                 _ => 0.0,
             };
@@ -100,9 +101,7 @@ pub fn rel_cluster_link(ds: &Dataset, cfg: &SnapsConfig) -> LinkResult {
         if candidates.is_empty() {
             break;
         }
-        candidates.sort_by(|x, y| {
-            y.0.total_cmp(&x.0).then_with(|| (x.1, x.2).cmp(&(y.1, y.2)))
-        });
+        candidates.sort_by(|x, y| y.0.total_cmp(&x.0).then_with(|| (x.1, x.2).cmp(&(y.1, y.2))));
         let mut merged_any = false;
         for (_, a, b) in candidates {
             if uf.union(a.index(), b.index()) {

@@ -19,13 +19,11 @@ impl LinkResult {
     /// Build from links over a dataset of `n_records`.
     #[must_use]
     pub fn from_links(links: Vec<(RecordId, RecordId)>, n_records: usize) -> Self {
-        let clusters = connected_components(
-            n_records,
-            links.iter().map(|&(a, b)| (a.index(), b.index())),
-        )
-        .into_iter()
-        .map(|c| c.into_iter().map(RecordId::from_index).collect())
-        .collect();
+        let clusters =
+            connected_components(n_records, links.iter().map(|&(a, b)| (a.index(), b.index())))
+                .into_iter()
+                .map(|c| c.into_iter().map(RecordId::from_index).collect())
+                .collect();
         Self { links, clusters }
     }
 

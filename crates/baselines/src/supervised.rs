@@ -11,9 +11,7 @@ use snaps_blocking::candidate_pairs;
 use snaps_core::SnapsConfig;
 use snaps_model::{Dataset, RecordId, RoleCategory};
 
-use snaps_ml::{
-    Classifier, DecisionTree, LinearSvm, LogisticRegression, RandomForest,
-};
+use snaps_ml::{Classifier, DecisionTree, LinearSvm, LogisticRegression, RandomForest};
 
 use crate::features::featurise_pairs;
 use crate::result::LinkResult;
@@ -53,9 +51,7 @@ pub struct SupervisedLinker {
 
 impl std::fmt::Debug for SupervisedLinker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SupervisedLinker")
-            .field("classifier", &self.classifier.name())
-            .finish()
+        f.debug_struct("SupervisedLinker").field("classifier", &self.classifier.name()).finish()
     }
 }
 
@@ -84,8 +80,7 @@ pub fn split_pairs(
     let in_regime = |a: RecordId, b: RecordId| match regime {
         TrainingRegime::AllPairs => true,
         TrainingRegime::PerRolePair(ca, cb) => {
-            let (ra, rb) =
-                (ds.record(a).role.category(), ds.record(b).role.category());
+            let (ra, rb) = (ds.record(a).role.category(), ds.record(b).role.category());
             (ra == ca && rb == cb) || (ra == cb && rb == ca)
         }
     };

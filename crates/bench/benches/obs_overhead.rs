@@ -14,10 +14,11 @@ fn bench_obs_overhead(c: &mut Criterion) {
 
     let disabled = SnapsConfig::default();
     debug_assert!(!disabled.obs.enabled, "instrumentation is opt-in");
-    let mut spans_only = SnapsConfig::default();
-    spans_only.obs = ObsConfig { enabled: true, verbosity: Verbosity::Spans };
-    let mut full = SnapsConfig::default();
-    full.obs = ObsConfig::full();
+    let spans_only = SnapsConfig {
+        obs: ObsConfig { enabled: true, verbosity: Verbosity::Spans },
+        ..SnapsConfig::default()
+    };
+    let full = SnapsConfig { obs: ObsConfig::full(), ..SnapsConfig::default() };
 
     let mut g = c.benchmark_group("obs_overhead");
     g.sample_size(10);

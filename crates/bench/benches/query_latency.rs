@@ -12,7 +12,7 @@ fn bench_queries(c: &mut Criterion) {
     let data = generate(&DatasetProfile::ios().scaled(0.1), 42);
     let res = resolve(&data.dataset, &SnapsConfig::default());
     let graph = PedigreeGraph::build(&data.dataset, &res);
-    let mut engine = SearchEngine::build(graph);
+    let engine = SearchEngine::build(graph);
     let queries = generate_query_batch(engine.graph(), 50, 7);
 
     let mut g = c.benchmark_group("online");

@@ -22,27 +22,21 @@ fn main() {
         args.scale, args.seed
     );
 
-    for profile in [
-        DatasetProfile::ios().scaled(args.scale),
-        DatasetProfile::kil().scaled(args.scale),
-    ] {
+    for profile in
+        [DatasetProfile::ios().scaled(args.scale), DatasetProfile::kil().scaled(args.scale)]
+    {
         let data = generate(&profile, args.seed);
         println!("== {} ==", data.dataset.name);
         for field in [QidField::FirstName, QidField::Surname, QidField::Address] {
             let series = fig2_series(&data, field, 100);
-            let share =
-                100.0 * top_value_share(&data.dataset, Role::DeathDeceased, field);
-            println!(
-                "-- {} (top value covers {share:.1}% of records) --",
-                field.label()
-            );
+            let share = 100.0 * top_value_share(&data.dataset, Role::DeathDeceased, field);
+            println!("-- {} (top value covers {share:.1}% of records) --", field.label());
             // Print rank: frequency series, ten per line, plus the top 5
             // values by name.
             for (rank, (value, freq)) in series.iter().take(5).enumerate() {
                 println!("   #{:<3} {value:<20} {freq}", rank + 1);
             }
-            let freqs: Vec<String> =
-                series.iter().map(|(_, f)| f.to_string()).collect();
+            let freqs: Vec<String> = series.iter().map(|(_, f)| f.to_string()).collect();
             for chunk in freqs.chunks(20) {
                 println!("   {}", chunk.join(" "));
             }

@@ -21,10 +21,9 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for profile in [
-        DatasetProfile::ios().scaled(args.scale),
-        DatasetProfile::kil().scaled(args.scale),
-    ] {
+    for profile in
+        [DatasetProfile::ios().scaled(args.scale), DatasetProfile::kil().scaled(args.scale)]
+    {
         let data = generate(&profile, args.seed);
         for (i, r) in table2(&data, &cfg).into_iter().enumerate() {
             rows.push(vec![

@@ -31,10 +31,9 @@ fn main() {
 
     // Results print per dataset as soon as they are ready, so a partial run
     // still yields usable rows.
-    for profile in [
-        DatasetProfile::ios().scaled(args.scale),
-        DatasetProfile::kil().scaled(args.scale),
-    ] {
+    for profile in
+        [DatasetProfile::ios().scaled(args.scale), DatasetProfile::kil().scaled(args.scale)]
+    {
         let data = generate(&profile, args.seed);
         eprintln!(
             "[table4] running all systems on {} ({} records)…",

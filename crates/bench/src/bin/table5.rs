@@ -24,30 +24,25 @@ fn main() {
     // With --report, an extra fully-instrumented SNAPS resolution runs per
     // dataset on this shared handle; the timed runs stay uninstrumented so
     // the table numbers are untouched.
-    let obs =
-        if args.report.is_some() { Obs::new(&ObsConfig::full()) } else { Obs::disabled() };
+    let obs = if args.report.is_some() { Obs::new(&ObsConfig::full()) } else { Obs::disabled() };
 
     let mut rows = Vec::new();
-    for profile in [
-        DatasetProfile::ios().scaled(args.scale),
-        DatasetProfile::kil().scaled(args.scale),
-    ] {
+    for profile in
+        [DatasetProfile::ios().scaled(args.scale), DatasetProfile::kil().scaled(args.scale)]
+    {
         let data = generate(&profile, args.seed);
-        eprintln!("[table5] timing all systems on {} ({} records)…", data.dataset.name, data.dataset.len());
+        eprintln!(
+            "[table5] timing all systems on {} ({} records)…",
+            data.dataset.name,
+            data.dataset.len()
+        );
         let timings = time_offline(&data, &cfg);
         if obs.is_enabled() {
             eprintln!("[table5] instrumented resolve on {}…", data.dataset.name);
             let _ = resolve_with_obs(&data.dataset, &cfg, &obs);
         }
-        let (na, nr) = (
-            timings[0].n_atomic.unwrap_or(0),
-            timings[0].n_relational.unwrap_or(0),
-        );
-        let mut row = vec![
-            data.dataset.name.clone(),
-            na.to_string(),
-            nr.to_string(),
-        ];
+        let (na, nr) = (timings[0].n_atomic.unwrap_or(0), timings[0].n_relational.unwrap_or(0));
+        let mut row = vec![data.dataset.name.clone(), na.to_string(), nr.to_string()];
         row.extend(timings.iter().map(|t| format!("{:.1}", t.seconds)));
         rows.push(row);
     }

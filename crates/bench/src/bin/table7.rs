@@ -33,18 +33,17 @@ fn main() {
     // With --report the whole end-to-end path (resolve, index build, query
     // batch) runs instrumented; the query latency histogram then lands in
     // the report alongside the table's exact sample statistics.
-    let obs =
-        if args.report.is_some() { Obs::new(&ObsConfig::full()) } else { Obs::disabled() };
+    let obs = if args.report.is_some() { Obs::new(&ObsConfig::full()) } else { Obs::disabled() };
 
     let data = generate(&DatasetProfile::ios().scaled(args.scale), args.seed);
     eprintln!("[table7] resolving {} records…", data.dataset.len());
     let res = resolve_with_obs(&data.dataset, &cfg, &obs);
     let graph = PedigreeGraph::build(&data.dataset, &res);
     eprintln!("[table7] building indices over {} entities…", graph.len());
-    let mut engine = SearchEngine::build_obs(graph, &obs);
+    let engine = SearchEngine::build_obs(graph, &obs);
 
     let queries = generate_query_batch(engine.graph(), BATCH, args.seed);
-    let (q, p) = time_queries(&mut engine, &queries, 10);
+    let (q, p) = time_queries(&engine, &queries, 10);
 
     if obs.is_enabled() {
         // One instrumented extraction so pedigree span/counters appear too.
@@ -55,13 +54,9 @@ fn main() {
 
     let fmt = |v: f64| format!("{v:.4}");
     let pedigree_row = match p {
-        Some(p) => vec![
-            "Pedigree extraction".into(),
-            fmt(p.min),
-            fmt(p.avg),
-            fmt(p.median),
-            fmt(p.max),
-        ],
+        Some(p) => {
+            vec!["Pedigree extraction".into(), fmt(p.min), fmt(p.avg), fmt(p.median), fmt(p.max)]
+        }
         // No query returned a hit, so there is nothing to extract.
         None => vec![
             "Pedigree extraction".into(),
@@ -83,10 +78,6 @@ fn main() {
     );
 
     if let Some(report) = obs.report() {
-        write_report(
-            report.with_meta("dataset", "ios").with_meta("batch", BATCH),
-            &args,
-            "table7",
-        );
+        write_report(report.with_meta("dataset", "ios").with_meta("batch", BATCH), &args, "table7");
     }
 }

@@ -33,8 +33,10 @@ impl ExperimentArgs {
     #[must_use]
     pub fn parse() -> Self {
         Self::parse_from(std::env::args().skip(1)).unwrap_or_else(|msg| {
-            eprintln!("error: {msg}
-usage: <binary> [--scale F] [--seed N] [--report PATH.json]");
+            eprintln!(
+                "error: {msg}
+usage: <binary> [--scale F] [--seed N] [--report PATH.json]"
+            );
             std::process::exit(2);
         })
     }
@@ -146,19 +148,15 @@ mod tests {
 
     #[test]
     fn parse_from_accepts_valid_args() {
-        let a = ExperimentArgs::parse_from(
-            ["--scale", "0.5", "--seed", "7"].map(String::from),
-        )
-        .unwrap();
+        let a = ExperimentArgs::parse_from(["--scale", "0.5", "--seed", "7"].map(String::from))
+            .unwrap();
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.seed, 7);
         assert_eq!(a.report, None);
         let d = ExperimentArgs::parse_from([]).unwrap();
         assert_eq!(d.scale, 1.0);
-        let r = ExperimentArgs::parse_from(
-            ["--report", "results/t5.json"].map(String::from),
-        )
-        .unwrap();
+        let r =
+            ExperimentArgs::parse_from(["--report", "results/t5.json"].map(String::from)).unwrap();
         assert_eq!(r.report.as_deref(), Some("results/t5.json"));
     }
 
@@ -166,35 +164,21 @@ mod tests {
     fn parse_from_rejects_bad_args() {
         assert!(ExperimentArgs::parse_from(["--bogus".into()]).is_err());
         assert!(ExperimentArgs::parse_from(["--scale".into()]).is_err());
-        assert!(
-            ExperimentArgs::parse_from(["--scale", "-1"].map(String::from)).is_err()
-        );
+        assert!(ExperimentArgs::parse_from(["--scale", "-1"].map(String::from)).is_err());
         // NaN sails past a plain `<= 0.0` check and infinity saturates the
         // founder count downstream; both must be rejected here.
-        assert!(
-            ExperimentArgs::parse_from(["--scale", "nan"].map(String::from)).is_err()
-        );
-        assert!(
-            ExperimentArgs::parse_from(["--scale", "inf"].map(String::from)).is_err()
-        );
-        assert!(
-            ExperimentArgs::parse_from(["--seed", "x"].map(String::from)).is_err()
-        );
+        assert!(ExperimentArgs::parse_from(["--scale", "nan"].map(String::from)).is_err());
+        assert!(ExperimentArgs::parse_from(["--scale", "inf"].map(String::from)).is_err());
+        assert!(ExperimentArgs::parse_from(["--seed", "x"].map(String::from)).is_err());
         assert!(ExperimentArgs::parse_from(["--report".into()]).is_err());
-        assert!(
-            ExperimentArgs::parse_from(["--report", "--seed"].map(String::from))
-                .is_err()
-        );
+        assert!(ExperimentArgs::parse_from(["--report", "--seed"].map(String::from)).is_err());
     }
 
     #[test]
     fn table_formatting_aligns() {
         let t = format_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer-name".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer-name".into(), "2".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

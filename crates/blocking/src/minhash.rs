@@ -174,10 +174,7 @@ mod tests {
         let blocker = LshBlocker::new(LshConfig::default());
         let ds = ds_with_names(&[("mary", "macdonald"), ("mary", "mcdonald")]);
         let blocks = blocker.blocks(&ds);
-        assert!(
-            blocks.iter().any(|b| b.len() == 2),
-            "near-duplicate names should share a bucket"
-        );
+        assert!(blocks.iter().any(|b| b.len() == 2), "near-duplicate names should share a bucket");
     }
 
     #[test]

@@ -98,12 +98,7 @@ mod tests {
         assert!(plausible_role_pair(Role::BirthBaby, Role::BirthMother));
     }
 
-    fn two_record_ds(
-        role_a: Role,
-        gender_a: Gender,
-        role_b: Role,
-        gender_b: Gender,
-    ) -> Dataset {
+    fn two_record_ds(role_a: Role, gender_a: Gender, role_b: Role, gender_b: Gender) -> Dataset {
         let mut ds = Dataset::new("t");
         let kind = |r: Role| r.certificate_kind();
         let c1 = ds.push_certificate(kind(role_a), 1880);
@@ -124,23 +119,14 @@ mod tests {
 
     #[test]
     fn recorded_gender_conflict_filtered() {
-        let ds = two_record_ds(
-            Role::BirthBaby,
-            Gender::Male,
-            Role::DeathDeceased,
-            Gender::Female,
-        );
+        let ds = two_record_ds(Role::BirthBaby, Gender::Male, Role::DeathDeceased, Gender::Female);
         assert!(!compatible_records(&ds.records[0], &ds.records[1], 10));
     }
 
     #[test]
     fn year_tolerance() {
-        let mut ds = two_record_ds(
-            Role::BirthBaby,
-            Gender::Male,
-            Role::DeathDeceased,
-            Gender::Male,
-        );
+        let mut ds =
+            two_record_ds(Role::BirthBaby, Gender::Male, Role::DeathDeceased, Gender::Male);
         // Baby born 1880; deceased aged 60 in 1890 → born 1830: 50 years apart.
         ds.record_mut(RecordId(1)).age = Some(60);
         assert!(!compatible_records(&ds.records[0], &ds.records[1], 10));

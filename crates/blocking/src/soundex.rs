@@ -34,11 +34,8 @@ fn digit(c: char) -> Option<u8> {
 /// ```
 #[must_use]
 pub fn soundex(name: &str) -> Option<String> {
-    let letters: Vec<char> = name
-        .chars()
-        .flat_map(char::to_lowercase)
-        .filter(|c| c.is_ascii_alphabetic())
-        .collect();
+    let letters: Vec<char> =
+        name.chars().flat_map(char::to_lowercase).filter(|c| c.is_ascii_alphabetic()).collect();
     let &first = letters.first()?;
 
     let mut code = String::with_capacity(4);

@@ -19,11 +19,7 @@ fn lsh_keeps_most_true_bp_bp_links_and_prunes_space() {
 
     let found = true_links.iter().filter(|p| pair_set.contains(p)).count();
     let recall = found as f64 / true_links.len() as f64;
-    assert!(
-        recall > 0.80,
-        "blocking recall too low: {found}/{} = {recall:.3}",
-        true_links.len()
-    );
+    assert!(recall > 0.80, "blocking recall too low: {found}/{} = {recall:.3}", true_links.len());
 
     // The candidate space must be far below the full cross product.
     let n = ds.len() as f64;

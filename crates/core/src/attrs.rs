@@ -97,7 +97,7 @@ impl AttrValues {
         add(&mut self.occupations, &r.occupation);
         if let Some(g) = r.geo {
             let p: GeoPoint = g.into();
-            if !self.geos.iter().any(|q| *q == p) {
+            if !self.geos.contains(&p) {
                 self.geos.push(p);
             }
         }

@@ -244,14 +244,11 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = SnapsConfig::default();
-        c.t_merge = 1.5;
+        let c = SnapsConfig { t_merge: 1.5, ..SnapsConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = SnapsConfig::default();
-        c.w_must = 0.0;
+        let c = SnapsConfig { w_must: 0.0, ..SnapsConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = SnapsConfig::default();
-        c.max_passes = 0;
+        let c = SnapsConfig { max_passes: 0, ..SnapsConfig::default() };
         assert!(c.validate().is_err());
     }
 }

@@ -142,8 +142,7 @@ mod tests {
     use snaps_model::{CertificateId, Gender, RecordId};
 
     fn rec(role: Role, year: i32, age: Option<u16>) -> PersonRecord {
-        let mut r =
-            PersonRecord::new(RecordId(0), CertificateId(0), role, Gender::Unknown, year);
+        let mut r = PersonRecord::new(RecordId(0), CertificateId(0), role, Gender::Unknown, year);
         r.age = age;
         r
     }

@@ -71,8 +71,7 @@ impl DependencyGraph {
         let mut atomics: HashSet<(u8, u64)> = HashSet::new();
 
         // Pre-extract every record's value view once.
-        let views: Vec<AttrValues> =
-            ds.records.iter().map(AttrValues::from_record).collect();
+        let views: Vec<AttrValues> = ds.records.iter().map(AttrValues::from_record).collect();
 
         for &(a, b) in pairs {
             let (a, b) = (a.min(b), a.max(b));
@@ -80,10 +79,7 @@ impl DependencyGraph {
 
             let ra = ds.record(a);
             let rb = ds.record(b);
-            let key = (
-                ra.certificate.min(rb.certificate),
-                ra.certificate.max(rb.certificate),
-            );
+            let key = (ra.certificate.min(rb.certificate), ra.certificate.max(rb.certificate));
             let group = *group_index.entry(key).or_insert_with(|| {
                 groups.push(Group { certs: key, nodes: Vec::new() });
                 groups.len() - 1

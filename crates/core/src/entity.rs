@@ -90,10 +90,9 @@ impl EntityInfo {
         // (beyond the posthumous slack).
         let death = self.death_year.or(other.death_year);
         if let Some(d) = death {
-            for (alive, slack) in [
-                (self.max_alive_year, self.alive_slack),
-                (other.max_alive_year, other.alive_slack),
-            ] {
+            for (alive, slack) in
+                [(self.max_alive_year, self.alive_slack), (other.max_alive_year, other.alive_slack)]
+            {
                 if let Some(a) = alive {
                     if a > d + slack {
                         return false;
@@ -361,10 +360,7 @@ mod tests {
         let mut store = EntityStore::new(&ds);
         let dd = RecordId(6);
         store.merge(RecordId(1), dd, &ds);
-        assert!(
-            !store.can_merge(RecordId(1), bm3),
-            "cannot bear a child five years after death"
-        );
+        assert!(!store.can_merge(RecordId(1), bm3), "cannot bear a child five years after death");
     }
 
     #[test]

@@ -108,8 +108,7 @@ impl<'a> MergeContext<'a> {
     /// different couples — the node must not merge. This is what separates a
     /// father from his namesake son: their names agree, their wives' do not.
     pub fn spouse_conflict(&self, node: &RelationalNode) -> bool {
-        let (Some(sa), Some(sb)) =
-            (self.spouse[node.a.index()], self.spouse[node.b.index()])
+        let (Some(sa), Some(sb)) = (self.spouse[node.a.index()], self.spouse[node.b.index()])
         else {
             return false;
         };
@@ -126,9 +125,8 @@ impl<'a> MergeContext<'a> {
     /// A node's disambiguation-blended similarity from attribute sims.
     fn blend(&self, node: &RelationalNode, sims: &crate::attrs::AttrSims) -> NodeSimilarity {
         let atomic = atomic_similarity(sims, self.cfg);
-        let disambiguation = self
-            .freqs
-            .disambiguation_freqs(self.freqs.freq_of(node.a), self.freqs.freq_of(node.b));
+        let disambiguation =
+            self.freqs.disambiguation_freqs(self.freqs.freq_of(node.a), self.freqs.freq_of(node.b));
         let gamma = self.cfg.effective_gamma();
         NodeSimilarity {
             atomic,
@@ -253,10 +251,8 @@ pub fn bootstrap(ctx: &MergeContext<'_>, dg: &DependencyGraph, store: &mut Entit
         if nodes.len() < 2 {
             continue; // singletons are left to the merging step
         }
-        let sims: Vec<f64> = nodes
-            .iter()
-            .map(|&id| atomic_similarity(&dg.nodes[id].base_sims, ctx.cfg))
-            .collect();
+        let sims: Vec<f64> =
+            nodes.iter().map(|&id| atomic_similarity(&dg.nodes[id].base_sims, ctx.cfg)).collect();
         let avg = sims.iter().sum::<f64>() / sims.len() as f64;
         if avg >= ctx.cfg.t_bootstrap {
             merged += merge_nodes(ctx, dg, store, nodes.into_iter().zip(sims).collect());
@@ -304,10 +300,7 @@ pub fn merge_pass(ctx: &MergeContext<'_>, dg: &DependencyGraph, store: &mut Enti
         if nodes.is_empty() {
             continue;
         }
-        let avg = nodes
-            .iter()
-            .map(|&id| ctx.evaluate(&dg.nodes[id], store).combined)
-            .sum::<f64>()
+        let avg = nodes.iter().map(|&id| ctx.evaluate(&dg.nodes[id], store).combined).sum::<f64>()
             / nodes.len() as f64;
         heap.push(Priority { size: nodes.len(), sim: avg, group: gid });
     }
@@ -372,10 +365,8 @@ pub fn merge_pass(ctx: &MergeContext<'_>, dg: &DependencyGraph, store: &mut Enti
             if nodes.len() == 1 && !may_merge_single {
                 continue;
             }
-            let evals: Vec<(NodeId, f64)> = nodes
-                .iter()
-                .map(|&id| (id, ctx.evaluate(&dg.nodes[id], store).combined))
-                .collect();
+            let evals: Vec<(NodeId, f64)> =
+                nodes.iter().map(|&id| (id, ctx.evaluate(&dg.nodes[id], store).combined)).collect();
             let avg = evals.iter().map(|e| e.1).sum::<f64>() / evals.len() as f64;
             if avg >= ctx.cfg.t_merge {
                 merged += merge_nodes(ctx, dg, store, evals);
@@ -411,9 +402,9 @@ mod tests {
     fn family() -> Dataset {
         let mut ds = Dataset::new("t");
         let cert = |ds: &mut Dataset,
-                        kind: CertificateKind,
-                        year: i32,
-                        people: &[(Role, &str, &str, Option<u16>)]| {
+                    kind: CertificateKind,
+                    year: i32,
+                    people: &[(Role, &str, &str, Option<u16>)]| {
             let c = ds.push_certificate(kind, year);
             for &(role, f, s, age) in people {
                 let g = role.implied_gender().unwrap_or(Gender::Female);
@@ -516,8 +507,7 @@ mod tests {
         let (ds, pairs) = sibling_dataset();
         // Tiny fixtures distort Eq. 2 (log ratios over N=9 records), so the
         // REL mechanics are tested with a threshold suited to the fixture.
-        let mut cfg = SnapsConfig::default();
-        cfg.t_merge = 0.65;
+        let cfg = SnapsConfig { t_merge: 0.65, ..SnapsConfig::default() };
         let dg = DependencyGraph::build(&ds, &pairs, &cfg);
         let freqs = NameFreqs::build(&ds);
         let mut store = EntityStore::new(&ds);
@@ -534,8 +524,8 @@ mod tests {
     #[test]
     fn without_rel_the_whole_group_sinks() {
         let (ds, pairs) = sibling_dataset();
-        let mut cfg = SnapsConfig::default();
-        cfg.t_merge = 0.65; // same fixture-sized threshold as the REL test
+        // same fixture-sized threshold as the REL test
+        let mut cfg = SnapsConfig { t_merge: 0.65, ..SnapsConfig::default() };
         cfg.ablation.rel = false;
         let dg = DependencyGraph::build(&ds, &pairs, &cfg);
         let freqs = NameFreqs::build(&ds);
@@ -554,13 +544,16 @@ mod tests {
         let mut ds = family();
         ds.record_mut(RecordId(3)).age = Some(40);
         let pairs = vec![(RecordId(0), RecordId(3)), (RecordId(1), RecordId(4))];
-        let mut cfg = SnapsConfig::default();
-        cfg.t_merge = 0.65; // fixture-sized threshold (see REL test)
-        // The group degrades to one node when the impossible node is
-        // removed; allow that remnant unpenalised so the test isolates the
-        // constraint logic from the singleton policy.
-        cfg.singleton_policy = crate::config::SingletonMergePolicy::Always;
-        cfg.singleton_margin = 0.0;
+        // Fixture-sized threshold (see REL test). The group degrades to one
+        // node when the impossible node is removed; allow that remnant
+        // unpenalised so the test isolates the constraint logic from the
+        // singleton policy.
+        let cfg = SnapsConfig {
+            t_merge: 0.65,
+            singleton_policy: crate::config::SingletonMergePolicy::Always,
+            singleton_margin: 0.0,
+            ..SnapsConfig::default()
+        };
         let dg = DependencyGraph::build(&ds, &pairs, &cfg);
         let freqs = NameFreqs::build(&ds);
         let mut store = EntityStore::new(&ds);
@@ -624,8 +617,7 @@ mod tests {
     #[test]
     fn counters_track_comparisons_links_and_rejections() {
         let (ds, pairs) = sibling_dataset();
-        let mut cfg = SnapsConfig::default();
-        cfg.t_merge = 0.65;
+        let cfg = SnapsConfig { t_merge: 0.65, ..SnapsConfig::default() };
         let dg = DependencyGraph::build(&ds, &pairs, &cfg);
         let freqs = NameFreqs::build(&ds);
         let mut store = EntityStore::new(&ds);

@@ -89,10 +89,8 @@ impl PedigreeGraph {
     /// Algorithm 1 literally (only entities of merged nodes appear).
     #[must_use]
     pub fn build_with(ds: &Dataset, res: &Resolution, include_singletons: bool) -> Self {
-        let mut graph = PedigreeGraph {
-            record_entity: vec![NO_ENTITY; ds.len()],
-            ..PedigreeGraph::default()
-        };
+        let mut graph =
+            PedigreeGraph { record_entity: vec![NO_ENTITY; ds.len()], ..PedigreeGraph::default() };
 
         // Lines 1–6: one node per (merged) entity.
         for cluster in &res.clusters {
@@ -157,11 +155,7 @@ impl PedigreeGraph {
     /// the child or query the inverse direction).
     #[must_use]
     pub fn related(&self, id: EntityId, rel: Relationship) -> Vec<EntityId> {
-        self.neighbours(id)
-            .iter()
-            .filter(|&&(_, r)| r == rel)
-            .map(|&(e, _)| e)
-            .collect()
+        self.neighbours(id).iter().filter(|&&(_, r)| r == rel).map(|&(e, _)| e).collect()
     }
 }
 

@@ -221,8 +221,7 @@ pub fn resolve_with_obs(ds: &Dataset, cfg: &SnapsConfig, obs: &Obs) -> Resolutio
             links_after: store.link_count(),
         });
         obs.counter(&format!("pipeline.pass_{}.merged_links", pass + 1)).add(merged as u64);
-        obs.counter(&format!("pipeline.pass_{}.refined_links", pass + 1))
-            .add(refined_links as u64);
+        obs.counter(&format!("pipeline.pass_{}.refined_links", pass + 1)).add(refined_links as u64);
         if merged == 0 {
             break;
         }
@@ -231,12 +230,7 @@ pub fn resolve_with_obs(ds: &Dataset, cfg: &SnapsConfig, obs: &Obs) -> Resolutio
     stats.final_links = store.link_count();
     obs.counter("pipeline.final_links").add(stats.final_links as u64);
     root.finish();
-    Resolution {
-        clusters: store.clusters(),
-        links: store.links().to_vec(),
-        stats,
-        report: None,
-    }
+    Resolution { clusters: store.clusters(), links: store.links().to_vec(), stats, report: None }
 }
 
 #[cfg(test)]
@@ -250,9 +244,9 @@ mod tests {
     fn village() -> Dataset {
         let mut ds = Dataset::new("t");
         let cert = |ds: &mut Dataset,
-                        kind: CertificateKind,
-                        year: i32,
-                        people: &[(Role, &str, &str, Option<u16>, &str)]| {
+                    kind: CertificateKind,
+                    year: i32,
+                    people: &[(Role, &str, &str, Option<u16>, &str)]| {
             let c = ds.push_certificate(kind, year);
             for &(role, f, s, age, addr) in people {
                 let g = role.implied_gender().unwrap_or(Gender::Female);
@@ -266,27 +260,47 @@ mod tests {
             c
         };
         // Family A in portree.
-        cert(&mut ds, CertificateKind::Birth, 1880, &[
-            (Role::BirthBaby, "flora", "macrae", None, "portree"),
-            (Role::BirthMother, "effie", "macrae", None, "portree"),
-            (Role::BirthFather, "torquil", "macrae", None, "portree"),
-        ]);
-        cert(&mut ds, CertificateKind::Birth, 1882, &[
-            (Role::BirthBaby, "hector", "macrae", None, "portree"),
-            (Role::BirthMother, "effie", "macrae", None, "portree"),
-            (Role::BirthFather, "torquil", "macrae", None, "portree"),
-        ]);
-        cert(&mut ds, CertificateKind::Death, 1885, &[
-            (Role::DeathDeceased, "flora", "macrae", Some(5), "portree"),
-            (Role::DeathMother, "effie", "macrae", None, "portree"),
-            (Role::DeathFather, "torquil", "macrae", None, "portree"),
-        ]);
+        cert(
+            &mut ds,
+            CertificateKind::Birth,
+            1880,
+            &[
+                (Role::BirthBaby, "flora", "macrae", None, "portree"),
+                (Role::BirthMother, "effie", "macrae", None, "portree"),
+                (Role::BirthFather, "torquil", "macrae", None, "portree"),
+            ],
+        );
+        cert(
+            &mut ds,
+            CertificateKind::Birth,
+            1882,
+            &[
+                (Role::BirthBaby, "hector", "macrae", None, "portree"),
+                (Role::BirthMother, "effie", "macrae", None, "portree"),
+                (Role::BirthFather, "torquil", "macrae", None, "portree"),
+            ],
+        );
+        cert(
+            &mut ds,
+            CertificateKind::Death,
+            1885,
+            &[
+                (Role::DeathDeceased, "flora", "macrae", Some(5), "portree"),
+                (Role::DeathMother, "effie", "macrae", None, "portree"),
+                (Role::DeathFather, "torquil", "macrae", None, "portree"),
+            ],
+        );
         // Family B in snizort, one generation later, same parent names.
-        cert(&mut ds, CertificateKind::Birth, 1899, &[
-            (Role::BirthBaby, "kate", "macrae", None, "snizort"),
-            (Role::BirthMother, "effie", "macrae", None, "snizort"),
-            (Role::BirthFather, "torquil", "macrae", None, "snizort"),
-        ]);
+        cert(
+            &mut ds,
+            CertificateKind::Birth,
+            1899,
+            &[
+                (Role::BirthBaby, "kate", "macrae", None, "snizort"),
+                (Role::BirthMother, "effie", "macrae", None, "snizort"),
+                (Role::BirthFather, "torquil", "macrae", None, "snizort"),
+            ],
+        );
         ds
     }
 
@@ -375,8 +389,7 @@ mod tests {
     #[test]
     fn report_covers_phases_passes_and_counters() {
         let ds = village();
-        let mut cfg = SnapsConfig::default();
-        cfg.obs = snaps_obs::ObsConfig::full();
+        let cfg = SnapsConfig { obs: snaps_obs::ObsConfig::full(), ..SnapsConfig::default() };
         let res = resolve(&ds, &cfg);
         let report = res.report.as_ref().expect("obs enabled");
 
@@ -428,8 +441,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid SnapsConfig")]
     fn invalid_config_panics() {
-        let mut cfg = SnapsConfig::default();
-        cfg.gamma = 2.0;
+        let cfg = SnapsConfig { gamma: 2.0, ..SnapsConfig::default() };
         let _ = resolve(&Dataset::new("x"), &cfg);
     }
 }

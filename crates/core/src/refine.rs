@@ -62,7 +62,9 @@ pub fn refine(store: &EntityStore, ds: &Dataset, cfg: &SnapsConfig) -> (EntitySt
         let in_cluster: Vec<Link> = all_links
             .iter()
             .copied()
-            .filter(|&(a, b)| cluster.binary_search(&a).is_ok() && cluster.binary_search(&b).is_ok())
+            .filter(|&(a, b)| {
+                cluster.binary_search(&a).is_ok() && cluster.binary_search(&b).is_ok()
+            })
             .collect();
         let mut g = UndirectedGraph::new(cluster.len());
         for &(a, b) in &in_cluster {
@@ -82,10 +84,8 @@ pub fn refine(store: &EntityStore, ds: &Dataset, cfg: &SnapsConfig) -> (EntitySt
             if let Some(v) = g.min_degree_vertex() {
                 let victim = cluster[v];
                 for &(a, b) in &in_cluster {
-                    if a == victim || b == victim {
-                        if surviving.remove(&(a, b)) {
-                            stats.dropped_density += 1;
-                        }
+                    if (a == victim || b == victim) && surviving.remove(&(a, b)) {
+                        stats.dropped_density += 1;
                     }
                 }
             }
@@ -132,10 +132,7 @@ mod tests {
     fn dense_cluster_untouched() {
         let ds = chainable(4);
         // Clique on 4: density 1.0.
-        let store = chain_store(
-            &ds,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let store = chain_store(&ds, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let (refined, stats) = refine(&store, &ds, &SnapsConfig::default());
         assert_eq!(stats.dropped_density + stats.dropped_bridges, 0);
         assert_eq!(refined.link_count(), 6);
@@ -150,8 +147,8 @@ mod tests {
         let ds8 = chainable(8);
         let store = chain_store(&ds8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
         // 8-chain: density 7/28 = 0.25 < 0.3.
-        let mut cfg = SnapsConfig::default();
-        cfg.t_cluster_size = 100; // disable bridge splitting for this test
+        // disable bridge splitting for this test
+        let cfg = SnapsConfig { t_cluster_size: 100, ..SnapsConfig::default() };
         let (refined, stats) = refine(&store, &ds8, &cfg);
         assert!(stats.dropped_density >= 1, "{stats:?}");
         assert!(refined.link_count() < store.link_count());

@@ -242,11 +242,7 @@ mod tests {
     #[test]
     fn dissimilar_surname_penalises() {
         let cfg = SnapsConfig::default();
-        let same = AttrSims {
-            first_name: Some(1.0),
-            surname: Some(1.0),
-            ..AttrSims::default()
-        };
+        let same = AttrSims { first_name: Some(1.0), surname: Some(1.0), ..AttrSims::default() };
         let diff = AttrSims {
             first_name: Some(1.0),
             surname: Some(0.4), // below t_a → counts as 0

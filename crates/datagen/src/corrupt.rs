@@ -40,10 +40,7 @@ pub fn typo<R: Rng>(s: &str, rng: &mut R) -> String {
     }
     let alphabet = "abcdefghijklmnopqrstuvwxyz";
     let rand_char = |rng: &mut R| {
-        alphabet
-            .chars()
-            .nth(rng.gen_range(0..alphabet.len()))
-            .expect("alphabet is non-empty")
+        alphabet.chars().nth(rng.gen_range(0..alphabet.len())).expect("alphabet is non-empty")
     };
     let mut out = chars.clone();
     match rng.gen_range(0..4u8) {
@@ -146,10 +143,8 @@ impl Corruptor {
     /// Corrupt a stated age: possibly missing, possibly off by a couple of
     /// years. Only roles that state ages (deceased, brides/grooms) return one.
     pub fn corrupt_age<R: Rng>(&self, true_age: i32, role: Role, rng: &mut R) -> Option<u16> {
-        let states_age = matches!(
-            role,
-            Role::DeathDeceased | Role::MarriageBride | Role::MarriageGroom
-        );
+        let states_age =
+            matches!(role, Role::DeathDeceased | Role::MarriageBride | Role::MarriageGroom);
         if !states_age || true_age < 0 {
             return None;
         }
@@ -235,14 +230,8 @@ mod tests {
         profile.missing.address = 0.0;
         let c = Corruptor::new(&profile);
         let mut rng = SmallRng::seed_from_u64(5);
-        let f = c.corrupt_person(
-            Role::BirthBaby,
-            "mary",
-            "macleod",
-            Some("portree"),
-            None,
-            &mut rng,
-        );
+        let f =
+            c.corrupt_person(Role::BirthBaby, "mary", "macleod", Some("portree"), None, &mut rng);
         assert_eq!(f.first_name.as_deref(), Some("mary"));
         assert_eq!(f.surname.as_deref(), Some("macleod"));
         assert_eq!(f.address.as_deref(), Some("portree"));

@@ -77,10 +77,7 @@ mod tests {
         let b = generate(&p, 7);
         assert_eq!(a.dataset.len(), b.dataset.len());
         assert_eq!(a.truth.record_entity, b.truth.record_entity);
-        assert_eq!(
-            a.dataset.records[0].first_name,
-            b.dataset.records[0].first_name
-        );
+        assert_eq!(a.dataset.records[0].first_name, b.dataset.records[0].first_name);
     }
 
     #[test]
@@ -90,8 +87,7 @@ mod tests {
         let b = generate(&p, 2);
         // Population trajectories diverge; sizes almost surely differ.
         assert!(
-            a.dataset.len() != b.dataset.len()
-                || a.truth.record_entity != b.truth.record_entity
+            a.dataset.len() != b.dataset.len() || a.truth.record_entity != b.truth.record_entity
         );
     }
 

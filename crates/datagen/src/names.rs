@@ -11,39 +11,176 @@ use rand::Rng;
 
 /// Period-appropriate female first names (most common first).
 pub const FEMALE_FIRST: &[&str] = &[
-    "mary", "margaret", "catherine", "ann", "janet", "christina", "isabella", "elizabeth",
-    "jane", "agnes", "helen", "jessie", "marion", "flora", "euphemia", "grace", "effie",
-    "barbara", "rachel", "sarah", "johanna", "cirsty", "marjory", "henrietta", "williamina",
-    "annabella", "jemima", "dolina", "peggy", "kate", "lexy", "morag", "una", "beathag",
-    "oighrig", "seonaid", "mairi", "catriona", "floraidh", "ealasaid",
+    "mary",
+    "margaret",
+    "catherine",
+    "ann",
+    "janet",
+    "christina",
+    "isabella",
+    "elizabeth",
+    "jane",
+    "agnes",
+    "helen",
+    "jessie",
+    "marion",
+    "flora",
+    "euphemia",
+    "grace",
+    "effie",
+    "barbara",
+    "rachel",
+    "sarah",
+    "johanna",
+    "cirsty",
+    "marjory",
+    "henrietta",
+    "williamina",
+    "annabella",
+    "jemima",
+    "dolina",
+    "peggy",
+    "kate",
+    "lexy",
+    "morag",
+    "una",
+    "beathag",
+    "oighrig",
+    "seonaid",
+    "mairi",
+    "catriona",
+    "floraidh",
+    "ealasaid",
 ];
 
 /// Period-appropriate male first names (most common first).
 pub const MALE_FIRST: &[&str] = &[
-    "john", "donald", "alexander", "angus", "william", "james", "malcolm", "duncan",
-    "neil", "murdo", "norman", "kenneth", "roderick", "archibald", "hugh", "lachlan",
-    "ewen", "allan", "charles", "george", "peter", "robert", "thomas", "david", "samuel",
-    "farquhar", "hector", "torquil", "finlay", "dugald", "ronald", "colin", "andrew",
-    "gilbert", "martin", "somerled", "iain", "calum", "tormod", "ruairidh",
+    "john",
+    "donald",
+    "alexander",
+    "angus",
+    "william",
+    "james",
+    "malcolm",
+    "duncan",
+    "neil",
+    "murdo",
+    "norman",
+    "kenneth",
+    "roderick",
+    "archibald",
+    "hugh",
+    "lachlan",
+    "ewen",
+    "allan",
+    "charles",
+    "george",
+    "peter",
+    "robert",
+    "thomas",
+    "david",
+    "samuel",
+    "farquhar",
+    "hector",
+    "torquil",
+    "finlay",
+    "dugald",
+    "ronald",
+    "colin",
+    "andrew",
+    "gilbert",
+    "martin",
+    "somerled",
+    "iain",
+    "calum",
+    "tormod",
+    "ruairidh",
 ];
 
 /// Period-appropriate surnames (most common first).
 pub const SURNAMES: &[&str] = &[
-    "macdonald", "macleod", "mackinnon", "maclean", "nicolson", "mackenzie", "campbell",
-    "macpherson", "robertson", "stewart", "fraser", "grant", "ross", "munro", "matheson",
-    "macrae", "gillies", "beaton", "macaskill", "macqueen", "ferguson", "cameron",
-    "morrison", "murray", "macgregor", "lamont", "macmillan", "buchanan", "macintyre",
-    "macarthur", "smith", "brown", "wilson", "thomson", "paterson", "walker", "young",
-    "mitchell", "watson", "miller", "clark", "taylor", "anderson", "scott", "reid",
-    "johnston", "boyd", "craig", "aird", "gemmell", "dunlop", "howie", "tannock",
+    "macdonald",
+    "macleod",
+    "mackinnon",
+    "maclean",
+    "nicolson",
+    "mackenzie",
+    "campbell",
+    "macpherson",
+    "robertson",
+    "stewart",
+    "fraser",
+    "grant",
+    "ross",
+    "munro",
+    "matheson",
+    "macrae",
+    "gillies",
+    "beaton",
+    "macaskill",
+    "macqueen",
+    "ferguson",
+    "cameron",
+    "morrison",
+    "murray",
+    "macgregor",
+    "lamont",
+    "macmillan",
+    "buchanan",
+    "macintyre",
+    "macarthur",
+    "smith",
+    "brown",
+    "wilson",
+    "thomson",
+    "paterson",
+    "walker",
+    "young",
+    "mitchell",
+    "watson",
+    "miller",
+    "clark",
+    "taylor",
+    "anderson",
+    "scott",
+    "reid",
+    "johnston",
+    "boyd",
+    "craig",
+    "aird",
+    "gemmell",
+    "dunlop",
+    "howie",
+    "tannock",
 ];
 
 /// Occupations (male-dominated trades of the period).
 pub const OCCUPATIONS: &[&str] = &[
-    "crofter", "fisherman", "agricultural labourer", "weaver", "shoemaker", "carpenter",
-    "blacksmith", "mason", "tailor", "merchant", "shepherd", "miner", "carter",
-    "domestic servant", "teacher", "minister", "joiner", "cooper", "boatman", "gardener",
-    "spinner", "engine fitter", "railway surfaceman", "iron moulder", "tobacco spinner",
+    "crofter",
+    "fisherman",
+    "agricultural labourer",
+    "weaver",
+    "shoemaker",
+    "carpenter",
+    "blacksmith",
+    "mason",
+    "tailor",
+    "merchant",
+    "shepherd",
+    "miner",
+    "carter",
+    "domestic servant",
+    "teacher",
+    "minister",
+    "joiner",
+    "cooper",
+    "boatman",
+    "gardener",
+    "spinner",
+    "engine fitter",
+    "railway surfaceman",
+    "iron moulder",
+    "tobacco spinner",
 ];
 
 /// Suffixes used to mint additional synthetic names when a profile asks for a
@@ -51,8 +188,8 @@ pub const OCCUPATIONS: &[&str] = &[
 const NAME_SUFFIXES: &[&str] = &["ina", "etta", "ag", "an", "aidh", "as", "o"];
 const SURNAME_PREFIXES: &[&str] = &["mac", "mc", "gil", "kil", "dun", "bal", "inver"];
 const SURNAME_STEMS: &[&str] = &[
-    "alister", "curdy", "neish", "quarrie", "fadyen", "innes", "corran", "ewan", "lure",
-    "gown", "nab", "phee", "sween", "tavish", "vicar", "whirter", "culloch", "dermid",
+    "alister", "curdy", "neish", "quarrie", "fadyen", "innes", "corran", "ewan", "lure", "gown",
+    "nab", "phee", "sween", "tavish", "vicar", "whirter", "culloch", "dermid",
 ];
 
 /// A pool of distinct name strings with Zipf-distributed sampling weights.
@@ -92,7 +229,11 @@ impl NamePool {
                 let p = SURNAME_PREFIXES[r % SURNAME_PREFIXES.len()];
                 let st = SURNAME_STEMS[(r / SURNAME_PREFIXES.len()) % SURNAME_STEMS.len()];
                 let n = r / (SURNAME_PREFIXES.len() * SURNAME_STEMS.len());
-                if n == 0 { format!("{p}{st}") } else { format!("{p}{st}{n}") }
+                if n == 0 {
+                    format!("{p}{st}")
+                } else {
+                    format!("{p}{st}{n}")
+                }
             };
             if !values.contains(&candidate) {
                 values.push(candidate);
@@ -156,8 +297,7 @@ pub fn spelling_variant<'a, R: Rng>(
 ) -> Option<&'a str> {
     for group in tables {
         if group.contains(&name) {
-            let alternatives: Vec<&str> =
-                group.iter().copied().filter(|v| *v != name).collect();
+            let alternatives: Vec<&str> = group.iter().copied().filter(|v| *v != name).collect();
             if alternatives.is_empty() {
                 return None;
             }

@@ -11,9 +11,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use snaps_model::{
-    CertificateKind, Dataset, Gender, RecordId, Role,
-};
+use snaps_model::{CertificateKind, Dataset, Gender, RecordId, Role};
 use snaps_strsim::geo::GeoPoint;
 
 use crate::corrupt::Corruptor;
@@ -92,7 +90,7 @@ impl SimPerson {
     /// Whether the person is alive in `year`.
     #[must_use]
     pub fn alive_in(&self, year: i32) -> bool {
-        self.birth_year <= year && self.death_year.map_or(true, |d| d >= year)
+        self.birth_year <= year && self.death_year.is_none_or(|d| d >= year)
     }
 
     /// Age in `year`.
@@ -135,9 +133,9 @@ impl Event {
     #[must_use]
     pub fn year(&self) -> i32 {
         match *self {
-            Event::Birth { year, .. } | Event::Death { year, .. } | Event::Marriage { year, .. } => {
-                year
-            }
+            Event::Birth { year, .. }
+            | Event::Death { year, .. }
+            | Event::Marriage { year, .. } => year,
         }
     }
 }
@@ -193,41 +191,87 @@ fn mortality(age: i32) -> f64 {
 /// Common causes of death per age band (young <20, middle 20–40, old >40),
 /// sampled with skew; the first entries are the frequent ones.
 const CAUSES_YOUNG: &[&str] = &[
-    "whooping cough", "measles", "scarlet fever", "infantile debility", "croup",
-    "diarrhoea", "convulsions", "smallpox", "typhus fever", "diphtheria",
+    "whooping cough",
+    "measles",
+    "scarlet fever",
+    "infantile debility",
+    "croup",
+    "diarrhoea",
+    "convulsions",
+    "smallpox",
+    "typhus fever",
+    "diphtheria",
 ];
 const CAUSES_MIDDLE: &[&str] = &[
-    "phthisis", "typhus fever", "childbirth", "pneumonia", "rheumatic fever",
-    "consumption", "enteric fever", "accidental drowning", "erysipelas", "apoplexy",
+    "phthisis",
+    "typhus fever",
+    "childbirth",
+    "pneumonia",
+    "rheumatic fever",
+    "consumption",
+    "enteric fever",
+    "accidental drowning",
+    "erysipelas",
+    "apoplexy",
 ];
 const CAUSES_OLD: &[&str] = &[
-    "old age", "heart disease", "bronchitis", "paralysis", "dropsy",
-    "cancer of the stomach", "asthma", "apoplexy", "debility", "influenza",
+    "old age",
+    "heart disease",
+    "bronchitis",
+    "paralysis",
+    "dropsy",
+    "cancer of the stomach",
+    "asthma",
+    "apoplexy",
+    "debility",
+    "influenza",
 ];
 
 /// Rare cause templates; combined with a parish name they create the long
 /// tail of unique strings the k-anonymisation experiment needs (paper §9).
 const RARE_CAUSE_TEMPLATES: &[&str] = &[
-    "drowned at", "killed by fall of rock at", "kicked by a horse near",
-    "struck by lightning at", "crushed by cart wheel at", "lost at sea off",
-    "burned in house fire at", "died of exposure on the moor at",
+    "drowned at",
+    "killed by fall of rock at",
+    "kicked by a horse near",
+    "struck by lightning at",
+    "crushed by cart wheel at",
+    "lost at sea off",
+    "burned in house fire at",
+    "died of exposure on the moor at",
 ];
 
 /// Base parish names; extras are minted for larger profiles.
 const PARISH_NAMES: &[&str] = &[
-    "portree", "duirinish", "snizort", "strath", "kilmuir", "sleat", "bracadale",
-    "kilmore", "riccarton", "dreghorn", "galston", "fenwick", "kilmaurs", "loudoun",
-    "stewarton", "dunlop", "irvine", "symington", "craigie", "mauchline",
+    "portree",
+    "duirinish",
+    "snizort",
+    "strath",
+    "kilmuir",
+    "sleat",
+    "bracadale",
+    "kilmore",
+    "riccarton",
+    "dreghorn",
+    "galston",
+    "fenwick",
+    "kilmaurs",
+    "loudoun",
+    "stewarton",
+    "dunlop",
+    "irvine",
+    "symington",
+    "craigie",
+    "mauchline",
 ];
 
 /// Syllables for minting settlement names (crofts, farms, streets).
 const SETTLEMENT_PREFIX: &[&str] = &[
-    "acha", "bal", "dun", "inver", "kyle", "tor", "glen", "aird", "camus", "fis",
-    "borve", "ose", "ullin", "carbost", "kens", "break", "tote", "peni",
+    "acha", "bal", "dun", "inver", "kyle", "tor", "glen", "aird", "camus", "fis", "borve", "ose",
+    "ullin", "carbost", "kens", "break", "tote", "peni",
 ];
 const SETTLEMENT_SUFFIX: &[&str] = &[
-    "more", "beg", "dale", "aig", "ish", "bost", "nish", "vaig", "gary", "side",
-    "ton", "field", "bank", "brae",
+    "more", "beg", "dale", "aig", "ish", "bost", "nish", "vaig", "gary", "side", "ton", "field",
+    "bank", "brae",
 ];
 
 struct Pools {
@@ -269,11 +313,8 @@ fn build_settlements<R: Rng>(
                     SETTLEMENT_PREFIX[rng.gen_range(0..SETTLEMENT_PREFIX.len())],
                     SETTLEMENT_SUFFIX[rng.gen_range(0..SETTLEMENT_SUFFIX.len())],
                 );
-                let cand = if seen.contains(&cand) {
-                    format!("{cand} {}", parish.name)
-                } else {
-                    cand
-                };
+                let cand =
+                    if seen.contains(&cand) { format!("{cand} {}", parish.name) } else { cand };
                 if seen.insert(cand.clone()) {
                     break cand;
                 }
@@ -347,15 +388,15 @@ pub fn simulate<R: Rng>(profile: &DatasetProfile, rng: &mut R) -> Population {
     let mut last_birth: Vec<i32> = Vec::new();
 
     let new_person = |people: &mut Vec<SimPerson>,
-                          last_birth: &mut Vec<i32>,
-                          gender: Gender,
-                          birth_year: i32,
-                          first_name: String,
-                          birth_surname: String,
-                          father: Option<usize>,
-                          mother: Option<usize>,
-                          address: usize,
-                          occupation: Option<String>| {
+                      last_birth: &mut Vec<i32>,
+                      gender: Gender,
+                      birth_year: i32,
+                      first_name: String,
+                      birth_surname: String,
+                      father: Option<usize>,
+                      mother: Option<usize>,
+                      address: usize,
+                      occupation: Option<String>| {
         let id = people.len();
         people.push(SimPerson {
             id,
@@ -462,7 +503,7 @@ pub fn simulate<R: Rng>(profile: &DatasetProfile, rng: &mut R) -> Population {
                 p.gender == Gender::Female
                     && p.alive_in(year)
                     && (16..=45).contains(&p.age_in(year))
-                    && p.spouse.map_or(false, |s| people[s].alive_in(year))
+                    && p.spouse.is_some_and(|s| people[s].alive_in(year))
             })
             .map(|p| p.id)
             .collect();
@@ -504,8 +545,7 @@ pub fn simulate<R: Rng>(profile: &DatasetProfile, rng: &mut R) -> Population {
         }
 
         // --- Deaths ------------------------------------------------------
-        let alive: Vec<usize> =
-            people.iter().filter(|p| p.alive_in(year)).map(|p| p.id).collect();
+        let alive: Vec<usize> = people.iter().filter(|p| p.alive_in(year)).map(|p| p.id).collect();
         for id in alive {
             let age = people[id].age_in(year);
             if rng.gen_bool(mortality(age).min(1.0)) {
@@ -579,7 +619,9 @@ pub fn simulate<R: Rng>(profile: &DatasetProfile, rng: &mut R) -> Population {
     let assignments: Vec<(usize, String)> = people
         .iter()
         .filter(|p| p.gender == Gender::Male && p.occupation.is_none())
-        .filter(|p| p.death_year.map_or(profile.sim_end - p.birth_year >= 14, |d| d - p.birth_year >= 14))
+        .filter(|p| {
+            p.death_year.map_or(profile.sim_end - p.birth_year >= 14, |d| d - p.birth_year >= 14)
+        })
         .map(|p| {
             let occ = p
                 .father
@@ -619,16 +661,45 @@ pub fn extract_certificates<R: Rng>(
                 let cert = ds.push_certificate(CertificateKind::Birth, year);
                 let addr = c.mother.map_or(c.address, |m| pop.people[m].address);
                 let parish = pop.settlements[addr].parish;
-                ds.certificates[cert.index()].parish =
-                    Some(pop.parishes[parish].name.clone());
+                ds.certificates[cert.index()].parish = Some(pop.parishes[parish].name.clone());
 
-                let bb = push_person(&mut ds, &mut truth, cert, Role::BirthBaby, c, year, pop, &corruptor, rng);
+                let bb = push_person(
+                    &mut ds,
+                    &mut truth,
+                    cert,
+                    Role::BirthBaby,
+                    c,
+                    year,
+                    pop,
+                    &corruptor,
+                    rng,
+                );
                 let _ = bb;
                 if let Some(m) = c.mother {
-                    push_person(&mut ds, &mut truth, cert, Role::BirthMother, &pop.people[m], year, pop, &corruptor, rng);
+                    push_person(
+                        &mut ds,
+                        &mut truth,
+                        cert,
+                        Role::BirthMother,
+                        &pop.people[m],
+                        year,
+                        pop,
+                        &corruptor,
+                        rng,
+                    );
                 }
                 if let Some(f) = c.father {
-                    push_person(&mut ds, &mut truth, cert, Role::BirthFather, &pop.people[f], year, pop, &corruptor, rng);
+                    push_person(
+                        &mut ds,
+                        &mut truth,
+                        cert,
+                        Role::BirthFather,
+                        &pop.people[f],
+                        year,
+                        pop,
+                        &corruptor,
+                        rng,
+                    );
                 }
             }
             Event::Death { year, person } => {
@@ -637,15 +708,55 @@ pub fn extract_certificates<R: Rng>(
                 ds.certificates[cert.index()].parish =
                     Some(pop.parishes[pop.settlements[d.address].parish].name.clone());
 
-                push_person(&mut ds, &mut truth, cert, Role::DeathDeceased, d, year, pop, &corruptor, rng);
+                push_person(
+                    &mut ds,
+                    &mut truth,
+                    cert,
+                    Role::DeathDeceased,
+                    d,
+                    year,
+                    pop,
+                    &corruptor,
+                    rng,
+                );
                 if let Some(m) = d.mother {
-                    push_person(&mut ds, &mut truth, cert, Role::DeathMother, &pop.people[m], year, pop, &corruptor, rng);
+                    push_person(
+                        &mut ds,
+                        &mut truth,
+                        cert,
+                        Role::DeathMother,
+                        &pop.people[m],
+                        year,
+                        pop,
+                        &corruptor,
+                        rng,
+                    );
                 }
                 if let Some(f) = d.father {
-                    push_person(&mut ds, &mut truth, cert, Role::DeathFather, &pop.people[f], year, pop, &corruptor, rng);
+                    push_person(
+                        &mut ds,
+                        &mut truth,
+                        cert,
+                        Role::DeathFather,
+                        &pop.people[f],
+                        year,
+                        pop,
+                        &corruptor,
+                        rng,
+                    );
                 }
                 if let Some(s) = d.spouse {
-                    push_person(&mut ds, &mut truth, cert, Role::DeathSpouse, &pop.people[s], year, pop, &corruptor, rng);
+                    push_person(
+                        &mut ds,
+                        &mut truth,
+                        cert,
+                        Role::DeathSpouse,
+                        &pop.people[s],
+                        year,
+                        pop,
+                        &corruptor,
+                        rng,
+                    );
                 }
             }
             Event::Marriage { year, bride, groom } => {
@@ -655,19 +766,79 @@ pub fn extract_certificates<R: Rng>(
                 ds.certificates[cert.index()].parish =
                     Some(pop.parishes[pop.settlements[g.address].parish].name.clone());
 
-                push_person(&mut ds, &mut truth, cert, Role::MarriageBride, b, year, pop, &corruptor, rng);
-                push_person(&mut ds, &mut truth, cert, Role::MarriageGroom, g, year, pop, &corruptor, rng);
+                push_person(
+                    &mut ds,
+                    &mut truth,
+                    cert,
+                    Role::MarriageBride,
+                    b,
+                    year,
+                    pop,
+                    &corruptor,
+                    rng,
+                );
+                push_person(
+                    &mut ds,
+                    &mut truth,
+                    cert,
+                    Role::MarriageGroom,
+                    g,
+                    year,
+                    pop,
+                    &corruptor,
+                    rng,
+                );
                 if let Some(m) = b.mother {
-                    push_person(&mut ds, &mut truth, cert, Role::MarriageBrideMother, &pop.people[m], year, pop, &corruptor, rng);
+                    push_person(
+                        &mut ds,
+                        &mut truth,
+                        cert,
+                        Role::MarriageBrideMother,
+                        &pop.people[m],
+                        year,
+                        pop,
+                        &corruptor,
+                        rng,
+                    );
                 }
                 if let Some(f) = b.father {
-                    push_person(&mut ds, &mut truth, cert, Role::MarriageBrideFather, &pop.people[f], year, pop, &corruptor, rng);
+                    push_person(
+                        &mut ds,
+                        &mut truth,
+                        cert,
+                        Role::MarriageBrideFather,
+                        &pop.people[f],
+                        year,
+                        pop,
+                        &corruptor,
+                        rng,
+                    );
                 }
                 if let Some(m) = g.mother {
-                    push_person(&mut ds, &mut truth, cert, Role::MarriageGroomMother, &pop.people[m], year, pop, &corruptor, rng);
+                    push_person(
+                        &mut ds,
+                        &mut truth,
+                        cert,
+                        Role::MarriageGroomMother,
+                        &pop.people[m],
+                        year,
+                        pop,
+                        &corruptor,
+                        rng,
+                    );
                 }
                 if let Some(f) = g.father {
-                    push_person(&mut ds, &mut truth, cert, Role::MarriageGroomFather, &pop.people[f], year, pop, &corruptor, rng);
+                    push_person(
+                        &mut ds,
+                        &mut truth,
+                        cert,
+                        Role::MarriageGroomFather,
+                        &pop.people[f],
+                        year,
+                        pop,
+                        &corruptor,
+                        rng,
+                    );
                 }
             }
         }

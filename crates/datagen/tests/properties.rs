@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use snaps_datagen::{generate, DatasetProfile};
-use snaps_model::{Role};
+use snaps_model::Role;
 
 fn profiles() -> impl Strategy<Value = DatasetProfile> {
     prop_oneof![

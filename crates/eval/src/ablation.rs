@@ -81,12 +81,7 @@ mod tests {
 
         // Removing PROP costs F* on both role pairs (precision collapse).
         for i in 0..2 {
-            assert!(
-                f(full, i) > f(no_prop, i),
-                "full {} vs no-prop {}",
-                f(full, i),
-                f(no_prop, i)
-            );
+            assert!(f(full, i) > f(no_prop, i), "full {} vs no-prop {}", f(full, i), f(no_prop, i));
             assert!(p(full, i) > p(no_prop, i));
         }
         // REL's benefit is scale-dependent (group gating only pays once

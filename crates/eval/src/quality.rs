@@ -54,7 +54,9 @@ pub fn evaluate_unsupervised(data: &GeneratedData, cfg: &SnapsConfig) -> Vec<Sys
     let rel = rel_cluster_link(ds, cfg);
 
     let mut out = Vec::new();
-    let systems: Vec<(&str, Box<dyn Fn(RoleCategory, RoleCategory) -> BTreeSet<(RecordId, RecordId)>>)> = vec![
+    type PairFn<'a> =
+        Box<dyn Fn(RoleCategory, RoleCategory) -> BTreeSet<(RecordId, RecordId)> + 'a>;
+    let systems: Vec<(&str, PairFn<'_>)> = vec![
         ("SNAPS", Box::new(|a, b| snaps.matched_pairs(ds, a, b))),
         ("Attr-Sim", Box::new(|a, b| attr.matched_pairs(ds, a, b))),
         ("Dep-Graph", Box::new(|a, b| dep.matched_pairs(ds, a, b))),
@@ -104,17 +106,13 @@ pub fn evaluate_supervised(data: &GeneratedData, cfg: &SnapsConfig) -> Supervise
         let mut samples = Vec::new();
         for regime in [TrainingRegime::PerRolePair(ca, cb), TrainingRegime::AllPairs] {
             for classifier in paper_classifiers() {
-                let (result, eval_pairs) =
-                    supervised_link(ds, cfg, classifier, regime, &is_match);
+                let (result, eval_pairs) = supervised_link(ds, cfg, classifier, regime, &is_match);
                 // Pairwise scoring over the evaluation half, restricted to
                 // the tested role pair.
                 let eval_set: BTreeSet<(RecordId, RecordId)> =
                     eval_pairs.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
-                let truth_pairs: BTreeSet<(RecordId, RecordId)> = eval_set
-                    .iter()
-                    .copied()
-                    .filter(|&(a, b)| truth.is_match(a, b))
-                    .collect();
+                let truth_pairs: BTreeSet<(RecordId, RecordId)> =
+                    eval_set.iter().copied().filter(|&(a, b)| truth.is_match(a, b)).collect();
                 let truth_pairs = restrict_to_role_pair(ds, &truth_pairs, ca, cb);
                 let predicted: BTreeSet<(RecordId, RecordId)> =
                     result.links.iter().copied().collect();

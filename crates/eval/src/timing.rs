@@ -219,7 +219,7 @@ pub fn generate_query_batch(graph: &PedigreeGraph, n: usize, seed: u64) -> Vec<Q
 /// Panics on an empty query batch.
 #[must_use]
 pub fn time_queries(
-    engine: &mut SearchEngine,
+    engine: &SearchEngine,
     queries: &[QueryRecord],
     top_m: usize,
 ) -> (LatencyStats, Option<LatencyStats>) {
@@ -307,10 +307,10 @@ mod tests {
         let data = generate(&DatasetProfile::ios().scaled(0.06), 42);
         let res = resolve(&data.dataset, &SnapsConfig::default());
         let graph = PedigreeGraph::build(&data.dataset, &res);
-        let mut engine = SearchEngine::build(graph);
+        let engine = SearchEngine::build(graph);
         let queries = generate_query_batch(engine.graph(), 20, 7);
         assert_eq!(queries.len(), 20);
-        let (q_stats, p_stats) = time_queries(&mut engine, &queries, 10);
+        let (q_stats, p_stats) = time_queries(&engine, &queries, 10);
         assert!(q_stats.min <= q_stats.median && q_stats.median <= q_stats.max);
         assert!(q_stats.avg > 0.0);
         // At this scale the batch always finds hits, so extraction stats

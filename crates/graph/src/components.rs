@@ -7,7 +7,10 @@ use crate::union_find::UnionFind;
 /// Each component is sorted ascending; components are ordered by their
 /// smallest member. Isolated vertices form singleton components.
 #[must_use]
-pub fn connected_components(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Vec<Vec<usize>> {
+pub fn connected_components(
+    n: usize,
+    edges: impl IntoIterator<Item = (usize, usize)>,
+) -> Vec<Vec<usize>> {
     let mut uf = UnionFind::new(n);
     for (a, b) in edges {
         uf.union(a, b);

@@ -17,11 +17,7 @@ impl UnionFind {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "UnionFind supports at most 2^32 elements");
-        Self {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            sets: n,
-        }
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
     }
 
     /// Number of elements.

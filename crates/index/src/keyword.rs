@@ -74,6 +74,35 @@ impl KeywordIndex {
         graph.entity(e).gender.compatible(g)
     }
 
+    /// Restore an index from its serialised entry lists (snapshot loading).
+    #[must_use]
+    pub fn from_parts(
+        first_names: Vec<(String, Vec<EntityId>)>,
+        surnames: Vec<(String, Vec<EntityId>)>,
+        locations: Vec<(String, Vec<EntityId>)>,
+    ) -> Self {
+        Self {
+            first_names: first_names.into_iter().collect(),
+            surnames: surnames.into_iter().collect(),
+            locations: locations.into_iter().collect(),
+        }
+    }
+
+    /// Every first-name entry, in unspecified order (serialisation support).
+    pub fn first_name_entries(&self) -> impl Iterator<Item = (&str, &[EntityId])> {
+        self.first_names.iter().map(|(v, e)| (v.as_str(), e.as_slice()))
+    }
+
+    /// Every surname entry, in unspecified order (serialisation support).
+    pub fn surname_entries(&self) -> impl Iterator<Item = (&str, &[EntityId])> {
+        self.surnames.iter().map(|(v, e)| (v.as_str(), e.as_slice()))
+    }
+
+    /// Every location entry, in unspecified order (serialisation support).
+    pub fn location_entries(&self) -> impl Iterator<Item = (&str, &[EntityId])> {
+        self.locations.iter().map(|(v, e)| (v.as_str(), e.as_slice()))
+    }
+
     /// Number of distinct indexed first-name values.
     #[must_use]
     pub fn distinct_first_names(&self) -> usize {

@@ -15,9 +15,11 @@
 #![warn(missing_docs)]
 
 pub mod keyword;
+pub mod simcache;
 pub mod simindex;
 
 pub use keyword::KeywordIndex;
+pub use simcache::SimCache;
 pub use simindex::SimilarityIndex;
 
 /// The paper's similarity-index threshold `s_t`.

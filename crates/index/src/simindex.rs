@@ -4,19 +4,31 @@
 //! bigram and reach a Jaro-Winkler similarity of `s_t` are pre-computed, so
 //! approximate matching at query time is a hash lookup. Query values never
 //! seen before are compared once against the bigram-sharing candidates and
-//! the result is cached "to speed-up future queries of the same value" (§7).
+//! the result is cached "to speed-up future queries of the same value" (§7)
+//! — in a sharded, bounded [`SimCache`] so concurrent readers share one
+//! index through `&self` and novel query strings cannot grow memory without
+//! limit.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use snaps_obs::Obs;
 use snaps_strsim::jaro_winkler;
 use snaps_strsim::qgram::bigrams;
+
+use crate::simcache::{SimCache, DEFAULT_CACHE_CAPACITY};
 
 /// A value's pre-computed approximate matches: `(value, similarity)`,
 /// sorted descending by similarity.
 pub type Matches = Vec<(String, f64)>;
 
 /// The similarity-aware index.
-#[derive(Debug, Clone)]
+///
+/// Pre-computed matches of *indexed* values are immutable after
+/// [`build`](Self::build); matches of unseen *query* values live in a
+/// bounded memoisation cache. Both are readable through `&self`, so one
+/// index can serve many threads.
+#[derive(Debug)]
 pub struct SimilarityIndex {
     /// Minimum similarity retained (`s_t`).
     s_t: f64,
@@ -24,8 +36,24 @@ pub struct SimilarityIndex {
     values: Vec<String>,
     /// Bigram → indices into `values` (postings lists).
     postings: HashMap<String, Vec<u32>>,
-    /// value → its matches among `values`.
-    matches: HashMap<String, Matches>,
+    /// value → its matches among `values` (immutable after build).
+    matches: HashMap<String, Arc<Matches>>,
+    /// Bounded memo for query values not among `values`.
+    cache: SimCache,
+}
+
+impl Clone for SimilarityIndex {
+    /// Clones the index structure; the query-value cache starts empty (it
+    /// is a per-instance memo, not part of the index's logical content).
+    fn clone(&self) -> Self {
+        Self {
+            s_t: self.s_t,
+            values: self.values.clone(),
+            postings: self.postings.clone(),
+            matches: self.matches.clone(),
+            cache: SimCache::new(self.cache.capacity()),
+        }
+    }
 }
 
 impl SimilarityIndex {
@@ -41,6 +69,7 @@ impl SimilarityIndex {
             values: Vec::new(),
             postings: HashMap::new(),
             matches: HashMap::new(),
+            cache: SimCache::new(DEFAULT_CACHE_CAPACITY),
         };
         for v in values {
             idx.insert_value(v);
@@ -49,9 +78,53 @@ impl SimilarityIndex {
         let all: Vec<String> = idx.values.clone();
         for v in &all {
             let m = idx.compute_matches(v);
-            idx.matches.insert(v.clone(), m);
+            idx.matches.insert(v.clone(), Arc::new(m));
         }
         idx
+    }
+
+    /// Restore an index from its serialised parts (snapshot loading):
+    /// threshold, indexed values, and each value's pre-computed matches.
+    /// Postings are rebuilt from the values — they are derived data.
+    ///
+    /// # Panics
+    /// Panics if `s_t` is out of range or `matches` does not carry exactly
+    /// one entry per indexed value; snapshot checksums make this unreachable
+    /// for on-disk corruption.
+    #[must_use]
+    pub fn from_parts(s_t: f64, values: Vec<String>, matches: Vec<(String, Matches)>) -> Self {
+        assert!(s_t > 0.0 && s_t < 1.0, "s_t must be in (0,1)");
+        let mut idx = Self {
+            s_t,
+            values: Vec::new(),
+            postings: HashMap::new(),
+            matches: HashMap::new(),
+            cache: SimCache::new(DEFAULT_CACHE_CAPACITY),
+        };
+        for v in &values {
+            idx.insert_value(v);
+        }
+        for (v, m) in matches {
+            assert!(idx.values.iter().any(|x| x == &v), "match entry for un-indexed value {v:?}");
+            idx.matches.insert(v, Arc::new(m));
+        }
+        assert_eq!(idx.matches.len(), idx.values.len(), "one match list per indexed value");
+        idx
+    }
+
+    /// Replace the query-value cache with one holding `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics on a zero capacity.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = SimCache::new(capacity);
+        self
+    }
+
+    /// Wire the cache's `index.sim_cache.*` counters to `obs`.
+    pub fn instrument(&mut self, obs: &Obs) {
+        self.cache.instrument(obs);
     }
 
     /// Number of indexed values.
@@ -66,15 +139,39 @@ impl SimilarityIndex {
         self.values.is_empty()
     }
 
+    /// The similarity threshold `s_t`.
+    #[must_use]
+    pub fn s_t(&self) -> f64 {
+        self.s_t
+    }
+
+    /// Indexed values in insertion order.
+    #[must_use]
+    pub fn indexed_values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Every indexed value with its pre-computed matches, in unspecified
+    /// order (serialisation support — sort before writing for stable bytes).
+    pub fn precomputed(&self) -> impl Iterator<Item = (&str, &Matches)> {
+        self.matches.iter().map(|(v, m)| (v.as_str(), m.as_ref()))
+    }
+
+    /// Entries currently memoised for unseen query values.
+    #[must_use]
+    pub fn cached_queries(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Total stored match pairs (the index's size driver — the reason `s_t`
     /// is not set lower, §6).
     #[must_use]
     pub fn stored_pairs(&self) -> usize {
-        self.matches.values().map(Vec::len).sum()
+        self.matches.values().map(|m| m.len()).sum()
     }
 
     fn insert_value(&mut self, v: &str) {
-        if v.is_empty() || self.matches.contains_key(v) || self.values.iter().any(|x| x == v) {
+        if v.is_empty() || self.values.iter().any(|x| x == v) {
             return;
         }
         let id = u32::try_from(self.values.len()).expect("at most 2^32 values");
@@ -86,12 +183,8 @@ impl SimilarityIndex {
 
     /// Candidates sharing at least one bigram with `v`.
     fn candidates(&self, v: &str) -> Vec<u32> {
-        let mut ids: Vec<u32> = bigrams(v)
-            .iter()
-            .filter_map(|bg| self.postings.get(bg))
-            .flatten()
-            .copied()
-            .collect();
+        let mut ids: Vec<u32> =
+            bigrams(v).iter().filter_map(|bg| self.postings.get(bg)).flatten().copied().collect();
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -115,19 +208,26 @@ impl SimilarityIndex {
     /// The pre-computed matches of an indexed value, if present.
     #[must_use]
     pub fn lookup(&self, v: &str) -> Option<&Matches> {
-        self.matches.get(v)
+        self.matches.get(v).map(Arc::as_ref)
     }
 
-    /// Matches for any value: cached when known, computed against the
-    /// bigram-sharing candidates and cached otherwise (the §7 online
-    /// extension — the unseen value itself is *not* added to the postings,
-    /// it is a query string, not data).
-    pub fn lookup_or_compute(&mut self, v: &str) -> &Matches {
-        if !self.matches.contains_key(v) {
-            let m = self.compute_matches(v);
-            self.matches.insert(v.to_string(), m);
+    /// Matches for any value: pre-computed when indexed, otherwise computed
+    /// against the bigram-sharing candidates and memoised in the bounded
+    /// cache (the §7 online extension — the unseen value itself is *not*
+    /// added to the postings, it is a query string, not data).
+    ///
+    /// Takes `&self`: safe to call from many threads on one shared index.
+    #[must_use]
+    pub fn lookup_or_compute(&self, v: &str) -> Arc<Matches> {
+        if let Some(m) = self.matches.get(v) {
+            return Arc::clone(m);
         }
-        &self.matches[v]
+        if let Some(m) = self.cache.get(v) {
+            return m;
+        }
+        let m = Arc::new(self.compute_matches(v));
+        self.cache.insert(v, Arc::clone(&m));
+        m
     }
 }
 
@@ -136,10 +236,7 @@ mod tests {
     use super::*;
 
     fn idx() -> SimilarityIndex {
-        SimilarityIndex::build(
-            ["macdonald", "mcdonald", "macdougall", "martin", "tweedie"],
-            0.5,
-        )
+        SimilarityIndex::build(["macdonald", "mcdonald", "macdougall", "martin", "tweedie"], 0.5)
     }
 
     #[test]
@@ -182,17 +279,83 @@ mod tests {
 
     #[test]
     fn unseen_query_value_cached() {
-        let mut i = idx();
+        let i = idx();
         assert!(i.lookup("macdonalds").is_none());
-        let m = i.lookup_or_compute("macdonalds").clone();
+        let m = i.lookup_or_compute("macdonalds");
         assert!(m.iter().any(|(v, _)| v == "macdonald"));
-        // Second lookup hits the cache.
-        assert!(i.lookup("macdonalds").is_some());
-        assert_eq!(i.lookup("macdonalds").unwrap(), &m);
+        // Second lookup hits the memo and agrees.
+        assert_eq!(i.cached_queries(), 1);
+        assert_eq!(i.lookup_or_compute("macdonalds"), m);
+        assert_eq!(i.cached_queries(), 1);
         // The query string was not added as an indexed value.
         assert_eq!(i.len(), 5);
+        assert!(i.lookup("macdonalds").is_none(), "not among pre-computed");
         let others = i.lookup("macdonald").unwrap();
         assert!(others.iter().all(|(v, _)| v != "macdonalds"));
+    }
+
+    #[test]
+    fn indexed_lookup_or_compute_skips_cache() {
+        let i = idx();
+        let m = i.lookup_or_compute("macdonald");
+        assert_eq!(&*m, i.lookup("macdonald").unwrap());
+        assert_eq!(i.cached_queries(), 0, "indexed values never enter the cache");
+    }
+
+    #[test]
+    fn cache_capacity_bounds_memoisation() {
+        let i = idx().with_cache_capacity(16);
+        for n in 0..1000 {
+            let _ = i.lookup_or_compute(&format!("query{n}"));
+        }
+        assert!(i.cached_queries() <= 16 + 16, "bounded: {}", i.cached_queries());
+        assert_eq!(i.len(), 5, "indexed values untouched");
+    }
+
+    #[test]
+    fn shared_index_answers_identically_across_threads() {
+        let i = std::sync::Arc::new(idx());
+        let expected = i.lookup_or_compute("macdonalds");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let i = std::sync::Arc::clone(&i);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(i.lookup_or_compute("macdonalds"), expected);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn clone_preserves_index_but_not_memo() {
+        let i = idx();
+        let _ = i.lookup_or_compute("macdonalds");
+        let c = i.clone();
+        assert_eq!(c.len(), i.len());
+        assert_eq!(c.stored_pairs(), i.stored_pairs());
+        assert_eq!(c.cached_queries(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let i = idx();
+        let values = i.indexed_values().to_vec();
+        let matches: Vec<(String, Matches)> =
+            i.precomputed().map(|(v, m)| (v.to_owned(), m.clone())).collect();
+        let restored = SimilarityIndex::from_parts(i.s_t(), values, matches);
+        assert_eq!(restored.len(), i.len());
+        for v in restored.indexed_values() {
+            assert_eq!(restored.lookup(v), i.lookup(v), "{v}");
+        }
+        // Derived postings work: unseen values still match.
+        let m = restored.lookup_or_compute("macdonalds");
+        assert!(m.iter().any(|(v, _)| v == "macdonald"));
     }
 
     #[test]

@@ -51,9 +51,9 @@ proptest! {
     #[test]
     fn online_extension_is_consistent(values in words(), query in "[a-e]{2,8}") {
         let s_t = 0.5;
-        let mut index = SimilarityIndex::build(values.iter().map(String::as_str), s_t);
-        let online = index.lookup_or_compute(&query).clone();
-        for (other, sim) in &online {
+        let index = SimilarityIndex::build(values.iter().map(String::as_str), s_t);
+        let online = index.lookup_or_compute(&query);
+        for (other, sim) in online.iter() {
             prop_assert!((jaro_winkler(&query, other) - sim).abs() < 1e-12);
             prop_assert!(*sim >= s_t);
             prop_assert!(values.contains(other), "matches only indexed values");

@@ -45,10 +45,7 @@ impl Dataset {
 /// Panics if `train_fraction` is outside `(0, 1)`.
 #[must_use]
 pub fn train_test_split(data: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-    assert!(
-        train_fraction > 0.0 && train_fraction < 1.0,
-        "train_fraction must be in (0,1)"
-    );
+    assert!(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0,1)");
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut rng = SmallRng::seed_from_u64(seed);
     use rand::seq::SliceRandom;
@@ -95,7 +92,7 @@ mod tests {
         let (tr, te) = train_test_split(&d, 0.5, 2);
         let mut all: Vec<f64> = tr.x.iter().chain(te.x.iter()).map(|r| r[0]).collect();
         all.sort_by(f64::total_cmp);
-        let expected: Vec<f64> = (0..50).map(|i| f64::from(i)).collect();
+        let expected: Vec<f64> = (0..50).map(f64::from).collect();
         assert_eq!(all, expected);
     }
 

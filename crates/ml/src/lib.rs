@@ -75,11 +75,7 @@ mod tests {
     }
 
     fn accuracy(c: &dyn Classifier, x: &[Vec<f64>], y: &[bool]) -> f64 {
-        let correct = x
-            .iter()
-            .zip(y)
-            .filter(|(xi, &yi)| c.predict(xi) == yi)
-            .count();
+        let correct = x.iter().zip(y).filter(|(xi, &yi)| c.predict(xi) == yi).count();
         correct as f64 / x.len() as f64
     }
 

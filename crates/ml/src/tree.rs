@@ -72,9 +72,7 @@ fn best_split(
             let weighted = (left_n as f64 * gini(left_pos, left_n)
                 + right_n as f64 * gini(right_pos, right_n))
                 / total as f64;
-            if weighted < parent_gini - 1e-12
-                && best.map_or(true, |(_, _, g)| weighted < g)
-            {
+            if weighted < parent_gini - 1e-12 && best.is_none_or(|(_, _, g)| weighted < g) {
                 let threshold = (vals[k - 1].0 + vals[k].0) / 2.0;
                 best = Some((f, threshold, weighted));
             }

@@ -113,9 +113,7 @@ impl Dataset {
             if other == id {
                 continue;
             }
-            if let Some(rel) =
-                crate::relationship::role_relationship(role, rec.role)
-            {
+            if let Some(rel) = crate::relationship::role_relationship(role, rec.role) {
                 out.push((other, rel));
             }
         }

@@ -99,9 +99,7 @@ pub fn role_relationship(from: Role, to: Role) -> Option<Relationship> {
 /// Enumerate all directed relationship edges a certificate asserts between
 /// its person records.
 #[must_use]
-pub fn certificate_relationships(
-    cert: &Certificate,
-) -> Vec<(RecordId, RecordId, Relationship)> {
+pub fn certificate_relationships(cert: &Certificate) -> Vec<(RecordId, RecordId, Relationship)> {
     let mut edges = Vec::new();
     for &(role_a, rec_a) in &cert.people {
         for &(role_b, rec_b) in &cert.people {
@@ -151,14 +149,8 @@ mod tests {
     fn marriage_unrelated_in_laws() {
         // Bride's mother and groom's father are on the same certificate but
         // unrelated to each other.
-        assert_eq!(
-            role_relationship(Role::MarriageBrideMother, Role::MarriageGroomFather),
-            None
-        );
-        assert_eq!(
-            role_relationship(Role::MarriageBrideMother, Role::MarriageGroom),
-            None
-        );
+        assert_eq!(role_relationship(Role::MarriageBrideMother, Role::MarriageGroomFather), None);
+        assert_eq!(role_relationship(Role::MarriageBrideMother, Role::MarriageGroom), None);
     }
 
     #[test]

@@ -204,10 +204,7 @@ mod tests {
     fn certificate_kinds() {
         assert_eq!(Role::BirthBaby.certificate_kind(), CertificateKind::Birth);
         assert_eq!(Role::DeathSpouse.certificate_kind(), CertificateKind::Death);
-        assert_eq!(
-            Role::MarriageGroomFather.certificate_kind(),
-            CertificateKind::Marriage
-        );
+        assert_eq!(Role::MarriageGroomFather.certificate_kind(), CertificateKind::Marriage);
     }
 
     #[test]

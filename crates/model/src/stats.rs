@@ -44,7 +44,7 @@ impl QidField {
 
     /// Extract this field's value from a record.
     #[must_use]
-    pub fn value<'r>(self, r: &'r PersonRecord) -> Option<&'r str> {
+    pub fn value(self, r: &PersonRecord) -> Option<&str> {
         match self {
             QidField::FirstName => r.first_name.as_deref(),
             QidField::Surname => r.surname.as_deref(),
@@ -98,10 +98,9 @@ fn frequencies<'r>(
 pub fn qid_stats(ds: &Dataset, role: Role, field: QidField) -> QidStats {
     let (freq, missing) = frequencies(ds.records_with_role(role), field);
     let distinct = freq.len();
-    let (min_freq, max_freq, total) = freq.values().fold(
-        (usize::MAX, 0usize, 0usize),
-        |(mn, mx, sum), &f| (mn.min(f), mx.max(f), sum + f),
-    );
+    let (min_freq, max_freq, total) = freq
+        .values()
+        .fold((usize::MAX, 0usize, 0usize), |(mn, mx, sum), &f| (mn.min(f), mx.max(f), sum + f));
     QidStats {
         field,
         missing,

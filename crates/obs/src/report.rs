@@ -180,7 +180,8 @@ fn write_span_array(out: &mut String, spans: &[SpanReport], level: usize) {
         json::string(out, "name");
         out.push_str(": ");
         json::string(out, &s.name);
-        let _ = write!(out, ", \"count\": {}, \"total_ns\": {}, \"children\": ", s.count, s.total_ns);
+        let _ =
+            write!(out, ", \"count\": {}, \"total_ns\": {}, \"children\": ", s.count, s.total_ns);
         write_span_array(out, &s.children, level + 1);
         out.push_str(" }");
         out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
@@ -244,7 +245,8 @@ mod tests {
         let order = ["\"meta\"", "\"spans\"", "\"counters\"", "\"gauges\"", "\"histograms\""];
         let mut pos = 0;
         for key in order {
-            let at = json[pos..].find(key).unwrap_or_else(|| panic!("{key} missing or out of order"));
+            let at =
+                json[pos..].find(key).unwrap_or_else(|| panic!("{key} missing or out of order"));
             pos += at;
         }
         assert!(json.contains("\"resolve\""));

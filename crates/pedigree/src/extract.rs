@@ -144,9 +144,7 @@ pub fn extract_with(
         .iter()
         .map(|(&entity, &(generation, hops))| PedigreeMember { entity, generation, hops })
         .collect();
-    members.sort_by(|a, b| {
-        b.generation.cmp(&a.generation).then_with(|| a.entity.cmp(&b.entity))
-    });
+    members.sort_by(|a, b| b.generation.cmp(&a.generation).then_with(|| a.entity.cmp(&b.entity)));
 
     let edges: Vec<(EntityId, EntityId, Relationship)> = graph
         .edges
@@ -202,12 +200,10 @@ mod tests {
         // N=6 records, so the merge threshold is scaled accordingly and
         // the unsupported-merge margin (which would stack on top) is
         // disabled.
-        let mut cfg = SnapsConfig::default();
-        cfg.t_merge = 0.65;
-        cfg.singleton_margin = 0.0;
+        let cfg = SnapsConfig { t_merge: 0.65, singleton_margin: 0.0, ..SnapsConfig::default() };
         let res = resolve(&ds, &cfg);
         let graph = PedigreeGraph::build(&ds, &res);
-        let flora = graph.record_entity[3 + 0]; // first record of b1
+        let flora = graph.record_entity[3]; // first record of b1
         (graph, flora)
     }
 
@@ -254,8 +250,7 @@ mod tests {
         let (graph, flora) = three_generation_graph();
         let p = extract(&graph, flora, 2);
         let parents = p.parents_of(flora);
-        let gens: Vec<i32> =
-            parents.iter().map(|&e| p.member(e).unwrap().generation).collect();
+        let gens: Vec<i32> = parents.iter().map(|&e| p.member(e).unwrap().generation).collect();
         assert_eq!(gens, vec![1, 1]);
         let spouses = p.spouses_of(parents[0]);
         assert!(spouses.contains(&parents[1]));

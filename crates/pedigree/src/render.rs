@@ -49,16 +49,8 @@ pub fn render_text(pedigree: &Pedigree, graph: &PedigreeGraph) -> String {
         }
         let e = graph.entity(m.entity);
         let marker = if m.entity == pedigree.root { "» " } else { "  " };
-        let occ = e
-            .occupations
-            .first()
-            .map(|o| format!(", {o}"))
-            .unwrap_or_default();
-        let addr = e
-            .addresses
-            .first()
-            .map(|a| format!(" of {a}"))
-            .unwrap_or_default();
+        let occ = e.occupations.first().map(|o| format!(", {o}")).unwrap_or_default();
+        let addr = e.addresses.first().map(|a| format!(" of {a}")).unwrap_or_default();
         let _ = writeln!(out, "{marker}{} [{}]{addr}{occ}", label(e), e.gender);
     }
     out
@@ -129,8 +121,7 @@ fn render_family(
 pub fn render_dot(pedigree: &Pedigree, graph: &PedigreeGraph) -> String {
     let mut out = String::from("digraph pedigree {\n  rankdir=TB;\n  node [style=filled];\n");
     // Nodes grouped per generation rank.
-    let mut generations: Vec<i32> =
-        pedigree.members.iter().map(|m| m.generation).collect();
+    let mut generations: Vec<i32> = pedigree.members.iter().map(|m| m.generation).collect();
     generations.sort_unstable();
     generations.dedup();
     generations.reverse();
@@ -164,11 +155,8 @@ pub fn render_dot(pedigree: &Pedigree, graph: &PedigreeGraph) -> String {
             snaps_model::Relationship::SpouseOf => {
                 let key = (a.min(b), a.max(b));
                 if spouse_drawn.insert(key) {
-                    let _ = writeln!(
-                        out,
-                        "  e{} -> e{} [dir=none, style=dashed];",
-                        key.0 .0, key.1 .0
-                    );
+                    let _ =
+                        writeln!(out, "  e{} -> e{} [dir=none, style=dashed];", key.0 .0, key.1 .0);
                 }
             }
             snaps_model::Relationship::ChildOf => {} // inverse of Mof/Fof

@@ -30,9 +30,9 @@ pub struct RankedMatch {
 
 /// The online search service: pedigree graph + indices, ready for queries.
 ///
-/// Queries need `&mut self` because unseen query values extend the
-/// similarity-aware index cache ("we … add them to S to speed-up future
-/// queries of the same value", §7).
+/// Queries take `&self`: the §7 memoisation of unseen query values lives in
+/// the similarity indexes' internal sharded caches, so one engine can be
+/// shared across threads (e.g. behind an `Arc` in `snaps-serve`).
 #[derive(Debug)]
 pub struct SearchEngine {
     graph: PedigreeGraph,
@@ -87,6 +87,27 @@ impl SearchEngine {
         let location_sims = SimilarityIndex::build(keyword.location_values(), s_t);
         span.finish();
         build_span.finish();
+        Self::from_parts(graph, keyword, first_name_sims, surname_sims, location_sims, weights, obs)
+    }
+
+    /// Assemble an engine from already-built parts — the snapshot-restore
+    /// path (`snaps-serve`), which deserialises the graph and indexes
+    /// instead of recomputing them. Wires the same instrumentation as
+    /// [`SearchEngine::build_with_obs`], including the similarity indexes'
+    /// `index.sim_cache.*` counters.
+    #[must_use]
+    pub fn from_parts(
+        graph: PedigreeGraph,
+        keyword: KeywordIndex,
+        mut first_name_sims: SimilarityIndex,
+        mut surname_sims: SimilarityIndex,
+        mut location_sims: SimilarityIndex,
+        weights: QueryWeights,
+        obs: &Obs,
+    ) -> Self {
+        first_name_sims.instrument(obs);
+        surname_sims.instrument(obs);
+        location_sims.instrument(obs);
         Self {
             graph,
             keyword,
@@ -113,20 +134,46 @@ impl SearchEngine {
         &self.keyword
     }
 
+    /// The first-name similarity index.
+    #[must_use]
+    pub fn first_name_sims(&self) -> &SimilarityIndex {
+        &self.first_name_sims
+    }
+
+    /// The surname similarity index.
+    #[must_use]
+    pub fn surname_sims(&self) -> &SimilarityIndex {
+        &self.surname_sims
+    }
+
+    /// The location similarity index.
+    #[must_use]
+    pub fn location_sims(&self) -> &SimilarityIndex {
+        &self.location_sims
+    }
+
+    /// The scoring weights.
+    #[must_use]
+    pub fn weights(&self) -> QueryWeights {
+        self.weights
+    }
+
     /// Process a query and return the `top_m` ranked entities.
     ///
-    /// Each call records one `query` span, one `query.latency` histogram
-    /// sample, and bumps the `query.count` / `query.results_returned`
-    /// counters (all no-ops without instrumentation).
-    pub fn query(&mut self, q: &QueryRecord, top_m: usize) -> Vec<RankedMatch> {
+    /// Takes `&self` — concurrent callers sharing one engine get identical
+    /// results to sequential ones. Each call records one `query` span, one
+    /// `query.latency` histogram sample, and bumps the `query.count` /
+    /// `query.results_returned` counters (all no-ops without
+    /// instrumentation).
+    pub fn query(&self, q: &QueryRecord, top_m: usize) -> Vec<RankedMatch> {
         let span = self.obs.span("query");
         let results = process_query(
             q,
             &self.graph,
             &self.keyword,
-            &mut self.first_name_sims,
-            &mut self.surname_sims,
-            &mut self.location_sims,
+            &self.first_name_sims,
+            &self.surname_sims,
+            &self.location_sims,
             self.weights,
             top_m,
             &self.obs,
@@ -140,10 +187,10 @@ impl SearchEngine {
 
 /// Value → similarity map for one query value: the exact value at `1.0`
 /// plus every approximate match from the similarity index.
-fn value_similarities(value: &str, index: &mut SimilarityIndex) -> HashMap<String, f64> {
+fn value_similarities(value: &str, index: &SimilarityIndex) -> HashMap<String, f64> {
     let mut map: HashMap<String, f64> = HashMap::new();
     map.insert(value.to_string(), 1.0);
-    for (v, s) in index.lookup_or_compute(value) {
+    for (v, s) in index.lookup_or_compute(value).iter() {
         map.entry(v.clone()).or_insert(*s);
     }
     map
@@ -162,9 +209,7 @@ fn kind_matches(e: &PedigreeEntity, kind: SearchKind) -> bool {
 /// the filter *limits* the search region (§12 future work).
 fn geo_matches(e: &PedigreeEntity, filter: Option<(snaps_strsim::geo::GeoPoint, f64)>) -> bool {
     let Some((centre, radius_km)) = filter else { return true };
-    e.geos.iter().any(|&g| {
-        snaps_strsim::geo::haversine_km(g.into(), centre) <= radius_km
-    })
+    e.geos.iter().any(|&g| snaps_strsim::geo::haversine_km(g.into(), centre) <= radius_km)
 }
 
 /// Year score: 1.0 inside the queried range, linearly decaying to 0 at
@@ -197,9 +242,9 @@ pub fn process_query(
     q: &QueryRecord,
     graph: &PedigreeGraph,
     keyword: &KeywordIndex,
-    first_name_sims: &mut SimilarityIndex,
-    surname_sims: &mut SimilarityIndex,
-    location_sims: &mut SimilarityIndex,
+    first_name_sims: &SimilarityIndex,
+    surname_sims: &SimilarityIndex,
+    location_sims: &SimilarityIndex,
     weights: QueryWeights,
     top_m: usize,
     obs: &Obs,
@@ -278,9 +323,7 @@ pub fn process_query(
         .collect();
 
     results.sort_by(|a, b| {
-        b.score_percent
-            .total_cmp(&a.score_percent)
-            .then_with(|| a.entity.cmp(&b.entity))
+        b.score_percent.total_cmp(&a.score_percent).then_with(|| a.entity.cmp(&b.entity))
     });
     results.truncate(top_m);
     results
@@ -307,17 +350,53 @@ mod tests {
             }
             r
         };
-        person(&mut ds, CertificateKind::Birth, 1880, Role::BirthBaby, "flora", "macrae", Gender::Female, "portree");
-        person(&mut ds, CertificateKind::Death, 1885, Role::DeathDeceased, "flora", "macrae", Gender::Female, "portree");
-        person(&mut ds, CertificateKind::Birth, 1874, Role::BirthBaby, "douglas", "macdonald", Gender::Male, "snizort");
-        person(&mut ds, CertificateKind::Death, 1891, Role::DeathDeceased, "doyd", "macdougall", Gender::Male, "duirinish");
+        person(
+            &mut ds,
+            CertificateKind::Birth,
+            1880,
+            Role::BirthBaby,
+            "flora",
+            "macrae",
+            Gender::Female,
+            "portree",
+        );
+        person(
+            &mut ds,
+            CertificateKind::Death,
+            1885,
+            Role::DeathDeceased,
+            "flora",
+            "macrae",
+            Gender::Female,
+            "portree",
+        );
+        person(
+            &mut ds,
+            CertificateKind::Birth,
+            1874,
+            Role::BirthBaby,
+            "douglas",
+            "macdonald",
+            Gender::Male,
+            "snizort",
+        );
+        person(
+            &mut ds,
+            CertificateKind::Death,
+            1891,
+            Role::DeathDeceased,
+            "doyd",
+            "macdougall",
+            Gender::Male,
+            "duirinish",
+        );
         let res = resolve(&ds, &SnapsConfig::default());
         SearchEngine::build(PedigreeGraph::build(&ds, &res))
     }
 
     #[test]
     fn exact_match_scores_100() {
-        let mut e = engine();
+        let e = engine();
         let q = QueryRecord::new("flora", "macrae", SearchKind::Birth);
         let r = e.query(&q, 10);
         assert!(!r.is_empty());
@@ -328,7 +407,7 @@ mod tests {
 
     #[test]
     fn approximate_names_found_and_ranked_below_exact() {
-        let mut e = engine();
+        let e = engine();
         // The paper's running example: query douglas macdonald also surfaces
         // doyd macdougall (Fig. 6).
         let q = QueryRecord::new("douglas", "macdonald", SearchKind::Death);
@@ -345,7 +424,7 @@ mod tests {
 
     #[test]
     fn kind_filter_excludes_other_kind() {
-        let mut e = engine();
+        let e = engine();
         let q = QueryRecord::new("douglas", "macdonald", SearchKind::Birth);
         let r = e.query(&q, 10);
         assert!(r.iter().all(|m| e.graph().entity(m.entity).has_birth_record));
@@ -354,14 +433,12 @@ mod tests {
         // …and not in a death search with an exact name requirement.
         let q = QueryRecord::new("douglas", "macdonald", SearchKind::Death);
         let r = e.query(&q, 10);
-        assert!(r
-            .iter()
-            .all(|m| e.graph().entity(m.entity).display_name() != "douglas macdonald"));
+        assert!(r.iter().all(|m| e.graph().entity(m.entity).display_name() != "douglas macdonald"));
     }
 
     #[test]
     fn year_range_boosts_in_range() {
-        let mut e = engine();
+        let e = engine();
         let q = QueryRecord::new("flora", "macrae", SearchKind::Birth).with_years(1878, 1882);
         let r = e.query(&q, 10);
         assert!((r[0].score_percent - 100.0).abs() < 1e-9);
@@ -375,7 +452,7 @@ mod tests {
 
     #[test]
     fn near_miss_year_decays() {
-        let mut e = engine();
+        let e = engine();
         // Born 1880, queried 1881-1885: one year out → 2/3.
         let q = QueryRecord::new("flora", "macrae", SearchKind::Birth).with_years(1881, 1885);
         let r = e.query(&q, 10);
@@ -385,7 +462,7 @@ mod tests {
 
     #[test]
     fn gender_and_location_refine() {
-        let mut e = engine();
+        let e = engine();
         let q = QueryRecord::new("flora", "macrae", SearchKind::Birth)
             .with_gender(Gender::Female)
             .with_location("portree");
@@ -394,22 +471,21 @@ mod tests {
         assert_eq!(r[0].location_score, Some(1.0));
         assert!((r[0].score_percent - 100.0).abs() < 1e-9);
         // Wrong gender drops the component.
-        let q = QueryRecord::new("flora", "macrae", SearchKind::Birth)
-            .with_gender(Gender::Male);
+        let q = QueryRecord::new("flora", "macrae", SearchKind::Birth).with_gender(Gender::Male);
         let r = e.query(&q, 10);
         assert_eq!(r[0].gender_score, Some(0.0));
     }
 
     #[test]
     fn no_name_match_no_results() {
-        let mut e = engine();
+        let e = engine();
         let q = QueryRecord::new("zzyzx", "qqqqq", SearchKind::Birth);
         assert!(e.query(&q, 10).is_empty());
     }
 
     #[test]
     fn top_m_truncates_and_sorts() {
-        let mut e = engine();
+        let e = engine();
         let q = QueryRecord::new("flora", "macrae", SearchKind::Birth);
         let all = e.query(&q, 10);
         let one = e.query(&q, 1);
@@ -423,7 +499,7 @@ mod tests {
     fn instrumented_engine_records_queries() {
         let obs = snaps_obs::Obs::new(&snaps_obs::ObsConfig::full());
         let base = engine();
-        let mut e = SearchEngine::build_with_obs(
+        let e = SearchEngine::build_with_obs(
             base.graph().clone(),
             QueryWeights::default(),
             snaps_index::DEFAULT_S_T,
@@ -438,7 +514,10 @@ mod tests {
         assert_eq!(report.span("query").map(|s| s.count), Some(2));
         assert_eq!(report.counter("query.count"), Some(2));
         assert_eq!(report.counter("query.results_returned"), Some(n as u64 + 1));
-        assert!(report.counter("query.index_probes").unwrap_or(0) >= 4, "2 sim + keyword probes per query");
+        assert!(
+            report.counter("query.index_probes").unwrap_or(0) >= 4,
+            "2 sim + keyword probes per query"
+        );
         assert!(report.counter("query.candidates_scored").unwrap_or(0) >= 2);
         let h = report.histogram("query.latency").expect("latency histogram");
         assert_eq!(h.count, 2);
@@ -447,7 +526,7 @@ mod tests {
 
     #[test]
     fn misspelled_query_still_finds() {
-        let mut e = engine();
+        let e = engine();
         // "flra macre" — typo'd both names.
         let q = QueryRecord::new("flra", "macre", SearchKind::Birth);
         let r = e.query(&q, 10);
@@ -489,10 +568,10 @@ mod geo_filter_tests {
 
     #[test]
     fn geo_filter_limits_to_radius() {
-        let mut e = engine();
+        let e = engine();
         let portree = GeoPoint::new(57.41, -6.19);
-        let q = QueryRecord::new("flora", "macrae", SearchKind::Birth)
-            .with_geo_filter(portree, 10.0);
+        let q =
+            QueryRecord::new("flora", "macrae", SearchKind::Birth).with_geo_filter(portree, 10.0);
         let r = e.query(&q, 10);
         assert_eq!(r.len(), 1, "only the Portree flora is within 10 km");
         let hit = e.graph().entity(r[0].entity);
@@ -501,17 +580,17 @@ mod geo_filter_tests {
 
     #[test]
     fn wide_radius_admits_both_geocoded() {
-        let mut e = engine();
+        let e = engine();
         let portree = GeoPoint::new(57.41, -6.19);
-        let q = QueryRecord::new("flora", "macrae", SearchKind::Birth)
-            .with_geo_filter(portree, 100.0);
+        let q =
+            QueryRecord::new("flora", "macrae", SearchKind::Birth).with_geo_filter(portree, 100.0);
         let r = e.query(&q, 10);
         assert_eq!(r.len(), 2, "both geocoded floras, never the ungeocoded one");
     }
 
     #[test]
     fn no_filter_admits_everyone() {
-        let mut e = engine();
+        let e = engine();
         let q = QueryRecord::new("flora", "macrae", SearchKind::Birth);
         assert_eq!(e.query(&q, 10).len(), 3);
     }

@@ -189,10 +189,7 @@ mod tests {
     #[test]
     fn provided_tracks_optionals() {
         let q = QueryRecord::new("a", "b", SearchKind::Birth);
-        assert_eq!(
-            q.provided(),
-            ProvidedFields { gender: false, year: false, location: false }
-        );
+        assert_eq!(q.provided(), ProvidedFields { gender: false, year: false, location: false });
         let q = q.with_gender(Gender::Male).with_years(1850, 1900);
         let p = q.provided();
         assert!(p.gender && p.year && !p.location);

@@ -1,0 +1,122 @@
+//! The `snaps-serve` binary: build a snapshot offline, then serve it.
+//!
+//! ```text
+//! snaps-serve build-snapshot --out ios.snap [--profile ios|kil] [--scale F] [--seed N]
+//! snaps-serve serve --snapshot ios.snap [--addr HOST:PORT] [--workers N] [--queue N]
+//! ```
+//!
+//! `build-snapshot` runs the full offline phase (generate → resolve →
+//! index) and persists the ready engine; `serve` restores it in one load —
+//! no entity resolution at startup — and answers `/search`,
+//! `/pedigree/<id>`, `/healthz` and `/metrics` until killed.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use snaps_core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_obs::{Obs, ObsConfig};
+use snaps_query::SearchEngine;
+use snaps_serve::{snapshot, Server, ServerConfig};
+
+const USAGE: &str = "usage:
+  snaps-serve build-snapshot --out PATH [--profile ios|kil] [--scale F] [--seed N]
+  snaps-serve serve --snapshot PATH [--addr HOST:PORT] [--workers N] [--queue N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build-snapshot") => build_snapshot(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pull the value following flag `name` out of `args`.
+fn flag<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("{name} requires a value")),
+        },
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name}: cannot parse '{v}'")),
+    }
+}
+
+fn build_snapshot(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out")?.ok_or("--out PATH is mandatory")?.to_string();
+    let profile = match flag(args, "--profile")?.unwrap_or("ios") {
+        "ios" => DatasetProfile::ios(),
+        "kil" => DatasetProfile::kil(),
+        other => return Err(format!("unknown profile '{other}' (use ios|kil)")),
+    };
+    let scale: f64 = parse_flag(args, "--scale", 1.0)?;
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err("--scale must be a positive finite number".into());
+    }
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+
+    let obs = Obs::new(&ObsConfig::full());
+    eprintln!("generating dataset (profile scaled by {scale}, seed {seed})…");
+    let data = generate(&profile.scaled(scale), seed);
+    eprintln!("resolving {} records…", data.dataset.len());
+    let res = resolve(&data.dataset, &SnapsConfig::default());
+    let graph = PedigreeGraph::build(&data.dataset, &res);
+    eprintln!("indexing {} entities…", graph.len());
+    let engine = SearchEngine::build_obs(graph, &obs);
+    snapshot::save(&engine, &out).map_err(|e| e.to_string())?;
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "wrote {out}: {} entities, {} edges, {size} bytes",
+        engine.graph().len(),
+        engine.graph().edges.len()
+    );
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--snapshot")?.ok_or("--snapshot PATH is mandatory")?.to_string();
+    let addr = flag(args, "--addr")?.unwrap_or("127.0.0.1:7171").to_string();
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: parse_flag(args, "--workers", defaults.workers)?,
+        queue_capacity: parse_flag(args, "--queue", defaults.queue_capacity)?,
+        read_timeout: Duration::from_secs(5),
+    };
+    if config.workers == 0 || config.queue_capacity == 0 {
+        return Err("--workers and --queue must be positive".into());
+    }
+
+    let obs = Obs::new(&ObsConfig::full());
+    eprintln!("loading snapshot {path}…");
+    let engine = snapshot::load(&path, &obs).map_err(|e| e.to_string())?;
+    eprintln!("restored engine: {} entities ready", engine.graph().len());
+    let server = Server::start(addr.as_str(), Arc::new(engine), &obs, &config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "listening on http://{} ({} workers, queue {})",
+        server.addr(),
+        config.workers,
+        config.queue_capacity
+    );
+    eprintln!("endpoints: /search /pedigree/<id> /healthz /metrics — ctrl-c to stop");
+    // Serve until the process is killed; workers own all per-request state.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,316 @@
+//! Minimal std-only HTTP/1.1 support for the query service.
+//!
+//! The service needs exactly four GET endpoints, so this is a deliberately
+//! small subset of the protocol: request-line + headers are parsed with hard
+//! limits (no bodies are read — all endpoints are GET), responses always
+//! carry `Content-Length` and `Connection: close`. Malformed input maps to
+//! a typed [`ParseError`] which the server answers with `400 Bad Request`;
+//! nothing in the parse path can panic on attacker-controlled bytes.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum number of header lines read before the request is rejected.
+pub const MAX_HEADERS: usize = 64;
+
+/// Why an incoming request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Connection closed before a full request arrived.
+    UnexpectedEof,
+    /// Request line or a header exceeded the size limits.
+    TooLarge,
+    /// The request line is not `METHOD TARGET HTTP/1.x`.
+    BadRequestLine,
+    /// The target contains an invalid percent-escape.
+    BadEscape,
+    /// A header line is not `Name: value`.
+    BadHeader,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            ParseError::TooLarge => write!(f, "request exceeds size limits"),
+            ParseError::BadRequestLine => write!(f, "malformed request line"),
+            ParseError::BadEscape => write!(f, "invalid percent-encoding in target"),
+            ParseError::BadHeader => write!(f, "malformed header line"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed request: method, decoded path, decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, e.g. `/pedigree/42`.
+    pub path: String,
+    /// Percent-decoded query parameters in order of appearance.
+    pub params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    #[must_use]
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_line_limited(r: &mut impl BufRead, limit: usize) -> Result<String, ParseError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match io_read_exact(r, &mut byte) {
+            Ok(()) => {}
+            Err(_) => return Err(ParseError::UnexpectedEof),
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+        if buf.len() > limit {
+            return Err(ParseError::TooLarge);
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ParseError::BadRequestLine)
+}
+
+fn io_read_exact(r: &mut impl BufRead, buf: &mut [u8]) -> io::Result<()> {
+    r.read_exact(buf)
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-decode `s`, additionally mapping `+` to a space (form encoding).
+///
+/// # Errors
+/// [`ParseError::BadEscape`] on a truncated or non-hex escape, or when the
+/// decoded bytes are not UTF-8.
+pub fn percent_decode(s: &str) -> Result<String, ParseError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let (hi, lo) = (
+                    bytes.get(i + 1).copied().and_then(hex_val),
+                    bytes.get(i + 2).copied().and_then(hex_val),
+                );
+                match (hi, lo) {
+                    (Some(h), Some(l)) => out.push(h << 4 | l),
+                    _ => return Err(ParseError::BadEscape),
+                }
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| ParseError::BadEscape)
+}
+
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), ParseError> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !raw_path.starts_with('/') {
+        return Err(ParseError::BadRequestLine);
+    }
+    let path = percent_decode(raw_path)?;
+    let mut params = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            params.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((path, params))
+}
+
+/// Read and parse one HTTP/1.1 request (request line + headers) from `r`.
+/// Headers are consumed and discarded; bodies are never read.
+///
+/// # Errors
+/// A typed [`ParseError`] for anything that should answer `400`.
+pub fn parse_request(r: &mut impl BufRead) -> Result<Request, ParseError> {
+    let line = read_line_limited(r, MAX_REQUEST_LINE)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::BadRequestLine),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequestLine);
+    }
+    for _ in 0..MAX_HEADERS {
+        let header = read_line_limited(r, MAX_REQUEST_LINE)?;
+        if header.is_empty() {
+            let (path, params) = parse_target(target)?;
+            return Ok(Request { method: method.to_string(), path, params });
+        }
+        if !header.contains(':') {
+            return Err(ParseError::BadHeader);
+        }
+    }
+    Err(ParseError::TooLarge)
+}
+
+/// An outgoing response; [`Response::write_to`] emits the full HTTP/1.1
+/// message with `Content-Length` and `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self { status, content_type: "text/plain; charset=utf-8", body: body.into().into_bytes() }
+    }
+
+    /// Serialise onto `w`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors (e.g. the client hung up).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        parse_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_params() {
+        let r = parse("GET /search?first=flora&last=mac%20rae&m=5 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("valid request");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/search");
+        assert_eq!(r.param("first"), Some("flora"));
+        assert_eq!(r.param("last"), Some("mac rae"));
+        assert_eq!(r.param("m"), Some("5"));
+        assert_eq!(r.param("missing"), None);
+    }
+
+    #[test]
+    fn plus_decodes_to_space() {
+        let r = parse("GET /search?first=mary+ann HTTP/1.1\r\n\r\n").expect("valid");
+        assert_eq!(r.param("first"), Some("mary ann"));
+    }
+
+    #[test]
+    fn malformed_request_line_rejected() {
+        assert_eq!(parse("GARBAGE\r\n\r\n"), Err(ParseError::BadRequestLine));
+        assert_eq!(parse("GET /x EXTRA HTTP/1.1\r\n\r\n"), Err(ParseError::BadRequestLine));
+        assert_eq!(parse("GET /x SPDY/9\r\n\r\n"), Err(ParseError::BadRequestLine));
+        assert_eq!(parse("GET relative HTTP/1.1\r\n\r\n"), Err(ParseError::BadRequestLine));
+    }
+
+    #[test]
+    fn bad_escapes_rejected() {
+        assert_eq!(parse("GET /x?a=%zz HTTP/1.1\r\n\r\n"), Err(ParseError::BadEscape));
+        assert_eq!(parse("GET /x?a=%2 HTTP/1.1\r\n\r\n"), Err(ParseError::BadEscape));
+        assert_eq!(percent_decode("%ff"), Err(ParseError::BadEscape)); // not UTF-8
+    }
+
+    #[test]
+    fn eof_mid_request_rejected() {
+        assert_eq!(parse("GET / HTTP/1.1\r\nHost: x"), Err(ParseError::UnexpectedEof));
+    }
+
+    #[test]
+    fn header_without_colon_rejected() {
+        assert_eq!(parse("GET / HTTP/1.1\r\nnocolon\r\n\r\n"), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn oversized_request_line_rejected() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 10));
+        assert_eq!(parse(&raw), Err(ParseError::TooLarge));
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw), Err(ParseError::TooLarge));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".to_string()).write_to(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Type: application/json\r\n"));
+        assert!(s.contains("Content-Length: 11\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+        assert!(s.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

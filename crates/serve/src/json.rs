@@ -1,0 +1,85 @@
+//! Tiny serde-free JSON emission helpers for the service's responses.
+//!
+//! The workspace bans external dependencies at runtime, so responses are
+//! assembled with a minimal escaping writer — the same approach
+//! `snaps-obs` uses for run reports.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (quotes included, escapes applied).
+pub fn string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `"key": ` (with trailing separator space).
+pub fn key(out: &mut String, k: &str) {
+    string(out, k);
+    out.push_str(": ");
+}
+
+/// Append a finite `f64` with six decimal places; non-finite values (which
+/// JSON cannot represent) are emitted as `null`.
+pub fn f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.6}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append an `Option<f64>` as [`f64`] or `null`.
+pub fn opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(x) => f64(out, x),
+        None => out.push_str("null"),
+    }
+}
+
+/// Append an `Option<i32>` as the number or `null`.
+pub fn opt_i32(out: &mut String, v: Option<i32>) {
+    match v {
+        Some(x) => {
+            let _ = write!(out, "{x}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        string(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_and_nulls() {
+        let mut out = String::new();
+        f64(&mut out, 0.5);
+        out.push(' ');
+        f64(&mut out, f64::NAN);
+        out.push(' ');
+        opt_f64(&mut out, None);
+        out.push(' ');
+        opt_i32(&mut out, Some(-3));
+        assert_eq!(out, "0.500000 null null -3");
+    }
+}

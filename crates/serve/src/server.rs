@@ -1,0 +1,473 @@
+//! Multi-threaded online query service over a shared [`SearchEngine`].
+//!
+//! Architecture (std-only, no async runtime):
+//!
+//! ```text
+//!   TcpListener ── accept thread ──► bounded queue ──► N worker threads
+//!                      │  queue full: answer 503 immediately               │
+//!                      ▼                                                   ▼
+//!              Connection dropped                          parse → route → respond
+//! ```
+//!
+//! Backpressure is explicit: the accept thread never blocks on a full
+//! queue — it writes `503 Service Unavailable` on the spot and closes the
+//! connection, so overload degrades loudly instead of queueing unboundedly.
+//! Shutdown is graceful: the flag is raised, the accept thread is woken by
+//! a self-connection, workers drain the queue and exit, and
+//! [`Server::shutdown`] joins every thread.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use snaps_model::{EntityId, Gender};
+use snaps_obs::{Counter, Obs};
+use snaps_pedigree::{extract, DEFAULT_GENERATIONS};
+use snaps_query::{QueryRecord, SearchEngine, SearchKind};
+use snaps_strsim::normalize::normalize_name;
+
+use crate::http::{parse_request, ParseError, Request, Response};
+use crate::json;
+
+/// Upper bound on the `m` (top matches) query parameter.
+pub const MAX_TOP_M: usize = 100;
+/// Upper bound on the `g` (generations) pedigree parameter.
+pub const MAX_GENERATIONS: usize = 8;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling parsed requests.
+    pub workers: usize,
+    /// Maximum connections waiting for a worker before new ones get `503`.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout; a client that connects but never sends
+    /// a full request holds a worker for at most this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 4, queue_capacity: 64, read_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// Bounded FIFO of accepted connections between the accept thread and the
+/// worker pool.
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        Self { inner: Mutex::new(VecDeque::new()), ready: Condvar::new(), capacity }
+    }
+
+    /// Enqueue unless full; a full queue returns the stream to the caller
+    /// (the accept thread), which answers 503.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().expect("queue lock");
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; returns `None` once `shutdown` is set **and** the
+    /// queue is drained, so accepted work still completes.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.ready.wait(q).expect("queue lock");
+        }
+    }
+}
+
+/// Shared per-server state handed to every worker.
+struct Ctx {
+    engine: Arc<SearchEngine>,
+    obs: Obs,
+    started: Instant,
+    requests: Counter,
+    http_200: Counter,
+    http_400: Counter,
+    http_404: Counter,
+}
+
+/// A running query service; dropping without [`Server::shutdown`] detaches
+/// the threads, so call it for a clean exit (tests do; the binary installs
+/// no signal handling and runs until killed).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start the
+    /// accept thread plus worker pool. The engine is shared read-mostly;
+    /// only its internal sharded caches mutate under load.
+    ///
+    /// # Errors
+    /// Propagates the bind error.
+    ///
+    /// # Panics
+    /// Panics on a zero worker count or queue capacity.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        engine: Arc<SearchEngine>,
+        obs: &Obs,
+        config: &ServerConfig,
+    ) -> io::Result<Self> {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue::new(config.queue_capacity));
+        let ctx = Arc::new(Ctx {
+            engine,
+            obs: obs.clone(),
+            started: Instant::now(),
+            requests: obs.counter("serve.requests"),
+            http_200: obs.counter("serve.http_200"),
+            http_400: obs.counter("serve.http_400"),
+            http_404: obs.counter("serve.http_404"),
+        });
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let ctx = Arc::clone(&ctx);
+            let read_timeout = config.read_timeout;
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("snaps-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop(&shutdown) {
+                            handle_connection(stream, &ctx, read_timeout);
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        let accept_thread = {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let http_503 = obs.counter("serve.http_503");
+            thread::Builder::new()
+                .name("snaps-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        if let Err(mut stream) = queue.try_push(stream) {
+                            // Explicit backpressure: reject on the accept
+                            // thread, never block behind a full queue.
+                            http_503.add(1);
+                            let resp = Response::json(
+                                503,
+                                "{\"error\": \"server overloaded, retry later\"}".to_string(),
+                            );
+                            let _ = resp.write_to(&mut stream);
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Self { addr, shutdown, queue, accept_thread: Some(accept_thread), workers })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections, join
+    /// every thread. Idempotent per server (consumes it).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // The accept thread is parked in `accept()`; a throwaway
+        // self-connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.queue.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match parse_request(&mut reader) {
+        Ok(req) => {
+            ctx.requests.add(1);
+            route(&req, ctx)
+        }
+        // A connection that opened but never sent bytes (port scan,
+        // cancelled client) gets no response; real malformed input gets 400.
+        Err(ParseError::UnexpectedEof) => return,
+        Err(e) => {
+            ctx.http_400.add(1);
+            bad_request(&e.to_string())
+        }
+    };
+    match response.status {
+        200 => ctx.http_200.add(1),
+        400 => ctx.http_400.add(1),
+        404 => ctx.http_404.add(1),
+        _ => {}
+    }
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+fn bad_request(msg: &str) -> Response {
+    let mut body = String::from("{\"error\": ");
+    json::string(&mut body, msg);
+    body.push('}');
+    Response::json(400, body)
+}
+
+fn not_found(msg: &str) -> Response {
+    let mut body = String::from("{\"error\": ");
+    json::string(&mut body, msg);
+    body.push('}');
+    Response::json(404, body)
+}
+
+fn route(req: &Request, ctx: &Ctx) -> Response {
+    if req.method != "GET" {
+        return Response::json(405, "{\"error\": \"only GET is supported\"}".to_string());
+    }
+    match req.path.as_str() {
+        "/healthz" => healthz(ctx),
+        "/metrics" => metrics(ctx),
+        "/search" => search(req, ctx),
+        p => {
+            if let Some(rest) = p.strip_prefix("/pedigree/") {
+                pedigree(rest, req, ctx)
+            } else {
+                not_found("no such endpoint")
+            }
+        }
+    }
+}
+
+fn healthz(ctx: &Ctx) -> Response {
+    let mut body = String::from("{\"status\": \"ok\", \"entities\": ");
+    let _ = write!(
+        body,
+        "{}, \"uptime_ms\": {}}}",
+        ctx.engine.graph().len(),
+        ctx.started.elapsed().as_millis()
+    );
+    Response::json(200, body)
+}
+
+fn metrics(ctx: &Ctx) -> Response {
+    match ctx.obs.report() {
+        Some(report) => Response::json(200, report.to_json()),
+        None => Response::json(200, "{\"enabled\": false}".to_string()),
+    }
+}
+
+/// Build a validated [`QueryRecord`] from `/search` parameters, mapping
+/// every invalid input to an error message instead of a panic.
+fn parse_search(req: &Request) -> Result<(QueryRecord, usize), String> {
+    let first = normalize_name(req.param("first").unwrap_or(""));
+    let last = normalize_name(req.param("last").unwrap_or(""));
+    if first.is_empty() {
+        return Err("parameter 'first' is mandatory".into());
+    }
+    if last.is_empty() {
+        return Err("parameter 'last' is mandatory".into());
+    }
+    let kind = match req.param("kind").unwrap_or("birth") {
+        "birth" => SearchKind::Birth,
+        "death" => SearchKind::Death,
+        other => return Err(format!("unknown kind '{other}' (use birth|death)")),
+    };
+    let mut q = QueryRecord::new(&first, &last, kind);
+
+    if let Some(g) = req.param("gender") {
+        q = q.with_gender(match g {
+            "f" => Gender::Female,
+            "m" => Gender::Male,
+            other => return Err(format!("unknown gender '{other}' (use f|m)")),
+        });
+    }
+    match (req.param("year_from"), req.param("year_to")) {
+        (None, None) => {}
+        (Some(from), Some(to)) => {
+            let from: i32 = from.parse().map_err(|_| "year_from is not an integer")?;
+            let to: i32 = to.parse().map_err(|_| "year_to is not an integer")?;
+            if from > to {
+                return Err(format!("inverted year range {from}..{to}"));
+            }
+            q = q.with_years(from, to);
+        }
+        _ => return Err("year_from and year_to must be given together".into()),
+    }
+    if let Some(loc) = req.param("location") {
+        let loc = normalize_name(loc);
+        if loc.is_empty() {
+            return Err("location normalises to empty".into());
+        }
+        q = q.with_location(&loc);
+    }
+    let top_m = match req.param("m") {
+        None => 10,
+        Some(m) => match m.parse::<usize>() {
+            Ok(m) if (1..=MAX_TOP_M).contains(&m) => m,
+            _ => return Err(format!("m must be an integer in 1..={MAX_TOP_M}")),
+        },
+    };
+    Ok((q, top_m))
+}
+
+fn search(req: &Request, ctx: &Ctx) -> Response {
+    let (q, top_m) = match parse_search(req) {
+        Ok(p) => p,
+        Err(msg) => return bad_request(&msg),
+    };
+    let results = ctx.engine.query(&q, top_m);
+
+    let mut body = String::from("{\"count\": ");
+    let _ = write!(body, "{}", results.len());
+    body.push_str(", \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push('{');
+        json::key(&mut body, "entity");
+        let _ = write!(body, "{}", r.entity.0);
+        body.push_str(", ");
+        json::key(&mut body, "name");
+        json::string(&mut body, &ctx.engine.graph().entity(r.entity).display_name());
+        body.push_str(", ");
+        json::key(&mut body, "score_percent");
+        json::f64(&mut body, r.score_percent);
+        body.push_str(", ");
+        json::key(&mut body, "first_name_sim");
+        json::f64(&mut body, r.first_name_sim);
+        body.push_str(", ");
+        json::key(&mut body, "surname_sim");
+        json::f64(&mut body, r.surname_sim);
+        body.push_str(", ");
+        json::key(&mut body, "year_score");
+        json::opt_f64(&mut body, r.year_score);
+        body.push_str(", ");
+        json::key(&mut body, "gender_score");
+        json::opt_f64(&mut body, r.gender_score);
+        body.push_str(", ");
+        json::key(&mut body, "location_score");
+        json::opt_f64(&mut body, r.location_score);
+        body.push('}');
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+fn pedigree(rest: &str, req: &Request, ctx: &Ctx) -> Response {
+    let Ok(id) = rest.parse::<u32>() else {
+        return bad_request("pedigree id must be an unsigned integer");
+    };
+    let entity = EntityId(id);
+    if entity.index() >= ctx.engine.graph().len() {
+        return not_found("no such entity");
+    }
+    let generations = match req.param("g") {
+        None => DEFAULT_GENERATIONS,
+        Some(g) => match g.parse::<usize>() {
+            Ok(g) if (1..=MAX_GENERATIONS).contains(&g) => g,
+            _ => return bad_request(&format!("g must be an integer in 1..={MAX_GENERATIONS}")),
+        },
+    };
+    let ped = extract(ctx.engine.graph(), entity, generations);
+
+    let mut body = String::from("{\"root\": ");
+    let _ = write!(body, "{}", ped.root.0);
+    body.push_str(", \"members\": [");
+    for (i, m) in ped.members.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        let e = ctx.engine.graph().entity(m.entity);
+        body.push('{');
+        json::key(&mut body, "entity");
+        let _ = write!(body, "{}", m.entity.0);
+        body.push_str(", ");
+        json::key(&mut body, "name");
+        json::string(&mut body, &e.display_name());
+        body.push_str(", ");
+        json::key(&mut body, "gender");
+        json::string(&mut body, e.gender.code());
+        body.push_str(", ");
+        json::key(&mut body, "birth_year");
+        json::opt_i32(&mut body, e.birth_year);
+        body.push_str(", ");
+        json::key(&mut body, "death_year");
+        json::opt_i32(&mut body, e.death_year);
+        body.push_str(", ");
+        json::key(&mut body, "generation");
+        let _ = write!(body, "{}", m.generation);
+        body.push_str(", ");
+        json::key(&mut body, "hops");
+        let _ = write!(body, "{}", m.hops);
+        body.push('}');
+    }
+    body.push_str("], \"edges\": [");
+    for (i, (a, b, rel)) in ped.edges.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        let _ = write!(body, "[{}, {}, ", a.0, b.0);
+        json::string(&mut body, rel.code());
+        body.push(']');
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}

@@ -1,0 +1,230 @@
+//! End-to-end tests of the HTTP service on an ephemeral port: every
+//! endpoint, malformed-input handling, queue-full backpressure, and clean
+//! shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use snaps_core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_obs::{Obs, ObsConfig};
+use snaps_query::SearchEngine;
+use snaps_serve::{Server, ServerConfig};
+
+fn test_engine(obs: &Obs) -> Arc<SearchEngine> {
+    let data = generate(&DatasetProfile::ios().scaled(0.02), 42);
+    let res = resolve(&data.dataset, &SnapsConfig::default());
+    Arc::new(SearchEngine::build_obs(PedigreeGraph::build(&data.dataset, &res), obs))
+}
+
+fn start_server(obs: &Obs, config: &ServerConfig) -> (Server, Arc<SearchEngine>) {
+    let engine = test_engine(obs);
+    let server =
+        Server::start("127.0.0.1:0", Arc::clone(&engine), obs, config).expect("bind ephemeral");
+    (server, engine)
+}
+
+/// Send one GET and return `(status, body)`.
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(s, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    read_response(&mut s)
+}
+
+fn read_response(s: &mut TcpStream) -> (u16, String) {
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn all_endpoints_respond() {
+    let obs = Obs::new(&ObsConfig::full());
+    let (server, engine) = start_server(&obs, &ServerConfig::default());
+    let addr = server.addr();
+
+    // /healthz reports the engine size.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""), "healthz body: {body}");
+    assert!(body.contains(&format!("\"entities\": {}", engine.graph().len())));
+
+    // /search with a name taken from the dataset itself.
+    let e = &engine.graph().entities[0];
+    let (first, last) = (e.first_names[0].clone(), e.surnames[0].clone());
+    let (status, body) = get(addr, &format!("/search?first={first}&last={last}&m=5"));
+    assert_eq!(status, 200, "search body: {body}");
+    assert!(body.starts_with("{\"count\": "), "search body: {body}");
+    assert!(body.contains("\"score_percent\""));
+
+    // /search exercising every optional parameter.
+    let (status, body) = get(
+        addr,
+        &format!(
+            "/search?first={first}&last={last}&kind=death&gender=f&year_from=1800&year_to=1920&location=portree&m=3"
+        ),
+    );
+    assert_eq!(status, 200, "full search body: {body}");
+
+    // /pedigree for entity 0.
+    let (status, body) = get(addr, "/pedigree/0?g=2");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"root\": 0"), "pedigree body: {body}");
+    assert!(body.contains("\"members\""));
+    assert!(body.contains("\"edges\""));
+
+    // /metrics shows query count and latency quantiles (shared obs).
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"query.count\""), "metrics body lacks query.count");
+    assert!(body.contains("\"query.latency\""));
+    assert!(body.contains("\"p95_ns\""));
+    assert!(body.contains("\"serve.requests\""));
+
+    server.shutdown();
+}
+
+#[test]
+fn invalid_inputs_get_400_or_404() {
+    let obs = Obs::new(&ObsConfig::full());
+    let (server, engine) = start_server(&obs, &ServerConfig::default());
+    let addr = server.addr();
+
+    // Malformed HTTP gets 400.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(s, "THIS IS NOT HTTP\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut s);
+    assert_eq!(status, 400);
+
+    // Invalid query parameters get 400 with an explanatory body.
+    for target in [
+        "/search",                                            // missing mandatory names
+        "/search?first=a&last=b&kind=wedding",                // bad kind
+        "/search?first=a&last=b&gender=x",                    // bad gender
+        "/search?first=a&last=b&year_from=1900",              // half a year range
+        "/search?first=a&last=b&year_from=1900&year_to=1890", // inverted
+        "/search?first=a&last=b&m=0",                         // m out of range
+        "/search?first=a&last=b&m=%zz",                       // bad escape
+        "/pedigree/not-a-number",
+        "/pedigree/0?g=99",
+    ] {
+        let (status, body) = get(addr, target);
+        assert_eq!(status, 400, "{target} should be 400, body: {body}");
+        assert!(body.contains("\"error\""), "{target} body lacks error: {body}");
+    }
+
+    // Unknown paths and out-of-range entities get 404.
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+    let huge = engine.graph().len();
+    let (status, _) = get(addr, &format!("/pedigree/{huge}"));
+    assert_eq!(status, 404);
+
+    // Non-GET gets 405.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(s, "POST /search HTTP/1.1\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut s);
+    assert_eq!(status, 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_answers_503_then_recovers() {
+    let obs = Obs::new(&ObsConfig::full());
+    // One worker, one queue slot, short read timeout so the held
+    // connections release quickly after the assertion.
+    let config =
+        ServerConfig { workers: 1, queue_capacity: 1, read_timeout: Duration::from_millis(500) };
+    let (server, _engine) = start_server(&obs, &config);
+    let addr = server.addr();
+
+    // Occupy the single worker and the single queue slot with connections
+    // that never send a request.
+    let hold_worker = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+    let hold_queue = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The next connection finds the queue full: explicit 503, immediately,
+    // from the accept thread.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let (status, body) = read_response(&mut s);
+    assert_eq!(status, 503, "expected backpressure rejection, body: {body}");
+    assert!(body.contains("overloaded"));
+
+    // Release the held connections; the worker times them out and the
+    // server returns to normal service.
+    drop(hold_worker);
+    drop(hold_queue);
+    std::thread::sleep(Duration::from_millis(200));
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200, "server must recover after backpressure");
+
+    let report = obs.report().expect("enabled");
+    assert!(report.counter("serve.http_503").unwrap_or(0) >= 1, "503 counter recorded");
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_final() {
+    let obs = Obs::new(&ObsConfig::full());
+    let (server, _engine) = start_server(&obs, &ServerConfig::default());
+    let addr = server.addr();
+    assert_eq!(get(addr, "/healthz").0, 200);
+
+    // shutdown() joins the accept thread and all workers; returning at all
+    // proves no thread is wedged.
+    server.shutdown();
+
+    // The port no longer accepts (or accepts nothing that answers).
+    match TcpStream::connect(addr) {
+        Err(_) => {} // listener closed — expected
+        Ok(mut s) => {
+            // Rare race: kernel backlog; the connection must go nowhere.
+            s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+            let _ = write!(s, "GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = Vec::new();
+            let n = s.read_to_end(&mut buf).unwrap_or(0);
+            assert_eq!(n, 0, "no worker should answer after shutdown");
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_share_one_engine() {
+    let obs = Obs::new(&ObsConfig::full());
+    let (server, engine) = start_server(&obs, &ServerConfig::default());
+    let addr = server.addr();
+
+    let e = &engine.graph().entities[0];
+    let target = format!("/search?first={}&last={}&m=5", e.first_names[0], e.surnames[0]);
+    let expected = get(addr, &target);
+    assert_eq!(expected.0, 200);
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let target = target.clone();
+            std::thread::spawn(move || get(addr, &target))
+        })
+        .collect();
+    for h in handles {
+        let got = h.join().expect("client thread");
+        assert_eq!(got, expected, "all clients see identical results");
+    }
+
+    server.shutdown();
+}

@@ -24,10 +24,7 @@ impl GeoPoint {
     #[must_use]
     pub fn new(lat: f64, lon: f64) -> Self {
         assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
-        assert!(
-            (-180.0..=180.0).contains(&lon),
-            "longitude out of range: {lon}"
-        );
+        assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
         Self { lat, lon }
     }
 }
@@ -118,8 +115,6 @@ mod tests {
         let base = GeoPoint::new(57.0, -6.0);
         let near = GeoPoint::new(57.05, -6.0);
         let far = GeoPoint::new(57.2, -6.0);
-        assert!(
-            distance_similarity(base, near, 25.0) > distance_similarity(base, far, 25.0)
-        );
+        assert!(distance_similarity(base, near, 25.0) > distance_similarity(base, far, 25.0));
     }
 }

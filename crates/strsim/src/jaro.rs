@@ -131,12 +131,8 @@ pub fn jaro_winkler(a: &str, b: &str) -> Similarity {
 #[must_use]
 pub fn jaro_winkler_chars(a: &[char], b: &[char]) -> Similarity {
     let j = jaro_chars(a, b);
-    let prefix = a
-        .iter()
-        .zip(b.iter())
-        .take(WINKLER_MAX_PREFIX)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix =
+        a.iter().zip(b.iter()).take(WINKLER_MAX_PREFIX).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * WINKLER_PREFIX_SCALE * (1.0 - j)
 }
 

@@ -26,11 +26,9 @@ pub fn normalize_name(s: &str) -> String {
         if c.is_alphanumeric() || c == '-' || c == '\'' {
             out.push(c);
             last_space = false;
-        } else if c.is_whitespace() || c == '.' || c == ',' {
-            if !last_space {
-                out.push(' ');
-                last_space = true;
-            }
+        } else if (c.is_whitespace() || c == '.' || c == ',') && !last_space {
+            out.push(' ');
+            last_space = true;
         }
         // any other punctuation is dropped entirely
     }

@@ -142,10 +142,7 @@ mod tests {
     #[test]
     fn unknown_names_fall_back_to_jw() {
         use crate::jaro_winkler;
-        assert_eq!(
-            first_name_similarity("zebedee", "zachary"),
-            jaro_winkler("zebedee", "zachary")
-        );
+        assert_eq!(first_name_similarity("zebedee", "zachary"), jaro_winkler("zebedee", "zachary"));
     }
 
     #[test]
@@ -170,9 +167,6 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(
-            first_name_similarity("jock", "john"),
-            first_name_similarity("john", "jock")
-        );
+        assert_eq!(first_name_similarity("jock", "john"), first_name_similarity("john", "jock"));
     }
 }

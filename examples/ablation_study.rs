@@ -12,11 +12,7 @@ use snaps::eval::ablation::run_ablation;
 
 fn main() {
     let data = generate(&DatasetProfile::ios().scaled(0.15), 42);
-    println!(
-        "Ablation study on {} ({} records)\n",
-        data.dataset.name,
-        data.dataset.len()
-    );
+    println!("Ablation study on {} ({} records)\n", data.dataset.name, data.dataset.len());
 
     let rows = run_ablation(&data, &SnapsConfig::default());
     println!(

@@ -22,11 +22,9 @@ fn main() {
     let (first, surname, kind) = match args.as_slice() {
         [] => ("douglas".to_string(), "macdonald".to_string(), SearchKind::Birth),
         [f, s] => (f.clone(), s.clone(), SearchKind::Birth),
-        [f, s, k] => (
-            f.clone(),
-            s.clone(),
-            if k == "death" { SearchKind::Death } else { SearchKind::Birth },
-        ),
+        [f, s, k] => {
+            (f.clone(), s.clone(), if k == "death" { SearchKind::Death } else { SearchKind::Birth })
+        }
         _ => {
             eprintln!("usage: pedigree_search [first surname [birth|death]]");
             std::process::exit(2);
@@ -48,7 +46,7 @@ fn main() {
     );
     let res = resolve(&anon, &SnapsConfig::default());
     let graph = PedigreeGraph::build(&anon, &res);
-    let mut engine = SearchEngine::build(graph);
+    let engine = SearchEngine::build(graph);
 
     // Online phase: query → ranked results (Fig. 6).
     let query = QueryRecord::new(&first, &surname, kind);
@@ -77,7 +75,10 @@ fn main() {
         return;
     }
 
-    println!("\n{:<4} {:<16} {:<16} {:<3} {:<6} {:<14} {:>6}", "#", "Forename", "Surname", "G", "Year", "Parish", "Score");
+    println!(
+        "\n{:<4} {:<16} {:<16} {:<3} {:<6} {:<14} {:>6}",
+        "#", "Forename", "Surname", "G", "Year", "Parish", "Score"
+    );
     for (i, m) in results.iter().enumerate() {
         let e = engine.graph().entity(m.entity);
         let year = match kind {

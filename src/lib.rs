@@ -13,4 +13,5 @@ pub use snaps_model as model;
 pub use snaps_obs as obs;
 pub use snaps_pedigree as pedigree;
 pub use snaps_query as query;
+pub use snaps_serve as serve;
 pub use snaps_strsim as strsim;

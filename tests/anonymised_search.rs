@@ -27,7 +27,7 @@ fn anonymised_dataset_supports_the_same_service() {
     let (first, surname) = (target.first_names[0].clone(), target.surnames[0].clone());
     let id = target.id;
 
-    let mut engine = SearchEngine::build(graph);
+    let engine = SearchEngine::build(graph);
     let results = engine.query(&QueryRecord::new(&first, &surname, SearchKind::Birth), 10);
     assert!(
         results.iter().any(|m| m.entity == id),
@@ -71,10 +71,7 @@ fn temporal_distances_survive_anonymisation() {
     for (a, b) in ds.records.iter().zip(&anon.records).take(500) {
         for (c, d) in ds.records.iter().zip(&anon.records).take(500) {
             // Gap between any two events is invariant.
-            assert_eq!(
-                b.event_year - d.event_year,
-                a.event_year - c.event_year
-            );
+            assert_eq!(b.event_year - d.event_year, a.event_year - c.event_year);
         }
     }
 }
@@ -93,10 +90,6 @@ fn cause_of_death_k_anonymity_holds_after_full_pipeline() {
         }
     }
     for (cause, n) in counts {
-        assert!(
-            n >= cfg.k || cause == "not known",
-            "cause '{cause}' occurs {n} < k = {}",
-            cfg.k
-        );
+        assert!(n >= cfg.k || cause == "not known", "cause '{cause}' occurs {n} < k = {}", cfg.k);
     }
 }

@@ -3,7 +3,7 @@
 
 use snaps::core::{resolve, PedigreeGraph, SnapsConfig};
 use snaps::datagen::{generate, DatasetProfile};
-use snaps::model::{RoleCategory};
+use snaps::model::RoleCategory;
 use snaps::pedigree::{extract, render_dot, render_text, render_tree, DEFAULT_GENERATIONS};
 use snaps::query::{QueryRecord, SearchEngine, SearchKind};
 
@@ -51,7 +51,7 @@ fn full_pipeline_quality_and_search() {
     let surname = target.surnames[0].clone();
     let target_id = target.id;
 
-    let mut engine = SearchEngine::build(graph);
+    let engine = SearchEngine::build(graph);
     let q = QueryRecord::new(&first, &surname, SearchKind::Birth);
     let results = engine.query(&q, 10);
     assert!(!results.is_empty(), "query for an existing entity returns results");
@@ -114,10 +114,7 @@ fn snaps_is_most_precise_and_competitive_on_f_star() {
         f_star(&rel_pairs, &truth),
     );
     let best = af.max(df).max(rf);
-    assert!(
-        sf + 0.05 >= best,
-        "SNAPS F* {sf:.3} not competitive with best baseline {best:.3}"
-    );
+    assert!(sf + 0.05 >= best, "SNAPS F* {sf:.3} not competitive with best baseline {best:.3}");
 }
 
 #[test]
@@ -127,12 +124,7 @@ fn whole_pipeline_is_deterministic() {
         let data = generate(&profile, 7);
         let res = resolve(&data.dataset, &SnapsConfig::default());
         let graph = PedigreeGraph::build(&data.dataset, &res);
-        (
-            data.dataset.len(),
-            res.links.clone(),
-            graph.len(),
-            graph.edges.len(),
-        )
+        (data.dataset.len(), res.links.clone(), graph.len(), graph.edges.len())
     };
     assert_eq!(run(), run());
 }

@@ -46,7 +46,7 @@ fn density_formula() {
 /// parents' links.
 #[test]
 fn figure_3_and_4_scenario() {
-    use snaps::core::{resolve};
+    use snaps::core::resolve;
     use snaps::model::{CertificateKind, Dataset, Gender, Role};
 
     let mut ds = Dataset::new("fig34");
@@ -64,22 +64,37 @@ fn figure_3_and_4_scenario() {
         c
     };
     // Birth of flora (r0-r2) and her death (r3-r5): true match.
-    cert(&mut ds, CertificateKind::Birth, 1880, &[
-        (Role::BirthBaby, "flora", None),
-        (Role::BirthMother, "oighrig", None),
-        (Role::BirthFather, "torquil", None),
-    ]);
-    cert(&mut ds, CertificateKind::Death, 1885, &[
-        (Role::DeathDeceased, "flora", Some(5)),
-        (Role::DeathMother, "oighrig", None),
-        (Role::DeathFather, "torquil", None),
-    ]);
+    cert(
+        &mut ds,
+        CertificateKind::Birth,
+        1880,
+        &[
+            (Role::BirthBaby, "flora", None),
+            (Role::BirthMother, "oighrig", None),
+            (Role::BirthFather, "torquil", None),
+        ],
+    );
+    cert(
+        &mut ds,
+        CertificateKind::Death,
+        1885,
+        &[
+            (Role::DeathDeceased, "flora", Some(5)),
+            (Role::DeathMother, "oighrig", None),
+            (Role::DeathFather, "torquil", None),
+        ],
+    );
     // Death of her sibling hector (r6-r8): the partial match group.
-    cert(&mut ds, CertificateKind::Death, 1890, &[
-        (Role::DeathDeceased, "hector", Some(7)),
-        (Role::DeathMother, "oighrig", None),
-        (Role::DeathFather, "torquil", None),
-    ]);
+    cert(
+        &mut ds,
+        CertificateKind::Death,
+        1890,
+        &[
+            (Role::DeathDeceased, "hector", Some(7)),
+            (Role::DeathMother, "oighrig", None),
+            (Role::DeathFather, "torquil", None),
+        ],
+    );
 
     let res = resolve(&ds, &SnapsConfig::default());
     let idx = res.record_cluster_index(ds.len());
@@ -152,8 +167,7 @@ fn prop_a_changed_surname_scenario() {
 
     // Eq. 2's normalisation distorts on an 11-record fixture, so the merge
     // threshold is scaled to the fixture (see DESIGN.md on small-N s_d).
-    let mut cfg = SnapsConfig::default();
-    cfg.t_merge = 0.70;
+    let cfg = SnapsConfig { t_merge: 0.70, ..SnapsConfig::default() };
     let res = resolve(&ds, &cfg);
     let graph = PedigreeGraph::build(&ds, &res);
     // Her Bm records and her death record co-refer: one entity carrying

@@ -47,7 +47,7 @@ fn sample_supports_resolution_and_search() {
         .expect("multi-record entity in sample");
     let (first, surname, id) =
         (target.first_names[0].clone(), target.surnames[0].clone(), target.id);
-    let mut engine = SearchEngine::build(graph);
+    let engine = SearchEngine::build(graph);
     let hits = engine.query(&QueryRecord::new(&first, &surname, SearchKind::Birth), 10);
     assert!(hits.iter().any(|m| m.entity == id));
 }

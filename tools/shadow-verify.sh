@@ -34,6 +34,7 @@ fi
 # Point the workspace's external dependencies at the offline stubs.
 sed -i \
   -e 's#^rand = .*#rand = { path = "tools/offline-stubs/rand", features = ["small_rng"] }#' \
+  -e 's#^parking_lot = .*#parking_lot = { path = "tools/offline-stubs/parking_lot" }#' \
   -e 's#^proptest = .*#proptest = { path = "tools/offline-stubs/proptest" }#' \
   -e 's#^criterion = .*#criterion = { path = "tools/offline-stubs/criterion" }#' \
   -e 's#^serde = .*#serde = { path = "tools/offline-stubs/serde", features = ["derive"] }#' \
