@@ -5,7 +5,7 @@
 //! banding maps records into buckets such that similar records collide in at
 //! least one band with high probability.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use snaps_model::{Dataset, PersonRecord, RecordId};
 use snaps_strsim::qgram::qgrams;
@@ -115,7 +115,7 @@ impl LshBlocker {
     #[must_use]
     pub fn blocks(&self, ds: &Dataset) -> Vec<Vec<RecordId>> {
         let rows = self.cfg.num_hashes / self.cfg.bands;
-        let mut buckets: HashMap<(usize, u64), Vec<RecordId>> = HashMap::new();
+        let mut buckets: BTreeMap<(usize, u64), Vec<RecordId>> = BTreeMap::new();
 
         for r in &ds.records {
             let Some(sig) = self.signature(r) else { continue };

@@ -9,7 +9,7 @@
 //! `B` is the deceased of death certificate `D`, then `(Bm, Dm)`, `(Bf, Df)`
 //! … all live in group `(B, D)`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use snaps_model::{CertificateId, Dataset, RecordId};
 
@@ -67,8 +67,8 @@ impl DependencyGraph {
     pub fn build(ds: &Dataset, pairs: &[(RecordId, RecordId)], cfg: &SnapsConfig) -> Self {
         let mut nodes = Vec::with_capacity(pairs.len());
         let mut groups: Vec<Group> = Vec::new();
-        let mut group_index: HashMap<(CertificateId, CertificateId), GroupId> = HashMap::new();
-        let mut atomics: HashSet<(u8, u64)> = HashSet::new();
+        let mut group_index: BTreeMap<(CertificateId, CertificateId), GroupId> = BTreeMap::new();
+        let mut atomics: BTreeSet<(u8, u64)> = BTreeSet::new();
 
         // Pre-extract every record's value view once.
         let views: Vec<AttrValues> = ds.records.iter().map(AttrValues::from_record).collect();
@@ -127,7 +127,7 @@ impl DependencyGraph {
 /// Atomic nodes are value *pairs*; we key them by a hash of
 /// `(attribute, min(value), max(value))` to keep the set compact.
 fn count_atomics(
-    atomics: &mut HashSet<(u8, u64)>,
+    atomics: &mut BTreeSet<(u8, u64)>,
     ds: &Dataset,
     a: RecordId,
     b: RecordId,

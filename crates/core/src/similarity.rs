@@ -18,7 +18,7 @@
 //! unmergeable; treating dissimilar as missing would merge namesakes with
 //! contradictory surnames.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use snaps_model::{Dataset, PersonRecord};
 
@@ -37,7 +37,7 @@ use crate::config::SnapsConfig;
 /// threshold until relationship evidence lifts them.
 #[derive(Debug, Clone)]
 pub struct NameFreqs {
-    counts: HashMap<(String, String, String), u32>,
+    counts: BTreeMap<(String, String, String), u32>,
     /// Per-record frequency, indexed by record id — precomputed so the hot
     /// merge loop never rebuilds string keys.
     per_record: Vec<u32>,
@@ -59,7 +59,7 @@ impl NameFreqs {
     /// Count every record's name combination.
     #[must_use]
     pub fn build(ds: &Dataset) -> Self {
-        let mut counts: HashMap<(String, String, String), u32> = HashMap::new();
+        let mut counts: BTreeMap<(String, String, String), u32> = BTreeMap::new();
         for r in &ds.records {
             *counts.entry(name_key(r)).or_insert(0) += 1;
         }
@@ -213,7 +213,7 @@ mod tests {
         let mut ds = ds_with(&[("a", "b")]);
         ds.records.clear();
         ds.certificates.clear();
-        let mut freqs = NameFreqs { counts: HashMap::new(), per_record: Vec::new(), total: 100 };
+        let mut freqs = NameFreqs { counts: BTreeMap::new(), per_record: Vec::new(), total: 100 };
         freqs.counts.insert(key("mary", "x"), 45);
         freqs.counts.insert(key("mary", "y"), 12);
         let mut ra = PersonRecord::new(

@@ -1,6 +1,6 @@
 //! The keyword index K: QID value → entity identifiers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use snaps_core::PedigreeGraph;
 use snaps_model::{EntityId, Gender};
@@ -9,9 +9,9 @@ use snaps_model::{EntityId, Gender};
 /// with parallel year/gender accessors for result refinement (paper §6).
 #[derive(Debug, Clone, Default)]
 pub struct KeywordIndex {
-    first_names: HashMap<String, Vec<EntityId>>,
-    surnames: HashMap<String, Vec<EntityId>>,
-    locations: HashMap<String, Vec<EntityId>>,
+    first_names: BTreeMap<String, Vec<EntityId>>,
+    surnames: BTreeMap<String, Vec<EntityId>>,
+    locations: BTreeMap<String, Vec<EntityId>>,
 }
 
 impl KeywordIndex {
@@ -88,17 +88,17 @@ impl KeywordIndex {
         }
     }
 
-    /// Every first-name entry, in unspecified order (serialisation support).
+    /// Every first-name entry, in ascending value order (serialisation support).
     pub fn first_name_entries(&self) -> impl Iterator<Item = (&str, &[EntityId])> {
         self.first_names.iter().map(|(v, e)| (v.as_str(), e.as_slice()))
     }
 
-    /// Every surname entry, in unspecified order (serialisation support).
+    /// Every surname entry, in ascending value order (serialisation support).
     pub fn surname_entries(&self) -> impl Iterator<Item = (&str, &[EntityId])> {
         self.surnames.iter().map(|(v, e)| (v.as_str(), e.as_slice()))
     }
 
-    /// Every location entry, in unspecified order (serialisation support).
+    /// Every location entry, in ascending value order (serialisation support).
     pub fn location_entries(&self) -> impl Iterator<Item = (&str, &[EntityId])> {
         self.locations.iter().map(|(v, e)| (v.as_str(), e.as_slice()))
     }

@@ -9,8 +9,12 @@
 //! oldest entry (FIFO) before inserting. Sharding keeps lock contention low
 //! when many threads query one shared [`SimilarityIndex`].
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+// The cache is a bounded memo whose iteration order is never observed:
+// lookups are by key, eviction order comes from the explicit FIFO queue, and
+// cached results are identical to recomputation. O(1) hashed access matters
+// on this hot path, so HashMap is deliberate.
+use std::collections::hash_map::DefaultHasher; // snaps-lint: allow(hash-iter) -- order never observed; see above
+use std::collections::{HashMap, VecDeque}; // snaps-lint: allow(hash-iter) -- order never observed; see above
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -28,7 +32,7 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 8192;
 /// One shard: its entries plus the insertion order used for FIFO eviction.
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<String, Arc<Matches>>,
+    map: HashMap<String, Arc<Matches>>, // snaps-lint: allow(hash-iter) -- keyed access only, order never observed
     order: VecDeque<String>,
 }
 

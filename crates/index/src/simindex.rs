@@ -9,7 +9,7 @@
 //! index through `&self` and novel query strings cannot grow memory without
 //! limit.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use snaps_obs::Obs;
@@ -35,9 +35,9 @@ pub struct SimilarityIndex {
     /// Indexed values in insertion order.
     values: Vec<String>,
     /// Bigram → indices into `values` (postings lists).
-    postings: HashMap<String, Vec<u32>>,
+    postings: BTreeMap<String, Vec<u32>>,
     /// value → its matches among `values` (immutable after build).
-    matches: HashMap<String, Arc<Matches>>,
+    matches: BTreeMap<String, Arc<Matches>>,
     /// Bounded memo for query values not among `values`.
     cache: SimCache,
 }
@@ -67,8 +67,8 @@ impl SimilarityIndex {
         let mut idx = Self {
             s_t,
             values: Vec::new(),
-            postings: HashMap::new(),
-            matches: HashMap::new(),
+            postings: BTreeMap::new(),
+            matches: BTreeMap::new(),
             cache: SimCache::new(DEFAULT_CACHE_CAPACITY),
         };
         for v in values {
@@ -97,8 +97,8 @@ impl SimilarityIndex {
         let mut idx = Self {
             s_t,
             values: Vec::new(),
-            postings: HashMap::new(),
-            matches: HashMap::new(),
+            postings: BTreeMap::new(),
+            matches: BTreeMap::new(),
             cache: SimCache::new(DEFAULT_CACHE_CAPACITY),
         };
         for v in &values {
@@ -151,8 +151,8 @@ impl SimilarityIndex {
         &self.values
     }
 
-    /// Every indexed value with its pre-computed matches, in unspecified
-    /// order (serialisation support — sort before writing for stable bytes).
+    /// Every indexed value with its pre-computed matches, in ascending
+    /// value order (serialisation support).
     pub fn precomputed(&self) -> impl Iterator<Item = (&str, &Matches)> {
         self.matches.iter().map(|(v, m)| (v.as_str(), m.as_ref()))
     }

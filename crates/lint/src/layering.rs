@@ -1,0 +1,222 @@
+//! Crate-layering rule: the workspace dependency graph must follow a fixed
+//! DAG so low-level crates can never grow upward dependencies (e.g. `core`
+//! depending on `serve`).
+//!
+//! Two independent checks back the rule:
+//!
+//! 1. **Manifests** — each `crates/<name>/Cargo.toml` `[dependencies]`
+//!    section may only name `snaps-*` crates from that crate's allowed list.
+//! 2. **Sources** — any `snaps_*` identifier in non-test code (a
+//!    `use snaps_query::…` or fully-qualified path) must also be in the
+//!    allowed list, so a manifest edit cannot smuggle a layer violation in
+//!    through a re-export.
+
+use crate::rules::Finding;
+
+/// The allowed dependency DAG: crate short name → `snaps-*` crates it may
+/// depend on. Crates absent from a list are forbidden dependencies.
+pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
+    ("obs", &[]),
+    ("strsim", &[]),
+    ("ml", &[]),
+    ("graph", &[]),
+    ("lint", &[]),
+    ("model", &["strsim"]),
+    ("datagen", &["model", "strsim"]),
+    ("blocking", &["model", "strsim"]),
+    ("anonymise", &["model", "strsim"]),
+    ("core", &["obs", "model", "strsim", "blocking", "graph"]),
+    ("index", &["obs", "model", "strsim", "core"]),
+    ("pedigree", &["obs", "model", "core"]),
+    ("query", &["obs", "model", "strsim", "core", "index"]),
+    ("baselines", &["model", "strsim", "blocking", "core", "graph", "ml"]),
+    (
+        "eval",
+        &[
+            "obs",
+            "model",
+            "strsim",
+            "datagen",
+            "blocking",
+            "core",
+            "index",
+            "query",
+            "pedigree",
+            "baselines",
+            "ml",
+        ],
+    ),
+    ("serve", &["obs", "model", "strsim", "core", "index", "query", "pedigree", "datagen"]),
+    (
+        "bench",
+        &[
+            "obs",
+            "model",
+            "strsim",
+            "datagen",
+            "blocking",
+            "anonymise",
+            "core",
+            "index",
+            "query",
+            "pedigree",
+            "baselines",
+            "eval",
+            "graph",
+            "ml",
+            "serve",
+        ],
+    ),
+    // The facade re-exports the whole pipeline; everything except the lint
+    // tool itself is fair game.
+    (
+        "snaps",
+        &[
+            "obs",
+            "model",
+            "strsim",
+            "datagen",
+            "blocking",
+            "anonymise",
+            "core",
+            "index",
+            "query",
+            "pedigree",
+            "baselines",
+            "eval",
+            "graph",
+            "ml",
+            "serve",
+            "bench",
+        ],
+    ),
+];
+
+/// Look up the allowed dependency list for a crate. Unknown crates get an
+/// empty list, so a brand-new crate must be registered here before it may
+/// depend on anything — a deliberate speed bump.
+#[must_use]
+pub fn allowed_for(crate_name: &str) -> &'static [&'static str] {
+    ALLOWED_DEPS.iter().find(|(n, _)| *n == crate_name).map_or(&[], |(_, deps)| deps)
+}
+
+/// Is `crate_name` registered in the DAG at all?
+#[must_use]
+pub fn is_registered(crate_name: &str) -> bool {
+    ALLOWED_DEPS.iter().any(|(n, _)| *n == crate_name)
+}
+
+/// Check a `Cargo.toml` body for forbidden `snaps-*` dependencies.
+///
+/// The parse is deliberately minimal: section headers are `[...]` lines and
+/// a dependency line starts with the dependency name (`snaps-core.workspace
+/// = true` or `snaps-core = { … }`). That covers every manifest in this
+/// workspace; the source-level check catches anything fancier.
+#[must_use]
+pub fn check_manifest(crate_name: &str, manifest_path: &str, toml: &str) -> Vec<Finding> {
+    let allowed = allowed_for(crate_name);
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (idx, raw) in toml.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // Runtime deps only: dev-dependencies never ship, and test code
+            // is outside the determinism/layering perimeter anyway.
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("snaps-") else { continue };
+        let dep: String =
+            rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if !allowed.contains(&dep.as_str()) {
+            out.push(Finding {
+                rule: "layering",
+                file: manifest_path.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "crate '{crate_name}' must not depend on 'snaps-{dep}' (allowed: {allowed:?})"
+                ),
+                waived: false,
+            });
+        }
+    }
+    out
+}
+
+/// Check one `snaps_*` identifier seen in `crate_name`'s non-test source.
+/// Returns the violated dependency short name, if any.
+#[must_use]
+pub fn check_use_ident(crate_name: &str, ident: &str) -> Option<String> {
+    let dep = ident.strip_prefix("snaps_")?;
+    // A crate's own bin targets import its lib by name — a self-reference,
+    // not a dependency edge.
+    if dep.is_empty() || dep == crate_name || allowed_for(crate_name).contains(&dep) {
+        return None;
+    }
+    Some(dep.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_within_dag_is_clean() {
+        let toml = "[package]\nname = \"snaps-index\"\n\n[dependencies]\nsnaps-core.workspace = true\nsnaps-model.workspace = true\n";
+        assert!(check_manifest("index", "crates/index/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn upward_dependency_is_flagged() {
+        let toml = "[dependencies]\nsnaps-serve.workspace = true\n";
+        let f = check_manifest("core", "crates/core/Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "layering");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn dev_dependencies_are_ignored() {
+        let toml = "[dev-dependencies]\nsnaps-serve.workspace = true\n";
+        assert!(check_manifest("core", "crates/core/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn use_ident_checked_against_dag() {
+        assert_eq!(check_use_ident("core", "snaps_serve"), Some("serve".to_string()));
+        assert_eq!(check_use_ident("core", "snaps_model"), None);
+        assert_eq!(check_use_ident("core", "not_snaps"), None);
+        // Self-reference from a bin target is not a dependency edge.
+        assert_eq!(check_use_ident("serve", "snaps_serve"), None);
+    }
+
+    #[test]
+    fn unknown_crate_gets_empty_allowance() {
+        assert!(allowed_for("brand-new").is_empty());
+        assert!(!is_registered("brand-new"));
+        assert!(is_registered("core"));
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_closed() {
+        // Every allowed dep must itself be registered, and reachability from
+        // any crate must never return to itself.
+        for (name, deps) in ALLOWED_DEPS {
+            for d in *deps {
+                assert!(is_registered(d), "{name} allows unregistered dep {d}");
+            }
+            let mut stack: Vec<&str> = deps.to_vec();
+            let mut seen: Vec<&str> = Vec::new();
+            while let Some(d) = stack.pop() {
+                assert_ne!(d, *name, "cycle through {name}");
+                if !seen.contains(&d) {
+                    seen.push(d);
+                    stack.extend_from_slice(allowed_for(d));
+                }
+            }
+        }
+    }
+}

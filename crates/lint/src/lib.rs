@@ -1,0 +1,28 @@
+//! `snaps-lint`: the workspace invariant checker.
+//!
+//! A std-only static-analysis tool that enforces the project's four
+//! machine-checked invariant families over every `.rs` file and Cargo
+//! manifest in the workspace:
+//!
+//! - **determinism** — no randomised iteration order, wall-clock reads, or
+//!   OS entropy in result-affecting crates;
+//! - **panic-freedom** — no `unwrap`/`expect`/panicking macros/unguarded
+//!   indexing on the serve request path and snapshot load path;
+//! - **containment** — threads, subprocesses, and sockets stay at the
+//!   system edge; `unsafe` nowhere;
+//! - **layering** — the crate dependency graph follows a fixed DAG.
+//!
+//! Matching runs over a real token scan ([`scanner`]) so rule keywords in
+//! comments or string literals never fire, and `#[cfg(test)]` regions are
+//! stripped first. Violations are waived only by an inline
+//! `// snaps-lint: allow(<rule>) -- <reason>` annotation, and the total
+//! annotation count is budgeted workspace-wide.
+
+pub mod layering;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod workspace;
+
+pub use report::Report;
+pub use rules::{FileClass, Finding, ALLOW_BUDGET, RULES};

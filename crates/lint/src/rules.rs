@@ -1,0 +1,464 @@
+//! The rule catalogue and the per-file checking engine.
+//!
+//! Every rule has a stable kebab-case name — the name users write in
+//! `// snaps-lint: allow(<rule>) -- <reason>` waivers and the name the JSON
+//! report keys findings by. Rules fire on the significant-token stream from
+//! [`crate::scanner`], so matches inside comments and string literals are
+//! impossible by construction, and test code is stripped before checking.
+
+use crate::scanner::{Annotation, Scan, Spanned, Tok};
+
+/// How a file is classified, which decides the rules that apply to it.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// Short crate name (`core`, `serve`, …; `snaps` for the facade).
+    pub crate_name: String,
+    /// Output of this crate feeds ER results or snapshot bytes: the
+    /// determinism rules apply.
+    pub result_affecting: bool,
+    /// The file is on the serve request path or the snapshot load path:
+    /// the panic-freedom rules apply.
+    pub panic_free: bool,
+    /// Integration tests, benches, examples: only `no-unsafe` applies.
+    pub test_code: bool,
+}
+
+/// One rule violation (possibly waived by an annotation).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable diagnostic.
+    pub message: String,
+    /// Whether an inline allow-annotation waives it.
+    pub waived: bool,
+}
+
+/// A rule's name and rationale, for `--list-rules` and the report.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable kebab-case rule name.
+    pub name: &'static str,
+    /// One-line rationale.
+    pub description: &'static str,
+}
+
+/// The full rule catalogue.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "hash-iter",
+        description: "no HashMap/HashSet in result-affecting crates: their iteration order \
+                      is randomised per process and leaks into ER output and snapshot bytes \
+                      (use BTreeMap/BTreeSet or explicitly sorted iteration)",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        description: "no Instant/SystemTime in result-affecting crates: timing must never \
+                      influence resolution results",
+    },
+    RuleInfo {
+        name: "entropy",
+        description: "no RNG-from-entropy (thread_rng/from_entropy/OsRng/getrandom) in \
+                      result-affecting crates: all randomness must be seeded",
+    },
+    RuleInfo {
+        name: "panic-path",
+        description: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! on the serve \
+                      request path or the snapshot load path: map errors to typed responses",
+    },
+    RuleInfo {
+        name: "index-guard",
+        description: "no unguarded slice/collection indexing on the serve request path or the \
+                      snapshot load path: use get()/get_mut() and handle the None",
+    },
+    RuleInfo {
+        name: "thread-containment",
+        description: "std::thread only in serve/bench/obs: concurrency stays at the system \
+                      edge, resolution code is single-threaded and deterministic",
+    },
+    RuleInfo {
+        name: "process-net",
+        description: "std::process and std::net only in serve/bench: library crates never \
+                      touch sockets or subprocesses",
+    },
+    RuleInfo {
+        name: "no-unsafe",
+        description: "unsafe nowhere in the workspace (backs the workspace-level \
+                      `unsafe_code = deny`)",
+    },
+    RuleInfo {
+        name: "layering",
+        description: "crate dependencies must follow the allowed DAG (e.g. core must never \
+                      depend on serve); checked from Cargo manifests and use-statements",
+    },
+    RuleInfo {
+        name: "annotation",
+        description: "allow-annotations must name known rules and carry a `-- <reason>`; \
+                      malformed waivers are findings themselves (never waivable)",
+    },
+    RuleInfo {
+        name: "allow-budget",
+        description: "the workspace-wide count of allow-annotations must stay within budget; \
+                      waivers are exceptions, not a lifestyle (never waivable)",
+    },
+];
+
+/// Maximum allow-annotations tolerated workspace-wide.
+pub const ALLOW_BUDGET: usize = 40;
+
+/// Crates whose output feeds ER results or snapshot bytes.
+pub const RESULT_AFFECTING: &[&str] =
+    &["core", "query", "pedigree", "index", "graph", "model", "strsim", "blocking"];
+
+/// Crates allowed to use `std::thread`.
+pub const THREAD_ALLOWED: &[&str] = &["serve", "bench", "obs"];
+
+/// Crates allowed to use `std::process` / `std::net`.
+pub const PROCESS_NET_ALLOWED: &[&str] = &["serve", "bench"];
+
+/// Files (crate-relative, within `serve`) that must be panic-free: the
+/// request path and the snapshot load path.
+pub const PANIC_FREE_SERVE_FILES: &[&str] = &[
+    "src/server.rs",
+    "src/http.rs",
+    "src/json.rs",
+    "src/snapshot.rs",
+    "src/wire.rs",
+    "src/lib.rs",
+];
+
+/// Is `name` a known rule name (for validating annotations)?
+#[must_use]
+pub fn is_known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// Rules that can never be waived.
+#[must_use]
+pub fn is_waivable(name: &str) -> bool {
+    !matches!(name, "annotation" | "allow-budget")
+}
+
+fn ident_at(tokens: &[Spanned], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Spanned], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Is `tokens[i]` followed by `::`?
+fn followed_by_path_sep(tokens: &[Spanned], i: usize) -> bool {
+    punct_at(tokens, i + 1) == Some(':') && punct_at(tokens, i + 2) == Some(':')
+}
+
+/// Run every token-level rule over one file's stripped token stream.
+#[must_use]
+pub fn check_tokens(class: &FileClass, file: &str, tokens: &[Spanned]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: usize, message: String| {
+        out.push(Finding { rule, file: file.to_string(), line, message, waived: false });
+    };
+
+    let thread_ok = THREAD_ALLOWED.contains(&class.crate_name.as_str());
+    let procnet_ok = PROCESS_NET_ALLOWED.contains(&class.crate_name.as_str());
+
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        let Some(id) = ident_at(tokens, i) else {
+            // Unguarded indexing: `expr[...]` — a `[` directly after an
+            // identifier, `)`, `]`, or `?` is an index or slice expression.
+            // Keywords that legally precede `[` in type or expression
+            // position (`&mut [u8]`, `return [a, b]`, …) are excluded.
+            const NOT_INDEXABLE: &[&str] = &[
+                "mut", "dyn", "impl", "const", "ref", "move", "as", "in", "else", "return",
+                "break", "match", "if", "where",
+            ];
+            if class.panic_free
+                && !class.test_code
+                && punct_at(tokens, i) == Some('[')
+                && i > 0
+                && (ident_at(tokens, i - 1).is_some_and(|id| !NOT_INDEXABLE.contains(&id))
+                    || matches!(punct_at(tokens, i - 1), Some(')') | Some(']') | Some('?')))
+            {
+                push(
+                    "index-guard",
+                    line,
+                    "indexing can panic on out-of-range input; use get()/get_mut()".to_string(),
+                );
+            }
+            continue;
+        };
+
+        // no-unsafe applies everywhere, including tests and benches.
+        if id == "unsafe" {
+            push("no-unsafe", line, "unsafe code is banned workspace-wide".to_string());
+            continue;
+        }
+        if class.test_code {
+            continue;
+        }
+
+        if class.result_affecting {
+            match id {
+                "HashMap" | "HashSet" | "hash_map" | "hash_set" => push(
+                    "hash-iter",
+                    line,
+                    format!("{id} in a result-affecting crate: iteration order is randomised per process"),
+                ),
+                "Instant" | "SystemTime" => push(
+                    "wall-clock",
+                    line,
+                    format!("{id} in a result-affecting crate: results must not depend on time"),
+                ),
+                "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => push(
+                    "entropy",
+                    line,
+                    format!("{id} draws OS entropy: all randomness in result-affecting crates must be seeded"),
+                ),
+                _ => {}
+            }
+        }
+
+        if class.panic_free {
+            match id {
+                "unwrap" | "expect"
+                    if punct_at(tokens, i.wrapping_sub(1)) == Some('.')
+                        && punct_at(tokens, i + 1) == Some('(') =>
+                {
+                    push(
+                        "panic-path",
+                        line,
+                        format!(".{id}() on the panic-free path: return a typed error instead"),
+                    );
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if punct_at(tokens, i + 1) == Some('!') =>
+                {
+                    push(
+                        "panic-path",
+                        line,
+                        format!("{id}! on the panic-free path: return a typed error instead"),
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        // `std::thread` / `std::process` / `std::net` are matched with their
+        // `std` prefix so a local module merely named `process` or `net`
+        // (e.g. `snaps_query::process`) cannot false-positive. The import
+        // site always names the `std::` path, so evasion via re-import would
+        // itself be flagged.
+        if id == "std" && followed_by_path_sep(tokens, i) {
+            match ident_at(tokens, i + 3) {
+                Some("thread") if !thread_ok => push(
+                    "thread-containment",
+                    line,
+                    format!("std::thread use outside {THREAD_ALLOWED:?}"),
+                ),
+                Some(m @ ("process" | "net")) if !procnet_ok => push(
+                    "process-net",
+                    line,
+                    format!("std::{m} use outside {PROCESS_NET_ALLOWED:?}"),
+                ),
+                _ => {}
+            }
+        }
+        if !procnet_ok && matches!(id, "TcpListener" | "TcpStream" | "UdpSocket") {
+            push("process-net", line, format!("{id} use outside {PROCESS_NET_ALLOWED:?}"));
+        }
+    }
+    out
+}
+
+/// Validate annotations and apply them to `findings`: a finding whose line
+/// is covered by an annotation naming its rule becomes `waived`. Malformed
+/// or unknown-rule annotations are findings of the `annotation` rule.
+pub fn apply_annotations(file: &str, annotations: &[Annotation], findings: &mut Vec<Finding>) {
+    for ann in annotations {
+        if let Some(err) = &ann.error {
+            findings.push(Finding {
+                rule: "annotation",
+                file: file.to_string(),
+                line: ann.line,
+                message: format!("malformed allow-annotation: {err}"),
+                waived: false,
+            });
+            continue;
+        }
+        for rule in &ann.rules {
+            if !is_known_rule(rule) {
+                findings.push(Finding {
+                    rule: "annotation",
+                    file: file.to_string(),
+                    line: ann.line,
+                    message: format!("allow-annotation names unknown rule '{rule}'"),
+                    waived: false,
+                });
+            } else if !is_waivable(rule) {
+                findings.push(Finding {
+                    rule: "annotation",
+                    file: file.to_string(),
+                    line: ann.line,
+                    message: format!("rule '{rule}' cannot be waived"),
+                    waived: false,
+                });
+            }
+        }
+    }
+    for f in findings.iter_mut() {
+        if f.waived || !is_waivable(f.rule) {
+            continue;
+        }
+        f.waived = annotations.iter().any(|a| {
+            a.error.is_none() && a.applies_to == f.line && a.rules.iter().any(|r| r == f.rule)
+        });
+    }
+}
+
+/// Scan + strip + check + waive one file's source text.
+#[must_use]
+pub fn check_source(class: &FileClass, file: &str, src: &str) -> (Vec<Finding>, Vec<Annotation>) {
+    let Scan { tokens, annotations } = crate::scanner::scan(src);
+    let tokens = crate::scanner::strip_test_regions(tokens);
+    let mut findings = check_tokens(class, file, &tokens);
+    apply_annotations(file, &annotations, &mut findings);
+    (findings, annotations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_class() -> FileClass {
+        FileClass {
+            crate_name: "core".into(),
+            result_affecting: true,
+            panic_free: false,
+            test_code: false,
+        }
+    }
+
+    fn panic_class() -> FileClass {
+        FileClass {
+            crate_name: "serve".into(),
+            result_affecting: false,
+            panic_free: true,
+            test_code: false,
+        }
+    }
+
+    fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().filter(|f| !f.waived).map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hash_map_fires_in_result_crate_only() {
+        let src = "use std::collections::HashMap;\n";
+        let (f, _) = check_source(&result_class(), "x.rs", src);
+        assert_eq!(rules_fired(&f), vec!["hash-iter"]);
+        let serve = FileClass { crate_name: "serve".into(), ..FileClass::default() };
+        let (f, _) = check_source(&serve, "x.rs", src);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unwrap_fires_only_as_method_call() {
+        let (f, _) = check_source(&panic_class(), "x.rs", "let v = x.unwrap();\n");
+        assert_eq!(rules_fired(&f), vec!["panic-path"]);
+        // An identifier merely named unwrap_all is not a call to unwrap.
+        let (f, _) = check_source(&panic_class(), "x.rs", "let unwrap_all = 3; f(unwrap_all);\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn macros_fire() {
+        let (f, _) =
+            check_source(&panic_class(), "x.rs", "fn f() { panic!(\"boom\"); unreachable!() }\n");
+        assert_eq!(rules_fired(&f), vec!["panic-path", "panic-path"]);
+    }
+
+    #[test]
+    fn indexing_flagged_but_array_types_are_not() {
+        let (f, _) = check_source(&panic_class(), "x.rs", "let x = buf[i];\n");
+        assert_eq!(rules_fired(&f), vec!["index-guard"]);
+        let (f, _) = check_source(&panic_class(), "x.rs", "fn f(b: &[u8]) -> [u8; 4] { g(b) }\n");
+        assert!(f.is_empty(), "{f:?}");
+        let (f, _) = check_source(&panic_class(), "x.rs", "fn f(b: &mut [u8]) {}\n");
+        assert!(f.is_empty(), "slice type after mut: {f:?}");
+        let (f, _) = check_source(&panic_class(), "x.rs", "let v = vec![1, 2];\n");
+        assert!(f.is_empty(), "macro bang before bracket: {f:?}");
+    }
+
+    #[test]
+    fn waiver_on_same_line_works() {
+        let src = "use std::collections::HashMap; // snaps-lint: allow(hash-iter) -- probe only\n";
+        let (f, anns) = check_source(&result_class(), "x.rs", src);
+        assert!(f.iter().all(|x| x.waived), "{f:?}");
+        assert_eq!(anns.len(), 1);
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_rejected() {
+        let src = "// snaps-lint: allow(no-such-rule) -- whatever\nlet x = 1;\n";
+        let (f, _) = check_source(&result_class(), "x.rs", src);
+        assert_eq!(rules_fired(&f), vec!["annotation"]);
+    }
+
+    #[test]
+    fn unwaivable_rules_stay() {
+        let src = "// snaps-lint: allow(allow-budget) -- nice try\nlet x = 1;\n";
+        let (f, _) = check_source(&result_class(), "x.rs", src);
+        assert_eq!(rules_fired(&f), vec!["annotation"]);
+    }
+
+    #[test]
+    fn thread_and_net_containment() {
+        let core = FileClass { crate_name: "core".into(), ..FileClass::default() };
+        let (f, _) = check_source(&core, "x.rs", "fn f() { std::thread::spawn(|| {}); }\n");
+        assert_eq!(rules_fired(&f), vec!["thread-containment"]);
+        let (f, _) = check_source(&core, "x.rs", "use std::net::TcpStream;\n");
+        // `net::` path plus the TcpStream identifier each fire once.
+        assert_eq!(rules_fired(&f), vec!["process-net", "process-net"]);
+        let obs = FileClass { crate_name: "obs".into(), ..FileClass::default() };
+        let (f, _) = check_source(&obs, "x.rs", "fn f() { std::thread::spawn(|| {}); }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unsafe_fires_even_in_test_code() {
+        let class = FileClass { test_code: true, ..FileClass::default() };
+        let (f, _) = check_source(
+            &class,
+            "x.rs",
+            "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n",
+        );
+        assert_eq!(rules_fired(&f), vec!["no-unsafe"]);
+    }
+
+    #[test]
+    fn test_module_is_invisible_to_rules() {
+        let src = "
+fn ok() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { HashMap::new(); x.unwrap(); }
+}
+";
+        let (f, _) = check_source(&result_class(), "x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,543 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The rule engine needs to know whether `HashMap` or `unwrap` appears *as
+//! code* — a mention inside a comment, a string literal, a raw string, or a
+//! char literal must never fire a rule. Rather than pulling in a full parser
+//! (the lint gate is deliberately dependency-free so it builds before
+//! anything else in the offline container), this module lexes just enough
+//! of Rust's surface syntax to separate three streams:
+//!
+//! * significant tokens — identifiers and punctuation, with line numbers;
+//! * `// snaps-lint: allow(...)` waiver annotations, with the line they
+//!   apply to;
+//! * everything else (whitespace, literals, comments) — discarded.
+//!
+//! A post-pass, [`strip_test_regions`], removes the token range of every
+//! `#[cfg(test)]` / `#[test]` / `#[bench]` item so test code (which uses
+//! `unwrap` and friends legitimately) is invisible to the rules.
+
+/// One significant token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (raw identifiers are unescaped: `r#type`
+    /// scans as `type`).
+    Ident(String),
+    /// A single punctuation character; multi-char operators arrive as
+    /// consecutive tokens (`::` is two `Punct(':')`).
+    Punct(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// 1-based line number.
+    pub line: usize,
+    /// The token.
+    pub tok: Tok,
+}
+
+/// A parsed `// snaps-lint: allow(rule, ...) -- reason` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Line whose findings it waives: its own line when code precedes the
+    /// comment, otherwise the next line.
+    pub applies_to: usize,
+    /// Waived rule names, as written.
+    pub rules: Vec<String>,
+    /// The mandatory `-- reason` text (empty when missing; see `error`).
+    pub reason: String,
+    /// Why the annotation itself is malformed, if it is.
+    pub error: Option<String>,
+}
+
+/// Scanner output: token stream plus waiver annotations.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Spanned>,
+    /// Waiver annotations in source order.
+    pub annotations: Vec<Annotation>,
+}
+
+/// Prefix that marks a waiver comment.
+pub const ANNOTATION_PREFIX: &str = "snaps-lint:";
+
+/// Lex `src` into significant tokens and waiver annotations.
+#[must_use]
+pub fn scan(src: &str) -> Scan {
+    let bytes = src.as_bytes();
+    let mut out = Scan::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    // Line of the most recently emitted token, to decide whether a waiver
+    // comment trails code (applies to its own line) or stands alone
+    // (applies to the next line).
+    let mut last_tok_line = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = src.get(start..i).unwrap_or("");
+                if let Some(ann) = parse_annotation(text, line, last_tok_line == line) {
+                    out.annotations.push(ann);
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting-aware.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+            }
+            b'r' | b'b' | b'c' if is_literal_prefix(bytes, i) => {
+                i = skip_prefixed_literal(bytes, i, &mut line);
+            }
+            b'\'' => {
+                i = skip_char_or_lifetime(bytes, i, &mut line);
+            }
+            _ if b.is_ascii_digit() => {
+                i = skip_number(bytes, i);
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric() || bytes[i] >= 0x80)
+                {
+                    i += 1;
+                }
+                let ident = src.get(start..i).unwrap_or("").to_string();
+                out.tokens.push(Spanned { line, tok: Tok::Ident(ident) });
+                last_tok_line = line;
+            }
+            _ => {
+                out.tokens.push(Spanned { line, tok: Tok::Punct(b as char) });
+                last_tok_line = line;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Is the `r`/`b`/`c` at `i` the start of a string/char-literal prefix
+/// (`r"`, `r#"`, `b"`, `b'`, `br"`, `c"`, …) rather than an identifier?
+fn is_literal_prefix(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (`br`, `cr`).
+    while j < bytes.len() && j - i < 2 && matches!(bytes[j], b'r' | b'b' | b'c') {
+        j += 1;
+    }
+    match bytes.get(j) {
+        Some(b'"') | Some(b'\'') => true,
+        Some(b'#') => {
+            // `r#"` raw string vs `r#ident` raw identifier.
+            let mut k = j;
+            while bytes.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            bytes.get(k) == Some(&b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Skip a prefixed literal starting at `i` (`r"…"`, `r#"…"#`, `b'…'`,
+/// `br#"…"#`, …); returns the index after it.
+fn skip_prefixed_literal(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut raw = false;
+    while i < bytes.len() && matches!(bytes[i], b'r' | b'b' | b'c') {
+        raw |= bytes[i] == b'r';
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    match bytes.get(i) {
+        Some(b'"') if raw => {
+            // Raw string: ends at `"` followed by `hashes` `#`s; no escapes.
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\n' {
+                    *line += 1;
+                    i += 1;
+                } else if bytes[i] == b'"'
+                    && bytes[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+                {
+                    return i + 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            i
+        }
+        Some(b'"') => skip_string(bytes, i, line),
+        Some(b'\'') => skip_char_or_lifetime(bytes, i, line),
+        _ => i,
+    }
+}
+
+/// Skip a `"…"` string with escapes; `i` points at the opening quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a char literal or a lifetime; `i` points at the `'`.
+fn skip_char_or_lifetime(bytes: &[u8], i: usize, line: &mut usize) -> usize {
+    // `'\…'` is always a char literal.
+    if bytes.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 2;
+        // Skip the escape head (covers \u{…} too: scan to the closing quote).
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return j + 1;
+    }
+    // `'x'` char literal vs `'label` lifetime: a lifetime's ident run is not
+    // followed by a closing quote.
+    let mut j = i + 1;
+    while j < bytes.len()
+        && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric() || bytes[j] >= 0x80)
+    {
+        j += 1;
+    }
+    if j > i + 1 && bytes.get(j) == Some(&b'\'') {
+        return j + 1; // 'x'
+    }
+    if j == i + 1 {
+        // `'('`-style single punctuation char literal.
+        if bytes.get(i + 1) == Some(&b'\n') {
+            *line += 1;
+        }
+        if bytes.get(i + 2) == Some(&b'\'') {
+            return i + 3;
+        }
+        return i + 1; // lone quote; treat as consumed
+    }
+    j // lifetime: ident consumed, emit nothing
+}
+
+/// Skip a numeric literal (digits, `_`, type suffixes, hex/bin, `1.5` but
+/// not `1..5`).
+fn skip_number(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'_'
+            || b.is_ascii_alphanumeric()
+            || (b == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
+        {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Parse a line comment's text into an [`Annotation`], if it is one.
+fn parse_annotation(text: &str, line: usize, code_before: bool) -> Option<Annotation> {
+    // Doc comments (`///`, `//!`) reach here with a leading `/` or `!`.
+    let text = text.trim_start_matches(['/', '!']).trim();
+    let rest = text.strip_prefix(ANNOTATION_PREFIX)?.trim();
+    let applies_to = if code_before { line } else { line + 1 };
+    let mut ann =
+        Annotation { line, applies_to, rules: Vec::new(), reason: String::new(), error: None };
+
+    let Some(inner) = rest.strip_prefix("allow") else {
+        ann.error = Some(format!("expected `allow(<rule>) -- <reason>`, got `{rest}`"));
+        return Some(ann);
+    };
+    let inner = inner.trim_start();
+    let Some(inner) = inner.strip_prefix('(') else {
+        ann.error = Some("missing `(` after `allow`".to_string());
+        return Some(ann);
+    };
+    let Some(close) = inner.find(')') else {
+        ann.error = Some("missing `)` in allow list".to_string());
+        return Some(ann);
+    };
+    ann.rules = inner[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string)
+        .collect();
+    if ann.rules.is_empty() {
+        ann.error = Some("empty allow list".to_string());
+        return Some(ann);
+    }
+    let tail = inner[close + 1..].trim();
+    match tail.strip_prefix("--") {
+        Some(reason) if !reason.trim().is_empty() => ann.reason = reason.trim().to_string(),
+        _ => {
+            ann.error = Some("missing `-- <reason>` justification".to_string());
+        }
+    }
+    Some(ann)
+}
+
+/// Remove the token ranges of `#[cfg(test)]`, `#[test]`, and `#[bench]`
+/// items, so rules never fire on test code.
+#[must_use]
+pub fn strip_test_regions(tokens: Vec<Spanned>) -> Vec<Spanned> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok == Tok::Punct('#')
+            && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            let (attr_end, is_test) = parse_attr(&tokens, i);
+            if is_test {
+                i = skip_attributed_item(&tokens, attr_end);
+                continue;
+            }
+            // Keep the attribute tokens (e.g. `#[derive(...)]`) — harmless.
+            out.extend_from_slice(&tokens[i..attr_end]);
+            i = attr_end;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Parse the `#[...]` starting at `i`; returns (index after `]`, is-test).
+fn parse_attr(tokens: &[Spanned], i: usize) -> (usize, bool) {
+    let mut j = i + 2; // past `#` `[`
+    let mut depth = 1usize;
+    let mut idents: Vec<&str> = Vec::new();
+    while j < tokens.len() && depth > 0 {
+        match &tokens[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => depth -= 1,
+            Tok::Ident(id) => idents.push(id),
+            Tok::Punct(_) => {}
+        }
+        j += 1;
+    }
+    let is_test = match idents.first().copied() {
+        Some("test" | "bench") => true,
+        Some("cfg") => idents.contains(&"test"),
+        _ => false,
+    };
+    (j, is_test)
+}
+
+/// Skip the item following a test attribute: any further attributes, then
+/// either a `;`-terminated item or a braced item (to its matching `}`).
+fn skip_attributed_item(tokens: &[Spanned], mut i: usize) -> usize {
+    // Further attributes on the same item.
+    while i < tokens.len()
+        && tokens[i].tok == Tok::Punct('#')
+        && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+    {
+        let (end, _) = parse_attr(tokens, i);
+        i = end;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                Tok::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = r###"
+// HashMap in a comment
+/* Instant::now() in a block /* nested */ comment */
+let s = "HashMap::new() unwrap()";
+let r = r#"thread_rng() "quoted" panic!"#;
+let c = '"'; let u = unsafe_free;
+"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"unsafe_free".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ids = idents("fn f<'a>(s: &'a str) { let c = 'x'; let n = '\\n'; let p = '('; }");
+        assert!(ids.contains(&"str".to_string()));
+        // Char literal contents never become identifiers.
+        assert!(!ids.contains(&"x".to_string()), "{ids:?}");
+        let ids2 = idents("let v = vec!['{', '}'];");
+        assert_eq!(ids2, vec!["let", "v", "vec"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_literals() {
+        let src = "let a = \"line\nline\nline\";\nlet target = HashMap;";
+        let s = scan(src);
+        let hm =
+            s.tokens.iter().find(|t| t.tok == Tok::Ident("HashMap".into())).expect("HashMap token");
+        assert_eq!(hm.line, 4);
+    }
+
+    #[test]
+    fn annotation_parsed_with_reason() {
+        let src = "let m = HashMap::new(); // snaps-lint: allow(hash-iter) -- keys only probed\n";
+        let s = scan(src);
+        assert_eq!(s.annotations.len(), 1);
+        let a = &s.annotations[0];
+        assert_eq!(a.rules, vec!["hash-iter"]);
+        assert_eq!(a.reason, "keys only probed");
+        assert_eq!(a.applies_to, 1, "trailing comment covers its own line");
+        assert!(a.error.is_none());
+    }
+
+    #[test]
+    fn standalone_annotation_covers_next_line() {
+        let src =
+            "// snaps-lint: allow(hash-iter, wall-clock) -- why not\nlet m = HashMap::new();\n";
+        let s = scan(src);
+        let a = &s.annotations[0];
+        assert_eq!(a.applies_to, 2);
+        assert_eq!(a.rules, vec!["hash-iter", "wall-clock"]);
+    }
+
+    #[test]
+    fn annotation_without_reason_is_error() {
+        let s = scan("// snaps-lint: allow(hash-iter)\n");
+        assert!(s.annotations[0].error.is_some());
+    }
+
+    #[test]
+    fn annotation_in_string_ignored() {
+        let s = scan("let x = \"// snaps-lint: allow(hash-iter) -- nope\";\n");
+        assert!(s.annotations.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_stripped() {
+        let src = "
+fn real() { keep_me(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { drop_me.unwrap(); }
+}
+fn after() { also_kept(); }
+";
+        let toks = strip_test_regions(scan(src).tokens);
+        let ids: Vec<String> = toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                Tok::Punct(_) => None,
+            })
+            .collect();
+        assert!(ids.contains(&"keep_me".to_string()));
+        assert!(ids.contains(&"also_kept".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"drop_me".to_string()));
+    }
+
+    #[test]
+    fn non_test_attrs_kept() {
+        let src = "#[derive(Debug, Clone)]\nstruct S { x: HashMap }";
+        let toks = strip_test_regions(scan(src).tokens);
+        let ids: Vec<String> = toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                Tok::Punct(_) => None,
+            })
+            .collect();
+        assert!(ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"Debug".to_string()));
+    }
+
+    #[test]
+    fn cfg_all_test_stripped() {
+        let src =
+            "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() { bad.unwrap(); } }\nfn keep() {}";
+        let toks = strip_test_regions(scan(src).tokens);
+        let ids: Vec<String> = toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                Tok::Punct(_) => None,
+            })
+            .collect();
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"keep".to_string()));
+    }
+
+    #[test]
+    fn raw_identifier_unescaped() {
+        let ids = idents("let r#type = 1; let raw = r#\"string\"#;");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(!ids.contains(&"string".to_string()));
+    }
+}

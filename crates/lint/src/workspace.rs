@@ -1,0 +1,264 @@
+//! Workspace walker: finds every `.rs` file and manifest, classifies each
+//! file, and runs the full rule set to produce a [`Report`].
+//!
+//! Traversal is fully deterministic: directory entries are sorted before
+//! descent and all paths are reported repo-relative with `/` separators, so
+//! report bytes are stable across platforms and runs.
+
+use crate::layering;
+use crate::report::Report;
+use crate::rules::{
+    self, FileClass, Finding, ALLOW_BUDGET, PANIC_FREE_SERVE_FILES, RESULT_AFFECTING,
+};
+use crate::scanner::{self, Tok};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names the walker never descends into: lint fixtures contain
+/// violations on purpose, and build output is not source.
+const SKIP_DIRS: &[&str] = &["fixtures", "target"];
+
+/// Walk `dir` recursively, collecting `.rs` files in sorted order.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                collect_rs(&path, out)?;
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Every `.rs` file under the workspace source roots, sorted, repo-relative.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for top in ["src", "tests", "examples", "benches"] {
+        let p = root.join(top);
+        if p.is_dir() {
+            roots.push(p);
+        }
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        crates.sort();
+        for c in crates {
+            for sub in ["src", "tests", "examples", "benches"] {
+                let p = c.join(sub);
+                if p.is_dir() {
+                    roots.push(p);
+                }
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for r in &roots {
+        collect_rs(r, &mut files)?;
+    }
+    let mut rel: Vec<String> = files
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| {
+            p.components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+/// Classify a repo-relative `.rs` path into the rule perimeter it lives in.
+#[must_use]
+pub fn classify(rel: &str) -> FileClass {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, crate_rel): (&str, String) = if parts.first() == Some(&"crates") {
+        (parts.get(1).copied().unwrap_or(""), parts.get(2..).unwrap_or(&[]).join("/"))
+    } else {
+        // Top-level src/tests/examples belong to the `snaps` facade package.
+        ("snaps", rel.to_string())
+    };
+    let top = crate_rel.split('/').next().unwrap_or("");
+    let test_code = matches!(top, "tests" | "benches" | "examples");
+    let result_affecting = !test_code && RESULT_AFFECTING.contains(&crate_name) && top == "src";
+    let panic_free =
+        !test_code && crate_name == "serve" && PANIC_FREE_SERVE_FILES.contains(&crate_rel.as_str());
+    FileClass { crate_name: crate_name.to_string(), result_affecting, panic_free, test_code }
+}
+
+/// Run the full lint over the workspace at `root`.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows: Vec<(String, scanner::Annotation)> = Vec::new();
+
+    for rel in &files {
+        let class = classify(rel);
+        let src = fs::read_to_string(root.join(rel))?;
+        let scanner::Scan { tokens, annotations } = scanner::scan(&src);
+        let tokens = scanner::strip_test_regions(tokens);
+        let mut file_findings = rules::check_tokens(&class, rel, &tokens);
+
+        // Source-level layering: `snaps_*` paths in non-test code must obey
+        // the DAG even if a manifest tries to smuggle the dependency in.
+        if !class.test_code {
+            for t in &tokens {
+                if let Tok::Ident(id) = &t.tok {
+                    if let Some(dep) = layering::check_use_ident(&class.crate_name, id) {
+                        file_findings.push(Finding {
+                            rule: "layering",
+                            file: rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "crate '{}' must not use 'snaps_{dep}' (allowed: {:?})",
+                                class.crate_name,
+                                layering::allowed_for(&class.crate_name)
+                            ),
+                            waived: false,
+                        });
+                    }
+                }
+            }
+        }
+
+        rules::apply_annotations(rel, &annotations, &mut file_findings);
+        findings.extend(file_findings);
+        for a in annotations {
+            if a.error.is_none() {
+                allows.push((rel.clone(), a));
+            }
+        }
+    }
+
+    // Manifest-level layering for every member crate.
+    let mut manifests_checked = 0;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        crates.sort();
+        for c in crates {
+            let manifest = c.join("Cargo.toml");
+            if !manifest.is_file() {
+                continue;
+            }
+            let crate_name = c.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+            let rel = format!("crates/{crate_name}/Cargo.toml");
+            let toml = fs::read_to_string(&manifest)?;
+            findings.extend(layering::check_manifest(&crate_name, &rel, &toml));
+            if !layering::is_registered(&crate_name) {
+                findings.push(Finding {
+                    rule: "layering",
+                    file: rel,
+                    line: 1,
+                    message: format!(
+                        "crate '{crate_name}' is not registered in the layering DAG \
+                         (add it to ALLOWED_DEPS in crates/lint/src/layering.rs)"
+                    ),
+                    waived: false,
+                });
+            }
+            manifests_checked += 1;
+        }
+    }
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        let toml = fs::read_to_string(&root_manifest)?;
+        findings.extend(layering::check_manifest("snaps", "Cargo.toml", &toml));
+        manifests_checked += 1;
+    }
+
+    // Workspace-wide allow budget.
+    if allows.len() > ALLOW_BUDGET {
+        findings.push(Finding {
+            rule: "allow-budget",
+            file: "(workspace)".to_string(),
+            line: 0,
+            message: format!(
+                "{} allow-annotations exceed the budget of {ALLOW_BUDGET}",
+                allows.len()
+            ),
+            waived: false,
+        });
+    }
+
+    let mut report = Report {
+        root: root.to_string_lossy().into_owned(),
+        files_scanned: files.len(),
+        manifests_checked,
+        findings,
+        allows,
+    };
+    report.normalise();
+    Ok(report)
+}
+
+/// Find the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(body) = fs::read_to_string(&manifest) {
+            if body.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_result_affecting_src() {
+        let c = classify("crates/core/src/similarity.rs");
+        assert_eq!(c.crate_name, "core");
+        assert!(c.result_affecting);
+        assert!(!c.panic_free);
+        assert!(!c.test_code);
+    }
+
+    #[test]
+    fn classify_serve_request_path() {
+        let c = classify("crates/serve/src/server.rs");
+        assert!(c.panic_free);
+        assert!(!c.result_affecting);
+        let c = classify("crates/serve/src/bin/snaps_serve.rs");
+        assert!(!c.panic_free, "CLI startup may fail loudly");
+    }
+
+    #[test]
+    fn classify_test_code() {
+        let c = classify("crates/core/tests/pipeline.rs");
+        assert!(c.test_code);
+        assert!(!c.result_affecting);
+        let c = classify("tests/end_to_end.rs");
+        assert_eq!(c.crate_name, "snaps");
+        assert!(c.test_code);
+        let c = classify("examples/quickstart.rs");
+        assert!(c.test_code);
+    }
+
+    #[test]
+    fn classify_facade_src() {
+        let c = classify("src/lib.rs");
+        assert_eq!(c.crate_name, "snaps");
+        assert!(!c.result_affecting);
+        assert!(!c.test_code);
+    }
+}

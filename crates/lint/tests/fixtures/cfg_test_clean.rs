@@ -1,0 +1,22 @@
+// Fixture: a #[cfg(test)] module is stripped before rules run, so the
+// violations inside it are invisible — except no-unsafe, which is checked
+// everywhere (but not present here).
+fn production() -> u32 {
+    41 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn helper() {
+        let t = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u8, t.elapsed());
+        assert!(m.get(&1).unwrap().as_nanos() < u128::MAX);
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: entropy must fire in a result-affecting crate.
+fn roll() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn reseed() -> u64 {
+    let rng = SmallRng::from_entropy();
+    rng.next_u64()
+}

@@ -1,0 +1,10 @@
+// Fixture: hash-iter must fire in a result-affecting crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn build() -> HashMap<String, usize> {
+    let mut m = HashMap::new();
+    m.insert(String::from("a"), 1);
+    let _s: HashSet<u32> = HashSet::new();
+    m
+}

@@ -1,0 +1,4 @@
+// Fixture: index-guard must fire on the serve request path.
+fn first(buf: &[u8], i: usize) -> u8 {
+    buf[i]
+}

@@ -1,0 +1,4 @@
+// Fixture: no-unsafe must fire everywhere, even in test code.
+fn sneaky(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+// Fixture: panic-path must fire on the serve request path.
+fn handle(input: Option<&str>) -> String {
+    let v = input.unwrap();
+    let n: usize = v.parse().expect("bad number");
+    if n > 10 {
+        panic!("too big");
+    }
+    unreachable!()
+}

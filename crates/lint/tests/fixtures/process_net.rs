@@ -1,0 +1,10 @@
+// Fixture: process-net must fire outside serve/bench.
+use std::net::TcpListener;
+
+fn shell_out() {
+    let _ = std::process::Command::new("ls").status();
+}
+
+fn listen() -> std::io::Result<TcpListener> {
+    TcpListener::bind("127.0.0.1:0")
+}

@@ -1,0 +1,5 @@
+// Fixture: thread-containment must fire outside serve/bench/obs.
+fn fan_out() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

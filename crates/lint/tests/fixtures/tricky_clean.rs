@@ -1,0 +1,26 @@
+// Fixture: every banned name below sits inside a comment, string, raw
+// string, or char literal — none of them is code, so the scanner must not
+// fire a single rule. Mentions: HashMap, Instant, thread_rng, unwrap(),
+// std::process, unsafe.
+/* block comment with std::net::TcpListener and panic!("x") inside,
+   /* nested, with x.unwrap() too */ still a comment */
+fn messages() -> Vec<String> {
+    vec![
+        String::from("use std::collections::HashMap;"),
+        String::from("let t = Instant::now();"),
+        String::from("x.unwrap() // not real"),
+        "std::thread::spawn".to_string(),
+        r"raw: rand::thread_rng() and SystemTime".to_string(),
+        r#"raw hash: unsafe { *p } and buf[i]"#.to_string(),
+        "escaped quote \" then panic!(\"boom\")".to_string(),
+    ]
+}
+
+fn chars() -> (char, char) {
+    // A lifetime and a char literal must not confuse the string scanner.
+    ('[', '"')
+}
+
+fn lifetime<'a>(s: &'a str) -> &'a str {
+    s
+}

@@ -1,0 +1,12 @@
+// Fixture: a well-formed waiver silences the finding on its line and on the
+// line a standalone annotation precedes.
+use std::collections::HashMap; // snaps-lint: allow(hash-iter) -- fixture probe, order never observed
+
+// snaps-lint: allow(wall-clock) -- fixture probe, value is discarded
+fn now() -> std::time::Instant {
+    std::time::Instant::now() // snaps-lint: allow(wall-clock) -- fixture probe, value is discarded
+}
+
+fn keyed() -> HashMap<u8, u8> { // snaps-lint: allow(hash-iter) -- fixture probe, order never observed
+    HashMap::new() // snaps-lint: allow(hash-iter) -- fixture probe, order never observed
+}

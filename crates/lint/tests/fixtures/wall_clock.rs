@@ -1,0 +1,9 @@
+// Fixture: wall-clock must fire in a result-affecting crate.
+use std::time::Instant;
+
+fn timed() -> u64 {
+    let t = Instant::now();
+    let s = std::time::SystemTime::now();
+    drop(s);
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,197 @@
+//! Fixture battery for snaps-lint: every rule must fire on its violation
+//! fixture, the tricky string/comment fixture must stay silent, waivers must
+//! be honoured or rejected, and — the self-test — the real workspace must be
+//! lint-clean within the allow budget.
+
+use std::path::Path;
+
+use snaps_lint::rules::{check_source, FileClass, Finding};
+use snaps_lint::{layering, workspace, ALLOW_BUDGET};
+
+macro_rules! fixture {
+    ($name:literal) => {
+        include_str!(concat!("fixtures/", $name))
+    };
+}
+
+/// A result-affecting library file (determinism rules apply).
+fn result_class() -> FileClass {
+    FileClass {
+        crate_name: "core".into(),
+        result_affecting: true,
+        panic_free: false,
+        test_code: false,
+    }
+}
+
+/// A serve request-path file (panic-freedom rules apply).
+fn panic_class() -> FileClass {
+    FileClass {
+        crate_name: "serve".into(),
+        result_affecting: false,
+        panic_free: true,
+        test_code: false,
+    }
+}
+
+/// A plain library file in a crate with no special privileges.
+fn lib_class(name: &str) -> FileClass {
+    FileClass { crate_name: name.into(), ..FileClass::default() }
+}
+
+fn unwaived(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| !f.waived).collect()
+}
+
+fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+    unwaived(findings).iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn hash_iter_fixture_fires() {
+    let (f, _) = check_source(&result_class(), "f.rs", fixture!("hash_iter.rs"));
+    let fired = rules_fired(&f);
+    assert!(fired.len() >= 2, "HashMap and HashSet both flagged: {f:?}");
+    assert!(fired.iter().all(|r| *r == "hash-iter"), "{f:?}");
+    // The same source is fine in a non-result-affecting crate.
+    let (f, _) = check_source(&lib_class("serve"), "f.rs", fixture!("hash_iter.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn wall_clock_fixture_fires() {
+    let (f, _) = check_source(&result_class(), "f.rs", fixture!("wall_clock.rs"));
+    let fired = rules_fired(&f);
+    assert!(fired.len() >= 2, "Instant and SystemTime both flagged: {f:?}");
+    assert!(fired.iter().all(|r| *r == "wall-clock"), "{f:?}");
+}
+
+#[test]
+fn entropy_fixture_fires() {
+    let (f, _) = check_source(&result_class(), "f.rs", fixture!("entropy.rs"));
+    let fired = rules_fired(&f);
+    assert!(fired.len() >= 2, "thread_rng and from_entropy both flagged: {f:?}");
+    assert!(fired.iter().all(|r| *r == "entropy"), "{f:?}");
+}
+
+#[test]
+fn panic_path_fixture_fires() {
+    let (f, _) = check_source(&panic_class(), "f.rs", fixture!("panic_path.rs"));
+    let fired = rules_fired(&f);
+    assert_eq!(fired.len(), 4, "unwrap, expect, panic!, unreachable!: {f:?}");
+    assert!(fired.iter().all(|r| *r == "panic-path"), "{f:?}");
+    // Off the panic-free path the same source is fine.
+    let (f, _) = check_source(&lib_class("core"), "f.rs", fixture!("panic_path.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn index_guard_fixture_fires() {
+    let (f, _) = check_source(&panic_class(), "f.rs", fixture!("index_guard.rs"));
+    assert_eq!(rules_fired(&f), vec!["index-guard"], "{f:?}");
+}
+
+#[test]
+fn thread_fixture_fires_outside_allowed_crates() {
+    let (f, _) = check_source(&lib_class("core"), "f.rs", fixture!("thread.rs"));
+    assert_eq!(rules_fired(&f), vec!["thread-containment"], "{f:?}");
+    for ok in ["serve", "bench", "obs"] {
+        let (f, _) = check_source(&lib_class(ok), "f.rs", fixture!("thread.rs"));
+        assert!(f.is_empty(), "thread is allowed in {ok}: {f:?}");
+    }
+}
+
+#[test]
+fn process_net_fixture_fires_outside_allowed_crates() {
+    let (f, _) = check_source(&lib_class("model"), "f.rs", fixture!("process_net.rs"));
+    let fired = rules_fired(&f);
+    assert!(fired.len() >= 3, "std::net, std::process, TcpListener: {f:?}");
+    assert!(fired.iter().all(|r| *r == "process-net"), "{f:?}");
+    for ok in ["serve", "bench"] {
+        let (f, _) = check_source(&lib_class(ok), "f.rs", fixture!("process_net.rs"));
+        assert!(f.is_empty(), "process/net is allowed in {ok}: {f:?}");
+    }
+}
+
+#[test]
+fn unsafe_fixture_fires_even_as_test_code() {
+    let class = FileClass { test_code: true, ..lib_class("bench") };
+    let (f, _) = check_source(&class, "f.rs", fixture!("no_unsafe.rs"));
+    assert_eq!(rules_fired(&f), vec!["no-unsafe"], "{f:?}");
+}
+
+#[test]
+fn tricky_fixture_is_silent_under_the_strictest_class() {
+    // Every banned name appears only in comments, strings, raw strings, or
+    // char literals; with every rule family armed, nothing may fire.
+    let class = FileClass {
+        crate_name: "core".into(),
+        result_affecting: true,
+        panic_free: true,
+        test_code: false,
+    };
+    let (f, anns) = check_source(&class, "f.rs", fixture!("tricky_clean.rs"));
+    assert!(f.is_empty(), "{f:?}");
+    assert!(anns.is_empty(), "no annotations in this fixture: {anns:?}");
+}
+
+#[test]
+fn cfg_test_fixture_is_silent() {
+    let (f, _) = check_source(&result_class(), "f.rs", fixture!("cfg_test_clean.rs"));
+    assert!(f.is_empty(), "#[cfg(test)] regions are stripped: {f:?}");
+}
+
+#[test]
+fn valid_waivers_silence_all_findings() {
+    let (f, anns) = check_source(&result_class(), "f.rs", fixture!("waiver_ok.rs"));
+    assert!(!f.is_empty(), "the violations are still recorded");
+    assert!(f.iter().all(|x| x.waived), "every finding is waived: {f:?}");
+    assert_eq!(anns.len(), 5);
+    assert!(anns.iter().all(|a| a.error.is_none()), "{anns:?}");
+}
+
+#[test]
+fn bad_waivers_are_findings_themselves() {
+    let (f, _) = check_source(&result_class(), "f.rs", fixture!("waiver_bad.rs"));
+    let fired = rules_fired(&f);
+    assert_eq!(fired, vec!["annotation"; 3], "unknown rule, missing reason, unwaivable: {f:?}");
+}
+
+#[test]
+fn layering_rejects_upward_use() {
+    // core reaching for the query layer inverts the DAG.
+    assert_eq!(layering::check_use_ident("core", "snaps_query"), Some("query".to_string()));
+    // query using core is the DAG's direction.
+    assert_eq!(layering::check_use_ident("query", "snaps_core"), None);
+    // A bin target importing its own lib is self-reference, not layering.
+    assert_eq!(layering::check_use_ident("serve", "snaps_serve"), None);
+}
+
+#[test]
+fn layering_rejects_manifest_smuggling() {
+    let toml = "[package]\nname = \"snaps-core\"\n\n[dependencies]\nsnaps-serve = { path = \"../serve\" }\n";
+    let f = layering::check_manifest("core", "crates/core/Cargo.toml", toml);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "layering");
+}
+
+/// The self-test: the workspace this lint ships in must pass its own rules.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file(), "workspace root not found at {}", root.display());
+    let report = workspace::run(&root).expect("walk workspace");
+    assert!(report.files_scanned > 100, "walker saw the whole tree: {}", report.files_scanned);
+    assert!(report.manifests_checked >= 15, "manifests: {}", report.manifests_checked);
+    let active = report.active_findings();
+    assert!(active.is_empty(), "workspace must be lint-clean, found: {active:#?}");
+    assert!(
+        report.allows.len() <= ALLOW_BUDGET,
+        "{} allows exceed the budget of {ALLOW_BUDGET}",
+        report.allows.len()
+    );
+}

@@ -5,7 +5,7 @@
 //! (frequency distribution of the 100 most common first names, surnames, and
 //! addresses).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -81,8 +81,8 @@ pub struct QidStats {
 fn frequencies<'r>(
     records: impl Iterator<Item = &'r PersonRecord>,
     field: QidField,
-) -> (HashMap<String, usize>, usize) {
-    let mut freq: HashMap<String, usize> = HashMap::new();
+) -> (BTreeMap<String, usize>, usize) {
+    let mut freq: BTreeMap<String, usize> = BTreeMap::new();
     let mut missing = 0usize;
     for r in records {
         match field.value(r) {

@@ -1,6 +1,6 @@
 //! g-hop pedigree extraction from the pedigree graph.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use snaps_core::PedigreeGraph;
 use snaps_model::{EntityId, Relationship};
@@ -121,7 +121,7 @@ pub fn extract_with(
     obs: &Obs,
 ) -> Pedigree {
     let span = obs.span("pedigree_extract");
-    let mut seen: HashMap<EntityId, (i32, usize)> = HashMap::new();
+    let mut seen: BTreeMap<EntityId, (i32, usize)> = BTreeMap::new();
     seen.insert(root, (0, 0));
     let mut queue = VecDeque::from([root]);
 
@@ -133,7 +133,7 @@ pub fn extract_with(
         for &(to, rel) in graph.neighbours(e) {
             let next = (gen + generation_shift(rel), hops + 1);
             let entry = seen.entry(to);
-            if let std::collections::hash_map::Entry::Vacant(v) = entry {
+            if let std::collections::btree_map::Entry::Vacant(v) = entry {
                 v.insert(next);
                 queue.push_back(to);
             }

@@ -1,6 +1,6 @@
 //! The search engine: accumulator construction, refinement, and ranking.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use snaps_core::{PedigreeEntity, PedigreeGraph};
 use snaps_index::{KeywordIndex, SimilarityIndex, DEFAULT_S_T};
@@ -187,8 +187,8 @@ impl SearchEngine {
 
 /// Value → similarity map for one query value: the exact value at `1.0`
 /// plus every approximate match from the similarity index.
-fn value_similarities(value: &str, index: &SimilarityIndex) -> HashMap<String, f64> {
-    let mut map: HashMap<String, f64> = HashMap::new();
+fn value_similarities(value: &str, index: &SimilarityIndex) -> BTreeMap<String, f64> {
+    let mut map: BTreeMap<String, f64> = BTreeMap::new();
     map.insert(value.to_string(), 1.0);
     for (v, s) in index.lookup_or_compute(value).iter() {
         map.entry(v.clone()).or_insert(*s);
@@ -256,7 +256,7 @@ pub fn process_query(
     let sn_map = value_similarities(&q.surname, surname_sims);
     probes.add(2); // the two similarity-index lookups
 
-    let mut acc: HashMap<EntityId, (f64, f64)> = HashMap::new();
+    let mut acc: BTreeMap<EntityId, (f64, f64)> = BTreeMap::new();
     for (value, &sim) in &fn_map {
         for &e in keyword.by_first_name(value) {
             let entry = acc.entry(e).or_insert((0.0, 0.0));

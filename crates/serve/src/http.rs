@@ -66,15 +66,15 @@ impl Request {
 fn read_line_limited(r: &mut impl BufRead, limit: usize) -> Result<String, ParseError> {
     let mut buf = Vec::new();
     loop {
-        let mut byte = [0u8; 1];
-        match io_read_exact(r, &mut byte) {
+        let mut byte = 0u8;
+        match io_read_exact(r, std::slice::from_mut(&mut byte)) {
             Ok(()) => {}
             Err(_) => return Err(ParseError::UnexpectedEof),
         }
-        if byte[0] == b'\n' {
+        if byte == b'\n' {
             break;
         }
-        buf.push(byte[0]);
+        buf.push(byte);
         if buf.len() > limit {
             return Err(ParseError::TooLarge);
         }
@@ -107,8 +107,8 @@ pub fn percent_decode(s: &str) -> Result<String, ParseError> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'%' => {
                 let (hi, lo) = (
                     bytes.get(i + 1).copied().and_then(hex_val),

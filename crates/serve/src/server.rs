@@ -73,7 +73,9 @@ impl ConnQueue {
     /// Enqueue unless full; a full queue returns the stream to the caller
     /// (the accept thread), which answers 503.
     fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut q = self.inner.lock().expect("queue lock");
+        // Queue state is a VecDeque of owned streams: a panic mid-push can't
+        // leave it half-updated, so a poisoned lock is safe to re-enter.
+        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if q.len() >= self.capacity {
             return Err(stream);
         }
@@ -86,7 +88,7 @@ impl ConnQueue {
     /// Blocking pop; returns `None` once `shutdown` is set **and** the
     /// queue is drained, so accepted work still completes.
     fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
-        let mut q = self.inner.lock().expect("queue lock");
+        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(stream) = q.pop_front() {
                 return Some(stream);
@@ -94,7 +96,7 @@ impl ConnQueue {
             if shutdown.load(Ordering::Acquire) {
                 return None;
             }
-            q = self.ready.wait(q).expect("queue lock");
+            q = self.ready.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -169,43 +171,37 @@ impl Server {
             let shutdown = Arc::clone(&shutdown);
             let ctx = Arc::clone(&ctx);
             let read_timeout = config.read_timeout;
-            workers.push(
-                thread::Builder::new()
-                    .name(format!("snaps-serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(stream) = queue.pop(&shutdown) {
-                            handle_connection(stream, &ctx, read_timeout);
-                        }
-                    })
-                    .expect("spawn worker"),
-            );
+            workers.push(thread::Builder::new().name(format!("snaps-serve-worker-{i}")).spawn(
+                move || {
+                    while let Some(stream) = queue.pop(&shutdown) {
+                        handle_connection(stream, &ctx, read_timeout);
+                    }
+                },
+            )?);
         }
 
         let accept_thread = {
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
             let http_503 = obs.counter("serve.http_503");
-            thread::Builder::new()
-                .name("snaps-serve-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shutdown.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        if let Err(mut stream) = queue.try_push(stream) {
-                            // Explicit backpressure: reject on the accept
-                            // thread, never block behind a full queue.
-                            http_503.add(1);
-                            let resp = Response::json(
-                                503,
-                                "{\"error\": \"server overloaded, retry later\"}".to_string(),
-                            );
-                            let _ = resp.write_to(&mut stream);
-                        }
+            thread::Builder::new().name("snaps-serve-accept".into()).spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
                     }
-                })
-                .expect("spawn accept thread")
+                    let Ok(stream) = stream else { continue };
+                    if let Err(mut stream) = queue.try_push(stream) {
+                        // Explicit backpressure: reject on the accept
+                        // thread, never block behind a full queue.
+                        http_503.add(1);
+                        let resp = Response::json(
+                            503,
+                            "{\"error\": \"server overloaded, retry later\"}".to_string(),
+                        );
+                        let _ = resp.write_to(&mut stream);
+                    }
+                }
+            })?
         };
 
         Ok(Self { addr, shutdown, queue, accept_thread: Some(accept_thread), workers })

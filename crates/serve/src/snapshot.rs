@@ -33,7 +33,7 @@ use snaps_model::{person::GeoCoord, EntityId, Gender, RecordId, Relationship};
 use snaps_obs::Obs;
 use snaps_query::{QueryWeights, SearchEngine};
 
-use crate::wire::{crc32, Reader, Writer};
+use crate::wire::{crc32, len_u32, Reader, Writer};
 
 /// Magic bytes identifying a SNAPS snapshot.
 pub const MAGIC: [u8; 8] = *b"SNAPSSHT";
@@ -146,7 +146,7 @@ fn rel_decode(b: u8) -> Result<Relationship, SnapshotError> {
 }
 
 fn write_strings(w: &mut Writer, strings: &[String]) {
-    w.u32(u32::try_from(strings.len()).expect("list fits u32"));
+    w.u32(len_u32(strings.len()));
     for s in strings {
         w.string(s);
     }
@@ -165,8 +165,8 @@ fn encode_meta(engine: &SearchEngine) -> Vec<u8> {
     w.f64(weights.year);
     w.f64(weights.gender);
     w.f64(weights.location);
-    w.u32(u32::try_from(engine.graph().len()).expect("entity count fits u32"));
-    w.u32(u32::try_from(engine.graph().edges.len()).expect("edge count fits u32"));
+    w.u32(len_u32(engine.graph().len()));
+    w.u32(len_u32(engine.graph().edges.len()));
     w.into_bytes()
 }
 
@@ -186,9 +186,9 @@ fn decode_meta(bytes: &[u8]) -> Result<QueryWeights, SnapshotError> {
 
 fn encode_graph(graph: &PedigreeGraph) -> Vec<u8> {
     let mut w = Writer::new();
-    w.u32(u32::try_from(graph.entities.len()).expect("entity count fits u32"));
+    w.u32(len_u32(graph.entities.len()));
     for e in &graph.entities {
-        w.u32(u32::try_from(e.records.len()).expect("record list fits u32"));
+        w.u32(len_u32(e.records.len()));
         for rid in &e.records {
             w.u32(rid.0);
         }
@@ -196,7 +196,7 @@ fn encode_graph(graph: &PedigreeGraph) -> Vec<u8> {
         write_strings(&mut w, &e.surnames);
         write_strings(&mut w, &e.addresses);
         write_strings(&mut w, &e.occupations);
-        w.u32(u32::try_from(e.geos.len()).expect("geo list fits u32"));
+        w.u32(len_u32(e.geos.len()));
         for g in &e.geos {
             w.f64(g.lat);
             w.f64(g.lon);
@@ -206,18 +206,18 @@ fn encode_graph(graph: &PedigreeGraph) -> Vec<u8> {
         w.opt_i32(e.death_year);
         w.bool(e.has_birth_record);
         w.bool(e.has_death_record);
-        w.u32(u32::try_from(e.event_years.len()).expect("year list fits u32"));
+        w.u32(len_u32(e.event_years.len()));
         for y in &e.event_years {
             w.i32(*y);
         }
     }
-    w.u32(u32::try_from(graph.edges.len()).expect("edge count fits u32"));
+    w.u32(len_u32(graph.edges.len()));
     for &(a, b, rel) in &graph.edges {
         w.u32(a.0);
         w.u32(b.0);
         w.u8(rel_code(rel));
     }
-    w.u32(u32::try_from(graph.record_entity.len()).expect("record map fits u32"));
+    w.u32(len_u32(graph.record_entity.len()));
     for e in &graph.record_entity {
         w.u32(e.0);
     }
@@ -289,9 +289,12 @@ fn decode_graph(bytes: &[u8]) -> Result<PedigreeGraph, SnapshotError> {
     }
 
     // Adjacency is derived data: rebuild exactly as `PedigreeGraph::build_with`.
+    // Endpoints were range-checked above, so `get_mut` always hits.
     let mut adjacency = vec![Vec::new(); entities.len()];
     for &(a, b, rel) in &edges {
-        adjacency[a.index()].push((b, rel));
+        if let Some(adj) = adjacency.get_mut(a.index()) {
+            adj.push((b, rel));
+        }
     }
     for adj in &mut adjacency {
         adj.sort_unstable();
@@ -302,10 +305,10 @@ fn decode_graph(bytes: &[u8]) -> Result<PedigreeGraph, SnapshotError> {
 fn encode_keyword_map(w: &mut Writer, entries: Vec<(&str, &[EntityId])>) {
     let mut entries = entries;
     entries.sort_unstable_by(|a, b| a.0.cmp(b.0)); // stable bytes
-    w.u32(u32::try_from(entries.len()).expect("keyword map fits u32"));
+    w.u32(len_u32(entries.len()));
     for (value, ids) in entries {
         w.string(value);
-        w.u32(u32::try_from(ids.len()).expect("posting fits u32"));
+        w.u32(len_u32(ids.len()));
         for id in ids {
             w.u32(id.0);
         }
@@ -356,10 +359,10 @@ fn encode_sim(index: &SimilarityIndex) -> Vec<u8> {
     write_strings(&mut w, index.indexed_values());
     let mut entries: Vec<(&str, &Matches)> = index.precomputed().collect();
     entries.sort_unstable_by(|a, b| a.0.cmp(b.0)); // stable bytes
-    w.u32(u32::try_from(entries.len()).expect("match map fits u32"));
+    w.u32(len_u32(entries.len()));
     for (value, matches) in entries {
         w.string(value);
-        w.u32(u32::try_from(matches.len()).expect("match list fits u32"));
+        w.u32(len_u32(matches.len()));
         for (other, sim) in matches {
             w.string(other);
             w.f64(*sim);
@@ -415,7 +418,7 @@ pub fn to_bytes(engine: &SearchEngine) -> Vec<u8> {
     let mut header = Writer::new();
     header.bytes(&MAGIC);
     header.u32(FORMAT_VERSION);
-    header.u32(u32::try_from(sections.len()).expect("section count fits u32"));
+    header.u32(len_u32(sections.len()));
     let table_len = sections.len() * 24;
     let mut offset = (MAGIC.len() + 8 + table_len) as u64;
     for (id, payload) in &sections {
@@ -470,10 +473,7 @@ fn parse_sections(bytes: &[u8]) -> Result<Vec<Section<'_>>, SnapshotError> {
         let len = usize::try_from(r.u64()?).map_err(|_| SnapshotError::Truncated)?;
         let crc = r.u32()?;
         let end = offset.checked_add(len).ok_or(SnapshotError::Truncated)?;
-        if end > bytes.len() {
-            return Err(SnapshotError::Truncated);
-        }
-        let payload = &bytes[offset..end];
+        let payload = bytes.get(offset..end).ok_or(SnapshotError::Truncated)?;
         if crc32(payload) != crc {
             return Err(SnapshotError::ChecksumMismatch { section: id });
         }

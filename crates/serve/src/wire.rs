@@ -71,9 +71,9 @@ impl Writer {
     /// Length-prefixed UTF-8 string.
     ///
     /// # Panics
-    /// Panics on strings longer than `u32::MAX` bytes.
+    /// Panics on strings longer than `u32::MAX` bytes (see [`len_u32`]).
     pub fn string(&mut self, s: &str) {
-        self.u32(u32::try_from(s.len()).expect("string exceeds u32::MAX bytes"));
+        self.u32(len_u32(s.len()));
         self.buf.extend_from_slice(s.as_bytes());
     }
 
@@ -92,6 +92,20 @@ impl Writer {
     pub fn bool(&mut self, v: bool) {
         self.u8(u8::from(v));
     }
+}
+
+/// Convert a collection length to the `u32` the wire format stores.
+///
+/// This is the single sanctioned panic on the encode side: counts come from
+/// in-memory `Vec`s that a 64-bit process cannot grow past `u32::MAX`
+/// snapshot-relevant entries, and the decode side never calls it.
+///
+/// # Panics
+/// Panics past `u32::MAX` entries.
+#[must_use]
+pub fn len_u32(n: usize) -> u32 {
+    // snaps-lint: allow(panic-path) -- encode-side bound; counts come from in-memory Vecs, decode never calls this
+    u32::try_from(n).expect("collection length exceeds the wire format's u32 limit")
 }
 
 /// Cursor-based decoder over a byte slice; every read is bounds-checked.
@@ -115,11 +129,9 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.remaining() < n {
-            return Err(SnapshotError::Truncated);
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        let out = self.buf.get(self.pos..end).ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
         Ok(out)
     }
 
@@ -130,22 +142,25 @@ impl<'a> Reader<'a> {
 
     /// One byte.
     pub fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(SnapshotError::Truncated)
     }
 
     /// Little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let b = self.take(4)?.try_into().map_err(|_| SnapshotError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let b = self.take(8)?.try_into().map_err(|_| SnapshotError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Little-endian `i32`.
     pub fn i32(&mut self) -> Result<i32, SnapshotError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let b = self.take(4)?.try_into().map_err(|_| SnapshotError::Truncated)?;
+        Ok(i32::from_le_bytes(b))
     }
 
     /// `f64` from its IEEE-754 bit pattern.
@@ -208,6 +223,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     });
     let mut crc = !0u32;
     for &b in bytes {
+        // snaps-lint: allow(index-guard) -- index is masked to 0..=255 against a [u32; 256] table
         crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc

@@ -82,6 +82,29 @@ fn snapshot_survives_a_second_generation() {
 }
 
 #[test]
+fn two_pipeline_runs_same_seed_byte_identical_snapshots() {
+    // The determinism guarantee snaps-lint's hash-iter rule protects: two
+    // *independent* full pipeline runs (generate → resolve → build indexes)
+    // on the same seed must serialise to byte-identical snapshot files.
+    // With HashMap anywhere on the result path this fails — each process-
+    // level RandomState ordered the keyword values differently, which leaked
+    // into index insertion order and snapshot bytes.
+    let first = snapshot::to_bytes(&build_engine());
+    let second = snapshot::to_bytes(&build_engine());
+    assert_eq!(first, second, "independent builds must agree byte-for-byte");
+
+    let dir = std::env::temp_dir();
+    let path_a = dir.join("snaps_det_run_a.snap");
+    let path_b = dir.join("snaps_det_run_b.snap");
+    snapshot::save(&build_engine(), &path_a).expect("save a");
+    snapshot::save(&build_engine(), &path_b).expect("save b");
+    let (a, b) = (std::fs::read(&path_a).expect("read a"), std::fs::read(&path_b).expect("read b"));
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+    assert_eq!(a, b, "snapshot files from independent runs must be identical");
+}
+
+#[test]
 fn restored_engine_is_shareable_across_threads() {
     let engine = build_engine();
     let bytes = snapshot::to_bytes(&engine);

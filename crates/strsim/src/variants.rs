@@ -8,7 +8,7 @@
 //! surname spelling alternates; [`first_name_similarity`] blends dictionary
 //! knowledge with Jaro-Winkler.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 use crate::jaro_winkler;
@@ -56,8 +56,8 @@ pub const SURNAME_VARIANTS: &[&[&str]] = &[
 /// Similarity assigned to two distinct written forms of the same name.
 pub const VARIANT_SIMILARITY: Similarity = 0.95;
 
-fn group_index(tables: &'static [&'static [&'static str]]) -> HashMap<&'static str, usize> {
-    let mut map = HashMap::new();
+fn group_index(tables: &'static [&'static [&'static str]]) -> BTreeMap<&'static str, usize> {
+    let mut map = BTreeMap::new();
     for (g, group) in tables.iter().enumerate() {
         for &name in *group {
             map.insert(name, g);
@@ -66,13 +66,13 @@ fn group_index(tables: &'static [&'static [&'static str]]) -> HashMap<&'static s
     map
 }
 
-fn first_name_groups() -> &'static HashMap<&'static str, usize> {
-    static CELL: OnceLock<HashMap<&'static str, usize>> = OnceLock::new();
+fn first_name_groups() -> &'static BTreeMap<&'static str, usize> {
+    static CELL: OnceLock<BTreeMap<&'static str, usize>> = OnceLock::new();
     CELL.get_or_init(|| group_index(FIRST_NAME_VARIANTS))
 }
 
-fn surname_groups() -> &'static HashMap<&'static str, usize> {
-    static CELL: OnceLock<HashMap<&'static str, usize>> = OnceLock::new();
+fn surname_groups() -> &'static BTreeMap<&'static str, usize> {
+    static CELL: OnceLock<BTreeMap<&'static str, usize>> = OnceLock::new();
     CELL.get_or_init(|| group_index(SURNAME_VARIANTS))
 }
 
