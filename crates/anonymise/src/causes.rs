@@ -14,7 +14,7 @@ use snaps_strsim::qgram::{bigram_jaccard, token_jaccard};
 /// Age bands used for stratification (paper: young ≤ 20, middle 20–40,
 /// old ≥ 40).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AgeBand {
+pub(crate) enum AgeBand {
     /// Up to 20 years.
     Young,
     /// 20 to 40 years.
@@ -27,7 +27,7 @@ impl AgeBand {
     /// The band an age falls in; unknown ages default to `Old` (most
     /// deaths with unstated ages in these records are adults).
     #[must_use]
-    pub fn of(age: Option<u16>) -> AgeBand {
+    pub(crate) fn of(age: Option<u16>) -> AgeBand {
         match age {
             Some(a) if a < 20 => AgeBand::Young,
             Some(a) if a < 40 => AgeBand::Middle,
@@ -40,7 +40,7 @@ impl AgeBand {
 pub const UNKNOWN_CAUSE: &str = "not known";
 
 /// A gender × age stratum.
-pub type Stratum = (Gender, AgeBand);
+pub(crate) type Stratum = (Gender, AgeBand);
 
 /// k-anonymiser for cause-of-death strings.
 #[derive(Debug)]

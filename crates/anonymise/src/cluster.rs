@@ -13,7 +13,7 @@ use snaps_strsim::jaro_winkler;
 
 /// A cluster of similar name values with its statistics.
 #[derive(Debug, Clone)]
-pub struct NameCluster {
+pub(crate) struct NameCluster {
     /// Member names, most frequent first (insertion order of the sorted
     /// input).
     pub members: Vec<String>,
@@ -26,7 +26,7 @@ pub struct NameCluster {
 /// frequent first); each joins the first cluster whose *leader* it matches
 /// at `threshold`, else founds a new cluster.
 #[must_use]
-pub fn cluster_names(names: &[String], threshold: f64) -> Vec<NameCluster> {
+pub(crate) fn cluster_names(names: &[String], threshold: f64) -> Vec<NameCluster> {
     assert!((0.0..1.0).contains(&threshold), "threshold must be in [0,1)");
     let mut leaders: Vec<String> = Vec::new();
     let mut clusters: Vec<Vec<String>> = Vec::new();
@@ -83,7 +83,10 @@ fn intra_sim(members: &[String]) -> f64 {
 /// most frequent public name of the matched cluster — preserving both the
 /// frequency skew and the within-cluster similarity structure.
 #[must_use]
-pub fn build_mapping(sensitive: &[NameCluster], public: &[NameCluster]) -> HashMap<String, String> {
+pub(crate) fn build_mapping(
+    sensitive: &[NameCluster],
+    public: &[NameCluster],
+) -> HashMap<String, String> {
     assert!(!public.is_empty(), "public corpus must not be empty");
     let mut used = vec![false; public.len()];
     let mut mapping = HashMap::new();

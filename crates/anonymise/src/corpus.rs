@@ -134,7 +134,7 @@ pub const PUBLIC_SURNAMES: &[&str] = &[
 
 /// Suffixes minted onto base names when the sensitive pool is larger than
 /// the public base list.
-pub const PUBLIC_SUFFIXES: &[&str] = &["lee", "ray", "ann", "beth", "lyn", "ton", "field"];
+pub(crate) const PUBLIC_SUFFIXES: &[&str] = &["lee", "ray", "ann", "beth", "lyn", "ton", "field"];
 
 /// A public pool of at least `n` distinct names built from `base`, minting
 /// suffixed variants as needed.

@@ -20,7 +20,7 @@ use crate::result::LinkResult;
 /// of negative relationship evidence), and group-average merging — Dong et
 /// al. merge nodes individually and exhaustively.
 #[must_use]
-pub fn dep_graph_config(base: &SnapsConfig) -> SnapsConfig {
+pub(crate) fn dep_graph_config(base: &SnapsConfig) -> SnapsConfig {
     let mut cfg = base.clone();
     cfg.ablation.amb = false;
     cfg.ablation.rel = false;

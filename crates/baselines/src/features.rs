@@ -11,10 +11,12 @@ use snaps_core::SnapsConfig;
 use snaps_model::{Dataset, PersonRecord, RecordId};
 
 /// Number of features produced per pair.
-pub const FEATURE_DIM: usize = 13;
+#[cfg(test)]
+pub(crate) const FEATURE_DIM: usize = 13;
 
 /// Human-readable feature names, index-aligned with the vectors.
-pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+#[cfg(test)]
+pub(crate) const FEATURE_NAMES: [&str; FEATURE_DIM] = [
     "first_name_sim",
     "first_name_present",
     "surname_sim",
@@ -39,7 +41,7 @@ fn sim_pair(v: Option<f64>) -> (f64, f64) {
 
 /// The feature vector of one record pair.
 #[must_use]
-pub fn pair_features(
+pub(crate) fn pair_features(
     a: &PersonRecord,
     b: &PersonRecord,
     sims: &AttrSims,

@@ -22,9 +22,9 @@ use snaps_model::{Dataset, RecordId};
 use crate::result::LinkResult;
 
 /// Weight of the relational bonus in the combined score.
-pub const RELATIONAL_WEIGHT: f64 = 0.2;
+pub(crate) const RELATIONAL_WEIGHT: f64 = 0.2;
 /// Maximum clustering rounds.
-pub const MAX_ROUNDS: usize = 5;
+pub(crate) const MAX_ROUNDS: usize = 5;
 
 /// Run the Rel-Cluster baseline.
 #[must_use]

@@ -20,7 +20,7 @@ use crate::result::LinkResult;
 /// matchers train on labelled *samples*, not the full candidate space; a
 /// deterministic stride subsample keeps full-profile runs tractable without
 /// changing the class balance.
-pub const MAX_TRAINING_PAIRS: usize = 120_000;
+pub(crate) const MAX_TRAINING_PAIRS: usize = 120_000;
 
 /// Training regime (paper §10: "we trained Magellan in two different ways").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +57,7 @@ impl std::fmt::Debug for SupervisedLinker {
 
 /// Split of candidate pairs into train and evaluation halves.
 #[derive(Debug, Clone)]
-pub struct PairSplit {
+pub(crate) struct PairSplit {
     /// Pairs (with labels) the classifier may train on.
     pub train: Vec<(RecordId, RecordId)>,
     /// Training labels.
@@ -71,7 +71,7 @@ pub struct PairSplit {
 /// evaluation set. Under [`TrainingRegime::PerRolePair`] the training side
 /// is further restricted to pairs of the tested categories.
 #[must_use]
-pub fn split_pairs(
+pub(crate) fn split_pairs(
     ds: &Dataset,
     pairs: &[(RecordId, RecordId)],
     regime: TrainingRegime,
@@ -115,7 +115,7 @@ impl SupervisedLinker {
     ///
     /// Returns the predicted links among `split.eval` as a [`LinkResult`]
     /// (connected components over predicted matches, like every baseline).
-    pub fn train_and_link(
+    pub(crate) fn train_and_link(
         &mut self,
         ds: &Dataset,
         split: &PairSplit,

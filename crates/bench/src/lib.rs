@@ -46,12 +46,12 @@ usage: <binary> [--scale F] [--seed N] [--report PATH.json]"
     ///
     /// # Errors
     /// Returns a description of the first malformed argument.
-    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+    pub(crate) fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut out = Self::default();
         let args: Vec<String> = args.into_iter().collect();
         let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
+        while let Some(arg) = args.get(i) {
+            match arg.as_str() {
                 "--scale" => {
                     i += 1;
                     out.scale = args

@@ -58,7 +58,7 @@ fn hash_shingle(s: &str, seed: u64) -> u64 {
 /// The blocking key text of a record: first name and surname, separated so
 /// `("ann", "x")` and `("an", "nx")` cannot alias.
 #[must_use]
-pub fn blocking_text(r: &PersonRecord) -> String {
+pub(crate) fn blocking_text(r: &PersonRecord) -> String {
     match (&r.first_name, &r.surname) {
         (Some(f), Some(s)) => format!("{f}|{s}"),
         (Some(f), None) => f.clone(),
@@ -87,7 +87,7 @@ impl LshBlocker {
 
     /// MinHash signature of one record (empty-name records get `None`).
     #[must_use]
-    pub fn signature(&self, r: &PersonRecord) -> Option<Vec<u64>> {
+    pub(crate) fn signature(&self, r: &PersonRecord) -> Option<Vec<u64>> {
         let text = blocking_text(r);
         if text.is_empty() {
             return None;

@@ -71,6 +71,7 @@ pub fn soundex(name: &str) -> Option<String> {
 /// are dominated by the prefix, which otherwise collapses every `mac*` name
 /// into a handful of codes.
 #[must_use]
+// snaps-lint: allow(dead-pub) -- paper-named blocking variant (§Blocking), kept as public API
 pub fn scottish_soundex(name: &str) -> Option<String> {
     let stripped = name
         .strip_prefix("mac")

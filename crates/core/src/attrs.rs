@@ -17,44 +17,6 @@ use snaps_strsim::qgram::bigram_jaccard;
 use snaps_strsim::variants::{first_name_similarity, surname_similarity};
 use snaps_strsim::Similarity;
 
-/// The QID attributes compared between records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Attr {
-    /// First name — Must.
-    FirstName,
-    /// Surname — Core.
-    Surname,
-    /// Address (geocoded or textual) — Extra.
-    Address,
-    /// Occupation — Extra.
-    Occupation,
-    /// Estimated birth year — Extra.
-    BirthYear,
-}
-
-/// The paper's attribute categories (§4.2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Category {
-    /// Highly complete, stable attributes; a merge requires strong agreement.
-    Must,
-    /// Important but mutable attributes (surnames change at marriage).
-    Core,
-    /// Sparse, corroborative attributes.
-    Extra,
-}
-
-impl Attr {
-    /// The category an attribute belongs to.
-    #[must_use]
-    pub fn category(self) -> Category {
-        match self {
-            Attr::FirstName => Category::Must,
-            Attr::Surname => Category::Core,
-            Attr::Address | Attr::Occupation | Attr::BirthYear => Category::Extra,
-        }
-    }
-}
-
 /// The comparable values of one side of a relational node: either a single
 /// record's values, or (under PROP-A) every value of the record's entity.
 #[derive(Debug, Clone, Default)]
@@ -204,14 +166,6 @@ mod tests {
         r.first_name = first.map(str::to_string);
         r.surname = sur.map(str::to_string);
         r
-    }
-
-    #[test]
-    fn categories() {
-        assert_eq!(Attr::FirstName.category(), Category::Must);
-        assert_eq!(Attr::Surname.category(), Category::Core);
-        assert_eq!(Attr::Address.category(), Category::Extra);
-        assert_eq!(Attr::BirthYear.category(), Category::Extra);
     }
 
     #[test]

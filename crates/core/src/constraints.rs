@@ -31,7 +31,8 @@ pub struct YearInterval {
 impl YearInterval {
     /// The unbounded interval.
     #[must_use]
-    pub fn unbounded() -> Self {
+    #[cfg(test)]
+    pub(crate) fn unbounded() -> Self {
         Self { lo: i32::MIN / 2, hi: i32::MAX / 2 }
     }
 
@@ -49,15 +50,15 @@ impl YearInterval {
 }
 
 /// Maximum plausible lifespan used in constraint windows.
-pub const MAX_LIFESPAN: i32 = 105;
+pub(crate) const MAX_LIFESPAN: i32 = 105;
 /// Minimum / maximum age at which a woman appears as a mother (paper §4.2.2).
-pub const MOTHER_AGE: (i32, i32) = (15, 55);
+pub(crate) const MOTHER_AGE: (i32, i32) = (15, 55);
 /// Minimum / maximum age at which a man appears as a father.
-pub const FATHER_AGE: (i32, i32) = (15, 70);
+pub(crate) const FATHER_AGE: (i32, i32) = (15, 70);
 /// Minimum / maximum age at marriage.
-pub const MARRIAGE_AGE: (i32, i32) = (15, 75);
+pub(crate) const MARRIAGE_AGE: (i32, i32) = (15, 75);
 /// Slack (years) allowed on stated ages when deriving intervals.
-pub const AGE_SLACK: i32 = 3;
+pub(crate) const AGE_SLACK: i32 = 3;
 
 /// The birth-year interval a record implies for the person it describes.
 ///

@@ -37,9 +37,7 @@ pub struct RelationalNode {
 
 /// A group of relational nodes between one pair of certificates.
 #[derive(Debug, Clone)]
-pub struct Group {
-    /// The two certificates (unordered, stored `(min, max)`).
-    pub certs: (CertificateId, CertificateId),
+pub(crate) struct Group {
     /// Member node ids.
     pub nodes: Vec<NodeId>,
 }
@@ -51,7 +49,7 @@ pub struct DependencyGraph {
     /// All relational nodes.
     pub nodes: Vec<RelationalNode>,
     /// All certificate-pair groups.
-    pub groups: Vec<Group>,
+    pub(crate) groups: Vec<Group>,
     /// Distinct atomic nodes (`|N_A|`): unique (attribute, value-pair)
     /// combinations that cleared their inclusion threshold.
     pub atomic_count: usize,
@@ -81,7 +79,7 @@ impl DependencyGraph {
             let rb = ds.record(b);
             let key = (ra.certificate.min(rb.certificate), ra.certificate.max(rb.certificate));
             let group = *group_index.entry(key).or_insert_with(|| {
-                groups.push(Group { certs: key, nodes: Vec::new() });
+                groups.push(Group { nodes: Vec::new() });
                 groups.len() - 1
             });
             let node_id = nodes.len();

@@ -104,7 +104,7 @@ impl EntityInfo {
     }
 
     /// Fuse another entity's summary into this one.
-    pub fn merge_from(&mut self, other: &EntityInfo, ds: &Dataset) {
+    pub(crate) fn merge_from(&mut self, other: &EntityInfo, ds: &Dataset) {
         self.records.extend_from_slice(&other.records);
         self.certs.extend(other.certs.iter().copied());
         for &r in &other.records {
@@ -150,7 +150,8 @@ impl EntityStore {
     }
 
     /// The entity summary containing record `r`.
-    pub fn info(&mut self, r: RecordId) -> &EntityInfo {
+    #[cfg(test)]
+    pub(crate) fn info(&mut self, r: RecordId) -> &EntityInfo {
         let root = self.uf.find(r.index());
         self.info[root].as_ref().expect("root always has info")
     }

@@ -27,13 +27,13 @@ use crate::similarity::{atomic_similarity, NameFreqs, NodeSimilarity};
 /// First-name similarity below which two spouse records are considered
 /// evidence of two *different* couples (see
 /// [`MergeContext::spouse_conflict`]).
-pub const SPOUSE_VETO_SIMILARITY: f64 = 0.55;
+pub(crate) const SPOUSE_VETO_SIMILARITY: f64 = 0.55;
 
 /// Counter handles for merge internals, pre-resolved once per run so hot
 /// loops pay one branch per event (see [`snaps_obs::Counter`]). All handles
 /// are inert when instrumentation is disabled.
 #[derive(Debug, Clone, Default)]
-pub struct MergeCounters {
+pub(crate) struct MergeCounters {
     /// Candidate comparisons attempted ([`MergeContext::evaluate`] calls).
     pub comparisons: Counter,
     /// Links created by accepted merges.
@@ -71,7 +71,7 @@ pub struct MergeContext<'a> {
     pub cfg: &'a SnapsConfig,
     /// Instrumentation counters (inert unless built via
     /// [`MergeContext::with_obs`] on an enabled handle).
-    pub counters: MergeCounters,
+    pub(crate) counters: MergeCounters,
     /// `spouse[r]` is the record married to `r` on `r`'s own certificate
     /// (the `Bf` of a `Bm`, the `Ds` of a `Dd`, …), precomputed once.
     spouse: Vec<Option<RecordId>>,
@@ -107,7 +107,7 @@ impl<'a> MergeContext<'a> {
     /// first names are grossly dissimilar, the two records describe two
     /// different couples — the node must not merge. This is what separates a
     /// father from his namesake son: their names agree, their wives' do not.
-    pub fn spouse_conflict(&self, node: &RelationalNode) -> bool {
+    pub(crate) fn spouse_conflict(&self, node: &RelationalNode) -> bool {
         let (Some(sa), Some(sb)) = (self.spouse[node.a.index()], self.spouse[node.b.index()])
         else {
             return false;
@@ -140,7 +140,11 @@ impl<'a> MergeContext<'a> {
     /// With PROP-A enabled and at least one non-singleton entity involved,
     /// the comparison runs over the entities' accumulated value sets;
     /// otherwise the cached record-level similarities are reused.
-    pub fn evaluate(&self, node: &RelationalNode, store: &mut EntityStore) -> NodeSimilarity {
+    pub(crate) fn evaluate(
+        &self,
+        node: &RelationalNode,
+        store: &mut EntityStore,
+    ) -> NodeSimilarity {
         self.counters.comparisons.incr();
         if self.cfg.ablation.prop
             && (store.entity_size(node.a) > 1 || store.entity_size(node.b) > 1)
@@ -155,7 +159,7 @@ impl<'a> MergeContext<'a> {
     /// Whether the node passes its constraints under the current state:
     /// entity-level cardinality/temporal constraints plus the spouse-context
     /// veto with PROP-C; record-level pairwise checks only without.
-    pub fn valid(&self, node: &RelationalNode, store: &mut EntityStore) -> bool {
+    pub(crate) fn valid(&self, node: &RelationalNode, store: &mut EntityStore) -> bool {
         if self.cfg.ablation.prop {
             if self.cfg.spouse_veto && self.spouse_conflict(node) {
                 self.counters.reject_spouse_veto.incr();

@@ -138,23 +138,33 @@ impl PedigreeGraph {
         self.entities.is_empty()
     }
 
-    /// Entity lookup.
+    /// Entity lookup; panics on an out-of-range id. Offline pipeline code
+    /// that mints its own ids uses this; request handlers use [`Self::get`].
     #[must_use]
     pub fn entity(&self, id: EntityId) -> &PedigreeEntity {
         &self.entities[id.index()]
     }
 
-    /// Neighbours of an entity with the relationship *from* the entity.
+    /// Entity lookup that tolerates out-of-range ids (the serve path takes
+    /// ids from untrusted clients and from snapshot bytes).
+    #[must_use]
+    pub fn get(&self, id: EntityId) -> Option<&PedigreeEntity> {
+        self.entities.get(id.index())
+    }
+
+    /// Neighbours of an entity with the relationship *from* the entity;
+    /// empty for out-of-range ids.
     #[must_use]
     pub fn neighbours(&self, id: EntityId) -> &[(EntityId, Relationship)] {
-        &self.adjacency[id.index()]
+        self.adjacency.get(id.index()).map_or(&[], Vec::as_slice)
     }
 
     /// The entities with a given relationship from `id` (e.g. its mother:
     /// edges point *from* the mother, so use [`Relationship::ChildOf`] from
     /// the child or query the inverse direction).
     #[must_use]
-    pub fn related(&self, id: EntityId, rel: Relationship) -> Vec<EntityId> {
+    #[cfg(test)]
+    pub(crate) fn related(&self, id: EntityId, rel: Relationship) -> Vec<EntityId> {
         self.neighbours(id).iter().filter(|&&(_, r)| r == rel).map(|&(e, _)| e).collect()
     }
 }

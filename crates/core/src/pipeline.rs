@@ -70,7 +70,8 @@ impl ResolutionStats {
 
     /// Total offline time.
     #[must_use]
-    pub fn total_time(&self) -> Duration {
+    #[cfg(test)]
+    pub(crate) fn total_time(&self) -> Duration {
         self.t_atomic + self.t_relational + self.t_bootstrap + self.t_merge + self.t_refine
     }
 }

@@ -24,7 +24,7 @@ use crate::entity::{EntityStore, Link};
 
 /// Statistics of one refinement run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RefineStats {
+pub(crate) struct RefineStats {
     /// Links dropped because their cluster was under-dense.
     pub dropped_density: usize,
     /// Links dropped as bridges of oversized clusters.
@@ -38,7 +38,11 @@ pub struct RefineStats {
 /// The store is rebuilt from the surviving links, so entity summaries and
 /// constraint state stay consistent with the retained link set.
 #[must_use]
-pub fn refine(store: &EntityStore, ds: &Dataset, cfg: &SnapsConfig) -> (EntityStore, RefineStats) {
+pub(crate) fn refine(
+    store: &EntityStore,
+    ds: &Dataset,
+    cfg: &SnapsConfig,
+) -> (EntityStore, RefineStats) {
     let mut stats = RefineStats::default();
     let all_links: Vec<Link> = store.links().to_vec();
     let mut surviving: BTreeSet<Link> = all_links.iter().copied().collect();

@@ -14,7 +14,7 @@ use crate::profile::DatasetProfile;
 
 /// The corrupted textual fields of one record.
 #[derive(Debug, Clone, Default)]
-pub struct CorruptedFields {
+pub(crate) struct CorruptedFields {
     /// First name after corruption (`None` = missing).
     pub first_name: Option<String>,
     /// Surname after corruption.
@@ -107,7 +107,7 @@ impl Corruptor {
     ///
     /// Occupation is only recorded where a registrar would have recorded it
     /// (principals and fathers, not mothers of the era).
-    pub fn corrupt_person<R: Rng>(
+    pub(crate) fn corrupt_person<R: Rng>(
         &self,
         role: Role,
         first_name: &str,

@@ -277,7 +277,8 @@ impl NamePool {
 
     /// Probability mass of the most common value.
     #[must_use]
-    pub fn top_share(&self) -> f64 {
+    #[cfg(test)]
+    pub(crate) fn top_share(&self) -> f64 {
         let total = *self.cumulative.last().expect("pool is non-empty");
         self.cumulative[0] / total
     }

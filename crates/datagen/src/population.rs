@@ -21,7 +21,7 @@ use crate::truth::GroundTruth;
 
 /// A parish (registration district) in the simulated world.
 #[derive(Debug, Clone)]
-pub struct Parish {
+pub(crate) struct Parish {
     /// Parish name.
     pub name: String,
     /// Synthetic coordinate of the parish centre when geocoded.
@@ -32,7 +32,7 @@ pub struct Parish {
 /// certificates record. Table 1 shows Isle-of-Skye addresses averaging ~12
 /// records per distinct value: settlement-level, not parish-level.
 #[derive(Debug, Clone)]
-pub struct Settlement {
+pub(crate) struct Settlement {
     /// Settlement name (the certificate's address string).
     pub name: String,
     /// Index of the parish this settlement lies in.
@@ -80,7 +80,7 @@ impl SimPerson {
     /// The surname this person used in year `year` (women switch to the
     /// married surname from the marriage year onwards).
     #[must_use]
-    pub fn surname_in_year(&self, year: i32) -> &str {
+    pub(crate) fn surname_in_year(&self, year: i32) -> &str {
         match (&self.married_surname, self.marriage_year) {
             (Some(m), Some(y)) if year >= y && self.gender == Gender::Female => m,
             _ => &self.birth_surname,
@@ -89,20 +89,20 @@ impl SimPerson {
 
     /// Whether the person is alive in `year`.
     #[must_use]
-    pub fn alive_in(&self, year: i32) -> bool {
+    pub(crate) fn alive_in(&self, year: i32) -> bool {
         self.birth_year <= year && self.death_year.is_none_or(|d| d >= year)
     }
 
     /// Age in `year`.
     #[must_use]
-    pub fn age_in(&self, year: i32) -> i32 {
+    pub(crate) fn age_in(&self, year: i32) -> i32 {
         year - self.birth_year
     }
 }
 
 /// A demographic event that may produce a certificate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Event {
+pub(crate) enum Event {
     /// A child was born.
     Birth {
         /// Event year.
@@ -146,11 +146,11 @@ pub struct Population {
     /// Every individual ever alive in the simulation.
     pub people: Vec<SimPerson>,
     /// Parishes (registration districts).
-    pub parishes: Vec<Parish>,
+    pub(crate) parishes: Vec<Parish>,
     /// Settlements (certificate-level addresses).
-    pub settlements: Vec<Settlement>,
+    pub(crate) settlements: Vec<Settlement>,
     /// Chronological event log.
-    pub events: Vec<Event>,
+    pub(crate) events: Vec<Event>,
 }
 
 impl Population {
@@ -168,7 +168,8 @@ impl Population {
 
     /// Individuals alive in `year`.
     #[must_use]
-    pub fn alive_in(&self, year: i32) -> usize {
+    #[cfg(test)]
+    pub(crate) fn alive_in(&self, year: i32) -> usize {
         self.people.iter().filter(|p| p.alive_in(year)).count()
     }
 }

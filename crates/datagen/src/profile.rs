@@ -7,7 +7,7 @@
 
 /// Per-field missing-value rates applied during record extraction.
 #[derive(Debug, Clone, Copy)]
-pub struct MissingRates {
+pub(crate) struct MissingRates {
     /// Probability a first name is missing.
     pub first_name: f64,
     /// Probability a surname is missing.
@@ -22,7 +22,7 @@ pub struct MissingRates {
 
 /// Transcription-noise rates applied during record extraction.
 #[derive(Debug, Clone, Copy)]
-pub struct NoiseRates {
+pub(crate) struct NoiseRates {
     /// Probability a name is replaced by a written variant (diminutive,
     /// `mac`/`mc`, …) when one exists.
     pub variant: f64,
@@ -76,9 +76,9 @@ pub struct DatasetProfile {
     /// Annual in-migration as a fraction of current population (open towns).
     pub immigration_rate: f64,
     /// Missing-value rates.
-    pub missing: MissingRates,
+    pub(crate) missing: MissingRates,
     /// Transcription-noise rates.
-    pub noise: NoiseRates,
+    pub(crate) noise: NoiseRates,
 }
 
 impl DatasetProfile {
@@ -237,7 +237,8 @@ impl DatasetProfile {
 
     /// Years of the registration window, inclusive.
     #[must_use]
-    pub fn registration_years(&self) -> i32 {
+    #[cfg(test)]
+    pub(crate) fn registration_years(&self) -> i32 {
         self.reg_end - self.reg_start + 1
     }
 }

@@ -15,7 +15,7 @@ pub type RecordPair = (RecordId, RecordId);
 
 /// Normalise a record pair to `(min, max)`.
 #[must_use]
-pub fn ordered(a: RecordId, b: RecordId) -> RecordPair {
+pub(crate) fn ordered(a: RecordId, b: RecordId) -> RecordPair {
     if a <= b {
         (a, b)
     } else {

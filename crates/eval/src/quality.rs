@@ -46,7 +46,7 @@ pub struct QualityReport {
 
 /// Evaluate SNAPS and the unsupervised baselines on a generated dataset.
 #[must_use]
-pub fn evaluate_unsupervised(data: &GeneratedData, cfg: &SnapsConfig) -> Vec<SystemQuality> {
+pub(crate) fn evaluate_unsupervised(data: &GeneratedData, cfg: &SnapsConfig) -> Vec<SystemQuality> {
     let ds = &data.dataset;
     let snaps = resolve(ds, cfg);
     let attr = attr_sim_link(ds, cfg);
@@ -96,7 +96,7 @@ fn restrict_to_role_pair(
 /// scored on the held-out half, pairwise — the protocol of a pairwise
 /// matcher like Magellan.
 #[must_use]
-pub fn evaluate_supervised(data: &GeneratedData, cfg: &SnapsConfig) -> SupervisedQuality {
+pub(crate) fn evaluate_supervised(data: &GeneratedData, cfg: &SnapsConfig) -> SupervisedQuality {
     let ds = &data.dataset;
     let truth = &data.truth;
     let is_match = |a: RecordId, b: RecordId| truth.is_match(a, b);

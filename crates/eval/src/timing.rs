@@ -118,7 +118,8 @@ impl LatencyStats {
     /// within the bucket quantisation (≤ 12.5%) — while min, mean, and max
     /// are exact.
     #[must_use]
-    pub fn from_histogram(h: &snaps_obs::Histogram) -> Option<Self> {
+    #[cfg(test)]
+    pub(crate) fn from_histogram(h: &snaps_obs::Histogram) -> Option<Self> {
         Some(Self {
             min: h.min()?.as_secs_f64(),
             avg: h.mean()?.as_secs_f64(),
@@ -130,7 +131,7 @@ impl LatencyStats {
 
 /// Summarise a set of durations; `None` on an empty sample.
 #[must_use]
-pub fn latency_stats(samples: &[Duration]) -> Option<LatencyStats> {
+pub(crate) fn latency_stats(samples: &[Duration]) -> Option<LatencyStats> {
     if samples.is_empty() {
         return None;
     }

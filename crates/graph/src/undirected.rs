@@ -24,7 +24,7 @@ impl UndirectedGraph {
 
     /// Number of vertices.
     #[must_use]
-    pub fn vertex_count(&self) -> usize {
+    pub(crate) fn vertex_count(&self) -> usize {
         self.adj.len()
     }
 
@@ -48,15 +48,15 @@ impl UndirectedGraph {
         true
     }
 
-    /// Neighbours of `v`.
+    /// Neighbours of `v`; empty for out-of-range vertices.
     #[must_use]
     pub fn neighbours(&self, v: usize) -> &[u32] {
-        &self.adj[v]
+        self.adj.get(v).map_or(&[], Vec::as_slice)
     }
 
     /// Degree of `v`.
     #[must_use]
-    pub fn degree(&self, v: usize) -> usize {
+    pub(crate) fn degree(&self, v: usize) -> usize {
         self.adj[v].len()
     }
 

@@ -39,16 +39,25 @@ impl UnionFind {
     }
 
     /// Find the representative of `x`'s set, compressing the path.
+    ///
+    /// Out-of-range `x` is returned unchanged (a singleton no union ever
+    /// touched behaves the same way).
     pub fn find(&mut self, x: usize) -> usize {
         let mut root = x;
-        while self.parent[root] as usize != root {
-            root = self.parent[root] as usize;
+        while let Some(&p) = self.parent.get(root) {
+            if p as usize == root {
+                break;
+            }
+            root = p as usize;
         }
         // Path compression.
         let mut cur = x;
-        while self.parent[cur] as usize != cur {
-            let next = self.parent[cur] as usize;
-            self.parent[cur] = root as u32;
+        while let Some(p) = self.parent.get_mut(cur) {
+            let next = *p as usize;
+            if next == cur {
+                break;
+            }
+            *p = root as u32;
             cur = next;
         }
         root

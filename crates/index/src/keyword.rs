@@ -3,7 +3,9 @@
 use std::collections::BTreeMap;
 
 use snaps_core::PedigreeGraph;
-use snaps_model::{EntityId, Gender};
+use snaps_model::EntityId;
+#[cfg(test)]
+use snaps_model::Gender;
 
 /// Maps first names, surnames, and locations to the entities carrying them,
 /// with parallel year/gender accessors for result refinement (paper §6).
@@ -49,7 +51,8 @@ impl KeywordIndex {
 
     /// Entities with `value` among their addresses.
     #[must_use]
-    pub fn by_location(&self, value: &str) -> &[EntityId] {
+    #[cfg(test)]
+    pub(crate) fn by_location(&self, value: &str) -> &[EntityId] {
         self.locations.get(value).map_or(&[], Vec::as_slice)
     }
 
@@ -70,7 +73,8 @@ impl KeywordIndex {
 
     /// Whether an entity's recorded gender is compatible with `g`.
     #[must_use]
-    pub fn gender_matches(graph: &PedigreeGraph, e: EntityId, g: Gender) -> bool {
+    #[cfg(test)]
+    pub(crate) fn gender_matches(graph: &PedigreeGraph, e: EntityId, g: Gender) -> bool {
         graph.entity(e).gender.compatible(g)
     }
 
@@ -111,7 +115,8 @@ impl KeywordIndex {
 
     /// Number of distinct indexed surname values.
     #[must_use]
-    pub fn distinct_surnames(&self) -> usize {
+    #[cfg(test)]
+    pub(crate) fn distinct_surnames(&self) -> usize {
         self.surnames.len()
     }
 }

@@ -56,14 +56,12 @@ impl std::fmt::Debug for SimCache {
 }
 
 impl SimCache {
-    /// Cache holding at most `capacity` entries in total.
-    ///
-    /// # Panics
-    /// Panics on a zero capacity — a cache that can hold nothing would turn
-    /// every repeated query into a recomputation.
+    /// Cache holding at most `capacity` entries in total. A zero capacity is
+    /// clamped to one entry per shard — a cache that can hold nothing would
+    /// turn every repeated query into a recomputation.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
+        let capacity = capacity.max(1);
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity: capacity.div_ceil(SHARDS),
@@ -85,7 +83,13 @@ impl SimCache {
     /// Total cached entries across shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().map.len()).sum()
+        // One short-lived lock per shard; no shard lock is ever held across
+        // a call into another crate.
+        let mut total = 0;
+        for s in &self.shards {
+            total += s.lock().map.len();
+        }
+        total
     }
 
     /// Whether no entry is cached.
@@ -100,16 +104,18 @@ impl SimCache {
         self.per_shard_capacity * SHARDS
     }
 
-    fn shard(&self, key: &str) -> &Mutex<Shard> {
+    /// The shard `key` hashes to. `None` is unreachable (the modulus keeps
+    /// the index under `SHARDS`) but callers degrade gracefully anyway.
+    fn shard(&self, key: &str) -> Option<&Mutex<Shard>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        self.shards.get((h.finish() as usize) % SHARDS)
     }
 
     /// Cached matches for `key`, bumping the hit/miss counters.
     #[must_use]
     pub fn get(&self, key: &str) -> Option<Arc<Matches>> {
-        let found = self.shard(key).lock().map.get(key).cloned();
+        let found = self.shard(key).and_then(|s| s.lock().map.get(key).cloned());
         if found.is_some() {
             self.hits.incr();
         } else {
@@ -122,18 +128,27 @@ impl SimCache {
     /// it is full. A racing duplicate insert (two threads computing the same
     /// novel value) overwrites idempotently and does not grow the shard.
     pub fn insert(&self, key: &str, matches: Arc<Matches>) {
-        let mut shard = self.shard(key).lock();
-        if shard.map.contains_key(key) {
+        let Some(mutex) = self.shard(key) else { return };
+        let mut evicted = 0u64;
+        {
+            let mut shard = mutex.lock();
+            if shard.map.contains_key(key) {
+                shard.map.insert(key.to_owned(), matches);
+                return;
+            }
+            while shard.map.len() >= self.per_shard_capacity {
+                let Some(oldest) = shard.order.pop_front() else { break };
+                shard.map.remove(&oldest);
+                evicted += 1;
+            }
             shard.map.insert(key.to_owned(), matches);
-            return;
+            shard.order.push_back(key.to_owned());
         }
-        while shard.map.len() >= self.per_shard_capacity {
-            let Some(oldest) = shard.order.pop_front() else { break };
-            shard.map.remove(&oldest);
-            self.evictions.incr();
+        // Counter bumps call into snaps-obs; they happen after the shard
+        // guard is dropped so no lock is held across a cross-crate call.
+        if evicted > 0 {
+            self.evictions.add(evicted);
         }
-        shard.map.insert(key.to_owned(), matches);
-        shard.order.push_back(key.to_owned());
     }
 }
 
@@ -172,10 +187,10 @@ mod tests {
         let keys: Vec<String> = (0..100).map(|i| format!("k{i}")).collect();
         let (a, b) = {
             let first = &keys[0];
-            let shard0 = c.shard(first) as *const _;
+            let shard0 = c.shard(first).expect("shard") as *const _;
             let other = keys[1..]
                 .iter()
-                .find(|k| std::ptr::eq(c.shard(k), shard0))
+                .find(|k| std::ptr::eq(c.shard(k).expect("shard"), shard0))
                 .expect("two keys share a shard");
             (first.clone(), other.clone())
         };
@@ -212,9 +227,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_panics() {
-        let _ = SimCache::new(0);
+    fn zero_capacity_clamps_to_minimum() {
+        let c = SimCache::new(0);
+        assert!(c.capacity() >= 1);
+        c.insert("a", arc(&[]));
+        assert!(c.get("a").is_some(), "a clamped cache still caches");
     }
 
     #[test]

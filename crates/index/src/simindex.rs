@@ -87,13 +87,19 @@ impl SimilarityIndex {
     /// threshold, indexed values, and each value's pre-computed matches.
     /// Postings are rebuilt from the values — they are derived data.
     ///
-    /// # Panics
-    /// Panics if `s_t` is out of range or `matches` does not carry exactly
-    /// one entry per indexed value; snapshot checksums make this unreachable
-    /// for on-disk corruption.
-    #[must_use]
-    pub fn from_parts(s_t: f64, values: Vec<String>, matches: Vec<(String, Matches)>) -> Self {
-        assert!(s_t > 0.0 && s_t < 1.0, "s_t must be in (0,1)");
+    /// # Errors
+    /// Rejects an out-of-range `s_t` and match lists that do not carry
+    /// exactly one entry per indexed value. Snapshot checksums catch random
+    /// corruption, but the loader still refuses structurally invalid parts
+    /// instead of panicking on the serve path.
+    pub fn try_from_parts(
+        s_t: f64,
+        values: Vec<String>,
+        matches: Vec<(String, Matches)>,
+    ) -> Result<Self, &'static str> {
+        if !(s_t > 0.0 && s_t < 1.0) {
+            return Err("s_t must be in (0,1)");
+        }
         let mut idx = Self {
             s_t,
             values: Vec::new(),
@@ -105,18 +111,33 @@ impl SimilarityIndex {
             idx.insert_value(v);
         }
         for (v, m) in matches {
-            assert!(idx.values.iter().any(|x| x == &v), "match entry for un-indexed value {v:?}");
+            if !idx.values.iter().any(|x| x == &v) {
+                return Err("match entry for un-indexed value");
+            }
             idx.matches.insert(v, Arc::new(m));
         }
-        assert_eq!(idx.matches.len(), idx.values.len(), "one match list per indexed value");
-        idx
+        if idx.matches.len() != idx.values.len() {
+            return Err("one match list required per indexed value");
+        }
+        Ok(idx)
     }
 
-    /// Replace the query-value cache with one holding `capacity` entries.
+    /// [`Self::try_from_parts`] for offline builders that trust their input.
     ///
     /// # Panics
-    /// Panics on a zero capacity.
+    /// Panics where `try_from_parts` would return an error.
     #[must_use]
+    pub fn from_parts(s_t: f64, values: Vec<String>, matches: Vec<(String, Matches)>) -> Self {
+        match Self::try_from_parts(s_t, values, matches) {
+            Ok(idx) => idx,
+            Err(e) => panic!("invalid index parts: {e}"),
+        }
+    }
+
+    /// Replace the query-value cache with one holding `capacity` entries
+    /// (zero is clamped to the cache's minimum).
+    #[must_use]
+    // snaps-lint: allow(dead-pub) -- public tuning knob for the paper's cache-size experiments
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = SimCache::new(capacity);
         self
@@ -159,14 +180,16 @@ impl SimilarityIndex {
 
     /// Entries currently memoised for unseen query values.
     #[must_use]
-    pub fn cached_queries(&self) -> usize {
+    #[cfg(test)]
+    pub(crate) fn cached_queries(&self) -> usize {
         self.cache.len()
     }
 
     /// Total stored match pairs (the index's size driver — the reason `s_t`
     /// is not set lower, §6).
     #[must_use]
-    pub fn stored_pairs(&self) -> usize {
+    #[cfg(test)]
+    pub(crate) fn stored_pairs(&self) -> usize {
         self.matches.values().map(|m| m.len()).sum()
     }
 
@@ -174,7 +197,9 @@ impl SimilarityIndex {
         if v.is_empty() || self.values.iter().any(|x| x == v) {
             return;
         }
-        let id = u32::try_from(self.values.len()).expect("at most 2^32 values");
+        // Postings ids are u32; past 2^32 values further inserts are dropped
+        // rather than panicking (real datasets are orders of magnitude off).
+        let Ok(id) = u32::try_from(self.values.len()) else { return };
         self.values.push(v.to_string());
         for bg in bigrams(v) {
             self.postings.entry(bg).or_default().push(id);
@@ -194,7 +219,7 @@ impl SimilarityIndex {
         let mut out: Matches = self
             .candidates(v)
             .into_iter()
-            .map(|id| &self.values[id as usize])
+            .filter_map(|id| self.values.get(id as usize))
             .filter(|cand| cand.as_str() != v)
             .filter_map(|cand| {
                 let s = jaro_winkler(v, cand);

@@ -1,0 +1,367 @@
+//! Cross-crate call graph over the item model from [`crate::items`].
+//!
+//! Nodes are every function extracted from non-test files; edges come from
+//! resolving each call site against the workspace. Resolution is
+//! deliberately an *over-approximation* — sound for reachability rules,
+//! which must never miss a path:
+//!
+//! - path calls resolve through the caller's `use`-map, `snaps_*` crate
+//!   prefixes, `crate`/`self`/`super`, `Type::method` associated paths,
+//!   and bare same-crate names;
+//! - method calls `recv.name(..)` resolve to **every** workspace
+//!   `impl`/`trait` function of that name (no type inference), so a chain
+//!   through a method call can never be dropped;
+//! - paths that resolve into `std`/external crates resolve to nothing.
+//!
+//! Everything is keyed and ordered by `BTreeMap`s and sorted vectors, so
+//! graph construction is deterministic and the report bytes are stable.
+
+use crate::items::{CallSite, CallTarget, FileItems, FnItem};
+use std::collections::BTreeMap;
+
+/// How a call site resolved.
+#[derive(Debug, Clone, Default)]
+pub struct Resolution {
+    /// Node indices of every possible callee (sorted, deduped).
+    pub targets: Vec<usize>,
+    /// The call resolved by method-name fallback rather than by path.
+    pub via_method_fallback: bool,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Every function node; index = node id.
+    pub fns: Vec<FnItem>,
+    /// Resolved adjacency: `edges[n]` = sorted, deduped callee node ids.
+    pub edges: Vec<Vec<usize>>,
+    /// Per-file `use`-maps (leaf identifier → full import path).
+    uses: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    /// name → node ids (all functions).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// name → node ids restricted to `impl`/`trait` functions.
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// (crate, name) → node ids.
+    by_crate_name: BTreeMap<(String, String), Vec<usize>>,
+    /// (impl type, name) → node ids.
+    by_type_name: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph from every file's item model.
+    #[must_use]
+    pub fn build(files: &BTreeMap<String, FileItems>) -> Self {
+        let mut fns: Vec<FnItem> = Vec::new();
+        let mut uses = BTreeMap::new();
+        for (file, items) in files {
+            uses.insert(file.clone(), items.uses.clone());
+            fns.extend(items.fns.iter().cloned());
+        }
+        let mut g = CallGraph {
+            edges: vec![Vec::new(); fns.len()],
+            fns,
+            uses,
+            by_name: BTreeMap::new(),
+            methods_by_name: BTreeMap::new(),
+            by_crate_name: BTreeMap::new(),
+            by_type_name: BTreeMap::new(),
+        };
+        for (idx, f) in g.fns.iter().enumerate() {
+            g.by_name.entry(f.name.clone()).or_default().push(idx);
+            g.by_crate_name.entry((f.krate.clone(), f.name.clone())).or_default().push(idx);
+            if let Some(t) = &f.impl_type {
+                g.methods_by_name.entry(f.name.clone()).or_default().push(idx);
+                g.by_type_name.entry((t.clone(), f.name.clone())).or_default().push(idx);
+            }
+        }
+        for caller in 0..g.fns.len() {
+            let mut out: Vec<usize> = Vec::new();
+            for call in &g.fns[caller].calls.clone() {
+                out.extend(g.resolve(caller, call).targets);
+            }
+            out.sort_unstable();
+            out.dedup();
+            g.edges[caller] = out;
+        }
+        g
+    }
+
+    /// Total number of resolved edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The canonical display name of a node:
+    /// `<crate>::<module>::[Type::]<name>`.
+    #[must_use]
+    pub fn display(&self, idx: usize) -> String {
+        self.fns.get(idx).map_or_else(String::new, |f| {
+            let mut s = f.krate.clone();
+            if !f.module.is_empty() {
+                s.push_str("::");
+                s.push_str(&f.module);
+            }
+            if let Some(t) = &f.impl_type {
+                s.push_str("::");
+                s.push_str(t);
+            }
+            s.push_str("::");
+            s.push_str(&f.name);
+            s
+        })
+    }
+
+    /// Resolve one call site of `caller` to workspace node ids.
+    #[must_use]
+    pub fn resolve(&self, caller: usize, call: &CallSite) -> Resolution {
+        let Some(f) = self.fns.get(caller) else { return Resolution::default() };
+        match &call.target {
+            CallTarget::Method(name) => {
+                let mut targets = self.methods_by_name.get(name).cloned().unwrap_or_default();
+                // Same-crate preference: when the caller's own crate defines
+                // a method of this name, the receiver is overwhelmingly a
+                // local type — restrict the fallback to those candidates
+                // instead of fanning out across the whole workspace. This
+                // trades a sliver of soundness for far fewer false
+                // cross-crate edges (documented in DESIGN.md §10).
+                let same_crate: Vec<usize> = targets
+                    .iter()
+                    .copied()
+                    .filter(|&t| self.fns.get(t).is_some_and(|c| c.krate == f.krate))
+                    .collect();
+                if !same_crate.is_empty() {
+                    targets = same_crate;
+                }
+                targets.sort_unstable();
+                targets.dedup();
+                Resolution { targets, via_method_fallback: true }
+            }
+            CallTarget::Path(segs) => {
+                let targets = self.resolve_path(f, segs);
+                Resolution { targets, via_method_fallback: false }
+            }
+        }
+    }
+
+    /// Resolve a path call made from function `f`.
+    fn resolve_path(&self, f: &FnItem, segs: &[String]) -> Vec<usize> {
+        let empty = BTreeMap::new();
+        let use_map = self.uses.get(&f.file).unwrap_or(&empty);
+
+        // Expand the first segment through the file's use-map, when imported.
+        let mut path: Vec<String> = segs.to_vec();
+        if let Some(first) = path.first() {
+            if !is_path_root(first) {
+                if let Some(full) = use_map.get(first) {
+                    let mut expanded = full.clone();
+                    expanded.extend(path.iter().skip(1).cloned());
+                    path = expanded;
+                }
+            }
+        }
+
+        // Determine the crate the path points into, if decidable.
+        let mut krate: Option<String> = None;
+        loop {
+            match path.first().map(String::as_str) {
+                Some(s) if s.starts_with("snaps_") => {
+                    krate = Some(s.trim_start_matches("snaps_").to_string());
+                    path.remove(0);
+                }
+                Some("crate") | Some("self") | Some("super") => {
+                    krate = Some(f.krate.clone());
+                    path.remove(0);
+                    continue; // strip repeated `super::super::`
+                }
+                Some("std") | Some("core") | Some("alloc") => return Vec::new(),
+                _ => {}
+            }
+            break;
+        }
+
+        let Some(name) = path.last().cloned() else { return Vec::new() };
+        let qualifier = path.len().checked_sub(2).and_then(|i| path.get(i)).cloned();
+
+        // `Self::helper(..)` — the caller's own impl type.
+        let qualifier = match qualifier.as_deref() {
+            Some("Self") => f.impl_type.clone(),
+            _ => qualifier,
+        };
+
+        let mut out: Vec<usize> = Vec::new();
+        if let Some(q) = qualifier.as_deref().filter(|q| is_type_name(q)) {
+            // `Type::method(..)` — associated path; crate-agnostic because
+            // types travel through re-exports and `use` renames.
+            out.extend(self.by_type_name.get(&(q.to_string(), name.clone())).into_iter().flatten());
+        } else if let Some(k) = krate {
+            out.extend(self.by_crate_name.get(&(k, name.clone())).into_iter().flatten());
+        } else if path.len() == 1 {
+            // Bare `helper(..)` — same crate unless imported from elsewhere
+            // (the import case was expanded above).
+            out.extend(
+                self.by_crate_name.get(&(f.krate.clone(), name.clone())).into_iter().flatten(),
+            );
+        } else {
+            // `module::helper(..)` with an unknowable root: assume the
+            // caller's own crate (module paths across crates always carry a
+            // `snaps_*` or use-imported root, handled above).
+            out.extend(
+                self.by_crate_name.get(&(f.krate.clone(), name.clone())).into_iter().flatten(),
+            );
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Is this segment a path root keyword rather than an importable name?
+fn is_path_root(s: &str) -> bool {
+    matches!(s, "crate" | "self" | "super" | "std" | "core" | "alloc") || s.starts_with("snaps_")
+}
+
+/// Heuristic: capitalised first letter ⇒ a type name (workspace style
+/// never capitalises modules or functions).
+fn is_type_name(s: &str) -> bool {
+    s.chars().next().is_some_and(char::is_uppercase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::scanner;
+
+    fn file(krate: &str, path: &str, src: &str) -> (String, FileItems) {
+        let scan = scanner::scan(src);
+        let toks = scanner::strip_test_regions(scan.tokens);
+        (path.to_string(), extract(krate, path, &toks))
+    }
+
+    fn graph(files: Vec<(String, FileItems)>) -> CallGraph {
+        CallGraph::build(&files.into_iter().collect())
+    }
+
+    fn node(g: &CallGraph, krate: &str, name: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|f| f.krate == krate && f.name == name)
+            .unwrap_or_else(|| panic!("no node {krate}::{name}"))
+    }
+
+    #[test]
+    fn cross_crate_path_call_resolves_via_use_map() {
+        let g = graph(vec![
+            file(
+                "serve",
+                "crates/serve/src/server.rs",
+                "use snaps_query::run_query;\nfn search() { run_query(); }\n",
+            ),
+            file("query", "crates/query/src/lib.rs", "pub fn run_query() {}\n"),
+        ]);
+        let s = node(&g, "serve", "search");
+        let q = node(&g, "query", "run_query");
+        assert_eq!(g.edges[s], vec![q]);
+    }
+
+    #[test]
+    fn fully_qualified_snaps_path_resolves() {
+        let g = graph(vec![
+            file("serve", "crates/serve/src/lib.rs", "fn f() { snaps_query::process::go(); }\n"),
+            file("query", "crates/query/src/process.rs", "pub fn go() {}\n"),
+        ]);
+        assert_eq!(g.edges[node(&g, "serve", "f")], vec![node(&g, "query", "go")]);
+    }
+
+    #[test]
+    fn method_call_falls_back_to_all_impl_fns() {
+        let g = graph(vec![
+            file("serve", "crates/serve/src/lib.rs", "fn f(x: X) { x.lookup(); }\n"),
+            file(
+                "index",
+                "crates/index/src/lib.rs",
+                "pub struct A;\nimpl A { pub fn lookup(&self) {} }\n\
+                 pub struct B;\nimpl B { pub fn lookup(&self) {} }\n",
+            ),
+        ]);
+        let f = node(&g, "serve", "f");
+        assert_eq!(g.edges[f].len(), 2, "both lookup impls are fallback targets");
+        let call = &g.fns[f].calls[0];
+        assert!(g.resolve(f, call).via_method_fallback);
+    }
+
+    #[test]
+    fn method_fallback_prefers_same_crate_candidates() {
+        let g = graph(vec![
+            file(
+                "obs",
+                "crates/obs/src/lib.rs",
+                "pub struct Tree;\nimpl Tree { pub fn record(&self) {} }\n\
+                 fn go(t: Tree) { t.record(); }\n",
+            ),
+            file(
+                "model",
+                "crates/model/src/dataset.rs",
+                "pub struct Dataset;\nimpl Dataset { pub fn record(&self) {} }\n",
+            ),
+        ]);
+        let go = node(&g, "obs", "go");
+        assert_eq!(
+            g.edges[go],
+            vec![node(&g, "obs", "record")],
+            "the obs-local record shadows the cross-crate fallback"
+        );
+    }
+
+    #[test]
+    fn type_qualified_call_resolves_to_impl() {
+        let g = graph(vec![
+            file(
+                "serve",
+                "crates/serve/src/lib.rs",
+                "use snaps_query::QueryRecord;\nfn f() { QueryRecord::try_new(); }\n",
+            ),
+            file(
+                "query",
+                "crates/query/src/query.rs",
+                "pub struct QueryRecord;\nimpl QueryRecord { pub fn try_new() {} }\n",
+            ),
+        ]);
+        assert_eq!(g.edges[node(&g, "serve", "f")], vec![node(&g, "query", "try_new")]);
+    }
+
+    #[test]
+    fn std_paths_resolve_to_nothing() {
+        let g = graph(vec![file(
+            "serve",
+            "crates/serve/src/lib.rs",
+            "use std::fs::read;\nfn f() { read(); std::mem::take(); }\n",
+        )]);
+        assert!(g.edges[node(&g, "serve", "f")].is_empty());
+    }
+
+    #[test]
+    fn crate_and_self_prefixes_stay_local() {
+        let g = graph(vec![
+            file(
+                "query",
+                "crates/query/src/process.rs",
+                "pub fn outer() { crate::helper(); self::helper(); }\npub fn helper() {}\n",
+            ),
+            file("core", "crates/core/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        let o = node(&g, "query", "outer");
+        assert_eq!(g.edges[o], vec![node(&g, "query", "helper")]);
+    }
+
+    #[test]
+    fn display_names_are_canonical() {
+        let g = graph(vec![file(
+            "core",
+            "crates/core/src/pedigree.rs",
+            "pub struct PedigreeGraph;\nimpl PedigreeGraph { pub fn get(&self) {} }\n",
+        )]);
+        assert_eq!(g.display(0), "core::pedigree::PedigreeGraph::get");
+    }
+}

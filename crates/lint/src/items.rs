@@ -1,0 +1,949 @@
+//! Pass 1 of the workspace analyzer: a lightweight item model per file.
+//!
+//! Parses the stripped significant-token stream from [`crate::scanner`]
+//! into function items (with their call sites, panic sites, and lock
+//! sites), public items (for the dead-pub rule), and a `use`-map (leaf
+//! identifier → full import path) that [`crate::callgraph`] consults when
+//! resolving call targets. This is deliberately *not* a Rust parser: it is
+//! a linear cursor walk that understands just enough structure — `mod` /
+//! `impl` / `trait` / `fn` nesting, attribute and generics skipping,
+//! balanced delimiters — to attribute every call and panic site to the
+//! function that contains it. Macro-definition bodies (`macro_rules!`) are
+//! opaque to the model.
+
+use crate::scanner::{Spanned, Tok};
+use std::collections::BTreeMap;
+
+/// What a call site names, before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// A path call: `foo(..)`, `module::foo(..)`, `Type::method(..)`,
+    /// `snaps_core::pedigree::build(..)` — segments as written.
+    Path(Vec<String>),
+    /// A method call `recv.name(..)`: only the method name is knowable
+    /// without type inference, so resolution falls back to *every*
+    /// workspace `impl`/`trait` function of that name.
+    Method(String),
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// What the call names.
+    pub target: CallTarget,
+    /// 1-based source line.
+    pub line: usize,
+    /// Index of the call's name token in the file's stripped token stream
+    /// (used to test containment in a lock's hold region).
+    pub tok: usize,
+}
+
+/// One potentially panicking expression inside a function body.
+#[derive(Debug, Clone)]
+pub(crate) struct PanicSite {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description (`.unwrap()`, `assert!`, …).
+    pub what: &'static str,
+}
+
+/// One `.lock()` call and the token range its guard is assumed held for:
+/// to the end of the enclosing block (or a `drop(<guard>)`) when
+/// let-bound, to the end of the statement when temporary.
+#[derive(Debug, Clone)]
+pub(crate) struct LockSite {
+    /// 1-based source line of the `.lock()` call.
+    pub line: usize,
+    /// Half-open token-index range `(lock_tok, region_end)` of the hold.
+    pub region: (usize, usize),
+}
+
+/// One function (or trait-method declaration) in the item model.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Short crate name (`core`, `serve`, …).
+    pub krate: String,
+    /// `::`-joined module path within the crate (empty at the crate root;
+    /// `bin::snaps_serve` for `src/bin/snaps_serve.rs`).
+    pub module: String,
+    /// Enclosing `impl Type` / `trait Type` name, if any.
+    pub impl_type: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Declared `pub` (unrestricted).
+    pub is_pub: bool,
+    /// Every call expression in the body, in token order.
+    pub calls: Vec<CallSite>,
+    /// Every panic-capable expression in the body.
+    pub(crate) panics: Vec<PanicSite>,
+    /// Every `.lock()` hold region in the body.
+    pub(crate) locks: Vec<LockSite>,
+}
+
+/// A `pub` item declaration (dead-pub candidate). Restricted visibility
+/// (`pub(crate)`, `pub(super)`, …) is excluded by construction.
+#[derive(Debug, Clone)]
+pub(crate) struct PubItem {
+    /// Item kind keyword (`fn`, `struct`, `enum`, `trait`, `type`,
+    /// `const`, `static`).
+    pub kind: &'static str,
+    /// Item name.
+    pub name: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+}
+
+/// The item model of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Every function, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every unrestricted-`pub` item, in source order.
+    pub(crate) pub_items: Vec<PubItem>,
+    /// Leaf identifier → full import path, from `use` declarations.
+    pub uses: BTreeMap<String, Vec<String>>,
+    /// Identifiers appearing in unrestricted-`pub` declaration surfaces:
+    /// `pub fn` signatures and `pub struct`/`enum`/`type` bodies. A pub
+    /// type named here is pinned to `pub` by rustc's `private_interfaces`
+    /// lint, so the dead-pub rule exempts it — it lives and dies with the
+    /// item that exposes it.
+    pub(crate) sig_idents: std::collections::BTreeSet<String>,
+}
+
+/// Keywords that can directly precede `(` without being a call.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "fn", "let", "else",
+    "mut", "ref", "box", "await", "yield", "unsafe", "dyn", "impl", "where", "pub", "use", "mod",
+    "struct", "enum", "trait", "type", "const", "static", "crate", "super", "break", "continue",
+    "Self", "self",
+];
+
+/// Identifiers that legally precede `[` in type or expression position —
+/// the same set as the token-level `index-guard` rule plus `let` (slice
+/// patterns).
+const NOT_INDEXABLE: &[&str] = &[
+    "mut", "dyn", "impl", "const", "ref", "move", "as", "in", "else", "return", "break", "match",
+    "if", "where", "let",
+];
+
+/// Macros that panic in release builds (`debug_assert*` compile out).
+const PANIC_MACROS: &[(&str, &str)] = &[
+    ("panic", "panic!"),
+    ("unreachable", "unreachable!"),
+    ("todo", "todo!"),
+    ("unimplemented", "unimplemented!"),
+    ("assert", "assert!"),
+    ("assert_eq", "assert_eq!"),
+    ("assert_ne", "assert_ne!"),
+];
+
+/// Derive the `::`-joined module path of a repo-relative `.rs` file within
+/// its crate (`src/lib.rs` → ``, `src/server.rs` → `server`,
+/// `src/bin/snaps_serve.rs` → `bin::snaps_serve`, `src/foo/mod.rs` → `foo`).
+#[must_use]
+pub(crate) fn module_of(file: &str) -> String {
+    let Some(pos) = file.find("src/") else { return String::new() };
+    let rel = &file[pos + 4..];
+    let rel = rel.strip_suffix(".rs").unwrap_or(rel);
+    let mut parts: Vec<&str> = rel.split('/').collect();
+    if parts.last() == Some(&"mod") {
+        parts.pop();
+    }
+    if parts.len() == 1 && matches!(parts.first(), Some(&"lib") | Some(&"main")) {
+        parts.pop();
+    }
+    parts.join("::")
+}
+
+/// Extract the item model of one non-test file from its stripped tokens.
+#[must_use]
+pub fn extract(krate: &str, file: &str, tokens: &[Spanned]) -> FileItems {
+    let mut p = Parser {
+        toks: tokens,
+        krate: krate.to_string(),
+        file: file.to_string(),
+        out: FileItems::default(),
+    };
+    p.parse_scope(0, &module_of(file), None);
+    p.out
+}
+
+struct Parser<'a> {
+    toks: &'a [Spanned],
+    krate: String,
+    file: String,
+    out: FileItems,
+}
+
+impl Parser<'_> {
+    fn ident(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, i: usize) -> Option<char> {
+        match self.toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn line(&self, i: usize) -> usize {
+        self.toks.get(i).map_or(0, |t| t.line)
+    }
+
+    /// Skip a balanced `open`…`close` pair starting at `i` (which must sit
+    /// on `open`); returns the index just past the matching `close`.
+    fn skip_balanced(&self, i: usize, open: char, close: char) -> usize {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < self.toks.len() {
+            match self.punct(j) {
+                Some(c) if c == open => depth += 1,
+                Some(c) if c == close => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Skip a generics list starting at `i` (on `<`); `->` arrows inside do
+    /// not close the list. Returns the index just past the matching `>`.
+    fn skip_generics(&self, i: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < self.toks.len() {
+            match self.punct(j) {
+                Some('<') => depth += 1,
+                Some('>') if self.punct(j.wrapping_sub(1)) == Some('-') => {} // part of `->`
+                Some('>') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Skip an attribute starting at `i` (on `#`); handles `#[..]` and
+    /// `#![..]`. Returns the index just past the closing `]`.
+    fn skip_attr(&self, i: usize) -> usize {
+        let mut j = i + 1;
+        if self.punct(j) == Some('!') {
+            j += 1;
+        }
+        if self.punct(j) == Some('[') {
+            return self.skip_balanced(j, '[', ']');
+        }
+        j
+    }
+
+    /// Parse items until the scope's closing `}` (or end of stream).
+    /// Returns the index just past the `}`.
+    fn parse_scope(&mut self, mut i: usize, module: &str, impl_type: Option<&str>) -> usize {
+        let mut is_pub = false;
+        while i < self.toks.len() {
+            match &self.toks.get(i).map(|t| t.tok.clone()) {
+                Some(Tok::Punct('#')) => {
+                    i = self.skip_attr(i);
+                    continue;
+                }
+                Some(Tok::Punct('}')) => return i + 1,
+                Some(Tok::Punct('{')) => {
+                    i = self.skip_balanced(i, '{', '}');
+                    is_pub = false;
+                    continue;
+                }
+                Some(Tok::Punct(_)) | None => {
+                    i += 1;
+                    continue;
+                }
+                Some(Tok::Ident(id)) => match id.as_str() {
+                    "pub" => {
+                        if self.punct(i + 1) == Some('(') {
+                            // Restricted visibility: not a workspace-pub item.
+                            i = self.skip_balanced(i + 1, '(', ')');
+                            is_pub = false;
+                        } else {
+                            is_pub = true;
+                            i += 1;
+                        }
+                    }
+                    "use" => {
+                        i = self.parse_use(i + 1);
+                        is_pub = false;
+                    }
+                    "mod" => {
+                        let name = self.ident(i + 1).unwrap_or("").to_string();
+                        i += 2;
+                        if self.punct(i) == Some('{') {
+                            let inner =
+                                if module.is_empty() { name } else { format!("{module}::{name}") };
+                            i = self.parse_scope(i + 1, &inner, None);
+                        } else if self.punct(i) == Some(';') {
+                            i += 1;
+                        }
+                        is_pub = false;
+                    }
+                    "impl" => {
+                        i = self.parse_impl(i + 1, module);
+                        is_pub = false;
+                    }
+                    "trait" => {
+                        let name = self.ident(i + 1).unwrap_or("").to_string();
+                        if is_pub && !name.is_empty() {
+                            self.push_pub("trait", &name, self.line(i));
+                        }
+                        let mut j = i + 2;
+                        while j < self.toks.len() && self.punct(j) != Some('{') {
+                            if self.punct(j) == Some('<') {
+                                j = self.skip_generics(j);
+                            } else {
+                                j += 1;
+                            }
+                        }
+                        i = self.parse_scope(j + 1, module, Some(&name));
+                        is_pub = false;
+                    }
+                    "fn" => {
+                        i = self.parse_fn(i, module, impl_type, is_pub);
+                        is_pub = false;
+                    }
+                    "struct" | "enum" | "union" => {
+                        let kind = if id == "enum" { "enum" } else { "struct" };
+                        let name = self.ident(i + 1).unwrap_or("").to_string();
+                        if is_pub && !name.is_empty() {
+                            self.push_pub(kind, &name, self.line(i));
+                        }
+                        let end = self.skip_type_body(i + 2);
+                        if is_pub {
+                            self.collect_sig_idents(i + 2, end);
+                        }
+                        i = end;
+                        is_pub = false;
+                    }
+                    "type" => {
+                        let name = self.ident(i + 1).unwrap_or("").to_string();
+                        if is_pub && !name.is_empty() && impl_type.is_none() {
+                            self.push_pub("type", &name, self.line(i));
+                        }
+                        let end = self.skip_to_semi(i + 2);
+                        if is_pub && impl_type.is_none() {
+                            self.collect_sig_idents(i + 2, end);
+                        }
+                        i = end;
+                        is_pub = false;
+                    }
+                    "const" | "static" => {
+                        if self.ident(i + 1) == Some("fn") {
+                            i = self.parse_fn(i + 1, module, impl_type, is_pub);
+                            is_pub = false;
+                            continue;
+                        }
+                        let mut j = i + 1;
+                        if self.ident(j) == Some("mut") {
+                            j += 1;
+                        }
+                        let name = self.ident(j).unwrap_or("").to_string();
+                        let kind = if id == "const" { "const" } else { "static" };
+                        // `const` inside an impl/trait is an associated item,
+                        // not an independent API surface.
+                        if is_pub && !name.is_empty() && name != "_" && impl_type.is_none() {
+                            self.push_pub(kind, &name, self.line(i));
+                        }
+                        i = self.skip_to_semi(j + 1);
+                        is_pub = false;
+                    }
+                    "macro_rules" => {
+                        let mut j = i + 1; // `!`
+                        while j < self.toks.len()
+                            && !matches!(self.punct(j), Some('{') | Some('(') | Some('['))
+                        {
+                            j += 1;
+                        }
+                        i = match self.punct(j) {
+                            Some('{') => self.skip_balanced(j, '{', '}'),
+                            Some('(') => self.skip_balanced(j, '(', ')'),
+                            Some('[') => self.skip_balanced(j, '[', ']'),
+                            _ => j,
+                        };
+                        is_pub = false;
+                    }
+                    _ => i += 1, // modifiers (`unsafe`, `async`, `extern`, …) and stray idents
+                },
+            }
+        }
+        i
+    }
+
+    fn push_pub(&mut self, kind: &'static str, name: &str, line: usize) {
+        self.out.pub_items.push(PubItem {
+            kind,
+            name: name.to_string(),
+            file: self.file.clone(),
+            line,
+        });
+    }
+
+    /// Record every identifier in `[start, end)` as part of a pub
+    /// declaration surface (signature or type body).
+    fn collect_sig_idents(&mut self, start: usize, end: usize) {
+        for t in &self.toks[start.min(self.toks.len())..end.min(self.toks.len())] {
+            if let Tok::Ident(id) = &t.tok {
+                self.out.sig_idents.insert(id.clone());
+            }
+        }
+    }
+
+    /// Skip a struct/enum/union body starting just past the name: generics,
+    /// optional where-clause, then `{..}`, `(..);`, or `;`.
+    fn skip_type_body(&self, mut i: usize) -> usize {
+        while i < self.toks.len() {
+            match self.punct(i) {
+                Some('<') => i = self.skip_generics(i),
+                Some('{') => return self.skip_balanced(i, '{', '}'),
+                Some('(') => {
+                    i = self.skip_balanced(i, '(', ')');
+                    // tuple struct: a `;` (possibly after a where-clause) ends it
+                }
+                Some(';') => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    /// Skip to the `;` ending a const/static/type item, stepping over any
+    /// balanced braces, brackets, or parens in the initialiser.
+    fn skip_to_semi(&self, mut i: usize) -> usize {
+        while i < self.toks.len() {
+            match self.punct(i) {
+                Some(';') => return i + 1,
+                Some('{') => i = self.skip_balanced(i, '{', '}'),
+                Some('[') => i = self.skip_balanced(i, '[', ']'),
+                Some('(') => i = self.skip_balanced(i, '(', ')'),
+                Some('<') => i = self.skip_generics(i),
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    /// Parse a `use` declaration starting just past the `use` keyword,
+    /// recording leaf-name → full-path entries. Returns the index past `;`.
+    fn parse_use(&mut self, i: usize) -> usize {
+        let end = self.skip_to_semi(i);
+        let mut prefix: Vec<String> = Vec::new();
+        self.parse_use_tree(i, end.saturating_sub(1), &mut prefix);
+        end
+    }
+
+    /// Parse one use-tree between `i` and `end` (exclusive) with the given
+    /// path prefix. Handles `a::b`, groups `{..}`, renames `as x`, and `*`.
+    fn parse_use_tree(&mut self, mut i: usize, end: usize, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        while i < end {
+            match &self.toks.get(i).map(|t| t.tok.clone()) {
+                Some(Tok::Ident(id)) if id == "as" => {
+                    // rename: map the alias to the path collected so far
+                    if let Some(alias) = self.ident(i + 1) {
+                        self.out.uses.insert(alias.to_string(), prefix.clone());
+                    }
+                    i += 2;
+                    prefix.truncate(depth_at_entry);
+                }
+                Some(Tok::Ident(id)) => {
+                    prefix.push(id.clone());
+                    i += 1;
+                    // leaf if not followed by `::`
+                    let sep = self.punct(i) == Some(':') && self.punct(i + 1) == Some(':');
+                    if sep {
+                        i += 2;
+                        if self.punct(i) == Some('{') {
+                            let group_end = self.skip_balanced(i, '{', '}');
+                            self.parse_use_tree(i + 1, group_end - 1, prefix);
+                            i = group_end;
+                            prefix.truncate(depth_at_entry);
+                        }
+                    } else {
+                        // `a::b as c` is handled by the `as` arm; otherwise
+                        // this ident is the imported name.
+                        if self.ident(i) != Some("as") {
+                            if let Some(leaf) = prefix.last().cloned() {
+                                self.out.uses.insert(leaf, prefix.clone());
+                            }
+                            prefix.truncate(depth_at_entry);
+                        }
+                    }
+                }
+                Some(Tok::Punct(',')) => {
+                    prefix.truncate(depth_at_entry);
+                    i += 1;
+                }
+                Some(Tok::Punct('*')) => i += 1, // glob: nothing to record
+                _ => i += 1,
+            }
+        }
+        prefix.truncate(depth_at_entry);
+    }
+
+    /// Parse an `impl` header starting just past the keyword and recurse
+    /// into its body with the implemented type's name.
+    fn parse_impl(&mut self, mut i: usize, module: &str) -> usize {
+        if self.punct(i) == Some('<') {
+            i = self.skip_generics(i);
+        }
+        let mut last_ident = String::new();
+        while i < self.toks.len() {
+            match &self.toks.get(i).map(|t| t.tok.clone()) {
+                Some(Tok::Ident(id)) if id == "for" => {
+                    last_ident.clear(); // the type comes after `for`
+                    i += 1;
+                }
+                Some(Tok::Ident(id)) if id == "where" => {
+                    // skip the where-clause up to the body
+                    while i < self.toks.len() && self.punct(i) != Some('{') {
+                        if self.punct(i) == Some('<') {
+                            i = self.skip_generics(i);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                Some(Tok::Ident(id)) => {
+                    last_ident = id.clone();
+                    i += 1;
+                }
+                Some(Tok::Punct('<')) => i = self.skip_generics(i),
+                Some(Tok::Punct('(')) => i = self.skip_balanced(i, '(', ')'),
+                Some(Tok::Punct('{')) => {
+                    return self.parse_scope(i + 1, module, Some(&last_ident));
+                }
+                Some(Tok::Punct(';')) => return i + 1, // `impl Trait for T;` (never in practice)
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    /// Parse a `fn` item starting at the `fn` keyword. Returns the index
+    /// past the body's `}` (or past `;` for bodyless trait declarations).
+    fn parse_fn(&mut self, i: usize, module: &str, impl_type: Option<&str>, is_pub: bool) -> usize {
+        let line = self.line(i);
+        let Some(name) = self.ident(i + 1).map(str::to_string) else { return i + 1 };
+        // Scan the signature for the body `{` or a `;`; `;` inside array
+        // types (`[u8; 4]`) is shielded by bracket-depth tracking.
+        let mut j = i + 2;
+        let mut bracket_depth = 0usize;
+        let body_start = loop {
+            if j >= self.toks.len() {
+                break None;
+            }
+            match self.punct(j) {
+                Some('<') => {
+                    j = self.skip_generics(j);
+                    continue;
+                }
+                Some('[') => bracket_depth += 1,
+                Some(']') => bracket_depth = bracket_depth.saturating_sub(1),
+                Some('{') if bracket_depth == 0 => break Some(j),
+                Some(';') if bracket_depth == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let mut item = FnItem {
+            krate: self.krate.clone(),
+            module: module.to_string(),
+            impl_type: impl_type.map(str::to_string),
+            name: name.clone(),
+            file: self.file.clone(),
+            line,
+            is_pub,
+            calls: Vec::new(),
+            panics: Vec::new(),
+            locks: Vec::new(),
+        };
+        if is_pub && name != "main" {
+            self.push_pub("fn", &name, line);
+            self.collect_sig_idents(i + 2, body_start.unwrap_or(j));
+        }
+        let Some(start) = body_start else {
+            self.out.fns.push(item);
+            return j + 1;
+        };
+        let end = self.skip_balanced(start, '{', '}');
+        self.analyze_body(start + 1, end.saturating_sub(1), &mut item);
+        self.out.fns.push(item);
+        end
+    }
+
+    /// Walk a function body `[start, end)` collecting call, panic, and lock
+    /// sites.
+    fn analyze_body(&self, start: usize, end: usize, item: &mut FnItem) {
+        let mut depth = 0usize; // brace depth relative to the body
+        let mut i = start;
+        while i < end {
+            match &self.toks.get(i).map(|t| t.tok.clone()) {
+                Some(Tok::Punct('{')) => depth += 1,
+                Some(Tok::Punct('}')) => depth = depth.saturating_sub(1),
+                Some(Tok::Punct('[')) => {
+                    let prev_ident_ok = self
+                        .ident(i.wrapping_sub(1))
+                        .is_some_and(|id| !NOT_INDEXABLE.contains(&id));
+                    let prev_punct_ok =
+                        matches!(self.punct(i.wrapping_sub(1)), Some(')') | Some(']') | Some('?'));
+                    if i > start && (prev_ident_ok || prev_punct_ok) {
+                        item.panics
+                            .push(PanicSite { line: self.line(i), what: "unguarded `[..]` index" });
+                    }
+                }
+                Some(Tok::Ident(id)) => {
+                    if let Some((_, what)) = PANIC_MACROS.iter().find(|(m, _)| m == id) {
+                        if self.punct(i + 1) == Some('!') {
+                            item.panics.push(PanicSite { line: self.line(i), what });
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    if self.is_call_head(i) {
+                        let is_method = self.punct(i.wrapping_sub(1)) == Some('.');
+                        if is_method {
+                            if id == "unwrap" || id == "expect" {
+                                let what = if id == "unwrap" { ".unwrap()" } else { ".expect()" };
+                                item.panics.push(PanicSite { line: self.line(i), what });
+                            }
+                            if id == "lock" {
+                                let region = self.lock_region(i, start, end, depth);
+                                item.locks.push(LockSite { line: self.line(i), region });
+                            }
+                            item.calls.push(CallSite {
+                                target: CallTarget::Method(id.clone()),
+                                line: self.line(i),
+                                tok: i,
+                            });
+                        } else if !NON_CALL_IDENTS.contains(&id.as_str())
+                            && self.ident(i.wrapping_sub(1)) != Some("fn")
+                        {
+                            let path = self.collect_path_backward(i);
+                            item.calls.push(CallSite {
+                                target: CallTarget::Path(path),
+                                line: self.line(i),
+                                tok: i,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Is the identifier at `i` the head of a call — followed by `(`,
+    /// optionally through a turbofish `::<..>`?
+    fn is_call_head(&self, i: usize) -> bool {
+        if self.punct(i + 1) == Some('(') {
+            return true;
+        }
+        if self.punct(i + 1) == Some(':')
+            && self.punct(i + 2) == Some(':')
+            && self.punct(i + 3) == Some('<')
+        {
+            let j = self.skip_generics(i + 3);
+            return self.punct(j) == Some('(');
+        }
+        false
+    }
+
+    /// Collect the `::`-separated path ending at the identifier `i`,
+    /// walking backwards (`snaps_core :: pedigree :: build` → three
+    /// segments).
+    fn collect_path_backward(&self, i: usize) -> Vec<String> {
+        let mut segs = vec![self.ident(i).unwrap_or("").to_string()];
+        let mut j = i;
+        while j >= 3
+            && self.punct(j - 1) == Some(':')
+            && self.punct(j - 2) == Some(':')
+            && self.ident(j - 3).is_some()
+        {
+            segs.insert(0, self.ident(j - 3).unwrap_or("").to_string());
+            j -= 3;
+        }
+        segs
+    }
+
+    /// Compute the hold region of the `.lock()` whose name token is at `i`.
+    ///
+    /// A let-bound guard is held to the end of the enclosing block (or an
+    /// explicit `drop(<name>)`); a temporary guard to the end of the
+    /// statement. `depth` is the brace depth of the lock site relative to
+    /// the body.
+    fn lock_region(
+        &self,
+        i: usize,
+        body_start: usize,
+        body_end: usize,
+        depth: usize,
+    ) -> (usize, usize) {
+        // Find the statement start: the nearest `;`, `{`, or `}` behind us.
+        let mut s = i;
+        while s > body_start {
+            if matches!(self.punct(s - 1), Some(';') | Some('{') | Some('}')) {
+                break;
+            }
+            s -= 1;
+        }
+        // Let-bound? Capture the bound name when it is a plain identifier
+        // *and* the binding actually holds the guard: after `.lock(..)` the
+        // chain may only continue through guard-preserving adapters
+        // (`unwrap`/`expect`/`unwrap_or_else`, `?`) before the statement
+        // ends. `let v = m.lock().get(k);` binds `.get`'s result — the
+        // guard itself is a temporary dropped at the `;`.
+        let mut bound: Option<Option<String>> = None; // Some(name?) when let-bound
+        let mut k = s;
+        while k < i {
+            if self.ident(k) == Some("let") {
+                let mut n = k + 1;
+                if self.ident(n) == Some("mut") {
+                    n += 1;
+                }
+                if self.ident(n).is_some() && self.punct(n + 1) == Some('=') {
+                    let mut c = self.skip_balanced(i + 1, '(', ')');
+                    loop {
+                        if self.punct(c) == Some('?') {
+                            c += 1;
+                        } else if self.punct(c) == Some('.')
+                            && matches!(
+                                self.ident(c + 1),
+                                Some("unwrap") | Some("expect") | Some("unwrap_or_else")
+                            )
+                            && self.punct(c + 2) == Some('(')
+                        {
+                            c = self.skip_balanced(c + 2, '(', ')');
+                        } else {
+                            break;
+                        }
+                    }
+                    if matches!(self.punct(c), Some(';')) {
+                        bound = Some(self.ident(n).map(str::to_string));
+                    }
+                }
+                break;
+            }
+            k += 1;
+        }
+        let mut d = depth;
+        let mut j = i;
+        while j < body_end {
+            match self.punct(j) {
+                Some('{') => d += 1,
+                Some('}') => {
+                    if d == 0 {
+                        return (i, j); // body ends
+                    }
+                    d -= 1;
+                    if d < depth {
+                        return (i, j); // enclosing block closes
+                    }
+                }
+                Some(';') if bound.is_none() && d == depth && j > i => {
+                    return (i, j); // temporary guard: statement ends
+                }
+                _ => {}
+            }
+            // `drop(<name>)` releases a named guard early.
+            if let Some(Some(name)) = &bound {
+                if self.ident(j) == Some("drop")
+                    && self.punct(j + 1) == Some('(')
+                    && self.ident(j + 2) == Some(name.as_str())
+                    && self.punct(j + 3) == Some(')')
+                {
+                    return (i, j);
+                }
+            }
+            j += 1;
+        }
+        (i, body_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner;
+
+    fn model(src: &str) -> FileItems {
+        let scan = scanner::scan(src);
+        let toks = scanner::strip_test_regions(scan.tokens);
+        extract("core", "crates/core/src/x.rs", &toks)
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(module_of("crates/serve/src/lib.rs"), "");
+        assert_eq!(module_of("crates/serve/src/server.rs"), "server");
+        assert_eq!(module_of("crates/serve/src/bin/snaps_serve.rs"), "bin::snaps_serve");
+        assert_eq!(module_of("src/main.rs"), "");
+        assert_eq!(module_of("crates/core/src/foo/mod.rs"), "foo");
+        assert_eq!(module_of("crates/core/src/foo/bar.rs"), "foo::bar");
+    }
+
+    #[test]
+    fn fn_and_calls_extracted() {
+        let m = model(
+            "pub fn outer(x: u8) -> u8 { helper(x); snaps_query::process::run(x); x.finish() }\n\
+             fn helper(_x: u8) {}\n",
+        );
+        assert_eq!(m.fns.len(), 2);
+        let outer = &m.fns[0];
+        assert_eq!(outer.name, "outer");
+        assert!(outer.is_pub);
+        assert_eq!(outer.calls.len(), 3);
+        assert_eq!(outer.calls[0].target, CallTarget::Path(vec!["helper".into()]));
+        assert_eq!(
+            outer.calls[1].target,
+            CallTarget::Path(vec!["snaps_query".into(), "process".into(), "run".into()])
+        );
+        assert_eq!(outer.calls[2].target, CallTarget::Method("finish".into()));
+    }
+
+    #[test]
+    fn impl_and_trait_methods_carry_type() {
+        let m = model(
+            "struct S;\nimpl S { pub fn a(&self) {} }\n\
+             impl Default for S { fn default() -> Self { S } }\n\
+             trait T { fn decl(&self); fn provided(&self) { self.decl() } }\n",
+        );
+        let names: Vec<(Option<&str>, &str)> =
+            m.fns.iter().map(|f| (f.impl_type.as_deref(), f.name.as_str())).collect();
+        assert_eq!(
+            names,
+            vec![
+                (Some("S"), "a"),
+                (Some("S"), "default"),
+                (Some("T"), "decl"),
+                (Some("T"), "provided"),
+            ]
+        );
+    }
+
+    #[test]
+    fn panic_sites_found() {
+        let m = model(
+            "fn f(v: &[u8], i: usize) -> u8 { let x = v[i]; maybe().unwrap(); assert!(i > 0); x }\n",
+        );
+        let whats: Vec<&str> = m.fns[0].panics.iter().map(|p| p.what).collect();
+        assert_eq!(whats, vec!["unguarded `[..]` index", ".unwrap()", "assert!"]);
+    }
+
+    #[test]
+    fn guarded_get_is_not_a_panic_site() {
+        let m = model("fn f(v: &[u8], i: usize) -> Option<u8> { v.get(i).copied() }\n");
+        assert!(m.fns[0].panics.is_empty(), "{:?}", m.fns[0].panics);
+        // but .get is still a call site (method fallback)
+        assert!(m.fns[0].calls.iter().any(|c| c.target == CallTarget::Method("get".into())));
+    }
+
+    #[test]
+    fn use_map_resolves_leaves_groups_and_renames() {
+        let m = model(
+            "use snaps_query::process::run;\nuse snaps_model::{EntityId, Gender};\n\
+             use std::collections::BTreeMap as Map;\n",
+        );
+        assert_eq!(
+            m.uses.get("run"),
+            Some(&vec!["snaps_query".to_string(), "process".to_string(), "run".to_string()])
+        );
+        assert_eq!(
+            m.uses.get("Gender"),
+            Some(&vec!["snaps_model".to_string(), "Gender".to_string()])
+        );
+        assert_eq!(
+            m.uses.get("Map"),
+            Some(&vec!["std".to_string(), "collections".to_string(), "BTreeMap".to_string()])
+        );
+    }
+
+    #[test]
+    fn let_bound_lock_held_to_block_end() {
+        let m = model(
+            "fn f(&self) { { let mut g = self.m.lock(); g.push(1); } self.after(); }\n\
+             struct X;\n",
+        );
+        let f = &m.fns[0];
+        assert_eq!(f.locks.len(), 1);
+        let (lo, hi) = f.locks[0].region;
+        let push = f.calls.iter().find(|c| c.target == CallTarget::Method("push".into())).unwrap();
+        let after =
+            f.calls.iter().find(|c| c.target == CallTarget::Method("after".into())).unwrap();
+        assert!(push.tok > lo && push.tok < hi, "push inside hold region");
+        assert!(after.tok > hi, "call after block is outside the region");
+    }
+
+    #[test]
+    fn temporary_lock_ends_at_statement() {
+        let m = model("fn f(&self) { let v = self.m.lock().get(1); self.after(v); }\n");
+        let f = &m.fns[0];
+        assert_eq!(f.locks.len(), 1);
+        let (_, hi) = f.locks[0].region;
+        let get = f.calls.iter().find(|c| c.target == CallTarget::Method("get".into())).unwrap();
+        let after =
+            f.calls.iter().find(|c| c.target == CallTarget::Method("after".into())).unwrap();
+        // the temporary guard covers `.get(` but is dropped at the `;`
+        assert!(get.tok < hi, "get under the temporary guard");
+        assert!(after.tok > hi, "next statement outside");
+    }
+
+    #[test]
+    fn drop_releases_named_guard() {
+        let m = model("fn f(&self) { let g = self.m.lock(); g.push(1); drop(g); self.after(); }\n");
+        let f = &m.fns[0];
+        let (_, hi) = f.locks[0].region;
+        let after =
+            f.calls.iter().find(|c| c.target == CallTarget::Method("after".into())).unwrap();
+        assert!(after.tok > hi, "drop(g) ends the region before after()");
+    }
+
+    #[test]
+    fn pub_items_recorded_and_restricted_pub_skipped() {
+        let m = model(
+            "pub struct A;\npub(crate) struct B;\npub enum C { X }\npub trait D {}\n\
+             pub type E = u8;\npub const F: u8 = 0;\npub fn g() {}\nfn h() {}\n",
+        );
+        let names: Vec<&str> = m.pub_items.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["A", "C", "D", "E", "F", "g"]);
+    }
+
+    #[test]
+    fn nested_mod_paths_compose() {
+        let m = model("mod inner { pub fn deep() {} }\n");
+        assert_eq!(m.fns[0].module, "x::inner");
+        assert_eq!(m.fns[0].name, "deep");
+    }
+
+    #[test]
+    fn test_regions_are_invisible() {
+        let m = model("fn live() {}\n#[cfg(test)]\nmod tests { fn dead() { x.unwrap(); } }\n");
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "live");
+    }
+}

@@ -15,7 +15,7 @@ use crate::rules::Finding;
 
 /// The allowed dependency DAG: crate short name → `snaps-*` crates it may
 /// depend on. Crates absent from a list are forbidden dependencies.
-pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
+pub(crate) const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("obs", &[]),
     ("strsim", &[]),
     ("ml", &[]),

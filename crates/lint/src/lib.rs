@@ -17,8 +17,18 @@
 //! stripped first. Violations are waived only by an inline
 //! `// snaps-lint: allow(<rule>) -- <reason>` annotation, and the total
 //! annotation count is budgeted workspace-wide.
+//!
+//! Since the v2 analyzer the lint runs in two passes: pass 1 extracts a
+//! per-file item model ([`items`]) and builds a cross-crate call graph
+//! ([`callgraph`]) rooted at the declared entry points; pass 2 layers
+//! transitive graph rules ([`reach`]) — panic-reachability,
+//! lock-discipline, dead-pub — and waiver-staleness on top of the token
+//! rules.
 
+pub mod callgraph;
+pub mod items;
 pub mod layering;
+pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod scanner;

@@ -2,10 +2,22 @@
 //! conventions: hand-rolled serialisation, stable key order, no timestamps
 //! or hostnames, so two runs over the same tree emit byte-identical reports.
 
+use crate::reach::EntryStats;
 use crate::rules::{Finding, RuleInfo, ALLOW_BUDGET, RULES};
 use crate::scanner::Annotation;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Call-graph statistics for the report's `callgraph` section.
+#[derive(Debug, Default)]
+pub struct CallGraphStats {
+    /// Number of function nodes in the workspace call graph.
+    pub nodes: usize,
+    /// Number of resolved call edges.
+    pub edges: usize,
+    /// Per-entry-point reachability, in entry-table order.
+    pub entry_points: Vec<EntryStats>,
+}
 
 /// Aggregated outcome of a lint run, ready to print or serialise.
 #[derive(Debug)]
@@ -21,6 +33,8 @@ pub struct Report {
     /// Every allow-annotation seen, as (file, annotation), sorted by
     /// (file, line).
     pub allows: Vec<(String, Annotation)>,
+    /// Call-graph statistics from the pass-2 analyzer.
+    pub callgraph: CallGraphStats,
 }
 
 impl Report {
@@ -32,7 +46,7 @@ impl Report {
 
     /// Number of waived findings.
     #[must_use]
-    pub fn waived_count(&self) -> usize {
+    pub(crate) fn waived_count(&self) -> usize {
         self.findings.iter().filter(|f| f.waived).count()
     }
 
@@ -40,6 +54,13 @@ impl Report {
     #[must_use]
     pub fn clean(&self) -> bool {
         self.active_findings().is_empty()
+    }
+
+    /// Unwaived panic-reachability findings — the number CI refuses to see
+    /// grow relative to the committed report.
+    #[must_use]
+    pub fn reachable_panics(&self) -> usize {
+        self.active_findings().iter().filter(|f| f.rule == "panic-reachability").count()
     }
 
     /// Sort findings and allows into the canonical report order.
@@ -69,11 +90,28 @@ impl Report {
         let mut s = String::new();
         s.push_str("{\n  \"meta\": {\n");
         let _ = writeln!(s, "    \"tool\": \"snaps-lint\",");
-        let _ = writeln!(s, "    \"schema_version\": 1,");
+        let _ = writeln!(s, "    \"schema_version\": 2,");
         let _ = writeln!(s, "    \"root\": {},", json_str(&self.root));
         let _ = writeln!(s, "    \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(s, "    \"manifests_checked\": {}", self.manifests_checked);
-        s.push_str("  },\n  \"rules\": {\n");
+        s.push_str("  },\n  \"callgraph\": {\n");
+        let _ = writeln!(s, "    \"nodes\": {},", self.callgraph.nodes);
+        let _ = writeln!(s, "    \"edges\": {},", self.callgraph.edges);
+        s.push_str("    \"entry_points\": [\n");
+        let n = self.callgraph.entry_points.len();
+        for (i, e) in self.callgraph.entry_points.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "      {{\"label\": {}, \"roots\": {}, \"reachable\": {}, \
+                 \"reachable_panics\": {}}}{comma}",
+                json_str(&e.label),
+                e.roots,
+                e.reachable,
+                e.reachable_panics
+            );
+        }
+        s.push_str("    ]\n  },\n  \"rules\": {\n");
         let n = per_rule.len();
         for (i, (name, (active, waived))) in per_rule.iter().enumerate() {
             let comma = if i + 1 < n { "," } else { "" };
@@ -115,6 +153,7 @@ impl Report {
         let _ = writeln!(s, "    \"waived\": {},", self.waived_count());
         let _ = writeln!(s, "    \"allows\": {},", self.allows.len());
         let _ = writeln!(s, "    \"allow_budget\": {ALLOW_BUDGET},");
+        let _ = writeln!(s, "    \"reachable_panics\": {},", self.reachable_panics());
         let _ = writeln!(s, "    \"clean\": {}", self.clean());
         s.push_str("  }\n}\n");
         s
@@ -132,15 +171,25 @@ impl Report {
         }
         let _ = writeln!(
             s,
-            "snaps-lint: {} files, {} manifests; {} findings, {} waived, {}/{} allows{}",
+            "snaps-lint: {} files, {} manifests; callgraph {} nodes / {} edges; \
+             {} findings, {} waived, {}/{} allows{}",
             self.files_scanned,
             self.manifests_checked,
+            self.callgraph.nodes,
+            self.callgraph.edges,
             self.active_findings().len(),
             self.waived_count(),
             self.allows.len(),
             ALLOW_BUDGET,
             if self.clean() { "; clean" } else { "" },
         );
+        for e in &self.callgraph.entry_points {
+            let _ = writeln!(
+                s,
+                "  entry {}: {} roots, {} reachable, {} reachable panic sites",
+                e.label, e.roots, e.reachable, e.reachable_panics
+            );
+        }
         s
     }
 }
@@ -162,7 +211,7 @@ pub fn rule_listing() -> String {
 
 /// Escape a string into a JSON string literal (with quotes).
 #[must_use]
-pub fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -217,6 +266,16 @@ mod tests {
                     error: None,
                 },
             )],
+            callgraph: CallGraphStats {
+                nodes: 4,
+                edges: 3,
+                entry_points: vec![EntryStats {
+                    label: "GET /search".into(),
+                    roots: 1,
+                    reachable: 3,
+                    reachable_panics: 0,
+                }],
+            },
         }
     }
 

@@ -105,20 +105,49 @@ pub const RULES: &[RuleInfo] = &[
         description: "the workspace-wide count of allow-annotations must stay within budget; \
                       waivers are exceptions, not a lifestyle (never waivable)",
     },
+    RuleInfo {
+        name: "panic-reachability",
+        description: "no unwrap/expect/panic-family macro/unguarded index transitively \
+                      reachable from a serve entry point: the diagnostic prints the full \
+                      call chain from the entry to the panic site",
+    },
+    RuleInfo {
+        name: "dead-pub",
+        description: "pub items with zero references in any other workspace file are dead \
+                      API surface: delete them or narrow the visibility (paper-named API \
+                      may be kept via a documented waiver; types named in a pub signature \
+                      are exempt — they are pinned to pub by rustc's private_interfaces \
+                      lint and live or die with their exposer)",
+    },
+    RuleInfo {
+        name: "lock-discipline",
+        description: "no .lock() guard held across a call into another workspace crate on \
+                      the serve path: cross-crate work under a lock serialises the worker \
+                      pool and risks deadlock",
+    },
+    RuleInfo {
+        name: "waiver-staleness",
+        description: "a waiver whose rule no longer fires on its line is dead weight that \
+                      hides future violations; remove it (never waivable)",
+    },
 ];
 
-/// Maximum allow-annotations tolerated workspace-wide.
-pub const ALLOW_BUDGET: usize = 40;
+/// Maximum allow-annotations tolerated workspace-wide. Lowered from 40 to
+/// 16 once the waiver-staleness rule guaranteed the set can only shrink:
+/// the workspace carries 10 real waivers today (token-rule exceptions plus
+/// documented paper-named API kept alive under `dead-pub`), so 16 leaves
+/// headroom without inviting a waiver lifestyle.
+pub const ALLOW_BUDGET: usize = 16;
 
 /// Crates whose output feeds ER results or snapshot bytes.
 pub const RESULT_AFFECTING: &[&str] =
     &["core", "query", "pedigree", "index", "graph", "model", "strsim", "blocking"];
 
 /// Crates allowed to use `std::thread`.
-pub const THREAD_ALLOWED: &[&str] = &["serve", "bench", "obs"];
+pub(crate) const THREAD_ALLOWED: &[&str] = &["serve", "bench", "obs"];
 
 /// Crates allowed to use `std::process` / `std::net`.
-pub const PROCESS_NET_ALLOWED: &[&str] = &["serve", "bench"];
+pub(crate) const PROCESS_NET_ALLOWED: &[&str] = &["serve", "bench"];
 
 /// Files (crate-relative, within `serve`) that must be panic-free: the
 /// request path and the snapshot load path.
@@ -140,7 +169,7 @@ pub fn is_known_rule(name: &str) -> bool {
 /// Rules that can never be waived.
 #[must_use]
 pub fn is_waivable(name: &str) -> bool {
-    !matches!(name, "annotation" | "allow-budget")
+    !matches!(name, "annotation" | "allow-budget" | "waiver-staleness")
 }
 
 fn ident_at(tokens: &[Spanned], i: usize) -> Option<&str> {

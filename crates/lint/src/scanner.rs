@@ -62,7 +62,7 @@ pub struct Scan {
 }
 
 /// Prefix that marks a waiver comment.
-pub const ANNOTATION_PREFIX: &str = "snaps-lint:";
+pub(crate) const ANNOTATION_PREFIX: &str = "snaps-lint:";
 
 /// Lex `src` into significant tokens and waiver annotations.
 #[must_use]
@@ -210,7 +210,13 @@ fn skip_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
     i += 1;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped newline (line continuation) still ends a line.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -442,6 +448,16 @@ let c = '"'; let u = unsafe_free;
         let hm =
             s.tokens.iter().find(|t| t.tok == Tok::Ident("HashMap".into())).expect("HashMap token");
         assert_eq!(hm.line, 4);
+    }
+
+    #[test]
+    fn line_numbers_track_escaped_newline_continuations() {
+        // A `\`-continued string still spans two source lines.
+        let src = "let a = \"first \\\n         second\";\nlet target = HashMap;";
+        let s = scan(src);
+        let hm =
+            s.tokens.iter().find(|t| t.tok == Tok::Ident("HashMap".into())).expect("HashMap token");
+        assert_eq!(hm.line, 3);
     }
 
     #[test]

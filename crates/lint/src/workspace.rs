@@ -5,12 +5,16 @@
 //! descent and all paths are reported repo-relative with `/` separators, so
 //! report bytes are stable across platforms and runs.
 
+use crate::callgraph::CallGraph;
+use crate::items::{self, FileItems};
 use crate::layering;
-use crate::report::Report;
+use crate::reach;
+use crate::report::{CallGraphStats, Report};
 use crate::rules::{
     self, FileClass, Finding, ALLOW_BUDGET, PANIC_FREE_SERVE_FILES, RESULT_AFFECTING,
 };
-use crate::scanner::{self, Tok};
+use crate::scanner::{self, Annotation, Tok};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -38,7 +42,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Every `.rs` file under the workspace source roots, sorted, repo-relative.
-pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+pub(crate) fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
     let mut roots: Vec<PathBuf> = Vec::new();
     for top in ["src", "tests", "examples", "benches"] {
         let p = root.join(top);
@@ -80,7 +84,7 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
 
 /// Classify a repo-relative `.rs` path into the rule perimeter it lives in.
 #[must_use]
-pub fn classify(rel: &str) -> FileClass {
+pub(crate) fn classify(rel: &str) -> FileClass {
     let parts: Vec<&str> = rel.split('/').collect();
     let (crate_name, crate_rel): (&str, String) = if parts.first() == Some(&"crates") {
         (parts.get(1).copied().unwrap_or(""), parts.get(2..).unwrap_or(&[]).join("/"))
@@ -97,15 +101,38 @@ pub fn classify(rel: &str) -> FileClass {
 }
 
 /// Run the full lint over the workspace at `root`.
+///
+/// Two passes: pass 1 scans every file for token-rule findings and (for
+/// non-test files) extracts the item model; pass 2 builds the call graph,
+/// runs the graph rules (panic-reachability, lock-discipline, dead-pub),
+/// applies waivers to the merged per-file findings, and finally checks
+/// every waiver for staleness.
 pub fn run(root: &Path) -> io::Result<Report> {
     let files = workspace_files(root)?;
-    let mut findings: Vec<Finding> = Vec::new();
     let mut allows: Vec<(String, scanner::Annotation)> = Vec::new();
+    // Pass-1 state, keyed by repo-relative path.
+    let mut findings_by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    let mut annotations_by_file: BTreeMap<String, Vec<Annotation>> = BTreeMap::new();
+    let mut items_by_file: BTreeMap<String, FileItems> = BTreeMap::new();
+    let mut idents_by_file: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut panic_free_files: BTreeSet<String> = BTreeSet::new();
 
     for rel in &files {
         let class = classify(rel);
         let src = fs::read_to_string(root.join(rel))?;
         let scanner::Scan { tokens, annotations } = scanner::scan(&src);
+        // Raw identifier set (test regions included) for dead-pub
+        // reference counting: a pub item exercised only by tests is alive.
+        idents_by_file.insert(
+            rel.clone(),
+            tokens
+                .iter()
+                .filter_map(|t| match &t.tok {
+                    Tok::Ident(id) => Some(id.clone()),
+                    Tok::Punct(_) => None,
+                })
+                .collect(),
+        );
         let tokens = scanner::strip_test_regions(tokens);
         let mut file_findings = rules::check_tokens(&class, rel, &tokens);
 
@@ -129,9 +156,61 @@ pub fn run(root: &Path) -> io::Result<Report> {
                     }
                 }
             }
+            items_by_file.insert(rel.clone(), items::extract(&class.crate_name, rel, &tokens));
         }
+        if class.panic_free {
+            panic_free_files.insert(rel.clone());
+        }
+        findings_by_file.insert(rel.clone(), file_findings);
+        annotations_by_file.insert(rel.clone(), annotations);
+    }
 
-        rules::apply_annotations(rel, &annotations, &mut file_findings);
+    // Pass 2: call graph + graph rules, merged into the per-file buckets so
+    // line-waivers apply uniformly.
+    let graph = CallGraph::build(&items_by_file);
+    let outcome = reach::check(&graph, &panic_free_files);
+    let callgraph = CallGraphStats {
+        nodes: graph.fns.len(),
+        edges: graph.edge_count(),
+        entry_points: outcome.entry_stats,
+    };
+    let mut graph_findings = outcome.findings;
+    graph_findings.extend(reach::check_dead_pub(&items_by_file, &idents_by_file));
+    for f in graph_findings {
+        findings_by_file.entry(f.file.clone()).or_default().push(f);
+    }
+
+    // Waivers: apply per file, then flag every stale one.
+    let mut findings: Vec<Finding> = Vec::new();
+    for (rel, mut file_findings) in findings_by_file {
+        let annotations = annotations_by_file.get(&rel).cloned().unwrap_or_default();
+        rules::apply_annotations(&rel, &annotations, &mut file_findings);
+        for ann in &annotations {
+            if ann.error.is_some() {
+                continue;
+            }
+            for rule in &ann.rules {
+                if !rules::is_known_rule(rule) || !rules::is_waivable(rule) {
+                    continue; // already an `annotation` finding
+                }
+                let waives_something = file_findings
+                    .iter()
+                    .any(|f| f.waived && f.line == ann.applies_to && f.rule == rule.as_str());
+                if !waives_something {
+                    file_findings.push(Finding {
+                        rule: "waiver-staleness",
+                        file: rel.clone(),
+                        line: ann.line,
+                        message: format!(
+                            "waiver for '{rule}' no longer matches a finding on line {}; \
+                             remove it",
+                            ann.applies_to
+                        ),
+                        waived: false,
+                    });
+                }
+            }
+        }
         findings.extend(file_findings);
         for a in annotations {
             if a.error.is_none() {
@@ -198,6 +277,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
         manifests_checked,
         findings,
         allows,
+        callgraph,
     };
     report.normalise();
     Ok(report)

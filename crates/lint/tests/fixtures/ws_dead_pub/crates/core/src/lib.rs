@@ -1,0 +1,9 @@
+//! Fixture workspace: one referenced pub item, one orphan.
+
+pub fn used_helper() -> u32 {
+    1
+}
+
+pub fn orphan_helper() -> u32 {
+    2
+}

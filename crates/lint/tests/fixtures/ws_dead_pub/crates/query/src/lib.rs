@@ -1,0 +1,6 @@
+//! Cross-file reference keeps `used_helper` alive.
+use snaps_core::used_helper;
+
+fn total() -> u32 {
+    used_helper()
+}

@@ -1,0 +1,3 @@
+//! Cross-crate callee for the lock-discipline fixture.
+
+pub fn bump() {}

@@ -1,0 +1,20 @@
+//! Fixture workspace: lock discipline. `search` holds a let-bound guard
+//! across a call into the `obs` crate; `metrics` scopes the guard in an
+//! inner block and releases it before the cross-crate call.
+use snaps_obs::bump;
+
+pub struct Ctx;
+
+pub fn search(ctx: &Ctx) {
+    let g = ctx.m.lock();
+    g.push(1);
+    bump();
+}
+
+pub fn metrics(ctx: &Ctx) {
+    {
+        let g = ctx.m.lock();
+        g.push(1);
+    }
+    bump();
+}

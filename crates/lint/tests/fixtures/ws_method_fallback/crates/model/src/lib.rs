@@ -1,0 +1,13 @@
+//! Decoy: a second `tally` with a panic. The caller's crate has its own
+//! `tally`, so the same-crate preference must keep this one out of the
+//! fallback edge set.
+
+pub struct Ledger {
+    rows: Vec<u64>,
+}
+
+impl Ledger {
+    pub fn tally(&self, row: usize) -> u64 {
+        *self.rows.get(row).unwrap()
+    }
+}

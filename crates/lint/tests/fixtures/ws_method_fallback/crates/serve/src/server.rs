@@ -1,0 +1,16 @@
+//! Fixture workspace: method-call resolution fallback. `reg.observe(..)`
+//! has no path qualifier, so it resolves by name to every workspace method
+//! called `observe` — here only `obs::Registry::observe`, which panics.
+//! `g.tally(..)` also exists in the `model` crate with a panic, but the
+//! same-crate candidate (`Gauge::tally`, clean) wins, so no finding.
+
+pub struct Gauge;
+
+impl Gauge {
+    pub fn tally(&self, _n: u64) {}
+}
+
+pub fn search(reg: &Registry, g: &Gauge) {
+    g.tally(1);
+    reg.observe(7);
+}

@@ -1,0 +1,9 @@
+//! Bottom of the fixture chain: the panic site the graph rule must reach.
+
+pub fn lookup() -> u32 {
+    maybe().unwrap()
+}
+
+fn maybe() -> Option<u32> {
+    None
+}

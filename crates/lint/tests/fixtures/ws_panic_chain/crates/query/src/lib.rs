@@ -1,0 +1,6 @@
+//! Middle hop of the fixture chain.
+use snaps_core::lookup;
+
+pub fn run_query() -> u32 {
+    lookup()
+}

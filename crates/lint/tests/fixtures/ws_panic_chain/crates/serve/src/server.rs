@@ -1,0 +1,8 @@
+//! Fixture workspace: the `GET /search` handler reaches a panic site two
+//! crates away (serve → query → core). The panic lives outside the
+//! token-checked serve files, so only the graph rule can see it.
+use snaps_query::run_query;
+
+pub fn search() {
+    run_query();
+}

@@ -1,0 +1,7 @@
+//! Fixture workspace: a waiver for a finding that no longer exists. The
+//! workspace pass must flag it as stale.
+
+pub fn steady() -> u32 {
+    // snaps-lint: allow(hash-iter) -- iteration order was fixed long ago
+    7
+}

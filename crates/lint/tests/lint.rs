@@ -6,7 +6,7 @@
 use std::path::Path;
 
 use snaps_lint::rules::{check_source, FileClass, Finding};
-use snaps_lint::{layering, workspace, ALLOW_BUDGET};
+use snaps_lint::{layering, workspace, Report, ALLOW_BUDGET};
 
 macro_rules! fixture {
     ($name:literal) => {
@@ -175,15 +175,102 @@ fn layering_rejects_manifest_smuggling() {
     assert_eq!(f[0].rule, "layering");
 }
 
-/// The self-test: the workspace this lint ships in must pass its own rules.
+/// Root of a mini-workspace fixture tree. These trees are never compiled —
+/// the walker reads them as source text, and real workspace runs skip any
+/// directory named `fixtures`.
+fn fixture_ws(name: &str) -> Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures").join(name);
+    workspace::run(&root).unwrap_or_else(|e| panic!("walk fixture workspace {name}: {e}"))
+}
+
+fn active_by_rule<'a>(report: &'a Report, rule: &str) -> Vec<&'a Finding> {
+    report.active_findings().into_iter().filter(|f| f.rule == rule).collect()
+}
+
 #[test]
-fn workspace_is_lint_clean() {
+fn ws_panic_chain_fixture_prints_the_call_chain() {
+    let report = fixture_ws("ws_panic_chain");
+    let panics = active_by_rule(&report, "panic-reachability");
+    assert_eq!(panics.len(), 1, "{panics:?}");
+    let f = panics[0];
+    assert_eq!(f.file, "crates/core/src/lib.rs");
+    assert!(f.message.contains("GET /search"), "entry label named: {}", f.message);
+    assert!(
+        f.message.contains("serve::server::search → query::run_query → core::lookup"),
+        "full chain printed: {}",
+        f.message
+    );
+}
+
+#[test]
+fn ws_method_fallback_fixture_resolves_by_name_with_same_crate_preference() {
+    let report = fixture_ws("ws_method_fallback");
+    let panics = active_by_rule(&report, "panic-reachability");
+    // `reg.observe(..)` falls back to the only workspace `observe` (obs,
+    // panics); `g.tally(..)` binds to the caller-crate `Gauge::tally`, so
+    // the panicking `model::Ledger::tally` decoy must not be reported.
+    assert_eq!(panics.len(), 1, "{panics:?}");
+    assert_eq!(panics[0].file, "crates/obs/src/lib.rs");
+    assert!(panics[0].message.contains("obs::Registry::observe"), "{}", panics[0].message);
+}
+
+#[test]
+fn ws_dead_pub_fixture_flags_only_the_orphan() {
+    let report = fixture_ws("ws_dead_pub");
+    let dead = active_by_rule(&report, "dead-pub");
+    assert!(dead.iter().any(|f| f.message.contains("`orphan_helper`")), "{dead:?}");
+    assert!(dead.iter().all(|f| !f.message.contains("`used_helper`")), "{dead:?}");
+}
+
+#[test]
+fn ws_lock_across_fixture_flags_held_guard_only() {
+    let report = fixture_ws("ws_lock_across");
+    let locks = active_by_rule(&report, "lock-discipline");
+    // `search` holds the guard across `bump()`; `metrics` releases it in an
+    // inner block first, so exactly one call site fires.
+    assert_eq!(locks.len(), 1, "{locks:?}");
+    assert_eq!(locks[0].file, "crates/serve/src/server.rs");
+    assert!(locks[0].message.contains("crate 'obs'"), "{}", locks[0].message);
+}
+
+#[test]
+fn ws_stale_waiver_fixture_flags_the_waiver() {
+    let report = fixture_ws("ws_stale_waiver");
+    let stale = active_by_rule(&report, "waiver-staleness");
+    assert_eq!(stale.len(), 1, "{stale:?}");
+    assert!(stale[0].message.contains("hash-iter"), "{}", stale[0].message);
+}
+
+fn real_workspace_root() -> std::path::PathBuf {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
         .expect("crates/lint sits two levels under the workspace root")
         .to_path_buf();
     assert!(root.join("Cargo.toml").is_file(), "workspace root not found at {}", root.display());
+    root
+}
+
+/// Acceptance: every declared entry point roots at least one function with
+/// a non-empty reachable set, and the report is byte-identical across runs.
+#[test]
+fn workspace_entry_points_are_rooted_and_report_is_deterministic() {
+    let root = real_workspace_root();
+    let first = workspace::run(&root).expect("walk workspace");
+    let second = workspace::run(&root).expect("walk workspace again");
+    assert_eq!(first.to_json(), second.to_json(), "report must be deterministic");
+    let entries = &first.callgraph.entry_points;
+    assert!(entries.len() >= 4, "entry table: {entries:?}");
+    for e in entries {
+        assert!(e.roots >= 1, "entry '{}' has no root function", e.label);
+        assert!(e.reachable >= 1, "entry '{}' reaches nothing", e.label);
+    }
+}
+
+/// The self-test: the workspace this lint ships in must pass its own rules.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = real_workspace_root();
     let report = workspace::run(&root).expect("walk workspace");
     assert!(report.files_scanned > 100, "walker saw the whole tree: {}", report.files_scanned);
     assert!(report.manifests_checked >= 15, "manifests: {}", report.manifests_checked);

@@ -33,7 +33,8 @@ impl Dataset {
 
     /// Count of positive examples.
     #[must_use]
-    pub fn positives(&self) -> usize {
+    #[cfg(test)]
+    pub(crate) fn positives(&self) -> usize {
         self.y.iter().filter(|&&l| l).count()
     }
 }

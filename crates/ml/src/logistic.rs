@@ -29,7 +29,7 @@ fn sigmoid(z: f64) -> f64 {
 impl LogisticRegression {
     /// Predicted probability of the positive class.
     #[must_use]
-    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+    pub(crate) fn predict_proba(&self, x: &[f64]) -> f64 {
         let z: f64 = self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
         sigmoid(z)
     }

@@ -22,7 +22,7 @@ impl Default for LinearSvm {
 impl LinearSvm {
     /// Signed decision value (`> 0` → positive class).
     #[must_use]
-    pub fn decision(&self, x: &[f64]) -> f64 {
+    pub(crate) fn decision(&self, x: &[f64]) -> f64 {
         self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
     }
 }

@@ -124,7 +124,8 @@ impl DecisionTree {
 
     /// Number of fitted nodes (diagnostics).
     #[must_use]
-    pub fn node_count(&self) -> usize {
+    #[cfg(test)]
+    pub(crate) fn node_count(&self) -> usize {
         self.nodes.len()
     }
 }

@@ -50,7 +50,10 @@ impl Dataset {
     #[inline]
     #[must_use]
     pub fn record(&self, id: RecordId) -> &PersonRecord {
-        &self.records[id.index()]
+        // Only "serve-reachable" through the call-graph's method-name
+        // fallback (`.record` on a histogram handle); no request handler
+        // passes ids this dataset did not mint.
+        &self.records[id.index()] // snaps-lint: allow(panic-reachability) -- false method-fallback edge; ids are arena-minted
     }
 
     /// Look up a certificate.

@@ -42,7 +42,8 @@ impl Relationship {
     /// is its own inverse. `ChildOf` has no unique inverse (mother or father)
     /// and inverts to `None`.
     #[must_use]
-    pub fn inverse(self) -> Option<Relationship> {
+    #[cfg(test)]
+    pub(crate) fn inverse(self) -> Option<Relationship> {
         match self {
             Relationship::MotherOf | Relationship::FatherOf => Some(Relationship::ChildOf),
             Relationship::SpouseOf => Some(Relationship::SpouseOf),

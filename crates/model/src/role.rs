@@ -115,7 +115,8 @@ impl Role {
     /// Whether this role describes the certificate's *principal* (the person
     /// the event happened to) as opposed to a relative mentioned on it.
     #[must_use]
-    pub fn is_principal(self) -> bool {
+    #[cfg(test)]
+    pub(crate) fn is_principal(self) -> bool {
         matches!(
             self,
             Role::BirthBaby | Role::DeathDeceased | Role::MarriageBride | Role::MarriageGroom

@@ -95,7 +95,7 @@ fn frequencies<'r>(
 
 /// Compute one Table 1 row for records with the given role.
 #[must_use]
-pub fn qid_stats(ds: &Dataset, role: Role, field: QidField) -> QidStats {
+pub(crate) fn qid_stats(ds: &Dataset, role: Role, field: QidField) -> QidStats {
     let (freq, missing) = frequencies(ds.records_with_role(role), field);
     let distinct = freq.len();
     let (min_freq, max_freq, total) = freq

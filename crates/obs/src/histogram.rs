@@ -89,7 +89,9 @@ impl Histogram {
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.min_ns.fetch_min(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        if let Some(b) = self.buckets.get(bucket_index(ns)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of recorded samples.

@@ -96,20 +96,23 @@ pub(crate) struct SpanNode {
 }
 
 impl SpanNode {
-    fn child_mut(&mut self, name: &str) -> &mut SpanNode {
+    fn child_mut(&mut self, name: &str) -> Option<&mut SpanNode> {
         // Linear scan: span trees are small (tens of nodes) and this
-        // preserves insertion order for the report.
-        if let Some(i) = self.children.iter().position(|(n, _)| n == name) {
-            return &mut self.children[i].1;
+        // preserves insertion order for the report. Ensure-then-find keeps
+        // the function total (the find always succeeds after the push).
+        if self.children.iter().all(|(n, _)| n != name) {
+            self.children.push((name.to_owned(), SpanNode::default()));
         }
-        self.children.push((name.to_owned(), SpanNode::default()));
-        &mut self.children.last_mut().expect("just pushed").1
+        self.children.iter_mut().find(|(n, _)| n == name).map(|(_, node)| node)
     }
 
     fn record(&mut self, path: &str, elapsed: Duration) {
         let mut node = self;
         for seg in path.split('/') {
-            node = node.child_mut(seg);
+            match node.child_mut(seg) {
+                Some(n) => node = n,
+                None => return,
+            }
         }
         node.count += 1;
         node.total += elapsed;
@@ -212,34 +215,45 @@ impl Obs {
         if inner.verbosity < min_verbosity {
             return None;
         }
-        let mut guard = map(inner).lock().expect("obs registry poisoned");
+        // Registry maps only ever gain entries; a panic mid-insert cannot
+        // leave them inconsistent, so a poisoned lock is safe to re-enter.
+        let mut guard = map(inner).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Some(Arc::clone(guard.entry(name.to_owned()).or_default()))
     }
 
     fn record_span(&self, path: &str, elapsed: Duration) {
         if let Some(inner) = &self.inner {
-            inner.spans.lock().expect("span tree poisoned").record(path, elapsed);
+            // A partially-recorded span tree is still a valid tree; re-enter
+            // a poisoned lock rather than take the whole service down.
+            inner
+                .spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .record(path, elapsed);
         }
     }
 
     /// Snapshot everything recorded so far; `None` when disabled.
     #[must_use]
     pub fn report(&self) -> Option<RunReport> {
+        // Snapshots tolerate a poisoned lock: the registries are append-only
+        // and the span tree is valid at every step, so re-entering yields a
+        // consistent (if slightly stale) report.
         let inner = self.inner.as_ref()?;
         let spans = {
-            let tree = inner.spans.lock().expect("span tree poisoned");
+            let tree = inner.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             tree.children.iter().map(|(n, c)| report::span_report(n, c)).collect()
         };
         let counters = {
-            let map = inner.counters.lock().expect("obs registry poisoned");
+            let map = inner.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             map.iter().map(|(n, v)| (n.clone(), v.load(Ordering::Relaxed))).collect()
         };
         let gauges = {
-            let map = inner.gauges.lock().expect("obs registry poisoned");
+            let map = inner.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             map.iter().map(|(n, v)| (n.clone(), v.load(Ordering::Relaxed))).collect()
         };
         let histograms = {
-            let map = inner.histograms.lock().expect("obs registry poisoned");
+            let map = inner.histograms.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             map.iter().map(|(n, h)| (n.clone(), h.report())).collect()
         };
         Some(RunReport { meta: Vec::new(), spans, counters, gauges, histograms })

@@ -33,7 +33,7 @@ pub struct Pedigree {
 impl Pedigree {
     /// Member lookup.
     #[must_use]
-    pub fn member(&self, e: EntityId) -> Option<&PedigreeMember> {
+    pub(crate) fn member(&self, e: EntityId) -> Option<&PedigreeMember> {
         self.members.iter().find(|m| m.entity == e)
     }
 
@@ -126,7 +126,7 @@ pub fn extract_with(
     let mut queue = VecDeque::from([root]);
 
     while let Some(e) = queue.pop_front() {
-        let (gen, hops) = seen[&e];
+        let Some(&(gen, hops)) = seen.get(&e) else { continue };
         if hops == generations {
             continue;
         }

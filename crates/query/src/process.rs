@@ -71,7 +71,7 @@ impl SearchEngine {
     /// `engine_build` span, and queries record `query.*` counters plus a
     /// `query.latency` histogram on `obs`.
     #[must_use]
-    pub fn build_with_obs(
+    pub(crate) fn build_with_obs(
         graph: PedigreeGraph,
         weights: QueryWeights,
         s_t: f64,
@@ -283,10 +283,13 @@ pub fn process_query(
 
     let mut results: Vec<RankedMatch> = acc
         .into_iter()
-        .filter(|&(e, _)| kind_matches(graph.entity(e), q.kind))
-        .filter(|&(e, _)| geo_matches(graph.entity(e), q.geo_filter))
-        .map(|(e, (fn_sim, sn_sim))| {
-            let entity = graph.entity(e);
+        .filter_map(|(e, (fn_sim, sn_sim))| {
+            // Ids come from the keyword index; `get` keeps the request path
+            // total even if an index/graph snapshot pair ever disagrees.
+            let entity = graph.get(e)?;
+            if !kind_matches(entity, q.kind) || !geo_matches(entity, q.geo_filter) {
+                return None;
+            }
             let mut score = weights.first_name * fn_sim + weights.surname * sn_sim;
 
             let gender_score = q.gender.map(|g| {
@@ -310,7 +313,7 @@ pub fn process_query(
                 s
             });
 
-            RankedMatch {
+            Some(RankedMatch {
                 entity: e,
                 score_percent: 100.0 * score / max_score,
                 first_name_sim: fn_sim,
@@ -318,7 +321,7 @@ pub fn process_query(
                 year_score: year_sc,
                 gender_score,
                 location_score,
-            }
+            })
         })
         .collect();
 

@@ -39,18 +39,25 @@ pub struct QueryRecord {
 
 impl QueryRecord {
     /// Build a query, normalising all strings the way the indices were
-    /// normalised.
+    /// normalised. Fallible twin of [`Self::new`] for callers holding
+    /// untrusted input (the HTTP search handler).
     ///
-    /// # Panics
-    /// Panics if either mandatory name normalises to the empty string, or if
-    /// the year range is inverted.
-    #[must_use]
-    pub fn new(first_name: &str, surname: &str, kind: SearchKind) -> Self {
+    /// # Errors
+    /// Fails when either mandatory name normalises to the empty string.
+    pub fn try_new(
+        first_name: &str,
+        surname: &str,
+        kind: SearchKind,
+    ) -> Result<Self, &'static str> {
         let first_name = normalize_name(first_name);
         let surname = normalize_name(surname);
-        assert!(!first_name.is_empty(), "first name is mandatory");
-        assert!(!surname.is_empty(), "surname is mandatory");
-        Self {
+        if first_name.is_empty() {
+            return Err("first name is mandatory");
+        }
+        if surname.is_empty() {
+            return Err("surname is mandatory");
+        }
+        Ok(Self {
             first_name,
             surname,
             kind,
@@ -58,6 +65,18 @@ impl QueryRecord {
             year_range: None,
             location: None,
             geo_filter: None,
+        })
+    }
+
+    /// Build a query from trusted input (experiment binaries, tests).
+    ///
+    /// # Panics
+    /// Panics if either mandatory name normalises to the empty string.
+    #[must_use]
+    pub fn new(first_name: &str, surname: &str, kind: SearchKind) -> Self {
+        match Self::try_new(first_name, surname, kind) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -68,12 +87,29 @@ impl QueryRecord {
         self
     }
 
-    /// Restrict to an inclusive year range.
-    #[must_use]
-    pub fn with_years(mut self, from: i32, to: i32) -> Self {
-        assert!(from <= to, "year range is inverted: {from}..{to}");
+    /// Restrict to an inclusive year range; fallible twin of
+    /// [`Self::with_years`].
+    ///
+    /// # Errors
+    /// Fails on an inverted range.
+    pub fn try_with_years(mut self, from: i32, to: i32) -> Result<Self, &'static str> {
+        if from > to {
+            return Err("year range is inverted");
+        }
         self.year_range = Some((from, to));
-        self
+        Ok(self)
+    }
+
+    /// Restrict to an inclusive year range.
+    ///
+    /// # Panics
+    /// Panics on an inverted range.
+    #[must_use]
+    pub fn with_years(self, from: i32, to: i32) -> Self {
+        match self.try_with_years(from, to) {
+            Ok(q) => q,
+            Err(_) => panic!("year range is inverted: {from}..{to}"),
+        }
     }
 
     /// Restrict results to entities geocoded within `radius_km` of `centre`.
@@ -87,18 +123,34 @@ impl QueryRecord {
         self
     }
 
-    /// Add a location.
-    #[must_use]
-    pub fn with_location(mut self, location: &str) -> Self {
+    /// Add a location; fallible twin of [`Self::with_location`].
+    ///
+    /// # Errors
+    /// Fails when the location normalises to the empty string.
+    pub fn try_with_location(mut self, location: &str) -> Result<Self, &'static str> {
         let l = normalize_name(location);
-        assert!(!l.is_empty(), "location must not normalise to empty");
+        if l.is_empty() {
+            return Err("location must not normalise to empty");
+        }
         self.location = Some(l);
-        self
+        Ok(self)
+    }
+
+    /// Add a location.
+    ///
+    /// # Panics
+    /// Panics when the location normalises to the empty string.
+    #[must_use]
+    pub fn with_location(self, location: &str) -> Self {
+        match self.try_with_location(location) {
+            Ok(q) => q,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The attributes provided, for score normalisation.
     #[must_use]
-    pub fn provided(&self) -> ProvidedFields {
+    pub(crate) fn provided(&self) -> ProvidedFields {
         ProvidedFields {
             gender: self.gender.is_some(),
             year: self.year_range.is_some(),
@@ -109,7 +161,7 @@ impl QueryRecord {
 
 /// Which optional fields a query provided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ProvidedFields {
+pub(crate) struct ProvidedFields {
     /// A gender was given.
     pub gender: bool,
     /// A year range was given.
@@ -146,7 +198,7 @@ impl QueryWeights {
     /// a percentage): mandatory names plus whichever optional fields were
     /// provided.
     #[must_use]
-    pub fn max_score(&self, provided: ProvidedFields) -> f64 {
+    pub(crate) fn max_score(&self, provided: ProvidedFields) -> f64 {
         let mut m = self.first_name + self.surname;
         if provided.gender {
             m += self.gender;

@@ -11,9 +11,9 @@ use std::fmt;
 use std::io::{self, BufRead, Write};
 
 /// Longest accepted request line (method + target + version), bytes.
-pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+pub(crate) const MAX_REQUEST_LINE: usize = 8 * 1024;
 /// Maximum number of header lines read before the request is rejected.
-pub const MAX_HEADERS: usize = 64;
+pub(crate) const MAX_HEADERS: usize = 64;
 
 /// Why an incoming request could not be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,7 +103,7 @@ fn hex_val(b: u8) -> Option<u8> {
 /// # Errors
 /// [`ParseError::BadEscape`] on a truncated or non-hex escape, or when the
 /// decoded bytes are not UTF-8.
-pub fn percent_decode(s: &str) -> Result<String, ParseError> {
+pub(crate) fn percent_decode(s: &str) -> Result<String, ParseError> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;

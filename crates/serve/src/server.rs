@@ -35,9 +35,9 @@ use crate::http::{parse_request, ParseError, Request, Response};
 use crate::json;
 
 /// Upper bound on the `m` (top matches) query parameter.
-pub const MAX_TOP_M: usize = 100;
+pub(crate) const MAX_TOP_M: usize = 100;
 /// Upper bound on the `g` (generations) pedigree parameter.
-pub const MAX_GENERATIONS: usize = 8;
+pub(crate) const MAX_GENERATIONS: usize = 8;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -325,7 +325,7 @@ fn parse_search(req: &Request) -> Result<(QueryRecord, usize), String> {
         "death" => SearchKind::Death,
         other => return Err(format!("unknown kind '{other}' (use birth|death)")),
     };
-    let mut q = QueryRecord::new(&first, &last, kind);
+    let mut q = QueryRecord::try_new(&first, &last, kind).map_err(str::to_owned)?;
 
     if let Some(g) = req.param("gender") {
         q = q.with_gender(match g {
@@ -339,19 +339,14 @@ fn parse_search(req: &Request) -> Result<(QueryRecord, usize), String> {
         (Some(from), Some(to)) => {
             let from: i32 = from.parse().map_err(|_| "year_from is not an integer")?;
             let to: i32 = to.parse().map_err(|_| "year_to is not an integer")?;
-            if from > to {
-                return Err(format!("inverted year range {from}..{to}"));
-            }
-            q = q.with_years(from, to);
+            q = q
+                .try_with_years(from, to)
+                .map_err(|_| format!("inverted year range {from}..{to}"))?;
         }
         _ => return Err("year_from and year_to must be given together".into()),
     }
     if let Some(loc) = req.param("location") {
-        let loc = normalize_name(loc);
-        if loc.is_empty() {
-            return Err("location normalises to empty".into());
-        }
-        q = q.with_location(&loc);
+        q = q.try_with_location(loc).map_err(|_| "location normalises to empty".to_owned())?;
     }
     let top_m = match req.param("m") {
         None => 10,
@@ -382,7 +377,8 @@ fn search(req: &Request, ctx: &Ctx) -> Response {
         let _ = write!(body, "{}", r.entity.0);
         body.push_str(", ");
         json::key(&mut body, "name");
-        json::string(&mut body, &ctx.engine.graph().entity(r.entity).display_name());
+        let name = ctx.engine.graph().get(r.entity).map(|e| e.display_name()).unwrap_or_default();
+        json::string(&mut body, &name);
         body.push_str(", ");
         json::key(&mut body, "score_percent");
         json::f64(&mut body, r.score_percent);
@@ -427,11 +423,13 @@ fn pedigree(rest: &str, req: &Request, ctx: &Ctx) -> Response {
     let mut body = String::from("{\"root\": ");
     let _ = write!(body, "{}", ped.root.0);
     body.push_str(", \"members\": [");
-    for (i, m) in ped.members.iter().enumerate() {
-        if i > 0 {
+    let mut first_member = true;
+    for m in &ped.members {
+        let Some(e) = ctx.engine.graph().get(m.entity) else { continue };
+        if !first_member {
             body.push_str(", ");
         }
-        let e = ctx.engine.graph().entity(m.entity);
+        first_member = false;
         body.push('{');
         json::key(&mut body, "entity");
         let _ = write!(body, "{}", m.entity.0);

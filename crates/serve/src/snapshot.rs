@@ -42,12 +42,12 @@ pub const FORMAT_VERSION: u32 = 1;
 
 /// Section identifiers of the snapshot's section table.
 mod section {
-    pub const META: u32 = 1;
-    pub const GRAPH: u32 = 2;
-    pub const KEYWORD: u32 = 3;
-    pub const SIM_FIRST: u32 = 4;
-    pub const SIM_SURNAME: u32 = 5;
-    pub const SIM_LOCATION: u32 = 6;
+    pub(crate) const META: u32 = 1;
+    pub(crate) const GRAPH: u32 = 2;
+    pub(crate) const KEYWORD: u32 = 3;
+    pub(crate) const SIM_FIRST: u32 = 4;
+    pub(crate) const SIM_SURNAME: u32 = 5;
+    pub(crate) const SIM_LOCATION: u32 = 6;
 }
 
 /// Why a snapshot could not be written or restored.
@@ -396,7 +396,8 @@ fn decode_sim(bytes: &[u8]) -> Result<SimilarityIndex, SnapshotError> {
     if r.remaining() != 0 {
         return Err(SnapshotError::Corrupt("trailing bytes after similarity section"));
     }
-    Ok(SimilarityIndex::from_parts(s_t, values, matches))
+    SimilarityIndex::try_from_parts(s_t, values, matches)
+        .map_err(|_| SnapshotError::Corrupt("inconsistent similarity index parts"))
 }
 
 // ---------------------------------------------------------------------------

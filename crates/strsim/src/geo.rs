@@ -8,7 +8,7 @@
 use crate::Similarity;
 
 /// Mean Earth radius in kilometres.
-pub const EARTH_RADIUS_KM: f64 = 6371.0;
+pub(crate) const EARTH_RADIUS_KM: f64 = 6371.0;
 
 /// A WGS-84 style latitude/longitude coordinate in degrees.
 #[derive(Debug, Clone, Copy, PartialEq)]

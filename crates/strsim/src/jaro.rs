@@ -43,7 +43,7 @@ pub fn jaro(a: &str, b: &str) -> Similarity {
 /// Exposed so that batch comparison loops (e.g. the similarity-aware index
 /// build) can decode each string once and reuse the buffers.
 #[must_use]
-pub fn jaro_chars(a: &[char], b: &[char]) -> Similarity {
+pub(crate) fn jaro_chars(a: &[char], b: &[char]) -> Similarity {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -59,13 +59,13 @@ pub fn jaro_chars(a: &[char], b: &[char]) -> Similarity {
     let mut b_matched = vec![false; b.len()];
     let mut matches = 0usize;
 
-    for (i, &ca) in a.iter().enumerate() {
+    for (i, (&ca, am)) in a.iter().zip(a_matched.iter_mut()).enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_matched[j] && b[j] == ca {
-                a_matched[i] = true;
-                b_matched[j] = true;
+        for (&cb, bm) in b.iter().zip(b_matched.iter_mut()).take(hi).skip(lo) {
+            if !*bm && cb == ca {
+                *am = true;
+                *bm = true;
                 matches += 1;
                 break;
             }
@@ -76,21 +76,11 @@ pub fn jaro_chars(a: &[char], b: &[char]) -> Similarity {
         return 0.0;
     }
 
-    // Count transpositions among the matched characters, in order.
-    let mut transpositions = 0usize;
-    let mut j = 0usize;
-    for (i, &ma) in a_matched.iter().enumerate() {
-        if !ma {
-            continue;
-        }
-        while !b_matched[j] {
-            j += 1;
-        }
-        if a[i] != b[j] {
-            transpositions += 1;
-        }
-        j += 1;
-    }
+    // Count transpositions: walk the matched characters of both strings in
+    // order and count positions where they differ.
+    let a_seq = a.iter().zip(&a_matched).filter(|&(_, &m)| m).map(|(&c, _)| c);
+    let b_seq = b.iter().zip(&b_matched).filter(|&(_, &m)| m).map(|(&c, _)| c);
+    let transpositions = a_seq.zip(b_seq).filter(|&(ca, cb)| ca != cb).count();
     let t = transpositions as f64 / 2.0;
     let m = matches as f64;
 
@@ -98,10 +88,10 @@ pub fn jaro_chars(a: &[char], b: &[char]) -> Similarity {
 }
 
 /// Standard Winkler prefix scaling factor.
-pub const WINKLER_PREFIX_SCALE: f64 = 0.1;
+pub(crate) const WINKLER_PREFIX_SCALE: f64 = 0.1;
 
 /// Maximum shared-prefix length the Winkler adjustment rewards.
-pub const WINKLER_MAX_PREFIX: usize = 4;
+pub(crate) const WINKLER_MAX_PREFIX: usize = 4;
 
 /// Jaro-Winkler similarity between two strings.
 ///
@@ -129,7 +119,7 @@ pub fn jaro_winkler(a: &str, b: &str) -> Similarity {
 
 /// Jaro-Winkler over pre-collected character slices; see [`jaro_winkler`].
 #[must_use]
-pub fn jaro_winkler_chars(a: &[char], b: &[char]) -> Similarity {
+pub(crate) fn jaro_winkler_chars(a: &[char], b: &[char]) -> Similarity {
     let j = jaro_chars(a, b);
     let prefix =
         a.iter().zip(b.iter()).take(WINKLER_MAX_PREFIX).take_while(|(x, y)| x == y).count();

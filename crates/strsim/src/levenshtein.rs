@@ -29,7 +29,7 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 
 /// Edit distance over pre-collected character slices; see [`levenshtein`].
 #[must_use]
-pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+pub(crate) fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
     // Keep the shorter string as the row to minimise memory.
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {

@@ -46,7 +46,8 @@ pub type Similarity = f64;
 /// push a value marginally outside the range.
 #[inline]
 #[must_use]
-pub fn clamp01(s: f64) -> Similarity {
+#[cfg(test)]
+pub(crate) fn clamp01(s: f64) -> Similarity {
     s.clamp(0.0, 1.0)
 }
 

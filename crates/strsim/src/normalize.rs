@@ -43,7 +43,8 @@ pub fn normalize_name(s: &str) -> String {
 /// Historical transcriptions mark unknown values in several ways; all of the
 /// conventional markers map to "missing".
 #[must_use]
-pub fn is_missing(s: &str) -> bool {
+#[cfg(test)]
+pub(crate) fn is_missing(s: &str) -> bool {
     let n = normalize_name(s);
     n.is_empty() || matches!(n.as_str(), "unknown" | "not known" | "n k" | "nk" | "-" | "illegible")
 }

@@ -36,6 +36,7 @@ pub fn max_abs_diff_similarity(a: f64, b: f64, max_diff: f64) -> Similarity {
 /// Historical certificates frequently mis-state ages/years by a year or two;
 /// a ±3-year linear window is the conventional setting for vital records.
 #[must_use]
+// snaps-lint: allow(dead-pub) -- paper-named attribute similarity (±3-year window), kept as public API
 pub fn year_similarity(a: i32, b: i32) -> Similarity {
     max_abs_diff_similarity(f64::from(a), f64::from(b), 3.0)
 }

@@ -14,7 +14,8 @@ use crate::Similarity;
 ///
 /// Strings shorter than `q` yield a single gram containing the whole string
 /// (so `"a"` still participates in bigram-sharing checks). The empty string
-/// yields the empty set.
+/// yields the empty set. A `q` of zero is clamped to 1 (unigrams) so the
+/// function stays total on the request path.
 ///
 /// # Examples
 ///
@@ -26,7 +27,7 @@ use crate::Similarity;
 /// ```
 #[must_use]
 pub fn qgrams(s: &str, q: usize) -> BTreeSet<String> {
-    assert!(q > 0, "q-gram length must be positive");
+    let q = q.max(1);
     let chars: Vec<char> = s.chars().collect();
     let mut set = BTreeSet::new();
     if chars.is_empty() {
@@ -67,7 +68,7 @@ pub fn share_bigram(a: &str, b: &str) -> bool {
 ///
 /// Two empty sets are considered identical (`1.0`).
 #[must_use]
-pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> Similarity {
+pub(crate) fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> Similarity {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -138,9 +139,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn qgrams_zero_panics() {
-        let _ = qgrams("abc", 0);
+    fn qgrams_zero_clamps_to_unigrams() {
+        assert_eq!(qgrams("abc", 0), qgrams("abc", 1));
+        assert_eq!(qgrams("abc", 1).len(), 3);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub const SURNAME_VARIANTS: &[&[&str]] = &[
 ];
 
 /// Similarity assigned to two distinct written forms of the same name.
-pub const VARIANT_SIMILARITY: Similarity = 0.95;
+pub(crate) const VARIANT_SIMILARITY: Similarity = 0.95;
 
 fn group_index(tables: &'static [&'static [&'static str]]) -> BTreeMap<&'static str, usize> {
     let mut map = BTreeMap::new();
@@ -78,14 +78,14 @@ fn surname_groups() -> &'static BTreeMap<&'static str, usize> {
 
 /// Whether two first names are known written forms of the same name.
 #[must_use]
-pub fn same_first_name_group(a: &str, b: &str) -> bool {
+pub(crate) fn same_first_name_group(a: &str, b: &str) -> bool {
     let groups = first_name_groups();
     matches!((groups.get(a), groups.get(b)), (Some(x), Some(y)) if x == y)
 }
 
 /// Whether two surnames are known spelling alternates.
 #[must_use]
-pub fn same_surname_group(a: &str, b: &str) -> bool {
+pub(crate) fn same_surname_group(a: &str, b: &str) -> bool {
     let groups = surname_groups();
     matches!((groups.get(a), groups.get(b)), (Some(x), Some(y)) if x == y)
 }
