@@ -175,10 +175,11 @@ pub fn resolve_with_obs(ds: &Dataset, cfg: &SnapsConfig, obs: &Obs) -> Resolutio
     stats.n_relational = dg.relational_count();
     stats.n_groups = dg.groups.len();
     stats.n_edges = dg.edge_count();
-    obs.gauge("graph.atomic_nodes").set(stats.n_atomic as i64);
-    obs.gauge("graph.relational_nodes").set(stats.n_relational as i64);
-    obs.gauge("graph.groups").set(stats.n_groups as i64);
-    obs.gauge("graph.edges").set(stats.n_edges as i64);
+    let gauge_val = |n: usize| i64::try_from(n).unwrap_or(i64::MAX);
+    obs.gauge("graph.atomic_nodes").set(gauge_val(stats.n_atomic));
+    obs.gauge("graph.relational_nodes").set(gauge_val(stats.n_relational));
+    obs.gauge("graph.groups").set(gauge_val(stats.n_groups));
+    obs.gauge("graph.edges").set(gauge_val(stats.n_edges));
 
     let span = root.child("name_freqs");
     let freqs = NameFreqs::build(ds);

@@ -36,6 +36,9 @@ pub struct CallSite {
     /// Index of the call's name token in the file's stripped token stream
     /// (used to test containment in a lock's hold region).
     pub tok: usize,
+    /// First argument when it is a bare identifier (`wait(q)` → `q`); used
+    /// by the Condvar-wait exemption in the blocking-under-lock rule.
+    pub arg0: Option<String>,
 }
 
 /// One potentially panicking expression inside a function body.
@@ -56,6 +59,33 @@ pub(crate) struct LockSite {
     pub line: usize,
     /// Half-open token-index range `(lock_tok, region_end)` of the hold.
     pub region: (usize, usize),
+    /// Stable identity of the lock: `Owner.field` where `Owner` is the
+    /// enclosing `impl` type (or the crate name in a free function) and
+    /// `field` is the last receiver-chain segment before `.lock()` —
+    /// `self.inner.lock()` in `impl ConnQueue` → `ConnQueue.inner`.
+    /// Accessor calls keep a `()` suffix (`SimCache.shard()`); bare-ident
+    /// receivers are resolved one `let`/`for` binding backwards.
+    pub key: String,
+    /// Name of the let-bound guard variable, when there is one
+    /// (`let q = self.inner.lock()…` → `q`); consulted by the
+    /// Condvar-wait exemption.
+    pub bound: Option<String>,
+}
+
+/// One numeric `as` cast inside a function body.
+#[derive(Debug, Clone)]
+pub struct CastSite {
+    /// 1-based source line of the `as` keyword.
+    pub line: usize,
+    /// Source type, when the intra-procedural type environment (parameter
+    /// and `let` annotations, known-return-type methods) can name it.
+    pub from: Option<String>,
+    /// Target primitive type as written after `as`.
+    pub to: String,
+    /// The operand is the result of a recognized checked-conversion helper
+    /// (`try_from` / `try_into` / `len_u32` / `try_*` / `checked_*`),
+    /// possibly through `unwrap_or`-style adapters.
+    pub checked: bool,
 }
 
 /// One function (or trait-method declaration) in the item model.
@@ -82,6 +112,8 @@ pub struct FnItem {
     pub(crate) panics: Vec<PanicSite>,
     /// Every `.lock()` hold region in the body.
     pub(crate) locks: Vec<LockSite>,
+    /// Every numeric `as` cast in the body, in token order.
+    pub casts: Vec<CastSite>,
 }
 
 /// A `pub` item declaration (dead-pub candidate). Restricted visibility
@@ -132,6 +164,64 @@ const NOT_INDEXABLE: &[&str] = &[
     "if", "where", "let",
 ];
 
+/// Primitive numeric types that can appear as an `as` cast target.
+const NUMERIC_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Methods whose return type is knowable without inference, used to type
+/// the source of `x.len() as u32`-style casts.
+const METHOD_RETURNS: &[(&str, &str)] = &[
+    ("as_micros", "u128"),
+    ("as_millis", "u128"),
+    ("as_nanos", "u128"),
+    ("as_secs", "u64"),
+    ("capacity", "usize"),
+    ("count", "usize"),
+    ("count_ones", "u32"),
+    ("f32", "f32"),
+    ("f64", "f64"),
+    ("finish", "u64"),
+    ("i16", "i16"),
+    ("i32", "i32"),
+    ("i64", "i64"),
+    ("ilog2", "u32"),
+    ("leading_zeros", "u32"),
+    ("len", "usize"),
+    ("to_bits", "u64"),
+    ("trailing_zeros", "u32"),
+    ("u16", "u16"),
+    ("u32", "u32"),
+    ("u64", "u64"),
+    ("u8", "u8"),
+];
+
+/// Value adapters that pass their receiver's payload through unchanged —
+/// skipped when walking a cast operand or a binding expression back to the
+/// call that produced the value.
+const CHAIN_ADAPTERS: &[&str] = &[
+    "as_mut",
+    "as_ref",
+    "borrow",
+    "clone",
+    "copied",
+    "expect",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+];
+
+/// Is `name` a recognized checked-conversion helper? Matched by signature
+/// convention: the exact names `try_from`/`try_into`/`len_u32` plus the
+/// `try_*`/`checked_*` prefix families.
+fn is_checked_helper(name: &str) -> bool {
+    matches!(name, "try_from" | "try_into" | "len_u32")
+        || name.starts_with("try_")
+        || name.starts_with("checked_")
+}
+
 /// Macros that panic in release builds (`debug_assert*` compile out).
 const PANIC_MACROS: &[(&str, &str)] = &[
     ("panic", "panic!"),
@@ -164,10 +254,15 @@ pub(crate) fn module_of(file: &str) -> String {
 /// Extract the item model of one non-test file from its stripped tokens.
 #[must_use]
 pub fn extract(krate: &str, file: &str, tokens: &[Spanned]) -> FileItems {
+    // `.read()`/`.write()` are treated as lock acquisitions only in files
+    // that mention RwLock at all — the names are far too common otherwise
+    // (`io::Read::read`, wire writers).
+    let has_rwlock = tokens.iter().any(|t| matches!(&t.tok, Tok::Ident(s) if s == "RwLock"));
     let mut p = Parser {
         toks: tokens,
         krate: krate.to_string(),
         file: file.to_string(),
+        has_rwlock,
         out: FileItems::default(),
     };
     p.parse_scope(0, &module_of(file), None);
@@ -178,6 +273,7 @@ struct Parser<'a> {
     toks: &'a [Spanned],
     krate: String,
     file: String,
+    has_rwlock: bool,
     out: FileItems,
 }
 
@@ -581,6 +677,7 @@ impl Parser<'_> {
             calls: Vec::new(),
             panics: Vec::new(),
             locks: Vec::new(),
+            casts: Vec::new(),
         };
         if is_pub && name != "main" {
             self.push_pub("fn", &name, line);
@@ -591,14 +688,79 @@ impl Parser<'_> {
             return j + 1;
         };
         let end = self.skip_balanced(start, '{', '}');
-        self.analyze_body(start + 1, end.saturating_sub(1), &mut item);
+        let env = self.type_env(i + 2, start, end.saturating_sub(1));
+        self.analyze_body(start + 1, end.saturating_sub(1), &mut item, &env);
         self.out.fns.push(item);
         end
     }
 
-    /// Walk a function body `[start, end)` collecting call, panic, and lock
-    /// sites.
-    fn analyze_body(&self, start: usize, end: usize, item: &mut FnItem) {
+    /// Build the intra-procedural type environment: parameter annotations
+    /// from the signature span plus `let x: T = …` annotations in the body,
+    /// restricted to primitive numeric/char/bool types. Shadowing keeps the
+    /// last annotation — good enough for a lint.
+    fn type_env(
+        &self,
+        sig_start: usize,
+        body_start: usize,
+        body_end: usize,
+    ) -> BTreeMap<String, String> {
+        let mut env = BTreeMap::new();
+        let primitive = |ty: Option<&str>| {
+            ty.filter(|t| NUMERIC_TARGETS.contains(t) || *t == "char" || *t == "bool")
+                .map(str::to_string)
+        };
+        // `name: Type` pairs in the signature (a `::` path separator is not
+        // an annotation; references and `mut` are skipped).
+        for k in sig_start..body_start {
+            let Some(x) = self.ident(k) else { continue };
+            if self.punct(k + 1) != Some(':') || self.punct(k + 2) == Some(':') {
+                continue;
+            }
+            if self.punct(k.wrapping_sub(1)) == Some(':') {
+                continue; // `a::b` — `b` is a path segment, not a binding
+            }
+            let mut t = k + 2;
+            while matches!(self.punct(t), Some('&')) || self.ident(t) == Some("mut") {
+                t += 1;
+            }
+            if let Some(ty) = primitive(self.ident(t)) {
+                env.insert(x.to_string(), ty);
+            }
+        }
+        // `let [mut] x: T = …` in the body.
+        for k in body_start..body_end {
+            if self.ident(k) != Some("let") {
+                continue;
+            }
+            let mut n = k + 1;
+            if self.ident(n) == Some("mut") {
+                n += 1;
+            }
+            let Some(x) = self.ident(n) else { continue };
+            if self.punct(n + 1) != Some(':') || self.punct(n + 2) == Some(':') {
+                continue;
+            }
+            let mut t = n + 2;
+            while matches!(self.punct(t), Some('&')) || self.ident(t) == Some("mut") {
+                t += 1;
+            }
+            if let Some(ty) = primitive(self.ident(t)) {
+                env.insert(x.to_string(), ty);
+            }
+        }
+        env
+    }
+
+    /// Walk a function body `[start, end)` collecting call, panic, lock,
+    /// and cast sites. `env` is the function's intra-procedural type
+    /// environment (see [`Parser::type_env`]).
+    fn analyze_body(
+        &self,
+        start: usize,
+        end: usize,
+        item: &mut FnItem,
+        env: &BTreeMap<String, String>,
+    ) {
         let mut depth = 0usize; // brace depth relative to the body
         let mut i = start;
         while i < end {
@@ -624,21 +786,49 @@ impl Parser<'_> {
                             continue;
                         }
                     }
+                    if id == "as" && i > start {
+                        if let Some(to) = self.ident(i + 1).filter(|t| NUMERIC_TARGETS.contains(t))
+                        {
+                            let (from, checked) = self.cast_source(i, start, env);
+                            item.casts.push(CastSite {
+                                line: self.line(i),
+                                from,
+                                to: to.to_string(),
+                                checked,
+                            });
+                        }
+                    }
                     if self.is_call_head(i) {
                         let is_method = self.punct(i.wrapping_sub(1)) == Some('.');
+                        let arg0 = if self.punct(i + 1) == Some('(')
+                            && matches!(self.punct(i + 3), Some(',') | Some(')'))
+                        {
+                            self.ident(i + 2).map(str::to_string)
+                        } else {
+                            None
+                        };
                         if is_method {
                             if id == "unwrap" || id == "expect" {
                                 let what = if id == "unwrap" { ".unwrap()" } else { ".expect()" };
                                 item.panics.push(PanicSite { line: self.line(i), what });
                             }
-                            if id == "lock" {
-                                let region = self.lock_region(i, start, end, depth);
-                                item.locks.push(LockSite { line: self.line(i), region });
+                            let is_lock = id == "lock"
+                                || (self.has_rwlock && matches!(id.as_str(), "read" | "write"));
+                            if is_lock {
+                                let (region, bound) = self.lock_region(i, start, end, depth);
+                                let key = self.lock_key(i, start, item);
+                                item.locks.push(LockSite {
+                                    line: self.line(i),
+                                    region,
+                                    key,
+                                    bound,
+                                });
                             }
                             item.calls.push(CallSite {
                                 target: CallTarget::Method(id.clone()),
                                 line: self.line(i),
                                 tok: i,
+                                arg0,
                             });
                         } else if !NON_CALL_IDENTS.contains(&id.as_str())
                             && self.ident(i.wrapping_sub(1)) != Some("fn")
@@ -648,6 +838,7 @@ impl Parser<'_> {
                                 target: CallTarget::Path(path),
                                 line: self.line(i),
                                 tok: i,
+                                arg0,
                             });
                         }
                     }
@@ -691,7 +882,8 @@ impl Parser<'_> {
         segs
     }
 
-    /// Compute the hold region of the `.lock()` whose name token is at `i`.
+    /// Compute the hold region of the `.lock()` whose name token is at `i`,
+    /// plus the guard's binding name when it is let-bound.
     ///
     /// A let-bound guard is held to the end of the enclosing block (or an
     /// explicit `drop(<name>)`); a temporary guard to the end of the
@@ -703,7 +895,7 @@ impl Parser<'_> {
         body_start: usize,
         body_end: usize,
         depth: usize,
-    ) -> (usize, usize) {
+    ) -> ((usize, usize), Option<String>) {
         // Find the statement start: the nearest `;`, `{`, or `}` behind us.
         let mut s = i;
         while s > body_start {
@@ -751,6 +943,7 @@ impl Parser<'_> {
             }
             k += 1;
         }
+        let bound_name = bound.clone().flatten();
         let mut d = depth;
         let mut j = i;
         while j < body_end {
@@ -758,15 +951,15 @@ impl Parser<'_> {
                 Some('{') => d += 1,
                 Some('}') => {
                     if d == 0 {
-                        return (i, j); // body ends
+                        return ((i, j), bound_name); // body ends
                     }
                     d -= 1;
                     if d < depth {
-                        return (i, j); // enclosing block closes
+                        return ((i, j), bound_name); // enclosing block closes
                     }
                 }
                 Some(';') if bound.is_none() && d == depth && j > i => {
-                    return (i, j); // temporary guard: statement ends
+                    return ((i, j), bound_name); // temporary guard: statement ends
                 }
                 _ => {}
             }
@@ -777,12 +970,240 @@ impl Parser<'_> {
                     && self.ident(j + 2) == Some(name.as_str())
                     && self.punct(j + 3) == Some(')')
                 {
-                    return (i, j);
+                    return ((i, j), bound_name);
                 }
             }
             j += 1;
         }
-        (i, body_end)
+        ((i, body_end), bound_name)
+    }
+
+    /// Find the `(` matching the `)` at `i`, scanning backward but never
+    /// past `floor`.
+    fn matching_open_back(&self, i: usize, floor: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        let mut j = i;
+        loop {
+            match self.punct(j) {
+                Some(')') => depth += 1,
+                Some('(') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+            if j <= floor {
+                return None;
+            }
+            j -= 1;
+        }
+    }
+
+    /// Collect the `.`-separated receiver chain ending just before the `.`
+    /// at `dot`, outermost-first: `self.inner.lock()` → `["self",
+    /// "inner"]`. Call segments keep a `()` suffix: `self.shard(k).lock()`
+    /// → `["self", "shard()"]`.
+    fn receiver_chain(&self, dot: usize, floor: usize) -> Vec<String> {
+        let mut segs: Vec<String> = Vec::new();
+        let mut j = dot; // always on a '.'
+        while j > floor {
+            let k = j - 1; // token before the '.'
+            if self.punct(k) == Some(')') {
+                let Some(open) = self.matching_open_back(k, floor) else { break };
+                if open <= floor {
+                    break;
+                }
+                let Some(name) = self.ident(open - 1) else { break };
+                segs.push(format!("{name}()"));
+                if open >= 2 && open - 1 > floor && self.punct(open - 2) == Some('.') {
+                    j = open - 2;
+                    continue;
+                }
+            } else if let Some(name) = self.ident(k) {
+                segs.push(name.to_string());
+                if k > floor && self.punct(k - 1) == Some('.') {
+                    j = k - 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        segs.reverse();
+        segs
+    }
+
+    /// Derive the stable lock key for the `.lock()` whose name token is at
+    /// `i`: `Owner.field`, with `Owner` the enclosing impl type or the
+    /// crate name. A single bare-ident receiver is resolved one binding
+    /// backwards (`let Some(m) = self.shard(k)` … `m.lock()` →
+    /// `SimCache.shard()`); an unresolvable receiver keeps its own name
+    /// (closure parameters, in particular).
+    fn lock_key(&self, i: usize, body_start: usize, item: &FnItem) -> String {
+        let owner = item.impl_type.clone().unwrap_or_else(|| item.krate.clone());
+        let floor = body_start.saturating_sub(1);
+        let mut name = String::from("<expr>");
+        if i >= 1 && self.punct(i - 1) == Some('.') {
+            let segs = self.receiver_chain(i - 1, floor);
+            match segs.as_slice() {
+                [] => {}
+                [base] => {
+                    if base.ends_with("()") {
+                        name.clone_from(base);
+                    } else {
+                        name = self
+                            .resolve_binding(base, body_start, i)
+                            .unwrap_or_else(|| base.clone());
+                    }
+                }
+                [.., last] => name.clone_from(last),
+            }
+        }
+        format!("{owner}.{name}")
+    }
+
+    /// Resolve a bare-ident lock receiver to the field or accessor it was
+    /// bound from: the closest preceding `let [mut] [Some(/Ok(] x [)] =
+    /// expr` or `for x in expr` before token `before`, taking the binding
+    /// expression's last non-adapter segment. Returns `None` when no
+    /// binding is found (e.g. closure parameters).
+    fn resolve_binding(&self, x: &str, body_start: usize, before: usize) -> Option<String> {
+        let mut found: Option<String> = None;
+        let mut k = body_start;
+        while k < before {
+            if self.ident(k) == Some("for")
+                && self.ident(k + 1) == Some(x)
+                && self.ident(k + 2) == Some("in")
+            {
+                if let Some(n) = self.binding_expr_name(k + 3, before) {
+                    found = Some(n);
+                }
+                k += 3;
+                continue;
+            }
+            if self.ident(k) == Some("let") {
+                // locate `x` within the pattern, skipping `mut`, a wrapping
+                // `Some(`/`Ok(`, and references
+                let mut n = k + 1;
+                let limit = (k + 6).min(before);
+                let mut hit: Option<usize> = None;
+                while n < limit {
+                    if self.ident(n) == Some(x) {
+                        hit = Some(n);
+                        break;
+                    }
+                    match self.ident(n) {
+                        Some("mut" | "Some" | "Ok" | "ref") => n += 1,
+                        None if matches!(self.punct(n), Some('(' | '&')) => n += 1,
+                        _ => break,
+                    }
+                }
+                if let Some(h) = hit {
+                    let mut e = h + 1;
+                    while self.punct(e) == Some(')') {
+                        e += 1; // close the wrapping pattern
+                    }
+                    if self.punct(e) == Some('=') {
+                        if let Some(nm) = self.binding_expr_name(e + 1, before) {
+                            found = Some(nm);
+                        }
+                    }
+                }
+            }
+            k += 1;
+        }
+        found
+    }
+
+    /// The last non-adapter segment of the field/method chain starting at
+    /// `p` (`&self.shards` → `shards`; `self.shard(key)` → `shard()`;
+    /// `self.inner.as_ref()?` → `inner`). `self` alone resolves to nothing.
+    fn binding_expr_name(&self, mut p: usize, end: usize) -> Option<String> {
+        while matches!(self.punct(p), Some('&' | '*')) || self.ident(p) == Some("mut") {
+            p += 1;
+        }
+        let mut segs: Vec<String> = Vec::new();
+        while p < end {
+            let Some(id) = self.ident(p) else { break };
+            let mut seg = id.to_string();
+            p += 1;
+            if self.punct(p) == Some('(') {
+                p = self.skip_balanced(p, '(', ')');
+                seg.push_str("()");
+            }
+            segs.push(seg);
+            if self.punct(p) == Some('?') {
+                p += 1;
+            }
+            if self.punct(p) == Some('.') {
+                p += 1;
+            } else {
+                break;
+            }
+        }
+        while segs.last().is_some_and(|s| CHAIN_ADAPTERS.contains(&s.trim_end_matches("()"))) {
+            segs.pop();
+        }
+        segs.last().filter(|s| s.as_str() != "self").cloned()
+    }
+
+    /// Determine the source type of the `as` cast at `as_idx` (best
+    /// effort) and whether its operand came through a checked-conversion
+    /// helper. Walks backward over `?` and value adapters to the producing
+    /// call or identifier.
+    fn cast_source(
+        &self,
+        as_idx: usize,
+        floor: usize,
+        env: &BTreeMap<String, String>,
+    ) -> (Option<String>, bool) {
+        let mut j = as_idx - 1;
+        loop {
+            while j > floor && self.punct(j) == Some('?') {
+                j -= 1;
+            }
+            if self.punct(j) == Some(')') {
+                let Some(open) = self.matching_open_back(j, floor) else { return (None, false) };
+                if open <= floor {
+                    return (None, false);
+                }
+                let Some(name) = self.ident(open - 1) else {
+                    return (None, false); // plain parenthesised expression
+                };
+                // `u32::from(x)` / `u32::try_from(x)` — the qualifier names
+                // the produced type.
+                let qual = (open >= 4
+                    && self.punct(open - 2) == Some(':')
+                    && self.punct(open - 3) == Some(':'))
+                .then(|| self.ident(open - 4))
+                .flatten()
+                .filter(|q| NUMERIC_TARGETS.contains(q))
+                .map(str::to_string);
+                let table = || {
+                    METHOD_RETURNS.iter().find(|(m, _)| *m == name).map(|(_, ty)| (*ty).to_string())
+                };
+                if is_checked_helper(name) {
+                    return (qual.or_else(table), true);
+                }
+                if CHAIN_ADAPTERS.contains(&name)
+                    && open >= 3
+                    && open - 1 > floor
+                    && self.punct(open - 2) == Some('.')
+                {
+                    j = open - 3; // step past `.adapter(…)` to its receiver
+                    continue;
+                }
+                return (qual.or_else(table), false);
+            }
+            if let Some(x) = self.ident(j) {
+                if j > floor && self.punct(j - 1) == Some('.') {
+                    return (None, false); // field access: type unknown
+                }
+                return (env.get(x).cloned(), false);
+            }
+            return (None, false);
+        }
     }
 }
 
@@ -921,6 +1342,76 @@ mod tests {
         let after =
             f.calls.iter().find(|c| c.target == CallTarget::Method("after".into())).unwrap();
         assert!(after.tok > hi, "drop(g) ends the region before after()");
+    }
+
+    #[test]
+    fn lock_keys_owner_field_and_accessor_binding() {
+        let m = model(
+            "struct SimCache;\n\
+             impl SimCache {\n\
+                 fn insert(&self) { let g = self.shards.lock(); g.push(1); }\n\
+                 fn get(&self, k: u64) { let shard = self.shard(k); let g = shard.lock(); \
+                   g.push(1); }\n\
+             }\n\
+             fn probe(q: &Q) { let g = q.m.lock(); g.push(1); }\n",
+        );
+        let keys: Vec<&str> =
+            m.fns.iter().flat_map(|f| f.locks.iter().map(|l| l.key.as_str())).collect();
+        // owner.field; a bare-ident receiver resolves one binding back to
+        // its accessor; a free fn's owner is the crate.
+        assert_eq!(keys, vec!["SimCache.shards", "SimCache.shard()", "core.m"]);
+    }
+
+    #[test]
+    fn lock_bound_name_recorded_for_let_guards_only() {
+        let m = model(
+            "fn f(&self) { let g = self.m.lock(); g.push(1); }\n\
+             fn t(&self) { self.m.lock().push(1); }\n",
+        );
+        assert_eq!(m.fns[0].locks[0].bound.as_deref(), Some("g"));
+        assert_eq!(m.fns[1].locks[0].bound, None, "temporary guard has no binding");
+    }
+
+    #[test]
+    fn cast_sites_typed_from_env_method_table_and_qualifier() {
+        let m = model(
+            "fn f(x: u64, v: &[u8]) -> u64 {\n\
+                 let a = x as u32;\n\
+                 let b = v.len() as u64;\n\
+                 let c = u32::try_from(x).unwrap_or(0) as u64;\n\
+                 let d = self.total as u32;\n\
+                 u64::from(a) + b + c + u64::from(d)\n\
+             }\n",
+        );
+        let view: Vec<(Option<&str>, &str, bool)> =
+            m.fns[0].casts.iter().map(|c| (c.from.as_deref(), c.to.as_str(), c.checked)).collect();
+        assert_eq!(
+            view,
+            vec![
+                (Some("u64"), "u32", false),   // parameter annotation
+                (Some("usize"), "u64", false), // .len() return table
+                (Some("u32"), "u64", true),    // checked helper behind an adapter
+                (None, "u32", false),          // field access: type unknown
+            ]
+        );
+    }
+
+    #[test]
+    fn call_arg0_captured_for_bare_idents() {
+        let m = model("fn f(&self) { self.cv.wait(guard); self.cv.notify_all(); done(a, b); }\n");
+        let f = &m.fns[0];
+        let by_name = |want: &str| {
+            f.calls
+                .iter()
+                .find(|c| match &c.target {
+                    CallTarget::Method(n) => n == want,
+                    CallTarget::Path(p) => p.last().is_some_and(|s| s == want),
+                })
+                .unwrap()
+        };
+        assert_eq!(by_name("wait").arg0.as_deref(), Some("guard"));
+        assert_eq!(by_name("notify_all").arg0, None);
+        assert_eq!(by_name("done").arg0.as_deref(), Some("a"));
     }
 
     #[test]

@@ -23,11 +23,15 @@
 //! ([`callgraph`]) rooted at the declared entry points; pass 2 layers
 //! transitive graph rules ([`reach`]) — panic-reachability,
 //! lock-discipline, dead-pub — and waiver-staleness on top of the token
-//! rules.
+//! rules. The v3 analyzer adds a third pass over the same graph:
+//! lock-order cycles and blocking-under-lock ([`lockorder`]) and a
+//! numeric-cast dataflow rule on the snapshot path ([`numflow`]).
 
 pub mod callgraph;
 pub mod items;
 pub mod layering;
+pub mod lockorder;
+pub mod numflow;
 pub mod reach;
 pub mod report;
 pub mod rules;

@@ -1,0 +1,378 @@
+//! Pass 3a: lock-order and blocking-under-lock analysis.
+//!
+//! Built on the item model's lock hold regions (keyed per
+//! [`crate::items::LockSite::key`]) and the call graph. For every declared
+//! entry point the pass propagates a **may-held set** of lock keys over
+//! the call edges to a fixpoint: a callee inherits every key its caller
+//! may hold at the call site. Two rule families read the result:
+//!
+//! - **lock-order**: an edge `A → B` is recorded whenever a function
+//!   acquires key `B` while `A` is in its may-held set (or in a lexically
+//!   enclosing hold region). A cycle in the resulting key graph —
+//!   including a self-loop, i.e. re-acquiring a key already held — is a
+//!   potential deadlock, reported with the full entry→acquisition chain
+//!   for every edge in the cycle.
+//! - **blocking-under-lock** (serve entries only): a queue wait (`recv`,
+//!   `join`, `Condvar::wait`), sleep, or I/O call while any key is held.
+//!   `Condvar::wait(guard)` is exempt for the region whose guard it
+//!   consumes — the wait releases exactly that mutex.
+//!
+//! Approximations (see DESIGN.md §10.4): lock keys name the owning
+//! type+field, not the instance — per-shard locks collapse onto their
+//! accessor key; there is no alias analysis, so a closure-parameter
+//! receiver keys by the parameter name; held-set propagation skips
+//! method-fallback calls with std-collection names, mirroring the
+//! lock-discipline exemption ([`reach::LOCK_EXEMPT_METHODS`]).
+
+use crate::callgraph::CallGraph;
+use crate::items::{CallTarget, FnItem};
+use crate::reach::{self, EntrySpec, ENTRY_POINTS, LOCK_EXEMPT_METHODS};
+use crate::rules::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names treated as blocking: queue/thread waits and synchronous
+/// I/O. A call to one of these while a lock key is held stalls every other
+/// thread contending on that lock.
+const BLOCKING_METHODS: &[&str] = &[
+    "accept",
+    "connect",
+    "flush",
+    "join",
+    "park",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "recv_timeout",
+    "sleep",
+    "sync_all",
+    "sync_data",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "write_all",
+];
+
+/// `Condvar` waits release the mutex whose guard they consume.
+const CONDVAR_WAITS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+/// Per-entry lock-graph statistics, aligned with [`ENTRY_POINTS`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LockStats {
+    /// Distinct lock keys acquired in the entry's reachable set.
+    pub nodes: usize,
+    /// "Acquired B while holding A" edges.
+    pub edges: usize,
+    /// Cycles (including self-loops) in the entry's lock-order graph.
+    pub cycles: usize,
+}
+
+/// Outcome of the pass: findings plus per-entry statistics.
+#[derive(Debug, Default)]
+pub(crate) struct LockOutcome {
+    /// lock-order and blocking-under-lock findings.
+    pub findings: Vec<Finding>,
+    /// Per-entry stats, in entry-table order.
+    pub per_entry: Vec<LockStats>,
+}
+
+/// Is the may-held set propagated through this call site? Mirrors the
+/// lock-discipline rule: method-fallback calls with std-collection names
+/// are guard operations (`map.insert(..)`), not workspace calls.
+fn propagates(call_target: &CallTarget) -> bool {
+    match call_target {
+        CallTarget::Method(name) => !LOCK_EXEMPT_METHODS.contains(&name.as_str()),
+        CallTarget::Path(_) => true,
+    }
+}
+
+/// Lock keys of `f`'s own hold regions that strictly contain token `tok`.
+/// A lock site's own region never contains its own acquisition token, so
+/// passing a lock's `region.0` yields exactly the lexically enclosing
+/// regions.
+fn own_held_at(f: &FnItem, tok: usize) -> BTreeSet<String> {
+    f.locks.iter().filter(|l| l.region.0 < tok && tok < l.region.1).map(|l| l.key.clone()).collect()
+}
+
+/// Propagate may-held sets to a fixpoint over the reachable subgraph.
+/// Returns `node → inherited held keys`. Every reachable node is processed
+/// at least once — a function deep in the graph contributes its *own* hold
+/// regions even when nothing is held on the way down to it — and is
+/// re-processed whenever its inherited set grows.
+fn held_fixpoint(
+    graph: &CallGraph,
+    reachable: &BTreeSet<usize>,
+) -> BTreeMap<usize, BTreeSet<String>> {
+    let mut held: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for &n in reachable {
+        held.insert(n, BTreeSet::new());
+    }
+    let mut queue: Vec<usize> = reachable.iter().copied().collect();
+    while let Some(n) = queue.pop() {
+        let f = &graph.fns[n];
+        let inherited = held.get(&n).cloned().unwrap_or_default();
+        for call in &f.calls {
+            if !propagates(&call.target) {
+                continue;
+            }
+            let mut at = inherited.clone();
+            at.extend(own_held_at(f, call.tok));
+            if at.is_empty() {
+                continue;
+            }
+            for &t in &graph.resolve(n, call).targets {
+                if !reachable.contains(&t) {
+                    continue;
+                }
+                let slot = held.entry(t).or_default();
+                if !at.is_subset(slot) {
+                    slot.extend(at.iter().cloned());
+                    queue.push(t);
+                }
+            }
+        }
+    }
+    held
+}
+
+/// One recorded lock-order edge witness: the function and line where the
+/// second key was acquired.
+#[derive(Debug, Clone)]
+struct Witness {
+    node: usize,
+    line: usize,
+}
+
+/// Run the pass over every declared entry point.
+#[must_use]
+pub(crate) fn check(graph: &CallGraph) -> LockOutcome {
+    let mut out = LockOutcome::default();
+    // Cycle findings dedup across entries by sorted key set; blocking
+    // findings by (file, line, held keys). First (table-order) entry wins.
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut blocking: BTreeMap<(String, usize, String), Finding> = BTreeMap::new();
+
+    for spec in ENTRY_POINTS {
+        let roots = reach::roots_of(graph, spec);
+        let parent = reach::bfs(graph, &roots);
+        let reachable: BTreeSet<usize> = parent.keys().copied().collect();
+        let held = held_fixpoint(graph, &reachable);
+
+        // Collect this entry's lock nodes and order edges.
+        let mut nodes: BTreeSet<String> = BTreeSet::new();
+        let mut edges: BTreeMap<(String, String), Witness> = BTreeMap::new();
+        for &n in &reachable {
+            let f = &graph.fns[n];
+            let inherited = held.get(&n).cloned().unwrap_or_default();
+            for lock in &f.locks {
+                nodes.insert(lock.key.clone());
+                let mut held_here = inherited.clone();
+                held_here.extend(own_held_at(f, lock.region.0));
+                for a in held_here {
+                    edges
+                        .entry((a, lock.key.clone()))
+                        .or_insert(Witness { node: n, line: lock.line });
+                }
+            }
+        }
+
+        let cycles = cycle_components(&edges);
+        out.per_entry.push(LockStats {
+            nodes: nodes.len(),
+            edges: edges.len(),
+            cycles: cycles.len(),
+        });
+
+        for scc in &cycles {
+            if !seen_cycles.insert(scc.clone()) {
+                continue;
+            }
+            out.findings.push(cycle_finding(graph, &parent, spec, scc, &edges));
+        }
+
+        if spec.serve_path {
+            check_blocking(graph, &parent, &reachable, &held, spec, &mut blocking);
+        }
+    }
+
+    out.findings.extend(blocking.into_values());
+    out.findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    out
+}
+
+/// Strongly connected components of the key graph that contain a cycle:
+/// components of size ≥ 2 plus self-loop singletons. Keys sorted within
+/// each component; components sorted by first key.
+fn cycle_components(edges: &BTreeMap<(String, String), Witness>) -> Vec<Vec<String>> {
+    let keys: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    // Transitive closure per key — the key graph is tiny (a handful of
+    // owning-type fields), so quadratic closure beats a Tarjan here.
+    let mut closure: BTreeMap<&String, BTreeSet<&String>> = BTreeMap::new();
+    for &k in &keys {
+        let mut seen: BTreeSet<&String> = BTreeSet::new();
+        let mut stack: Vec<&String> = vec![k];
+        while let Some(u) = stack.pop() {
+            for (a, b) in edges.keys() {
+                if a == u && seen.insert(b) {
+                    stack.push(b);
+                }
+            }
+        }
+        closure.insert(k, seen);
+    }
+    let mut comps: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &k in &keys {
+        let reaches_self = closure[k].contains(k);
+        if !reaches_self {
+            continue;
+        }
+        let scc: Vec<String> =
+            closure[k].iter().filter(|&&m| closure[m].contains(k)).map(|m| (*m).clone()).collect();
+        comps.insert(scc);
+    }
+    comps.into_iter().collect()
+}
+
+/// Build the diagnostic for one lock-order cycle: the key ring plus the
+/// full entry→acquisition chain for every in-cycle edge.
+fn cycle_finding(
+    graph: &CallGraph,
+    parent: &BTreeMap<usize, usize>,
+    spec: &EntrySpec,
+    scc: &[String],
+    edges: &BTreeMap<(String, String), Witness>,
+) -> Finding {
+    let in_scc = |k: &String| scc.contains(k);
+    let ring = if scc.len() == 1 {
+        format!("{k} → {k}", k = scc[0])
+    } else {
+        let mut r = scc.join(" → ");
+        r.push_str(" → ");
+        r.push_str(&scc[0]);
+        r
+    };
+    let mut clauses: Vec<String> = Vec::new();
+    let mut site: Option<(String, usize)> = None;
+    for ((a, b), w) in edges.iter() {
+        if !in_scc(a) || !in_scc(b) {
+            continue;
+        }
+        let f = &graph.fns[w.node];
+        if site.is_none() {
+            site = Some((f.file.clone(), w.line));
+        }
+        clauses.push(format!(
+            "{chain} acquires {b} at {file}:{line} while holding {a}",
+            chain = reach::chain_to(graph, parent, w.node).join(" → "),
+            file = f.file,
+            line = w.line,
+        ));
+    }
+    let (file, line) = site.unwrap_or_default();
+    Finding {
+        rule: "lock-order",
+        file,
+        line,
+        message: format!(
+            "potential deadlock from {}: lock-order cycle {ring}; {}",
+            spec.label,
+            clauses.join("; ")
+        ),
+        waived: false,
+    }
+}
+
+/// Blocking-under-lock over one serve entry's reachable set. A blocking
+/// call fires when any key is held at the site — inherited keys always
+/// count; an own region is exempt only for the `Condvar` wait consuming
+/// its guard.
+fn check_blocking(
+    graph: &CallGraph,
+    parent: &BTreeMap<usize, usize>,
+    reachable: &BTreeSet<usize>,
+    held: &BTreeMap<usize, BTreeSet<String>>,
+    spec: &EntrySpec,
+    out: &mut BTreeMap<(String, usize, String), Finding>,
+) {
+    for &n in reachable {
+        let f = &graph.fns[n];
+        let inherited = held.get(&n).cloned().unwrap_or_default();
+        for call in &f.calls {
+            let name = match &call.target {
+                CallTarget::Method(m) => m.as_str(),
+                CallTarget::Path(p) => {
+                    if p.iter().any(|s| s == "fs") {
+                        p.last().map_or("", String::as_str)
+                    } else {
+                        match p.last() {
+                            Some(last) if BLOCKING_METHODS.contains(&last.as_str()) => last,
+                            _ => continue,
+                        }
+                    }
+                }
+            };
+            let is_fs = matches!(&call.target, CallTarget::Path(p) if p.iter().any(|s| s == "fs"));
+            if !is_fs && !BLOCKING_METHODS.contains(&name) {
+                continue;
+            }
+            let mut held_here = inherited.clone();
+            for lock in &f.locks {
+                if lock.region.0 < call.tok && call.tok < lock.region.1 {
+                    let exempt = CONDVAR_WAITS.contains(&name)
+                        && lock.bound.is_some()
+                        && lock.bound == call.arg0;
+                    if !exempt {
+                        held_here.insert(lock.key.clone());
+                    }
+                }
+            }
+            if held_here.is_empty() {
+                continue;
+            }
+            let keys = held_here.into_iter().collect::<Vec<_>>().join(", ");
+            let dedup = (f.file.clone(), call.line, keys.clone());
+            if out.contains_key(&dedup) {
+                continue;
+            }
+            let what = if is_fs { format!("std::fs::{name}") } else { format!(".{name}()") };
+            let finding = Finding {
+                rule: "blocking-under-lock",
+                file: f.file.clone(),
+                line: call.line,
+                message: format!(
+                    "blocking call {what} while holding {keys}, reachable from {}: {chain} \
+                     ({}:{})",
+                    spec.label,
+                    f.file,
+                    call.line,
+                    chain = reach::chain_to(graph, parent, n).join(" → "),
+                ),
+                waived: false,
+            };
+            out.insert(dedup, finding);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(pairs: &[(&str, &str)]) -> BTreeMap<(String, String), Witness> {
+        pairs
+            .iter()
+            .map(|(a, b)| ((a.to_string(), b.to_string()), Witness { node: 0, line: 1 }))
+            .collect()
+    }
+
+    #[test]
+    fn cycle_components_classify_dags_loops_and_sccs() {
+        let own = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(cycle_components(&edges(&[("A", "B")])).is_empty(), "a DAG has no cycle");
+        assert_eq!(cycle_components(&edges(&[("A", "B"), ("B", "A")])), vec![own(&["A", "B"])]);
+        assert_eq!(cycle_components(&edges(&[("A", "A")])), vec![own(&["A"])], "self-loop");
+        // A→B→C with a back-edge C→B: only {B, C} is strongly connected.
+        let comps = cycle_components(&edges(&[("A", "B"), ("B", "C"), ("C", "B")]));
+        assert_eq!(comps, vec![own(&["B", "C"])]);
+    }
+}

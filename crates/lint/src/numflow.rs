@@ -1,0 +1,188 @@
+//! Pass 3b: intra-procedural numeric-cast dataflow.
+//!
+//! Classifies every `as` cast the item model collected
+//! ([`crate::items::CastSite`]) against a width/signedness lattice and
+//! reports the narrowing ones inside the snapshot perimeter: the wire
+//! codec files themselves (`crates/serve/src/{wire,snapshot}.rs`, where
+//! lengths, offsets, and checksums are encoded) plus every `serve`/`core`
+//! function reachable from a serve entry point.
+//!
+//! The lattice (64-bit targets assumed for `usize`/`isize`):
+//!
+//! - int → wider int of the same signedness, or unsigned → wider signed:
+//!   clean (value-preserving);
+//! - int → narrower int, same-width signedness flip, or signed → wider
+//!   unsigned: **narrowing**;
+//! - int → float: clean — every count/id in this workspace fits `f64`'s
+//!   53-bit integer range (the `len() as f64` similarity idiom);
+//! - float → int, `f64 → f32`: **narrowing**;
+//! - unknown source: narrowing iff the target is an integer below 64
+//!   bits (wider targets would flood on field accesses that are almost
+//!   always `usize` counters).
+//!
+//! A cast whose operand came through a recognized checked helper
+//! (`try_from`/`try_into`/`len_u32`/`try_*`/`checked_*`, per
+//! [`crate::items::CastSite::checked`]) is always clean: the conversion
+//! already failed loudly on overflow.
+
+use crate::callgraph::CallGraph;
+use crate::reach::{self, ENTRY_POINTS};
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// Files inside the snapshot-codec perimeter: every cast here is checked
+/// regardless of reachability — the encoder also runs from offline tools.
+const SNAPSHOT_FILES: &[&str] = &["crates/serve/src/snapshot.rs", "crates/serve/src/wire.rs"];
+
+/// Crates whose serve-reachable functions are inside the perimeter.
+const PERIMETER_CRATES: &[&str] = &["core", "serve"];
+
+/// Outcome of the pass: findings plus per-entry cast-site counts.
+#[derive(Debug, Default)]
+pub(crate) struct NumOutcome {
+    /// numeric-cast findings, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Cast sites in each entry's reachable set, in entry-table order.
+    pub per_entry: Vec<usize>,
+}
+
+fn bits(ty: &str) -> u32 {
+    match ty {
+        "bool" => 1,
+        "u8" | "i8" => 8,
+        "u16" | "i16" => 16,
+        "u32" | "i32" | "f32" | "char" => 32,
+        "u128" | "i128" => 128,
+        // u64/i64/f64 and the 64-bit usize/isize assumption; unknown
+        // idents (type aliases) conservatively match the word size.
+        _ => 64,
+    }
+}
+
+fn is_float(ty: &str) -> bool {
+    matches!(ty, "f32" | "f64")
+}
+
+fn is_signed(ty: &str) -> bool {
+    matches!(ty, "i8" | "i16" | "i32" | "i64" | "i128" | "isize")
+}
+
+/// Does `from as to` risk changing the value?
+#[must_use]
+pub(crate) fn narrows(from: Option<&str>, to: &str) -> bool {
+    let Some(from) = from else {
+        return !is_float(to) && bits(to) < 64;
+    };
+    if from == to {
+        return false;
+    }
+    if is_float(from) {
+        return !is_float(to) || bits(to) < bits(from);
+    }
+    if is_float(to) {
+        return false;
+    }
+    if bits(to) < bits(from) {
+        return true;
+    }
+    if bits(to) == bits(from) {
+        return is_signed(from) != is_signed(to);
+    }
+    // Widening: only signed → unsigned loses (negatives wrap to huge).
+    is_signed(from) && !is_signed(to)
+}
+
+/// Run the pass: per-entry cast-site stats plus narrowing findings inside
+/// the snapshot perimeter.
+#[must_use]
+pub(crate) fn check(graph: &CallGraph) -> NumOutcome {
+    let mut out = NumOutcome::default();
+    let mut serve_reachable: BTreeSet<usize> = BTreeSet::new();
+
+    for spec in ENTRY_POINTS {
+        let roots = reach::roots_of(graph, spec);
+        let parent = reach::bfs(graph, &roots);
+        let sites: usize = parent.keys().map(|&n| graph.fns[n].casts.len()).sum();
+        out.per_entry.push(sites);
+        if spec.serve_path {
+            serve_reachable.extend(parent.keys().copied());
+        }
+    }
+
+    for (idx, f) in graph.fns.iter().enumerate() {
+        let in_perimeter = SNAPSHOT_FILES.contains(&f.file.as_str())
+            || (PERIMETER_CRATES.contains(&f.krate.as_str()) && serve_reachable.contains(&idx));
+        if !in_perimeter {
+            continue;
+        }
+        for cast in &f.casts {
+            if cast.checked || !narrows(cast.from.as_deref(), &cast.to) {
+                continue;
+            }
+            let source = cast.from.as_deref().map_or_else(
+                || "an expression of undetermined type".to_string(),
+                |from| format!("`{from}`"),
+            );
+            out.findings.push(Finding {
+                rule: "numeric-cast",
+                file: f.file.clone(),
+                line: cast.line,
+                message: format!(
+                    "narrowing cast to `{to}` from {source} on the snapshot path can \
+                     silently truncate; use `{to}::try_from` or a recognized checked \
+                     helper (len_u32-style)",
+                    to = cast.to,
+                ),
+                waived: false,
+            });
+        }
+    }
+
+    out.findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    out.findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_widening_clean_narrowing_flagged() {
+        // value-preserving
+        assert!(!narrows(Some("u8"), "u32"));
+        assert!(!narrows(Some("u32"), "u64"));
+        assert!(!narrows(Some("u32"), "i64"));
+        assert!(!narrows(Some("usize"), "u64"));
+        assert!(!narrows(Some("u64"), "usize"));
+        assert!(!narrows(Some("char"), "u32"));
+        assert!(!narrows(Some("bool"), "i32"));
+        // int → float is clean by policy
+        assert!(!narrows(Some("usize"), "f64"));
+        assert!(!narrows(Some("u64"), "f64"));
+        // narrowing
+        assert!(narrows(Some("u64"), "u32"));
+        assert!(narrows(Some("usize"), "u32"));
+        assert!(narrows(Some("u32"), "u16"));
+        assert!(narrows(Some("char"), "u16"));
+        assert!(narrows(Some("u128"), "u64"));
+        // same-width signedness flips and signed → wider unsigned
+        assert!(narrows(Some("usize"), "i64"));
+        assert!(narrows(Some("i32"), "u32"));
+        assert!(narrows(Some("i32"), "u64"));
+        // floats
+        assert!(narrows(Some("f64"), "f32"));
+        assert!(narrows(Some("f64"), "u64"));
+        assert!(!narrows(Some("f32"), "f64"));
+    }
+
+    #[test]
+    fn unknown_source_narrow_target_only() {
+        assert!(narrows(None, "u32"));
+        assert!(narrows(None, "u8"));
+        assert!(!narrows(None, "usize"));
+        assert!(!narrows(None, "u64"));
+        assert!(!narrows(None, "i64"));
+        assert!(!narrows(None, "f64"));
+    }
+}

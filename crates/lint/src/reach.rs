@@ -135,6 +135,16 @@ pub struct EntryStats {
     /// Distinct panic sites reachable from this entry (pre-waiver; zero
     /// for non-serve entries, which raise no findings).
     pub reachable_panics: usize,
+    /// Distinct lock keys acquired anywhere in the reachable set (pass 3).
+    pub lock_nodes: usize,
+    /// "Acquired B while holding A" edges in this entry's lock-order
+    /// graph (pass 3).
+    pub lock_edges: usize,
+    /// Cycles (including self-loops) in this entry's lock-order graph
+    /// (pass 3; zero means deadlock-free under the model).
+    pub lock_cycles: usize,
+    /// Numeric `as` cast sites in the reachable set (pass 3).
+    pub cast_sites: usize,
 }
 
 /// Outcome of the graph-rule pass.
@@ -147,7 +157,7 @@ pub(crate) struct ReachOutcome {
 }
 
 /// Root node ids matching an entry spec.
-fn roots_of(graph: &CallGraph, spec: &EntrySpec) -> Vec<usize> {
+pub(crate) fn roots_of(graph: &CallGraph, spec: &EntrySpec) -> Vec<usize> {
     let by_module: Vec<usize> = graph
         .fns
         .iter()
@@ -176,7 +186,7 @@ fn roots_of(graph: &CallGraph, spec: &EntrySpec) -> Vec<usize> {
 
 /// Multi-root BFS; returns `node → parent` (roots map to themselves),
 /// visiting in sorted order so chains are deterministic.
-fn bfs(graph: &CallGraph, roots: &[usize]) -> BTreeMap<usize, usize> {
+pub(crate) fn bfs(graph: &CallGraph, roots: &[usize]) -> BTreeMap<usize, usize> {
     let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
     for &r in roots {
@@ -196,7 +206,11 @@ fn bfs(graph: &CallGraph, roots: &[usize]) -> BTreeMap<usize, usize> {
 }
 
 /// The call chain from an entry root down to `node`, as display names.
-fn chain_to(graph: &CallGraph, parent: &BTreeMap<usize, usize>, node: usize) -> Vec<String> {
+pub(crate) fn chain_to(
+    graph: &CallGraph,
+    parent: &BTreeMap<usize, usize>,
+    node: usize,
+) -> Vec<String> {
     let mut rev = vec![node];
     let mut cur = node;
     while let Some(&p) = parent.get(&cur) {
@@ -261,6 +275,10 @@ pub(crate) fn check(graph: &CallGraph, panic_free_files: &BTreeSet<String>) -> R
             roots: roots.len(),
             reachable: parent.len(),
             reachable_panics: entry_panics.len(),
+            lock_nodes: 0, // filled by pass 3 (lockorder)
+            lock_edges: 0,
+            lock_cycles: 0,
+            cast_sites: 0, // filled by pass 3 (numflow)
         });
     }
 

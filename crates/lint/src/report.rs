@@ -63,6 +63,14 @@ impl Report {
         self.active_findings().iter().filter(|f| f.rule == "panic-reachability").count()
     }
 
+    /// Lock-order cycle findings, *including waived ones*: a waived
+    /// deadlock is still a deadlock, so the CI gate on this number cannot
+    /// be bypassed with an annotation.
+    #[must_use]
+    pub fn lock_cycles(&self) -> usize {
+        self.findings.iter().filter(|f| f.rule == "lock-order").count()
+    }
+
     /// Sort findings and allows into the canonical report order.
     pub fn normalise(&mut self) {
         self.findings.sort_by(|a, b| {
@@ -90,7 +98,7 @@ impl Report {
         let mut s = String::new();
         s.push_str("{\n  \"meta\": {\n");
         let _ = writeln!(s, "    \"tool\": \"snaps-lint\",");
-        let _ = writeln!(s, "    \"schema_version\": 2,");
+        let _ = writeln!(s, "    \"schema_version\": 3,");
         let _ = writeln!(s, "    \"root\": {},", json_str(&self.root));
         let _ = writeln!(s, "    \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(s, "    \"manifests_checked\": {}", self.manifests_checked);
@@ -104,11 +112,16 @@ impl Report {
             let _ = writeln!(
                 s,
                 "      {{\"label\": {}, \"roots\": {}, \"reachable\": {}, \
-                 \"reachable_panics\": {}}}{comma}",
+                 \"reachable_panics\": {}, \"lock_nodes\": {}, \"lock_edges\": {}, \
+                 \"lock_cycles\": {}, \"cast_sites\": {}}}{comma}",
                 json_str(&e.label),
                 e.roots,
                 e.reachable,
-                e.reachable_panics
+                e.reachable_panics,
+                e.lock_nodes,
+                e.lock_edges,
+                e.lock_cycles,
+                e.cast_sites
             );
         }
         s.push_str("    ]\n  },\n  \"rules\": {\n");
@@ -154,6 +167,7 @@ impl Report {
         let _ = writeln!(s, "    \"allows\": {},", self.allows.len());
         let _ = writeln!(s, "    \"allow_budget\": {ALLOW_BUDGET},");
         let _ = writeln!(s, "    \"reachable_panics\": {},", self.reachable_panics());
+        let _ = writeln!(s, "    \"lock_cycles\": {},", self.lock_cycles());
         let _ = writeln!(s, "    \"clean\": {}", self.clean());
         s.push_str("  }\n}\n");
         s
@@ -186,8 +200,16 @@ impl Report {
         for e in &self.callgraph.entry_points {
             let _ = writeln!(
                 s,
-                "  entry {}: {} roots, {} reachable, {} reachable panic sites",
-                e.label, e.roots, e.reachable, e.reachable_panics
+                "  entry {}: {} roots, {} reachable, {} reachable panic sites; locks: {} \
+                 keys, {} order edges, {} cycles; {} cast sites",
+                e.label,
+                e.roots,
+                e.reachable,
+                e.reachable_panics,
+                e.lock_nodes,
+                e.lock_edges,
+                e.lock_cycles,
+                e.cast_sites
             );
         }
         s
@@ -274,6 +296,10 @@ mod tests {
                     roots: 1,
                     reachable: 3,
                     reachable_panics: 0,
+                    lock_nodes: 1,
+                    lock_edges: 0,
+                    lock_cycles: 0,
+                    cast_sites: 2,
                 }],
             },
         }

@@ -130,6 +130,28 @@ pub const RULES: &[RuleInfo] = &[
         description: "a waiver whose rule no longer fires on its line is dead weight that \
                       hides future violations; remove it (never waivable)",
     },
+    RuleInfo {
+        name: "lock-order",
+        description: "the lock-order graph (keys = owning type+field, edges = acquired B \
+                      while holding A, walked from the declared entry points) must be \
+                      acyclic: a cycle — including re-acquiring a held key — is a \
+                      potential deadlock, reported with the full entry→site chain for \
+                      every edge in the cycle",
+    },
+    RuleInfo {
+        name: "blocking-under-lock",
+        description: "no queue wait (recv/join/Condvar::wait), sleep, or synchronous I/O \
+                      while a lock guard is live on a serve entry path: a blocked holder \
+                      convoys every thread contending on the lock (Condvar::wait is exempt \
+                      for the guard it consumes)",
+    },
+    RuleInfo {
+        name: "numeric-cast",
+        description: "no narrowing `as` cast on the snapshot path (the wire codec files \
+                      plus serve-reachable serve/core code): lengths, offsets, and \
+                      checksums must go through try_from or a recognized len_u32-style \
+                      checked helper; widening casts are clean",
+    },
 ];
 
 /// Maximum allow-annotations tolerated workspace-wide. Lowered from 40 to

@@ -8,6 +8,8 @@
 use crate::callgraph::CallGraph;
 use crate::items::{self, FileItems};
 use crate::layering;
+use crate::lockorder;
+use crate::numflow;
 use crate::reach;
 use crate::report::{CallGraphStats, Report};
 use crate::rules::{
@@ -102,11 +104,13 @@ pub(crate) fn classify(rel: &str) -> FileClass {
 
 /// Run the full lint over the workspace at `root`.
 ///
-/// Two passes: pass 1 scans every file for token-rule findings and (for
-/// non-test files) extracts the item model; pass 2 builds the call graph,
-/// runs the graph rules (panic-reachability, lock-discipline, dead-pub),
-/// applies waivers to the merged per-file findings, and finally checks
-/// every waiver for staleness.
+/// Three passes: pass 1 scans every file for token-rule findings and (for
+/// non-test files) extracts the item model; pass 2 builds the call graph
+/// and runs the graph rules (panic-reachability, lock-discipline,
+/// dead-pub); pass 3 runs the concurrency/numeric soundness rules
+/// (lock-order, blocking-under-lock, numeric-cast) over the same graph.
+/// Waivers are then applied to the merged per-file findings and each one
+/// is checked for staleness.
 pub fn run(root: &Path) -> io::Result<Report> {
     let files = workspace_files(root)?;
     let mut allows: Vec<(String, scanner::Annotation)> = Vec::new();
@@ -169,12 +173,26 @@ pub fn run(root: &Path) -> io::Result<Report> {
     // line-waivers apply uniformly.
     let graph = CallGraph::build(&items_by_file);
     let outcome = reach::check(&graph, &panic_free_files);
-    let callgraph = CallGraphStats {
-        nodes: graph.fns.len(),
-        edges: graph.edge_count(),
-        entry_points: outcome.entry_stats,
-    };
+    // Pass 3: lock-order / blocking-under-lock and numeric-cast dataflow
+    // over the same graph; their per-entry stats land in the entry table.
+    let locks = lockorder::check(&graph);
+    let casts = numflow::check(&graph);
+    let mut entry_points = outcome.entry_stats;
+    for (i, e) in entry_points.iter_mut().enumerate() {
+        if let Some(ls) = locks.per_entry.get(i) {
+            e.lock_nodes = ls.nodes;
+            e.lock_edges = ls.edges;
+            e.lock_cycles = ls.cycles;
+        }
+        if let Some(&cs) = casts.per_entry.get(i) {
+            e.cast_sites = cs;
+        }
+    }
+    let callgraph =
+        CallGraphStats { nodes: graph.fns.len(), edges: graph.edge_count(), entry_points };
     let mut graph_findings = outcome.findings;
+    graph_findings.extend(locks.findings);
+    graph_findings.extend(casts.findings);
     graph_findings.extend(reach::check_dead_pub(&items_by_file, &idents_by_file));
     for f in graph_findings {
         findings_by_file.entry(f.file.clone()).or_default().push(f);

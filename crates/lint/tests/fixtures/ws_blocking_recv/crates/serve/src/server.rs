@@ -1,0 +1,17 @@
+//! Fixture workspace: blocking call under a held guard. GET /search takes
+//! the connection lock, then drains the queue; `Q::drain` blocks on
+//! `.recv()` with the caller's guard still live.
+
+pub struct Q;
+
+impl Q {
+    fn drain(&self) {
+        let _msg = self.rx.recv();
+    }
+}
+
+pub fn search(q: &Q) {
+    let g = q.m.lock();
+    g.push(1);
+    q.drain();
+}

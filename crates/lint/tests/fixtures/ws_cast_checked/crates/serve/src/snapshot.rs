@@ -1,0 +1,22 @@
+//! Fixture workspace: clean numeric casts on the snapshot path. Widening,
+//! int→float, and a checked-helper narrowing must all stay silent.
+
+pub fn load(bytes: &[u8]) -> u64 {
+    let n: u32 = head(bytes);
+    let wide = n as u64;
+    let ratio = bytes.len() as f64;
+    let small = try_narrow(wide) as u32;
+    finish(wide, ratio, small)
+}
+
+fn head(_bytes: &[u8]) -> u32 {
+    7
+}
+
+fn try_narrow(_wide: u64) -> u32 {
+    3
+}
+
+fn finish(_wide: u64, _ratio: f64, _small: u32) -> u64 {
+    0
+}

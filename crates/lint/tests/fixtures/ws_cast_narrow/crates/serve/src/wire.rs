@@ -1,0 +1,6 @@
+//! Fixture workspace: an unchecked narrowing cast in the wire codec — the
+//! length prefix silently truncates past `u32::MAX`.
+
+pub fn pack(len: u64) -> u32 {
+    len as u32
+}

@@ -1,0 +1,27 @@
+//! Index half of the cycle: `Store::commit` locks `Store.m`, then calls
+//! its handle back by name (method fallback — the index crate must not
+//! import `snaps_serve`, which would invert the layering DAG).
+struct Store;
+
+impl Store {
+    fn commit(&self, handle: &H) {
+        let g = self.m.lock();
+        handle.refresh();
+        g.push(1);
+    }
+
+    fn bump(&self) {
+        let g = self.m.lock();
+        g.push(1);
+    }
+}
+
+pub fn store_write(handle: &H) {
+    let s = Store;
+    s.commit(handle);
+}
+
+pub fn store_touch() {
+    let s = Store;
+    s.bump();
+}

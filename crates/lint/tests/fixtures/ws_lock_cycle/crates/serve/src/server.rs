@@ -1,0 +1,25 @@
+//! Fixture workspace: two-crate lock-order cycle. GET /search reaches
+//! `Gate::reload`, which locks `Gate.m` and then calls into the index
+//! crate (locking `Store.m`), and `Store::commit`, which locks `Store.m`
+//! and calls back into `Gate::refresh` (locking `Gate.m`).
+use snaps_index::{store_touch, store_write};
+
+pub struct Gate;
+
+impl Gate {
+    pub fn refresh(&self) {
+        let g = self.m.lock();
+        g.push(1);
+    }
+
+    fn reload(&self) {
+        let g = self.m.lock();
+        store_touch();
+        g.push(1);
+    }
+}
+
+pub fn search(gate: &Gate) {
+    gate.reload();
+    store_write(gate);
+}

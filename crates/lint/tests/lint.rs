@@ -234,6 +234,83 @@ fn ws_lock_across_fixture_flags_held_guard_only() {
 }
 
 #[test]
+fn ws_lock_cycle_fixture_reports_both_chains() {
+    let report = fixture_ws("ws_lock_cycle");
+    let cycles = active_by_rule(&report, "lock-order");
+    assert_eq!(cycles.len(), 1, "{cycles:?}");
+    let msg = &cycles[0].message;
+    assert!(
+        msg.contains(
+            "potential deadlock from GET /search: lock-order cycle Gate.m → Store.m → Gate.m"
+        ),
+        "ring named: {msg}"
+    );
+    assert!(
+        msg.contains(
+            "serve::server::search → serve::server::Gate::reload → index::store_touch → \
+             index::Store::bump acquires Store.m at crates/index/src/lib.rs"
+        ),
+        "first edge chain: {msg}"
+    );
+    assert!(
+        msg.contains(
+            "serve::server::search → index::store_write → index::Store::commit → \
+             serve::server::Gate::refresh acquires Gate.m at crates/serve/src/server.rs"
+        ),
+        "second edge chain: {msg}"
+    );
+    assert!(msg.contains("while holding Store.m"), "{msg}");
+    assert_eq!(report.lock_cycles(), 1);
+    let search = &report.callgraph.entry_points[0];
+    assert_eq!(search.label, "GET /search");
+    assert_eq!((search.lock_nodes, search.lock_edges, search.lock_cycles), (2, 2, 1));
+}
+
+#[test]
+fn ws_blocking_recv_fixture_flags_the_transitive_wait() {
+    let report = fixture_ws("ws_blocking_recv");
+    let blocking = active_by_rule(&report, "blocking-under-lock");
+    assert_eq!(blocking.len(), 1, "{blocking:?}");
+    let f = blocking[0];
+    assert_eq!(f.file, "crates/serve/src/server.rs");
+    assert!(
+        f.message.contains(
+            "blocking call .recv() while holding serve.m, reachable from GET /search: \
+             serve::server::search → serve::server::Q::drain"
+        ),
+        "{}",
+        f.message
+    );
+    // the guard itself is legal: no lock-order cycle, no discipline finding
+    assert!(active_by_rule(&report, "lock-order").is_empty());
+    let search = &report.callgraph.entry_points[0];
+    assert_eq!((search.lock_nodes, search.lock_edges, search.lock_cycles), (1, 0, 0));
+}
+
+#[test]
+fn ws_cast_checked_fixture_is_silent_but_counted() {
+    let report = fixture_ws("ws_cast_checked");
+    assert!(active_by_rule(&report, "numeric-cast").is_empty(), "{report:?}");
+    let load = &report.callgraph.entry_points[4];
+    assert_eq!(load.label, "snapshot load");
+    assert_eq!(load.cast_sites, 3, "widening + float + checked all counted");
+}
+
+#[test]
+fn ws_cast_narrow_fixture_names_types_and_the_fix() {
+    let report = fixture_ws("ws_cast_narrow");
+    let casts = active_by_rule(&report, "numeric-cast");
+    assert_eq!(casts.len(), 1, "{casts:?}");
+    let f = casts[0];
+    assert_eq!((f.file.as_str(), f.line), ("crates/serve/src/wire.rs", 5));
+    assert_eq!(
+        f.message,
+        "narrowing cast to `u32` from `u64` on the snapshot path can silently truncate; \
+         use `u32::try_from` or a recognized checked helper (len_u32-style)"
+    );
+}
+
+#[test]
 fn ws_stale_waiver_fixture_flags_the_waiver() {
     let report = fixture_ws("ws_stale_waiver");
     let stale = active_by_rule(&report, "waiver-staleness");
@@ -264,6 +341,28 @@ fn workspace_entry_points_are_rooted_and_report_is_deterministic() {
     for e in entries {
         assert!(e.roots >= 1, "entry '{}' has no root function", e.label);
         assert!(e.reachable >= 1, "entry '{}' reaches nothing", e.label);
+    }
+}
+
+/// Pass 3 acceptance: the serve entry points are deadlock-free, the lock
+/// and cast statistics are live, and the new rule families are enumerated
+/// in the report even at zero findings.
+#[test]
+fn workspace_serve_entries_are_deadlock_free_and_new_rules_enumerated() {
+    let root = real_workspace_root();
+    let report = workspace::run(&root).expect("walk workspace");
+    assert_eq!(report.lock_cycles(), 0, "lock-order cycles (waived or not) on the workspace");
+    let entries = &report.callgraph.entry_points;
+    for e in entries {
+        assert_eq!(e.lock_cycles, 0, "entry '{}' has a lock-order cycle", e.label);
+    }
+    // The pass actually sees the workspace's locks and casts — the serve
+    // handlers reach the index shard locks and the wire codec's casts.
+    assert!(entries.iter().any(|e| e.lock_nodes > 0), "no entry reaches a lock: {entries:?}");
+    assert!(entries.iter().any(|e| e.cast_sites > 0), "no entry reaches a cast: {entries:?}");
+    let json = report.to_json();
+    for rule in ["lock-order", "blocking-under-lock", "numeric-cast"] {
+        assert!(json.contains(&format!("\"{rule}\"")), "rule {rule} enumerated in the report");
     }
 }
 

@@ -159,9 +159,12 @@ impl Histogram {
         self.max()
     }
 
-    /// Snapshot for inclusion in a run report.
+    /// Snapshot for inclusion in a run report. (Named `snapshot`, not
+    /// `report`, so a name-based call-graph fallback cannot confuse it
+    /// with [`Obs::report`](crate::Obs::report), which calls it under the
+    /// histogram-registry lock.)
     #[must_use]
-    pub fn report(&self) -> HistogramReport {
+    pub fn snapshot(&self) -> HistogramReport {
         let nonzero = self
             .buckets
             .iter()
@@ -300,7 +303,7 @@ mod tests {
         for us in [1u64, 10, 100, 1000, 10_000] {
             h.record(Duration::from_micros(us));
         }
-        let r = h.report();
+        let r = h.snapshot();
         assert_eq!(r.count, 5);
         assert_eq!(r.buckets.iter().map(|(_, c)| c).sum::<u64>(), 5);
         assert!(r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns);

@@ -254,7 +254,7 @@ impl Obs {
         };
         let histograms = {
             let map = inner.histograms.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            map.iter().map(|(n, h)| (n.clone(), h.report())).collect()
+            map.iter().map(|(n, h)| (n.clone(), h.snapshot())).collect()
         };
         Some(RunReport { meta: Vec::new(), spans, counters, gauges, histograms })
     }

@@ -213,7 +213,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
         for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
+            let mut c = u32::try_from(i).unwrap_or(u32::MAX); // i < 256 by construction
             for _ in 0..8 {
                 c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             }
