@@ -1,0 +1,66 @@
+//! Offline-pipeline throughput benchmark.
+//!
+//! Runs the full resolution pipeline (blocking → dependency graph →
+//! bootstrap/merge → refine) over a scaled IOS dataset and reports each
+//! stage's wall time and records-per-second rate — the committed
+//! `results/BENCH_pipeline.json` is the perf trajectory CI ratchets
+//! against (see `tools/bench-ratchet.sh`).
+//!
+//! ```text
+//! cargo run --release --bin bench_pipeline -- --scale 0.1 --report results/BENCH_pipeline.json
+//! ```
+
+use std::time::Duration;
+
+use snaps_bench::{format_table, write_report, ExperimentArgs};
+use snaps_core::{resolve_with_obs, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_obs::{Obs, ObsConfig};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let obs = Obs::new(&ObsConfig::full());
+
+    eprintln!("[bench_pipeline] generating (ios scaled {}, seed {})…", args.scale, args.seed);
+    let data = generate(&DatasetProfile::ios().scaled(args.scale), args.seed);
+    let n_records = data.dataset.len();
+    eprintln!("[bench_pipeline] resolving {n_records} records…");
+    let res = resolve_with_obs(&data.dataset, &SnapsConfig::default(), &obs);
+
+    let fmt_s = |d: Duration| format!("{:.3}", d.as_secs_f64());
+    let report = obs.report();
+    let rps = |stage: &str| -> String {
+        report
+            .as_ref()
+            .and_then(|r| r.gauges.iter().find(|(n, _)| n == &format!("pipeline.rps.{stage}")))
+            .map_or_else(|| "-".to_string(), |(_, v)| v.to_string())
+    };
+    let stats = &res.stats;
+    println!(
+        "{}",
+        format_table(
+            &["stage", "wall s", "records/s"],
+            &[
+                vec!["blocking".into(), fmt_s(stats.t_atomic), rps("blocking")],
+                vec!["comparison".into(), fmt_s(stats.t_relational), rps("comparison")],
+                vec!["merge".into(), fmt_s(stats.linkage_time()), rps("merge")],
+                vec!["refine".into(), fmt_s(stats.t_refine), rps("refine")],
+            ],
+        )
+    );
+    println!(
+        "records {n_records}  entities {}  links {}  passes {}",
+        res.clusters.len(),
+        res.stats.final_links,
+        res.stats.passes
+    );
+
+    if let Some(report) = report {
+        let report = report
+            .with_meta("records", n_records)
+            .with_meta("entities", res.clusters.len())
+            .with_meta("final_links", res.stats.final_links)
+            .with_meta("passes", res.stats.passes);
+        write_report(report, &args, "bench_pipeline");
+    }
+}

@@ -163,6 +163,23 @@ fn main() {
         latencies.extend(h.join().expect("client thread panicked"));
     }
     let wall = load_started.elapsed();
+
+    // Scrape the live telemetry endpoints while the server is still up:
+    // the Prometheus exposition becomes a CI artifact, and the debug
+    // endpoints get an end-to-end smoke check under real load.
+    let (prom_status, prom_body) = get(addr, "/metrics?format=prom");
+    assert_eq!(prom_status, 200, "prometheus exposition failed");
+    assert!(prom_body.contains("# TYPE"), "exposition lacks TYPE lines");
+    let (traces_status, traces_body) = get(addr, "/debug/traces?n=10");
+    assert_eq!(traces_status, 200, "debug traces failed: {traces_body}");
+    let (slow_status, _) = get(addr, "/debug/slow?threshold_us=1");
+    assert_eq!(slow_status, 200, "debug slow failed");
+    if let Some(report_path) = &args.report {
+        let prom_path = std::path::Path::new(report_path).with_extension("prom");
+        std::fs::write(&prom_path, &prom_body).expect("write prometheus exposition");
+        eprintln!("[bench_serve] wrote prometheus exposition to {}", prom_path.display());
+    }
+
     server.shutdown();
     let _ = std::fs::remove_file(&snap_path);
 

@@ -231,6 +231,18 @@ pub fn resolve_with_obs(ds: &Dataset, cfg: &SnapsConfig, obs: &Obs) -> Resolutio
 
     stats.final_links = store.link_count();
     obs.counter("pipeline.final_links").add(stats.final_links as u64);
+    // Stage throughput (records/second) so benchmark reports carry a
+    // comparable per-stage rate, not just absolute durations. Integer
+    // math; a sub-microsecond stage clamps to its record count.
+    let rps = |n: usize, t: Duration| -> i64 {
+        let us = t.as_micros().max(1);
+        let scaled = u128::try_from(n).unwrap_or(u128::MAX).saturating_mul(1_000_000);
+        i64::try_from(scaled / us).unwrap_or(i64::MAX)
+    };
+    obs.gauge("pipeline.rps.blocking").set(rps(ds.len(), stats.t_atomic));
+    obs.gauge("pipeline.rps.comparison").set(rps(ds.len(), stats.t_relational));
+    obs.gauge("pipeline.rps.merge").set(rps(ds.len(), stats.linkage_time()));
+    obs.gauge("pipeline.rps.refine").set(rps(ds.len(), stats.t_refine));
     root.finish();
     Resolution { clusters: store.clusters(), links: store.links().to_vec(), stats, report: None }
 }

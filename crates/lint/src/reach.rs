@@ -73,6 +73,27 @@ pub(crate) const ENTRY_POINTS: &[EntrySpec] = &[
         serve_path: true,
     },
     EntrySpec {
+        label: "GET /debug/traces",
+        krate: "serve",
+        module: Some("server"),
+        function: "debug_traces",
+        serve_path: true,
+    },
+    EntrySpec {
+        label: "GET /debug/slow",
+        krate: "serve",
+        module: Some("server"),
+        function: "debug_slow",
+        serve_path: true,
+    },
+    EntrySpec {
+        label: "GET /metrics?format=prom",
+        krate: "serve",
+        module: Some("server"),
+        function: "metrics_prom",
+        serve_path: true,
+    },
+    EntrySpec {
         label: "snapshot load",
         krate: "serve",
         module: Some("snapshot"),

@@ -49,6 +49,14 @@ fn bucket_upper(i: usize) -> u64 {
     }
 }
 
+/// Exclusive upper bound (ns) of the bucket whose inclusive lower bound is
+/// `lo` — lets the Prometheus writer reconstruct `le` bounds from the
+/// `(lower, count)` pairs a [`HistogramReport`] stores. The unbounded top
+/// bucket answers `u64::MAX`.
+pub(crate) fn upper_for_lower(lo: u64) -> u64 {
+    bucket_upper(bucket_index(lo))
+}
+
 /// Thread-safe latency histogram with a fixed sub-octave bucket layout.
 ///
 /// Recording is lock-free (one relaxed atomic add per sample plus min/max

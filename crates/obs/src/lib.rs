@@ -38,10 +38,13 @@
 
 mod histogram;
 mod json;
+mod prom;
 mod report;
+mod trace;
 
 pub use histogram::{Histogram, HistogramHandle, HistogramReport};
 pub use report::{RunReport, SpanReport};
+pub use trace::{TraceRecord, TraceRing, DEFAULT_TRACE_CAPACITY};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

@@ -1,0 +1,149 @@
+//! Prometheus text-exposition rendering of a [`RunReport`].
+//!
+//! The serve layer answers `/metrics?format=prom` with this format so the
+//! live service can be scraped by a stock Prometheus/VictoriaMetrics
+//! agent, while the JSON run report stays the default for scripts.
+//!
+//! Naming conventions (documented in DESIGN.md §8):
+//!
+//! - every metric is prefixed `snaps_`; dots and other separators in the
+//!   registry name become `_` (`serve.http_200` → `snaps_serve_http_200`);
+//! - counters get the conventional `_total` suffix;
+//! - histograms keep their native nanosecond unit and carry a `_ns`
+//!   suffix, with **cumulative** `_bucket{le="…"}` series (inclusive
+//!   integer upper bounds from the fixed sub-octave layout), a `+Inf`
+//!   bucket, `_sum` and `_count`;
+//! - output order is: counters, gauges, histograms — each sorted by name
+//!   (the report already stores them sorted), so the exposition is
+//!   byte-deterministic for a given report.
+//!
+//! Rendering is a pure function of the report: no locks, no clock reads,
+//! no panics.
+
+use crate::histogram::{upper_for_lower, HistogramReport};
+use crate::RunReport;
+use std::fmt::Write as _;
+
+/// Append `name` with every byte outside `[a-z0-9_]` mapped to `_`
+/// (uppercase is lowered), after the `snaps_` namespace prefix.
+fn metric_name(out: &mut String, name: &str) {
+    out.push_str("snaps_");
+    for c in name.chars() {
+        match c {
+            'a'..='z' | '0'..='9' | '_' => out.push(c),
+            'A'..='Z' => out.push(c.to_ascii_lowercase()),
+            _ => out.push('_'),
+        }
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, h: &HistogramReport) {
+    let mut full = String::new();
+    metric_name(&mut full, name);
+    full.push_str("_ns");
+    let _ = writeln!(out, "# TYPE {full} histogram");
+    let mut cumulative = 0u64;
+    for (lower, count) in &h.buckets {
+        cumulative = cumulative.saturating_add(*count);
+        let upper = upper_for_lower(*lower);
+        if upper == u64::MAX {
+            // The unbounded top bucket is represented by `+Inf` below.
+            continue;
+        }
+        // Our buckets are `[lower, upper)` over integers, so the inclusive
+        // Prometheus `le` bound is `upper - 1`.
+        let _ = writeln!(out, "{full}_bucket{{le=\"{}\"}} {cumulative}", upper - 1);
+    }
+    let _ = writeln!(out, "{full}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{full}_sum {}", h.sum_ns);
+    let _ = writeln!(out, "{full}_count {}", h.count);
+}
+
+/// Render `report` in the Prometheus text exposition format (version
+/// 0.0.4). See the module docs for the naming scheme.
+#[must_use]
+pub(crate) fn render(report: &RunReport) -> String {
+    let mut out = String::new();
+    for (name, value) in &report.counters {
+        let mut full = String::new();
+        metric_name(&mut full, name);
+        full.push_str("_total");
+        let _ = writeln!(out, "# TYPE {full} counter");
+        let _ = writeln!(out, "{full} {value}");
+    }
+    for (name, value) in &report.gauges {
+        let mut full = String::new();
+        metric_name(&mut full, name);
+        let _ = writeln!(out, "# TYPE {full} gauge");
+        let _ = writeln!(out, "{full} {value}");
+    }
+    for (name, h) in &report.histograms {
+        write_histogram(&mut out, name, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Obs, ObsConfig};
+    use std::time::Duration;
+
+    fn sample() -> crate::RunReport {
+        let obs = Obs::new(&ObsConfig::full());
+        obs.counter("serve.http_200").add(12);
+        obs.counter("query.count").add(7);
+        obs.gauge("serve.inflight").set(3);
+        let h = obs.histogram("query.latency");
+        for us in [10u64, 100, 100, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        obs.report().expect("enabled")
+    }
+
+    #[test]
+    fn exposition_has_type_lines_and_values() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE snaps_serve_http_200_total counter"));
+        assert!(text.contains("snaps_serve_http_200_total 12\n"));
+        assert!(text.contains("# TYPE snaps_query_count_total counter"));
+        assert!(text.contains("# TYPE snaps_serve_inflight gauge"));
+        assert!(text.contains("snaps_serve_inflight 3\n"));
+        assert!(text.contains("# TYPE snaps_query_latency_ns histogram"));
+        assert!(text.contains("snaps_query_latency_ns_count 4\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let text = sample().to_prometheus();
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("snaps_query_latency_ns_bucket"))
+            .filter_map(|l| l.rsplit(' ').next())
+            .map(|v| v.parse().expect("bucket count"))
+            .collect();
+        assert!(counts.len() >= 2, "at least one finite bucket plus +Inf: {text}");
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "cumulative counts: {counts:?}");
+        assert_eq!(*counts.last().expect("buckets"), 4, "+Inf bucket equals count");
+        // `le` bounds strictly increase.
+        let bounds: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("snaps_query_latency_ns_bucket{le=\""))
+            .filter_map(|l| l.split('"').next())
+            .collect();
+        let finite: Vec<u64> = bounds.iter().filter_map(|b| b.parse().ok()).collect();
+        assert!(finite.windows(2).all(|w| w[0] < w[1]), "le bounds increase: {finite:?}");
+        assert_eq!(bounds.last().copied(), Some("+Inf"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let report = sample();
+        assert_eq!(report.to_prometheus(), report.to_prometheus());
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        let obs = Obs::new(&ObsConfig::full());
+        assert_eq!(obs.report().expect("enabled").to_prometheus(), "");
+    }
+}

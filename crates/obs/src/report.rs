@@ -103,6 +103,16 @@ impl RunReport {
         self.spans.iter().find_map(|s| s.find(name))
     }
 
+    /// Render in the Prometheus text exposition format: counters (with a
+    /// `_total` suffix), gauges, and histograms (nanosecond unit, `_ns`
+    /// suffix, cumulative `le` buckets plus `+Inf`/`_sum`/`_count`), all
+    /// under the `snaps_` prefix. Byte-deterministic for a given report;
+    /// see the `prom` module docs for the exact naming rules.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        crate::prom::render(self)
+    }
+
     /// Serialise to pretty-printed JSON.
     #[must_use]
     pub fn to_json(&self) -> String {

@@ -1,0 +1,54 @@
+//! Golden-file test for the Prometheus text exposition.
+//!
+//! Builds a fully deterministic report (fixed counters, gauges, spans, and
+//! histogram samples — no wall clock involved) and checks the rendered
+//! exposition byte-for-byte against the committed golden file, twice, so
+//! any accidental nondeterminism or format drift fails loudly.
+//!
+//! To regenerate after an intentional format change:
+//! `SNAPS_UPDATE_GOLDEN=1 cargo test -p snaps-obs --test prom_golden`
+
+use snaps_obs::{Obs, ObsConfig};
+use std::time::Duration;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/prom_exposition.txt");
+
+fn deterministic_report() -> snaps_obs::RunReport {
+    let obs = Obs::new(&ObsConfig::full());
+    obs.counter("serve.requests").add(42);
+    obs.counter("serve.route.search.2xx").add(40);
+    obs.counter("index.sim_cache.hits").add(1000);
+    obs.counter("index.sim_cache.misses").add(17);
+    obs.gauge("serve.queue_depth").set(3);
+    obs.gauge("serve.inflight").set(-1);
+    obs.gauge("pipeline.rps.blocking").set(125_000);
+    let h = obs.histogram("query.latency");
+    for us in [3u64, 9, 10, 11, 90, 400, 400, 1500, 65_000, 2_000_000] {
+        h.record(Duration::from_micros(us));
+    }
+    obs.report().expect("enabled").with_meta("dataset", "golden")
+}
+
+#[test]
+fn exposition_matches_committed_golden_file() {
+    let report = deterministic_report();
+    let rendered = report.to_prometheus();
+    assert_eq!(rendered, report.to_prometheus(), "two renders of one report must be identical");
+    assert_eq!(
+        rendered,
+        deterministic_report().to_prometheus(),
+        "two identically-built reports must render identically"
+    );
+
+    if std::env::var_os("SNAPS_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("missing golden file — run with SNAPS_UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "prometheus exposition drifted from the committed golden file; \
+         if intentional, regenerate with SNAPS_UPDATE_GOLDEN=1"
+    );
+}

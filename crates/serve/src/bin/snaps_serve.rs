@@ -22,7 +22,7 @@ use snaps_serve::{snapshot, Server, ServerConfig};
 
 const USAGE: &str = "usage:
   snaps-serve build-snapshot --out PATH [--profile ios|kil] [--scale F] [--seed N]
-  snaps-serve serve --snapshot PATH [--addr HOST:PORT] [--workers N] [--queue N]";
+  snaps-serve serve --snapshot PATH [--addr HOST:PORT] [--workers N] [--queue N] [--traces N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,19 +93,28 @@ fn serve(args: &[String]) -> Result<(), String> {
     let path = flag(args, "--snapshot")?.ok_or("--snapshot PATH is mandatory")?.to_string();
     let addr = flag(args, "--addr")?.unwrap_or("127.0.0.1:7171").to_string();
     let defaults = ServerConfig::default();
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         workers: parse_flag(args, "--workers", defaults.workers)?,
         queue_capacity: parse_flag(args, "--queue", defaults.queue_capacity)?,
         read_timeout: Duration::from_secs(5),
+        trace_capacity: parse_flag(args, "--traces", defaults.trace_capacity)?,
+        snapshot: None,
     };
-    if config.workers == 0 || config.queue_capacity == 0 {
-        return Err("--workers and --queue must be positive".into());
+    if config.workers == 0 || config.queue_capacity == 0 || config.trace_capacity == 0 {
+        return Err("--workers, --queue and --traces must be positive".into());
     }
 
     let obs = Obs::new(&ObsConfig::full());
     eprintln!("loading snapshot {path}…");
-    let engine = snapshot::load(&path, &obs).map_err(|e| e.to_string())?;
-    eprintln!("restored engine: {} entities ready", engine.graph().len());
+    let (engine, stamp) = snapshot::load_stamped(&path, &obs).map_err(|e| e.to_string())?;
+    eprintln!(
+        "restored engine: {} entities ready (format v{}, crc32 {:08x}, {} bytes)",
+        engine.graph().len(),
+        stamp.version,
+        stamp.checksum,
+        stamp.bytes
+    );
+    config.snapshot = Some(stamp);
     let server = Server::start(addr.as_str(), Arc::new(engine), &obs, &config)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
@@ -114,7 +123,10 @@ fn serve(args: &[String]) -> Result<(), String> {
         config.workers,
         config.queue_capacity
     );
-    eprintln!("endpoints: /search /pedigree/<id> /healthz /metrics — ctrl-c to stop");
+    eprintln!(
+        "endpoints: /search /pedigree/<id> /healthz /metrics[?format=prom] \
+         /debug/traces /debug/slow — ctrl-c to stop"
+    );
     // Serve until the process is killed; workers own all per-request state.
     loop {
         std::thread::park();

@@ -216,6 +216,17 @@ impl Response {
         Self { status, content_type: "text/plain; charset=utf-8", body: body.into().into_bytes() }
     }
 
+    /// A `200 OK` response in the Prometheus text exposition format
+    /// (version 0.0.4, the content type scrapers negotiate).
+    #[must_use]
+    pub fn prometheus(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
     /// Serialise onto `w`.
     ///
     /// # Errors

@@ -25,4 +25,4 @@ pub mod snapshot;
 pub mod wire;
 
 pub use server::{Server, ServerConfig};
-pub use snapshot::SnapshotError;
+pub use snapshot::{SnapshotError, SnapshotStamp};

@@ -15,6 +15,12 @@
 //! Shutdown is graceful: the flag is raised, the accept thread is woken by
 //! a self-connection, workers drain the queue and exit, and
 //! [`Server::shutdown`] joins every thread.
+//!
+//! Every handled request leaves a [`TraceRecord`] in a bounded
+//! [`TraceRing`] (route, status, latency, queue wait, cache/candidate
+//! deltas, truncated params), readable live via `/debug/traces` and
+//! `/debug/slow`; `/metrics?format=prom` serves the same registry as the
+//! JSON run report in Prometheus text exposition.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -26,18 +32,36 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use snaps_model::{EntityId, Gender};
-use snaps_obs::{Counter, Obs};
+use snaps_obs::{Counter, Gauge, Obs, TraceRecord, TraceRing, DEFAULT_TRACE_CAPACITY};
 use snaps_pedigree::{extract, DEFAULT_GENERATIONS};
 use snaps_query::{QueryRecord, SearchEngine, SearchKind};
 use snaps_strsim::normalize::normalize_name;
 
 use crate::http::{parse_request, ParseError, Request, Response};
 use crate::json;
+use crate::snapshot::SnapshotStamp;
 
 /// Upper bound on the `m` (top matches) query parameter.
 pub(crate) const MAX_TOP_M: usize = 100;
 /// Upper bound on the `g` (generations) pedigree parameter.
 pub(crate) const MAX_GENERATIONS: usize = 8;
+/// Longest query-parameter digest stored in a trace record, bytes.
+pub(crate) const MAX_PARAM_DIGEST: usize = 64;
+/// Default `threshold_us` of `/debug/slow` when the parameter is absent.
+pub(crate) const DEFAULT_SLOW_THRESHOLD_US: u64 = 10_000;
+
+/// Normalised route labels used for per-route status-class counters and
+/// trace records. `unparsed` marks connections whose request never parsed.
+const ROUTE_LABELS: &[&str] = &[
+    "search",
+    "pedigree",
+    "healthz",
+    "metrics",
+    "debug_traces",
+    "debug_slow",
+    "other",
+    "unparsed",
+];
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -49,25 +73,50 @@ pub struct ServerConfig {
     /// Per-connection read timeout; a client that connects but never sends
     /// a full request holds a worker for at most this long.
     pub read_timeout: Duration,
+    /// Capacity of the request trace ring served by `/debug/traces`.
+    pub trace_capacity: usize,
+    /// Identity of the snapshot the engine was restored from, reported by
+    /// `/healthz`; `None` for engines built in-process.
+    pub snapshot: Option<SnapshotStamp>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 4, queue_capacity: 64, read_timeout: Duration::from_secs(5) }
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            snapshot: None,
+        }
     }
 }
 
+fn depth_i64(n: usize) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
+fn us_u64(micros: u128) -> u64 {
+    u64::try_from(micros).unwrap_or(u64::MAX)
+}
+
+fn count_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 /// Bounded FIFO of accepted connections between the accept thread and the
-/// worker pool.
+/// worker pool. Each entry carries its enqueue instant so workers can
+/// attribute queue-wait time to the request they serve.
 struct ConnQueue {
-    inner: Mutex<VecDeque<TcpStream>>,
+    inner: Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
     capacity: usize,
+    depth: Gauge,
 }
 
 impl ConnQueue {
-    fn new(capacity: usize) -> Self {
-        Self { inner: Mutex::new(VecDeque::new()), ready: Condvar::new(), capacity }
+    fn new(capacity: usize, depth: Gauge) -> Self {
+        Self { inner: Mutex::new(VecDeque::new()), ready: Condvar::new(), capacity, depth }
     }
 
     /// Enqueue unless full; a full queue returns the stream to the caller
@@ -75,30 +124,55 @@ impl ConnQueue {
     fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
         // Queue state is a VecDeque of owned streams: a panic mid-push can't
         // leave it half-updated, so a poisoned lock is safe to re-enter.
-        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        if q.len() >= self.capacity {
-            return Err(stream);
-        }
-        q.push_back(stream);
-        drop(q);
+        let depth = {
+            let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if q.len() >= self.capacity {
+                return Err(stream);
+            }
+            q.push_back((stream, Instant::now()));
+            q.len()
+        };
+        self.depth.set(depth_i64(depth));
         self.ready.notify_one();
         Ok(())
     }
 
     /// Blocking pop; returns `None` once `shutdown` is set **and** the
     /// queue is drained, so accepted work still completes.
-    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
-        let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        loop {
-            if let Some(stream) = q.pop_front() {
-                return Some(stream);
+    fn pop(&self, shutdown: &AtomicBool) -> Option<(TcpStream, Instant)> {
+        let popped = {
+            let mut q = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(entry) = q.pop_front() {
+                    break Some((entry, q.len()));
+                }
+                if shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = self.ready.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
-            if shutdown.load(Ordering::Acquire) {
-                return None;
-            }
-            q = self.ready.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
+        };
+        let (entry, depth) = popped?;
+        self.depth.set(depth_i64(depth));
+        Some(entry)
     }
+}
+
+/// Per-route status-class counters (`serve.route.<label>.{2xx,4xx,5xx}`).
+struct RouteClasses {
+    label: &'static str,
+    c2xx: Counter,
+    c4xx: Counter,
+    c5xx: Counter,
+}
+
+/// Per-request side facts a handler reports for its trace record.
+#[derive(Debug, Default, Clone, Copy)]
+struct ReqStats {
+    cache_hits: u64,
+    cache_misses: u64,
+    candidates: u64,
+    results: u64,
 }
 
 /// Shared per-server state handed to every worker.
@@ -110,6 +184,20 @@ struct Ctx {
     http_200: Counter,
     http_400: Counter,
     http_404: Counter,
+    inflight: Gauge,
+    generation: Gauge,
+    routes: Vec<RouteClasses>,
+    sim_hits: Counter,
+    sim_misses: Counter,
+    candidates_scored: Counter,
+    traces: TraceRing,
+    snapshot: Option<SnapshotStamp>,
+}
+
+impl Ctx {
+    fn route_classes(&self, label: &str) -> Option<&RouteClasses> {
+        self.routes.iter().find(|r| r.label == label)
+    }
 }
 
 /// A running query service; dropping without [`Server::shutdown`] detaches
@@ -154,7 +242,20 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(ConnQueue::new(config.queue_capacity));
+        let queue = Arc::new(ConnQueue::new(config.queue_capacity, obs.gauge("serve.queue_depth")));
+        let generation = obs.gauge("serve.snapshot_generation");
+        // First generation of served data; hot-swap (ROADMAP item 2) bumps
+        // this on every snapshot-pointer swap.
+        generation.set(1);
+        let routes = ROUTE_LABELS
+            .iter()
+            .map(|label| RouteClasses {
+                label,
+                c2xx: obs.counter(&format!("serve.route.{label}.2xx")),
+                c4xx: obs.counter(&format!("serve.route.{label}.4xx")),
+                c5xx: obs.counter(&format!("serve.route.{label}.5xx")),
+            })
+            .collect();
         let ctx = Arc::new(Ctx {
             engine,
             obs: obs.clone(),
@@ -163,6 +264,14 @@ impl Server {
             http_200: obs.counter("serve.http_200"),
             http_400: obs.counter("serve.http_400"),
             http_404: obs.counter("serve.http_404"),
+            inflight: obs.gauge("serve.inflight"),
+            generation,
+            routes,
+            sim_hits: obs.counter("index.sim_cache.hits"),
+            sim_misses: obs.counter("index.sim_cache.misses"),
+            candidates_scored: obs.counter("query.candidates_scored"),
+            traces: TraceRing::new(config.trace_capacity),
+            snapshot: config.snapshot,
         });
 
         let mut workers = Vec::with_capacity(config.workers);
@@ -173,8 +282,8 @@ impl Server {
             let read_timeout = config.read_timeout;
             workers.push(thread::Builder::new().name(format!("snaps-serve-worker-{i}")).spawn(
                 move || {
-                    while let Some(stream) = queue.pop(&shutdown) {
-                        handle_connection(stream, &ctx, read_timeout);
+                    while let Some((stream, queued_at)) = queue.pop(&shutdown) {
+                        handle_connection(stream, queued_at, &ctx, read_timeout);
                     }
                 },
             )?);
@@ -184,6 +293,7 @@ impl Server {
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
             let http_503 = obs.counter("serve.http_503");
+            let shed_503 = obs.counter("serve.route.shed.503");
             thread::Builder::new().name("snaps-serve-accept".into()).spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Acquire) {
@@ -194,6 +304,7 @@ impl Server {
                         // Explicit backpressure: reject on the accept
                         // thread, never block behind a full queue.
                         http_503.add(1);
+                        shed_503.add(1);
                         let resp = Response::json(
                             503,
                             "{\"error\": \"server overloaded, retry later\"}".to_string(),
@@ -230,23 +341,74 @@ impl Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, ctx: &Ctx, read_timeout: Duration) {
+/// Route label used for counters and traces (normalises `/pedigree/<id>`
+/// to one label and unknown paths to `other`).
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/search" => "search",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/debug/traces" => "debug_traces",
+        "/debug/slow" => "debug_slow",
+        p if p.starts_with("/pedigree/") => "pedigree",
+        _ => "other",
+    }
+}
+
+/// Truncated `k=v&k=v` digest of the request's query parameters for trace
+/// records; cut at a char boundary at [`MAX_PARAM_DIGEST`] bytes.
+fn param_digest(req: &Request) -> String {
+    let mut out = String::new();
+    for (k, v) in &req.params {
+        if !out.is_empty() {
+            out.push('&');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+        if out.len() >= MAX_PARAM_DIGEST {
+            break;
+        }
+    }
+    if out.len() > MAX_PARAM_DIGEST {
+        let mut end = MAX_PARAM_DIGEST;
+        while end > 0 && !out.is_char_boundary(end) {
+            end -= 1;
+        }
+        out.truncate(end);
+    }
+    out
+}
+
+fn handle_connection(stream: TcpStream, queued_at: Instant, ctx: &Ctx, read_timeout: Duration) {
+    let queue_wait_us = us_u64(queued_at.elapsed().as_micros());
+    ctx.inflight.add(1);
     let _ = stream.set_read_timeout(Some(read_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
-        Err(_) => return,
+        Err(_) => {
+            ctx.inflight.add(-1);
+            return;
+        }
     });
-    let response = match parse_request(&mut reader) {
+    let handled_at = Instant::now();
+    let (response, label, stats, params) = match parse_request(&mut reader) {
         Ok(req) => {
             ctx.requests.add(1);
-            route(&req, ctx)
+            let label = route_label(&req.path);
+            let params = param_digest(&req);
+            let (response, stats) = route(&req, ctx);
+            (response, label, stats, params)
         }
         // A connection that opened but never sent bytes (port scan,
         // cancelled client) gets no response; real malformed input gets 400.
-        Err(ParseError::UnexpectedEof) => return,
+        Err(ParseError::UnexpectedEof) => {
+            ctx.inflight.add(-1);
+            return;
+        }
         Err(e) => {
             ctx.http_400.add(1);
-            bad_request(&e.to_string())
+            (bad_request(&e.to_string()), "unparsed", ReqStats::default(), String::new())
         }
     };
     match response.status {
@@ -255,6 +417,27 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx, read_timeout: Duration) {
         404 => ctx.http_404.add(1),
         _ => {}
     }
+    if let Some(classes) = ctx.route_classes(label) {
+        match response.status {
+            200..=299 => classes.c2xx.add(1),
+            400..=499 => classes.c4xx.add(1),
+            500..=599 => classes.c5xx.add(1),
+            _ => {}
+        }
+    }
+    ctx.traces.push(TraceRecord {
+        seq: 0,
+        route: label,
+        status: response.status,
+        latency_us: us_u64(handled_at.elapsed().as_micros()).max(1),
+        queue_wait_us,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        candidates: stats.candidates,
+        results: stats.results,
+        params,
+    });
+    ctx.inflight.add(-1);
     let mut stream = stream;
     let _ = response.write_to(&mut stream);
 }
@@ -273,19 +456,22 @@ fn not_found(msg: &str) -> Response {
     Response::json(404, body)
 }
 
-fn route(req: &Request, ctx: &Ctx) -> Response {
+fn route(req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
     if req.method != "GET" {
-        return Response::json(405, "{\"error\": \"only GET is supported\"}".to_string());
+        let resp = Response::json(405, "{\"error\": \"only GET is supported\"}".to_string());
+        return (resp, ReqStats::default());
     }
     match req.path.as_str() {
-        "/healthz" => healthz(ctx),
-        "/metrics" => metrics(ctx),
+        "/healthz" => (healthz(ctx), ReqStats::default()),
+        "/metrics" => (metrics(req, ctx), ReqStats::default()),
         "/search" => search(req, ctx),
+        "/debug/traces" => debug_traces(req, ctx),
+        "/debug/slow" => debug_slow(req, ctx),
         p => {
             if let Some(rest) = p.strip_prefix("/pedigree/") {
                 pedigree(rest, req, ctx)
             } else {
-                not_found("no such endpoint")
+                (not_found("no such endpoint"), ReqStats::default())
             }
         }
     }
@@ -295,18 +481,136 @@ fn healthz(ctx: &Ctx) -> Response {
     let mut body = String::from("{\"status\": \"ok\", \"entities\": ");
     let _ = write!(
         body,
-        "{}, \"uptime_ms\": {}}}",
+        "{}, \"uptime_ms\": {}, \"snapshot_generation\": {}",
         ctx.engine.graph().len(),
-        ctx.started.elapsed().as_millis()
+        ctx.started.elapsed().as_millis(),
+        ctx.generation.get()
     );
+    body.push_str(", \"snapshot\": ");
+    match &ctx.snapshot {
+        Some(stamp) => {
+            let _ = write!(
+                body,
+                "{{\"version\": {}, \"checksum_crc32\": \"{:08x}\", \"bytes\": {}}}",
+                stamp.version, stamp.checksum, stamp.bytes
+            );
+        }
+        None => body.push_str("null"),
+    }
+    body.push('}');
     Response::json(200, body)
 }
 
-fn metrics(ctx: &Ctx) -> Response {
+fn metrics(req: &Request, ctx: &Ctx) -> Response {
+    match req.param("format") {
+        None | Some("json") => metrics_json(ctx),
+        Some("prom") => metrics_prom(ctx),
+        Some(other) => bad_request(&format!("unknown format '{other}' (use json|prom)")),
+    }
+}
+
+fn metrics_json(ctx: &Ctx) -> Response {
     match ctx.obs.report() {
         Some(report) => Response::json(200, report.to_json()),
         None => Response::json(200, "{\"enabled\": false}".to_string()),
     }
+}
+
+/// Prometheus text exposition of the same registry `/metrics` serves as
+/// JSON (see `snaps_obs::RunReport::to_prometheus` for the naming rules).
+fn metrics_prom(ctx: &Ctx) -> Response {
+    match ctx.obs.report() {
+        Some(report) => Response::prometheus(report.to_prometheus()),
+        None => Response::prometheus("# instrumentation disabled\n".to_string()),
+    }
+}
+
+fn write_trace_json(body: &mut String, t: &TraceRecord) {
+    body.push('{');
+    json::key(body, "seq");
+    let _ = write!(body, "{}", t.seq);
+    body.push_str(", ");
+    json::key(body, "route");
+    json::string(body, t.route);
+    body.push_str(", ");
+    json::key(body, "status");
+    let _ = write!(body, "{}", t.status);
+    body.push_str(", ");
+    json::key(body, "latency_us");
+    let _ = write!(body, "{}", t.latency_us);
+    body.push_str(", ");
+    json::key(body, "queue_wait_us");
+    let _ = write!(body, "{}", t.queue_wait_us);
+    body.push_str(", ");
+    json::key(body, "cache_hits");
+    let _ = write!(body, "{}", t.cache_hits);
+    body.push_str(", ");
+    json::key(body, "cache_misses");
+    let _ = write!(body, "{}", t.cache_misses);
+    body.push_str(", ");
+    json::key(body, "candidates");
+    let _ = write!(body, "{}", t.candidates);
+    body.push_str(", ");
+    json::key(body, "results");
+    let _ = write!(body, "{}", t.results);
+    body.push_str(", ");
+    json::key(body, "params");
+    json::string(body, &t.params);
+    body.push('}');
+}
+
+fn trace_list_response(traces: &[TraceRecord], extra_key: &str, extra_value: u64) -> Response {
+    let mut body = String::from("{");
+    json::key(&mut body, extra_key);
+    let _ = write!(body, "{}", extra_value);
+    body.push_str(", ");
+    json::key(&mut body, "count");
+    let _ = write!(body, "{}", traces.len());
+    body.push_str(", ");
+    json::key(&mut body, "traces");
+    body.push('[');
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        write_trace_json(&mut body, t);
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `GET /debug/traces?n=` — the most recent `n` traced requests (default
+/// 32, capped at the ring capacity), newest first.
+fn debug_traces(req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
+    let n = match req.param("n") {
+        None => 32,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return (bad_request("n must be a positive integer"), ReqStats::default()),
+        },
+    };
+    let traces = ctx.traces.recent(n.min(ctx.traces.capacity()));
+    let stats = ReqStats { results: count_u64(traces.len()), ..ReqStats::default() };
+    (trace_list_response(&traces, "pushed", ctx.traces.pushed()), stats)
+}
+
+/// `GET /debug/slow?threshold_us=` — retained traces at or above the
+/// latency threshold (default [`DEFAULT_SLOW_THRESHOLD_US`]), slowest
+/// first.
+fn debug_slow(req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
+    let threshold_us = match req.param("threshold_us") {
+        None => DEFAULT_SLOW_THRESHOLD_US,
+        Some(v) => match v.parse::<u64>() {
+            Ok(t) => t,
+            Err(_) => {
+                let resp = bad_request("threshold_us must be a non-negative integer");
+                return (resp, ReqStats::default());
+            }
+        },
+    };
+    let traces = ctx.traces.slow(threshold_us);
+    let stats = ReqStats { results: count_u64(traces.len()), ..ReqStats::default() };
+    (trace_list_response(&traces, "threshold_us", threshold_us), stats)
 }
 
 /// Build a validated [`QueryRecord`] from `/search` parameters, mapping
@@ -358,12 +662,23 @@ fn parse_search(req: &Request) -> Result<(QueryRecord, usize), String> {
     Ok((q, top_m))
 }
 
-fn search(req: &Request, ctx: &Ctx) -> Response {
+fn search(req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
     let (q, top_m) = match parse_search(req) {
         Ok(p) => p,
-        Err(msg) => return bad_request(&msg),
+        Err(msg) => return (bad_request(&msg), ReqStats::default()),
     };
+    // Counter deltas attribute engine-side work to this request; under
+    // concurrency a delta may include a sibling request's work — traces
+    // are diagnostics, not accounting.
+    let (hits0, misses0, cand0) =
+        (ctx.sim_hits.get(), ctx.sim_misses.get(), ctx.candidates_scored.get());
     let results = ctx.engine.query(&q, top_m);
+    let stats = ReqStats {
+        cache_hits: ctx.sim_hits.get().saturating_sub(hits0),
+        cache_misses: ctx.sim_misses.get().saturating_sub(misses0),
+        candidates: ctx.candidates_scored.get().saturating_sub(cand0),
+        results: count_u64(results.len()),
+    };
 
     let mut body = String::from("{\"count\": ");
     let _ = write!(body, "{}", results.len());
@@ -400,25 +715,29 @@ fn search(req: &Request, ctx: &Ctx) -> Response {
         body.push('}');
     }
     body.push_str("]}");
-    Response::json(200, body)
+    (Response::json(200, body), stats)
 }
 
-fn pedigree(rest: &str, req: &Request, ctx: &Ctx) -> Response {
+fn pedigree(rest: &str, req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
     let Ok(id) = rest.parse::<u32>() else {
-        return bad_request("pedigree id must be an unsigned integer");
+        return (bad_request("pedigree id must be an unsigned integer"), ReqStats::default());
     };
     let entity = EntityId(id);
     if entity.index() >= ctx.engine.graph().len() {
-        return not_found("no such entity");
+        return (not_found("no such entity"), ReqStats::default());
     }
     let generations = match req.param("g") {
         None => DEFAULT_GENERATIONS,
         Some(g) => match g.parse::<usize>() {
             Ok(g) if (1..=MAX_GENERATIONS).contains(&g) => g,
-            _ => return bad_request(&format!("g must be an integer in 1..={MAX_GENERATIONS}")),
+            _ => {
+                let resp = bad_request(&format!("g must be an integer in 1..={MAX_GENERATIONS}"));
+                return (resp, ReqStats::default());
+            }
         },
     };
     let ped = extract(ctx.engine.graph(), entity, generations);
+    let stats = ReqStats { results: count_u64(ped.members.len()), ..ReqStats::default() };
 
     let mut body = String::from("{\"root\": ");
     let _ = write!(body, "{}", ped.root.0);
@@ -463,5 +782,5 @@ fn pedigree(rest: &str, req: &Request, ctx: &Ctx) -> Response {
         body.push(']');
     }
     body.push_str("]}");
-    Response::json(200, body)
+    (Response::json(200, body), stats)
 }

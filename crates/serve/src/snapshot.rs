@@ -521,6 +521,39 @@ pub fn load(path: impl AsRef<Path>, obs: &Obs) -> Result<SearchEngine, SnapshotE
     from_bytes(&bytes, obs)
 }
 
+/// Identity of a loaded snapshot, reported by `/healthz` so a load
+/// balancer can tell which artifact (and which bytes) a replica serves —
+/// a stale or half-swapped snapshot shows up as a checksum mismatch
+/// across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStamp {
+    /// Snapshot format version ([`FORMAT_VERSION`] of the loaded file).
+    pub version: u32,
+    /// CRC-32 over the entire snapshot file (header and all sections).
+    pub checksum: u32,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// [`load`], additionally returning the [`SnapshotStamp`] identifying the
+/// exact bytes that were restored.
+///
+/// # Errors
+/// I/O errors and every validation failure of [`from_bytes`].
+pub fn load_stamped(
+    path: impl AsRef<Path>,
+    obs: &Obs,
+) -> Result<(SearchEngine, SnapshotStamp), SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    let engine = from_bytes(&bytes, obs)?;
+    let stamp = SnapshotStamp {
+        version: FORMAT_VERSION,
+        checksum: crc32(&bytes),
+        bytes: u64::try_from(bytes.len()).unwrap_or(u64::MAX),
+    };
+    Ok((engine, stamp))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,6 +647,20 @@ mod tests {
         let restored = load(&path, &Obs::disabled()).expect("load");
         assert_eq!(restored.graph().len(), e.graph().len());
         assert!(!path.with_extension("tmp").exists(), "temp file renamed away");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_stamped_reports_file_identity() {
+        let e = engine();
+        let path = std::env::temp_dir().join("snaps_snapshot_stamp_test.snap");
+        save(&e, &path).expect("save");
+        let (restored, stamp) = load_stamped(&path, &Obs::disabled()).expect("load");
+        assert_eq!(restored.graph().len(), e.graph().len());
+        let bytes = std::fs::read(&path).expect("read back");
+        assert_eq!(stamp.version, FORMAT_VERSION);
+        assert_eq!(stamp.checksum, crc32(&bytes));
+        assert_eq!(stamp.bytes, bytes.len() as u64);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -145,8 +145,12 @@ fn full_queue_answers_503_then_recovers() {
     let obs = Obs::new(&ObsConfig::full());
     // One worker, one queue slot, short read timeout so the held
     // connections release quickly after the assertion.
-    let config =
-        ServerConfig { workers: 1, queue_capacity: 1, read_timeout: Duration::from_millis(500) };
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
     let (server, _engine) = start_server(&obs, &config);
     let addr = server.addr();
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Tolerance-banded performance ratchet for the committed BENCH baselines.
+#
+# Compares a fresh benchmark report against the committed baseline and
+# fails on a regression beyond the band (default 20%, absorbing runner
+# noise; override with BENCH_RATCHET_TOLERANCE=0.30 etc.):
+#
+#   serve:    p99 request latency may grow at most 20%,
+#             sustained QPS may drop at most 20%
+#   pipeline: each stage's records/sec may drop at most 20%
+#
+# The baselines live in results/BENCH_serve.json and
+# results/BENCH_pipeline.json; regenerate them (same scale/seed/client
+# knobs as .github/workflows/ci.yml) whenever a deliberate perf change
+# moves the trajectory, and commit the new files with the change that
+# explains them.
+#
+# usage: tools/bench-ratchet.sh serve    OLD.json NEW.json
+#        tools/bench-ratchet.sh pipeline OLD.json NEW.json
+set -euo pipefail
+
+mode=${1:?usage: bench-ratchet.sh serve|pipeline OLD.json NEW.json}
+old=${2:?old (committed baseline) report}
+new=${3:?new (fresh run) report}
+
+TOLERANCE=${BENCH_RATCHET_TOLERANCE:-0.20}
+
+# within_max NEW OLD → ok when NEW <= OLD * (1 + band)
+within_max() { awk -v n="$1" -v o="$2" -v t="$TOLERANCE" 'BEGIN { exit !(n <= o * (1 + t)) }'; }
+# within_min NEW OLD → ok when NEW >= OLD * (1 - band)
+within_min() { awk -v n="$1" -v o="$2" -v t="$TOLERANCE" 'BEGIN { exit !(n >= o * (1 - t)) }'; }
+
+fail=0
+case "$mode" in
+  serve)
+    old_p99=$(jq '.histograms["bench.serve.latency"].p99_ns' "$old")
+    new_p99=$(jq '.histograms["bench.serve.latency"].p99_ns' "$new")
+    old_qps=$(jq -r '.meta.qps' "$old")
+    new_qps=$(jq -r '.meta.qps' "$new")
+    if ! within_max "$new_p99" "$old_p99"; then
+      echo "::error::serve p99 latency regressed beyond the ${TOLERANCE} band (${old_p99}ns -> ${new_p99}ns)"
+      fail=1
+    fi
+    if ! within_min "$new_qps" "$old_qps"; then
+      echo "::error::serve QPS dropped beyond the ${TOLERANCE} band (${old_qps} -> ${new_qps})"
+      fail=1
+    fi
+    echo "serve ratchet: p99 ${old_p99}ns -> ${new_p99}ns, qps ${old_qps} -> ${new_qps} (band ${TOLERANCE})"
+    ;;
+  pipeline)
+    for stage in blocking comparison merge refine; do
+      old_rps=$(jq --arg s "$stage" '.gauges["pipeline.rps." + $s] // 0' "$old")
+      new_rps=$(jq --arg s "$stage" '.gauges["pipeline.rps." + $s] // 0' "$new")
+      if ! within_min "$new_rps" "$old_rps"; then
+        echo "::error::pipeline '$stage' throughput dropped beyond the ${TOLERANCE} band (${old_rps} -> ${new_rps} records/s)"
+        fail=1
+      fi
+      echo "pipeline ratchet [$stage]: ${old_rps} -> ${new_rps} records/s (band ${TOLERANCE})"
+    done
+    ;;
+  *)
+    echo "unknown mode '$mode' (use serve|pipeline)" >&2
+    exit 2
+    ;;
+esac
+exit "$fail"
