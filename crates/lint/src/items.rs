@@ -72,6 +72,52 @@ pub(crate) struct LockSite {
     pub bound: Option<String>,
 }
 
+/// One nondeterminism-source expression inside a function body: unordered
+/// hash iteration, wall-clock reads, thread identity, seed-free RNG
+/// construction, or pointer-address observation. Seeds the pass-4
+/// determinism-taint dataflow.
+#[derive(Debug, Clone)]
+pub(crate) struct TaintSite {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description (`HashMap iteration`, `Instant::now()`, …).
+    pub what: &'static str,
+}
+
+/// One mutating write inside a function body: a mutating-method call
+/// (`push`, `insert`, `extend`, …), a non-commutative atomic operation
+/// (`store`, `swap`, `compare_exchange`), or a compound assignment
+/// (`+=`, `*=`, …). Consumed by the pass-4 shard-safety rule.
+#[derive(Debug, Clone)]
+pub(crate) struct MutWriteSite {
+    /// 1-based source line.
+    pub line: usize,
+    /// Receiver chain, outermost-first, `()` suffix on call segments
+    /// (`self.sink.lock().push(x)` → `["self", "sink", "lock()"]`). Empty
+    /// when the left-hand side is not a recognisable chain.
+    pub receiver: Vec<String>,
+    /// The mutating operation (`push`, `store`, `+=`, …).
+    pub op: String,
+    /// For a single bare-ident receiver, the last non-adapter segment of
+    /// the expression it was bound from (`let g = shard.lock();
+    /// g.push(x)` → `lock()`), when one binding back resolves.
+    pub via: Option<String>,
+}
+
+/// A module-level `static` item, with whether its type names an
+/// interior-mutability container (`Mutex`, `RwLock`, `Atomic*`, `Cell`,
+/// `RefCell`, `OnceLock`, `LazyLock`, `OnceCell`, `UnsafeCell`) — the only
+/// kind of `static` writable from safe code.
+#[derive(Debug, Clone)]
+pub(crate) struct StaticItem {
+    /// Item name.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// The declared type mentions an interior-mutability container.
+    pub interior_mut: bool,
+}
+
 /// One numeric `as` cast inside a function body.
 #[derive(Debug, Clone)]
 pub struct CastSite {
@@ -114,6 +160,10 @@ pub struct FnItem {
     pub(crate) locks: Vec<LockSite>,
     /// Every numeric `as` cast in the body, in token order.
     pub casts: Vec<CastSite>,
+    /// Every nondeterminism-source expression in the body.
+    pub(crate) taints: Vec<TaintSite>,
+    /// Every mutating write in the body, in token order.
+    pub(crate) mut_writes: Vec<MutWriteSite>,
 }
 
 /// A `pub` item declaration (dead-pub candidate). Restricted visibility
@@ -140,6 +190,8 @@ pub struct FileItems {
     pub(crate) pub_items: Vec<PubItem>,
     /// Leaf identifier → full import path, from `use` declarations.
     pub uses: BTreeMap<String, Vec<String>>,
+    /// Every module-level `static`, in source order.
+    pub(crate) statics: Vec<StaticItem>,
     /// Identifiers appearing in unrestricted-`pub` declaration surfaces:
     /// `pub fn` signatures and `pub struct`/`enum`/`type` bodies. A pub
     /// type named here is pinned to `pub` by rustc's `private_interfaces`
@@ -221,6 +273,52 @@ fn is_checked_helper(name: &str) -> bool {
         || name.starts_with("try_")
         || name.starts_with("checked_")
 }
+
+/// Methods that observe a collection in storage order — nondeterministic
+/// on a `HashMap`/`HashSet` receiver.
+const ITER_METHODS: &[&str] = &[
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "keys",
+    "retain",
+    "values",
+    "values_mut",
+];
+
+/// Seed-free RNG constructors (ambient-entropy entry points); calling one
+/// makes the function a nondeterminism source.
+const RNG_SOURCES: &[&str] = &["from_entropy", "getrandom", "thread_rng"];
+
+/// Interior-mutability containers: the only way safe code writes through a
+/// shared reference or a `static`. `Atomic*` is matched by prefix.
+const INTERIOR_MUT_TYPES: &[&str] =
+    &["Cell", "LazyLock", "Mutex", "OnceCell", "OnceLock", "RefCell", "RwLock", "UnsafeCell"];
+
+/// Mutating collection/accumulator methods whose effect on a shared sink
+/// is order-sensitive (appends, keyed overwrites, removals).
+const MUT_METHODS: &[&str] = &[
+    "append",
+    "clear",
+    "extend",
+    "insert",
+    "pop",
+    "pop_front",
+    "push",
+    "push_back",
+    "push_front",
+    "remove",
+    "truncate",
+];
+
+/// Order-sensitive atomic operations. Commutative read-modify-writes
+/// (`fetch_add`, `fetch_sub`, `fetch_min`, `fetch_max`) are deliberately
+/// excluded: their final state is interleaving-invariant.
+const NONCOMMUTATIVE_ATOMICS: &[&str] =
+    &["compare_exchange", "compare_exchange_weak", "store", "swap"];
 
 /// Macros that panic in release builds (`debug_assert*` compile out).
 const PANIC_MACROS: &[(&str, &str)] = &[
@@ -465,7 +563,20 @@ impl Parser<'_> {
                         if is_pub && !name.is_empty() && name != "_" && impl_type.is_none() {
                             self.push_pub(kind, &name, self.line(i));
                         }
-                        i = self.skip_to_semi(j + 1);
+                        let end = self.skip_to_semi(j + 1);
+                        if id == "static" && !name.is_empty() && impl_type.is_none() {
+                            let interior_mut = (j + 1..end).any(|k| {
+                                self.ident(k).is_some_and(|t| {
+                                    INTERIOR_MUT_TYPES.contains(&t) || t.starts_with("Atomic")
+                                })
+                            });
+                            self.out.statics.push(StaticItem {
+                                name,
+                                line: self.line(i),
+                                interior_mut,
+                            });
+                        }
+                        i = end;
                         is_pub = false;
                     }
                     "macro_rules" => {
@@ -678,6 +789,8 @@ impl Parser<'_> {
             panics: Vec::new(),
             locks: Vec::new(),
             casts: Vec::new(),
+            taints: Vec::new(),
+            mut_writes: Vec::new(),
         };
         if is_pub && name != "main" {
             self.push_pub("fn", &name, line);
@@ -689,9 +802,43 @@ impl Parser<'_> {
         };
         let end = self.skip_balanced(start, '{', '}');
         let env = self.type_env(i + 2, start, end.saturating_sub(1));
-        self.analyze_body(start + 1, end.saturating_sub(1), &mut item, &env);
+        let hashes = self.hash_env(i + 2, end.saturating_sub(1));
+        self.analyze_body(start + 1, end.saturating_sub(1), &mut item, &env, &hashes);
         self.out.fns.push(item);
         end
+    }
+
+    /// Identifiers bound to a `HashMap`/`HashSet` within this function:
+    /// parameter or `let` annotations naming the type, plus
+    /// `let x = HashMap::…` initialisers. Function-local only — hash-typed
+    /// *fields* are covered by the file-level `hash-iter` token rule.
+    fn hash_env(&self, sig_start: usize, body_end: usize) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        let is_hash = |id: Option<&str>| matches!(id, Some("HashMap") | Some("HashSet"));
+        for k in sig_start..body_end {
+            let Some(x) = self.ident(k) else { continue };
+            if self.punct(k.wrapping_sub(1)) == Some(':') {
+                continue; // `a::b` — path segment, not a binding
+            }
+            // `x: [&mut] HashMap<..>` (parameter or let annotation).
+            if self.punct(k + 1) == Some(':') && self.punct(k + 2) != Some(':') {
+                let mut t = k + 2;
+                while matches!(self.punct(t), Some('&')) || self.ident(t) == Some("mut") {
+                    t += 1;
+                }
+                if is_hash(self.ident(t)) {
+                    out.insert(x.to_string());
+                }
+            }
+            // `let [mut] x = HashMap::…` initialiser.
+            if self.punct(k + 1) == Some('=')
+                && is_hash(self.ident(k + 2))
+                && self.punct(k + 3) == Some(':')
+            {
+                out.insert(x.to_string());
+            }
+        }
+        out
     }
 
     /// Build the intra-procedural type environment: parameter annotations
@@ -760,6 +907,7 @@ impl Parser<'_> {
         end: usize,
         item: &mut FnItem,
         env: &BTreeMap<String, String>,
+        hashes: &std::collections::BTreeSet<String>,
     ) {
         let mut depth = 0usize; // brace depth relative to the body
         let mut i = start;
@@ -767,6 +915,11 @@ impl Parser<'_> {
             match &self.toks.get(i).map(|t| t.tok.clone()) {
                 Some(Tok::Punct('{')) => depth += 1,
                 Some(Tok::Punct('}')) => depth = depth.saturating_sub(1),
+                Some(Tok::Punct(op @ ('+' | '-' | '*' | '/' | '%')))
+                    if self.punct(i + 1) == Some('=') =>
+                {
+                    self.compound_assign(i, *op, start, item);
+                }
                 Some(Tok::Punct('[')) => {
                     let prev_ident_ok = self
                         .ident(i.wrapping_sub(1))
@@ -798,8 +951,27 @@ impl Parser<'_> {
                             });
                         }
                     }
+                    self.taint_site(i, start, hashes, item);
                     if self.is_call_head(i) {
                         let is_method = self.punct(i.wrapping_sub(1)) == Some('.');
+                        if is_method
+                            && (MUT_METHODS.contains(&id.as_str())
+                                || NONCOMMUTATIVE_ATOMICS.contains(&id.as_str()))
+                        {
+                            let receiver = self.receiver_chain(i - 1, start.saturating_sub(1));
+                            let via = match receiver.as_slice() {
+                                [base] if !base.ends_with("()") => {
+                                    self.resolve_binding(base, start, i)
+                                }
+                                _ => None,
+                            };
+                            item.mut_writes.push(MutWriteSite {
+                                line: self.line(i),
+                                receiver,
+                                op: id.clone(),
+                                via,
+                            });
+                        }
                         let arg0 = if self.punct(i + 1) == Some('(')
                             && matches!(self.punct(i + 3), Some(',') | Some(')'))
                         {
@@ -847,6 +1019,125 @@ impl Parser<'_> {
             }
             i += 1;
         }
+    }
+
+    /// Record a nondeterminism source when the identifier at `i` begins
+    /// one: hash iteration, `Instant`/`SystemTime::now`, thread identity,
+    /// a seed-free RNG constructor, or a pointer-address observation.
+    /// `start` is the first body token (the receiver-chain floor is just
+    /// before it). Format-string `{:p}` pointer printing is invisible to
+    /// the stripped token stream; `as_ptr`/`addr_of` act as its proxy.
+    fn taint_site(
+        &self,
+        i: usize,
+        start: usize,
+        hashes: &std::collections::BTreeSet<String>,
+        item: &mut FnItem,
+    ) {
+        let Some(id) = self.ident(i) else { return };
+        let qualifies = |b: &str| {
+            self.punct(i + 1) == Some(':')
+                && self.punct(i + 2) == Some(':')
+                && self.ident(i + 3) == Some(b)
+        };
+        let mut hit = |line: usize, what: &'static str| item.taints.push(TaintSite { line, what });
+        match id {
+            "Instant" if qualifies("now") => hit(self.line(i), "`Instant::now()`"),
+            "SystemTime" if qualifies("now") => hit(self.line(i), "`SystemTime::now()`"),
+            "thread" if qualifies("current") => hit(self.line(i), "`thread::current()`"),
+            "OsRng" => hit(self.line(i), "seed-free RNG (`OsRng`)"),
+            _ if RNG_SOURCES.contains(&id) && self.is_call_head(i) => {
+                hit(self.line(i), "seed-free RNG constructor");
+            }
+            "random"
+                if self.is_call_head(i)
+                    && self.punct(i.wrapping_sub(1)) == Some(':')
+                    && self.punct(i.wrapping_sub(2)) == Some(':')
+                    && self.ident(i.wrapping_sub(3)) == Some("rand") =>
+            {
+                hit(self.line(i), "seed-free RNG constructor");
+            }
+            "as_ptr" | "as_mut_ptr"
+                if self.punct(i.wrapping_sub(1)) == Some('.') && self.is_call_head(i) =>
+            {
+                hit(self.line(i), "pointer address (`as_ptr`)");
+            }
+            "addr_of" | "addr_of_mut" if self.is_call_head(i) => {
+                hit(self.line(i), "pointer address (`addr_of`)");
+            }
+            // `for x in h { … }` over a hash-bound identifier.
+            "in" => {
+                let mut j = i + 1;
+                while matches!(self.punct(j), Some('&')) || self.ident(j) == Some("mut") {
+                    j += 1;
+                }
+                if self.ident(j).is_some_and(|x| hashes.contains(x))
+                    && self.punct(j + 1) == Some('{')
+                {
+                    hit(self.line(i), "`HashMap`/`HashSet` iteration");
+                }
+            }
+            // `h.iter()`-style calls on a hash-bound receiver.
+            _ if ITER_METHODS.contains(&id)
+                && self.punct(i.wrapping_sub(1)) == Some('.')
+                && self.is_call_head(i) =>
+            {
+                let chain = self.receiver_chain(i - 1, start.saturating_sub(1));
+                if chain.iter().any(|s| hashes.contains(s.trim_end_matches("()"))) {
+                    hit(self.line(i), "`HashMap`/`HashSet` iteration");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Record the compound assignment whose operator char sits at `i`
+    /// (`self.total += x`, `acc[k] *= y`) as a mutating write.
+    fn compound_assign(&self, i: usize, op: char, start: usize, item: &mut FnItem) {
+        let floor = start.saturating_sub(1);
+        let k = i.wrapping_sub(1);
+        // End of the left-hand side: a bare/chained identifier, or an
+        // index expression whose base is one.
+        let lhs_end = if self.punct(k) == Some(']') {
+            let mut depth = 0usize;
+            let mut j = k;
+            loop {
+                match self.punct(j) {
+                    Some(']') => depth += 1,
+                    Some('[') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if j <= floor {
+                    return;
+                }
+                j -= 1;
+            }
+            j.wrapping_sub(1)
+        } else {
+            k
+        };
+        let Some(base) = self.ident(lhs_end) else { return };
+        let mut receiver = if lhs_end > floor && self.punct(lhs_end.wrapping_sub(1)) == Some('.') {
+            self.receiver_chain(lhs_end - 1, floor)
+        } else {
+            Vec::new()
+        };
+        receiver.push(base.to_string());
+        let via = match receiver.as_slice() {
+            [b] if !b.ends_with("()") => self.resolve_binding(b, start, i),
+            _ => None,
+        };
+        item.mut_writes.push(MutWriteSite {
+            line: self.line(i),
+            receiver,
+            op: format!("{op}="),
+            via,
+        });
     }
 
     /// Is the identifier at `i` the head of a call — followed by `(`,
@@ -1429,6 +1720,97 @@ mod tests {
         let m = model("mod inner { pub fn deep() {} }\n");
         assert_eq!(m.fns[0].module, "x::inner");
         assert_eq!(m.fns[0].name, "deep");
+    }
+
+    #[test]
+    fn taint_sites_hash_iteration_time_thread_rng_pointer() {
+        let m = model(
+            "fn f(h: HashMap<String, u32>) {\n\
+                 for v in h.values() { use_it(v); }\n\
+                 let t = Instant::now();\n\
+                 let w = SystemTime::now();\n\
+                 let id = thread::current().id();\n\
+                 let r = thread_rng();\n\
+                 let p = t.as_ptr();\n\
+             }\n",
+        );
+        let whats: Vec<&str> = m.fns[0].taints.iter().map(|t| t.what).collect();
+        assert_eq!(
+            whats,
+            vec![
+                "`HashMap`/`HashSet` iteration",
+                "`Instant::now()`",
+                "`SystemTime::now()`",
+                "`thread::current()`",
+                "seed-free RNG constructor",
+                "pointer address (`as_ptr`)",
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_iteration_needs_a_hash_bound_receiver() {
+        let m = model(
+            "fn clean(b: &BTreeMap<String, u32>) { for v in b.values() { use_it(v); } }\n\
+             fn local() { let m = HashMap::new(); for k in m.keys() { use_it(k); } }\n\
+             fn for_loop(s: HashSet<u32>) { for x in s { use_it(x); } }\n",
+        );
+        assert!(m.fns[0].taints.is_empty(), "BTreeMap iteration is ordered");
+        assert_eq!(m.fns[1].taints.len(), 1, "initialiser binding tracked");
+        assert_eq!(m.fns[2].taints.len(), 1, "bare for-loop over a HashSet");
+    }
+
+    #[test]
+    fn mut_writes_capture_receiver_chain_and_binding() {
+        let m = model(
+            "fn f(&self) {\n\
+                 self.sink.lock().push(1);\n\
+                 let mut g = self.shard.lock();\n\
+                 g.insert(1, 2);\n\
+                 self.total += 1.0;\n\
+                 local.push(3);\n\
+             }\n",
+        );
+        let w = &m.fns[0].mut_writes;
+        assert_eq!(w.len(), 4, "{w:?}");
+        assert_eq!(w[0].op, "push");
+        assert_eq!(w[0].receiver, vec!["self", "sink", "lock()"]);
+        assert_eq!(w[1].op, "insert");
+        assert_eq!(w[1].receiver, vec!["g"]);
+        assert_eq!(w[1].via.as_deref(), Some("lock()"), "guard resolved to its binding");
+        assert_eq!(w[2].op, "+=");
+        assert_eq!(w[2].receiver, vec!["self", "total"]);
+        assert_eq!(w[3].receiver, vec!["local"]);
+        assert_eq!(w[3].via, None, "unbound local stays unresolved");
+    }
+
+    #[test]
+    fn compound_assign_on_index_expression() {
+        let m = model("fn f(acc: &mut [f64], k: usize) { acc[k] += 1.0; }\n");
+        let w = &m.fns[0].mut_writes;
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].op, "+=");
+        assert_eq!(w[0].receiver, vec!["acc"]);
+    }
+
+    #[test]
+    fn atomic_store_recorded_but_fetch_add_exempt() {
+        let m = model("fn f(&self) { self.seq.store(1, Relaxed); self.seq.fetch_add(1, Relaxed); }\n");
+        let ops: Vec<&str> = m.fns[0].mut_writes.iter().map(|w| w.op.as_str()).collect();
+        assert_eq!(ops, vec!["store"], "fetch_add is commutative, store is not");
+    }
+
+    #[test]
+    fn statics_recorded_with_interior_mutability() {
+        let m = model(
+            "static SINK: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n\
+             static COUNT: AtomicU64 = AtomicU64::new(0);\n\
+             static NAME: &str = \"x\";\n\
+             const K: u32 = 3;\n",
+        );
+        let view: Vec<(&str, bool)> =
+            m.statics.iter().map(|s| (s.name.as_str(), s.interior_mut)).collect();
+        assert_eq!(view, vec![("SINK", true), ("COUNT", true), ("NAME", false)]);
     }
 
     #[test]

@@ -25,7 +25,14 @@
 //! lock-discipline, dead-pub — and waiver-staleness on top of the token
 //! rules. The v3 analyzer adds a third pass over the same graph:
 //! lock-order cycles and blocking-under-lock ([`lockorder`]) and a
-//! numeric-cast dataflow rule on the snapshot path ([`numflow`]).
+//! numeric-cast dataflow rule on the snapshot path ([`numflow`]). The v4
+//! analyzer adds a fourth pass preparing the parallel sharded pipeline:
+//! an interprocedural determinism-taint dataflow from nondeterminism
+//! sources into serialisation sinks ([`taint`]) and a shard-safety rule
+//! over the declared parallel-stage roots ([`shardsafe`]), plus a
+//! crate-root `#![forbid(unsafe_code)]` presence check.
+
+#![forbid(unsafe_code)]
 
 pub mod callgraph;
 pub mod items;
@@ -36,6 +43,8 @@ pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod scanner;
+pub mod shardsafe;
+pub mod taint;
 pub mod workspace;
 
 pub use report::Report;

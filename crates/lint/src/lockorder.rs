@@ -74,6 +74,9 @@ pub(crate) struct LockOutcome {
     pub findings: Vec<Finding>,
     /// Per-entry stats, in entry-table order.
     pub per_entry: Vec<LockStats>,
+    /// Union of lock keys acquired in any entry's reachable set — the set
+    /// the pass-4 shard-safety rule treats as order-checked.
+    pub known_keys: BTreeSet<String>,
 }
 
 /// Is the may-held set propagated through this call site? Mirrors the
@@ -176,6 +179,7 @@ pub(crate) fn check(graph: &CallGraph) -> LockOutcome {
             }
         }
 
+        out.known_keys.extend(nodes.iter().cloned());
         let cycles = cycle_components(&edges);
         out.per_entry.push(LockStats {
             nodes: nodes.len(),

@@ -166,6 +166,11 @@ pub struct EntryStats {
     pub lock_cycles: usize,
     /// Numeric `as` cast sites in the reachable set (pass 3).
     pub cast_sites: usize,
+    /// Determinism-taint flows — (tainted function, serialisation sink)
+    /// pairs — in the reachable set (pass 4).
+    pub taint_flows: usize,
+    /// Shard-safety violation sites in the reachable set (pass 4).
+    pub shard_violations: usize,
 }
 
 /// Outcome of the graph-rule pass.
@@ -299,7 +304,9 @@ pub(crate) fn check(graph: &CallGraph, panic_free_files: &BTreeSet<String>) -> R
             lock_nodes: 0, // filled by pass 3 (lockorder)
             lock_edges: 0,
             lock_cycles: 0,
-            cast_sites: 0, // filled by pass 3 (numflow)
+            cast_sites: 0,       // filled by pass 3 (numflow)
+            taint_flows: 0,      // filled by pass 4 (taint)
+            shard_violations: 0, // filled by pass 4 (shardsafe)
         });
     }
 

@@ -5,6 +5,7 @@
 use crate::reach::EntryStats;
 use crate::rules::{Finding, RuleInfo, ALLOW_BUDGET, RULES};
 use crate::scanner::Annotation;
+use crate::shardsafe::ShardRootStat;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -17,6 +18,9 @@ pub struct CallGraphStats {
     pub edges: usize,
     /// Per-entry-point reachability, in entry-table order.
     pub entry_points: Vec<EntryStats>,
+    /// Per-shard-root statistics from the pass-4 shard-safety rule, in
+    /// declaration order.
+    pub shard_roots: Vec<ShardRootStat>,
 }
 
 /// Aggregated outcome of a lint run, ready to print or serialise.
@@ -71,6 +75,20 @@ impl Report {
         self.findings.iter().filter(|f| f.rule == "lock-order").count()
     }
 
+    /// Determinism-taint findings, *including waived ones* — the CI gate
+    /// on this number cannot be bypassed with an annotation.
+    #[must_use]
+    pub fn taint_flows(&self) -> usize {
+        self.findings.iter().filter(|f| f.rule == "determinism-taint").count()
+    }
+
+    /// Shard-safety findings, *including waived ones* — same
+    /// annotation-proof CI gate as `lock_cycles`.
+    #[must_use]
+    pub fn shard_violations(&self) -> usize {
+        self.findings.iter().filter(|f| f.rule == "shard-safety").count()
+    }
+
     /// Sort findings and allows into the canonical report order.
     pub fn normalise(&mut self) {
         self.findings.sort_by(|a, b| {
@@ -98,7 +116,7 @@ impl Report {
         let mut s = String::new();
         s.push_str("{\n  \"meta\": {\n");
         let _ = writeln!(s, "    \"tool\": \"snaps-lint\",");
-        let _ = writeln!(s, "    \"schema_version\": 3,");
+        let _ = writeln!(s, "    \"schema_version\": 4,");
         let _ = writeln!(s, "    \"root\": {},", json_str(&self.root));
         let _ = writeln!(s, "    \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(s, "    \"manifests_checked\": {}", self.manifests_checked);
@@ -113,7 +131,8 @@ impl Report {
                 s,
                 "      {{\"label\": {}, \"roots\": {}, \"reachable\": {}, \
                  \"reachable_panics\": {}, \"lock_nodes\": {}, \"lock_edges\": {}, \
-                 \"lock_cycles\": {}, \"cast_sites\": {}}}{comma}",
+                 \"lock_cycles\": {}, \"cast_sites\": {}, \"taint_flows\": {}, \
+                 \"shard_violations\": {}}}{comma}",
                 json_str(&e.label),
                 e.roots,
                 e.reachable,
@@ -121,7 +140,24 @@ impl Report {
                 e.lock_nodes,
                 e.lock_edges,
                 e.lock_cycles,
-                e.cast_sites
+                e.cast_sites,
+                e.taint_flows,
+                e.shard_violations
+            );
+        }
+        s.push_str("    ],\n    \"shard_roots\": [\n");
+        let n = self.callgraph.shard_roots.len();
+        for (i, r) in self.callgraph.shard_roots.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "      {{\"stage\": {}, \"root\": {}, \"matched\": {}, \"reachable\": {}, \
+                 \"violations\": {}}}{comma}",
+                json_str(r.stage),
+                json_str(&r.root),
+                r.matched,
+                r.reachable,
+                r.violations
             );
         }
         s.push_str("    ]\n  },\n  \"rules\": {\n");
@@ -168,6 +204,8 @@ impl Report {
         let _ = writeln!(s, "    \"allow_budget\": {ALLOW_BUDGET},");
         let _ = writeln!(s, "    \"reachable_panics\": {},", self.reachable_panics());
         let _ = writeln!(s, "    \"lock_cycles\": {},", self.lock_cycles());
+        let _ = writeln!(s, "    \"taint_flows\": {},", self.taint_flows());
+        let _ = writeln!(s, "    \"shard_violations\": {},", self.shard_violations());
         let _ = writeln!(s, "    \"clean\": {}", self.clean());
         s.push_str("  }\n}\n");
         s
@@ -201,7 +239,8 @@ impl Report {
             let _ = writeln!(
                 s,
                 "  entry {}: {} roots, {} reachable, {} reachable panic sites; locks: {} \
-                 keys, {} order edges, {} cycles; {} cast sites",
+                 keys, {} order edges, {} cycles; {} cast sites; {} taint flows, {} shard \
+                 violations",
                 e.label,
                 e.roots,
                 e.reachable,
@@ -209,7 +248,16 @@ impl Report {
                 e.lock_nodes,
                 e.lock_edges,
                 e.lock_cycles,
-                e.cast_sites
+                e.cast_sites,
+                e.taint_flows,
+                e.shard_violations
+            );
+        }
+        for r in &self.callgraph.shard_roots {
+            let _ = writeln!(
+                s,
+                "  shard root {} ({}): {} matched, {} reachable, {} violations",
+                r.root, r.stage, r.matched, r.reachable, r.violations
             );
         }
         s
@@ -300,6 +348,15 @@ mod tests {
                     lock_edges: 0,
                     lock_cycles: 0,
                     cast_sites: 2,
+                    taint_flows: 0,
+                    shard_violations: 0,
+                }],
+                shard_roots: vec![ShardRootStat {
+                    stage: "blocking",
+                    root: "blocking::pairs::candidate_pairs".into(),
+                    matched: 1,
+                    reachable: 5,
+                    violations: 0,
                 }],
             },
         }
@@ -311,6 +368,9 @@ mod tests {
         r.normalise();
         let json = r.to_json();
         assert!(json.contains("\"tool\": \"snaps-lint\""));
+        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"taint_flows\": 0, \"shard_violations\": 0"));
+        assert!(json.contains("\"stage\": \"blocking\""));
         assert!(json.contains("\"clean\": false"));
         assert!(json.contains("test \\\"quoted\\\""));
         // Normalised order puts a.rs before b.rs.

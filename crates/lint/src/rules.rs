@@ -146,6 +146,29 @@ pub const RULES: &[RuleInfo] = &[
                       for the guard it consumes)",
     },
     RuleInfo {
+        name: "determinism-taint",
+        description: "no nondeterminism source (HashMap/HashSet iteration, Instant/SystemTime, \
+                      thread identity, seed-free RNG, pointer addresses) in a result-affecting \
+                      crate may flow along the call graph into the snapshot writer, the wire \
+                      codec, or a JSON serialiser; the diagnostic prints the entry chain and \
+                      the taint path down to the seeding source",
+    },
+    RuleInfo {
+        name: "shard-safety",
+        description: "functions reachable from a declared parallel-stage root (blocking, \
+                      comparison, dependency-graph, merge-reduction) must not write shared \
+                      state: no mutation of interior-mutability statics, no non-commutative \
+                      accumulation through a lock guard, no store/swap/compare_exchange on \
+                      shared atomics (fetch_add-family RMWs commute and are exempt), and no \
+                      lock key outside the pass-3 lock-order graph",
+    },
+    RuleInfo {
+        name: "forbid-unsafe",
+        description: "every crate root must carry #![forbid(unsafe_code)] so dropping the \
+                      attribute (not just writing unsafe) is itself a violation; belt to the \
+                      no-unsafe rule's braces",
+    },
+    RuleInfo {
         name: "numeric-cast",
         description: "no narrowing `as` cast on the snapshot path (the wire codec files \
                       plus serve-reachable serve/core code): lengths, offsets, and \

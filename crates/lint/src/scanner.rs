@@ -556,4 +556,30 @@ fn after() { also_kept(); }
         assert!(ids.contains(&"type".to_string()));
         assert!(!ids.contains(&"string".to_string()));
     }
+
+    #[test]
+    fn raw_strings_never_seed_pass4_sources() {
+        // Pass-4 source and write patterns quoted inside a raw string —
+        // including a multi-hash one wrapping an embedded `r#"…"#` and a
+        // bare `"` — must produce no tokens, and line tracking must
+        // resume correctly after the literal so later sites anchor right.
+        let src = "let doc = r##\"Instant::now()\nfor k in m {} FOUND.lock().push(1)\n\
+                   r#\"HashMap\"# a \" quote\"##;\nlet target = SystemTime;";
+        let s = scan(src);
+        let ids: Vec<String> = s
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(i) => Some(i.clone()),
+                Tok::Punct(_) => None,
+            })
+            .collect();
+        assert_eq!(ids, vec!["let", "doc", "let", "target", "SystemTime"], "{ids:?}");
+        let st = s
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("SystemTime".into()))
+            .expect("SystemTime token");
+        assert_eq!(st.line, 4, "line count spans the multi-line raw string");
+    }
 }

@@ -12,6 +12,8 @@ use crate::lockorder;
 use crate::numflow;
 use crate::reach;
 use crate::report::{CallGraphStats, Report};
+use crate::shardsafe;
+use crate::taint;
 use crate::rules::{
     self, FileClass, Finding, ALLOW_BUDGET, PANIC_FREE_SERVE_FILES, RESULT_AFFECTING,
 };
@@ -102,15 +104,48 @@ pub(crate) fn classify(rel: &str) -> FileClass {
     FileClass { crate_name: crate_name.to_string(), result_affecting, panic_free, test_code }
 }
 
+/// Is this repo-relative path a crate root (`src/lib.rs` of the facade or
+/// of a member crate)? Binary roots link their crate's library, so the
+/// `forbid-unsafe` presence rule only needs the library roots.
+fn is_crate_root(rel: &str) -> bool {
+    if rel == "src/lib.rs" {
+        return true;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.len() == 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] == "lib.rs"
+}
+
+/// Does the token stream contain the inner attribute
+/// `#![forbid(unsafe_code)]`? A real token-sequence match, so the words in
+/// a comment or string can neither satisfy nor evade the rule.
+fn has_forbid_unsafe(tokens: &[scanner::Spanned]) -> bool {
+    let punct =
+        |i: usize, c: char| matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
+    let ident = |i: usize, s: &str| {
+        matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Ident(id)) if id == s)
+    };
+    (0..tokens.len()).any(|i| {
+        punct(i, '#')
+            && punct(i + 1, '!')
+            && punct(i + 2, '[')
+            && ident(i + 3, "forbid")
+            && punct(i + 4, '(')
+            && ident(i + 5, "unsafe_code")
+            && punct(i + 6, ')')
+            && punct(i + 7, ']')
+    })
+}
+
 /// Run the full lint over the workspace at `root`.
 ///
-/// Three passes: pass 1 scans every file for token-rule findings and (for
+/// Four passes: pass 1 scans every file for token-rule findings and (for
 /// non-test files) extracts the item model; pass 2 builds the call graph
 /// and runs the graph rules (panic-reachability, lock-discipline,
 /// dead-pub); pass 3 runs the concurrency/numeric soundness rules
-/// (lock-order, blocking-under-lock, numeric-cast) over the same graph.
-/// Waivers are then applied to the merged per-file findings and each one
-/// is checked for staleness.
+/// (lock-order, blocking-under-lock, numeric-cast) over the same graph;
+/// pass 4 runs the parallel-readiness rules (determinism-taint,
+/// shard-safety) over it. Waivers are then applied to the merged per-file
+/// findings and each one is checked for staleness.
 pub fn run(root: &Path) -> io::Result<Report> {
     let files = workspace_files(root)?;
     let mut allows: Vec<(String, scanner::Annotation)> = Vec::new();
@@ -139,6 +174,18 @@ pub fn run(root: &Path) -> io::Result<Report> {
         );
         let tokens = scanner::strip_test_regions(tokens);
         let mut file_findings = rules::check_tokens(&class, rel, &tokens);
+
+        // Crate roots must carry `#![forbid(unsafe_code)]`: dropping the
+        // attribute — not just writing `unsafe` — is itself a violation.
+        if is_crate_root(rel) && !has_forbid_unsafe(&tokens) {
+            file_findings.push(Finding {
+                rule: "forbid-unsafe",
+                file: rel.clone(),
+                line: 1,
+                message: format!("crate root {rel} is missing #![forbid(unsafe_code)]"),
+                waived: false,
+            });
+        }
 
         // Source-level layering: `snaps_*` paths in non-test code must obey
         // the DAG even if a manifest tries to smuggle the dependency in.
@@ -177,6 +224,17 @@ pub fn run(root: &Path) -> io::Result<Report> {
     // over the same graph; their per-entry stats land in the entry table.
     let locks = lockorder::check(&graph);
     let casts = numflow::check(&graph);
+    // Pass 4: determinism-taint dataflow and shard-safety over the same
+    // graph, consuming the lock keys pass 3 proved order-checked.
+    let taints = taint::check(&graph);
+    let mut shared_statics: BTreeMap<String, String> = BTreeMap::new();
+    for (path, items) in &items_by_file {
+        for s in items.statics.iter().filter(|s| s.interior_mut) {
+            // First declaration (path order) wins for the diagnostic site.
+            shared_statics.entry(s.name.clone()).or_insert_with(|| format!("{path}:{}", s.line));
+        }
+    }
+    let shards = shardsafe::check(&graph, &shared_statics, &locks.known_keys);
     let mut entry_points = outcome.entry_stats;
     for (i, e) in entry_points.iter_mut().enumerate() {
         if let Some(ls) = locks.per_entry.get(i) {
@@ -187,12 +245,24 @@ pub fn run(root: &Path) -> io::Result<Report> {
         if let Some(&cs) = casts.per_entry.get(i) {
             e.cast_sites = cs;
         }
+        if let Some(&tf) = taints.per_entry.get(i) {
+            e.taint_flows = tf;
+        }
+        if let Some(&sv) = shards.per_entry.get(i) {
+            e.shard_violations = sv;
+        }
     }
-    let callgraph =
-        CallGraphStats { nodes: graph.fns.len(), edges: graph.edge_count(), entry_points };
+    let callgraph = CallGraphStats {
+        nodes: graph.fns.len(),
+        edges: graph.edge_count(),
+        entry_points,
+        shard_roots: shards.roots.clone(),
+    };
     let mut graph_findings = outcome.findings;
     graph_findings.extend(locks.findings);
     graph_findings.extend(casts.findings);
+    graph_findings.extend(taints.findings);
+    graph_findings.extend(shards.findings);
     graph_findings.extend(reach::check_dead_pub(&items_by_file, &idents_by_file));
     for f in graph_findings {
         findings_by_file.entry(f.file.clone()).or_default().push(f);

@@ -1,0 +1,8 @@
+//! Fixture workspace: same pipeline shape as `ws_shard_shared_push`,
+//! but the blocking root accumulates into a per-call local and returns
+//! it — the shard-safe shape the rule must accept.
+use snaps_blocking::candidate_pairs;
+
+fn main() {
+    candidate_pairs();
+}

@@ -1,0 +1,9 @@
+//! Blocking-stage root with a per-shard local accumulator: each call
+//! owns its `Vec`, so shards cannot race.
+
+pub fn candidate_pairs() -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    pairs.push((1, 2));
+    pairs.sort();
+    pairs
+}

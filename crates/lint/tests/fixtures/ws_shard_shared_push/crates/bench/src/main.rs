@@ -1,0 +1,8 @@
+//! Fixture workspace: the pipeline main drives the blocking stage,
+//! whose root accumulates candidate pairs into a shared static — the
+//! shard-safety rule must reject it before the stage is parallelised.
+use snaps_blocking::candidate_pairs;
+
+fn main() {
+    candidate_pairs();
+}

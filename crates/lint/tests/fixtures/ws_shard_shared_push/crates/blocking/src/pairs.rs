@@ -1,0 +1,9 @@
+//! Blocking-stage root pushing into a process-wide accumulator: every
+//! shard would contend on (and interleave into) `FOUND`.
+use std::sync::Mutex;
+
+static FOUND: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+
+pub fn candidate_pairs() {
+    FOUND.lock().push((1, 2));
+}

@@ -1,0 +1,9 @@
+//! Fixture workspace: identical shape to `ws_taint_hash_flow` but the
+//! digest folds over a `BTreeMap` — ordered iteration, no taint.
+use snaps_core::resolve;
+use snaps_serve::save;
+
+fn main() {
+    let digest = resolve();
+    save(digest);
+}

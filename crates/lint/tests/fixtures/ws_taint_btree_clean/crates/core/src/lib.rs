@@ -1,0 +1,13 @@
+//! Resolution digest folded in `BTreeMap` (sorted) iteration order —
+//! deterministic, so the taint pass must stay silent.
+use std::collections::BTreeMap;
+
+pub fn resolve() -> u64 {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    counts.insert(1, 2);
+    let mut digest = 0u64;
+    for (k, v) in counts {
+        digest = digest.wrapping_mul(31).wrapping_add(k ^ v);
+    }
+    digest
+}

@@ -1,0 +1,10 @@
+//! Fixture workspace: the pipeline main folds per-record match counts
+//! through a `HashMap` digest and hands the result to the snapshot
+//! writer — iteration order taints the serialized bytes.
+use snaps_core::resolve;
+use snaps_serve::save;
+
+fn main() {
+    let digest = resolve();
+    save(digest);
+}

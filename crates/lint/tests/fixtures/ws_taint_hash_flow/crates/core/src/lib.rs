@@ -1,0 +1,13 @@
+//! Resolution digest folded in `HashMap` iteration order: the
+//! determinism hazard the taint pass must chase into the sink.
+use std::collections::HashMap;
+
+pub fn resolve() -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    counts.insert(1, 2);
+    let mut digest = 0u64;
+    for (k, v) in counts {
+        digest = digest.wrapping_mul(31).wrapping_add(k ^ v);
+    }
+    digest
+}

@@ -324,6 +324,91 @@ fn ws_stale_waiver_fixture_flags_the_waiver() {
     assert!(stale[0].message.contains("hash-iter"), "{}", stale[0].message);
 }
 
+#[test]
+fn ws_taint_hash_flow_fixture_prints_entry_and_taint_chains() {
+    let report = fixture_ws("ws_taint_hash_flow");
+    let taints = active_by_rule(&report, "determinism-taint");
+    assert_eq!(taints.len(), 1, "{taints:?}");
+    let f = taints[0];
+    assert_eq!(f.file, "crates/core/src/lib.rs", "anchored at the seeding source");
+    assert!(f.message.contains("`HashMap`/`HashSet` iteration"), "{}", f.message);
+    assert!(f.message.contains("pipeline mains"), "{}", f.message);
+    assert!(f.message.contains("serve::snapshot::save"), "{}", f.message);
+    assert!(
+        f.message.contains("bench::main → core::resolve"),
+        "taint path down to the source: {}",
+        f.message
+    );
+    let mains = report
+        .callgraph
+        .entry_points
+        .iter()
+        .find(|e| e.label == "pipeline mains")
+        .expect("pipeline mains entry");
+    assert_eq!(mains.taint_flows, 1, "flow counted on the entry that reaches it");
+}
+
+#[test]
+fn ws_taint_btree_clean_fixture_is_silent() {
+    let report = fixture_ws("ws_taint_btree_clean");
+    assert!(
+        active_by_rule(&report, "determinism-taint").is_empty(),
+        "ordered iteration must not taint: {report:?}"
+    );
+    for e in &report.callgraph.entry_points {
+        assert_eq!(e.taint_flows, 0, "entry '{}' sees a phantom flow", e.label);
+    }
+}
+
+#[test]
+fn ws_shard_shared_push_fixture_rejects_the_static_accumulator() {
+    let report = fixture_ws("ws_shard_shared_push");
+    let shards = active_by_rule(&report, "shard-safety");
+    assert_eq!(shards.len(), 1, "{shards:?}");
+    let f = shards[0];
+    assert_eq!(f.file, "crates/blocking/src/pairs.rs");
+    assert!(f.message.contains("shared static `FOUND`"), "{}", f.message);
+    assert!(f.message.contains("blocking stage root"), "{}", f.message);
+    assert!(
+        !f.message.contains("lock-order graph"),
+        "the key is on an entry path, so only the write fires: {}",
+        f.message
+    );
+    let blocking = report
+        .callgraph
+        .shard_roots
+        .iter()
+        .find(|r| r.stage == "blocking")
+        .expect("blocking shard root");
+    assert_eq!((blocking.matched, blocking.violations), (1, 1), "{blocking:?}");
+    let mains = report
+        .callgraph
+        .entry_points
+        .iter()
+        .find(|e| e.label == "pipeline mains")
+        .expect("pipeline mains entry");
+    assert_eq!(mains.shard_violations, 1, "the main reaches the racy write");
+}
+
+#[test]
+fn ws_shard_clean_fixture_accepts_the_local_accumulator() {
+    let report = fixture_ws("ws_shard_clean");
+    assert!(
+        active_by_rule(&report, "shard-safety").is_empty(),
+        "per-call locals are shard-safe: {report:?}"
+    );
+    let blocking = report
+        .callgraph
+        .shard_roots
+        .iter()
+        .find(|r| r.stage == "blocking")
+        .expect("blocking shard root");
+    assert_eq!((blocking.matched, blocking.violations), (1, 0), "{blocking:?}");
+    for e in &report.callgraph.entry_points {
+        assert_eq!(e.shard_violations, 0, "entry '{}' sees a phantom violation", e.label);
+    }
+}
+
 fn real_workspace_root() -> std::path::PathBuf {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
@@ -370,6 +455,59 @@ fn workspace_serve_entries_are_deadlock_free_and_new_rules_enumerated() {
     for rule in ["lock-order", "blocking-under-lock", "numeric-cast"] {
         assert!(json.contains(&format!("\"{rule}\"")), "rule {rule} enumerated in the report");
     }
+}
+
+/// Pass 4 acceptance: every declared parallel-stage root resolves to a
+/// real function, the blocking and comparison stages carry zero shard
+/// violations, no taint flow reaches a serialisation sink, and the pass-4
+/// section of the report is byte-deterministic across a double run.
+#[test]
+fn workspace_shard_roots_resolve_clean_and_pass4_section_is_deterministic() {
+    let root = real_workspace_root();
+    let first = workspace::run(&root).expect("walk workspace");
+    let second = workspace::run(&root).expect("walk workspace again");
+
+    let roots = &first.callgraph.shard_roots;
+    assert!(roots.len() >= 4, "declared stage table: {roots:?}");
+    for r in roots {
+        assert!(r.matched >= 1, "stage '{}' root {} matches no function", r.stage, r.root);
+        assert!(r.reachable >= 1, "stage '{}' reaches nothing", r.stage);
+        assert_eq!(r.violations, 0, "stage '{}' is not shard-safe: {r:?}", r.stage);
+    }
+    for e in &first.callgraph.entry_points {
+        assert_eq!(e.taint_flows, 0, "entry '{}' leaks nondeterminism to a sink", e.label);
+        assert_eq!(e.shard_violations, 0, "entry '{}' reaches a shard hazard", e.label);
+    }
+
+    // Byte-determinism of the pass-4 report section: the shard-root block
+    // plus every line carrying the per-entry pass-4 counters.
+    let pass4_section = |json: &str| -> String {
+        let start = json.find("\"shard_roots\"").expect("shard_roots section");
+        let end = json[start..].find(']').map(|i| start + i).expect("section close");
+        let block = &json[start..=end];
+        let counters: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("\"taint_flows\"") || l.contains("\"shard_violations\""))
+            .collect();
+        format!("{block}\n{}", counters.join("\n"))
+    };
+    let (a, b) = (first.to_json(), second.to_json());
+    assert_eq!(pass4_section(&a), pass4_section(&b), "pass-4 section must be byte-stable");
+    assert!(a.contains("\"schema_version\": 4"), "schema bumped for the pass-4 fields");
+    for rule in ["determinism-taint", "shard-safety", "forbid-unsafe"] {
+        assert!(a.contains(&format!("\"{rule}\"")), "rule {rule} enumerated in the report");
+    }
+}
+
+/// Satellite guard: every crate root in the workspace carries
+/// `#![forbid(unsafe_code)]`, enforced by the forbid-unsafe token rule —
+/// zero findings here means dropping the attribute anywhere breaks CI.
+#[test]
+fn workspace_crate_roots_all_forbid_unsafe() {
+    let root = real_workspace_root();
+    let report = workspace::run(&root).expect("walk workspace");
+    let missing = active_by_rule(&report, "forbid-unsafe");
+    assert!(missing.is_empty(), "crate roots missing #![forbid(unsafe_code)]: {missing:#?}");
 }
 
 /// The self-test: the workspace this lint ships in must pass its own rules.

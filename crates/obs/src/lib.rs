@@ -36,6 +36,8 @@
 //! gauge / histogram handles are inert — the only cost left on the hot
 //! path is a branch on an `Option` that is always `None`.
 
+#![forbid(unsafe_code)]
+
 mod histogram;
 mod json;
 mod prom;

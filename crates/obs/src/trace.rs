@@ -8,8 +8,10 @@
 //! mutex. Writers are assigned to shards round-robin by a global sequence
 //! counter, which doubles as a total order over records: the retained set
 //! is always exactly the `capacity` most recent sequence numbers, whatever
-//! the thread interleaving, because each shard evicts its smallest
-//! sequence number.
+//! the thread interleaving, because a full shard evicts its smallest
+//! sequence number — or drops the incoming record when *it* is the
+//! smallest (a writer that stalled between taking its sequence number and
+//! locking the shard).
 //!
 //! Nothing in this module can panic: no indexing, no unwrap, and poisoned
 //! shard locks are re-entered (a half-written shard is still a valid list
@@ -132,6 +134,16 @@ impl TraceRing {
     /// The shard is chosen by sequence number (round-robin), so each shard
     /// holds every `SHARDS`-th record and eviction of the shard-local
     /// minimum keeps exactly the globally most recent `capacity` records.
+    ///
+    /// A writer can stall between taking its sequence number and locking
+    /// the shard; by the time it inserts, the shard may be full of strictly
+    /// newer records. Evicting the shard minimum then would throw away a
+    /// newer record to retain a stale one, so a full shard *drops* a record
+    /// older than its minimum instead — the record is counted in
+    /// [`pushed`](Self::pushed) but was already outside the newest-
+    /// `capacity` window the ring retains. The exhaustive-interleaving
+    /// model test (`tests/trace_model.rs`) checks both halves of this
+    /// policy.
     pub fn push(&self, mut record: TraceRecord) -> u64 {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         record.seq = seq;
@@ -142,9 +154,12 @@ impl TraceRing {
                 // Evict the oldest record of this shard. Writers can lock
                 // the shard out of sequence order, so scan for the minimum
                 // rather than assuming FIFO order.
-                if let Some(oldest) =
-                    guard.iter().enumerate().min_by_key(|(_, r)| r.seq).map(|(i, _)| i)
+                if let Some((oldest, min_seq)) =
+                    guard.iter().enumerate().min_by_key(|(_, r)| r.seq).map(|(i, r)| (i, r.seq))
                 {
+                    if seq < min_seq {
+                        return seq; // stale record: everything here is newer
+                    }
                     guard.swap_remove(oldest);
                 }
             }

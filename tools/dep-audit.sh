@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Hand-rolled dependency audit, in the spirit of `cargo deny` (which is not
+# available in the offline CI container, and the workspace commits no
+# Cargo.lock to audit anyway). Walks every manifest and enforces:
+#
+#   1. [workspace.dependencies] is the single source of truth: every
+#      external crate there is on the explicit allowlist, with no git
+#      sources and no wildcard versions; every snaps-* entry is a crates/
+#      path dependency.
+#   2. Member crates only consume dependencies via `workspace = true` —
+#      no member pins its own version, source, or path.
+#   3. snaps-lint stays dependency-free (std only): the invariant gate
+#      must build before anything else resolves.
+#   4. No [build-dependencies] tables and no build.rs scripts: nothing
+#      runs arbitrary code at build time or smuggles in a dependency the
+#      audit cannot see.
+#
+# Exit status is the number of violations, so CI fails on any.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+# External crates the workspace may depend on. Additions are a reviewed
+# change to this list, not a manifest edit that slips through.
+ALLOWED="rand proptest criterion crossbeam parking_lot bytes serde serde_json"
+
+fail=0
+err() {
+  echo "dep-audit: ERROR: $*" >&2
+  fail=$((fail + 1))
+}
+
+allowed() {
+  local name="$1" a
+  for a in $ALLOWED; do
+    [ "$a" = "$name" ] && return 0
+  done
+  return 1
+}
+
+# Print the non-comment, non-blank body lines of [section] in a manifest.
+section() {
+  awk -v sec="$2" '
+    /^\[/ { s = ($0 == "[" sec "]") }
+    s && !/^\[/ && NF && $0 !~ /^[ \t]*#/ { print }
+  ' "$1"
+}
+
+# --- 1. the workspace dependency table ---------------------------------
+while IFS= read -r line; do
+  name="${line%% *}"
+  case "$name" in
+    snaps-*)
+      case "$line" in
+        *'path = "crates/'*) ;;
+        *) err "internal dep '$name' must be a crates/ path dependency: $line" ;;
+      esac
+      ;;
+    *)
+      allowed "$name" || err "external dep '$name' is not on the allowlist: $ALLOWED"
+      case "$line" in
+        *'git ='* | *'git='*) err "'$name' is a git dependency: $line" ;;
+      esac
+      case "$line" in
+        *'"*"'*) err "'$name' uses a wildcard version: $line" ;;
+      esac
+      ;;
+  esac
+done < <(section Cargo.toml "workspace.dependencies")
+
+# --- 2. member manifests only inherit ----------------------------------
+for m in Cargo.toml crates/*/Cargo.toml; do
+  if section "$m" "build-dependencies" | grep -q .; then
+    err "$m declares [build-dependencies]; build-time dependencies are not allowed"
+  fi
+  for sec in dependencies dev-dependencies; do
+    while IFS= read -r line; do
+      name="${line%% *}"
+      name="${name%%.*}"
+      case "$line" in
+        *workspace*) ;;
+        *) err "$m [$sec] '$name' pins its own source; use workspace = true: $line" ;;
+      esac
+      case "$name" in
+        snaps-*) ;;
+        *) allowed "$name" || err "$m [$sec] external dep '$name' is not on the allowlist" ;;
+      esac
+    done < <(section "$m" "$sec")
+  done
+done
+
+# --- 3. the lint gate is std-only ---------------------------------------
+for sec in dependencies dev-dependencies; do
+  if section crates/lint/Cargo.toml "$sec" | grep -q .; then
+    err "snaps-lint must stay dependency-free (std only); found entries in [$sec]"
+  fi
+done
+
+# --- 4. no build scripts -------------------------------------------------
+scripts="$(find crates -name build.rs 2>/dev/null || true)"
+if [ -n "$scripts" ]; then
+  err "build scripts are not allowed: $scripts"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "dep-audit: OK ($(ls crates | wc -l | tr -d ' ') member crates, allowlist: $ALLOWED)"
+fi
+exit "$fail"
