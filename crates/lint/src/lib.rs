@@ -30,7 +30,13 @@
 //! an interprocedural determinism-taint dataflow from nondeterminism
 //! sources into serialisation sinks ([`taint`]) and a shard-safety rule
 //! over the declared parallel-stage roots ([`shardsafe`]), plus a
-//! crate-root `#![forbid(unsafe_code)]` presence check.
+//! crate-root `#![forbid(unsafe_code)]` presence check. The v5 analyzer
+//! adds a fifth pass guarding the snapshot file-format contract: a
+//! wire-schema extractor ([`wireschema`]) symbolically walks the section
+//! encoders and decoders, enforces encode/decode symmetry and decode-loop
+//! totality, and gates layout drift against the committed
+//! `results/SNAPSHOT_schema.json` golden unless `FORMAT_VERSION` is
+//! bumped.
 
 #![forbid(unsafe_code)]
 
@@ -45,6 +51,7 @@ pub mod rules;
 pub mod scanner;
 pub mod shardsafe;
 pub mod taint;
+pub mod wireschema;
 pub mod workspace;
 
 pub use report::Report;

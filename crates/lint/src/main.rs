@@ -1,7 +1,7 @@
 //! CLI entry point for `snaps-lint`.
 //!
 //! ```text
-//! snaps-lint [--root DIR] [--report PATH] [--list-rules] [--quiet]
+//! snaps-lint [--root DIR] [--report PATH] [--schema PATH] [--list-rules] [--quiet]
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = unwaived findings, 2 = usage or I/O error.
@@ -14,12 +14,13 @@ use std::process::ExitCode; // snaps-lint: allow(process-net) -- ExitCode is the
 struct Args {
     root: Option<PathBuf>,
     report: Option<PathBuf>,
+    schema: Option<PathBuf>,
     list_rules: bool,
     quiet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { root: None, report: None, list_rules: false, quiet: false };
+    let mut args = Args { root: None, report: None, schema: None, list_rules: false, quiet: false };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -31,13 +32,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--report requires a file argument")?;
                 args.report = Some(PathBuf::from(v));
             }
+            "--schema" => {
+                let v = it.next().ok_or("--schema requires a file argument")?;
+                args.schema = Some(PathBuf::from(v));
+            }
             "--list-rules" => args.list_rules = true,
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
-                return Err(
-                    "usage: snaps-lint [--root DIR] [--report PATH] [--list-rules] [--quiet]"
-                        .to_string(),
-                )
+                return Err("usage: snaps-lint [--root DIR] [--report PATH] [--schema PATH] \
+                            [--list-rules] [--quiet]"
+                    .to_string())
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
@@ -99,6 +103,23 @@ fn main() -> ExitCode {
             }
         }
         if let Err(e) = std::fs::write(path, result.to_json()) {
+            eprintln!("snaps-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    // The extracted wire schema is its own artifact: the exact bytes the
+    // drift gate compares against results/SNAPSHOT_schema.json.
+    if let Some(path) = &args.schema {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("snaps-lint: cannot create {}: {e}", parent.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, &result.wire.schema_json) {
             eprintln!("snaps-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

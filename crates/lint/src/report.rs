@@ -6,6 +6,7 @@ use crate::reach::EntryStats;
 use crate::rules::{Finding, RuleInfo, ALLOW_BUDGET, RULES};
 use crate::scanner::Annotation;
 use crate::shardsafe::ShardRootStat;
+use crate::wireschema::WireStats;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -39,6 +40,9 @@ pub struct Report {
     pub allows: Vec<(String, Annotation)>,
     /// Call-graph statistics from the pass-2 analyzer.
     pub callgraph: CallGraphStats,
+    /// Wire-schema statistics from the pass-5 analyzer (the schema golden
+    /// bytes live in `wire.schema_json`, not in this report).
+    pub wire: WireStats,
 }
 
 impl Report {
@@ -89,6 +93,28 @@ impl Report {
         self.findings.iter().filter(|f| f.rule == "shard-safety").count()
     }
 
+    /// Wire-symmetry findings, *including waived ones* — an annotated
+    /// encoder/decoder mismatch still corrupts snapshots, so the CI gate
+    /// counts waived findings too.
+    #[must_use]
+    pub fn wire_asymmetries(&self) -> usize {
+        self.findings.iter().filter(|f| f.rule == "wire-symmetry").count()
+    }
+
+    /// Wire-totality findings, *including waived ones* — same
+    /// annotation-proof CI gate as `lock_cycles`.
+    #[must_use]
+    pub fn wire_totality(&self) -> usize {
+        self.findings.iter().filter(|f| f.rule == "wire-totality").count()
+    }
+
+    /// Wire-drift findings, *including waived ones*: a layout change
+    /// without a `FORMAT_VERSION` bump cannot be annotated away.
+    #[must_use]
+    pub fn wire_drift(&self) -> usize {
+        self.findings.iter().filter(|f| f.rule == "wire-drift").count()
+    }
+
     /// Sort findings and allows into the canonical report order.
     pub fn normalise(&mut self) {
         self.findings.sort_by(|a, b| {
@@ -116,7 +142,7 @@ impl Report {
         let mut s = String::new();
         s.push_str("{\n  \"meta\": {\n");
         let _ = writeln!(s, "    \"tool\": \"snaps-lint\",");
-        let _ = writeln!(s, "    \"schema_version\": 4,");
+        let _ = writeln!(s, "    \"schema_version\": 5,");
         let _ = writeln!(s, "    \"root\": {},", json_str(&self.root));
         let _ = writeln!(s, "    \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(s, "    \"manifests_checked\": {}", self.manifests_checked);
@@ -158,6 +184,28 @@ impl Report {
                 r.matched,
                 r.reachable,
                 r.violations
+            );
+        }
+        s.push_str("    ]\n  },\n  \"wire\": {\n");
+        match self.wire.format_version {
+            Some(v) => {
+                let _ = writeln!(s, "    \"format_version\": {v},");
+            }
+            None => s.push_str("    \"format_version\": null,\n"),
+        }
+        s.push_str("    \"sections\": [\n");
+        let n = self.wire.sections.len();
+        for (i, sec) in self.wire.sections.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "      {{\"id\": {}, \"name\": {}, \"encoder\": {}, \"decoder\": {}, \
+                 \"fields\": {}}}{comma}",
+                sec.id,
+                json_str(&sec.name),
+                json_str(&sec.encoder),
+                json_str(&sec.decoder),
+                sec.fields
             );
         }
         s.push_str("    ]\n  },\n  \"rules\": {\n");
@@ -206,6 +254,10 @@ impl Report {
         let _ = writeln!(s, "    \"lock_cycles\": {},", self.lock_cycles());
         let _ = writeln!(s, "    \"taint_flows\": {},", self.taint_flows());
         let _ = writeln!(s, "    \"shard_violations\": {},", self.shard_violations());
+        let _ = writeln!(s, "    \"wire_sections\": {},", self.wire.sections.len());
+        let _ = writeln!(s, "    \"wire_asymmetries\": {},", self.wire_asymmetries());
+        let _ = writeln!(s, "    \"wire_totality\": {},", self.wire_totality());
+        let _ = writeln!(s, "    \"wire_drift\": {},", self.wire_drift());
         let _ = writeln!(s, "    \"clean\": {}", self.clean());
         s.push_str("  }\n}\n");
         s
@@ -258,6 +310,17 @@ impl Report {
                 s,
                 "  shard root {} ({}): {} matched, {} reachable, {} violations",
                 r.root, r.stage, r.matched, r.reachable, r.violations
+            );
+        }
+        if !self.wire.sections.is_empty() {
+            let _ = writeln!(
+                s,
+                "  wire format v{}: {} sections, {} asymmetries, {} totality, {} drift",
+                self.wire.format_version.map_or_else(|| "?".to_string(), |v| v.to_string()),
+                self.wire.sections.len(),
+                self.wire_asymmetries(),
+                self.wire_totality(),
+                self.wire_drift()
             );
         }
         s
@@ -359,6 +422,17 @@ mod tests {
                     violations: 0,
                 }],
             },
+            wire: WireStats {
+                format_version: Some(1),
+                sections: vec![crate::wireschema::WireSectionStat {
+                    id: 1,
+                    name: "META".into(),
+                    encoder: "encode_meta".into(),
+                    decoder: "decode_meta".into(),
+                    fields: 7,
+                }],
+                schema_json: String::new(),
+            },
         }
     }
 
@@ -368,9 +442,16 @@ mod tests {
         r.normalise();
         let json = r.to_json();
         assert!(json.contains("\"tool\": \"snaps-lint\""));
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"taint_flows\": 0, \"shard_violations\": 0"));
         assert!(json.contains("\"stage\": \"blocking\""));
+        assert!(json.contains("\"format_version\": 1"));
+        assert!(json.contains(
+            "{\"id\": 1, \"name\": \"META\", \"encoder\": \"encode_meta\", \
+             \"decoder\": \"decode_meta\", \"fields\": 7}"
+        ));
+        assert!(json.contains("\"wire_sections\": 1,"));
+        assert!(json.contains("\"wire_asymmetries\": 0,"));
         assert!(json.contains("\"clean\": false"));
         assert!(json.contains("test \\\"quoted\\\""));
         // Normalised order puts a.rs before b.rs.

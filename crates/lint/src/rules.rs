@@ -175,6 +175,30 @@ pub const RULES: &[RuleInfo] = &[
                       checksums must go through try_from or a recognized len_u32-style \
                       checked helper; widening casts are clean",
     },
+    RuleInfo {
+        name: "wire-symmetry",
+        description: "every snapshot section's encoder and decoder must produce \
+                      mirror-image wire sequences: same primitive types, same order, same \
+                      length-prefix convention, with helper calls inlined through the call \
+                      graph; a mismatch is reported as a field-level diff carrying both \
+                      call chains, and a section registered in only one direction is \
+                      itself a finding",
+    },
+    RuleInfo {
+        name: "wire-drift",
+        description: "the wire layout extracted from the snapshot codec must match the \
+                      committed results/SNAPSHOT_schema.json golden; any layout change \
+                      requires a FORMAT_VERSION bump plus a SNAPS_UPDATE_SCHEMA=1 \
+                      regeneration, so the snapshot contract can never drift silently \
+                      under existing readers",
+    },
+    RuleInfo {
+        name: "wire-totality",
+        description: "every decode loop bound must come from a bounds-checked length \
+                      (Reader::len) or a try_from-checked conversion, never a raw \
+                      u32/u64 read: no wire field may drive an unchecked allocation or \
+                      loop on the snapshot load path",
+    },
 ];
 
 /// Maximum allow-annotations tolerated workspace-wide. Lowered from 40 to

@@ -1,0 +1,1373 @@
+//! Pass 5: wire-schema extraction, encode/decode symmetry, and the
+//! snapshot format-compatibility gate.
+//!
+//! The snapshot file is the contract between the offline ER phase and the
+//! serve path, and the remaining roadmap items (delta snapshots, zero-copy
+//! layout) are format changes to that contract — so the contract itself
+//! must be machine-checked. This pass symbolically walks every
+//! `encode_*`/`write_*`/`decode_*`/`read_*` function inside the wire
+//! perimeter ([`WIRE_FILES`]) and extracts, per snapshot section, the
+//! ordered sequence of wire primitives each direction produces or
+//! consumes: helper calls that take the `Writer`/`Reader` (such as
+//! `write_strings` or `decode_keyword_map`) are inlined under the caller's
+//! chain, and a `len_u32` count write (or a `Reader::len` count read)
+//! followed by a loop folds into a single length-prefixed `seq`. Three
+//! rule families come out of the two walks:
+//!
+//! - **wire-symmetry** — the writer and reader sequences for a section
+//!   must match in primitive type, order, and length-prefix convention; a
+//!   mismatch is reported as a field-level diff carrying both call chains;
+//! - **wire-drift** — the extracted layout is rendered as the
+//!   byte-deterministic golden `results/SNAPSHOT_schema.json`; any layout
+//!   change relative to the committed golden without a `FORMAT_VERSION`
+//!   bump is a finding, and a bumped layout regenerates the golden under
+//!   `SNAPS_UPDATE_SCHEMA=1` (mirroring the prom golden's regen flow);
+//! - **wire-totality** — every decode loop bound must come from a
+//!   bounds-checked length (`Reader::len`) or a `try_from`-checked
+//!   conversion, never a raw `u32`/`u64` read, so no wire field can drive
+//!   an unchecked allocation or loop.
+//!
+//! Section ids and `FORMAT_VERSION` are numeric literals, which the token
+//! scanner deliberately drops; those values are re-read from the raw
+//! source text of `mod section { const NAME: u32 = N; }` and the
+//! `const FORMAT_VERSION: u32 = N;` line.
+
+use crate::report::json_str;
+use crate::rules::Finding;
+use crate::scanner::{Spanned, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Repo-relative files that make up the snapshot wire codec. The walk is
+/// closed over these files: every section encoder/decoder and every helper
+/// they call lives here (the same perimeter numflow uses for casts).
+pub const WIRE_FILES: &[&str] = &["crates/serve/src/snapshot.rs", "crates/serve/src/wire.rs"];
+
+/// Repo-relative path of the committed wire-schema golden.
+pub const SCHEMA_PATH: &str = "results/SNAPSHOT_schema.json";
+
+/// Environment variable that authorises regenerating the golden after a
+/// `FORMAT_VERSION` bump (same contract as the prom golden's update flag).
+pub const UPDATE_ENV: &str = "SNAPS_UPDATE_SCHEMA";
+
+/// One wire-perimeter file handed to [`check`]: its repo-relative path,
+/// raw source (for the numeric literals the scanner drops), and the
+/// test-stripped token stream.
+#[derive(Debug)]
+pub struct FileInput {
+    /// Repo-relative path with `/` separators.
+    pub rel: String,
+    /// Raw file contents.
+    pub src: String,
+    /// Token stream after `strip_test_regions`.
+    pub tokens: Vec<Spanned>,
+}
+
+/// Per-section statistics for the report's `wire` block.
+#[derive(Debug, Clone)]
+pub struct WireSectionStat {
+    /// Section id from `mod section` (0 when the const is missing).
+    pub id: u32,
+    /// Section const name (`META`, `GRAPH`, …).
+    pub name: String,
+    /// Encoder function registered in `to_bytes` (empty when missing).
+    pub encoder: String,
+    /// Decoder function registered in `from_bytes` (empty when missing).
+    pub decoder: String,
+    /// Top-level field count of the extracted sequence.
+    pub fields: usize,
+}
+
+/// Pass-5 outcome rolled into the [`crate::report::Report`].
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// `FORMAT_VERSION` value read from the wire perimeter source.
+    pub format_version: Option<u32>,
+    /// Extracted sections sorted by (id, name).
+    pub sections: Vec<WireSectionStat>,
+    /// The rendered wire-schema JSON (the golden's exact bytes).
+    pub schema_json: String,
+}
+
+/// Findings plus statistics from one pass-5 run.
+#[derive(Debug, Default)]
+pub struct WireOutcome {
+    /// wire-symmetry / wire-drift / wire-totality findings.
+    pub findings: Vec<Finding>,
+    /// Statistics for the report and the schema golden bytes.
+    pub stats: WireStats,
+}
+
+// ---------------------------------------------------------------------------
+// Wire-op model
+// ---------------------------------------------------------------------------
+
+/// A wire primitive, named after the `Writer`/`Reader` method that carries
+/// it (the two sides share method names by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Prim {
+    U8,
+    U32,
+    U64,
+    I32,
+    F64,
+    Bool,
+    OptI32,
+    Str,
+}
+
+impl Prim {
+    fn of_method(m: &str) -> Option<Prim> {
+        match m {
+            "u8" => Some(Prim::U8),
+            "u32" => Some(Prim::U32),
+            "u64" => Some(Prim::U64),
+            "i32" => Some(Prim::I32),
+            "f64" => Some(Prim::F64),
+            "bool" => Some(Prim::Bool),
+            "opt_i32" => Some(Prim::OptI32),
+            "string" => Some(Prim::Str),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Prim::U8 => "u8",
+            Prim::U32 => "u32",
+            Prim::U64 => "u64",
+            Prim::I32 => "i32",
+            Prim::F64 => "f64",
+            Prim::Bool => "bool",
+            Prim::OptI32 => "opt_i32",
+            Prim::Str => "str",
+        }
+    }
+
+    /// Width as a JSON value: byte count for fixed-width primitives, a
+    /// quoted expression for variable-width ones.
+    fn width_json(self) -> &'static str {
+        match self {
+            Prim::U8 | Prim::Bool => "1",
+            Prim::U32 | Prim::I32 => "4",
+            Prim::U64 | Prim::F64 => "8",
+            Prim::OptI32 => "\"1|5\"",
+            Prim::Str => "\"4+len\"",
+        }
+    }
+}
+
+/// One extracted wire operation, with the call chain that produced it.
+#[derive(Debug, Clone)]
+struct Op {
+    kind: OpKind,
+    file: String,
+    line: usize,
+    /// Call chain from the section codec down to the op's function.
+    chain: Vec<String>,
+    /// Creation order, used to fold a raw count read into its loop.
+    uid: usize,
+}
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    Prim(Prim),
+    /// A repeated group. `prefixed` = the element count travels on the
+    /// wire as a `u32` immediately before the elements.
+    Seq {
+        prefixed: bool,
+        body: Vec<Op>,
+    },
+}
+
+fn describe(op: &Op) -> String {
+    match &op.kind {
+        OpKind::Prim(p) => p.name().to_string(),
+        OpKind::Seq { prefixed, body } => {
+            let inner = body.iter().map(describe).collect::<Vec<_>>().join(" ");
+            if *prefixed {
+                format!("seq[{inner}]")
+            } else {
+                format!("unprefixed-seq[{inner}]")
+            }
+        }
+    }
+}
+
+fn chain_of(op: &Op) -> String {
+    op.chain.join(" -> ")
+}
+
+fn prefix_chain(mut op: Op, caller: &str) -> Op {
+    op.chain.insert(0, caller.to_string());
+    if let OpKind::Seq { body, .. } = &mut op.kind {
+        let inner = std::mem::take(body);
+        *body = inner.into_iter().map(|o| prefix_chain(o, caller)).collect();
+    }
+    op
+}
+
+// ---------------------------------------------------------------------------
+// Token utilities
+// ---------------------------------------------------------------------------
+
+fn ident(toks: &[Spanned], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(toks: &[Spanned], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+fn line_at(toks: &[Spanned], i: usize) -> usize {
+    toks.get(i).map_or(0, |t| t.line)
+}
+
+/// `i` points at an `open` delimiter; returns the index one past its
+/// matching `close` (or `toks.len()` when unbalanced).
+fn skip_balanced(toks: &[Spanned], i: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        match punct(toks, j) {
+            Some(c) if c == open => depth += 1,
+            Some(c) if c == close => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// `i` points at a `for` keyword. Returns (last identifier of the iterated
+/// expression, body-start index, index of the closing `}`). The bound
+/// identifier is what a `0..n` range arrives as after the scanner drops
+/// numeric literals: `( . . n )`.
+fn loop_parts(toks: &[Spanned], i: usize) -> Option<(Option<String>, usize, usize)> {
+    let mut bound: Option<String> = None;
+    let mut seen_in = false;
+    let mut j = i + 1;
+    while j < toks.len() {
+        if punct(toks, j) == Some('(') {
+            j = skip_balanced(toks, j, '(', ')');
+            continue;
+        }
+        if punct(toks, j) == Some('{') {
+            let end = skip_balanced(toks, j, '{', '}');
+            return Some((bound, j + 1, end.saturating_sub(1)));
+        }
+        if let Some(id) = ident(toks, j) {
+            if id == "in" {
+                seen_in = true;
+            } else if seen_in {
+                bound = Some(id.to_string());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Function table
+// ---------------------------------------------------------------------------
+
+/// A free function in the wire perimeter, with its `Writer`/`Reader`
+/// bindings (parameters plus `let w = Writer::…(…)` locals) pre-resolved.
+#[derive(Debug, Clone)]
+struct FnDef {
+    name: String,
+    file: String,
+    line: usize,
+    /// Binding names that hold the `Writer`.
+    writers: BTreeSet<String>,
+    /// Binding names that hold the `Reader`.
+    readers: BTreeSet<String>,
+    /// Takes a `Writer` parameter — an encode helper worth inlining.
+    has_writer_param: bool,
+    /// Takes a `Reader` parameter — a decode helper worth inlining.
+    has_reader_param: bool,
+    body: Vec<Spanned>,
+}
+
+/// Split a parameter list on top-level commas (nesting-aware for the
+/// `(`/`[`/`<` families a type can contain).
+fn split_params(params: &[Spanned]) -> Vec<&[Spanned]> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (k, t) in params.iter().enumerate() {
+        if let Tok::Punct(c) = t.tok {
+            match c {
+                '(' | '[' | '<' => depth += 1,
+                ')' | ']' | '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    parts.push(&params[start..k]);
+                    start = k + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if start < params.len() {
+        parts.push(&params[start..]);
+    }
+    parts
+}
+
+/// Extract every free `fn` in one file. `impl` blocks are skipped whole:
+/// the `Writer`/`Reader` methods *are* the primitives, so walking their
+/// bodies would double-count every op.
+fn parse_fns(rel: &str, toks: &[Spanned], out: &mut BTreeMap<String, FnDef>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        match ident(toks, i) {
+            Some("impl") => {
+                let mut j = i + 1;
+                while j < toks.len() && punct(toks, j) != Some('{') {
+                    j += 1;
+                }
+                i = skip_balanced(toks, j, '{', '}');
+            }
+            Some("fn") => {
+                let Some(name) = ident(toks, i + 1) else {
+                    i += 2;
+                    continue;
+                };
+                let name = name.to_string();
+                let line = line_at(toks, i);
+                let mut j = i + 2;
+                if punct(toks, j) == Some('<') {
+                    j = skip_balanced(toks, j, '<', '>');
+                }
+                if punct(toks, j) != Some('(') {
+                    i = j.max(i + 2);
+                    continue;
+                }
+                let params_end = skip_balanced(toks, j, '(', ')');
+                let params = &toks[j + 1..params_end.saturating_sub(1).max(j + 1)];
+                let mut writers = BTreeSet::new();
+                let mut readers = BTreeSet::new();
+                let (mut has_writer_param, mut has_reader_param) = (false, false);
+                for part in split_params(params) {
+                    let mut names = part.iter().filter_map(|t| match &t.tok {
+                        Tok::Ident(s) if s != "mut" => Some(s.as_str()),
+                        _ => None,
+                    });
+                    let Some(binding) = names.next() else { continue };
+                    let ty_has = |what: &str| {
+                        part.iter().any(|t| matches!(&t.tok, Tok::Ident(s) if s == what))
+                    };
+                    if ty_has("Writer") {
+                        writers.insert(binding.to_string());
+                        has_writer_param = true;
+                    }
+                    if ty_has("Reader") {
+                        readers.insert(binding.to_string());
+                        has_reader_param = true;
+                    }
+                }
+                // Find the body: scan past the return type (no braces can
+                // appear before the body block in these files).
+                let mut k = params_end;
+                while k < toks.len() && punct(toks, k) != Some('{') && punct(toks, k) != Some(';') {
+                    k += 1;
+                }
+                if punct(toks, k) != Some('{') {
+                    i = k;
+                    continue;
+                }
+                let body_end = skip_balanced(toks, k, '{', '}');
+                let body: Vec<Spanned> =
+                    toks[k + 1..body_end.saturating_sub(1).max(k + 1)].to_vec();
+                // Locals: `let [mut] name = Writer::…(…)` / `Reader::…(…)`.
+                for p in 0..body.len() {
+                    let target = match ident(&body, p) {
+                        Some("Writer") => Some(&mut writers),
+                        Some("Reader") => Some(&mut readers),
+                        _ => None,
+                    };
+                    let Some(set) = target else { continue };
+                    if punct(&body, p + 1) == Some(':')
+                        && punct(&body, p + 2) == Some(':')
+                        && punct(&body, p + 4) == Some('(')
+                        && p >= 2
+                        && punct(&body, p - 1) == Some('=')
+                    {
+                        if let Some(n) = ident(&body, p - 2) {
+                            set.insert(n.to_string());
+                        }
+                    }
+                }
+                out.insert(
+                    name.clone(),
+                    FnDef {
+                        name,
+                        file: rel.to_string(),
+                        line,
+                        writers,
+                        readers,
+                        has_writer_param,
+                        has_reader_param,
+                        body,
+                    },
+                );
+                i = body_end;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic walks
+// ---------------------------------------------------------------------------
+
+/// What backs a decoder-local integer binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoundKind {
+    /// `Reader::len(min_elem_bytes)` or a `try_from`-checked conversion.
+    Checked,
+    /// A raw `u32`/`u64` read; `uid`/`line` identify the count op so a
+    /// loop over it can fold the prefix and report wire-totality.
+    Unchecked { uid: usize, line: usize },
+}
+
+struct Extractor {
+    fns: BTreeMap<String, FnDef>,
+    enc_memo: BTreeMap<String, Vec<Op>>,
+    dec_memo: BTreeMap<String, (Vec<Op>, Vec<Finding>)>,
+    stack: Vec<String>,
+    uid: usize,
+}
+
+impl Extractor {
+    fn op(&mut self, def: &FnDef, line: usize, kind: OpKind) -> Op {
+        self.uid += 1;
+        Op { kind, file: def.file.clone(), line, chain: vec![def.name.clone()], uid: self.uid }
+    }
+
+    fn encode_ops(&mut self, name: &str) -> Vec<Op> {
+        if let Some(ops) = self.enc_memo.get(name) {
+            return ops.clone();
+        }
+        if self.stack.iter().any(|s| s == name) {
+            return Vec::new(); // recursion guard: cut the cycle
+        }
+        let Some(def) = self.fns.get(name).cloned() else { return Vec::new() };
+        self.stack.push(name.to_string());
+        let ops = self.walk_enc(&def, &def.body);
+        self.stack.pop();
+        self.enc_memo.insert(name.to_string(), ops.clone());
+        ops
+    }
+
+    fn walk_enc(&mut self, def: &FnDef, toks: &[Spanned]) -> Vec<Op> {
+        let mut out: Vec<Op> = Vec::new();
+        let mut i = 0usize;
+        while i < toks.len() {
+            let Some(id) = ident(toks, i) else {
+                i += 1;
+                continue;
+            };
+            // `w.<method>(…)` on a known writer binding.
+            if def.writers.contains(id)
+                && punct(toks, i + 1) == Some('.')
+                && punct(toks, i + 3) == Some('(')
+            {
+                let m = ident(toks, i + 2).unwrap_or("");
+                let args_end = skip_balanced(toks, i + 3, '(', ')');
+                let ln = line_at(toks, i);
+                if m == "u32" && ident(toks, i + 4) == Some("len_u32") {
+                    // A count write. `w.u32(len_u32(..)); for … { … }`
+                    // folds into one length-prefixed seq; a bare count
+                    // (meta's entity/edge tallies) stays a plain u32.
+                    if punct(toks, args_end) == Some(';')
+                        && ident(toks, args_end + 1) == Some("for")
+                    {
+                        if let Some((_, bstart, close)) = loop_parts(toks, args_end + 1) {
+                            let body = self.walk_enc(def, &toks[bstart..close]);
+                            let op = self.op(def, ln, OpKind::Seq { prefixed: true, body });
+                            out.push(op);
+                            i = close + 1;
+                            continue;
+                        }
+                    }
+                    let op = self.op(def, ln, OpKind::Prim(Prim::U32));
+                    out.push(op);
+                    i = args_end;
+                    continue;
+                }
+                if let Some(p) = Prim::of_method(m) {
+                    let op = self.op(def, ln, OpKind::Prim(p));
+                    out.push(op);
+                }
+                i = args_end;
+                continue;
+            }
+            // A loop with no preceding count write: the elements travel
+            // without a length prefix (symmetry will flag the reader side).
+            if id == "for" {
+                if let Some((_, bstart, close)) = loop_parts(toks, i) {
+                    let body = self.walk_enc(def, &toks[bstart..close]);
+                    if !body.is_empty() {
+                        let ln = line_at(toks, i);
+                        let op = self.op(def, ln, OpKind::Seq { prefixed: false, body });
+                        out.push(op);
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            // Helper call that takes the writer: inline its ops.
+            if punct(toks, i + 1) == Some('(')
+                && (i == 0 || punct(toks, i - 1) != Some('.'))
+                && id != def.name
+                && self.fns.get(id).is_some_and(|f| f.has_writer_param)
+            {
+                let helper = id.to_string();
+                let args_end = skip_balanced(toks, i + 1, '(', ')');
+                for op in self.encode_ops(&helper) {
+                    out.push(prefix_chain(op, &def.name));
+                }
+                i = args_end;
+                continue;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn decode_ops(&mut self, name: &str) -> (Vec<Op>, Vec<Finding>) {
+        if let Some(cached) = self.dec_memo.get(name) {
+            return cached.clone();
+        }
+        if self.stack.iter().any(|s| s == name) {
+            return (Vec::new(), Vec::new());
+        }
+        let Some(def) = self.fns.get(name).cloned() else { return (Vec::new(), Vec::new()) };
+        self.stack.push(name.to_string());
+        let mut bindings: BTreeMap<String, BoundKind> = BTreeMap::new();
+        let mut findings = Vec::new();
+        let ops = self.walk_dec(&def, &def.body, &mut bindings, &mut findings);
+        self.stack.pop();
+        self.dec_memo.insert(name.to_string(), (ops.clone(), findings.clone()));
+        (ops, findings)
+    }
+
+    fn walk_dec(
+        &mut self,
+        def: &FnDef,
+        toks: &[Spanned],
+        bindings: &mut BTreeMap<String, BoundKind>,
+        findings: &mut Vec<Finding>,
+    ) -> Vec<Op> {
+        let mut out: Vec<Op> = Vec::new();
+        // The binding a running `let` statement will assign, so a raw
+        // `r.u32()` count read can be associated with its name.
+        let mut pending_let: Option<String> = None;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if punct(toks, i) == Some(';') {
+                pending_let = None;
+                i += 1;
+                continue;
+            }
+            // `(0..n).map(…)` — numeric literals vanish in the scan, so the
+            // range arrives as `( . . n )`.
+            if punct(toks, i) == Some('(')
+                && punct(toks, i + 1) == Some('.')
+                && punct(toks, i + 2) == Some('.')
+                && punct(toks, i + 4) == Some(')')
+                && punct(toks, i + 5) == Some('.')
+                && ident(toks, i + 6) == Some("map")
+                && punct(toks, i + 7) == Some('(')
+            {
+                if let Some(b) = ident(toks, i + 3).map(str::to_string) {
+                    let args_end = skip_balanced(toks, i + 7, '(', ')');
+                    let ln = line_at(toks, i);
+                    let body = self.walk_dec(
+                        def,
+                        &toks[i + 8..args_end.saturating_sub(1)],
+                        bindings,
+                        findings,
+                    );
+                    if !body.is_empty() {
+                        self.push_seq(def, ln, Some(&b), body, &mut out, bindings, findings);
+                    }
+                    i = args_end;
+                    continue;
+                }
+            }
+            let Some(id) = ident(toks, i) else {
+                i += 1;
+                continue;
+            };
+            if id == "let" {
+                let mut j = i + 1;
+                if ident(toks, j) == Some("mut") {
+                    j += 1;
+                }
+                pending_let = ident(toks, j).map(str::to_string);
+                i = j + 1;
+                continue;
+            }
+            // `r.<method>(…)` on a known reader binding.
+            if def.readers.contains(id)
+                && punct(toks, i + 1) == Some('.')
+                && punct(toks, i + 3) == Some('(')
+            {
+                let m = ident(toks, i + 2).unwrap_or("").to_string();
+                let args_end = skip_balanced(toks, i + 3, '(', ')');
+                let ln = line_at(toks, i);
+                if m == "len" {
+                    // `let n = r.len(min)?;` — a bounds-checked count; it
+                    // consumes the u32 prefix itself, so no op is recorded.
+                    if let Some(n) = pending_let.take() {
+                        bindings.insert(n, BoundKind::Checked);
+                    }
+                    i = args_end;
+                    continue;
+                }
+                if let Some(p) = Prim::of_method(&m) {
+                    let op = self.op(def, ln, OpKind::Prim(p));
+                    let uid = op.uid;
+                    out.push(op);
+                    if matches!(p, Prim::U32 | Prim::U64) {
+                        if let Some(n) = pending_let.clone() {
+                            let kind = if laundered(toks, i) {
+                                BoundKind::Checked
+                            } else {
+                                BoundKind::Unchecked { uid, line: ln }
+                            };
+                            bindings.insert(n, kind);
+                        }
+                    }
+                }
+                i = args_end;
+                continue;
+            }
+            if id == "for" {
+                if let Some((bound, bstart, close)) = loop_parts(toks, i) {
+                    let ln = line_at(toks, i);
+                    let body = self.walk_dec(def, &toks[bstart..close], bindings, findings);
+                    if !body.is_empty() {
+                        self.push_seq(
+                            def,
+                            ln,
+                            bound.as_deref(),
+                            body,
+                            &mut out,
+                            bindings,
+                            findings,
+                        );
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            // Helper call that takes the reader: inline ops and findings.
+            if punct(toks, i + 1) == Some('(')
+                && (i == 0 || punct(toks, i - 1) != Some('.'))
+                && id != def.name
+                && self.fns.get(id).is_some_and(|f| f.has_reader_param)
+            {
+                let helper = id.to_string();
+                let args_end = skip_balanced(toks, i + 1, '(', ')');
+                let (ops, helper_findings) = self.decode_ops(&helper);
+                findings.extend(helper_findings);
+                for op in ops {
+                    out.push(prefix_chain(op, &def.name));
+                }
+                i = args_end;
+                continue;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Record a decode loop as a seq, classifying its bound: a checked
+    /// bound means the u32 prefix was consumed by `Reader::len`; an
+    /// unchecked bound is a wire-totality finding whose raw count read is
+    /// folded into the seq (it still prefixes the elements on the wire);
+    /// an unknown bound means no prefix travels at all.
+    #[allow(clippy::too_many_arguments)]
+    fn push_seq(
+        &mut self,
+        def: &FnDef,
+        line: usize,
+        bound: Option<&str>,
+        body: Vec<Op>,
+        out: &mut Vec<Op>,
+        bindings: &BTreeMap<String, BoundKind>,
+        findings: &mut Vec<Finding>,
+    ) {
+        let prefixed = match bound.and_then(|b| bindings.get(b)) {
+            Some(BoundKind::Checked) => true,
+            Some(BoundKind::Unchecked { uid, line: count_line }) => {
+                findings.push(Finding {
+                    rule: "wire-totality",
+                    file: def.file.clone(),
+                    line: *count_line,
+                    message: format!(
+                        "decode loop bound `{}` in {} comes from an unchecked integer read on \
+                         line {count_line}; take counts via Reader::len(min_elem_bytes) or a \
+                         try_from-checked conversion so a corrupt snapshot cannot drive an \
+                         unbounded allocation or loop",
+                        bound.unwrap_or("?"),
+                        def.name
+                    ),
+                    waived: false,
+                });
+                if out.last().is_some_and(|o| o.uid == *uid) {
+                    out.pop();
+                }
+                true
+            }
+            None => false,
+        };
+        let op = self.op(def, line, OpKind::Seq { prefixed, body });
+        out.push(op);
+    }
+}
+
+/// Was the reader call at `toks[i]` wrapped in a checked conversion
+/// (`usize::try_from(r.u32()?)`, a `checked_*` helper)?
+fn laundered(toks: &[Spanned], i: usize) -> bool {
+    i >= 2
+        && punct(toks, i - 1) == Some('(')
+        && ident(toks, i - 2)
+            .is_some_and(|h| h == "try_from" || h == "try_into" || h.starts_with("checked_"))
+}
+
+// ---------------------------------------------------------------------------
+// Section mapping and raw-source constants
+// ---------------------------------------------------------------------------
+
+/// Find the encoder and decoder registered for each section const by
+/// shape: `(section::ID, encode_x(…))` in the `to_bytes` table and
+/// `decode_x(find(&sections, section::ID)…)` in `from_bytes`.
+fn section_mappings(toks: &[Spanned]) -> (BTreeMap<String, String>, BTreeMap<String, String>) {
+    let mut enc = BTreeMap::new();
+    let mut dec = BTreeMap::new();
+    for i in 0..toks.len() {
+        if ident(toks, i) != Some("section")
+            || punct(toks, i + 1) != Some(':')
+            || punct(toks, i + 2) != Some(':')
+        {
+            continue;
+        }
+        let Some(id_name) = ident(toks, i + 3) else { continue };
+        if punct(toks, i + 4) == Some(',') && punct(toks, i + 6) == Some('(') {
+            if let Some(f) = ident(toks, i + 5) {
+                enc.insert(id_name.to_string(), f.to_string());
+            }
+        }
+        if i >= 7
+            && punct(toks, i - 1) == Some(',')
+            && ident(toks, i - 2) == Some("sections")
+            && punct(toks, i - 3) == Some('&')
+            && punct(toks, i - 4) == Some('(')
+            && ident(toks, i - 5) == Some("find")
+            && punct(toks, i - 6) == Some('(')
+        {
+            if let Some(f) = ident(toks, i - 7) {
+                dec.insert(id_name.to_string(), f.to_string());
+            }
+        }
+    }
+    (enc, dec)
+}
+
+/// Parse `const NAME: u32 = N;` from one source line.
+fn parse_const_u32(line: &str) -> Option<(String, u32)> {
+    let t = line.trim();
+    let after = t.split_once("const ")?.1;
+    let (name, rest) = after.split_once(':')?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("u32")?.trim_start();
+    let value = rest.strip_prefix('=')?.trim().trim_end_matches(';').trim();
+    let value = value.replace('_', "").parse().ok()?;
+    Some((name.trim().to_string(), value))
+}
+
+/// Section-id consts from the raw source of `mod section { … }`. The
+/// scanner drops numeric literals, so the values must come from the text.
+fn parse_section_consts(src: &str) -> BTreeMap<String, (u32, usize)> {
+    let mut out = BTreeMap::new();
+    let Some(start) = src.find("mod section") else { return out };
+    let Some(open_rel) = src.get(start..).and_then(|s| s.find('{')) else { return out };
+    let open = start + open_rel;
+    let mut depth = 0usize;
+    let mut end = src.len();
+    for (k, c) in src.get(open..).unwrap_or("").char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    end = open + k;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut offset = 0usize;
+    for (ln0, l) in src.lines().enumerate() {
+        if offset > open && offset < end {
+            if let Some((name, value)) = parse_const_u32(l) {
+                out.insert(name, (value, ln0 + 1));
+            }
+        }
+        offset += l.len() + 1;
+    }
+    out
+}
+
+/// `const FORMAT_VERSION: u32 = N;` value and line from raw source.
+fn parse_format_version(src: &str) -> Option<(u32, usize)> {
+    for (ln0, l) in src.lines().enumerate() {
+        if let Some((name, value)) = parse_const_u32(l) {
+            if name == "FORMAT_VERSION" {
+                return Some((value, ln0 + 1));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Symmetry
+// ---------------------------------------------------------------------------
+
+/// Structural compare of the encoder and decoder sequences. Returns false
+/// after pushing a finding for the first divergence (field path, both
+/// descriptions, both call chains, both sites).
+fn compare_ops(
+    sec: &str,
+    id: u32,
+    enc: &[Op],
+    dec: &[Op],
+    path: &str,
+    out: &mut Vec<Finding>,
+) -> bool {
+    for k in 0..enc.len().max(dec.len()) {
+        let at = format!("{path}[{k}]");
+        match (enc.get(k), dec.get(k)) {
+            (Some(e), None) => {
+                out.push(Finding {
+                    rule: "wire-symmetry",
+                    file: e.file.clone(),
+                    line: e.line,
+                    message: format!(
+                        "section {sec} (id {id}) field {at}: encoder writes {} ({} at {}:{}) \
+                         but the decoder reads nothing there — it consumes {} of {} fields",
+                        describe(e),
+                        chain_of(e),
+                        e.file,
+                        e.line,
+                        dec.len(),
+                        enc.len()
+                    ),
+                    waived: false,
+                });
+                return false;
+            }
+            (None, Some(d)) => {
+                out.push(Finding {
+                    rule: "wire-symmetry",
+                    file: d.file.clone(),
+                    line: d.line,
+                    message: format!(
+                        "section {sec} (id {id}) field {at}: decoder reads {} ({} at {}:{}) \
+                         but the encoder writes nothing there — it produces {} of {} fields",
+                        describe(d),
+                        chain_of(d),
+                        d.file,
+                        d.line,
+                        enc.len(),
+                        dec.len()
+                    ),
+                    waived: false,
+                });
+                return false;
+            }
+            (Some(e), Some(d)) => match (&e.kind, &d.kind) {
+                (OpKind::Prim(pe), OpKind::Prim(pd)) if pe == pd => {}
+                (
+                    OpKind::Seq { prefixed: fe, body: be },
+                    OpKind::Seq { prefixed: fd, body: bd },
+                ) => {
+                    if fe != fd {
+                        out.push(Finding {
+                            rule: "wire-symmetry",
+                            file: d.file.clone(),
+                            line: d.line,
+                            message: format!(
+                                "section {sec} (id {id}) field {at}: length-prefix convention \
+                                 differs — encoder {} {} ({} at {}:{}), decoder {} {} ({} at \
+                                 {}:{})",
+                                if *fe {
+                                    "writes a u32 count before"
+                                } else {
+                                    "writes no count before"
+                                },
+                                describe(e),
+                                chain_of(e),
+                                e.file,
+                                e.line,
+                                if *fd {
+                                    "expects a u32 count before"
+                                } else {
+                                    "expects no count before"
+                                },
+                                describe(d),
+                                chain_of(d),
+                                d.file,
+                                d.line
+                            ),
+                            waived: false,
+                        });
+                        return false;
+                    }
+                    if !compare_ops(sec, id, be, bd, &at, out) {
+                        return false;
+                    }
+                }
+                _ => {
+                    out.push(Finding {
+                        rule: "wire-symmetry",
+                        file: d.file.clone(),
+                        line: d.line,
+                        message: format!(
+                            "section {sec} (id {id}) field {at}: encoder writes {} ({} at \
+                             {}:{}) but decoder reads {} ({} at {}:{})",
+                            describe(e),
+                            chain_of(e),
+                            e.file,
+                            e.line,
+                            describe(d),
+                            chain_of(d),
+                            d.file,
+                            d.line
+                        ),
+                        waived: false,
+                    });
+                    return false;
+                }
+            },
+            (None, None) => {}
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Schema golden and drift gate
+// ---------------------------------------------------------------------------
+
+struct SectionSchema {
+    id: u32,
+    name: String,
+    encoder: Option<String>,
+    decoder: Option<String>,
+    fields: Vec<Op>,
+}
+
+fn field_json(op: &Op) -> String {
+    match &op.kind {
+        OpKind::Prim(p) => format!("{{\"op\": \"{}\", \"width\": {}}}", p.name(), p.width_json()),
+        OpKind::Seq { prefixed, body } => {
+            let of = body.iter().map(field_json).collect::<Vec<_>>().join(", ");
+            let prefix = if *prefixed { "\"u32\"" } else { "null" };
+            format!("{{\"op\": \"seq\", \"prefix\": {prefix}, \"of\": [{of}]}}")
+        }
+    }
+}
+
+fn render_schema(format_version: Option<u32>, sections: &[SectionSchema]) -> String {
+    let opt_str = |v: &Option<String>| match v {
+        Some(s) => json_str(s),
+        None => "null".to_string(),
+    };
+    let mut s = String::new();
+    s.push_str(
+        "{\n  \"meta\": {\n    \"tool\": \"snaps-lint\",\n    \"schema\": \"snapshot-wire\",\n",
+    );
+    match format_version {
+        Some(v) => {
+            let _ = writeln!(s, "    \"format_version\": {v}");
+        }
+        None => s.push_str("    \"format_version\": null\n"),
+    }
+    s.push_str("  },\n  \"sections\": [\n");
+    let n = sections.len();
+    for (i, sec) in sections.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"id\": {},", sec.id);
+        let _ = writeln!(s, "      \"name\": {},", json_str(&sec.name));
+        let _ = writeln!(s, "      \"encoder\": {},", opt_str(&sec.encoder));
+        let _ = writeln!(s, "      \"decoder\": {},", opt_str(&sec.decoder));
+        s.push_str("      \"fields\": [\n");
+        let m = sec.fields.len();
+        for (j, f) in sec.fields.iter().enumerate() {
+            let fcomma = if j + 1 < m { "," } else { "" };
+            let _ = writeln!(s, "        {}{fcomma}", field_json(f));
+        }
+        s.push_str("      ]\n");
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn first_diff(committed: &str, fresh: &str) -> String {
+    for (k, (o, n)) in committed.lines().zip(fresh.lines()).enumerate() {
+        if o != n {
+            return format!(
+                "first difference at schema line {}: committed `{}` vs extracted `{}`",
+                k + 1,
+                o.trim(),
+                n.trim()
+            );
+        }
+    }
+    format!(
+        "committed golden has {} lines, extracted schema {}",
+        committed.lines().count(),
+        fresh.lines().count()
+    )
+}
+
+/// The drift gate. A missing golden is not a finding (CI's byte-compare
+/// step catches a deleted one); an unchanged golden is clean; a changed
+/// layout at the same `FORMAT_VERSION` is a hard finding; a bumped version
+/// regenerates the golden under [`UPDATE_ENV`] and is a stale-golden
+/// finding without it.
+fn check_drift(
+    root: &Path,
+    fresh: &str,
+    version: Option<u32>,
+    anchor: (&str, usize),
+    findings: &mut Vec<Finding>,
+) {
+    let path = root.join(SCHEMA_PATH);
+    let Ok(committed) = fs::read_to_string(&path) else { return };
+    if committed == fresh {
+        return;
+    }
+    let committed_version = committed
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"format_version\": "))
+        .and_then(|v| v.trim().trim_end_matches(',').parse::<u32>().ok());
+    let bumped = version.is_some() && committed_version != version;
+    let update = std::env::var(UPDATE_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
+    if bumped && update {
+        let _ = fs::write(&path, fresh);
+        return;
+    }
+    let (file, line) = anchor;
+    let message = if bumped {
+        format!(
+            "snapshot wire-schema golden is stale: FORMAT_VERSION is {} but {SCHEMA_PATH} \
+             still describes format_version {}; regenerate the golden by re-running \
+             snaps-lint with {UPDATE_ENV}=1",
+            version.unwrap_or(0),
+            committed_version.map_or_else(|| "null".to_string(), |v| v.to_string()),
+        )
+    } else {
+        format!(
+            "snapshot wire layout changed without a FORMAT_VERSION bump (still {}): {}; bump \
+             FORMAT_VERSION in {file} and regenerate {SCHEMA_PATH} with {UPDATE_ENV}=1",
+            committed_version.map_or_else(|| "?".to_string(), |v| v.to_string()),
+            first_diff(&committed, fresh),
+        )
+    };
+    findings.push(Finding {
+        rule: "wire-drift",
+        file: file.to_string(),
+        line,
+        message,
+        waived: false,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Run pass 5 over the wire-perimeter files of the workspace at `root`.
+#[must_use]
+pub fn check(root: &Path, inputs: &[FileInput]) -> WireOutcome {
+    let mut fns = BTreeMap::new();
+    for f in inputs {
+        parse_fns(&f.rel, &f.tokens, &mut fns);
+    }
+    let mut consts: BTreeMap<String, (u32, usize)> = BTreeMap::new();
+    let mut version: Option<u32> = None;
+    let mut anchor: (String, usize) =
+        inputs.first().map_or_else(|| ("(wire)".to_string(), 1), |f| (f.rel.clone(), 1));
+    let mut enc_map: BTreeMap<String, String> = BTreeMap::new();
+    let mut dec_map: BTreeMap<String, String> = BTreeMap::new();
+    for f in inputs {
+        consts.extend(parse_section_consts(&f.src));
+        if let Some((v, ln)) = parse_format_version(&f.src) {
+            version = Some(v);
+            anchor = (f.rel.clone(), ln);
+        }
+        let (e, d) = section_mappings(&f.tokens);
+        enc_map.extend(e);
+        dec_map.extend(d);
+    }
+
+    let mut ext = Extractor {
+        fns,
+        enc_memo: BTreeMap::new(),
+        dec_memo: BTreeMap::new(),
+        stack: Vec::new(),
+        uid: 0,
+    };
+    let names: BTreeSet<String> = enc_map.keys().chain(dec_map.keys()).cloned().collect();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut schema_secs: Vec<SectionSchema> = Vec::new();
+    for name in &names {
+        let id = consts.get(name).map_or(0, |&(v, _)| v);
+        let enc_fn = enc_map.get(name).cloned();
+        let dec_fn = dec_map.get(name).cloned();
+        let enc_ops = enc_fn.as_deref().map(|f| ext.encode_ops(f)).unwrap_or_default();
+        let (dec_ops, totality) = dec_fn.as_deref().map(|f| ext.decode_ops(f)).unwrap_or_default();
+        findings.extend(totality);
+        match (&enc_fn, &dec_fn) {
+            (Some(e), None) => {
+                let (file, line) = ext
+                    .fns
+                    .get(e)
+                    .map_or_else(|| (anchor.0.clone(), 1), |d| (d.file.clone(), d.line));
+                findings.push(Finding {
+                    rule: "wire-symmetry",
+                    file,
+                    line,
+                    message: format!(
+                        "section {name} (id {id}) has encoder {e} registered in to_bytes but \
+                         no decoder in from_bytes: every written section must be readable"
+                    ),
+                    waived: false,
+                });
+            }
+            (None, Some(d)) => {
+                let (file, line) = ext
+                    .fns
+                    .get(d)
+                    .map_or_else(|| (anchor.0.clone(), 1), |f| (f.file.clone(), f.line));
+                findings.push(Finding {
+                    rule: "wire-symmetry",
+                    file,
+                    line,
+                    message: format!(
+                        "section {name} (id {id}) has decoder {d} registered in from_bytes but \
+                         no encoder in to_bytes: the reader expects a section nothing writes"
+                    ),
+                    waived: false,
+                });
+            }
+            (Some(_), Some(_)) => {
+                compare_ops(name, id, &enc_ops, &dec_ops, "", &mut findings);
+            }
+            (None, None) => {}
+        }
+        let fields = if enc_ops.is_empty() { dec_ops } else { enc_ops };
+        schema_secs.push(SectionSchema {
+            id,
+            name: name.clone(),
+            encoder: enc_fn,
+            decoder: dec_fn,
+            fields,
+        });
+    }
+    schema_secs.sort_by(|a, b| (a.id, a.name.as_str()).cmp(&(b.id, b.name.as_str())));
+    let schema_json = render_schema(version, &schema_secs);
+    if !schema_secs.is_empty() {
+        check_drift(root, &schema_json, version, (&anchor.0, anchor.1), &mut findings);
+    }
+
+    // Helpers shared by several sections (decode_sim backs three) replay
+    // their memoized findings once per section: dedupe exact repeats.
+    let mut seen: BTreeSet<(&'static str, String, usize, String)> = BTreeSet::new();
+    findings.retain(|f| seen.insert((f.rule, f.file.clone(), f.line, f.message.clone())));
+
+    let sections = schema_secs
+        .iter()
+        .map(|s| WireSectionStat {
+            id: s.id,
+            name: s.name.clone(),
+            encoder: s.encoder.clone().unwrap_or_default(),
+            decoder: s.decoder.clone().unwrap_or_default(),
+            fields: s.fields.len(),
+        })
+        .collect();
+    WireOutcome { findings, stats: WireStats { format_version: version, sections, schema_json } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner;
+
+    fn input(rel: &str, src: &str) -> FileInput {
+        let scan = scanner::scan(src);
+        FileInput {
+            rel: rel.to_string(),
+            src: src.to_string(),
+            tokens: scanner::strip_test_regions(scan.tokens),
+        }
+    }
+
+    const CLEAN: &str = r#"
+const FORMAT_VERSION: u32 = 1;
+mod section {
+    pub(crate) const META: u32 = 1;
+}
+fn encode_meta(m: &Meta) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.f64(m.threshold);
+    w.u32(len_u32(m.names.len()));
+    for name in &m.names {
+        w.string(name);
+    }
+    w.into_bytes()
+}
+fn decode_meta(bytes: &[u8]) -> Result<Meta, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let threshold = r.f64()?;
+    let n = r.len(4)?;
+    let names = (0..n).map(|_| r.string()).collect::<Result<Vec<_>, _>>()?;
+    Ok(Meta { threshold, names })
+}
+fn to_bytes(m: &Meta) -> Vec<u8> {
+    assemble(vec![(section::META, encode_meta(m))])
+}
+fn from_bytes(bytes: &[u8]) -> Result<Meta, SnapshotError> {
+    let sections = parse(bytes)?;
+    decode_meta(find(&sections, section::META)?)
+}
+"#;
+
+    #[test]
+    fn clean_codec_extracts_symmetric_section() {
+        let out = check(Path::new("/nonexistent"), &[input("crates/serve/src/snapshot.rs", CLEAN)]);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.stats.format_version, Some(1));
+        assert_eq!(out.stats.sections.len(), 1);
+        let s = &out.stats.sections[0];
+        assert_eq!((s.id, s.name.as_str()), (1, "META"));
+        assert_eq!((s.encoder.as_str(), s.decoder.as_str()), ("encode_meta", "decode_meta"));
+        assert_eq!(s.fields, 2, "f64 + length-prefixed seq");
+        assert!(out.stats.schema_json.contains("\"op\": \"seq\", \"prefix\": \"u32\""));
+        assert!(out.stats.schema_json.contains("\"op\": \"str\", \"width\": \"4+len\""));
+    }
+
+    #[test]
+    fn asymmetric_element_type_and_unchecked_bound_both_fire() {
+        let src = CLEAN
+            .replace("let n = r.len(4)?;", "let n = r.u32()? as usize;")
+            .replace("map(|_| r.string())", "map(|_| r.u64())");
+        let out = check(Path::new("/nonexistent"), &[input("crates/serve/src/snapshot.rs", &src)]);
+        let rules: Vec<&str> = out.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"wire-totality"), "{:?}", out.findings);
+        assert!(rules.contains(&"wire-symmetry"), "{:?}", out.findings);
+        let sym = out.findings.iter().find(|f| f.rule == "wire-symmetry").expect("symmetry");
+        assert!(sym.message.contains("str"), "{}", sym.message);
+        assert!(sym.message.contains("u64"), "{}", sym.message);
+        assert!(sym.message.contains("encode_meta"), "both chains: {}", sym.message);
+        assert!(sym.message.contains("decode_meta"), "both chains: {}", sym.message);
+    }
+
+    #[test]
+    fn missing_decoder_is_a_symmetry_finding() {
+        let src = CLEAN.replace("decode_meta(find(&sections, section::META)?)", "todo(bytes)");
+        let out = check(Path::new("/nonexistent"), &[input("crates/serve/src/snapshot.rs", &src)]);
+        let sym: Vec<_> = out.findings.iter().filter(|f| f.rule == "wire-symmetry").collect();
+        assert_eq!(sym.len(), 1, "{sym:?}");
+        assert!(sym[0].message.contains("no decoder"), "{}", sym[0].message);
+    }
+
+    #[test]
+    fn helper_inlining_carries_the_caller_chain() {
+        let src = r#"
+const FORMAT_VERSION: u32 = 1;
+mod section {
+    pub(crate) const G: u32 = 7;
+}
+fn write_pair(w: &mut Writer, s: &str) {
+    w.string(s);
+    w.u8(0);
+}
+fn encode_g(g: &G) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_pair(&mut w, &g.name);
+    w.into_bytes()
+}
+fn decode_g(bytes: &[u8]) -> Result<G, E> {
+    let mut r = Reader::new(bytes);
+    let name = r.string()?;
+    let flag = r.bool()?;
+    Ok(G { name, flag })
+}
+fn to_bytes(g: &G) -> Vec<u8> { assemble(vec![(section::G, encode_g(g))]) }
+fn from_bytes(b: &[u8]) -> Result<G, E> {
+    let sections = parse(b)?;
+    decode_g(find(&sections, section::G)?)
+}
+"#;
+        let out = check(Path::new("/nonexistent"), &[input("crates/serve/src/snapshot.rs", src)]);
+        let sym: Vec<_> = out.findings.iter().filter(|f| f.rule == "wire-symmetry").collect();
+        assert_eq!(sym.len(), 1, "u8 vs bool diverge: {sym:?}");
+        assert!(sym[0].message.contains("encode_g -> write_pair"), "{}", sym[0].message);
+        assert!(sym[0].message.contains("field [1]"), "{}", sym[0].message);
+    }
+
+    #[test]
+    fn schema_rendering_is_deterministic_and_balanced() {
+        let a = check(Path::new("/nonexistent"), &[input("crates/serve/src/snapshot.rs", CLEAN)]);
+        let b = check(Path::new("/nonexistent"), &[input("crates/serve/src/snapshot.rs", CLEAN)]);
+        assert_eq!(a.stats.schema_json, b.stats.schema_json);
+        let json = &a.stats.schema_json;
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn const_parsing_reads_values_the_scanner_drops() {
+        let consts = parse_section_consts(CLEAN);
+        assert_eq!(consts.get("META").map(|&(v, _)| v), Some(1));
+        assert_eq!(parse_format_version(CLEAN).map(|(v, _)| v), Some(1));
+        assert_eq!(parse_const_u32("pub(crate) const GRAPH: u32 = 2;"), Some(("GRAPH".into(), 2)));
+        assert_eq!(parse_const_u32("const BIG: u32 = 1_000;"), Some(("BIG".into(), 1000)));
+        assert_eq!(parse_const_u32("const F: u64 = 1;"), None, "only u32 section ids");
+    }
+
+    #[test]
+    fn empty_inputs_produce_an_empty_outcome() {
+        let out = check(Path::new("/nonexistent"), &[]);
+        assert!(out.findings.is_empty());
+        assert!(out.stats.sections.is_empty());
+        assert_eq!(out.stats.format_version, None);
+    }
+}

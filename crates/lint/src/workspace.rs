@@ -12,12 +12,13 @@ use crate::lockorder;
 use crate::numflow;
 use crate::reach;
 use crate::report::{CallGraphStats, Report};
-use crate::shardsafe;
-use crate::taint;
 use crate::rules::{
     self, FileClass, Finding, ALLOW_BUDGET, PANIC_FREE_SERVE_FILES, RESULT_AFFECTING,
 };
 use crate::scanner::{self, Annotation, Tok};
+use crate::shardsafe;
+use crate::taint;
+use crate::wireschema;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
@@ -121,9 +122,7 @@ fn is_crate_root(rel: &str) -> bool {
 fn has_forbid_unsafe(tokens: &[scanner::Spanned]) -> bool {
     let punct =
         |i: usize, c: char| matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
-    let ident = |i: usize, s: &str| {
-        matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Ident(id)) if id == s)
-    };
+    let ident = |i: usize, s: &str| matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Ident(id)) if id == s);
     (0..tokens.len()).any(|i| {
         punct(i, '#')
             && punct(i + 1, '!')
@@ -144,8 +143,11 @@ fn has_forbid_unsafe(tokens: &[scanner::Spanned]) -> bool {
 /// dead-pub); pass 3 runs the concurrency/numeric soundness rules
 /// (lock-order, blocking-under-lock, numeric-cast) over the same graph;
 /// pass 4 runs the parallel-readiness rules (determinism-taint,
-/// shard-safety) over it. Waivers are then applied to the merged per-file
-/// findings and each one is checked for staleness.
+/// shard-safety) over it; pass 5 extracts the snapshot wire schema from
+/// the codec files and enforces encode/decode symmetry, decode-loop
+/// totality, and drift against the committed schema golden. Waivers are
+/// then applied to the merged per-file findings and each one is checked
+/// for staleness.
 pub fn run(root: &Path) -> io::Result<Report> {
     let files = workspace_files(root)?;
     let mut allows: Vec<(String, scanner::Annotation)> = Vec::new();
@@ -155,6 +157,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
     let mut items_by_file: BTreeMap<String, FileItems> = BTreeMap::new();
     let mut idents_by_file: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     let mut panic_free_files: BTreeSet<String> = BTreeSet::new();
+    let mut wire_inputs: Vec<wireschema::FileInput> = Vec::new();
 
     for rel in &files {
         let class = classify(rel);
@@ -173,6 +176,13 @@ pub fn run(root: &Path) -> io::Result<Report> {
                 .collect(),
         );
         let tokens = scanner::strip_test_regions(tokens);
+        if wireschema::WIRE_FILES.contains(&rel.as_str()) {
+            wire_inputs.push(wireschema::FileInput {
+                rel: rel.clone(),
+                src: src.clone(),
+                tokens: tokens.clone(),
+            });
+        }
         let mut file_findings = rules::check_tokens(&class, rel, &tokens);
 
         // Crate roots must carry `#![forbid(unsafe_code)]`: dropping the
@@ -258,11 +268,15 @@ pub fn run(root: &Path) -> io::Result<Report> {
         entry_points,
         shard_roots: shards.roots.clone(),
     };
+    // Pass 5: wire-schema extraction and the format-compatibility gate
+    // over the snapshot codec files collected during pass 1.
+    let wire = wireschema::check(root, &wire_inputs);
     let mut graph_findings = outcome.findings;
     graph_findings.extend(locks.findings);
     graph_findings.extend(casts.findings);
     graph_findings.extend(taints.findings);
     graph_findings.extend(shards.findings);
+    graph_findings.extend(wire.findings);
     graph_findings.extend(reach::check_dead_pub(&items_by_file, &idents_by_file));
     for f in graph_findings {
         findings_by_file.entry(f.file.clone()).or_default().push(f);
@@ -366,6 +380,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
         findings,
         allows,
         callgraph,
+        wire: wire.stats,
     };
     report.normalise();
     Ok(report)

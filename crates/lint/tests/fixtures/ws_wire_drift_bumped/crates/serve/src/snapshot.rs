@@ -1,0 +1,36 @@
+//! Fixture workspace: a symmetric single-section wire codec — the encoder
+//! and decoder agree on every primitive and on the length-prefix
+//! convention, so pass 5 must stay silent.
+
+const FORMAT_VERSION: u32 = 2;
+
+mod section {
+    pub(crate) const META: u32 = 1;
+}
+
+fn encode_meta(m: &Meta) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.f64(m.threshold);
+    w.u32(len_u32(m.names.len()));
+    for name in &m.names {
+        w.string(name);
+    }
+    w.into_bytes()
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<Meta, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let threshold = r.f64()?;
+    let n = r.len(4)?;
+    let names = (0..n).map(|_| r.string()).collect::<Result<Vec<_>, _>>()?;
+    Ok(Meta { threshold, names })
+}
+
+fn to_bytes(m: &Meta) -> Vec<u8> {
+    assemble(vec![(section::META, encode_meta(m))])
+}
+
+fn from_bytes(bytes: &[u8]) -> Result<Meta, SnapshotError> {
+    let sections = parse(bytes)?;
+    decode_meta(find(&sections, section::META)?)
+}

@@ -6,7 +6,7 @@
 use std::path::Path;
 
 use snaps_lint::rules::{check_source, FileClass, Finding};
-use snaps_lint::{layering, workspace, Report, ALLOW_BUDGET};
+use snaps_lint::{layering, wireschema, workspace, Report, ALLOW_BUDGET};
 
 macro_rules! fixture {
     ($name:literal) => {
@@ -493,7 +493,7 @@ fn workspace_shard_roots_resolve_clean_and_pass4_section_is_deterministic() {
     };
     let (a, b) = (first.to_json(), second.to_json());
     assert_eq!(pass4_section(&a), pass4_section(&b), "pass-4 section must be byte-stable");
-    assert!(a.contains("\"schema_version\": 4"), "schema bumped for the pass-4 fields");
+    assert!(a.contains("\"schema_version\": 5"), "schema bumped for the pass-5 fields");
     for rule in ["determinism-taint", "shard-safety", "forbid-unsafe"] {
         assert!(a.contains(&format!("\"{rule}\"")), "rule {rule} enumerated in the report");
     }
@@ -508,6 +508,144 @@ fn workspace_crate_roots_all_forbid_unsafe() {
     let report = workspace::run(&root).expect("walk workspace");
     let missing = active_by_rule(&report, "forbid-unsafe");
     assert!(missing.is_empty(), "crate roots missing #![forbid(unsafe_code)]: {missing:#?}");
+}
+
+/// Pass 5 fixture: a symmetric codec extracts its section in both
+/// directions and raises none of the wire rules.
+#[test]
+fn wire_clean_fixture_extracts_silently() {
+    let report = fixture_ws("ws_wire_clean");
+    for rule in ["wire-symmetry", "wire-totality", "wire-drift"] {
+        assert!(active_by_rule(&report, rule).is_empty(), "rule {rule} fired on the clean codec");
+    }
+    assert_eq!(report.wire.format_version, Some(1), "FORMAT_VERSION parsed from source");
+    assert_eq!(report.wire.sections.len(), 1, "{:?}", report.wire.sections);
+    let s = &report.wire.sections[0];
+    assert_eq!(
+        (s.id, s.name.as_str(), s.encoder.as_str(), s.decoder.as_str()),
+        (1, "META", "encode_meta", "decode_meta"),
+        "section registration extracted from to_bytes/from_bytes"
+    );
+    assert!(s.fields >= 2, "f64 plus the string sequence: {s:?}");
+}
+
+/// Pass 5 fixture: an encoder/decoder mismatch is reported as a
+/// field-level diff carrying both call chains, and the raw-`u32` loop
+/// bound is a separate totality finding.
+#[test]
+fn wire_asym_fixture_fires_symmetry_and_totality() {
+    let report = fixture_ws("ws_wire_asym");
+    let sym = active_by_rule(&report, "wire-symmetry");
+    assert_eq!(sym.len(), 1, "{sym:#?}");
+    let msg = &sym[0].message;
+    assert!(msg.contains("section META"), "section named: {msg}");
+    assert!(msg.contains("writes str") && msg.contains("reads u64"), "field diff typed: {msg}");
+    assert!(
+        msg.contains("encode_meta at crates/serve/src/snapshot.rs:18")
+            && msg.contains("decode_meta at crates/serve/src/snapshot.rs:27"),
+        "both call chains anchored to source lines: {msg}"
+    );
+    let tot = active_by_rule(&report, "wire-totality");
+    assert_eq!(tot.len(), 1, "{tot:#?}");
+    assert!(tot[0].message.contains("unchecked integer read"), "{}", tot[0].message);
+    assert!(tot[0].message.contains("Reader::len"), "names the fix: {}", tot[0].message);
+    assert!(active_by_rule(&report, "wire-drift").is_empty(), "no golden in this fixture");
+}
+
+/// Pass 5 fixture: a layout change at an unchanged FORMAT_VERSION against
+/// the committed golden is a hard drift finding that shows the first
+/// differing schema line and names both remedies.
+#[test]
+fn wire_drift_fixture_demands_a_version_bump() {
+    let report = fixture_ws("ws_wire_drift");
+    let drift = active_by_rule(&report, "wire-drift");
+    assert_eq!(drift.len(), 1, "{drift:#?}");
+    let msg = &drift[0].message;
+    assert!(msg.contains("without a FORMAT_VERSION bump"), "{msg}");
+    assert!(msg.contains("first difference at schema line"), "{msg}");
+    assert!(msg.contains(wireschema::UPDATE_ENV), "{msg}");
+    assert!(active_by_rule(&report, "wire-symmetry").is_empty(), "the codec itself is symmetric");
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read fixture dir") {
+        let entry = entry.expect("dir entry");
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy fixture file");
+        }
+    }
+}
+
+/// Pass 5 regen flow, on a throwaway copy of the bumped fixture: with the
+/// FORMAT_VERSION bumped the stale golden is still a finding that names
+/// the escape hatch, and re-running with `SNAPS_UPDATE_SCHEMA=1` rewrites
+/// the golden to the extracted schema verbatim and silences the gate.
+#[test]
+fn wire_drift_bumped_golden_regenerates_under_update_env() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("ws_wire_drift_bumped");
+    let tmp = std::env::temp_dir().join(format!("snaps_wire_regen_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    copy_tree(&src, &tmp);
+
+    let before = workspace::run(&tmp).expect("walk copied fixture");
+    assert_eq!(before.wire_drift(), 1, "stale bumped golden must be a finding");
+    let stale = active_by_rule(&before, "wire-drift");
+    assert!(stale[0].message.contains("golden is stale"), "{}", stale[0].message);
+    assert!(stale[0].message.contains(wireschema::UPDATE_ENV), "{}", stale[0].message);
+
+    std::env::set_var(wireschema::UPDATE_ENV, "1");
+    let after = workspace::run(&tmp).expect("walk with update env");
+    std::env::remove_var(wireschema::UPDATE_ENV);
+
+    assert_eq!(after.wire_drift(), 0, "regeneration must silence the gate");
+    let rewritten =
+        std::fs::read_to_string(tmp.join(wireschema::SCHEMA_PATH)).expect("golden rewritten");
+    assert_eq!(rewritten, after.wire.schema_json, "golden is the extracted schema verbatim");
+    assert!(rewritten.contains("\"format_version\": 2"), "{rewritten}");
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Pass 5 acceptance on the real workspace: all six snapshot sections are
+/// extracted in both directions, the committed schema golden matches the
+/// extracted one byte-for-byte, and the wire gate is clean — with the
+/// whole wire block byte-deterministic across a double run.
+#[test]
+fn workspace_wire_schema_extracts_all_sections_and_matches_the_golden() {
+    let root = real_workspace_root();
+    let first = workspace::run(&root).expect("walk workspace");
+    let second = workspace::run(&root).expect("walk workspace again");
+    assert_eq!(first.wire.schema_json, second.wire.schema_json, "schema must be byte-stable");
+
+    assert_eq!(first.wire.format_version, Some(1), "FORMAT_VERSION parsed from snapshot.rs");
+    let names: Vec<&str> = first.wire.sections.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["META", "GRAPH", "KEYWORD", "SIM_FIRST", "SIM_SURNAME", "SIM_LOCATION"],
+        "every snapshot section extracted"
+    );
+    for s in &first.wire.sections {
+        assert!(
+            !s.encoder.is_empty() && !s.decoder.is_empty(),
+            "section {} registered in only one direction",
+            s.name
+        );
+        assert!(s.fields > 0, "section {} extracted no fields", s.name);
+    }
+
+    assert_eq!(first.wire_asymmetries(), 0, "encode/decode symmetry on the real codec");
+    assert_eq!(first.wire_totality(), 0, "every decode loop bound is checked");
+    assert_eq!(first.wire_drift(), 0, "the committed schema golden is current");
+
+    let golden =
+        std::fs::read_to_string(root.join(wireschema::SCHEMA_PATH)).expect("committed golden");
+    assert_eq!(golden, first.wire.schema_json, "committed golden equals the extracted schema");
 }
 
 /// The self-test: the workspace this lint ships in must pass its own rules.

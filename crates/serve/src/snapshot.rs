@@ -145,6 +145,62 @@ fn rel_decode(b: u8) -> Result<Relationship, SnapshotError> {
     }
 }
 
+// Exact encoded sizes, mirroring the Writer primitives: a string is a u32
+// length prefix plus its bytes, an Option<i32> a presence byte plus the
+// value when present. The encoders pass these to `Writer::with_capacity`
+// so multi-MB section payloads are written without a single `Vec`
+// re-growth; the hints must stay exact (capacity == len is asserted in
+// tests), so any wire-layout change must update them in step.
+
+fn strings_size(strings: &[String]) -> usize {
+    4 + strings.iter().map(|s| 4 + s.len()).sum::<usize>()
+}
+
+fn opt_i32_size(v: Option<i32>) -> usize {
+    if v.is_some() {
+        5
+    } else {
+        1
+    }
+}
+
+fn graph_size(graph: &PedigreeGraph) -> usize {
+    let entities: usize = graph
+        .entities
+        .iter()
+        .map(|e| {
+            4 + 4 * e.records.len()
+                + strings_size(&e.first_names)
+                + strings_size(&e.surnames)
+                + strings_size(&e.addresses)
+                + strings_size(&e.occupations)
+                + 4
+                + 16 * e.geos.len()
+                + 1
+                + opt_i32_size(e.birth_year)
+                + opt_i32_size(e.death_year)
+                + 2
+                + 4
+                + 4 * e.event_years.len()
+        })
+        .sum();
+    4 + entities + 4 + 9 * graph.edges.len() + 4 + 4 * graph.record_entity.len()
+}
+
+fn keyword_map_size(entries: &[(&str, &[EntityId])]) -> usize {
+    4 + entries.iter().map(|(value, ids)| 4 + value.len() + 4 + 4 * ids.len()).sum::<usize>()
+}
+
+fn sim_size(index: &SimilarityIndex, entries: &[(&str, &Matches)]) -> usize {
+    let matches: usize = entries
+        .iter()
+        .map(|(value, m)| {
+            4 + value.len() + 4 + m.iter().map(|(other, _)| 4 + other.len() + 8).sum::<usize>()
+        })
+        .sum();
+    8 + strings_size(index.indexed_values()) + 4 + matches
+}
+
 fn write_strings(w: &mut Writer, strings: &[String]) {
     w.u32(len_u32(strings.len()));
     for s in strings {
@@ -185,7 +241,7 @@ fn decode_meta(bytes: &[u8]) -> Result<QueryWeights, SnapshotError> {
 }
 
 fn encode_graph(graph: &PedigreeGraph) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = Writer::with_capacity(graph_size(graph));
     w.u32(len_u32(graph.entities.len()));
     for e in &graph.entities {
         w.u32(len_u32(e.records.len()));
@@ -335,10 +391,14 @@ fn decode_keyword_map(
 }
 
 fn encode_keyword(keyword: &KeywordIndex) -> Vec<u8> {
-    let mut w = Writer::new();
-    encode_keyword_map(&mut w, keyword.first_name_entries().collect());
-    encode_keyword_map(&mut w, keyword.surname_entries().collect());
-    encode_keyword_map(&mut w, keyword.location_entries().collect());
+    let first: Vec<(&str, &[EntityId])> = keyword.first_name_entries().collect();
+    let sur: Vec<(&str, &[EntityId])> = keyword.surname_entries().collect();
+    let loc: Vec<(&str, &[EntityId])> = keyword.location_entries().collect();
+    let cap = keyword_map_size(&first) + keyword_map_size(&sur) + keyword_map_size(&loc);
+    let mut w = Writer::with_capacity(cap);
+    encode_keyword_map(&mut w, first);
+    encode_keyword_map(&mut w, sur);
+    encode_keyword_map(&mut w, loc);
     w.into_bytes()
 }
 
@@ -354,11 +414,11 @@ fn decode_keyword(bytes: &[u8], n_entities: usize) -> Result<KeywordIndex, Snaps
 }
 
 fn encode_sim(index: &SimilarityIndex) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.f64(index.s_t());
-    write_strings(&mut w, index.indexed_values());
     let mut entries: Vec<(&str, &Matches)> = index.precomputed().collect();
     entries.sort_unstable_by(|a, b| a.0.cmp(b.0)); // stable bytes
+    let mut w = Writer::with_capacity(sim_size(index, &entries));
+    w.f64(index.s_t());
+    write_strings(&mut w, index.indexed_values());
     w.u32(len_u32(entries.len()));
     for (value, matches) in entries {
         w.string(value);
@@ -598,6 +658,24 @@ mod tests {
     fn serialisation_is_deterministic() {
         let e = engine();
         assert_eq!(to_bytes(&e), to_bytes(&e), "same engine, same bytes");
+    }
+
+    #[test]
+    fn encode_size_hints_are_exact() {
+        // An exact `with_capacity` hint means the buffer never re-grows, so
+        // the final capacity equals the encoded length; any drift between a
+        // size helper and its encoder shows up here as an inequality.
+        let e = engine();
+        for (what, bytes) in [
+            ("graph", encode_graph(e.graph())),
+            ("keyword", encode_keyword(e.keyword_index())),
+            ("sim_first", encode_sim(e.first_name_sims())),
+            ("sim_surname", encode_sim(e.surname_sims())),
+            ("sim_location", encode_sim(e.location_sims())),
+        ] {
+            assert_eq!(bytes.capacity(), bytes.len(), "{what}: size hint must be exact");
+            assert!(!bytes.is_empty(), "{what}: sections are never empty");
+        }
     }
 
     #[test]

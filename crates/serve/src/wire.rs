@@ -20,6 +20,15 @@ impl Writer {
         Self::default()
     }
 
+    /// Fresh writer with `cap` bytes preallocated. Section encoders pass
+    /// an exact size so multi-MB payloads are written without a single
+    /// `Vec` re-growth (the buffer's final `capacity()` equals its `len()`
+    /// exactly when the hint was exact — the encoder tests assert this).
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
     /// The encoded bytes.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {

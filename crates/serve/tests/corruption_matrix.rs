@@ -1,0 +1,100 @@
+//! Corruption matrix over the snapshot binary format: truncate and
+//! bit-flip a saved snapshot at every structurally meaningful boundary —
+//! header fields, each section-table entry's id/offset/len/crc, and each
+//! payload's first and last byte — and assert every load comes back as a
+//! typed [`SnapshotError`], never a panic. The pristine bytes must still
+//! decode, and re-encoding the decoded engine must reproduce them
+//! byte-for-byte (the canonical sort inside the encoders makes the
+//! round-trip exact, not just equivalent).
+
+use snaps_core::{resolve, PedigreeGraph, SnapsConfig};
+use snaps_datagen::{generate, DatasetProfile};
+use snaps_obs::Obs;
+use snaps_query::SearchEngine;
+use snaps_serve::snapshot::{self, SnapshotError};
+
+fn build_engine() -> SearchEngine {
+    let data = generate(&DatasetProfile::ios().scaled(0.02), 42);
+    let res = resolve(&data.dataset, &SnapsConfig::default());
+    SearchEngine::build(PedigreeGraph::build(&data.dataset, &res))
+}
+
+fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    let b: [u8; 4] = bytes[at..at + 4].try_into().expect("u32 slice");
+    u32::from_le_bytes(b)
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    let b: [u8; 8] = bytes[at..at + 8].try_into().expect("u64 slice");
+    u64::from_le_bytes(b)
+}
+
+/// Every boundary worth attacking, parsed straight from the file header:
+/// magic start, version, section count, each table entry's four fields,
+/// each payload's first/last byte, and the very last byte of the file.
+fn boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut out = vec![0, 8, 12];
+    let n_sections = u32_at(bytes, 12) as usize;
+    for i in 0..n_sections {
+        let base = 16 + 24 * i;
+        out.extend([base, base + 4, base + 12, base + 20]);
+        let offset = usize::try_from(u64_at(bytes, base + 4)).expect("offset fits");
+        let len = usize::try_from(u64_at(bytes, base + 12)).expect("len fits");
+        assert!(len > 0, "sections are never empty");
+        out.extend([offset, offset + len - 1, offset + len]);
+    }
+    out.push(bytes.len() - 1);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[test]
+fn truncation_at_every_boundary_is_a_typed_error() {
+    let engine = build_engine();
+    let bytes = snapshot::to_bytes(&engine);
+    for &b in boundaries(&bytes).iter().filter(|&&b| b < bytes.len()) {
+        match snapshot::from_bytes(&bytes[..b], &Obs::disabled()) {
+            Err(
+                SnapshotError::BadMagic
+                | SnapshotError::Truncated
+                | SnapshotError::ChecksumMismatch { .. }
+                | SnapshotError::Corrupt(_),
+            ) => {}
+            Err(other) => panic!("truncation at {b}: unexpected error kind {other}"),
+            Ok(_) => panic!("truncation at {b} must not load"),
+        }
+    }
+}
+
+#[test]
+fn bit_flip_at_every_boundary_is_a_typed_error() {
+    let engine = build_engine();
+    let pristine = snapshot::to_bytes(&engine);
+    for &b in &boundaries(&pristine) {
+        if b >= pristine.len() {
+            continue;
+        }
+        let mut bytes = pristine.clone();
+        bytes[b] ^= 0x01;
+        match snapshot::from_bytes(&bytes, &Obs::disabled()) {
+            Err(
+                SnapshotError::BadMagic
+                | SnapshotError::UnsupportedVersion(_)
+                | SnapshotError::Truncated
+                | SnapshotError::ChecksumMismatch { .. }
+                | SnapshotError::Corrupt(_),
+            ) => {}
+            Err(SnapshotError::Io(e)) => panic!("bit flip at {b}: unexpected I/O error {e}"),
+            Ok(_) => panic!("bit flip at byte {b} must not load"),
+        }
+    }
+}
+
+#[test]
+fn pristine_reload_round_trips_byte_identically() {
+    let engine = build_engine();
+    let bytes = snapshot::to_bytes(&engine);
+    let restored = snapshot::from_bytes(&bytes, &Obs::disabled()).expect("pristine load");
+    assert_eq!(snapshot::to_bytes(&restored), bytes, "re-encode must reproduce the file");
+}

@@ -25,6 +25,17 @@ new=${3:?new (fresh run) report}
 
 TOLERANCE=${BENCH_RATCHET_TOLERANCE:-0.20}
 
+# A ratchet against a missing or empty baseline silently passes every
+# regression, so fail fast before any jq runs against it.
+if [ ! -s "$old" ]; then
+  echo "::error::committed baseline '$old' is missing or empty; regenerate and commit it before ratcheting"
+  exit 2
+fi
+if [ ! -s "$new" ]; then
+  echo "::error::fresh report '$new' is missing or empty; the benchmark run did not produce output"
+  exit 2
+fi
+
 # within_max NEW OLD → ok when NEW <= OLD * (1 + band)
 within_max() { awk -v n="$1" -v o="$2" -v t="$TOLERANCE" 'BEGIN { exit !(n <= o * (1 + t)) }'; }
 # within_min NEW OLD → ok when NEW >= OLD * (1 - band)
