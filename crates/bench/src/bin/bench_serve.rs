@@ -139,6 +139,7 @@ fn main() {
             let hist = latency_hist.clone();
             std::thread::spawn(move || {
                 let mut latencies = Vec::with_capacity(requests_per_client);
+                let mut resp_bytes = 0u64;
                 for r in 0..requests_per_client {
                     let i = (c + r * 31) % targets.len();
                     let started = Instant::now();
@@ -146,6 +147,7 @@ fn main() {
                     let elapsed = started.elapsed();
                     latencies.push(elapsed);
                     hist.record(elapsed);
+                    resp_bytes += body.len() as u64;
                     assert_eq!(status, 200, "request failed under load: {}", targets[i]);
                     assert_eq!(
                         body, baseline[i],
@@ -153,14 +155,17 @@ fn main() {
                         targets[i]
                     );
                 }
-                latencies
+                (latencies, resp_bytes)
             })
         })
         .collect();
 
     let mut latencies: Vec<Duration> = Vec::with_capacity(clients * requests_per_client);
+    let mut total_resp_bytes = 0u64;
     for h in handles {
-        latencies.extend(h.join().expect("client thread panicked"));
+        let (lat, bytes) = h.join().expect("client thread panicked");
+        latencies.extend(lat);
+        total_resp_bytes += bytes;
     }
     let wall = load_started.elapsed();
 
@@ -170,6 +175,14 @@ fn main() {
     let (prom_status, prom_body) = get(addr, "/metrics?format=prom");
     assert_eq!(prom_status, 200, "prometheus exposition failed");
     assert!(prom_body.contains("# TYPE"), "exposition lacks TYPE lines");
+    // Allocation proxy: how often any worker's reusable response buffer
+    // had to regrow. After warm-up this should be static; the ratchet
+    // catches per-request allocation creeping back into the serve path.
+    let resp_buf_regrow: u64 = prom_body
+        .lines()
+        .find_map(|l| l.strip_prefix("snaps_serve_resp_buf_regrow_total "))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let (traces_status, traces_body) = get(addr, "/debug/traces?n=10");
     assert_eq!(traces_status, 200, "debug traces failed: {traces_body}");
     let (slow_status, _) = get(addr, "/debug/slow?threshold_us=1");
@@ -203,6 +216,11 @@ fn main() {
                 vec!["p95 ms".into(), fmt_ms(p95)],
                 vec!["p99 ms".into(), fmt_ms(p99)],
                 vec!["snapshot bytes".into(), snap_bytes.to_string()],
+                vec![
+                    "resp bytes/req".into(),
+                    (total_resp_bytes / (total.max(1) as u64)).to_string(),
+                ],
+                vec!["resp buf regrows".into(), resp_buf_regrow.to_string()],
             ],
         )
     );
@@ -213,7 +231,9 @@ fn main() {
             .with_meta("clients", clients)
             .with_meta("requests", total)
             .with_meta("qps", format!("{qps:.1}"))
-            .with_meta("snapshot_bytes", snap_bytes);
+            .with_meta("snapshot_bytes", snap_bytes)
+            .with_meta("resp_bytes_per_req", total_resp_bytes / (total.max(1) as u64))
+            .with_meta("resp_buf_regrow", resp_buf_regrow);
         write_report(report, &args, "bench_serve");
     }
 }

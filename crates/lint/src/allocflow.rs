@@ -1,0 +1,308 @@
+//! Pass 6: hot-path allocation & ownership.
+//!
+//! Reuses the pass-1 item model (per-fn allocation sites,
+//! [`crate::items::AllocSite`]) and the pass-2 call graph to police the
+//! serve path's allocation discipline ahead of the zero-copy snapshot
+//! layout. Two rules run over the entry-point table:
+//!
+//! - **alloc-budget**: every allocation site reachable from an entry is
+//!   classified on the boundedness lattice — *bounded* (constant-size or
+//!   capacity-hinted), *data-proportional* (scales with result/snapshot
+//!   size: `format!`, `collect()`, clone-family, growth through a field
+//!   or parameter), or *unbounded-per-request* (loop-carried growth on a
+//!   local container constructed without a hint in the same fn). The
+//!   per-entry budget is reported (schema 6) and CI ratchets the first
+//!   two classes while hard-zero-gating the third, but findings are
+//!   raised only for the unbounded class on serve-path entries.
+//! - **borrow-not-own**: a fn reachable from a serve entry, defined on a
+//!   snapshot-resident type ([`SNAPSHOT_RESIDENT`]), returning an owned
+//!   `String`/`Vec` produced by a clone-family call (`clone`/`to_owned`/
+//!   `to_string`/`to_vec`) whose receiver chain roots at `self` — i.e. an
+//!   accessor copying snapshot state out instead of lending it. The
+//!   mmap/borrow-from-buffer layout needs `&str`/slice accessors, so the
+//!   copies must go first.
+//!
+//! Unbounded classification requires positive evidence (the unhinted
+//! constructor is visible in the same fn), so the hard zero gate cannot
+//! fire on the method-fallback over-approximation; a later `.reserve`
+//! anywhere in the fn counts as a hint (capacity-hint laundering is
+//! accepted — the ratchet on the data-proportional class still sees the
+//! site).
+
+use crate::callgraph::CallGraph;
+use crate::items::AllocClass;
+use crate::reach::{self, ENTRY_POINTS};
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// Types whose instances live inside the loaded snapshot: an owned
+/// `String`/`Vec` cloned out of them on the serve path is a copy the
+/// zero-copy layout must eliminate.
+pub(crate) const SNAPSHOT_RESIDENT: &[&str] = &[
+    "KeywordIndex",
+    "PedigreeEntity",
+    "PedigreeGraph",
+    "SearchEngine",
+    "SimilarityIndex",
+    "Snapshot",
+];
+
+/// Clone-family `what` labels as recorded by the item model.
+const CLONE_FAMILY: &[&str] = &["clone()", "to_owned()", "to_string()", "to_vec()"];
+
+/// Per-entry allocation budget (site counts by boundedness class, plus
+/// the borrow-not-own accessor count).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AllocBudget {
+    /// Constant-size or capacity-hinted sites.
+    pub bounded: usize,
+    /// Sites scaling with result/snapshot size.
+    pub data_proportional: usize,
+    /// Loop-carried growth with no capacity hint (hard zero gate).
+    pub unbounded: usize,
+    /// Snapshot-resident accessors returning owned clones.
+    pub borrow_not_own: usize,
+}
+
+/// Outcome of the pass: findings plus per-entry budgets in table order.
+#[derive(Debug, Default)]
+pub(crate) struct AllocOutcome {
+    /// `alloc-budget` and `borrow-not-own` findings.
+    pub findings: Vec<Finding>,
+    /// Per-entry budgets, in entry-table order.
+    pub per_entry: Vec<AllocBudget>,
+}
+
+/// Run the allocation pass over every declared entry point.
+#[must_use]
+pub(crate) fn check(graph: &CallGraph) -> AllocOutcome {
+    let mut out = AllocOutcome::default();
+    // Dedup across entries by (file, line, rule); the first (table-order)
+    // entry wins, so the diagnostic names the most user-facing route.
+    let mut seen: BTreeSet<(String, usize, &'static str)> = BTreeSet::new();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    for spec in ENTRY_POINTS {
+        let roots = reach::roots_of(graph, spec);
+        let parent = reach::bfs(graph, &roots);
+        let mut budget = AllocBudget::default();
+
+        for &n in parent.keys() {
+            let f = &graph.fns[n];
+            // Snapshot-resident accessor returning an owned container?
+            let own_leak = f.impl_type.as_deref().is_some_and(|t| SNAPSHOT_RESIDENT.contains(&t))
+                && matches!(f.ret.as_deref(), Some("String" | "Vec"));
+
+            for site in &f.allocs {
+                match site.class {
+                    AllocClass::Bounded => budget.bounded += 1,
+                    AllocClass::DataProportional => budget.data_proportional += 1,
+                    AllocClass::Unbounded => budget.unbounded += 1,
+                }
+
+                if spec.serve_path
+                    && site.class == AllocClass::Unbounded
+                    && seen.insert((f.file.clone(), site.line, "alloc-budget"))
+                {
+                    let chain = reach::chain_to(graph, &parent, n).join(" → ");
+                    findings.push(Finding {
+                        rule: "alloc-budget",
+                        file: f.file.clone(),
+                        line: site.line,
+                        message: format!(
+                            "unbounded per-request allocation: loop-carried `{what}` growth on \
+                             un-capacity-hinted `{recv}`, reachable from {label}: {chain} \
+                             ({file}:{line}); add a with_capacity/reserve hint or hoist a \
+                             reusable buffer",
+                            what = site.what,
+                            recv = site.receiver.join("."),
+                            label = spec.label,
+                            chain = chain,
+                            file = f.file,
+                            line = site.line,
+                        ),
+                        waived: false,
+                    });
+                }
+
+                let self_clone = own_leak
+                    && CLONE_FAMILY.contains(&site.what)
+                    && site.receiver.first().is_some_and(|r| r == "self");
+                if self_clone {
+                    budget.borrow_not_own += 1;
+                    if spec.serve_path && seen.insert((f.file.clone(), site.line, "borrow-not-own"))
+                    {
+                        let chain = reach::chain_to(graph, &parent, n).join(" → ");
+                        findings.push(Finding {
+                            rule: "borrow-not-own",
+                            file: f.file.clone(),
+                            line: site.line,
+                            message: format!(
+                                "snapshot-resident accessor {name} returns an owned `{ret}` \
+                                 built by `{what}` on `{recv}`, reachable from {label}: {chain} \
+                                 ({file}:{line}); lend a &str/slice instead so the zero-copy \
+                                 snapshot layout can borrow from the buffer",
+                                name = graph.display(n),
+                                ret = f.ret.as_deref().unwrap_or("String"),
+                                what = site.what,
+                                recv = site.receiver.join("."),
+                                label = spec.label,
+                                chain = chain,
+                                file = f.file,
+                                line = site.line,
+                            ),
+                            waived: false,
+                        });
+                    }
+                }
+            }
+        }
+        out.per_entry.push(budget);
+    }
+
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out.findings = findings;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::{extract, FileItems};
+    use crate::scanner;
+
+    fn file(krate: &str, path: &str, src: &str) -> (String, FileItems) {
+        let scan = scanner::scan(src);
+        let toks = scanner::strip_test_regions(scan.tokens);
+        (path.to_string(), extract(krate, path, &toks))
+    }
+
+    fn graph(files: Vec<(String, FileItems)>) -> CallGraph {
+        CallGraph::build(&files.into_iter().collect())
+    }
+
+    fn entry_index(label: &str) -> usize {
+        ENTRY_POINTS.iter().position(|e| e.label == label).expect("known entry")
+    }
+
+    #[test]
+    fn unbounded_growth_reachable_from_serve_entry_is_flagged_with_chain() {
+        let g = graph(vec![
+            file(
+                "serve",
+                "crates/serve/src/server.rs",
+                "use snaps_core::gather;\npub fn search() { gather(); }\n",
+            ),
+            file(
+                "core",
+                "crates/core/src/lib.rs",
+                "pub fn gather() -> Vec<u32> {\n\
+                     let mut out = Vec::new();\n\
+                     for i in items() { out.push(i); }\n\
+                     out\n\
+                 }\n",
+            ),
+        ]);
+        let out = check(&g);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        let f = &out.findings[0];
+        assert_eq!(f.rule, "alloc-budget");
+        assert_eq!(f.file, "crates/core/src/lib.rs");
+        assert!(f.message.contains("GET /search"), "{}", f.message);
+        assert!(
+            f.message.contains("serve::server::search → core::gather"),
+            "chain printed: {}",
+            f.message
+        );
+        let b = out.per_entry[entry_index("GET /search")];
+        assert_eq!(b.unbounded, 1);
+        assert!(b.bounded >= 1, "the Vec::new ctor is a bounded site: {b:?}");
+    }
+
+    #[test]
+    fn capacity_hinted_growth_is_bounded_and_clean() {
+        let g = graph(vec![file(
+            "serve",
+            "crates/serve/src/server.rs",
+            "pub fn search() {\n\
+                 let mut out = Vec::with_capacity(8);\n\
+                 for i in items() { out.push(i); }\n\
+             }\n",
+        )]);
+        let out = check(&g);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        let b = out.per_entry[entry_index("GET /search")];
+        assert_eq!(b.unbounded, 0);
+        assert_eq!(b.bounded, 2, "ctor + hinted push: {b:?}");
+    }
+
+    #[test]
+    fn snapshot_accessor_returning_owned_clone_is_borrow_not_own() {
+        let g = graph(vec![
+            file(
+                "serve",
+                "crates/serve/src/server.rs",
+                "use snaps_query::engine_name;\npub fn search() { engine_name(); }\n",
+            ),
+            file(
+                "query",
+                "crates/query/src/process.rs",
+                "pub struct SearchEngine { meta: String }\n\
+                 impl SearchEngine {\n\
+                     pub fn engine_name(&self) -> String { self.meta.clone() }\n\
+                 }\n\
+                 pub fn engine_name(e: &SearchEngine) -> String { e.engine_name() }\n",
+            ),
+        ]);
+        let out = check(&g);
+        let f = out
+            .findings
+            .iter()
+            .find(|f| f.rule == "borrow-not-own")
+            .expect("borrow-not-own finding");
+        assert!(f.message.contains("SearchEngine"), "{}", f.message);
+        assert!(f.message.contains("GET /search"), "{}", f.message);
+        assert!(f.message.contains("lend a &str/slice"), "{}", f.message);
+        let b = out.per_entry[entry_index("GET /search")];
+        assert_eq!(b.borrow_not_own, 1);
+    }
+
+    #[test]
+    fn non_serve_entries_count_budgets_but_raise_no_findings() {
+        let g = graph(vec![file(
+            "bench",
+            "crates/bench/src/main.rs",
+            "fn main() {\n\
+                 let mut out = Vec::new();\n\
+                 for i in items() { out.push(i); }\n\
+             }\n",
+        )]);
+        let out = check(&g);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        let b = out.per_entry[entry_index("pipeline mains")];
+        assert_eq!(b.unbounded, 1, "budget still counted: {b:?}");
+    }
+
+    #[test]
+    fn borrowed_return_does_not_trip_borrow_not_own() {
+        let g = graph(vec![
+            file(
+                "serve",
+                "crates/serve/src/server.rs",
+                "use snaps_query::engine_name;\npub fn search() { engine_name(); }\n",
+            ),
+            file(
+                "query",
+                "crates/query/src/process.rs",
+                "pub struct SearchEngine { meta: String }\n\
+                 impl SearchEngine {\n\
+                     pub fn engine_name(&self) -> &str { &self.meta }\n\
+                 }\n\
+                 pub fn engine_name(e: &SearchEngine) -> &str { e.engine_name() }\n",
+            ),
+        ]);
+        let out = check(&g);
+        assert!(out.findings.iter().all(|f| f.rule != "borrow-not-own"), "{:?}", out.findings);
+    }
+}

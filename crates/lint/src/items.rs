@@ -104,6 +104,39 @@ pub(crate) struct MutWriteSite {
     pub via: Option<String>,
 }
 
+/// Boundedness of one allocation site, the pass-6 alloc-budget lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AllocClass {
+    /// Constant-size work: a container constructor, a capacity-hinted
+    /// container (`with_capacity` / upgraded by `reserve`), or growth
+    /// outside any loop. Cost is independent of request and data size.
+    Bounded,
+    /// Scales with result/snapshot size: clones, `to_string`/`to_owned`/
+    /// `to_vec`, `format!`, `collect`, or loop growth through a field or
+    /// parameter whose capacity discipline is the caller's.
+    DataProportional,
+    /// Loop-carried growth of a container this function constructed with
+    /// no capacity hint: per-request growth with no bound.
+    Unbounded,
+}
+
+/// One allocation-capable expression inside a function body. Consumed by
+/// the pass-6 allocflow rules (alloc-budget, borrow-not-own).
+#[derive(Debug, Clone)]
+pub(crate) struct AllocSite {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description (`Vec::new`, `clone()`, `push`, …).
+    pub what: &'static str,
+    /// Boundedness class.
+    pub class: AllocClass,
+    /// Receiver chain for clone-family and growth sites
+    /// (`self.name.clone()` → `["self", "name"]`), outermost-first; empty
+    /// for constructors and macros. Clone-family chains feed the
+    /// borrow-not-own receiver resolution.
+    pub receiver: Vec<String>,
+}
+
 /// A module-level `static` item, with whether its type names an
 /// interior-mutability container (`Mutex`, `RwLock`, `Atomic*`, `Cell`,
 /// `RefCell`, `OnceLock`, `LazyLock`, `OnceCell`, `UnsafeCell`) — the only
@@ -164,6 +197,13 @@ pub struct FnItem {
     pub(crate) taints: Vec<TaintSite>,
     /// Every mutating write in the body, in token order.
     pub(crate) mut_writes: Vec<MutWriteSite>,
+    /// Every allocation site in the body, in token order (pass 6).
+    pub(crate) allocs: Vec<AllocSite>,
+    /// Head identifier of the declared return type (`-> String` →
+    /// `Some("String")`, `-> Vec<u8>` → `Some("Vec")`); `None` for
+    /// borrowed returns (`-> &str`), unit returns, and bodyless
+    /// declarations. Consumed by the borrow-not-own rule.
+    pub(crate) ret: Option<String>,
 }
 
 /// A `pub` item declaration (dead-pub candidate). Restricted visibility
@@ -313,6 +353,36 @@ const MUT_METHODS: &[&str] = &[
     "remove",
     "truncate",
 ];
+
+/// Growth methods on std containers: each call may reallocate its
+/// receiver. The subset of mutators the alloc-budget rule classifies by
+/// loop depth and capacity-hint state (`push_str` grows `String` but is
+/// not order-sensitive, so it is absent from [`MUT_METHODS`]).
+const GROWTH_METHODS: &[&str] = &[
+    "append",
+    "extend",
+    "extend_from_slice",
+    "insert",
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+];
+
+/// Clone-family methods: each produces an owned copy of its receiver's
+/// data. Recorded with the receiver chain for borrow-not-own resolution.
+const CLONE_METHODS: &[(&str, &str)] = &[
+    ("clone", "clone()"),
+    ("to_owned", "to_owned()"),
+    ("to_string", "to_string()"),
+    ("to_vec", "to_vec()"),
+];
+
+/// Container types that take a capacity hint (`with_capacity`/`reserve`)
+/// — the bindings the capacity-hint prepass tracks. Tree containers
+/// (`BTreeMap`/`BTreeSet`) allocate per node and cannot be hinted, so
+/// their loop growth classifies as data-proportional, not unbounded.
+const HINTABLE_CONTAINERS: &[&str] = &["String", "Vec", "VecDeque"];
 
 /// Order-sensitive atomic operations. Commutative read-modify-writes
 /// (`fetch_add`, `fetch_sub`, `fetch_min`, `fetch_max`) are deliberately
@@ -791,6 +861,8 @@ impl Parser<'_> {
             casts: Vec::new(),
             taints: Vec::new(),
             mut_writes: Vec::new(),
+            allocs: Vec::new(),
+            ret: self.return_head(i + 2, body_start.unwrap_or(j)),
         };
         if is_pub && name != "main" {
             self.push_pub("fn", &name, line);
@@ -803,9 +875,121 @@ impl Parser<'_> {
         let end = self.skip_balanced(start, '{', '}');
         let env = self.type_env(i + 2, start, end.saturating_sub(1));
         let hashes = self.hash_env(i + 2, end.saturating_sub(1));
-        self.analyze_body(start + 1, end.saturating_sub(1), &mut item, &env, &hashes);
+        let containers = self.container_env(i + 2, end.saturating_sub(1));
+        self.analyze_body(start + 1, end.saturating_sub(1), &mut item, &env, &hashes, &containers);
         self.out.fns.push(item);
         end
+    }
+
+    /// Head identifier of the declared return type in the signature span
+    /// `[sig_start, sig_end)`: the first identifier after the `->` arrow
+    /// following the parameter list (`-> Vec<u8>` → `Vec`). Borrowed
+    /// returns (`-> &str`) and missing arrows resolve to `None`. Arrows
+    /// inside the parameter list (closure-typed parameters) are shielded
+    /// by skipping the balanced parens first.
+    fn return_head(&self, sig_start: usize, sig_end: usize) -> Option<String> {
+        let mut r = sig_start;
+        while r < sig_end {
+            match self.punct(r) {
+                Some('<') => r = self.skip_generics(r),
+                Some('(') => {
+                    r = self.skip_balanced(r, '(', ')');
+                    break;
+                }
+                _ => r += 1,
+            }
+        }
+        while r < sig_end {
+            if self.punct(r) == Some('-') && self.punct(r + 1) == Some('>') {
+                if self.punct(r + 2) == Some('&') {
+                    return None; // borrowed return: not owned
+                }
+                return self.ident(r + 2).map(str::to_string);
+            }
+            r += 1;
+        }
+        None
+    }
+
+    /// Capacity-hint state of the function-local container bindings:
+    /// `let [mut] x[: Vec<T>] = Vec::new()` / `String::new()` / `vec![..]` maps `x`
+    /// to `false` (unhinted), `with_capacity` to `true`, and a later
+    /// `x.reserve(..)` / `x.reserve_exact(..)` upgrades the binding to
+    /// hinted. Fields and parameters are absent by construction — their
+    /// capacity discipline belongs to the owner, so growth through them
+    /// classifies as data-proportional, never unbounded.
+    fn container_env(&self, sig_start: usize, body_end: usize) -> BTreeMap<String, bool> {
+        let mut out: BTreeMap<String, bool> = BTreeMap::new();
+        for k in sig_start..body_end {
+            let Some(x) = self.ident(k) else { continue };
+            if matches!(x, "reserve" | "reserve_exact")
+                && self.punct(k.wrapping_sub(1)) == Some('.')
+                && self.punct(k + 1) == Some('(')
+            {
+                if let Some(base) = self.ident(k.wrapping_sub(2)) {
+                    out.insert(base.to_string(), true);
+                }
+                continue;
+            }
+            if self.punct(k.wrapping_sub(1)) == Some(':') {
+                continue; // `a::b` — path segment, not a binding
+            }
+            // Initialiser start: `x = rhs`, or `x: Vec<u32> = rhs` with the
+            // type ascription (a single `:`, never the `::` of a path)
+            // skipped to its `=` under angle-bracket tracking.
+            let r = if self.punct(k + 1) == Some('=') {
+                k + 2
+            } else if self.punct(k + 1) == Some(':') && self.punct(k + 2) != Some(':') {
+                match self.skip_type_ascription(k + 2, body_end) {
+                    Some(eq) => eq + 1,
+                    None => continue,
+                }
+            } else {
+                continue;
+            };
+            // `x = vec![..]` — zero capacity hint unless upgraded later.
+            if self.ident(r) == Some("vec") && self.punct(r + 1) == Some('!') {
+                out.insert(x.to_string(), false);
+                continue;
+            }
+            // `x = <Container>::{new, with_capacity, default}(..)`.
+            let Some(container) = self.ident(r) else { continue };
+            if !HINTABLE_CONTAINERS.contains(&container)
+                || self.punct(r + 1) != Some(':')
+                || self.punct(r + 2) != Some(':')
+            {
+                continue;
+            }
+            match self.ident(r + 3) {
+                Some("new" | "default") => {
+                    out.insert(x.to_string(), false);
+                }
+                Some("with_capacity") => {
+                    out.insert(x.to_string(), true);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// From the first token of a `let` type ascription, the index of the
+    /// `=` that ends it — `<`/`>` tracked so generic arguments' commas and
+    /// nested paths don't confuse the scan. `None` when the binding has no
+    /// initialiser (`;` at depth zero) or the annotation is implausibly
+    /// long for a container binding.
+    fn skip_type_ascription(&self, from: usize, body_end: usize) -> Option<usize> {
+        let mut angle = 0i32;
+        for j in from..body_end.min(from + 24) {
+            match self.punct(j) {
+                Some('<') => angle += 1,
+                Some('>') => angle -= 1,
+                Some('=') if angle == 0 => return Some(j),
+                Some(';') | Some('{') if angle == 0 => return None,
+                _ => {}
+            }
+        }
+        None
     }
 
     /// Identifiers bound to a `HashMap`/`HashSet` within this function:
@@ -899,8 +1083,16 @@ impl Parser<'_> {
     }
 
     /// Walk a function body `[start, end)` collecting call, panic, lock,
-    /// and cast sites. `env` is the function's intra-procedural type
-    /// environment (see [`Parser::type_env`]).
+    /// cast, and allocation sites. `env` is the function's
+    /// intra-procedural type environment (see [`Parser::type_env`]);
+    /// `containers` the capacity-hint state of its local container
+    /// bindings (see [`Parser::container_env`]).
+    ///
+    /// Loop depth is tracked through `for`/`while`/`loop` keywords: the
+    /// next `{` after one opens a loop body, and any site inside an open
+    /// loop body is loop-carried. Closure bodies passed to iterator
+    /// adapters are not loops to this model — a missed `for_each` growth
+    /// classifies bounded (a false negative), never unbounded.
     fn analyze_body(
         &self,
         start: usize,
@@ -908,13 +1100,27 @@ impl Parser<'_> {
         item: &mut FnItem,
         env: &BTreeMap<String, String>,
         hashes: &std::collections::BTreeSet<String>,
+        containers: &BTreeMap<String, bool>,
     ) {
         let mut depth = 0usize; // brace depth relative to the body
+        let mut loop_stack: Vec<usize> = Vec::new(); // depths of open loop bodies
+        let mut pending_loop = false; // saw for/while/loop, body `{` not yet open
         let mut i = start;
         while i < end {
             match &self.toks.get(i).map(|t| t.tok.clone()) {
-                Some(Tok::Punct('{')) => depth += 1,
-                Some(Tok::Punct('}')) => depth = depth.saturating_sub(1),
+                Some(Tok::Punct('{')) => {
+                    depth += 1;
+                    if pending_loop {
+                        loop_stack.push(depth);
+                        pending_loop = false;
+                    }
+                }
+                Some(Tok::Punct('}')) => {
+                    if loop_stack.last() == Some(&depth) {
+                        loop_stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
                 Some(Tok::Punct(op @ ('+' | '-' | '*' | '/' | '%')))
                     if self.punct(i + 1) == Some('=') =>
                 {
@@ -932,12 +1138,28 @@ impl Parser<'_> {
                     }
                 }
                 Some(Tok::Ident(id)) => {
+                    if matches!(id.as_str(), "for" | "while" | "loop") {
+                        pending_loop = true;
+                    }
                     if let Some((_, what)) = PANIC_MACROS.iter().find(|(m, _)| m == id) {
                         if self.punct(i + 1) == Some('!') {
                             item.panics.push(PanicSite { line: self.line(i), what });
                             i += 2;
                             continue;
                         }
+                    }
+                    if self.punct(i + 1) == Some('!') && matches!(id.as_str(), "format" | "vec") {
+                        let (what, class) = if id == "format" {
+                            ("format!", AllocClass::DataProportional)
+                        } else {
+                            ("vec![]", AllocClass::Bounded)
+                        };
+                        item.allocs.push(AllocSite {
+                            line: self.line(i),
+                            what,
+                            class,
+                            receiver: Vec::new(),
+                        });
                     }
                     if id == "as" && i > start {
                         if let Some(to) = self.ident(i + 1).filter(|t| NUMERIC_TARGETS.contains(t))
@@ -971,6 +1193,9 @@ impl Parser<'_> {
                                 op: id.clone(),
                                 via,
                             });
+                        }
+                        if is_method {
+                            self.alloc_site(i, id, start, !loop_stack.is_empty(), containers, item);
                         }
                         let arg0 = if self.punct(i + 1) == Some('(')
                             && matches!(self.punct(i + 3), Some(',') | Some(')'))
@@ -1006,6 +1231,31 @@ impl Parser<'_> {
                             && self.ident(i.wrapping_sub(1)) != Some("fn")
                         {
                             let path = self.collect_path_backward(i);
+                            if let [.., container, ctor] = path.as_slice() {
+                                let hit = match (container.as_str(), ctor.as_str()) {
+                                    (_, "with_capacity") => {
+                                        Some(("with_capacity", AllocClass::Bounded))
+                                    }
+                                    ("Vec", "new") => Some(("Vec::new", AllocClass::Bounded)),
+                                    ("String", "new") => Some(("String::new", AllocClass::Bounded)),
+                                    ("VecDeque", "new") => {
+                                        Some(("VecDeque::new", AllocClass::Bounded))
+                                    }
+                                    ("Box", "new") => Some(("Box::new", AllocClass::Bounded)),
+                                    ("String", "from") => {
+                                        Some(("String::from", AllocClass::DataProportional))
+                                    }
+                                    _ => None,
+                                };
+                                if let Some((what, class)) = hit {
+                                    item.allocs.push(AllocSite {
+                                        line: self.line(i),
+                                        what,
+                                        class,
+                                        receiver: Vec::new(),
+                                    });
+                                }
+                            }
                             item.calls.push(CallSite {
                                 target: CallTarget::Path(path),
                                 line: self.line(i),
@@ -1138,6 +1388,54 @@ impl Parser<'_> {
             op: format!("{op}="),
             via,
         });
+    }
+
+    /// Record the allocation site begun by the method-call identifier at
+    /// `i`, if it is one: container growth (classified by loop depth and
+    /// the receiver's capacity-hint state), a clone-family copy (receiver
+    /// chain kept for borrow-not-own), or a `collect`.
+    fn alloc_site(
+        &self,
+        i: usize,
+        id: &str,
+        start: usize,
+        in_loop: bool,
+        containers: &BTreeMap<String, bool>,
+        item: &mut FnItem,
+    ) {
+        if let Some(what) = GROWTH_METHODS.iter().copied().find(|m| *m == id) {
+            let receiver = self.receiver_chain(i - 1, start.saturating_sub(1));
+            let class = match receiver.as_slice() {
+                // A known local binding: unhinted growth inside a loop is
+                // the unbounded class; a capacity hint bounds it.
+                [base] if !base.ends_with("()") => match (containers.get(base.as_str()), in_loop) {
+                    (Some(false), true) => AllocClass::Unbounded,
+                    (None, true) => AllocClass::DataProportional,
+                    _ => AllocClass::Bounded,
+                },
+                // Field/parameter/chained receivers: the capacity
+                // discipline is the owner's, so loop growth scales with
+                // data but is never charged as unbounded here.
+                _ if in_loop => AllocClass::DataProportional,
+                _ => AllocClass::Bounded,
+            };
+            item.allocs.push(AllocSite { line: self.line(i), what, class, receiver });
+        } else if let Some((_, what)) = CLONE_METHODS.iter().find(|(m, _)| *m == id) {
+            let receiver = self.receiver_chain(i - 1, start.saturating_sub(1));
+            item.allocs.push(AllocSite {
+                line: self.line(i),
+                what,
+                class: AllocClass::DataProportional,
+                receiver,
+            });
+        } else if id == "collect" {
+            item.allocs.push(AllocSite {
+                line: self.line(i),
+                what: "collect()",
+                class: AllocClass::DataProportional,
+                receiver: Vec::new(),
+            });
+        }
     }
 
     /// Is the identifier at `i` the head of a call — followed by `(`,
@@ -1795,7 +2093,8 @@ mod tests {
 
     #[test]
     fn atomic_store_recorded_but_fetch_add_exempt() {
-        let m = model("fn f(&self) { self.seq.store(1, Relaxed); self.seq.fetch_add(1, Relaxed); }\n");
+        let m =
+            model("fn f(&self) { self.seq.store(1, Relaxed); self.seq.fetch_add(1, Relaxed); }\n");
         let ops: Vec<&str> = m.fns[0].mut_writes.iter().map(|w| w.op.as_str()).collect();
         assert_eq!(ops, vec!["store"], "fetch_add is commutative, store is not");
     }
@@ -1818,5 +2117,115 @@ mod tests {
         let m = model("fn live() {}\n#[cfg(test)]\nmod tests { fn dead() { x.unwrap(); } }\n");
         assert_eq!(m.fns.len(), 1);
         assert_eq!(m.fns[0].name, "live");
+    }
+
+    #[test]
+    fn return_heads_owned_vs_borrowed() {
+        let m = model(
+            "fn a() -> String { String::new() }\n\
+             fn b(s: &str) -> &str { s }\n\
+             fn c() -> Vec<u8> { Vec::new() }\n\
+             fn d() {}\n\
+             fn e<T: Fn() -> u32>(g: T) -> Vec<u8> { drop(g); Vec::new() }\n",
+        );
+        let rets: Vec<Option<&str>> = m.fns.iter().map(|f| f.ret.as_deref()).collect();
+        assert_eq!(rets, vec![Some("String"), None, Some("Vec"), None, Some("Vec")]);
+    }
+
+    #[test]
+    fn alloc_sites_classified_by_loop_and_hint() {
+        let m = model(
+            "fn f(items: &[u32]) -> Vec<u32> {\n\
+                 let mut out = Vec::new();\n\
+                 for x in items { out.push(*x); }\n\
+                 let mut hinted = Vec::with_capacity(8);\n\
+                 while go() { hinted.push(1); }\n\
+                 let mut once = Vec::new();\n\
+                 once.push(1);\n\
+                 out\n\
+             }\n",
+        );
+        let view: Vec<(&str, AllocClass)> =
+            m.fns[0].allocs.iter().map(|a| (a.what, a.class)).collect();
+        assert_eq!(
+            view,
+            vec![
+                ("Vec::new", AllocClass::Bounded),
+                ("push", AllocClass::Unbounded), // unhinted local, loop-carried
+                ("with_capacity", AllocClass::Bounded),
+                ("push", AllocClass::Bounded), // capacity-hinted local
+                ("Vec::new", AllocClass::Bounded),
+                ("push", AllocClass::Bounded), // outside any loop
+            ]
+        );
+    }
+
+    #[test]
+    fn reserve_upgrades_a_binding_to_hinted() {
+        let m = model(
+            "fn f(items: &[u32]) {\n\
+                 let mut out = Vec::new();\n\
+                 out.reserve(items.len());\n\
+                 for x in items { out.push(*x); }\n\
+             }\n",
+        );
+        assert!(
+            m.fns[0].allocs.iter().all(|a| a.class != AllocClass::Unbounded),
+            "{:?}",
+            m.fns[0].allocs
+        );
+    }
+
+    #[test]
+    fn growth_through_field_or_param_is_data_proportional() {
+        let m = model(
+            "fn f(&mut self, xs: &[u8], out: &mut String) {\n\
+                 for x in xs { self.buf.push(*x); out.push_str(\"y\"); }\n\
+             }\n",
+        );
+        let classes: Vec<AllocClass> = m.fns[0].allocs.iter().map(|a| a.class).collect();
+        assert_eq!(classes, vec![AllocClass::DataProportional, AllocClass::DataProportional]);
+    }
+
+    #[test]
+    fn clone_family_records_receiver_chain() {
+        let m = model(
+            "struct SearchEngine;\n\
+             impl SearchEngine {\n\
+                 fn name(&self) -> String { self.meta.name.clone() }\n\
+             }\n",
+        );
+        let a = &m.fns[0].allocs;
+        assert_eq!(a.len(), 1, "{a:?}");
+        assert_eq!(a[0].what, "clone()");
+        assert_eq!(a[0].class, AllocClass::DataProportional);
+        assert_eq!(a[0].receiver, vec!["self", "meta", "name"]);
+        assert_eq!(m.fns[0].ret.as_deref(), Some("String"));
+    }
+
+    #[test]
+    fn macro_and_ctor_alloc_sites() {
+        let m = model(
+            "fn f(n: u32) -> String {\n\
+                 let v = vec![1, 2];\n\
+                 let b = Box::new(n);\n\
+                 let s = String::from(\"x\");\n\
+                 let c: Vec<u32> = v.iter().copied().collect();\n\
+                 drop((b, c));\n\
+                 format!(\"{n} {s}\")\n\
+             }\n",
+        );
+        let view: Vec<(&str, AllocClass)> =
+            m.fns[0].allocs.iter().map(|a| (a.what, a.class)).collect();
+        assert_eq!(
+            view,
+            vec![
+                ("vec![]", AllocClass::Bounded),
+                ("Box::new", AllocClass::Bounded),
+                ("String::from", AllocClass::DataProportional),
+                ("collect()", AllocClass::DataProportional),
+                ("format!", AllocClass::DataProportional),
+            ]
+        );
     }
 }

@@ -36,10 +36,17 @@
 //! encoders and decoders, enforces encode/decode symmetry and decode-loop
 //! totality, and gates layout drift against the committed
 //! `results/SNAPSHOT_schema.json` golden unless `FORMAT_VERSION` is
-//! bumped.
+//! bumped. The v6 analyzer adds a sixth pass paving the zero-copy serve
+//! path: an allocation-flow rule ([`allocflow`]) that classifies every
+//! allocation site reachable from an entry point on a boundedness lattice
+//! (bounded / data-proportional / unbounded-per-request), records a
+//! per-entry allocation budget, and flags snapshot-resident accessors
+//! that clone owned `String`/`Vec` values out of snapshot state instead
+//! of lending borrows.
 
 #![forbid(unsafe_code)]
 
+pub mod allocflow;
 pub mod callgraph;
 pub mod items;
 pub mod layering;

@@ -149,6 +149,10 @@ pub(crate) const LOCK_EXEMPT_METHODS: &[&str] = &[
 pub struct EntryStats {
     /// Entry label.
     pub label: String,
+    /// Whether this entry is on the request-serving path (per-request
+    /// gates — panic freedom, the alloc-budget hard zero — apply only
+    /// when true; mains and loaders run once and only carry budgets).
+    pub serve_path: bool,
     /// Number of root functions matching the spec.
     pub roots: usize,
     /// Size of the transitively reachable function set.
@@ -171,6 +175,16 @@ pub struct EntryStats {
     pub taint_flows: usize,
     /// Shard-safety violation sites in the reachable set (pass 4).
     pub shard_violations: usize,
+    /// Constant-size or capacity-hinted allocation sites in the reachable
+    /// set (pass 6).
+    pub alloc_bounded: usize,
+    /// Allocation sites scaling with result/snapshot size (pass 6).
+    pub alloc_data: usize,
+    /// Loop-carried growth sites with no capacity hint (pass 6; hard zero
+    /// gate on the serve path).
+    pub alloc_unbounded: usize,
+    /// Snapshot-resident accessors returning owned clones (pass 6).
+    pub borrow_not_own: usize,
 }
 
 /// Outcome of the graph-rule pass.
@@ -298,6 +312,7 @@ pub(crate) fn check(graph: &CallGraph, panic_free_files: &BTreeSet<String>) -> R
 
         out.entry_stats.push(EntryStats {
             label: spec.label.to_string(),
+            serve_path: spec.serve_path,
             roots: roots.len(),
             reachable: parent.len(),
             reachable_panics: entry_panics.len(),
@@ -307,6 +322,10 @@ pub(crate) fn check(graph: &CallGraph, panic_free_files: &BTreeSet<String>) -> R
             cast_sites: 0,       // filled by pass 3 (numflow)
             taint_flows: 0,      // filled by pass 4 (taint)
             shard_violations: 0, // filled by pass 4 (shardsafe)
+            alloc_bounded: 0,    // filled by pass 6 (allocflow)
+            alloc_data: 0,
+            alloc_unbounded: 0,
+            borrow_not_own: 0,
         });
     }
 

@@ -115,6 +115,21 @@ impl Report {
         self.findings.iter().filter(|f| f.rule == "wire-drift").count()
     }
 
+    /// Unbounded-per-request allocation findings, *including waived
+    /// ones* — a waived unbounded allocation still grows per request, so
+    /// the CI hard zero gate cannot be bypassed with an annotation.
+    #[must_use]
+    pub fn alloc_unbounded(&self) -> usize {
+        self.findings.iter().filter(|f| f.rule == "alloc-budget").count()
+    }
+
+    /// Borrow-not-own findings, *including waived ones* — same
+    /// annotation-proof CI gate as `alloc_unbounded`.
+    #[must_use]
+    pub fn borrow_not_own(&self) -> usize {
+        self.findings.iter().filter(|f| f.rule == "borrow-not-own").count()
+    }
+
     /// Sort findings and allows into the canonical report order.
     pub fn normalise(&mut self) {
         self.findings.sort_by(|a, b| {
@@ -142,7 +157,7 @@ impl Report {
         let mut s = String::new();
         s.push_str("{\n  \"meta\": {\n");
         let _ = writeln!(s, "    \"tool\": \"snaps-lint\",");
-        let _ = writeln!(s, "    \"schema_version\": 5,");
+        let _ = writeln!(s, "    \"schema_version\": 6,");
         let _ = writeln!(s, "    \"root\": {},", json_str(&self.root));
         let _ = writeln!(s, "    \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(s, "    \"manifests_checked\": {}", self.manifests_checked);
@@ -155,11 +170,13 @@ impl Report {
             let comma = if i + 1 < n { "," } else { "" };
             let _ = writeln!(
                 s,
-                "      {{\"label\": {}, \"roots\": {}, \"reachable\": {}, \
+                "      {{\"label\": {}, \"serve_path\": {}, \"roots\": {}, \"reachable\": {}, \
                  \"reachable_panics\": {}, \"lock_nodes\": {}, \"lock_edges\": {}, \
                  \"lock_cycles\": {}, \"cast_sites\": {}, \"taint_flows\": {}, \
-                 \"shard_violations\": {}}}{comma}",
+                 \"shard_violations\": {}, \"alloc_bounded\": {}, \"alloc_data\": {}, \
+                 \"alloc_unbounded\": {}, \"borrow_not_own\": {}}}{comma}",
                 json_str(&e.label),
+                e.serve_path,
                 e.roots,
                 e.reachable,
                 e.reachable_panics,
@@ -168,7 +185,11 @@ impl Report {
                 e.lock_cycles,
                 e.cast_sites,
                 e.taint_flows,
-                e.shard_violations
+                e.shard_violations,
+                e.alloc_bounded,
+                e.alloc_data,
+                e.alloc_unbounded,
+                e.borrow_not_own
             );
         }
         s.push_str("    ],\n    \"shard_roots\": [\n");
@@ -258,6 +279,8 @@ impl Report {
         let _ = writeln!(s, "    \"wire_asymmetries\": {},", self.wire_asymmetries());
         let _ = writeln!(s, "    \"wire_totality\": {},", self.wire_totality());
         let _ = writeln!(s, "    \"wire_drift\": {},", self.wire_drift());
+        let _ = writeln!(s, "    \"alloc_unbounded\": {},", self.alloc_unbounded());
+        let _ = writeln!(s, "    \"borrow_not_own\": {},", self.borrow_not_own());
         let _ = writeln!(s, "    \"clean\": {}", self.clean());
         s.push_str("  }\n}\n");
         s
@@ -292,7 +315,8 @@ impl Report {
                 s,
                 "  entry {}: {} roots, {} reachable, {} reachable panic sites; locks: {} \
                  keys, {} order edges, {} cycles; {} cast sites; {} taint flows, {} shard \
-                 violations",
+                 violations; allocs {}/{}/{} (bounded/data/unbounded), {} owned-clone \
+                 accessors",
                 e.label,
                 e.roots,
                 e.reachable,
@@ -302,7 +326,11 @@ impl Report {
                 e.lock_cycles,
                 e.cast_sites,
                 e.taint_flows,
-                e.shard_violations
+                e.shard_violations,
+                e.alloc_bounded,
+                e.alloc_data,
+                e.alloc_unbounded,
+                e.borrow_not_own
             );
         }
         for r in &self.callgraph.shard_roots {
@@ -404,6 +432,7 @@ mod tests {
                 edges: 3,
                 entry_points: vec![EntryStats {
                     label: "GET /search".into(),
+                    serve_path: true,
                     roots: 1,
                     reachable: 3,
                     reachable_panics: 0,
@@ -413,6 +442,10 @@ mod tests {
                     cast_sites: 2,
                     taint_flows: 0,
                     shard_violations: 0,
+                    alloc_bounded: 4,
+                    alloc_data: 2,
+                    alloc_unbounded: 0,
+                    borrow_not_own: 0,
                 }],
                 shard_roots: vec![ShardRootStat {
                     stage: "blocking",
@@ -442,8 +475,14 @@ mod tests {
         r.normalise();
         let json = r.to_json();
         assert!(json.contains("\"tool\": \"snaps-lint\""));
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains("\"taint_flows\": 0, \"shard_violations\": 0"));
+        assert!(json.contains("\"label\": \"GET /search\", \"serve_path\": true"));
+        assert!(json.contains(
+            "\"alloc_bounded\": 4, \"alloc_data\": 2, \"alloc_unbounded\": 0, \
+             \"borrow_not_own\": 0"
+        ));
+        assert!(json.contains("\"alloc_unbounded\": 0,"));
         assert!(json.contains("\"stage\": \"blocking\""));
         assert!(json.contains("\"format_version\": 1"));
         assert!(json.contains(

@@ -199,6 +199,23 @@ pub const RULES: &[RuleInfo] = &[
                       u32/u64 read: no wire field may drive an unchecked allocation or \
                       loop on the snapshot load path",
     },
+    RuleInfo {
+        name: "alloc-budget",
+        description: "every allocation site reachable from a serve entry point is \
+                      classified bounded / data-proportional / unbounded-per-request; \
+                      loop-carried growth on a container constructed without a capacity \
+                      hint in the same fn is unbounded and fails the hard zero gate — \
+                      add with_capacity/reserve or hoist a reusable buffer; the \
+                      bounded/data-proportional budgets are ratcheted per entry",
+    },
+    RuleInfo {
+        name: "borrow-not-own",
+        description: "a fn reachable from a serve entry, defined on a snapshot-resident \
+                      type (SearchEngine, PedigreeGraph, the indexes), must not return \
+                      an owned String/Vec built by clone/to_owned/to_string/to_vec on \
+                      self state: lend &str/slices instead so the zero-copy snapshot \
+                      layout can borrow from the buffer",
+    },
 ];
 
 /// Maximum allow-annotations tolerated workspace-wide. Lowered from 40 to

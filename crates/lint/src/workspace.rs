@@ -5,6 +5,7 @@
 //! descent and all paths are reported repo-relative with `/` separators, so
 //! report bytes are stable across platforms and runs.
 
+use crate::allocflow;
 use crate::callgraph::CallGraph;
 use crate::items::{self, FileItems};
 use crate::layering;
@@ -145,9 +146,11 @@ fn has_forbid_unsafe(tokens: &[scanner::Spanned]) -> bool {
 /// pass 4 runs the parallel-readiness rules (determinism-taint,
 /// shard-safety) over it; pass 5 extracts the snapshot wire schema from
 /// the codec files and enforces encode/decode symmetry, decode-loop
-/// totality, and drift against the committed schema golden. Waivers are
-/// then applied to the merged per-file findings and each one is checked
-/// for staleness.
+/// totality, and drift against the committed schema golden; pass 6
+/// classifies every entry-reachable allocation site on the boundedness
+/// lattice and flags owned clones out of snapshot-resident state
+/// (alloc-budget, borrow-not-own). Waivers are then applied to the merged
+/// per-file findings and each one is checked for staleness.
 pub fn run(root: &Path) -> io::Result<Report> {
     let files = workspace_files(root)?;
     let mut allows: Vec<(String, scanner::Annotation)> = Vec::new();
@@ -245,6 +248,9 @@ pub fn run(root: &Path) -> io::Result<Report> {
         }
     }
     let shards = shardsafe::check(&graph, &shared_statics, &locks.known_keys);
+    // Pass 6: allocation-flow classification and snapshot-ownership
+    // accessors over the same graph.
+    let allocs = allocflow::check(&graph);
     let mut entry_points = outcome.entry_stats;
     for (i, e) in entry_points.iter_mut().enumerate() {
         if let Some(ls) = locks.per_entry.get(i) {
@@ -261,6 +267,12 @@ pub fn run(root: &Path) -> io::Result<Report> {
         if let Some(&sv) = shards.per_entry.get(i) {
             e.shard_violations = sv;
         }
+        if let Some(&ab) = allocs.per_entry.get(i) {
+            e.alloc_bounded = ab.bounded;
+            e.alloc_data = ab.data_proportional;
+            e.alloc_unbounded = ab.unbounded;
+            e.borrow_not_own = ab.borrow_not_own;
+        }
     }
     let callgraph = CallGraphStats {
         nodes: graph.fns.len(),
@@ -276,6 +288,7 @@ pub fn run(root: &Path) -> io::Result<Report> {
     graph_findings.extend(casts.findings);
     graph_findings.extend(taints.findings);
     graph_findings.extend(shards.findings);
+    graph_findings.extend(allocs.findings);
     graph_findings.extend(wire.findings);
     graph_findings.extend(reach::check_dead_pub(&items_by_file, &idents_by_file));
     for f in graph_findings {

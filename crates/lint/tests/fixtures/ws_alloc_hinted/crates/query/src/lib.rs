@@ -1,0 +1,14 @@
+//! Bottom of the fixture chain: the same loop-carried growth as
+//! `ws_alloc_unbounded`, made bounded by the `with_capacity` hint.
+
+pub fn run_query() -> Vec<u32> {
+    let mut hits: Vec<u32> = Vec::with_capacity(16);
+    for i in candidates() {
+        hits.push(i);
+    }
+    hits
+}
+
+fn candidates() -> Vec<u32> {
+    Vec::with_capacity(4)
+}

@@ -1,0 +1,8 @@
+//! Fixture workspace: same pipeline shape as `ws_alloc_unbounded`, but
+//! the accumulator is constructed with a capacity hint — the bounded
+//! shape the alloc-budget rule must accept.
+use snaps_query::run_query;
+
+pub fn search() {
+    run_query();
+}

@@ -1,0 +1,15 @@
+//! Bottom of the fixture chain: a per-request accumulator constructed
+//! without a capacity hint and grown inside a loop — the unbounded class
+//! the hard zero gate must reject.
+
+pub fn run_query() -> Vec<u32> {
+    let mut hits: Vec<u32> = Vec::new();
+    for i in candidates() {
+        hits.push(i);
+    }
+    hits
+}
+
+fn candidates() -> Vec<u32> {
+    Vec::with_capacity(4)
+}

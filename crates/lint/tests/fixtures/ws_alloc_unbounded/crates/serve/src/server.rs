@@ -1,0 +1,8 @@
+//! Fixture workspace: the `GET /search` handler reaches a loop-carried
+//! `push` on an un-capacity-hinted local one crate away. Only the pass-6
+//! graph rule can see the chain from the entry to the growth site.
+use snaps_query::run_query;
+
+pub fn search() {
+    run_query();
+}

@@ -1,0 +1,13 @@
+//! Bottom of the fixture chain: a snapshot-resident type whose accessor
+//! returns an owned `String` built by cloning `self` state — the copy the
+//! zero-copy layout must eliminate.
+
+pub struct Snapshot {
+    name: String,
+}
+
+impl Snapshot {
+    pub fn title(&self) -> String {
+        self.name.clone()
+    }
+}

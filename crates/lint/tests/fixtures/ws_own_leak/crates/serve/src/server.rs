@@ -1,0 +1,8 @@
+//! Fixture workspace: the `GET /search` handler reaches a
+//! snapshot-resident accessor that clones owned state out instead of
+//! lending it — the borrow-not-own shape pass 6 must flag.
+use snaps_index::Snapshot;
+
+pub fn search(snap: &Snapshot) {
+    snap.title();
+}

@@ -409,6 +409,65 @@ fn ws_shard_clean_fixture_accepts_the_local_accumulator() {
     }
 }
 
+#[test]
+fn ws_alloc_unbounded_fixture_flags_the_loop_carried_push() {
+    let report = fixture_ws("ws_alloc_unbounded");
+    let allocs = active_by_rule(&report, "alloc-budget");
+    assert_eq!(allocs.len(), 1, "{allocs:?}");
+    let f = allocs[0];
+    assert_eq!(f.file, "crates/query/src/lib.rs");
+    assert!(f.message.contains("GET /search"), "entry named: {}", f.message);
+    assert!(
+        f.message.contains("serve::server::search → query::run_query"),
+        "entry chain printed: {}",
+        f.message
+    );
+    assert!(f.message.contains("with_capacity/reserve"), "fix named: {}", f.message);
+    let search = report
+        .callgraph
+        .entry_points
+        .iter()
+        .find(|e| e.label == "GET /search")
+        .expect("search entry");
+    assert_eq!(search.alloc_unbounded, 1, "{search:?}");
+}
+
+#[test]
+fn ws_alloc_hinted_fixture_is_clean_and_counts_bounded_sites() {
+    let report = fixture_ws("ws_alloc_hinted");
+    assert!(
+        active_by_rule(&report, "alloc-budget").is_empty(),
+        "capacity-hinted growth is bounded: {report:?}"
+    );
+    let search = report
+        .callgraph
+        .entry_points
+        .iter()
+        .find(|e| e.label == "GET /search")
+        .expect("search entry");
+    assert_eq!(search.alloc_unbounded, 0, "{search:?}");
+    assert!(search.alloc_bounded >= 2, "ctor + hinted push both counted: {search:?}");
+}
+
+#[test]
+fn ws_own_leak_fixture_flags_the_owned_clone_accessor() {
+    let report = fixture_ws("ws_own_leak");
+    let leaks = active_by_rule(&report, "borrow-not-own");
+    assert_eq!(leaks.len(), 1, "{leaks:?}");
+    let f = leaks[0];
+    assert_eq!(f.file, "crates/index/src/lib.rs");
+    assert!(f.message.contains("Snapshot"), "resident type named: {}", f.message);
+    assert!(f.message.contains("GET /search"), "entry named: {}", f.message);
+    assert!(f.message.contains("lend a &str/slice"), "fix named: {}", f.message);
+    let search = report
+        .callgraph
+        .entry_points
+        .iter()
+        .find(|e| e.label == "GET /search")
+        .expect("search entry");
+    assert_eq!(search.borrow_not_own, 1, "{search:?}");
+}
+
 fn real_workspace_root() -> std::path::PathBuf {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
@@ -493,8 +552,57 @@ fn workspace_shard_roots_resolve_clean_and_pass4_section_is_deterministic() {
     };
     let (a, b) = (first.to_json(), second.to_json());
     assert_eq!(pass4_section(&a), pass4_section(&b), "pass-4 section must be byte-stable");
-    assert!(a.contains("\"schema_version\": 5"), "schema bumped for the pass-5 fields");
+    assert!(a.contains("\"schema_version\": 6"), "schema bumped for the pass-6 fields");
     for rule in ["determinism-taint", "shard-safety", "forbid-unsafe"] {
+        assert!(a.contains(&format!("\"{rule}\"")), "rule {rule} enumerated in the report");
+    }
+}
+
+/// Pass 6 acceptance on the real workspace: every serve-path entry's
+/// budget has zero unbounded-per-request allocation sites and zero
+/// owned-clone snapshot accessors (mains and loaders run once, so their
+/// budgets are recorded but not gated), the serve entries actually see
+/// allocation sites (the pass is live, not vacuous), and the pass-6
+/// columns are byte-deterministic across a double run.
+#[test]
+fn workspace_alloc_budgets_are_clean_and_pass6_section_is_deterministic() {
+    let root = real_workspace_root();
+    let first = workspace::run(&root).expect("walk workspace");
+    let second = workspace::run(&root).expect("walk workspace again");
+
+    for e in first.callgraph.entry_points.iter().filter(|e| e.serve_path) {
+        assert_eq!(
+            e.alloc_unbounded, 0,
+            "serve entry '{}' reaches an unbounded per-request allocation",
+            e.label
+        );
+        assert_eq!(
+            e.borrow_not_own, 0,
+            "serve entry '{}' reaches an owned-clone snapshot accessor",
+            e.label
+        );
+    }
+    assert!(
+        first.callgraph.entry_points.iter().any(|e| e.alloc_bounded > 0 && e.alloc_data > 0),
+        "the pass sees real allocation sites: {:?}",
+        first.callgraph.entry_points
+    );
+
+    // Byte-determinism of the pass-6 report columns: every line carrying a
+    // per-entry budget or a summary gate count.
+    let pass6_section = |json: &str| -> String {
+        json.lines()
+            .filter(|l| {
+                l.contains("\"alloc_bounded\"")
+                    || l.contains("\"alloc_unbounded\"")
+                    || l.contains("\"borrow_not_own\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (a, b) = (first.to_json(), second.to_json());
+    assert_eq!(pass6_section(&a), pass6_section(&b), "pass-6 section must be byte-stable");
+    for rule in ["alloc-budget", "borrow-not-own"] {
         assert!(a.contains(&format!("\"{rule}\"")), "rule {rule} enumerated in the report");
     }
 }

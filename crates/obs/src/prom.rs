@@ -59,28 +59,31 @@ fn write_histogram(out: &mut String, name: &str, h: &HistogramReport) {
     let _ = writeln!(out, "{full}_count {}", h.count);
 }
 
-/// Render `report` in the Prometheus text exposition format (version
-/// 0.0.4). See the module docs for the naming scheme.
-#[must_use]
-pub(crate) fn render(report: &RunReport) -> String {
-    let mut out = String::new();
+/// Append `report` in the Prometheus text exposition format (version
+/// 0.0.4) to `out`. See the module docs for the naming scheme.
+pub(crate) fn render_into(report: &RunReport, out: &mut String) {
+    // Two exposition lines (~64 bytes) per counter/gauge, a dozen or so
+    // per histogram; sizing both buffers up front keeps the per-request
+    // render free of mid-loop regrowth.
+    out.reserve(
+        128 * (report.counters.len() + report.gauges.len()) + 1024 * report.histograms.len(),
+    );
     for (name, value) in &report.counters {
-        let mut full = String::new();
+        let mut full = String::with_capacity(name.len() + 16);
         metric_name(&mut full, name);
         full.push_str("_total");
         let _ = writeln!(out, "# TYPE {full} counter");
         let _ = writeln!(out, "{full} {value}");
     }
     for (name, value) in &report.gauges {
-        let mut full = String::new();
+        let mut full = String::with_capacity(name.len() + 16);
         metric_name(&mut full, name);
         let _ = writeln!(out, "# TYPE {full} gauge");
         let _ = writeln!(out, "{full} {value}");
     }
     for (name, h) in &report.histograms {
-        write_histogram(&mut out, name, h);
+        write_histogram(out, name, h);
     }
-    out
 }
 
 #[cfg(test)]

@@ -110,61 +110,84 @@ impl RunReport {
     /// see the `prom` module docs for the exact naming rules.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
-        crate::prom::render(self)
+        let mut out = String::new();
+        self.render_prometheus(&mut out);
+        out
+    }
+
+    /// Append the Prometheus exposition to `out` — the allocation-free
+    /// variant serving the `/metrics?format=prom` hot path, which renders
+    /// into a reusable per-worker buffer.
+    pub fn render_prometheus(&self, out: &mut String) {
+        crate::prom::render_into(self, out);
     }
 
     /// Serialise to pretty-printed JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::new();
+        self.render_json(&mut out);
+        out
+    }
+
+    /// Append the pretty-printed JSON report to `out` — the
+    /// allocation-free variant serving the `/metrics` hot path, which
+    /// renders into a reusable per-worker buffer.
+    pub fn render_json(&self, out: &mut String) {
+        // Sized to the entry counts so the per-request render never regrows
+        // mid-loop (each entry line is well under the per-slot estimate).
+        out.reserve(
+            256 + 64 * (self.meta.len() + self.counters.len() + self.gauges.len())
+                + 512 * self.histograms.len()
+                + 256 * self.spans.len(),
+        );
         out.push_str("{\n");
 
-        json::key(&mut out, 1, "meta");
+        json::key(out, 1, "meta");
         out.push_str("{\n");
         for (i, (k, v)) in self.meta.iter().enumerate() {
-            json::key(&mut out, 2, k);
-            json::string(&mut out, v);
+            json::key(out, 2, k);
+            json::string(out, v);
             out.push_str(if i + 1 < self.meta.len() { ",\n" } else { "\n" });
         }
-        json::indent(&mut out, 1);
+        json::indent(out, 1);
         out.push_str("},\n");
 
-        json::key(&mut out, 1, "spans");
-        write_span_array(&mut out, &self.spans, 1);
+        json::key(out, 1, "spans");
+        write_span_array(out, &self.spans, 1);
         out.push_str(",\n");
 
-        json::key(&mut out, 1, "counters");
+        json::key(out, 1, "counters");
         out.push_str("{\n");
         for (i, (k, v)) in self.counters.iter().enumerate() {
-            json::key(&mut out, 2, k);
+            json::key(out, 2, k);
             let _ = write!(out, "{v}");
             out.push_str(if i + 1 < self.counters.len() { ",\n" } else { "\n" });
         }
-        json::indent(&mut out, 1);
+        json::indent(out, 1);
         out.push_str("},\n");
 
-        json::key(&mut out, 1, "gauges");
+        json::key(out, 1, "gauges");
         out.push_str("{\n");
         for (i, (k, v)) in self.gauges.iter().enumerate() {
-            json::key(&mut out, 2, k);
+            json::key(out, 2, k);
             let _ = write!(out, "{v}");
             out.push_str(if i + 1 < self.gauges.len() { ",\n" } else { "\n" });
         }
-        json::indent(&mut out, 1);
+        json::indent(out, 1);
         out.push_str("},\n");
 
-        json::key(&mut out, 1, "histograms");
+        json::key(out, 1, "histograms");
         out.push_str("{\n");
         for (i, (k, h)) in self.histograms.iter().enumerate() {
-            json::key(&mut out, 2, k);
-            write_histogram(&mut out, h, 2);
+            json::key(out, 2, k);
+            write_histogram(out, h, 2);
             out.push_str(if i + 1 < self.histograms.len() { ",\n" } else { "\n" });
         }
-        json::indent(&mut out, 1);
+        json::indent(out, 1);
         out.push_str("}\n");
 
         out.push('}');
-        out
     }
 
     /// Write the JSON report to `path` (trailing newline included).

@@ -63,8 +63,11 @@ impl Request {
     }
 }
 
-fn read_line_limited(r: &mut impl BufRead, limit: usize) -> Result<String, ParseError> {
-    let mut buf = Vec::new();
+/// Read one CRLF/LF-terminated line into `buf` (cleared first), so one
+/// buffer serves the request line and all header lines of a request
+/// instead of a fresh `Vec` + `String` per line.
+fn read_line_into(r: &mut impl BufRead, buf: &mut Vec<u8>, limit: usize) -> Result<(), ParseError> {
+    buf.clear();
     loop {
         let mut byte = 0u8;
         match io_read_exact(r, std::slice::from_mut(&mut byte)) {
@@ -82,7 +85,7 @@ fn read_line_limited(r: &mut impl BufRead, limit: usize) -> Result<String, Parse
     if buf.last() == Some(&b'\r') {
         buf.pop();
     }
-    String::from_utf8(buf).map_err(|_| ParseError::BadRequestLine)
+    Ok(())
 }
 
 fn io_read_exact(r: &mut impl BufRead, buf: &mut [u8]) -> io::Result<()> {
@@ -155,11 +158,18 @@ fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), ParseEr
 /// Read and parse one HTTP/1.1 request (request line + headers) from `r`.
 /// Headers are consumed and discarded; bodies are never read.
 ///
+/// The request line and every header share one line buffer, and headers
+/// are validated as byte slices (they are discarded, so they are never
+/// UTF-8-decoded): the parse allocates only for the owned `Request`
+/// fields, not per line.
+///
 /// # Errors
 /// A typed [`ParseError`] for anything that should answer `400`.
 pub fn parse_request(r: &mut impl BufRead) -> Result<Request, ParseError> {
-    let line = read_line_limited(r, MAX_REQUEST_LINE)?;
-    let mut parts = line.split(' ');
+    let mut line: Vec<u8> = Vec::with_capacity(256);
+    read_line_into(r, &mut line, MAX_REQUEST_LINE)?;
+    let req_line = std::str::from_utf8(&line).map_err(|_| ParseError::BadRequestLine)?;
+    let mut parts = req_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
         _ => return Err(ParseError::BadRequestLine),
@@ -167,13 +177,15 @@ pub fn parse_request(r: &mut impl BufRead) -> Result<Request, ParseError> {
     if !version.starts_with("HTTP/1.") {
         return Err(ParseError::BadRequestLine);
     }
+    // The owned fields are extracted before the header loop reuses `line`.
+    let (path, params) = parse_target(target)?;
+    let method = method.to_string();
     for _ in 0..MAX_HEADERS {
-        let header = read_line_limited(r, MAX_REQUEST_LINE)?;
-        if header.is_empty() {
-            let (path, params) = parse_target(target)?;
-            return Ok(Request { method: method.to_string(), path, params });
+        read_line_into(r, &mut line, MAX_REQUEST_LINE)?;
+        if line.is_empty() {
+            return Ok(Request { method, path, params });
         }
-        if !header.contains(':') {
+        if !line.contains(&b':') {
             return Err(ParseError::BadHeader);
         }
     }
@@ -182,14 +194,18 @@ pub fn parse_request(r: &mut impl BufRead) -> Result<Request, ParseError> {
 
 /// An outgoing response; [`Response::write_to`] emits the full HTTP/1.1
 /// message with `Content-Length` and `Connection: close`.
-#[derive(Debug, Clone)]
-pub struct Response {
+///
+/// The body is borrowed, not owned: handlers render into a reusable
+/// per-worker buffer and the response lends it to the writer, so the
+/// serve path allocates no response memory once the buffer has warmed up.
+#[derive(Debug, Clone, Copy)]
+pub struct Response<'a> {
     /// Status code.
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
-    /// Response body bytes.
-    pub body: Vec<u8>,
+    /// Response body bytes, borrowed from the render buffer.
+    pub body: &'a [u8],
 }
 
 fn reason(status: u16) -> &'static str {
@@ -203,27 +219,27 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-impl Response {
-    /// A JSON response.
+impl<'a> Response<'a> {
+    /// A JSON response borrowing `body`.
     #[must_use]
-    pub fn json(status: u16, body: String) -> Self {
-        Self { status, content_type: "application/json", body: body.into_bytes() }
+    pub fn json(status: u16, body: &'a str) -> Self {
+        Self { status, content_type: "application/json", body: body.as_bytes() }
     }
 
-    /// A plain-text response.
+    /// A plain-text response borrowing `body`.
     #[must_use]
-    pub fn text(status: u16, body: impl Into<String>) -> Self {
-        Self { status, content_type: "text/plain; charset=utf-8", body: body.into().into_bytes() }
+    pub fn text(status: u16, body: &'a str) -> Self {
+        Self { status, content_type: "text/plain; charset=utf-8", body: body.as_bytes() }
     }
 
     /// A `200 OK` response in the Prometheus text exposition format
     /// (version 0.0.4, the content type scrapers negotiate).
     #[must_use]
-    pub fn prometheus(body: String) -> Self {
+    pub fn prometheus(body: &'a str) -> Self {
         Self {
             status: 200,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
-            body: body.into_bytes(),
+            body: body.as_bytes(),
         }
     }
 
@@ -240,7 +256,7 @@ impl Response {
             self.content_type,
             self.body.len()
         )?;
-        w.write_all(&self.body)?;
+        w.write_all(self.body)?;
         w.flush()
     }
 }
@@ -316,7 +332,7 @@ mod tests {
     #[test]
     fn response_wire_format() {
         let mut out = Vec::new();
-        Response::json(200, "{\"ok\":true}".to_string()).write_to(&mut out).unwrap();
+        Response::json(200, "{\"ok\":true}").write_to(&mut out).unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Type: application/json\r\n"));

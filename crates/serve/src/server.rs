@@ -52,6 +52,9 @@ pub(crate) const DEFAULT_SLOW_THRESHOLD_US: u64 = 10_000;
 
 /// Normalised route labels used for per-route status-class counters and
 /// trace records. `unparsed` marks connections whose request never parsed.
+/// Indexed by the `ROUTE_*` ids below: the labels (and the counter names
+/// derived from them) are interned once at server startup, and the hot
+/// path carries the id, never a label string.
 const ROUTE_LABELS: &[&str] = &[
     "search",
     "pedigree",
@@ -62,6 +65,21 @@ const ROUTE_LABELS: &[&str] = &[
     "other",
     "unparsed",
 ];
+
+const ROUTE_SEARCH: usize = 0;
+const ROUTE_PEDIGREE: usize = 1;
+const ROUTE_HEALTHZ: usize = 2;
+const ROUTE_METRICS: usize = 3;
+const ROUTE_DEBUG_TRACES: usize = 4;
+const ROUTE_DEBUG_SLOW: usize = 5;
+const ROUTE_OTHER: usize = 6;
+const ROUTE_UNPARSED: usize = 7;
+
+/// Initial capacity of each worker's reusable response buffer; typical
+/// `/search` and `/pedigree` bodies fit after a few warm-up regrowths,
+/// after which the buffer's capacity is stable (asserted by the serve
+/// integration tests and watched by `serve.resp_buf.regrow`).
+const RESP_BUF_INITIAL_CAPACITY: usize = 4 * 1024;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -158,9 +176,9 @@ impl ConnQueue {
     }
 }
 
-/// Per-route status-class counters (`serve.route.<label>.{2xx,4xx,5xx}`).
+/// Per-route status-class counters (`serve.route.<label>.{2xx,4xx,5xx}`),
+/// interned at startup and indexed by route id.
 struct RouteClasses {
-    label: &'static str,
     c2xx: Counter,
     c4xx: Counter,
     c5xx: Counter,
@@ -190,14 +208,9 @@ struct Ctx {
     sim_hits: Counter,
     sim_misses: Counter,
     candidates_scored: Counter,
+    resp_regrow: Counter,
     traces: TraceRing,
     snapshot: Option<SnapshotStamp>,
-}
-
-impl Ctx {
-    fn route_classes(&self, label: &str) -> Option<&RouteClasses> {
-        self.routes.iter().find(|r| r.label == label)
-    }
 }
 
 /// A running query service; dropping without [`Server::shutdown`] detaches
@@ -247,10 +260,11 @@ impl Server {
         // First generation of served data; hot-swap (ROADMAP item 2) bumps
         // this on every snapshot-pointer swap.
         generation.set(1);
+        // Counter names are a closed set: intern them once here, so the
+        // request path only ever indexes by route id.
         let routes = ROUTE_LABELS
             .iter()
             .map(|label| RouteClasses {
-                label,
                 c2xx: obs.counter(&format!("serve.route.{label}.2xx")),
                 c4xx: obs.counter(&format!("serve.route.{label}.4xx")),
                 c5xx: obs.counter(&format!("serve.route.{label}.5xx")),
@@ -270,6 +284,7 @@ impl Server {
             sim_hits: obs.counter("index.sim_cache.hits"),
             sim_misses: obs.counter("index.sim_cache.misses"),
             candidates_scored: obs.counter("query.candidates_scored"),
+            resp_regrow: obs.counter("serve.resp_buf.regrow"),
             traces: TraceRing::new(config.trace_capacity),
             snapshot: config.snapshot,
         });
@@ -282,8 +297,18 @@ impl Server {
             let read_timeout = config.read_timeout;
             workers.push(thread::Builder::new().name(format!("snaps-serve-worker-{i}")).spawn(
                 move || {
+                    // Reusable response buffer: handlers render into it and
+                    // the response borrows it, so a warmed-up worker serves
+                    // requests without allocating response memory. Capacity
+                    // growth is counted so the bench ratchet catches
+                    // allocation regressions.
+                    let mut buf = String::with_capacity(RESP_BUF_INITIAL_CAPACITY);
                     while let Some((stream, queued_at)) = queue.pop(&shutdown) {
-                        handle_connection(stream, queued_at, &ctx, read_timeout);
+                        let capacity_before = buf.capacity();
+                        handle_connection(stream, queued_at, &ctx, read_timeout, &mut buf);
+                        if buf.capacity() > capacity_before {
+                            ctx.resp_regrow.add(1);
+                        }
                     }
                 },
             )?);
@@ -305,10 +330,8 @@ impl Server {
                         // thread, never block behind a full queue.
                         http_503.add(1);
                         shed_503.add(1);
-                        let resp = Response::json(
-                            503,
-                            "{\"error\": \"server overloaded, retry later\"}".to_string(),
-                        );
+                        let resp =
+                            Response::json(503, "{\"error\": \"server overloaded, retry later\"}");
                         let _ = resp.write_to(&mut stream);
                     }
                 }
@@ -341,24 +364,25 @@ impl Server {
     }
 }
 
-/// Route label used for counters and traces (normalises `/pedigree/<id>`
-/// to one label and unknown paths to `other`).
-fn route_label(path: &str) -> &'static str {
+/// Route id used to index [`ROUTE_LABELS`] and the interned per-route
+/// counters (normalises `/pedigree/<id>` to one id and unknown paths to
+/// [`ROUTE_OTHER`]).
+fn route_id(path: &str) -> usize {
     match path {
-        "/search" => "search",
-        "/healthz" => "healthz",
-        "/metrics" => "metrics",
-        "/debug/traces" => "debug_traces",
-        "/debug/slow" => "debug_slow",
-        p if p.starts_with("/pedigree/") => "pedigree",
-        _ => "other",
+        "/search" => ROUTE_SEARCH,
+        "/healthz" => ROUTE_HEALTHZ,
+        "/metrics" => ROUTE_METRICS,
+        "/debug/traces" => ROUTE_DEBUG_TRACES,
+        "/debug/slow" => ROUTE_DEBUG_SLOW,
+        p if p.starts_with("/pedigree/") => ROUTE_PEDIGREE,
+        _ => ROUTE_OTHER,
     }
 }
 
 /// Truncated `k=v&k=v` digest of the request's query parameters for trace
 /// records; cut at a char boundary at [`MAX_PARAM_DIGEST`] bytes.
 fn param_digest(req: &Request) -> String {
-    let mut out = String::new();
+    let mut out = String::with_capacity(MAX_PARAM_DIGEST);
     for (k, v) in &req.params {
         if !out.is_empty() {
             out.push('&');
@@ -380,7 +404,13 @@ fn param_digest(req: &Request) -> String {
     out
 }
 
-fn handle_connection(stream: TcpStream, queued_at: Instant, ctx: &Ctx, read_timeout: Duration) {
+fn handle_connection(
+    stream: TcpStream,
+    queued_at: Instant,
+    ctx: &Ctx,
+    read_timeout: Duration,
+    buf: &mut String,
+) {
     let queue_wait_us = us_u64(queued_at.elapsed().as_micros());
     ctx.inflight.add(1);
     let _ = stream.set_read_timeout(Some(read_timeout));
@@ -392,13 +422,14 @@ fn handle_connection(stream: TcpStream, queued_at: Instant, ctx: &Ctx, read_time
         }
     });
     let handled_at = Instant::now();
-    let (response, label, stats, params) = match parse_request(&mut reader) {
+    buf.clear();
+    let (response, route_idx, stats, params) = match parse_request(&mut reader) {
         Ok(req) => {
             ctx.requests.add(1);
-            let label = route_label(&req.path);
+            let idx = route_id(&req.path);
             let params = param_digest(&req);
-            let (response, stats) = route(&req, ctx);
-            (response, label, stats, params)
+            let (response, stats) = route(&req, ctx, buf);
+            (response, idx, stats, params)
         }
         // A connection that opened but never sent bytes (port scan,
         // cancelled client) gets no response; real malformed input gets 400.
@@ -408,7 +439,7 @@ fn handle_connection(stream: TcpStream, queued_at: Instant, ctx: &Ctx, read_time
         }
         Err(e) => {
             ctx.http_400.add(1);
-            (bad_request(&e.to_string()), "unparsed", ReqStats::default(), String::new())
+            (bad_request(buf, &e.to_string()), ROUTE_UNPARSED, ReqStats::default(), String::new())
         }
     };
     match response.status {
@@ -417,7 +448,8 @@ fn handle_connection(stream: TcpStream, queued_at: Instant, ctx: &Ctx, read_time
         404 => ctx.http_404.add(1),
         _ => {}
     }
-    if let Some(classes) = ctx.route_classes(label) {
+    // Interned counters, indexed by route id — no per-request name lookup.
+    if let Some(classes) = ctx.routes.get(route_idx) {
         match response.status {
             200..=299 => classes.c2xx.add(1),
             400..=499 => classes.c4xx.add(1),
@@ -427,7 +459,7 @@ fn handle_connection(stream: TcpStream, queued_at: Instant, ctx: &Ctx, read_time
     }
     ctx.traces.push(TraceRecord {
         seq: 0,
-        route: label,
+        route: ROUTE_LABELS.get(route_idx).copied().unwrap_or("unparsed"),
         status: response.status,
         latency_us: us_u64(handled_at.elapsed().as_micros()).max(1),
         queue_wait_us,
@@ -442,86 +474,96 @@ fn handle_connection(stream: TcpStream, queued_at: Instant, ctx: &Ctx, read_time
     let _ = response.write_to(&mut stream);
 }
 
-fn bad_request(msg: &str) -> Response {
-    let mut body = String::from("{\"error\": ");
-    json::string(&mut body, msg);
-    body.push('}');
-    Response::json(400, body)
+/// Render a `{"error": …}` body into `out` (cleared first, in case a
+/// handler wrote a partial body before failing) and borrow it as a 400.
+fn bad_request<'a>(out: &'a mut String, msg: &str) -> Response<'a> {
+    out.clear();
+    out.push_str("{\"error\": ");
+    json::string(out, msg);
+    out.push('}');
+    Response::json(400, out)
 }
 
-fn not_found(msg: &str) -> Response {
-    let mut body = String::from("{\"error\": ");
-    json::string(&mut body, msg);
-    body.push('}');
-    Response::json(404, body)
+fn not_found<'a>(out: &'a mut String, msg: &str) -> Response<'a> {
+    out.clear();
+    out.push_str("{\"error\": ");
+    json::string(out, msg);
+    out.push('}');
+    Response::json(404, out)
 }
 
-fn route(req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
+fn route<'a>(req: &Request, ctx: &Ctx, out: &'a mut String) -> (Response<'a>, ReqStats) {
     if req.method != "GET" {
-        let resp = Response::json(405, "{\"error\": \"only GET is supported\"}".to_string());
+        let resp = Response::json(405, "{\"error\": \"only GET is supported\"}");
         return (resp, ReqStats::default());
     }
     match req.path.as_str() {
-        "/healthz" => (healthz(ctx), ReqStats::default()),
-        "/metrics" => (metrics(req, ctx), ReqStats::default()),
-        "/search" => search(req, ctx),
-        "/debug/traces" => debug_traces(req, ctx),
-        "/debug/slow" => debug_slow(req, ctx),
+        "/healthz" => (healthz(ctx, out), ReqStats::default()),
+        "/metrics" => (metrics(req, ctx, out), ReqStats::default()),
+        "/search" => search(req, ctx, out),
+        "/debug/traces" => debug_traces(req, ctx, out),
+        "/debug/slow" => debug_slow(req, ctx, out),
         p => {
             if let Some(rest) = p.strip_prefix("/pedigree/") {
-                pedigree(rest, req, ctx)
+                pedigree(rest, req, ctx, out)
             } else {
-                (not_found("no such endpoint"), ReqStats::default())
+                (not_found(out, "no such endpoint"), ReqStats::default())
             }
         }
     }
 }
 
-fn healthz(ctx: &Ctx) -> Response {
-    let mut body = String::from("{\"status\": \"ok\", \"entities\": ");
+fn healthz<'a>(ctx: &Ctx, out: &'a mut String) -> Response<'a> {
+    out.push_str("{\"status\": \"ok\", \"entities\": ");
     let _ = write!(
-        body,
+        out,
         "{}, \"uptime_ms\": {}, \"snapshot_generation\": {}",
         ctx.engine.graph().len(),
         ctx.started.elapsed().as_millis(),
         ctx.generation.get()
     );
-    body.push_str(", \"snapshot\": ");
+    out.push_str(", \"snapshot\": ");
     match &ctx.snapshot {
         Some(stamp) => {
             let _ = write!(
-                body,
+                out,
                 "{{\"version\": {}, \"checksum_crc32\": \"{:08x}\", \"bytes\": {}}}",
                 stamp.version, stamp.checksum, stamp.bytes
             );
         }
-        None => body.push_str("null"),
+        None => out.push_str("null"),
     }
-    body.push('}');
-    Response::json(200, body)
+    out.push('}');
+    Response::json(200, out)
 }
 
-fn metrics(req: &Request, ctx: &Ctx) -> Response {
+fn metrics<'a>(req: &Request, ctx: &Ctx, out: &'a mut String) -> Response<'a> {
     match req.param("format") {
-        None | Some("json") => metrics_json(ctx),
-        Some("prom") => metrics_prom(ctx),
-        Some(other) => bad_request(&format!("unknown format '{other}' (use json|prom)")),
+        None | Some("json") => metrics_json(ctx, out),
+        Some("prom") => metrics_prom(ctx, out),
+        Some(other) => bad_request(out, &format!("unknown format '{other}' (use json|prom)")),
     }
 }
 
-fn metrics_json(ctx: &Ctx) -> Response {
+fn metrics_json<'a>(ctx: &Ctx, out: &'a mut String) -> Response<'a> {
     match ctx.obs.report() {
-        Some(report) => Response::json(200, report.to_json()),
-        None => Response::json(200, "{\"enabled\": false}".to_string()),
+        Some(report) => {
+            report.render_json(out);
+            Response::json(200, out)
+        }
+        None => Response::json(200, "{\"enabled\": false}"),
     }
 }
 
 /// Prometheus text exposition of the same registry `/metrics` serves as
 /// JSON (see `snaps_obs::RunReport::to_prometheus` for the naming rules).
-fn metrics_prom(ctx: &Ctx) -> Response {
+fn metrics_prom<'a>(ctx: &Ctx, out: &'a mut String) -> Response<'a> {
     match ctx.obs.report() {
-        Some(report) => Response::prometheus(report.to_prometheus()),
-        None => Response::prometheus("# instrumentation disabled\n".to_string()),
+        Some(report) => {
+            report.render_prometheus(out);
+            Response::prometheus(out)
+        }
+        None => Response::prometheus("# instrumentation disabled\n"),
     }
 }
 
@@ -559,58 +601,63 @@ fn write_trace_json(body: &mut String, t: &TraceRecord) {
     body.push('}');
 }
 
-fn trace_list_response(traces: &[TraceRecord], extra_key: &str, extra_value: u64) -> Response {
-    let mut body = String::from("{");
-    json::key(&mut body, extra_key);
-    let _ = write!(body, "{}", extra_value);
-    body.push_str(", ");
-    json::key(&mut body, "count");
-    let _ = write!(body, "{}", traces.len());
-    body.push_str(", ");
-    json::key(&mut body, "traces");
-    body.push('[');
+fn trace_list_response<'a>(
+    out: &'a mut String,
+    traces: &[TraceRecord],
+    extra_key: &str,
+    extra_value: u64,
+) -> Response<'a> {
+    out.push('{');
+    json::key(out, extra_key);
+    let _ = write!(out, "{}", extra_value);
+    out.push_str(", ");
+    json::key(out, "count");
+    let _ = write!(out, "{}", traces.len());
+    out.push_str(", ");
+    json::key(out, "traces");
+    out.push('[');
     for (i, t) in traces.iter().enumerate() {
         if i > 0 {
-            body.push_str(", ");
+            out.push_str(", ");
         }
-        write_trace_json(&mut body, t);
+        write_trace_json(out, t);
     }
-    body.push_str("]}");
-    Response::json(200, body)
+    out.push_str("]}");
+    Response::json(200, out)
 }
 
 /// `GET /debug/traces?n=` — the most recent `n` traced requests (default
 /// 32, capped at the ring capacity), newest first.
-fn debug_traces(req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
+fn debug_traces<'a>(req: &Request, ctx: &Ctx, out: &'a mut String) -> (Response<'a>, ReqStats) {
     let n = match req.param("n") {
         None => 32,
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n >= 1 => n,
-            _ => return (bad_request("n must be a positive integer"), ReqStats::default()),
+            _ => return (bad_request(out, "n must be a positive integer"), ReqStats::default()),
         },
     };
     let traces = ctx.traces.recent(n.min(ctx.traces.capacity()));
     let stats = ReqStats { results: count_u64(traces.len()), ..ReqStats::default() };
-    (trace_list_response(&traces, "pushed", ctx.traces.pushed()), stats)
+    (trace_list_response(out, &traces, "pushed", ctx.traces.pushed()), stats)
 }
 
 /// `GET /debug/slow?threshold_us=` — retained traces at or above the
 /// latency threshold (default [`DEFAULT_SLOW_THRESHOLD_US`]), slowest
 /// first.
-fn debug_slow(req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
+fn debug_slow<'a>(req: &Request, ctx: &Ctx, out: &'a mut String) -> (Response<'a>, ReqStats) {
     let threshold_us = match req.param("threshold_us") {
         None => DEFAULT_SLOW_THRESHOLD_US,
         Some(v) => match v.parse::<u64>() {
             Ok(t) => t,
             Err(_) => {
-                let resp = bad_request("threshold_us must be a non-negative integer");
+                let resp = bad_request(out, "threshold_us must be a non-negative integer");
                 return (resp, ReqStats::default());
             }
         },
     };
     let traces = ctx.traces.slow(threshold_us);
     let stats = ReqStats { results: count_u64(traces.len()), ..ReqStats::default() };
-    (trace_list_response(&traces, "threshold_us", threshold_us), stats)
+    (trace_list_response(out, &traces, "threshold_us", threshold_us), stats)
 }
 
 /// Build a validated [`QueryRecord`] from `/search` parameters, mapping
@@ -662,10 +709,10 @@ fn parse_search(req: &Request) -> Result<(QueryRecord, usize), String> {
     Ok((q, top_m))
 }
 
-fn search(req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
+fn search<'a>(req: &Request, ctx: &Ctx, out: &'a mut String) -> (Response<'a>, ReqStats) {
     let (q, top_m) = match parse_search(req) {
         Ok(p) => p,
-        Err(msg) => return (bad_request(&msg), ReqStats::default()),
+        Err(msg) => return (bad_request(out, &msg), ReqStats::default()),
     };
     // Counter deltas attribute engine-side work to this request; under
     // concurrency a delta may include a sibling request's work — traces
@@ -680,58 +727,64 @@ fn search(req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
         results: count_u64(results.len()),
     };
 
-    let mut body = String::from("{\"count\": ");
-    let _ = write!(body, "{}", results.len());
-    body.push_str(", \"results\": [");
+    out.push_str("{\"count\": ");
+    let _ = write!(out, "{}", results.len());
+    out.push_str(", \"results\": [");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
-            body.push_str(", ");
+            out.push_str(", ");
         }
-        body.push('{');
-        json::key(&mut body, "entity");
-        let _ = write!(body, "{}", r.entity.0);
-        body.push_str(", ");
-        json::key(&mut body, "name");
+        out.push('{');
+        json::key(out, "entity");
+        let _ = write!(out, "{}", r.entity.0);
+        out.push_str(", ");
+        json::key(out, "name");
         let name = ctx.engine.graph().get(r.entity).map(|e| e.display_name()).unwrap_or_default();
-        json::string(&mut body, &name);
-        body.push_str(", ");
-        json::key(&mut body, "score_percent");
-        json::f64(&mut body, r.score_percent);
-        body.push_str(", ");
-        json::key(&mut body, "first_name_sim");
-        json::f64(&mut body, r.first_name_sim);
-        body.push_str(", ");
-        json::key(&mut body, "surname_sim");
-        json::f64(&mut body, r.surname_sim);
-        body.push_str(", ");
-        json::key(&mut body, "year_score");
-        json::opt_f64(&mut body, r.year_score);
-        body.push_str(", ");
-        json::key(&mut body, "gender_score");
-        json::opt_f64(&mut body, r.gender_score);
-        body.push_str(", ");
-        json::key(&mut body, "location_score");
-        json::opt_f64(&mut body, r.location_score);
-        body.push('}');
+        json::string(out, &name);
+        out.push_str(", ");
+        json::key(out, "score_percent");
+        json::f64(out, r.score_percent);
+        out.push_str(", ");
+        json::key(out, "first_name_sim");
+        json::f64(out, r.first_name_sim);
+        out.push_str(", ");
+        json::key(out, "surname_sim");
+        json::f64(out, r.surname_sim);
+        out.push_str(", ");
+        json::key(out, "year_score");
+        json::opt_f64(out, r.year_score);
+        out.push_str(", ");
+        json::key(out, "gender_score");
+        json::opt_f64(out, r.gender_score);
+        out.push_str(", ");
+        json::key(out, "location_score");
+        json::opt_f64(out, r.location_score);
+        out.push('}');
     }
-    body.push_str("]}");
-    (Response::json(200, body), stats)
+    out.push_str("]}");
+    (Response::json(200, out), stats)
 }
 
-fn pedigree(rest: &str, req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
+fn pedigree<'a>(
+    rest: &str,
+    req: &Request,
+    ctx: &Ctx,
+    out: &'a mut String,
+) -> (Response<'a>, ReqStats) {
     let Ok(id) = rest.parse::<u32>() else {
-        return (bad_request("pedigree id must be an unsigned integer"), ReqStats::default());
+        return (bad_request(out, "pedigree id must be an unsigned integer"), ReqStats::default());
     };
     let entity = EntityId(id);
     if entity.index() >= ctx.engine.graph().len() {
-        return (not_found("no such entity"), ReqStats::default());
+        return (not_found(out, "no such entity"), ReqStats::default());
     }
     let generations = match req.param("g") {
         None => DEFAULT_GENERATIONS,
         Some(g) => match g.parse::<usize>() {
             Ok(g) if (1..=MAX_GENERATIONS).contains(&g) => g,
             _ => {
-                let resp = bad_request(&format!("g must be an integer in 1..={MAX_GENERATIONS}"));
+                let resp =
+                    bad_request(out, &format!("g must be an integer in 1..={MAX_GENERATIONS}"));
                 return (resp, ReqStats::default());
             }
         },
@@ -739,48 +792,48 @@ fn pedigree(rest: &str, req: &Request, ctx: &Ctx) -> (Response, ReqStats) {
     let ped = extract(ctx.engine.graph(), entity, generations);
     let stats = ReqStats { results: count_u64(ped.members.len()), ..ReqStats::default() };
 
-    let mut body = String::from("{\"root\": ");
-    let _ = write!(body, "{}", ped.root.0);
-    body.push_str(", \"members\": [");
+    out.push_str("{\"root\": ");
+    let _ = write!(out, "{}", ped.root.0);
+    out.push_str(", \"members\": [");
     let mut first_member = true;
     for m in &ped.members {
         let Some(e) = ctx.engine.graph().get(m.entity) else { continue };
         if !first_member {
-            body.push_str(", ");
+            out.push_str(", ");
         }
         first_member = false;
-        body.push('{');
-        json::key(&mut body, "entity");
-        let _ = write!(body, "{}", m.entity.0);
-        body.push_str(", ");
-        json::key(&mut body, "name");
-        json::string(&mut body, &e.display_name());
-        body.push_str(", ");
-        json::key(&mut body, "gender");
-        json::string(&mut body, e.gender.code());
-        body.push_str(", ");
-        json::key(&mut body, "birth_year");
-        json::opt_i32(&mut body, e.birth_year);
-        body.push_str(", ");
-        json::key(&mut body, "death_year");
-        json::opt_i32(&mut body, e.death_year);
-        body.push_str(", ");
-        json::key(&mut body, "generation");
-        let _ = write!(body, "{}", m.generation);
-        body.push_str(", ");
-        json::key(&mut body, "hops");
-        let _ = write!(body, "{}", m.hops);
-        body.push('}');
+        out.push('{');
+        json::key(out, "entity");
+        let _ = write!(out, "{}", m.entity.0);
+        out.push_str(", ");
+        json::key(out, "name");
+        json::string(out, &e.display_name());
+        out.push_str(", ");
+        json::key(out, "gender");
+        json::string(out, e.gender.code());
+        out.push_str(", ");
+        json::key(out, "birth_year");
+        json::opt_i32(out, e.birth_year);
+        out.push_str(", ");
+        json::key(out, "death_year");
+        json::opt_i32(out, e.death_year);
+        out.push_str(", ");
+        json::key(out, "generation");
+        let _ = write!(out, "{}", m.generation);
+        out.push_str(", ");
+        json::key(out, "hops");
+        let _ = write!(out, "{}", m.hops);
+        out.push('}');
     }
-    body.push_str("], \"edges\": [");
+    out.push_str("], \"edges\": [");
     for (i, (a, b, rel)) in ped.edges.iter().enumerate() {
         if i > 0 {
-            body.push_str(", ");
+            out.push_str(", ");
         }
-        let _ = write!(body, "[{}, {}, ", a.0, b.0);
-        json::string(&mut body, rel.code());
-        body.push(']');
+        let _ = write!(out, "[{}, {}, ", a.0, b.0);
+        json::string(out, rel.code());
+        out.push(']');
     }
-    body.push_str("]}");
-    (Response::json(200, body), stats)
+    out.push_str("]}");
+    (Response::json(200, out), stats)
 }

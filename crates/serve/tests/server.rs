@@ -208,6 +208,60 @@ fn shutdown_is_clean_and_final() {
     }
 }
 
+/// Current value of the reusable-response-buffer regrowth counter, read
+/// off the live Prometheus exposition.
+fn scrape_regrow(addr: SocketAddr) -> u64 {
+    let (status, body) = get(addr, "/metrics?format=prom");
+    assert_eq!(status, 200, "prometheus exposition failed");
+    body.lines()
+        .find_map(|l| l.strip_prefix("snaps_serve_resp_buf_regrow_total "))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The per-worker response buffer reaches its working-set size during
+/// warm-up and then never regrows: 100 mixed requests after warm-up leave
+/// the regrowth counter untouched while every response stays
+/// byte-identical. A single worker makes the counter race-free — each
+/// request's increment lands before the next request is picked up.
+#[test]
+fn response_buffer_capacity_stabilizes_under_mixed_load() {
+    let obs = Obs::new(&ObsConfig::full());
+    let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let (server, engine) = start_server(&obs, &config);
+    let addr = server.addr();
+
+    let e = &engine.graph().entities[0];
+    let search = format!("/search?first={}&last={}&m=10", e.first_names[0], e.surnames[0]);
+    let pedigree = "/pedigree/0?g=4";
+    let golden_search = get(addr, &search);
+    let golden_pedigree = get(addr, pedigree);
+    assert_eq!(golden_search.0, 200, "search golden: {}", golden_search.1);
+    assert_eq!(golden_pedigree.0, 200, "pedigree golden: {}", golden_pedigree.1);
+
+    // Warm-up: every response shape the loop below will produce, including
+    // the Prometheus exposition (the largest body), so the buffer reaches
+    // its maximum working-set size before the baseline scrape.
+    for _ in 0..5 {
+        let _ = get(addr, &search);
+        let _ = get(addr, pedigree);
+        let _ = scrape_regrow(addr);
+    }
+    let regrow_after_warmup = scrape_regrow(addr);
+    assert!(regrow_after_warmup >= 1, "warm-up growth is counted");
+
+    // Steady state: 100 mixed requests, byte-identical to the goldens,
+    // with zero further buffer growth.
+    for i in 0..50 {
+        assert_eq!(get(addr, &search), golden_search, "search diverged at iteration {i}");
+        assert_eq!(get(addr, pedigree), golden_pedigree, "pedigree diverged at iteration {i}");
+    }
+    let regrow_final = scrape_regrow(addr);
+    assert_eq!(regrow_final, regrow_after_warmup, "response buffer regrew under steady mixed load");
+
+    server.shutdown();
+}
+
 #[test]
 fn concurrent_clients_share_one_engine() {
     let obs = Obs::new(&ObsConfig::full());

@@ -6,7 +6,11 @@
 # noise; override with BENCH_RATCHET_TOLERANCE=0.30 etc.):
 #
 #   serve:    p99 request latency may grow at most 20%,
-#             sustained QPS may drop at most 20%
+#             sustained QPS may drop at most 20%,
+#             allocation proxies (response bytes per request, response
+#             buffer regrowth count) may grow at most 20% — regrowth with
+#             a small absolute slack on top, since its baseline is a
+#             small integer (override with BENCH_RATCHET_REGROW_SLACK)
 #   pipeline: each stage's records/sec may drop at most 20%
 #
 # The baselines live in results/BENCH_serve.json and
@@ -40,6 +44,13 @@ fi
 within_max() { awk -v n="$1" -v o="$2" -v t="$TOLERANCE" 'BEGIN { exit !(n <= o * (1 + t)) }'; }
 # within_min NEW OLD → ok when NEW >= OLD * (1 - band)
 within_min() { awk -v n="$1" -v o="$2" -v t="$TOLERANCE" 'BEGIN { exit !(n >= o * (1 - t)) }'; }
+# within_max_slack NEW OLD SLACK → ok when NEW <= OLD * (1 + band) + SLACK;
+# the absolute slack keeps small-integer baselines from flapping.
+within_max_slack() {
+  awk -v n="$1" -v o="$2" -v t="$TOLERANCE" -v s="$3" 'BEGIN { exit !(n <= o * (1 + t) + s) }'
+}
+
+REGROW_SLACK=${BENCH_RATCHET_REGROW_SLACK:-4}
 
 fail=0
 case "$mode" in
@@ -57,6 +68,26 @@ case "$mode" in
       fail=1
     fi
     echo "serve ratchet: p99 ${old_p99}ns -> ${new_p99}ns, qps ${old_qps} -> ${new_qps} (band ${TOLERANCE})"
+    # Allocation-proxy columns (absent in pre-refactor baselines: skip when
+    # the committed report has no column, never when the fresh one lost it).
+    old_bytes=$(jq -r '.meta.resp_bytes_per_req // empty' "$old")
+    old_regrow=$(jq -r '.meta.resp_buf_regrow // empty' "$old")
+    if [ -n "$old_bytes" ]; then
+      new_bytes=$(jq -r '.meta.resp_bytes_per_req // 0' "$new")
+      if ! within_max "$new_bytes" "$old_bytes"; then
+        echo "::error::serve response bytes per request grew beyond the ${TOLERANCE} band (${old_bytes} -> ${new_bytes})"
+        fail=1
+      fi
+      echo "serve ratchet: resp bytes/req ${old_bytes} -> ${new_bytes} (band ${TOLERANCE})"
+    fi
+    if [ -n "$old_regrow" ]; then
+      new_regrow=$(jq -r '.meta.resp_buf_regrow // 0' "$new")
+      if ! within_max_slack "$new_regrow" "$old_regrow" "$REGROW_SLACK"; then
+        echo "::error::serve response-buffer regrowth count grew beyond the ${TOLERANCE} band + ${REGROW_SLACK} slack (${old_regrow} -> ${new_regrow})"
+        fail=1
+      fi
+      echo "serve ratchet: resp buf regrows ${old_regrow} -> ${new_regrow} (band ${TOLERANCE}, slack ${REGROW_SLACK})"
+    fi
     ;;
   pipeline)
     for stage in blocking comparison merge refine; do
